@@ -1,0 +1,40 @@
+//! # copred-accel
+//!
+//! Cycle-level microarchitectural simulator for the Collision Prediction
+//! Unit (COPU) integrated with a collision-detection accelerator (paper
+//! §IV, Fig. 12), plus the calibrated area/energy models (§VI-B1), the
+//! sphere-CDU variant (§VII-1), and a Dadu-P-style octree-voxel accelerator
+//! with environment-space hashing (§VII-2).
+//!
+//! ## Example
+//!
+//! ```
+//! use copred_accel::{AccelConfig, AccelSim};
+//! use copred_core::{ChtParams, CoordHash};
+//! use copred_kinematics::{presets, Robot};
+//!
+//! let robot: Robot = presets::planar_2d().into();
+//! let baseline = AccelSim::new(AccelConfig::baseline(4), CoordHash::paper_default(&robot));
+//! let copu = AccelSim::new(
+//!     AccelConfig::copu(4, ChtParams::paper_2d()),
+//!     CoordHash::paper_default(&robot),
+//! );
+//! assert!(copu.config().with_copu && !baseline.config().with_copu);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dadup;
+mod energy;
+mod perf;
+mod sphere;
+mod system;
+
+pub use dadup::{
+    precompute_motion, DadupConfig, DadupMode, DadupMotionResult, DadupSim, PrecomputedMotion,
+};
+pub use energy::{mpaccel_overheads, AreaModel, EnergyModel, OverheadReport, SramModel};
+pub use perf::{perf_report, PerfReport};
+pub use sphere::{SphereRunResult, SphereSim};
+pub use system::{AccelConfig, AccelEvents, AccelRunResult, AccelSim, MotionSimResult};

@@ -1,0 +1,105 @@
+//! Performance metrics: throughput, perf/watt, perf/mm² (paper Fig. 16).
+
+use crate::energy::{AreaModel, EnergyModel};
+use crate::system::{AccelRunResult, AccelSim};
+
+/// Derived performance figures for one accelerator configuration on one
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfReport {
+    /// Mean end-to-end motion-check latency (cycles).
+    pub mean_latency_cycles: f64,
+    /// Throughput in motion checks per million cycles.
+    pub throughput: f64,
+    /// Total energy (pJ).
+    pub energy_pj: f64,
+    /// Accelerator area (mm²).
+    pub area_mm2: f64,
+    /// Throughput per unit energy rate — proportional to perf/watt.
+    pub perf_per_watt: f64,
+    /// Throughput per area — perf/mm².
+    pub perf_per_mm2: f64,
+}
+
+/// Computes the Fig. 16 metrics for a finished run.
+///
+/// perf/watt is throughput divided by average power; with power =
+/// energy/time, this reduces to `motions / energy` (times a constant), so
+/// only energy and motion counts matter — exactly the quantities the
+/// simulator measures.
+pub fn perf_report(
+    sim: &AccelSim,
+    result: &AccelRunResult,
+    em: &EnergyModel,
+    am: &AreaModel,
+) -> PerfReport {
+    let area = sim.area_mm2(am, em);
+    let energy = result.energy_with_cht_pj(em, area, &sim.config().cht_params);
+    let cycles = result.total_cycles.max(1) as f64;
+    let throughput = result.motions as f64 / cycles * 1.0e6;
+    PerfReport {
+        mean_latency_cycles: result.mean_latency(),
+        throughput,
+        energy_pj: energy,
+        area_mm2: area,
+        perf_per_watt: result.motions as f64 / energy.max(f64::MIN_POSITIVE),
+        perf_per_mm2: throughput / area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{AccelConfig, AccelEvents};
+    use copred_core::{ChtParams, CoordHash};
+    use copred_kinematics::{presets, Robot};
+
+    #[test]
+    fn report_scales_sanely() {
+        let robot: Robot = presets::planar_2d().into();
+        let sim = AccelSim::new(
+            AccelConfig::copu(4, ChtParams::paper_2d()),
+            CoordHash::paper_default(&robot),
+        );
+        let result = AccelRunResult {
+            motions: 100,
+            colliding_motions: 60,
+            total_cycles: 50_000,
+            events: AccelEvents {
+                cdqs: 2000,
+                obstacle_tests: 12_000,
+                cht_reads: 2500,
+                cht_writes: 2000,
+                queue_ops: 5000,
+                poses_generated: 2500,
+            },
+        };
+        let r = perf_report(&sim, &result, &EnergyModel::default(), &AreaModel::default());
+        assert!(r.throughput > 0.0);
+        assert!(r.energy_pj > 0.0);
+        assert!(r.perf_per_watt > 0.0);
+        assert!(r.perf_per_mm2 > 0.0);
+        assert!((r.mean_latency_cycles - 500.0).abs() < 1e-9);
+        // Doubling energy events halves perf/watt (modulo leakage):
+        let mut doubled = result;
+        doubled.events.cdqs *= 2;
+        doubled.events.obstacle_tests *= 2;
+        doubled.events.poses_generated *= 2;
+        let r2 = perf_report(&sim, &doubled, &EnergyModel::default(), &AreaModel::default());
+        assert!(r2.perf_per_watt < r.perf_per_watt);
+    }
+
+    #[test]
+    fn empty_run_is_finite() {
+        let robot: Robot = presets::planar_2d().into();
+        let sim = AccelSim::new(AccelConfig::baseline(1), CoordHash::paper_default(&robot));
+        let r = perf_report(
+            &sim,
+            &AccelRunResult::default(),
+            &EnergyModel::default(),
+            &AreaModel::default(),
+        );
+        assert!(r.throughput.is_finite());
+        assert!(r.perf_per_watt.is_finite());
+    }
+}

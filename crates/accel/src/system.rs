@@ -1,0 +1,623 @@
+//! Cycle-level simulator of the collision-detection accelerator with the
+//! Collision Prediction Unit (paper Fig. 12).
+//!
+//! The modeled pipeline per motion-environment check:
+//!
+//! 1. the **Scheduler** feeds sample poses in CSP order [43];
+//! 2. the **OBB Generation Unit** produces one link OBB per initiation
+//!    interval after a pipeline-fill latency;
+//! 3. with a COPU, each OBB's center is hashed and looked up in the **CHT**,
+//!    then steered into **QCOLL** or **QNONCOLL**;
+//! 4. the **Query Dispatcher** issues QCOLL entries to free **CDUs** first,
+//!    and QNONCOLL entries only when that queue is full or all of the
+//!    motion's poses have been generated (the paper's energy-biased policy);
+//! 5. CDUs run cascaded early-exit obstacle tests; the **Query Update Unit**
+//!    writes outcomes back to the CHT; a colliding outcome terminates the
+//!    motion check and flushes remaining work.
+//!
+//! The baseline configuration (no COPU) dispatches OBBs in CSP order
+//! directly — the Shah et al. accelerator the paper compares against.
+
+use crate::energy::{AreaModel, EnergyModel};
+use copred_core::{Cht, ChtParams, CoordHash};
+use copred_core::hash::CollisionHash;
+use copred_geometry::Vec3;
+use copred_kinematics::csp_order;
+use copred_trace::MotionTrace;
+use std::collections::VecDeque;
+
+/// Accelerator configuration.
+#[derive(Debug, Clone)]
+pub struct AccelConfig {
+    /// Number of CDUs.
+    pub n_cdus: usize,
+    /// Whether the COPU is present.
+    pub with_copu: bool,
+    /// Oracle mode: the predictor returns ground truth with zero latency and
+    /// no CHT traffic — the paper's limit study (§III-A).
+    pub oracle: bool,
+    /// CHT sizing and policy (ignored without COPU).
+    pub cht_params: ChtParams,
+    /// QCOLL capacity (paper: 8).
+    pub qcoll_len: usize,
+    /// QNONCOLL capacity (paper: 56).
+    pub qnoncoll_len: usize,
+    /// CSP stride over poses.
+    pub csp_step: usize,
+    /// OBB Generation Unit pipeline-fill latency (cycles).
+    pub obbgen_latency: u64,
+    /// Cycles between successive OBB outputs.
+    pub obbgen_ii: u64,
+    /// COPU latency: hash plus CHT read (cycles).
+    pub copu_latency: u64,
+    /// Fixed CDU occupancy per CDQ (cycles).
+    pub cdu_base_cycles: u64,
+    /// Additional CDU cycles per obstacle-pair test.
+    pub cdu_per_obstacle: u64,
+    /// RNG seed for the CHT's `U` policy.
+    pub seed: u64,
+}
+
+impl AccelConfig {
+    /// The baseline accelerator (CSP scheduling, no prediction) with
+    /// `n_cdus` CDUs.
+    pub fn baseline(n_cdus: usize) -> Self {
+        AccelConfig {
+            n_cdus,
+            with_copu: false,
+            oracle: false,
+            cht_params: ChtParams::paper_arm(),
+            qcoll_len: 8,
+            qnoncoll_len: 56,
+            csp_step: 5,
+            obbgen_latency: 16,
+            obbgen_ii: 1,
+            copu_latency: 2,
+            cdu_base_cycles: 6,
+            cdu_per_obstacle: 4,
+            seed: 7,
+        }
+    }
+
+    /// A COPU.x configuration: `n_cdus` CDUs plus the prediction unit.
+    pub fn copu(n_cdus: usize, cht_params: ChtParams) -> Self {
+        AccelConfig {
+            with_copu: true,
+            cht_params,
+            ..AccelConfig::baseline(n_cdus)
+        }
+    }
+
+    /// The Oracle limit-study configuration: perfect prediction (100%
+    /// precision and recall) with zero prediction latency.
+    pub fn oracle(n_cdus: usize) -> Self {
+        AccelConfig {
+            with_copu: true,
+            oracle: true,
+            copu_latency: 0,
+            ..AccelConfig::baseline(n_cdus)
+        }
+    }
+}
+
+/// Countable events for the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccelEvents {
+    /// CDQs dispatched to CDUs.
+    pub cdqs: u64,
+    /// Obstacle-pair tests performed inside dispatched CDQs.
+    pub obstacle_tests: u64,
+    /// CHT prediction reads.
+    pub cht_reads: u64,
+    /// CHT outcome writes.
+    pub cht_writes: u64,
+    /// Queue pushes and pops.
+    pub queue_ops: u64,
+    /// Poses processed by the OBB Generation Unit.
+    pub poses_generated: u64,
+}
+
+impl AccelEvents {
+    /// Merges another event count into this one.
+    pub fn merge(&mut self, o: &AccelEvents) {
+        self.cdqs += o.cdqs;
+        self.obstacle_tests += o.obstacle_tests;
+        self.cht_reads += o.cht_reads;
+        self.cht_writes += o.cht_writes;
+        self.queue_ops += o.queue_ops;
+        self.poses_generated += o.poses_generated;
+    }
+}
+
+/// Result of simulating one motion check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionSimResult {
+    /// Whether a collision was found.
+    pub colliding: bool,
+    /// End-to-end latency in cycles.
+    pub latency_cycles: u64,
+    /// Events for energy accounting.
+    pub events: AccelEvents,
+}
+
+/// Aggregate result over a trace (one planning query or a whole workload).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccelRunResult {
+    /// Motions simulated.
+    pub motions: u64,
+    /// Motions found colliding.
+    pub colliding_motions: u64,
+    /// Sum of per-motion latencies (motions are processed back-to-back).
+    pub total_cycles: u64,
+    /// Aggregated events.
+    pub events: AccelEvents,
+}
+
+impl AccelRunResult {
+    /// Total CDQs executed — the Fig. 15 metric.
+    pub fn cdqs_executed(&self) -> u64 {
+        self.events.cdqs
+    }
+
+    /// Mean motion-check latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.motions == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.motions as f64
+        }
+    }
+
+    /// Dynamic + leakage energy in pJ under the given models and area.
+    pub fn energy_pj(&self, em: &EnergyModel, area_mm2: f64) -> f64 {
+        let e = &self.events;
+        e.cdqs as f64 * em.cdq_base_pj
+            + e.obstacle_tests as f64 * em.obstacle_test_pj
+            + e.poses_generated as f64 * em.obbgen_pose_pj
+            + e.queue_ops as f64 * em.queue_op_pj
+            + e.cht_reads as f64 * 0.0 // read energy added below with SRAM sizing
+            + self.total_cycles as f64 * em.leakage_pj_per_cycle_mm2 * area_mm2
+    }
+
+    /// Full energy including CHT SRAM accesses for the given CHT sizing.
+    pub fn energy_with_cht_pj(&self, em: &EnergyModel, area_mm2: f64, cht: &ChtParams) -> f64 {
+        let acc = em.sram.access_energy_pj(cht.entries(), cht.entry_bits());
+        self.energy_pj(em, area_mm2)
+            + (self.events.cht_reads + self.events.cht_writes) as f64 * acc
+    }
+}
+
+/// The accelerator simulator. Owns the CHT so history persists across the
+/// motions of one planning query; call [`AccelSim::reset_query`] between
+/// queries (the hardware clears the CHT because obstacles may move).
+#[derive(Debug)]
+pub struct AccelSim {
+    cfg: AccelConfig,
+    hash: CoordHash,
+    cht: Cht,
+}
+
+/// Safety cap on simulated cycles per motion.
+const CYCLE_CAP: u64 = 50_000_000;
+
+impl AccelSim {
+    /// Creates a simulator; `hash` must match the robot/workspace the trace
+    /// was captured on (use [`CoordHash::paper_default`]).
+    pub fn new(cfg: AccelConfig, hash: CoordHash) -> Self {
+        let cht = Cht::new(cfg.cht_params, cfg.seed);
+        AccelSim { cfg, hash, cht }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    /// Clears prediction history (new planning query / environment change).
+    pub fn reset_query(&mut self) {
+        self.cht.reset();
+    }
+
+    fn code(&self, center: Vec3) -> u64 {
+        // The hash consumes only the center for COORD; the config argument
+        // is unused by this family, so a dummy zero-DOF config suffices.
+        let dummy = copred_kinematics::Config::zeros(0);
+        self.hash
+            .code(&copred_core::HashInput { config: &dummy, center })
+    }
+
+    /// Simulates one motion-environment check.
+    pub fn run_motion(&mut self, motion: &MotionTrace) -> MotionSimResult {
+        let cfg = &self.cfg;
+        let n = motion.cdqs.len();
+        let n_poses = motion.poses.len().max(
+            motion.cdqs.iter().map(|c| c.pose_idx as usize + 1).max().unwrap_or(0),
+        );
+        // Generation order: CSP over poses, link order within each pose.
+        let mut starts = vec![0usize; n_poses + 1];
+        for c in &motion.cdqs {
+            starts[c.pose_idx as usize + 1] += 1;
+        }
+        for i in 0..n_poses {
+            starts[i + 1] += starts[i];
+        }
+        let mut order = Vec::with_capacity(n);
+        for p in csp_order(n_poses, cfg.csp_step) {
+            order.extend(starts[p]..starts[p + 1]);
+        }
+
+        let mut events = AccelEvents::default();
+        let mut gen_pos = 0usize;
+        let mut next_gen = cfg.obbgen_latency;
+        let mut last_pose_generated = usize::MAX;
+        // COPU pipe: (cdq index, predicted, ready cycle).
+        let mut pipe: VecDeque<(usize, bool, u64)> = VecDeque::new();
+        let mut qcoll: VecDeque<usize> = VecDeque::new();
+        let mut qnoncoll: VecDeque<usize> = VecDeque::new();
+        // Baseline dispatch FIFO shares the same total buffering.
+        let baseline_cap = cfg.qcoll_len + cfg.qnoncoll_len;
+        let mut cdus: Vec<Option<(usize, u64)>> = vec![None; cfg.n_cdus];
+        let mut completed = 0usize;
+        let mut dispatched = 0usize;
+
+        let mut cycle: u64 = 0;
+        loop {
+            // --- 1. CDU completions.
+            for slot in cdus.iter_mut() {
+                if let Some((idx, done)) = *slot {
+                    if done <= cycle {
+                        *slot = None;
+                        completed += 1;
+                        let cdq = &motion.cdqs[idx];
+                        if cfg.with_copu && !cfg.oracle {
+                            let code = self.code(cdq.center);
+                            self.cht.observe(code, cdq.colliding);
+                            events.cht_writes += 1;
+                        }
+                        if cdq.colliding {
+                            return MotionSimResult {
+                                colliding: true,
+                                latency_cycles: cycle,
+                                events,
+                            };
+                        }
+                    }
+                }
+            }
+            // --- 2. COPU pipe exits into the queues.
+            while let Some(&(idx, predicted, ready)) = pipe.front() {
+                if ready > cycle {
+                    break;
+                }
+                let (q, cap) = if predicted {
+                    (&mut qcoll, cfg.qcoll_len)
+                } else {
+                    (&mut qnoncoll, cfg.qnoncoll_len)
+                };
+                if q.len() >= cap {
+                    break; // backpressure
+                }
+                q.push_back(idx);
+                events.queue_ops += 1;
+                pipe.pop_front();
+            }
+            // --- 3. OBB generation.
+            if gen_pos < n && cycle >= next_gen {
+                let idx = order[gen_pos];
+                let cdq = &motion.cdqs[idx];
+                let emitted = if cfg.with_copu {
+                    if pipe.len() < 8 {
+                        let predicted = if cfg.oracle {
+                            cdq.colliding
+                        } else {
+                            events.cht_reads += 1;
+                            let code = self.code(cdq.center);
+                            self.cht.predict(code)
+                        };
+                        pipe.push_back((idx, predicted, cycle + cfg.copu_latency));
+                        true
+                    } else {
+                        false
+                    }
+                } else if qnoncoll.len() < baseline_cap {
+                    qnoncoll.push_back(idx);
+                    events.queue_ops += 1;
+                    true
+                } else {
+                    false
+                };
+                if emitted {
+                    if cdq.pose_idx as usize != last_pose_generated {
+                        last_pose_generated = cdq.pose_idx as usize;
+                        events.poses_generated += 1;
+                    }
+                    gen_pos += 1;
+                    next_gen = cycle + cfg.obbgen_ii;
+                }
+            }
+            let all_generated = gen_pos >= n && pipe.is_empty();
+            // --- 4. Dispatch to free CDUs.
+            for slot in cdus.iter_mut() {
+                if slot.is_some() {
+                    continue;
+                }
+                let next = if cfg.with_copu {
+                    if let Some(idx) = qcoll.pop_front() {
+                        Some(idx)
+                    } else if all_generated || qnoncoll.len() >= cfg.qnoncoll_len {
+                        qnoncoll.pop_front()
+                    } else {
+                        None
+                    }
+                } else {
+                    qnoncoll.pop_front()
+                };
+                if let Some(idx) = next {
+                    events.queue_ops += 1;
+                    let cdq = &motion.cdqs[idx];
+                    let occupancy =
+                        cfg.cdu_base_cycles + cfg.cdu_per_obstacle * cdq.obstacle_tests as u64;
+                    *slot = Some((idx, cycle + occupancy.max(1)));
+                    dispatched += 1;
+                    events.cdqs += 1;
+                    events.obstacle_tests += cdq.obstacle_tests as u64;
+                }
+            }
+            // --- 5. Termination: everything executed, nothing in flight.
+            if completed == n && dispatched == n {
+                return MotionSimResult {
+                    colliding: false,
+                    latency_cycles: cycle,
+                    events,
+                };
+            }
+            // An empty motion terminates immediately.
+            if n == 0 {
+                return MotionSimResult { colliding: false, latency_cycles: 0, events };
+            }
+            cycle += 1;
+            assert!(cycle < CYCLE_CAP, "accelerator simulation exceeded cycle cap");
+        }
+    }
+
+    /// Simulates every motion of a query trace back-to-back (the CHT
+    /// carries over within the query).
+    pub fn run_query(&mut self, motions: &[MotionTrace]) -> AccelRunResult {
+        let mut agg = AccelRunResult::default();
+        for m in motions {
+            let r = self.run_motion(m);
+            agg.motions += 1;
+            agg.colliding_motions += u64::from(r.colliding);
+            agg.total_cycles += r.latency_cycles;
+            agg.events.merge(&r.events);
+        }
+        agg
+    }
+
+    /// Total accelerator area for this configuration under `area`.
+    pub fn area_mm2(&self, area: &AreaModel, em: &EnergyModel) -> f64 {
+        let copu = if self.cfg.with_copu {
+            Some((&self.cfg.cht_params, self.cfg.qcoll_len + self.cfg.qnoncoll_len))
+        } else {
+            None
+        };
+        area.accel_area_mm2(self.cfg.n_cdus, 1, copu, &em.sram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_collision::Environment;
+    use copred_geometry::{Aabb, Vec3};
+    use copred_kinematics::{presets, Config, Motion, Robot};
+    use copred_planners::{MotionRecord, PlanLog, Stage};
+    use copred_trace::QueryTrace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(n: usize, seed: u64) -> (Robot, Vec<MotionTrace>) {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![
+                Aabb::new(Vec3::new(0.1, -1.0, -0.1), Vec3::new(0.5, 0.6, 0.1)),
+                Aabb::new(Vec3::new(-0.7, -0.3, -0.1), Vec3::new(-0.4, 0.0, 0.1)),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<MotionRecord> = (0..n)
+            .map(|_| {
+                let poses = Motion::new(
+                    robot.sample_uniform(&mut rng),
+                    robot.sample_uniform(&mut rng),
+                )
+                .discretize(24);
+                let colliding = copred_collision::motion_collides(&robot, &env, &poses);
+                MotionRecord { poses, stage: Stage::Explore, colliding }
+            })
+            .collect();
+        let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });
+        (robot, trace.motions)
+    }
+
+    fn sim(robot: &Robot, cfg: AccelConfig) -> AccelSim {
+        AccelSim::new(cfg, CoordHash::paper_default(robot))
+    }
+
+    /// The paper's §VI-B2 performance CHT: 4096 × 1-bit, S=0, U=0.
+    fn perf_cht() -> ChtParams {
+        ChtParams::paper_1bit()
+    }
+
+    /// A collision-heavy 7-DOF arm workload (MPNet-Baxter-like: motions of
+    /// 20 poses × 7 links = 140 CDQs, most motions colliding) — the regime
+    /// the paper's Fig. 16 performance evaluation runs in, where QNONCOLL
+    /// overflows and the dispatcher stays busy.
+    fn dense_workload(n: usize, seed: u64) -> (Robot, Vec<MotionTrace>) {
+        let robot: Robot = presets::kuka_iiwa().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![
+                Aabb::from_center_half_extents(Vec3::new(0.45, 0.1, 0.45), Vec3::splat(0.22)),
+                Aabb::from_center_half_extents(Vec3::new(-0.35, -0.35, 0.55), Vec3::splat(0.18)),
+                Aabb::from_center_half_extents(Vec3::new(0.0, 0.5, 0.3), Vec3::splat(0.16)),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<MotionRecord> = (0..n)
+            .map(|_| {
+                let poses = Motion::new(
+                    robot.sample_uniform(&mut rng),
+                    robot.sample_uniform(&mut rng),
+                )
+                .discretize(20);
+                let colliding = copred_collision::motion_collides(&robot, &env, &poses);
+                MotionRecord { poses, stage: Stage::Explore, colliding }
+            })
+            .collect();
+        let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });
+        (robot, trace.motions)
+    }
+
+    #[test]
+    fn outcomes_match_ground_truth() {
+        let (robot, motions) = workload(40, 1);
+        for cfg in [AccelConfig::baseline(4), AccelConfig::copu(4, ChtParams::paper_2d())] {
+            let mut s = sim(&robot, cfg);
+            for m in &motions {
+                let r = s.run_motion(m);
+                assert_eq!(r.colliding, m.colliding(), "simulator outcome diverged");
+                assert!(r.events.cdqs <= m.cdq_count() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn copu_reduces_cdqs() {
+        let (robot, motions) = workload(120, 2);
+        let mut base = sim(&robot, AccelConfig::baseline(4));
+        let mut copu = sim(&robot, AccelConfig::copu(4, ChtParams::paper_2d()));
+        let rb = base.run_query(&motions);
+        let rc = copu.run_query(&motions);
+        assert_eq!(rb.colliding_motions, rc.colliding_motions);
+        assert!(
+            rc.cdqs_executed() < rb.cdqs_executed(),
+            "copu {} !< baseline {}",
+            rc.cdqs_executed(),
+            rb.cdqs_executed()
+        );
+    }
+
+    #[test]
+    fn copu_reduces_latency() {
+        // The paper's fig. 16 setup: collision-heavy workload, aggressive
+        // 1-bit CHT (S=0, U=0), COPU.1 vs baseline.1.
+        let (robot, motions) = dense_workload(300, 3);
+        let mut base = sim(&robot, AccelConfig::baseline(1));
+        let mut copu = sim(&robot, AccelConfig::copu(1, perf_cht()));
+        let rb = base.run_query(&motions);
+        let rc = copu.run_query(&motions);
+        assert!(
+            rc.mean_latency() < rb.mean_latency(),
+            "copu {} !< baseline {}",
+            rc.mean_latency(),
+            rb.mean_latency()
+        );
+    }
+
+    #[test]
+    fn more_cdus_lower_latency() {
+        let (robot, motions) = workload(60, 4);
+        let mut one = sim(&robot, AccelConfig::baseline(1));
+        let mut six = sim(&robot, AccelConfig::baseline(6));
+        let r1 = one.run_query(&motions);
+        let r6 = six.run_query(&motions);
+        assert!(r6.mean_latency() < r1.mean_latency());
+        // Parallel execution may do extra in-flight work but never less.
+        assert!(r6.cdqs_executed() >= r1.cdqs_executed());
+    }
+
+    #[test]
+    fn free_motion_executes_all_cdqs() {
+        let (robot, _) = workload(1, 5);
+        let env = Environment::empty(robot.workspace());
+        let poses = Motion::new(Config::new(vec![-0.5, 0.0]), Config::new(vec![0.5, 0.0]))
+            .discretize(10);
+        let log = PlanLog {
+            records: vec![MotionRecord { poses, stage: Stage::Explore, colliding: false }],
+        };
+        let trace = QueryTrace::from_log(&robot, &env, &log);
+        for cfg in [AccelConfig::baseline(3), AccelConfig::copu(3, ChtParams::paper_2d())] {
+            let mut s = sim(&robot, cfg);
+            let r = s.run_motion(&trace.motions[0]);
+            assert!(!r.colliding);
+            assert_eq!(r.events.cdqs, 10);
+        }
+    }
+
+    #[test]
+    fn reset_query_clears_history() {
+        let (robot, motions) = workload(30, 6);
+        let mut s = sim(&robot, AccelConfig::copu(2, ChtParams::paper_2d()));
+        let first = s.run_query(&motions);
+        s.reset_query();
+        let second = s.run_query(&motions);
+        assert_eq!(first.cdqs_executed(), second.cdqs_executed());
+        assert_eq!(first.total_cycles, second.total_cycles);
+    }
+
+    #[test]
+    fn empty_motion_is_trivial() {
+        let (robot, _) = workload(1, 7);
+        let empty = MotionTrace {
+            stage: Stage::Explore,
+            poses: vec![],
+            cdqs: vec![],
+        };
+        let mut s = sim(&robot, AccelConfig::baseline(2));
+        let r = s.run_motion(&empty);
+        assert!(!r.colliding);
+        assert_eq!(r.latency_cycles, 0);
+    }
+
+    #[test]
+    fn energy_accounting_is_monotone_in_events() {
+        let (robot, motions) = dense_workload(300, 8);
+        let em = EnergyModel::default();
+        let am = AreaModel::default();
+        let mut base = sim(&robot, AccelConfig::baseline(4));
+        let mut copu = sim(&robot, AccelConfig::copu(4, perf_cht()));
+        let rb = base.run_query(&motions);
+        let rc = copu.run_query(&motions);
+        let area_b = base.area_mm2(&am, &em);
+        let area_c = copu.area_mm2(&am, &em);
+        assert!(area_c > area_b, "COPU adds area");
+        let eb = rb.energy_with_cht_pj(&em, area_b, &perf_cht());
+        let ec = rc.energy_with_cht_pj(&em, area_c, &perf_cht());
+        assert!(eb > 0.0 && ec > 0.0);
+        // Fewer CDQs should net out to lower energy despite CHT accesses.
+        assert!(ec < eb, "copu energy {ec} !< baseline {eb}");
+    }
+
+    #[test]
+    fn queue_too_small_hurts_cdq_reduction() {
+        let (robot, motions) = workload(120, 9);
+        let mut tiny = sim(&robot, AccelConfig {
+            qnoncoll_len: 2,
+            ..AccelConfig::copu(4, ChtParams::paper_2d())
+        });
+        let mut big = sim(&robot, AccelConfig {
+            qnoncoll_len: 56,
+            ..AccelConfig::copu(4, ChtParams::paper_2d())
+        });
+        let rt = tiny.run_query(&motions);
+        let rb = big.run_query(&motions);
+        assert!(
+            rt.cdqs_executed() >= rb.cdqs_executed(),
+            "tiny queue {} executed fewer CDQs than big {}",
+            rt.cdqs_executed(),
+            rb.cdqs_executed()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the accelerator simulator.
+
+use copred_accel::{AccelConfig, AccelSim};
+use copred_core::{ChtParams, CoordHash};
+use copred_geometry::{Aabb, Vec3};
+use copred_kinematics::Config;
+use copred_planners::Stage;
+use copred_trace::{MotionTrace, TraceCdq};
+use proptest::prelude::*;
+
+fn hash() -> CoordHash {
+    CoordHash::new(Aabb::new(Vec3::splat(-1.5), Vec3::splat(1.5)), 4, false)
+}
+
+/// Strategy for a synthetic motion trace: random CDQ count, outcomes,
+/// obstacle costs, and centers, pose-major.
+fn motion_trace() -> impl Strategy<Value = MotionTrace> {
+    (1usize..8, 1usize..6).prop_flat_map(|(n_poses, links)| {
+        let n = n_poses * links;
+        (
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(1u32..12, n),
+            prop::collection::vec((-1.4..1.4f64, -1.4..1.4f64, -1.4..1.4f64), n),
+        )
+            .prop_map(move |(outcomes, costs, centers)| {
+                let cdqs = (0..n)
+                    .map(|i| TraceCdq {
+                        pose_idx: (i / links) as u32,
+                        link_idx: (i % links) as u32,
+                        center: Vec3::new(centers[i].0, centers[i].1, centers[i].2),
+                        colliding: outcomes[i],
+                        obstacle_tests: costs[i],
+                    })
+                    .collect();
+                MotionTrace {
+                    stage: Stage::Explore,
+                    poses: vec![Config::zeros(2); n_poses],
+                    cdqs,
+                }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulator_outcome_matches_ground_truth(m in motion_trace(), n_cdus in 1usize..6) {
+        for cfg in [
+            AccelConfig::baseline(n_cdus),
+            AccelConfig::copu(n_cdus, ChtParams::paper_arm()),
+            AccelConfig::oracle(n_cdus),
+        ] {
+            let mut sim = AccelSim::new(cfg, hash());
+            let r = sim.run_motion(&m);
+            prop_assert_eq!(r.colliding, m.colliding());
+            prop_assert!(r.events.cdqs <= m.cdq_count() as u64);
+        }
+    }
+
+    #[test]
+    fn free_motion_executes_everything(m in motion_trace(), n_cdus in 1usize..6) {
+        let all_free: Vec<_> = m
+            .cdqs
+            .iter()
+            .map(|c| TraceCdq { colliding: false, ..*c })
+            .collect();
+        let free = MotionTrace { cdqs: all_free, ..m.clone() };
+        let mut sim = AccelSim::new(AccelConfig::copu(n_cdus, ChtParams::paper_arm()), hash());
+        let r = sim.run_motion(&free);
+        prop_assert!(!r.colliding);
+        prop_assert_eq!(r.events.cdqs, free.cdq_count() as u64);
+    }
+
+    #[test]
+    fn oracle_is_optimal_on_single_cdu(m in motion_trace()) {
+        // With one CDU (strictly serial execution), the oracle dispatches a
+        // known-colliding CDQ first, so no configuration can execute fewer.
+        let mut oracle = AccelSim::new(AccelConfig::oracle(1), hash());
+        let mut base = AccelSim::new(AccelConfig::baseline(1), hash());
+        let ro = oracle.run_motion(&m);
+        let rb = base.run_motion(&m);
+        prop_assert!(ro.events.cdqs <= rb.events.cdqs);
+        if m.colliding() {
+            prop_assert_eq!(ro.events.cdqs, 1);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(m in motion_trace()) {
+        let run = || {
+            let mut sim = AccelSim::new(AccelConfig::copu(3, ChtParams::paper_arm()), hash());
+            let r = sim.run_motion(&m);
+            (r.colliding, r.latency_cycles, r.events)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_covers_all_dispatched_work_on_one_cdu(m in motion_trace()) {
+        // Serial lower bound: each executed CDQ occupies the single CDU for
+        // at least base + per_obstacle * tests cycles.
+        let cfg = AccelConfig::baseline(1);
+        let (base, per) = (cfg.cdu_base_cycles, cfg.cdu_per_obstacle);
+        let mut sim = AccelSim::new(cfg, hash());
+        let r = sim.run_motion(&m);
+        let lower: u64 = r.events.cdqs * base + r.events.obstacle_tests * per;
+        prop_assert!(r.latency_cycles >= lower.saturating_sub(base));
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+use copred_bench::figures as f;
+
+fn main() {
+    let scale = copred_bench::Scale::from_env();
+    let mut w = copred_bench::Workloads::new(scale, 42);
+    let sections: Vec<(&str, String)> = vec![
+        ("fig1d", f::fig1d(&scale)),
+        ("fig6", f::fig6(&mut w)),
+        ("fig7", f::fig7(&mut w)),
+        ("oracle_perfwatt", f::oracle_perfwatt(&mut w)),
+        ("fig9", f::fig9(&scale)),
+        ("fig13", f::fig13(&scale)),
+        ("fig14", f::fig14(&scale)),
+        ("ablation_adaptive_s", f::ablation_adaptive_s(&scale)),
+        ("cpu (sec. III-E)", f::cpu_section(&mut w)),
+        ("fig11", f::fig11(&mut w)),
+        ("fig15", f::fig15(&mut w)),
+        ("fig16", f::fig16(&mut w)),
+        ("fig17", f::fig17(&mut w)),
+        ("fig18", f::fig18(&mut w)),
+        ("tab_overheads", f::tab_overheads()),
+        ("sec7_spheres", f::sec7_spheres(&mut w)),
+        ("sec7_dadup", f::sec7_dadup(&scale)),
+    ];
+    for (name, body) in sections {
+        println!("######## {name} ########");
+        println!("{body}");
+    }
+}

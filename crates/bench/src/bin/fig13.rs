@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13.
+fn main() {
+    let scale = copred_bench::Scale::from_env();
+    print!("{}", copred_bench::figures::fig13(&scale));
+}

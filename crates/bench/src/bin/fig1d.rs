@@ -1,0 +1,5 @@
+//! Regenerates Fig. 1d.
+fn main() {
+    let scale = copred_bench::Scale::from_env();
+    print!("{}", copred_bench::figures::fig1d(&scale));
+}

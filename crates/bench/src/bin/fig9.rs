@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9.
+fn main() {
+    let scale = copred_bench::Scale::from_env();
+    print!("{}", copred_bench::figures::fig9(&scale));
+}

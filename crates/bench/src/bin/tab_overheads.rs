@@ -1,0 +1,4 @@
+//! Regenerates the §VI-B1 overhead table.
+fn main() {
+    print!("{}", copred_bench::figures::tab_overheads());
+}

@@ -1,0 +1,245 @@
+//! Accelerator figures: Fig. 15 (CDQ reduction per difficulty group),
+//! Fig. 16 (perf/mm², perf/watt, latency), Fig. 17 (queue size), Fig. 18
+//! (strategy / update-frequency sensitivity), and the §VI-B1 overhead table.
+
+use crate::table::{num, pct, ratio, render_table};
+use crate::workloads::{Combo, RobotKind, Workloads};
+use copred_accel::{
+    mpaccel_overheads, perf_report, AccelConfig, AccelRunResult, AccelSim, AreaModel, EnergyModel,
+};
+use copred_core::{ChtParams, CoordHash, Strategy};
+use copred_trace::QueryTrace;
+
+/// The per-robot CHT of the Fig. 15 setup: 4096×8 for arms, 1024×8 for 2D,
+/// S = 1, U = 0.125.
+fn fig15_cht(robot: RobotKind) -> ChtParams {
+    match robot {
+        RobotKind::Planar2d => ChtParams::paper_2d(),
+        _ => ChtParams::paper_arm(),
+    }
+}
+
+/// The §VI-B2 performance CHT: 4096×1 (arms) / 1024×1 (2D), S = 0, U = 0.
+fn perf_cht(robot: RobotKind) -> ChtParams {
+    let bits = match robot {
+        RobotKind::Planar2d => 10,
+        _ => 12,
+    };
+    ChtParams {
+        bits,
+        counter_bits: 1,
+        strategy: Strategy::most_aggressive(),
+        update_fraction: 0.0,
+    }
+}
+
+/// Runs a simulator over per-query traces, resetting history per query,
+/// returning per-query CDQ counts and the aggregate.
+fn run_per_query(sim: &mut AccelSim, traces: &[QueryTrace]) -> (Vec<u64>, AccelRunResult) {
+    let mut per_query = Vec::with_capacity(traces.len());
+    let mut agg = AccelRunResult::default();
+    for t in traces {
+        sim.reset_query();
+        let r = sim.run_query(&t.motions);
+        per_query.push(r.cdqs_executed());
+        agg.motions += r.motions;
+        agg.colliding_motions += r.colliding_motions;
+        agg.total_cycles += r.total_cycles;
+        agg.events.merge(&r.events);
+    }
+    (per_query, agg)
+}
+
+/// Fig. 15: CDQs executed by COPU vs the CSP baseline across difficulty
+/// groups G1–G5 for the six algorithm-robot combinations.
+pub fn fig15(work: &mut Workloads) -> String {
+    let mut out = String::new();
+    let mut avg_rows = Vec::new();
+    for combo in Combo::paper_six() {
+        let traces = work.traces(combo).to_vec();
+        let robot = combo.robot.robot();
+        let hash = CoordHash::paper_default(&robot);
+        let mut base = AccelSim::new(AccelConfig::baseline(7), hash.clone());
+        let mut copu = AccelSim::new(AccelConfig::copu(7, fig15_cht(combo.robot)), hash);
+        let (base_q, base_agg) = run_per_query(&mut base, &traces);
+        let (copu_q, copu_agg) = run_per_query(&mut copu, &traces);
+        let groups = copred_envgen::group_by_difficulty(&base_q, |c| *c);
+        let g1_mean = {
+            let g = &groups[0];
+            (g.iter().map(|&i| base_q[i]).sum::<u64>() as f64 / g.len().max(1) as f64).max(1.0)
+        };
+        let mut rows = Vec::new();
+        for (g, idxs) in groups.iter().enumerate() {
+            let b: u64 = idxs.iter().map(|&i| base_q[i]).sum();
+            let c: u64 = idxs.iter().map(|&i| copu_q[i]).sum();
+            let n = idxs.len().max(1) as f64;
+            rows.push(vec![
+                copred_envgen::group_label(g),
+                num(b as f64 / n / g1_mean, 3),
+                num(c as f64 / n / g1_mean, 3),
+                pct(if b > 0 { 1.0 - c as f64 / b as f64 } else { 0.0 }),
+            ]);
+        }
+        out.push_str(&render_table(
+            &format!("Fig. 15 — {} (CDQs normalized to G1 CSP mean)", combo.label()),
+            &["group", "CSP", "COPU", "COPU reduction"],
+            &rows,
+        ));
+        out.push('\n');
+        avg_rows.push(vec![
+            combo.label(),
+            pct(1.0 - copu_agg.cdqs_executed() as f64 / base_agg.cdqs_executed().max(1) as f64),
+        ]);
+    }
+    out.push_str(&render_table(
+        "Fig. 15 — average COPU CDQ reduction vs CSP per combo",
+        &["combo", "reduction"],
+        &avg_rows,
+    ));
+    out
+}
+
+/// Fig. 16: perf/mm², perf/watt, and latency for baseline.x vs COPU.x,
+/// x ∈ {1, 2, 4, 6}, MPNet-Baxter, CHT 4096×1 (S=0, U=0).
+pub fn fig16(work: &mut Workloads) -> String {
+    let combo = Combo { algo: crate::workloads::Algo::Mpnet, robot: RobotKind::Baxter };
+    let traces = work.traces(combo).to_vec();
+    let robot = combo.robot.robot();
+    let em = EnergyModel::default();
+    let am = AreaModel::default();
+    let mut rows = Vec::new();
+    for &x in &[1usize, 2, 4, 6] {
+        let hash = CoordHash::paper_default(&robot);
+        let mut base = AccelSim::new(AccelConfig::baseline(x), hash.clone());
+        let mut copu = AccelSim::new(AccelConfig::copu(x, perf_cht(combo.robot)), hash);
+        let (_, rb) = run_per_query(&mut base, &traces);
+        let (_, rc) = run_per_query(&mut copu, &traces);
+        let pb = perf_report(&base, &rb, &em, &am);
+        let pc = perf_report(&copu, &rc, &em, &am);
+        rows.push(vec![
+            format!("x={x}"),
+            ratio(pc.perf_per_mm2 / pb.perf_per_mm2),
+            ratio(pc.perf_per_watt / pb.perf_per_watt),
+            ratio(pb.mean_latency_cycles / pc.mean_latency_cycles.max(1.0)),
+            pct(1.0 - rc.energy_with_cht_pj(&em, pc.area_mm2, &perf_cht(combo.robot))
+                / rb.energy_with_cht_pj(&em, pb.area_mm2, &perf_cht(combo.robot)).max(1e-12)),
+        ]);
+    }
+    render_table(
+        "Fig. 16 — COPU.x vs baseline.x (MPNet-Baxter, 4096x1 CHT, S=0, U=0)",
+        &["CDUs", "perf/mm2", "perf/watt", "speedup", "energy reduction"],
+        &rows,
+    )
+}
+
+/// Fig. 17: QNONCOLL queue-size sweep — CDQ reduction vs the CSP baseline.
+pub fn fig17(work: &mut Workloads) -> String {
+    let combos = [
+        Combo { algo: crate::workloads::Algo::Mpnet, robot: RobotKind::Baxter },
+        Combo { algo: crate::workloads::Algo::Gnnmp, robot: RobotKind::Kuka },
+        Combo { algo: crate::workloads::Algo::BitStar, robot: RobotKind::Planar2d },
+    ];
+    let sizes = [2usize, 4, 8, 16, 32, 56, 128];
+    let mut rows = Vec::new();
+    for combo in combos {
+        let traces = work.traces(combo).to_vec();
+        let robot = combo.robot.robot();
+        let hash = CoordHash::paper_default(&robot);
+        let mut base = AccelSim::new(AccelConfig::baseline(7), hash.clone());
+        let (_, rb) = run_per_query(&mut base, &traces);
+        let mut cells = vec![combo.label()];
+        for &q in &sizes {
+            let cfg = AccelConfig {
+                qnoncoll_len: q,
+                ..AccelConfig::copu(7, fig15_cht(combo.robot))
+            };
+            let mut sim = AccelSim::new(cfg, hash.clone());
+            let (_, rc) = run_per_query(&mut sim, &traces);
+            cells.push(pct(
+                1.0 - rc.cdqs_executed() as f64 / rb.cdqs_executed().max(1) as f64,
+            ));
+        }
+        rows.push(cells);
+    }
+    let headers: Vec<String> = std::iter::once("combo".to_string())
+        .chain(sizes.iter().map(|s| format!("Q={s}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    render_table(
+        "Fig. 17 — QNONCOLL queue-size sweep (CDQ reduction vs CSP)",
+        &header_refs,
+        &rows,
+    )
+}
+
+/// Fig. 18a/b: CDQ-reduction sensitivity to the strategy S and the update
+/// frequency U, per combo.
+pub fn fig18(work: &mut Workloads) -> String {
+    let s_values = [0.0, 0.25, 0.5, 1.0, 2.0];
+    let u_values = [1.0, 0.5, 0.125, 0.03125];
+    let mut s_rows = Vec::new();
+    let mut u_rows = Vec::new();
+    for combo in Combo::paper_six() {
+        let traces = work.traces(combo).to_vec();
+        let robot = combo.robot.robot();
+        let hash = CoordHash::paper_default(&robot);
+        let mut base = AccelSim::new(AccelConfig::baseline(7), hash.clone());
+        let (_, rb) = run_per_query(&mut base, &traces);
+        let reduction = |cht: ChtParams| {
+            let mut sim = AccelSim::new(AccelConfig::copu(7, cht), hash.clone());
+            let (_, rc) = run_per_query(&mut sim, &traces);
+            1.0 - rc.cdqs_executed() as f64 / rb.cdqs_executed().max(1) as f64
+        };
+        let mut s_cells = vec![combo.label()];
+        for &s in &s_values {
+            let cht = ChtParams {
+                strategy: Strategy::new(s),
+                ..fig15_cht(combo.robot)
+            };
+            s_cells.push(pct(reduction(cht)));
+        }
+        s_rows.push(s_cells);
+        let mut u_cells = vec![combo.label()];
+        for &u in &u_values {
+            let cht = ChtParams {
+                update_fraction: u,
+                ..fig15_cht(combo.robot)
+            };
+            u_cells.push(pct(reduction(cht)));
+        }
+        u_rows.push(u_cells);
+    }
+    let s_headers: Vec<String> = std::iter::once("combo".to_string())
+        .chain(s_values.iter().map(|s| format!("S={s}")))
+        .collect();
+    let u_headers: Vec<String> = std::iter::once("combo".to_string())
+        .chain(u_values.iter().map(|u| format!("U={u}")))
+        .collect();
+    let mut out = render_table(
+        "Fig. 18a — CDQ reduction vs strategy S",
+        &s_headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        &s_rows,
+    );
+    out.push('\n');
+    out.push_str(&render_table(
+        "Fig. 18b — CDQ reduction vs update frequency U",
+        &u_headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        &u_rows,
+    ));
+    out
+}
+
+/// §VI-B1: the component area/energy overhead table from the calibrated
+/// models.
+pub fn tab_overheads() -> String {
+    let r = mpaccel_overheads(&EnergyModel::default(), &AreaModel::default(), 7.0);
+    render_table(
+        "§VI-B1 — COPU component overheads on a 24-CDU MPAccel",
+        &["component", "area overhead", "energy overhead", "paper"],
+        &[
+            vec!["CHT 4096x8".into(), pct(r.cht8_area), pct(r.cht8_energy), "1.96% / 1.01%".into()],
+            vec!["CHT 4096x1".into(), pct(r.cht1_area), pct(r.cht1_energy), "0.55% / 0.28%".into()],
+            vec!["QCOLL+QNONCOLL".into(), pct(r.queues_area), pct(r.queues_energy), "2.6% / 1.4%".into()],
+        ],
+    )
+}

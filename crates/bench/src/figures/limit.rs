@@ -1,0 +1,228 @@
+//! Limit-study figures: Fig. 1d, Fig. 6, Fig. 7, and the §III-A oracle
+//! performance/watt study.
+
+use crate::table::{pct, ratio, render_table};
+use crate::workloads::{Algo, Combo, RobotKind, Scale, Workloads};
+use copred_accel::{perf_report, AccelConfig, AccelSim, AreaModel, EnergyModel};
+use copred_collision::{run_schedule, Schedule};
+use copred_core::CoordHash;
+use copred_envgen::SuiteId;
+use copred_planners::Stage;
+use copred_trace::QueryTrace;
+
+/// Fig. 1d: CDQ computation for Naive / CSP / COORD / Oracle across the
+/// B1–B6 benchmark suites (motion-planning problems run with the MPNet
+/// emulator on each suite's scenes), normalized to Naive.
+pub fn fig1d(scale: &Scale) -> String {
+    use copred_envgen::{sample_free_config, suite_environment, suite_robot};
+    use copred_planners::{MpnetEmulator, PlanContext, Planner};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rows = Vec::new();
+    for id in SuiteId::all() {
+        let robot = suite_robot(id);
+        let step = if matches!(robot, copred_kinematics::Robot::Planar(_)) { 0.05 } else { 0.18 };
+        let cht = match robot {
+            copred_kinematics::Robot::Planar(_) => copred_core::ChtParams::paper_2d(),
+            _ => copred_core::ChtParams::paper_arm(),
+        };
+        let hash = CoordHash::paper_default(&robot);
+        let (mut naive, mut csp, mut coord, mut oracle) = (0u64, 0u64, 0u64, 0u64);
+        let queries_per_scene = (scale.queries / 3).max(2);
+        for s in 0..scale.suite_scenarios {
+            let env = suite_environment(id, &robot, s, 42);
+            let mut rng = StdRng::seed_from_u64(42 ^ ((s as u64) << 13));
+            for _ in 0..queries_per_scene {
+                let (Some(start), Some(goal)) = (
+                    sample_free_config(&robot, &env, 300, &mut rng),
+                    sample_free_config(&robot, &env, 300, &mut rng),
+                ) else {
+                    continue;
+                };
+                let mut ctx = PlanContext::new(&robot, &env, step);
+                let _ = MpnetEmulator::default().plan(&mut ctx, &start, &goal, &mut rng);
+                let trace = copred_trace::QueryTrace::from_log(&robot, &env, &ctx.into_log());
+                naive += crate::replay::replay_schedule(&trace, Schedule::Naive);
+                csp += crate::replay::replay_schedule(&trace, Schedule::csp_default());
+                oracle += crate::replay::replay_schedule(&trace, Schedule::Oracle);
+                coord += crate::replay::replay_coord(&trace, &hash, cht, 1);
+            }
+        }
+        let n = naive.max(1) as f64;
+        rows.push(vec![
+            id.label().to_string(),
+            "1.000".to_string(),
+            format!("{:.3}", csp as f64 / n),
+            format!("{:.3}", coord as f64 / n),
+            format!("{:.3}", oracle as f64 / n),
+            pct(1.0 - coord as f64 / csp.max(1) as f64),
+        ]);
+    }
+    render_table(
+        "Fig. 1d — CDQ computation, normalized to Naive (last column: COORD reduction vs CSP)",
+        &["suite", "Naive", "CSP", "COORD", "Oracle", "COORD vs CSP"],
+        &rows,
+    )
+}
+
+/// Replays every motion of `traces` under `schedule`, split by stage.
+fn replay_by_stage(traces: &[QueryTrace], schedule: Schedule) -> (u64, u64) {
+    let (mut s1, mut s2) = (0u64, 0u64);
+    for t in traces {
+        for m in &t.motions {
+            let out = run_schedule(&m.to_cdq_infos(), m.poses.len(), schedule);
+            match m.stage {
+                Stage::Explore => s1 += out.cdqs_executed as u64,
+                Stage::Validate => s2 += out.cdqs_executed as u64,
+            }
+        }
+    }
+    (s1, s2)
+}
+
+/// Fig. 6: limit study — Naive / CSP / Oracle CDQ counts per planner stage
+/// for three algorithm-robot combinations.
+pub fn fig6(work: &mut Workloads) -> String {
+    let combos = [
+        Combo { algo: Algo::Mpnet, robot: RobotKind::Baxter },
+        Combo { algo: Algo::Gnnmp, robot: RobotKind::Kuka },
+        Combo { algo: Algo::BitStar, robot: RobotKind::Kuka },
+    ];
+    let mut rows = Vec::new();
+    for combo in combos {
+        let traces = work.traces(combo).to_vec();
+        let (n1, n2) = replay_by_stage(&traces, Schedule::Naive);
+        let (c1, c2) = replay_by_stage(&traces, Schedule::csp_default());
+        let (o1, o2) = replay_by_stage(&traces, Schedule::Oracle);
+        let total_naive = (n1 + n2).max(1) as f64;
+        let colliding: f64 = traces.iter().map(QueryTrace::colliding_fraction).sum::<f64>()
+            / traces.len().max(1) as f64;
+        rows.push(vec![
+            combo.label(),
+            format!("{:.3}/{:.3}", n1 as f64 / total_naive, n2 as f64 / total_naive),
+            format!("{:.3}/{:.3}", c1 as f64 / total_naive, c2 as f64 / total_naive),
+            format!("{:.3}/{:.3}", o1 as f64 / total_naive, o2 as f64 / total_naive),
+            pct(1.0 - (o1 + o2) as f64 / (c1 + c2).max(1) as f64),
+            pct(if c1 > 0 { 1.0 - o1 as f64 / c1 as f64 } else { 0.0 }),
+            pct(if c2 > 0 { 1.0 - o2 as f64 / c2 as f64 } else { 0.0 }),
+            pct(colliding),
+        ]);
+    }
+    render_table(
+        "Fig. 6 — limit study (S1/S2 CDQs normalized to Naive total; Oracle reduction vs CSP)",
+        &[
+            "combo",
+            "Naive S1/S2",
+            "CSP S1/S2",
+            "Oracle S1/S2",
+            "Oracle vs CSP",
+            "S1 red.",
+            "S2 red.",
+            "% motions colliding",
+        ],
+        &rows,
+    )
+}
+
+/// Fig. 7: Oracle vs CSP across difficulty groups G1–G5 for GNNMP-KUKA.
+pub fn fig7(work: &mut Workloads) -> String {
+    let combo = Combo { algo: Algo::Gnnmp, robot: RobotKind::Kuka };
+    let traces = work.traces(combo).to_vec();
+    // Difficulty proxy: CDQs executed under CSP for the whole query.
+    let csp_costs: Vec<u64> = traces
+        .iter()
+        .map(|t| {
+            t.motions
+                .iter()
+                .map(|m| {
+                    run_schedule(&m.to_cdq_infos(), m.poses.len(), Schedule::csp_default())
+                        .cdqs_executed as u64
+                })
+                .sum()
+        })
+        .collect();
+    let oracle_costs: Vec<u64> = traces
+        .iter()
+        .map(|t| {
+            t.motions
+                .iter()
+                .map(|m| {
+                    run_schedule(&m.to_cdq_infos(), m.poses.len(), Schedule::Oracle).cdqs_executed
+                        as u64
+                })
+                .sum()
+        })
+        .collect();
+    let groups = copred_envgen::group_by_difficulty(&csp_costs, |c| *c);
+    let g1_csp: u64 = groups[0].iter().map(|&i| csp_costs[i]).sum::<u64>().max(1);
+    let g1_n = groups[0].len().max(1) as u64;
+    let mut rows = Vec::new();
+    for (g, idxs) in groups.iter().enumerate() {
+        let csp: u64 = idxs.iter().map(|&i| csp_costs[i]).sum();
+        let oracle: u64 = idxs.iter().map(|&i| oracle_costs[i]).sum();
+        let norm = |v: u64| {
+            // Normalize to the mean G1 CSP cost, as in the paper's plots.
+            v as f64 / idxs.len().max(1) as f64 / (g1_csp as f64 / g1_n as f64)
+        };
+        rows.push(vec![
+            copred_envgen::group_label(g),
+            format!("{:.3}", norm(csp)),
+            format!("{:.3}", norm(oracle)),
+            pct(if csp > 0 { 1.0 - oracle as f64 / csp as f64 } else { 0.0 }),
+        ]);
+    }
+    render_table(
+        "Fig. 7 — GNNMP-KUKA difficulty groups (normalized to G1 CSP)",
+        &["group", "CSP", "Oracle", "Oracle reduction"],
+        &rows,
+    )
+}
+
+/// §III-A: Oracle predictor performance/watt on the accelerator (paper:
+/// 1.11×–1.44× across algorithms for 7-DOF arms).
+pub fn oracle_perfwatt(work: &mut Workloads) -> String {
+    let combos = [
+        Combo { algo: Algo::Mpnet, robot: RobotKind::Baxter },
+        Combo { algo: Algo::Gnnmp, robot: RobotKind::Kuka },
+        Combo { algo: Algo::BitStar, robot: RobotKind::Kuka },
+    ];
+    let em = EnergyModel::default();
+    let am = AreaModel::default();
+    let mut rows = Vec::new();
+    for combo in combos {
+        let traces = work.traces(combo).to_vec();
+        let robot = combo.robot.robot();
+        let mut base = AccelSim::new(AccelConfig::baseline(7), CoordHash::paper_default(&robot));
+        let mut oracle = AccelSim::new(AccelConfig::oracle(7), CoordHash::paper_default(&robot));
+        let mut rb = copred_accel::AccelRunResult::default();
+        let mut ro = copred_accel::AccelRunResult::default();
+        for t in &traces {
+            base.reset_query();
+            oracle.reset_query();
+            let b = base.run_query(&t.motions);
+            let o = oracle.run_query(&t.motions);
+            rb.motions += b.motions;
+            rb.colliding_motions += b.colliding_motions;
+            rb.total_cycles += b.total_cycles;
+            rb.events.merge(&b.events);
+            ro.motions += o.motions;
+            ro.colliding_motions += o.colliding_motions;
+            ro.total_cycles += o.total_cycles;
+            ro.events.merge(&o.events);
+        }
+        let pb = perf_report(&base, &rb, &em, &am);
+        let po = perf_report(&oracle, &ro, &em, &am);
+        rows.push(vec![
+            combo.label(),
+            ratio(po.perf_per_watt / pb.perf_per_watt),
+            pct(1.0 - ro.cdqs_executed() as f64 / rb.cdqs_executed().max(1) as f64),
+            ratio(pb.mean_latency_cycles / po.mean_latency_cycles.max(1.0)),
+        ]);
+    }
+    render_table(
+        "§III-A — Oracle predictor on the accelerator (7 CDUs)",
+        &["combo", "perf/watt vs CSP", "CDQ reduction", "speedup"],
+        &rows,
+    )
+}

@@ -1,0 +1,14 @@
+//! One module per group of figures; every public function returns the
+//! formatted table(s) it would print.
+
+mod accelfigs;
+mod limit;
+mod prediction;
+mod scope;
+mod software;
+
+pub use accelfigs::{fig15, fig16, fig17, fig18, tab_overheads};
+pub use limit::{fig1d, fig6, fig7, oracle_perfwatt};
+pub use prediction::{ablation_adaptive_s, fig13, fig14, fig9};
+pub use scope::{sec7_dadup, sec7_spheres};
+pub use software::{cpu_section, fig11};

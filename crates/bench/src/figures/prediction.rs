@@ -1,0 +1,275 @@
+//! Predictor design-space figures: Fig. 9 (hash functions), Fig. 13
+//! (strategy S), Fig. 14 (update policy U).
+//!
+//! Metrics follow the paper's definitions: precision is "the fraction of
+//! poses in collision from poses predicted for collision" — *pose-level*
+//! aggregation over the per-link CDQ predictions, with the table updated
+//! online as CDQs execute.
+
+use crate::table::{pct, render_table};
+use crate::workloads::Scale;
+use copred_core::hash::CollisionHash;
+use copred_core::statmodel::{computation_decrease, StatModelParams};
+use copred_core::{
+    ChtParams, CoordHash, EncoordHash, EnposeHash, HashInput, PoseFoldHash, PoseHash,
+    PosePartHash, PredictionMetrics, Predictor, Strategy,
+};
+use copred_envgen::{random_scene, Density};
+use copred_geometry::Vec3;
+use copred_kinematics::{presets, Config, Robot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One evaluation pose: its configuration and per-link CDQ ground truth.
+struct PoseCase {
+    config: Config,
+    cdqs: Vec<(Vec3, bool)>,
+}
+
+/// Builds per-scene, per-pose CDQ cases for the predictor studies (the
+/// paper's 1000 random poses per random scene).
+fn scene_cases(robot: &Robot, density: Density, scale: &Scale, seed: u64) -> Vec<Vec<PoseCase>> {
+    (0..scale.scenes)
+        .map(|s| {
+            let scene = random_scene(robot, density, scale.poses_per_scene, seed + s as u64);
+            scene
+                .poses
+                .iter()
+                .map(|q| {
+                    let cdqs = copred_collision::enumerate_pose_cdqs(robot, &scene.env, q)
+                        .into_iter()
+                        .map(|c| (c.center, c.colliding))
+                        .collect();
+                    PoseCase { config: q.clone(), cdqs }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Streams the cases through a predictor (fresh history per scene) and
+/// scores pose-level precision/recall: a pose is predicted colliding when
+/// any of its link CDQs is predicted, and actually colliding when any link
+/// CDQ collides. Each CDQ's outcome updates the table right after its
+/// prediction, matching the online hardware protocol.
+fn eval_hasher(
+    hasher: Box<dyn CollisionHash>,
+    strategy: Strategy,
+    update_fraction: f64,
+    scenes: &[Vec<PoseCase>],
+) -> PredictionMetrics {
+    let bits = hasher.bits();
+    let mut metrics = PredictionMetrics::new();
+    let mut predictor = Predictor::new(
+        hasher,
+        ChtParams { bits, counter_bits: 4, strategy, update_fraction },
+        9,
+    );
+    for scene in scenes {
+        predictor.reset();
+        for case in scene {
+            // Predict every link CDQ of the pose *before* observing any of
+            // the pose's outcomes — a pose must not predict itself from its
+            // own results (that would count collisions already found).
+            let mut pose_predicted = false;
+            let mut pose_actual = false;
+            for &(center, colliding) in &case.cdqs {
+                let input = HashInput { config: &case.config, center };
+                if predictor.predict(&input) {
+                    pose_predicted = true;
+                }
+                pose_actual |= colliding;
+            }
+            for &(center, colliding) in &case.cdqs {
+                let input = HashInput { config: &case.config, center };
+                predictor.observe(&input, colliding);
+            }
+            metrics.record(pose_predicted, pose_actual);
+        }
+    }
+    metrics
+}
+
+/// Fig. 9: precision and recall of the hash-function design space for low-
+/// and high-clutter environments (Jaco2, random poses). The paper's default
+/// strategy (S = 1, U = 0.125) is used throughout.
+pub fn fig9(scale: &Scale) -> String {
+    let robot: Robot = presets::jaco2().into();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let train_poses = 8192.min(EnposeHash::TRAIN_POSES);
+    let mut out = String::new();
+    for density in [Density::Low, Density::High] {
+        let scenes = scene_cases(&robot, density, scale, 77);
+        let base_rate = {
+            let total: usize = scenes.iter().map(Vec::len).sum();
+            let coll: usize = scenes
+                .iter()
+                .flatten()
+                .filter(|c| c.cdqs.iter().any(|&(_, x)| x))
+                .count();
+            coll as f64 / total.max(1) as f64
+        };
+        let hashers: Vec<(String, Box<dyn CollisionHash>)> = vec![
+            named(PoseHash::new(&robot, 2)),
+            named(PoseHash::new(&robot, 3)),
+            named(PoseHash::new(&robot, 4)),
+            named(PoseFoldHash::new(&robot, 4, 10)),
+            named(PoseFoldHash::new(&robot, 4, 12)),
+            named(PoseFoldHash::new(&robot, 4, 14)),
+            named(PosePartHash::new(&robot, 5)),
+            named(PosePartHash::new(&robot, 6)),
+            named(PosePartHash::new(&robot, 7)),
+            named(EnposeHash::train(&robot, 2, 5, train_poses, 4, &mut rng)),
+            named(EnposeHash::train(&robot, 2, 6, train_poses, 4, &mut rng)),
+            named(CoordHash::for_robot(&robot, 3)),
+            named(CoordHash::for_robot(&robot, 4)),
+            named(CoordHash::for_robot(&robot, 5)),
+            named(EncoordHash::train(&robot, 2, 5, train_poses, 4, &mut rng)),
+            named(EncoordHash::train(&robot, 2, 6, train_poses, 4, &mut rng)),
+        ];
+        let mut rows = Vec::new();
+        for (label, h) in hashers {
+            let m = eval_hasher(h, Strategy::new(1.0), 0.125, &scenes);
+            rows.push(vec![label, pct(m.precision()), pct(m.recall())]);
+        }
+        out.push_str(&render_table(
+            &format!(
+                "Fig. 9 ({}-clutter, random baseline precision {}) — hash functions",
+                density.label(),
+                pct(base_rate)
+            ),
+            &["hash (bits)", "precision", "recall"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+fn named<H: CollisionHash + 'static>(h: H) -> (String, Box<dyn CollisionHash>) {
+    (h.name(), Box::new(h))
+}
+
+/// Fig. 13: prediction strategy sweep (S ∈ {0, 1/4, 1/2, 1, 2}) across
+/// obstacle densities, with the statistical computation-reduction model.
+pub fn fig13(scale: &Scale) -> String {
+    let robot: Robot = presets::jaco2().into();
+    let mut out = String::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for (di, density) in Density::all().into_iter().enumerate() {
+        let scenes = scene_cases(&robot, density, scale, 900 + 37 * di as u64);
+        let mut rows = Vec::new();
+        for &s in &[0.0, 0.25, 0.5, 1.0, 2.0] {
+            let m = eval_hasher(
+                Box::new(CoordHash::paper_default(&robot)),
+                Strategy::new(s),
+                0.125,
+                &scenes,
+            );
+            let params = StatModelParams {
+                cdqs_per_motion: 80,
+                collision_prob: m.base_rate(),
+                precision: m.precision(),
+                recall: m.recall(),
+                trials: scale.mc_trials,
+            };
+            let dec = computation_decrease(&params, &mut rng);
+            rows.push(vec![
+                format!("S={s}"),
+                pct(m.precision()),
+                pct(m.recall()),
+                pct(dec),
+            ]);
+        }
+        out.push_str(&render_table(
+            &format!("Fig. 13 ({}-density) — strategy S sweep", density.label()),
+            &["S", "precision", "recall", "computation decrease"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Ablation (paper §VI-A1 future work): adaptive `S` chosen from the
+/// measured environment clutter versus every fixed strategy, per density.
+pub fn ablation_adaptive_s(scale: &Scale) -> String {
+    let robot: Robot = presets::jaco2().into();
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut rows = Vec::new();
+    for (di, density) in Density::all().into_iter().enumerate() {
+        let scenes = scene_cases(&robot, density, scale, 3200 + 17 * di as u64);
+        let decrease = |strategy: Strategy, rng: &mut StdRng| {
+            let m = eval_hasher(
+                Box::new(CoordHash::paper_default(&robot)),
+                strategy,
+                0.125,
+                &scenes,
+            );
+            let params = StatModelParams {
+                cdqs_per_motion: 80,
+                collision_prob: m.base_rate(),
+                precision: m.precision(),
+                recall: m.recall(),
+                trials: scale.mc_trials,
+            };
+            computation_decrease(&params, rng)
+        };
+        // The adaptive heuristic keys off the density class's target clutter
+        // (at runtime this would come from the voxel map).
+        let adaptive = Strategy::adaptive_for_clutter(density.target());
+        let mut cells = vec![density.label().to_string()];
+        let mut best_fixed = f64::NEG_INFINITY;
+        for &s in &[0.0, 0.5, 1.0, 2.0] {
+            let d = decrease(Strategy::new(s), &mut rng);
+            best_fixed = best_fixed.max(d);
+            cells.push(pct(d));
+        }
+        let d_adaptive = decrease(adaptive, &mut rng);
+        cells.push(format!("{} (S={})", pct(d_adaptive), adaptive.s()));
+        cells.push(pct(best_fixed));
+        rows.push(cells);
+    }
+    render_table(
+        "Ablation — adaptive S from clutter vs fixed strategies (computation decrease)",
+        &["density", "S=0", "S=0.5", "S=1", "S=2", "adaptive", "best fixed"],
+        &rows,
+    )
+}
+
+/// Fig. 14: CHT update-frequency sweep (U) for S ∈ {0, 1}, medium density.
+pub fn fig14(scale: &Scale) -> String {
+    let robot: Robot = presets::jaco2().into();
+    let scenes = scene_cases(&robot, Density::Medium, scale, 1414);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut rows = Vec::new();
+    for &s in &[0.0, 1.0] {
+        for &u in &[1.0, 0.5, 0.125, 0.03125] {
+            let m = eval_hasher(
+                Box::new(CoordHash::paper_default(&robot)),
+                Strategy::new(s),
+                u,
+                &scenes,
+            );
+            let params = StatModelParams {
+                cdqs_per_motion: 80,
+                collision_prob: m.base_rate(),
+                precision: m.precision(),
+                recall: m.recall(),
+                trials: scale.mc_trials,
+            };
+            let dec = computation_decrease(&params, &mut rng);
+            rows.push(vec![
+                format!("S={s} U={u}"),
+                pct(m.precision()),
+                pct(m.recall()),
+                pct(dec),
+            ]);
+        }
+    }
+    render_table(
+        "Fig. 14 (medium density) — update frequency U sweep",
+        &["config", "precision", "recall", "computation decrease"],
+        &rows,
+    )
+}

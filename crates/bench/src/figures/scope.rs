@@ -1,0 +1,110 @@
+//! §VII scope studies: sphere-based CDUs and the Dadu-P octree-voxel
+//! accelerator.
+
+use crate::table::{pct, render_table};
+use crate::workloads::{Scale, Workloads};
+use copred_accel::{precompute_motion, DadupConfig, DadupMode, DadupSim, SphereSim};
+use copred_core::ChtParams;
+use copred_kinematics::{presets, Config, Robot};
+use copred_planners::{PlanContext, Prm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// §VII-1: sphere-environment CDQ reduction with link-level prediction
+/// (paper: −23.4% for Jaco2 + MPNet).
+pub fn sec7_spheres(work: &mut Workloads) -> String {
+    // The sphere study re-executes MPNet-Jaco2-style motions live (sphere
+    // CDQs are not part of the OBB traces).
+    let combo = crate::workloads::Combo {
+        algo: crate::workloads::Algo::Mpnet,
+        robot: crate::workloads::RobotKind::Jaco2,
+    };
+    let robot = combo.robot.robot();
+    let env = crate::workloads::combo_environment(&combo, &robot, 0, 31);
+    let motions: Vec<Vec<Config>> = work
+        .traces(combo)
+        .iter()
+        .flat_map(|t| t.motions.iter().map(|m| m.poses.clone()))
+        .collect();
+    let mut base = SphereSim::new(&robot, ChtParams::paper_arm(), false, 3);
+    let mut copu = SphereSim::new(&robot, ChtParams::paper_arm(), true, 3);
+    let rb = base.run_query(&robot, &env, &motions);
+    let rc = copu.run_query(&robot, &env, &motions);
+    render_table(
+        "§VII-1 — sphere-based representation (Jaco2, MPNet workload)",
+        &["config", "sphere CDQs", "reduction"],
+        &[
+            vec!["CSP baseline".into(), rb.sphere_cdqs.to_string(), "-".into()],
+            vec![
+                "CSP + COPU".into(),
+                rc.sphere_cdqs.to_string(),
+                pct(1.0 - rc.sphere_cdqs as f64 / rb.sphere_cdqs.max(1) as f64),
+            ],
+        ],
+    )
+}
+
+/// §VII-2: Dadu-P octree-voxel accelerator with voxel-coordinate hashing
+/// (paper, colliding motions vs naive: CSP −74.3%, CSP+COPU −81.2%,
+/// oracle limit −99%).
+pub fn sec7_dadup(scale: &Scale) -> String {
+    let robot: Robot = presets::planar_2d().into();
+    let env = copred_envgen::calibrated_environment(
+        &robot,
+        copred_envgen::Density::Medium,
+        200,
+        &mut StdRng::seed_from_u64(99),
+    );
+    // The fixed motion set: a PRM roadmap's edges (Dadu-P's precomputed
+    // short motions).
+    let mut ctx = PlanContext::new(&robot, &env, 0.05);
+    let mut rng = StdRng::seed_from_u64(7);
+    let prm = Prm { n_samples: scale.suite_motions.max(40), k_neighbors: 6 };
+    let roadmap = prm.build_roadmap(&mut ctx, &[], &mut rng);
+    let cfg = DadupConfig::default();
+    let motions: Vec<_> = roadmap
+        .roadmap_motions()
+        .iter()
+        .map(|m| precompute_motion(&robot, &m.discretize(cfg.sweep_samples), &cfg))
+        .collect();
+    // Include some long random motions so a healthy share collide.
+    let extra: Vec<_> = (0..scale.suite_motions)
+        .map(|_| {
+            let m = copred_kinematics::Motion::new(
+                robot.sample_uniform(&mut rng),
+                robot.sample_uniform(&mut rng),
+            );
+            precompute_motion(&robot, &m.discretize(cfg.sweep_samples), &cfg)
+        })
+        .collect();
+    let all: Vec<_> = motions.into_iter().chain(extra).collect();
+
+    let run = |mode| {
+        let mut sim = DadupSim::new(&env, DadupConfig::default());
+        sim.run_workload(&all, mode).1
+    };
+    let naive = run(DadupMode::Naive).max(1);
+    let csp = run(DadupMode::Csp);
+    let copu = run(DadupMode::CspCopu);
+    let oracle = run(DadupMode::Oracle);
+    render_table(
+        "§VII-2 — Dadu-P octree-voxel accelerator (CDQs on colliding motions vs naive)",
+        &["schedule", "CDQs", "reduction vs naive", "paper"],
+        &[
+            vec!["naive".into(), naive.to_string(), "-".into(), "-".into()],
+            vec!["CSP".into(), csp.to_string(), pct(1.0 - csp as f64 / naive as f64), "74.3%".into()],
+            vec![
+                "CSP+COPU".into(),
+                copu.to_string(),
+                pct(1.0 - copu as f64 / naive as f64),
+                "81.2%".into(),
+            ],
+            vec![
+                "oracle".into(),
+                oracle.to_string(),
+                pct(1.0 - oracle as f64 / naive as f64),
+                "99%".into(),
+            ],
+        ],
+    )
+}

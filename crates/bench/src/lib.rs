@@ -1,0 +1,16 @@
+//! # copred-bench
+//!
+//! Figure/table regeneration harnesses for the COORD reproduction. Every
+//! table and figure of the paper's evaluation has a function here and a
+//! thin binary under `src/bin/` (plus `all_figures`, which regenerates
+//! everything). Workload sizes follow `COPRED_SCALE` (`quick` default,
+//! `full` for paper-scale runs).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod replay;
+pub mod table;
+pub mod workloads;
+
+pub use workloads::{Algo, Combo, RobotKind, Scale, Workloads};

@@ -1,0 +1,124 @@
+//! Counting-level trace replay: the reference schedules and the software
+//! COORD predictor (Algorithm 1 on top of CSP), applied to recorded CDQ
+//! traces.
+
+use copred_collision::{run_schedule, Schedule};
+use copred_core::hash::CollisionHash;
+use copred_core::{Cht, ChtParams, CoordHash, HashInput};
+use copred_kinematics::{csp_order, Config};
+use copred_trace::QueryTrace;
+
+/// Total CDQs a query trace executes under a reference schedule.
+pub fn replay_schedule(trace: &QueryTrace, schedule: Schedule) -> u64 {
+    trace
+        .motions
+        .iter()
+        .map(|m| run_schedule(&m.to_cdq_infos(), m.poses.len(), schedule).cdqs_executed as u64)
+        .sum()
+}
+
+/// Total CDQs a query trace executes under COORD prediction (Algorithm 1 on
+/// CSP pose order; history persists across the query's motions and starts
+/// cold).
+pub fn replay_coord(trace: &QueryTrace, hash: &CoordHash, cht_params: ChtParams, seed: u64) -> u64 {
+    let mut cht = Cht::new(cht_params, seed);
+    let dummy = Config::zeros(0);
+    let code = |center| hash.code(&HashInput { config: &dummy, center });
+    let mut executed = 0u64;
+    for m in &trace.motions {
+        let n_poses = m.poses.len().max(
+            m.cdqs.iter().map(|c| c.pose_idx as usize + 1).max().unwrap_or(0),
+        );
+        // Pose-major blocks in CSP order, links in order within a pose.
+        let mut starts = vec![0usize; n_poses + 1];
+        for c in &m.cdqs {
+            starts[c.pose_idx as usize + 1] += 1;
+        }
+        for i in 0..n_poses {
+            starts[i + 1] += starts[i];
+        }
+        let mut queue = Vec::new();
+        let mut hit = false;
+        'outer: for p in csp_order(n_poses, Schedule::DEFAULT_CSP_STEP) {
+            for i in starts[p]..starts[p + 1] {
+                let cdq = &m.cdqs[i];
+                if cht.predict(code(cdq.center)) {
+                    executed += 1;
+                    cht.observe(code(cdq.center), cdq.colliding);
+                    if cdq.colliding {
+                        hit = true;
+                        break 'outer;
+                    }
+                } else {
+                    queue.push(i);
+                }
+            }
+        }
+        if !hit {
+            for i in queue {
+                let cdq = &m.cdqs[i];
+                executed += 1;
+                cht.observe(code(cdq.center), cdq.colliding);
+                if cdq.colliding {
+                    break;
+                }
+            }
+        }
+    }
+    executed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_collision::Environment;
+    use copred_geometry::{Aabb, Vec3};
+    use copred_kinematics::{presets, Motion, Robot};
+    use copred_planners::{MotionRecord, PlanLog, Stage};
+
+    fn trace_with_wall() -> (Robot, QueryTrace) {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+        );
+        // Several *nearby* parallel crossings of the same wall (within one
+        // COORD bin): the predictor should get warm after the first.
+        let records: Vec<MotionRecord> = (0..8)
+            .map(|i| {
+                let y = -0.02 + 0.01 * i as f64;
+                let poses = Motion::new(Config::new(vec![-0.8, y]), Config::new(vec![0.8, y]))
+                    .discretize(33);
+                MotionRecord { poses, stage: Stage::Explore, colliding: true }
+            })
+            .collect();
+        let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });
+        (robot, trace)
+    }
+
+    #[test]
+    fn coord_replay_between_csp_and_oracle() {
+        let (robot, trace) = trace_with_wall();
+        let naive = replay_schedule(&trace, Schedule::Naive);
+        let csp = replay_schedule(&trace, Schedule::csp_default());
+        let oracle = replay_schedule(&trace, Schedule::Oracle);
+        let coord = replay_coord(
+            &trace,
+            &CoordHash::paper_default(&robot),
+            ChtParams::paper_2d(),
+            1,
+        );
+        assert!(csp <= naive);
+        assert!(coord < csp, "coord {coord} !< csp {csp}");
+        assert!(oracle <= coord);
+    }
+
+    #[test]
+    fn coord_replay_is_deterministic() {
+        let (robot, trace) = trace_with_wall();
+        let h = CoordHash::paper_default(&robot);
+        let a = replay_coord(&trace, &h, ChtParams::paper_2d(), 7);
+        let b = replay_coord(&trace, &h, ChtParams::paper_2d(), 7);
+        assert_eq!(a, b);
+    }
+}

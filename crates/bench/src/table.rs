@@ -1,0 +1,76 @@
+//! Plain-text table formatting for the figure harnesses.
+
+use std::fmt::Write as _;
+
+/// Renders a fixed-width table with a title line.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "== {title}").unwrap();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        write!(line, "{h:>w$}  ", w = w).unwrap();
+    }
+    writeln!(out, "{}", line.trim_end()).unwrap();
+    writeln!(out, "{}", "-".repeat(line.trim_end().len())).unwrap();
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            write!(line, "{c:>w$}  ", w = w).unwrap();
+        }
+        writeln!(out, "{}", line.trim_end()).unwrap();
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a float with `d` decimals.
+pub fn num(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            "demo",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("== demo"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Column alignment: both value cells end at the same offset.
+        assert!(lines[3].ends_with('1'));
+        assert!(lines[4].ends_with("22"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.253), "25.3%");
+        assert_eq!(ratio(1.234), "1.23x");
+        assert_eq!(num(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,309 @@
+//! Workload construction shared by the figure harnesses: planner-generated
+//! CDQ traces for the paper's algorithm-robot combinations, and scale
+//! control.
+
+use copred_collision::Environment;
+use copred_envgen::{narrow_passage_environment, sample_free_config, tabletop_environment};
+use copred_kinematics::{presets, Robot};
+use copred_planners::{BitStar, GnnmpEmulator, MpnetEmulator, PlanContext, Planner};
+use copred_trace::QueryTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workload sizes for the figure harnesses. `Scale::from_env` reads
+/// `COPRED_SCALE` (`quick` default, `full` for paper-scale runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Scenes per predictor study.
+    pub scenes: usize,
+    /// Random poses sampled per scene.
+    pub poses_per_scene: usize,
+    /// Planning queries per algorithm-robot combination.
+    pub queries: usize,
+    /// Scenarios per B-suite.
+    pub suite_scenarios: usize,
+    /// Motions per suite scenario.
+    pub suite_motions: usize,
+    /// Monte-Carlo trials for the statistical model.
+    pub mc_trials: usize,
+}
+
+impl Scale {
+    /// The fast default (minutes on a laptop).
+    pub fn quick() -> Self {
+        Scale {
+            scenes: 12,
+            poses_per_scene: 1000,
+            queries: 15,
+            suite_scenarios: 3,
+            suite_motions: 40,
+            mc_trials: 3000,
+        }
+    }
+
+    /// Paper-scale sizes (the paper: 400 scenes × 1000 poses; 1000 queries).
+    pub fn full() -> Self {
+        Scale {
+            scenes: 100,
+            poses_per_scene: 1000,
+            queries: 60,
+            suite_scenarios: 8,
+            suite_motions: 120,
+            mc_trials: 10_000,
+        }
+    }
+
+    /// Reads `COPRED_SCALE` from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("COPRED_SCALE").as_deref() {
+            Ok("full") => Scale::full(),
+            _ => Scale::quick(),
+        }
+    }
+}
+
+/// Motion planning algorithms evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// MPNet (ref. \[41\]; emulated neural sampler).
+    Mpnet,
+    /// GNNMP (ref. \[50\]; emulated graph sampler).
+    Gnnmp,
+    /// BIT* (ref. \[14\]).
+    BitStar,
+}
+
+impl Algo {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algo::Mpnet => "MPNet",
+            Algo::Gnnmp => "GNNMP",
+            Algo::BitStar => "BIT*",
+        }
+    }
+}
+
+/// Robots evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RobotKind {
+    /// Rethink Baxter 7-DOF arm.
+    Baxter,
+    /// KUKA iiwa 7-DOF arm.
+    Kuka,
+    /// Kinova Jaco2 7-DOF arm.
+    Jaco2,
+    /// 2D path planning (planar disc).
+    Planar2d,
+}
+
+impl RobotKind {
+    /// Instantiates the robot model.
+    pub fn robot(&self) -> Robot {
+        match self {
+            RobotKind::Baxter => presets::baxter_arm().into(),
+            RobotKind::Kuka => presets::kuka_iiwa().into(),
+            RobotKind::Jaco2 => presets::jaco2().into(),
+            RobotKind::Planar2d => presets::planar_2d().into(),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RobotKind::Baxter => "Baxter",
+            RobotKind::Kuka => "KUKA",
+            RobotKind::Jaco2 => "Jaco2",
+            RobotKind::Planar2d => "2D",
+        }
+    }
+
+    /// Planner discretization step for this robot's C-space.
+    pub fn step(&self) -> f64 {
+        match self {
+            RobotKind::Planar2d => 0.05,
+            _ => 0.18,
+        }
+    }
+}
+
+/// An algorithm-robot combination (a Fig. 15 panel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Combo {
+    /// The planner.
+    pub algo: Algo,
+    /// The robot.
+    pub robot: RobotKind,
+}
+
+impl Combo {
+    /// The six combinations of Fig. 15.
+    pub fn paper_six() -> [Combo; 6] {
+        [
+            Combo { algo: Algo::Mpnet, robot: RobotKind::Baxter },
+            Combo { algo: Algo::Mpnet, robot: RobotKind::Planar2d },
+            Combo { algo: Algo::Gnnmp, robot: RobotKind::Kuka },
+            Combo { algo: Algo::Gnnmp, robot: RobotKind::Planar2d },
+            Combo { algo: Algo::BitStar, robot: RobotKind::Kuka },
+            Combo { algo: Algo::BitStar, robot: RobotKind::Planar2d },
+        ]
+    }
+
+    /// `"MPNet-Baxter"`-style label.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.algo.label(), self.robot.label())
+    }
+
+    fn planner(&self) -> Box<dyn Planner> {
+        let planar = self.robot == RobotKind::Planar2d;
+        match self.algo {
+            Algo::Mpnet => Box::new(MpnetEmulator::default()),
+            Algo::Gnnmp => Box::new(GnnmpEmulator {
+                n_samples: 90,
+                ..GnnmpEmulator::default()
+            }),
+            Algo::BitStar => Box::new(BitStar {
+                batch_size: 64,
+                max_batches: 8,
+                // 7-D uniform configurations are far apart; the connection
+                // radius must scale with the C-space diameter.
+                radius: if planar { 0.6 } else { 3.2 },
+                ..BitStar::default()
+            }),
+        }
+    }
+}
+
+/// The scenario environment for query `q` of a combo: tabletop scenes for
+/// arms (the MPNet/GNNMP benchmarks), alternating narrow-passage and
+/// tabletop-style scenes for 2D planning.
+pub fn combo_environment(combo: &Combo, robot: &Robot, q: usize, seed: u64) -> Environment {
+    let scene_seed = seed ^ ((q as u64 + 1) * 0x9E37_79B9);
+    match combo.robot {
+        RobotKind::Planar2d => {
+            if q.is_multiple_of(2) {
+                narrow_passage_environment(robot, 0.10 + 0.05 * ((q / 2) % 3) as f64, scene_seed)
+            } else {
+                copred_envgen::calibrated_environment(
+                    robot,
+                    copred_envgen::Density::Medium,
+                    200,
+                    &mut StdRng::seed_from_u64(scene_seed),
+                )
+            }
+        }
+        _ => tabletop_environment(robot, 14 + q % 6, scene_seed),
+    }
+}
+
+/// Runs `scale.queries` planning queries for a combo and returns the
+/// recorded CDQ traces (one per query). Queries with empty logs (blocked
+/// endpoints) are skipped.
+pub fn planner_traces(combo: &Combo, scale: &Scale, seed: u64) -> Vec<QueryTrace> {
+    let robot = combo.robot.robot();
+    let planner = combo.planner();
+    let mut traces = Vec::with_capacity(scale.queries);
+    let mut q = 0usize;
+    let mut attempts = 0usize;
+    while traces.len() < scale.queries && attempts < scale.queries * 4 {
+        attempts += 1;
+        let env = combo_environment(combo, &robot, q, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ ((q as u64) << 20) ^ 0xC0FFEE);
+        let Some(start) = sample_free_config(&robot, &env, 300, &mut rng) else {
+            q += 1;
+            continue;
+        };
+        // A planning query is only interesting when the direct motion is
+        // blocked (the paper's benchmarks are nontrivial queries); resample
+        // the goal until the straight line collides.
+        let mut goal = None;
+        for _ in 0..40 {
+            let Some(g) = sample_free_config(&robot, &env, 300, &mut rng) else {
+                continue;
+            };
+            let direct = copred_kinematics::Motion::new(start.clone(), g.clone())
+                .discretize_by_step(combo.robot.step());
+            if copred_collision::motion_collides(&robot, &env, &direct) {
+                goal = Some(g);
+                break;
+            }
+        }
+        let Some(goal) = goal else {
+            q += 1;
+            continue;
+        };
+        let mut ctx = PlanContext::new(&robot, &env, combo.robot.step());
+        let _ = planner.plan(&mut ctx, &start, &goal, &mut rng);
+        let log = ctx.into_log();
+        q += 1;
+        if log.is_empty() {
+            continue;
+        }
+        traces.push(QueryTrace::from_log(&robot, &env, &log));
+    }
+    traces
+}
+
+/// Caches planner traces per combo so figure harnesses that share a
+/// workload (Fig. 15/17/18) generate it once.
+#[derive(Debug)]
+pub struct Workloads {
+    /// Workload sizes.
+    pub scale: Scale,
+    seed: u64,
+    cache: std::collections::HashMap<Combo, Vec<QueryTrace>>,
+}
+
+impl Workloads {
+    /// Creates an empty cache.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Workloads { scale, seed, cache: std::collections::HashMap::new() }
+    }
+
+    /// The traces for a combo, generating them on first use.
+    pub fn traces(&mut self, combo: Combo) -> &[QueryTrace] {
+        let (scale, seed) = (self.scale, self.seed);
+        self.cache
+            .entry(combo)
+            .or_insert_with(|| planner_traces(&combo, &scale, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_parsing_defaults_quick() {
+        // (Environment variable not set in tests.)
+        assert_eq!(Scale::from_env(), Scale::quick());
+        assert!(Scale::full().queries > Scale::quick().queries);
+    }
+
+    #[test]
+    fn paper_six_labels() {
+        let labels: Vec<String> = Combo::paper_six().iter().map(Combo::label).collect();
+        assert_eq!(labels[0], "MPNet-Baxter");
+        assert_eq!(labels[5], "BIT*-2D");
+    }
+
+    #[test]
+    fn planar_traces_have_workload_signature() {
+        let combo = Combo { algo: Algo::Mpnet, robot: RobotKind::Planar2d };
+        let scale = Scale { queries: 3, ..Scale::quick() };
+        let traces = planner_traces(&combo, &scale, 5);
+        assert!(!traces.is_empty());
+        for t in &traces {
+            assert!(t.total_cdqs() > 0);
+        }
+    }
+
+    #[test]
+    fn combo_environments_are_deterministic() {
+        let combo = Combo { algo: Algo::Gnnmp, robot: RobotKind::Planar2d };
+        let robot = combo.robot.robot();
+        let a = combo_environment(&combo, &robot, 2, 9);
+        let b = combo_environment(&combo, &robot, 2, 9);
+        assert_eq!(a.obstacles(), b.obstacles());
+    }
+}

@@ -1,0 +1,60 @@
+//! Smoke tests: every figure harness runs end-to-end at a tiny scale and
+//! produces a well-formed table. These protect the `all_figures` pipeline
+//! from regressions in any crate.
+
+use copred_bench::{figures, Scale, Workloads};
+
+fn tiny() -> Scale {
+    Scale {
+        scenes: 2,
+        poses_per_scene: 120,
+        queries: 3,
+        suite_scenarios: 1,
+        suite_motions: 6,
+        mc_trials: 200,
+    }
+}
+
+fn check_table(name: &str, out: &str) {
+    assert!(out.starts_with("== "), "{name}: missing title: {out:.40}");
+    assert!(out.lines().count() >= 4, "{name}: too few lines");
+    assert!(!out.contains("NaN"), "{name}: NaN leaked into output");
+    assert!(!out.contains("inf"), "{name}: infinity leaked into output");
+}
+
+#[test]
+fn scale_free_harnesses_run() {
+    let scale = tiny();
+    check_table("fig1d", &figures::fig1d(&scale));
+    check_table("fig13", &figures::fig13(&scale));
+    check_table("fig14", &figures::fig14(&scale));
+    check_table("ablation_adaptive_s", &figures::ablation_adaptive_s(&scale));
+    check_table("tab_overheads", &figures::tab_overheads());
+    check_table("sec7_dadup", &figures::sec7_dadup(&scale));
+}
+
+#[test]
+fn fig9_runs_at_tiny_scale() {
+    let out = figures::fig9(&tiny());
+    check_table("fig9", &out);
+    // Both clutter levels and all six hash families appear.
+    assert!(out.contains("low-clutter") && out.contains("high-clutter"));
+    for family in ["POSE-", "POSE+fold", "POSE-part", "ENPOSE", "COORD-", "ENCOORD"] {
+        assert!(out.contains(family), "missing {family}");
+    }
+}
+
+#[test]
+fn workload_backed_harnesses_run() {
+    let mut w = Workloads::new(tiny(), 7);
+    check_table("fig6", &figures::fig6(&mut w));
+    check_table("fig7", &figures::fig7(&mut w));
+    check_table("fig15", &figures::fig15(&mut w));
+    check_table("fig16", &figures::fig16(&mut w));
+    check_table("fig17", &figures::fig17(&mut w));
+    check_table("fig18", &figures::fig18(&mut w));
+    check_table("fig11", &figures::fig11(&mut w));
+    check_table("cpu", &figures::cpu_section(&mut w));
+    check_table("oracle_perfwatt", &figures::oracle_perfwatt(&mut w));
+    check_table("sec7_spheres", &figures::sec7_spheres(&mut w));
+}

@@ -1,0 +1,324 @@
+//! CDQ scheduling policies for motion-environment checks.
+//!
+//! For a colliding motion the execution order of CDQs determines how much
+//! work is done before the collision is found (paper Fig. 1). This module
+//! implements the three reference orderings the paper compares against the
+//! COORD predictor:
+//!
+//! * **Naive** — poses checked sequentially from start to goal;
+//! * **CSP** — the coarse-step scheduling policy of Shah et al. (ref. \[43\])
+//!   (physically distant poses first);
+//! * **Oracle** — the limit study: a colliding motion costs exactly one CDQ.
+
+use crate::cdq::CdqInfo;
+use crate::environment::Environment;
+use copred_kinematics::{csp_order, Config, Robot};
+
+/// A CDQ ordering policy for motion checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Sequential pose order (Fig. 1a).
+    Naive,
+    /// Coarse-step policy with the given stride (Fig. 1b). A stride of 1 is
+    /// equivalent to [`Schedule::Naive`].
+    Csp {
+        /// Pose-index stride.
+        step: usize,
+    },
+    /// Perfect prediction (Fig. 1c): one CDQ for a colliding motion, all
+    /// CDQs for a collision-free one.
+    Oracle,
+    /// RACOD-style speculation (Bakhshalipour et al., ref. \[3\], cited by
+    /// the paper as prior scheduling work): CDQs execute in naive order but
+    /// `depth` of them are in flight at once, so early exit only takes
+    /// effect at batch boundaries — speculation hides latency at the price
+    /// of redundant queries.
+    Speculative {
+        /// CDQs speculatively in flight.
+        depth: usize,
+    },
+}
+
+impl Schedule {
+    /// The paper's default CSP stride for motion checks.
+    pub const DEFAULT_CSP_STEP: usize = 5;
+
+    /// The default CSP schedule.
+    pub fn csp_default() -> Self {
+        Schedule::Csp { step: Self::DEFAULT_CSP_STEP }
+    }
+}
+
+/// Result of a scheduled motion-environment collision check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionCheckOutcome {
+    /// Whether the motion collides.
+    pub colliding: bool,
+    /// Elementary CDQs executed before the check resolved.
+    pub cdqs_executed: usize,
+    /// Total CDQs the motion decomposes into.
+    pub cdqs_total: usize,
+    /// Obstacle-pair tests executed inside the executed CDQs.
+    pub obstacle_tests: usize,
+}
+
+/// Applies `schedule` to a pre-enumerated CDQ list (pose-major order as
+/// produced by [`crate::enumerate_motion_cdqs`]) and simulates early-exit
+/// execution.
+///
+/// `n_poses` is the number of sample poses; each pose contributes a
+/// contiguous block of CDQs in `cdqs`.
+pub fn run_schedule(cdqs: &[CdqInfo], n_poses: usize, schedule: Schedule) -> MotionCheckOutcome {
+    let total = cdqs.len();
+    let colliding = cdqs.iter().any(|c| c.colliding);
+    match schedule {
+        Schedule::Oracle => {
+            if colliding {
+                // One CDQ — the oracle executes a known-colliding query.
+                let hit = cdqs.iter().find(|c| c.colliding).expect("colliding CDQ");
+                MotionCheckOutcome {
+                    colliding: true,
+                    cdqs_executed: 1,
+                    cdqs_total: total,
+                    obstacle_tests: hit.obstacle_tests,
+                }
+            } else {
+                exhaust_all(cdqs)
+            }
+        }
+        Schedule::Naive => execute_order(cdqs, pose_order_indices(cdqs, n_poses, 1)),
+        Schedule::Csp { step } => execute_order(cdqs, pose_order_indices(cdqs, n_poses, step)),
+        Schedule::Speculative { depth } => {
+            execute_batched(cdqs, pose_order_indices(cdqs, n_poses, 1), depth.max(1))
+        }
+    }
+}
+
+/// Early exit only between batches of `depth` in-flight CDQs (speculation).
+fn execute_batched(cdqs: &[CdqInfo], order: Vec<usize>, depth: usize) -> MotionCheckOutcome {
+    let mut executed = 0;
+    let mut tests = 0;
+    for batch in order.chunks(depth) {
+        let mut hit = false;
+        for &i in batch {
+            executed += 1;
+            tests += cdqs[i].obstacle_tests;
+            hit |= cdqs[i].colliding;
+        }
+        if hit {
+            return MotionCheckOutcome {
+                colliding: true,
+                cdqs_executed: executed,
+                cdqs_total: cdqs.len(),
+                obstacle_tests: tests,
+            };
+        }
+    }
+    MotionCheckOutcome {
+        colliding: false,
+        cdqs_executed: executed,
+        cdqs_total: cdqs.len(),
+        obstacle_tests: tests,
+    }
+}
+
+/// Builds the CDQ visit order for a pose-level stride: poses visited in
+/// [`csp_order`], links sequentially within each pose.
+fn pose_order_indices(cdqs: &[CdqInfo], n_poses: usize, step: usize) -> Vec<usize> {
+    // Start offset of each pose's CDQ block.
+    let mut starts = vec![0usize; n_poses + 1];
+    for c in cdqs {
+        starts[c.pose_idx + 1] += 1;
+    }
+    for i in 0..n_poses {
+        starts[i + 1] += starts[i];
+    }
+    let mut order = Vec::with_capacity(cdqs.len());
+    for p in csp_order(n_poses, step) {
+        order.extend(starts[p]..starts[p + 1]);
+    }
+    order
+}
+
+fn execute_order(cdqs: &[CdqInfo], order: Vec<usize>) -> MotionCheckOutcome {
+    let mut executed = 0;
+    let mut tests = 0;
+    for i in order {
+        executed += 1;
+        tests += cdqs[i].obstacle_tests;
+        if cdqs[i].colliding {
+            return MotionCheckOutcome {
+                colliding: true,
+                cdqs_executed: executed,
+                cdqs_total: cdqs.len(),
+                obstacle_tests: tests,
+            };
+        }
+    }
+    MotionCheckOutcome {
+        colliding: false,
+        cdqs_executed: executed,
+        cdqs_total: cdqs.len(),
+        obstacle_tests: tests,
+    }
+}
+
+fn exhaust_all(cdqs: &[CdqInfo]) -> MotionCheckOutcome {
+    MotionCheckOutcome {
+        colliding: false,
+        cdqs_executed: cdqs.len(),
+        cdqs_total: cdqs.len(),
+        obstacle_tests: cdqs.iter().map(|c| c.obstacle_tests).sum(),
+    }
+}
+
+/// Convenience: discretize, enumerate, and run one scheduled motion check.
+pub fn check_motion_scheduled(
+    robot: &Robot,
+    env: &Environment,
+    poses: &[Config],
+    schedule: Schedule,
+) -> MotionCheckOutcome {
+    let cdqs = crate::cdq::enumerate_motion_cdqs(robot, env, poses);
+    run_schedule(&cdqs, poses.len(), schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdq::enumerate_motion_cdqs;
+    use copred_geometry::{Aabb, Vec3};
+    use copred_kinematics::{presets, Motion};
+
+    /// Planar robot crossing a wall in the middle of the workspace.
+    fn crossing_setup() -> (Robot, Environment, Vec<Config>) {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 1.0, 0.1))],
+        );
+        let motion = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]));
+        let poses = motion.discretize(17);
+        (robot, env, poses)
+    }
+
+    #[test]
+    fn oracle_needs_one_cdq_for_colliding_motion() {
+        let (robot, env, poses) = crossing_setup();
+        let out = check_motion_scheduled(&robot, &env, &poses, Schedule::Oracle);
+        assert!(out.colliding);
+        assert_eq!(out.cdqs_executed, 1);
+        assert_eq!(out.cdqs_total, 17);
+    }
+
+    #[test]
+    fn naive_walks_to_the_wall() {
+        let (robot, env, poses) = crossing_setup();
+        let out = check_motion_scheduled(&robot, &env, &poses, Schedule::Naive);
+        assert!(out.colliding);
+        // The wall sits mid-motion: the naive order executes roughly half the
+        // poses before hitting it.
+        assert!(out.cdqs_executed >= 7, "executed {}", out.cdqs_executed);
+    }
+
+    #[test]
+    fn csp_beats_naive_on_wide_wall() {
+        // A wide block covering the second half of the motion: naive walks
+        // pose by pose to reach it, while the coarse stride lands inside it
+        // within its first pass (Fig. 1b's advantage).
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+        );
+        let poses = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]))
+            .discretize(17);
+        let naive = check_motion_scheduled(&robot, &env, &poses, Schedule::Naive);
+        let csp = check_motion_scheduled(&robot, &env, &poses, Schedule::csp_default());
+        assert!(csp.colliding && naive.colliding);
+        assert!(
+            csp.cdqs_executed < naive.cdqs_executed,
+            "CSP {} vs naive {}",
+            csp.cdqs_executed,
+            naive.cdqs_executed
+        );
+    }
+
+    #[test]
+    fn free_motion_costs_all_cdqs_for_every_schedule() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::empty(robot.workspace());
+        let poses = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]))
+            .discretize(9);
+        for s in [Schedule::Naive, Schedule::csp_default(), Schedule::Oracle] {
+            let out = check_motion_scheduled(&robot, &env, &poses, s);
+            assert!(!out.colliding);
+            assert_eq!(out.cdqs_executed, 9, "{s:?}");
+            assert_eq!(out.cdqs_total, 9);
+        }
+    }
+
+    #[test]
+    fn speculation_trades_redundancy_for_latency() {
+        // Speculation never executes fewer CDQs than naive (redundant
+        // in-flight work), and depth 1 is exactly naive.
+        let (robot, env, poses) = crossing_setup();
+        let naive = check_motion_scheduled(&robot, &env, &poses, Schedule::Naive);
+        let spec1 = check_motion_scheduled(&robot, &env, &poses, Schedule::Speculative { depth: 1 });
+        assert_eq!(naive, spec1);
+        for depth in [2usize, 4, 8] {
+            let spec = check_motion_scheduled(&robot, &env, &poses, Schedule::Speculative { depth });
+            assert_eq!(spec.colliding, naive.colliding);
+            assert!(
+                spec.cdqs_executed >= naive.cdqs_executed,
+                "depth {depth}: {} < naive {}",
+                spec.cdqs_executed,
+                naive.cdqs_executed
+            );
+            // Redundancy is bounded by one batch.
+            assert!(spec.cdqs_executed < naive.cdqs_executed + depth);
+        }
+    }
+
+    #[test]
+    fn csp_step_one_equals_naive() {
+        let (robot, env, poses) = crossing_setup();
+        let naive = check_motion_scheduled(&robot, &env, &poses, Schedule::Naive);
+        let csp1 = check_motion_scheduled(&robot, &env, &poses, Schedule::Csp { step: 1 });
+        assert_eq!(naive, csp1);
+    }
+
+    #[test]
+    fn run_schedule_consistent_with_ground_truth() {
+        let (robot, env, poses) = crossing_setup();
+        let cdqs = enumerate_motion_cdqs(&robot, &env, &poses);
+        for s in [Schedule::Naive, Schedule::Csp { step: 3 }, Schedule::Oracle] {
+            let out = run_schedule(&cdqs, poses.len(), s);
+            assert_eq!(out.colliding, cdqs.iter().any(|c| c.colliding), "{s:?}");
+            assert!(out.cdqs_executed <= out.cdqs_total);
+        }
+    }
+
+    #[test]
+    fn arm_motion_through_obstacle() {
+        let robot: Robot = presets::kuka_iiwa().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::from_center_half_extents(Vec3::new(0.5, 0.0, 0.5), Vec3::splat(0.25))],
+        );
+        // A sweep of the base joint passes the arm through the obstacle.
+        let motion = Motion::new(
+            Config::new(vec![-1.2, 0.9, 0.0, -1.2, 0.0, 0.0, 0.0]),
+            Config::new(vec![1.2, 0.9, 0.0, -1.2, 0.0, 0.0, 0.0]),
+        );
+        let poses = motion.discretize(20);
+        let oracle = check_motion_scheduled(&robot, &env, &poses, Schedule::Oracle);
+        let naive = check_motion_scheduled(&robot, &env, &poses, Schedule::Naive);
+        if oracle.colliding {
+            assert_eq!(oracle.cdqs_executed, 1);
+            assert!(naive.cdqs_executed > 1);
+        } else {
+            assert_eq!(naive.cdqs_executed, naive.cdqs_total);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Prediction-quality metrics.
+//!
+//! The paper evaluates hash functions and strategies by *collision
+//! prediction precision* ("the fraction of poses in collision from poses
+//! predicted for collision") and *recall* ("the ratio of the number of
+//! colliding poses predicted to be in a collision and total colliding
+//! poses").
+
+/// A confusion matrix over predicted vs actual CDQ outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictionMetrics {
+    /// Predicted colliding, actually colliding.
+    pub tp: u64,
+    /// Predicted colliding, actually free.
+    pub fp: u64,
+    /// Predicted free, actually free.
+    pub tn: u64,
+    /// Predicted free, actually colliding.
+    pub fn_: u64,
+}
+
+impl PredictionMetrics {
+    /// An empty confusion matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction against ground truth.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision: `TP / (TP + FP)`. Returns 0 when nothing was predicted
+    /// colliding.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall: `TP / (TP + FN)`. Returns 0 when nothing actually collided.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Base rate of actual collisions — the "random baseline" precision the
+    /// paper quotes (2.6% low-density, 26% high-density).
+    pub fn base_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.fn_) as f64 / t as f64
+        }
+    }
+
+    /// Accuracy: fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &PredictionMetrics) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = PredictionMetrics::new();
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn perfect_predictor() {
+        let mut m = PredictionMetrics::new();
+        for _ in 0..10 {
+            m.record(true, true);
+        }
+        for _ in 0..90 {
+            m.record(false, false);
+        }
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert!((m.base_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_predictor() {
+        let mut m = PredictionMetrics::new();
+        // 8 TP, 2 FP, 4 FN, 86 TN.
+        m.tp = 8;
+        m.fp = 2;
+        m.fn_ = 4;
+        m.tn = 86;
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.94).abs() < 1e-12);
+        assert!((m.base_rate() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_covers_all_cells() {
+        let mut m = PredictionMetrics::new();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, true);
+        m.record(false, false);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (1, 1, 1, 1));
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn merge_adds_cells() {
+        let mut a = PredictionMetrics { tp: 1, fp: 2, tn: 3, fn_: 4 };
+        let b = PredictionMetrics { tp: 10, fp: 20, tn: 30, fn_: 40 };
+        a.merge(&b);
+        assert_eq!(a, PredictionMetrics { tp: 11, fp: 22, tn: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn never_predicting_gives_zero_precision_full_tn() {
+        let mut m = PredictionMetrics::new();
+        for _ in 0..5 {
+            m.record(false, true);
+        }
+        for _ in 0..95 {
+            m.record(false, false);
+        }
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert!((m.accuracy() - 0.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,288 @@
+//! A tiny from-scratch MLP autoencoder.
+//!
+//! The paper's ENPOSE/ENCOORD hash variants "train a small encoder-decoder
+//! network on 32,768 random poses using the loss between input poses and
+//! decoded poses. One-layer MLPs are used as the encoder and decoder to keep
+//! encoding overhead low." This module implements exactly that: a one-layer
+//! tanh encoder, a one-layer linear decoder, and plain SGD on mean squared
+//! error. No external ML dependency is used.
+
+use rand::Rng;
+
+/// A dense layer `y = W x + b` with optional tanh activation.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Vec<f64>, // row-major: out x in
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    tanh: bool,
+}
+
+impl Linear {
+    /// Creates a layer with uniform Xavier-style initialization.
+    pub fn new<R: Rng + ?Sized>(n_in: usize, n_out: usize, tanh: bool, rng: &mut R) -> Self {
+        assert!(n_in > 0 && n_out > 0, "layer dimensions must be positive");
+        let scale = (6.0 / (n_in + n_out) as f64).sqrt();
+        Linear {
+            w: (0..n_in * n_out).map(|_| rng.gen_range(-scale..scale)).collect(),
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            tanh,
+        }
+    }
+
+    /// Input dimension.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output dimension.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != n_in`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_in, "input dimension mismatch");
+        (0..self.n_out)
+            .map(|o| {
+                let z: f64 = self.b[o]
+                    + self.w[o * self.n_in..(o + 1) * self.n_in]
+                        .iter()
+                        .zip(x)
+                        .map(|(w, xi)| w * xi)
+                        .sum::<f64>();
+                if self.tanh {
+                    z.tanh()
+                } else {
+                    z
+                }
+            })
+            .collect()
+    }
+
+    /// Backward pass for one sample: given the input `x`, the produced
+    /// output `y`, and the gradient of the loss w.r.t. `y`, applies an SGD
+    /// step of size `lr` and returns the gradient w.r.t. `x`.
+    fn backward(&mut self, x: &[f64], y: &[f64], dy: &[f64], lr: f64) -> Vec<f64> {
+        let mut dx = vec![0.0; self.n_in];
+        for o in 0..self.n_out {
+            // d(tanh)/dz = 1 - y^2 for the activated layer, 1 otherwise.
+            let dz = if self.tanh { dy[o] * (1.0 - y[o] * y[o]) } else { dy[o] };
+            let row = &mut self.w[o * self.n_in..(o + 1) * self.n_in];
+            for (i, (w, xi)) in row.iter_mut().zip(x).enumerate() {
+                dx[i] += *w * dz;
+                *w -= lr * dz * xi;
+            }
+            self.b[o] -= lr * dz;
+        }
+        dx
+    }
+}
+
+/// An encoder-decoder pair trained to reconstruct its inputs.
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    encoder: Linear,
+    decoder: Linear,
+    /// Per-latent-dimension value ranges observed on the training set, used
+    /// by the hash layer to quantize latents.
+    latent_ranges: Vec<(f64, f64)>,
+}
+
+impl Autoencoder {
+    /// Trains an autoencoder with `latent_dim` latent dimensions on
+    /// `samples` for `epochs` passes of SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty or dimensions are inconsistent.
+    pub fn train<R: Rng + ?Sized>(
+        samples: &[Vec<f64>],
+        latent_dim: usize,
+        epochs: usize,
+        lr: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!samples.is_empty(), "autoencoder needs training samples");
+        let n = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == n), "inconsistent sample dims");
+        let mut encoder = Linear::new(n, latent_dim, true, rng);
+        let mut decoder = Linear::new(latent_dim, n, false, rng);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _ in 0..epochs {
+            // Fisher-Yates shuffle for SGD sample order.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for &idx in &order {
+                let x = &samples[idx];
+                let z = encoder.forward(x);
+                let y = decoder.forward(&z);
+                // MSE gradient: dL/dy = 2 (y - x) / n.
+                let dy: Vec<f64> = y.iter().zip(x).map(|(yi, xi)| 2.0 * (yi - xi) / n as f64).collect();
+                let dz = decoder.backward(&z, &y, &dy, lr);
+                encoder.backward(x, &z, &dz, lr);
+            }
+        }
+        // Record latent ranges over the training set for quantization.
+        let mut latent_ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); latent_dim];
+        for s in samples {
+            for (d, z) in encoder.forward(s).into_iter().enumerate() {
+                let r = &mut latent_ranges[d];
+                r.0 = r.0.min(z);
+                r.1 = r.1.max(z);
+            }
+        }
+        // Guard degenerate (constant) latents.
+        for r in &mut latent_ranges {
+            if r.1 - r.0 < 1e-9 {
+                r.1 = r.0 + 1e-9;
+            }
+        }
+        Autoencoder { encoder, decoder, latent_ranges }
+    }
+
+    /// Latent dimension.
+    pub fn latent_dim(&self) -> usize {
+        self.encoder.n_out()
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.encoder.n_in()
+    }
+
+    /// Encodes a sample into latent space.
+    pub fn encode(&self, x: &[f64]) -> Vec<f64> {
+        self.encoder.forward(x)
+    }
+
+    /// Reconstructs a sample.
+    pub fn reconstruct(&self, x: &[f64]) -> Vec<f64> {
+        self.decoder.forward(&self.encode(x))
+    }
+
+    /// Mean squared reconstruction error over a set.
+    pub fn mse(&self, samples: &[Vec<f64>]) -> f64 {
+        let mut total = 0.0;
+        for s in samples {
+            let y = self.reconstruct(s);
+            total += y.iter().zip(s).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / s.len() as f64;
+        }
+        total / samples.len() as f64
+    }
+
+    /// Quantizes the latent representation of `x` to `k` bits per dimension
+    /// using the training-set latent ranges, concatenating dimensions into
+    /// one code (lowest dimension in the most significant position).
+    pub fn quantized_code(&self, x: &[f64], k: u32) -> u64 {
+        let mut code = 0u64;
+        for (d, z) in self.encode(x).into_iter().enumerate() {
+            let (lo, hi) = self.latent_ranges[d];
+            let t = ((z - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let max = (1u64 << k) - 1;
+            let q = (t * max as f64).round() as u64;
+            code = (code << k) | q;
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn linear_forward_shapes() {
+        let mut r = rng();
+        let l = Linear::new(3, 2, false, &mut r);
+        let y = l.forward(&[1.0, 0.0, -1.0]);
+        assert_eq!(y.len(), 2);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tanh_saturates() {
+        let mut r = rng();
+        let mut l = Linear::new(1, 1, true, &mut r);
+        // Force a huge weight manually via training steps toward saturation.
+        for _ in 0..200 {
+            let x = [10.0];
+            let y = l.forward(&x);
+            let dy = [y[0] - 1.0];
+            l.backward(&x, &y, &dy, 0.5);
+        }
+        let y = l.forward(&[10.0]);
+        assert!(y[0] <= 1.0 && y[0] >= -1.0);
+    }
+
+    #[test]
+    fn autoencoder_learns_linear_structure() {
+        // Data on a 1-D manifold in 3-D: (t, 2t, -t). A 1-latent autoencoder
+        // must reconstruct it much better than an untrained one.
+        let mut r = rng();
+        let samples: Vec<Vec<f64>> = (0..256)
+            .map(|_| {
+                let t: f64 = r.gen_range(-1.0..1.0);
+                vec![t, 2.0 * t, -t]
+            })
+            .collect();
+        let trained = Autoencoder::train(&samples, 1, 60, 0.05, &mut r);
+        let untrained = Autoencoder::train(&samples, 1, 0, 0.05, &mut r);
+        let mse_t = trained.mse(&samples);
+        let mse_u = untrained.mse(&samples);
+        assert!(mse_t < mse_u * 0.2, "trained {mse_t} vs untrained {mse_u}");
+        assert!(mse_t < 0.05, "trained mse too high: {mse_t}");
+    }
+
+    #[test]
+    fn quantized_code_within_width() {
+        let mut r = rng();
+        let samples: Vec<Vec<f64>> = (0..64)
+            .map(|_| (0..4).map(|_| r.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let ae = Autoencoder::train(&samples, 2, 5, 0.05, &mut r);
+        for s in &samples {
+            let code = ae.quantized_code(s, 5);
+            assert!(code < (1 << 10), "code {code} exceeds 10 bits");
+        }
+    }
+
+    #[test]
+    fn quantized_code_is_deterministic() {
+        let mut r = rng();
+        let samples: Vec<Vec<f64>> = (0..32).map(|_| vec![r.gen_range(-1.0..1.0); 3]).collect();
+        let ae = Autoencoder::train(&samples, 2, 3, 0.05, &mut r);
+        assert_eq!(ae.quantized_code(&samples[0], 4), ae.quantized_code(&samples[0], 4));
+    }
+
+    #[test]
+    fn encode_dim_matches_latent() {
+        let mut r = rng();
+        let samples = vec![vec![0.5, -0.5]; 8];
+        let ae = Autoencoder::train(&samples, 2, 1, 0.1, &mut r);
+        assert_eq!(ae.latent_dim(), 2);
+        assert_eq!(ae.input_dim(), 2);
+        assert_eq!(ae.encode(&samples[0]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs training samples")]
+    fn empty_training_set_rejected() {
+        let mut r = rng();
+        let _ = Autoencoder::train(&[], 2, 1, 0.1, &mut r);
+    }
+}

@@ -1,0 +1,287 @@
+//! Statistical model of computation reduction (paper Fig. 13).
+//!
+//! The paper reports "approximate computation reductions achieved by
+//! collision prediction using a statistical model. This statistical model
+//! considers the baseline collision probability, precision, and recall and
+//! provides the potential decrease in the number of CDQs executed for
+//! collision check of a motion consisting of 80 CDQs." We implement that
+//! model by Monte-Carlo simulation over synthetic motions: outcomes are
+//! Bernoulli draws, the predictor flags CDQs consistently with the given
+//! precision/recall, flagged CDQs execute first, and execution early-exits
+//! at the first collision.
+
+use rand::Rng;
+
+/// Parameters of the statistical computation model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatModelParams {
+    /// CDQs per motion (the paper uses 80).
+    pub cdqs_per_motion: usize,
+    /// Probability that an individual CDQ collides (baseline collision
+    /// probability of the environment).
+    pub collision_prob: f64,
+    /// Predictor precision.
+    pub precision: f64,
+    /// Predictor recall.
+    pub recall: f64,
+    /// Monte-Carlo trials.
+    pub trials: usize,
+}
+
+impl StatModelParams {
+    /// The paper's motion size with typical defaults.
+    pub fn paper_default(collision_prob: f64, precision: f64, recall: f64) -> Self {
+        StatModelParams {
+            cdqs_per_motion: 80,
+            collision_prob,
+            precision,
+            recall,
+            trials: 4000,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.cdqs_per_motion > 0, "motion needs at least one CDQ");
+        assert!((0.0..=1.0).contains(&self.collision_prob), "p must be a probability");
+        assert!((0.0..=1.0).contains(&self.precision), "precision must be a probability");
+        assert!((0.0..=1.0).contains(&self.recall), "recall must be a probability");
+        assert!(self.trials > 0, "need at least one trial");
+    }
+}
+
+/// False-positive flag probability implied by `(p, precision, recall)`:
+/// solving `precision = r·p / (r·p + q·(1-p))` for `q`, clamped to `[0, 1]`.
+pub fn implied_fp_rate(p: f64, precision: f64, recall: f64) -> f64 {
+    if p >= 1.0 {
+        return 0.0;
+    }
+    if precision <= 0.0 {
+        // Zero precision with any flags means everything free is flagged.
+        return if recall > 0.0 { 1.0 } else { 0.0 };
+    }
+    (recall * p * (1.0 - precision) / (precision * (1.0 - p))).clamp(0.0, 1.0)
+}
+
+/// Expected CDQs executed per motion **without** prediction (uniformly
+/// random execution order, early exit at the first collision).
+pub fn expected_cdqs_baseline<R: Rng + ?Sized>(params: &StatModelParams, rng: &mut R) -> f64 {
+    params.validate();
+    let n = params.cdqs_per_motion;
+    let mut total = 0u64;
+    for _ in 0..params.trials {
+        let mut executed = n;
+        for i in 0..n {
+            if rng.gen::<f64>() < params.collision_prob {
+                executed = i + 1;
+                break;
+            }
+        }
+        total += executed as u64;
+    }
+    total as f64 / params.trials as f64
+}
+
+/// Expected CDQs executed per motion **with** prediction: flagged CDQs
+/// (true positives with probability `recall`, false positives at the implied
+/// rate) execute before unflagged ones.
+pub fn expected_cdqs_predicted<R: Rng + ?Sized>(params: &StatModelParams, rng: &mut R) -> f64 {
+    params.validate();
+    let n = params.cdqs_per_motion;
+    let q = implied_fp_rate(params.collision_prob, params.precision, params.recall);
+    let mut total = 0u64;
+    for _ in 0..params.trials {
+        // Draw outcomes and flags.
+        let mut flagged_coll = 0usize; // colliding CDQs the predictor flags
+        let mut flagged_free = 0usize; // free CDQs the predictor flags
+        let mut unflagged_coll = 0usize;
+        let mut unflagged_free = 0usize;
+        for _ in 0..n {
+            let colliding = rng.gen::<f64>() < params.collision_prob;
+            let flagged = if colliding {
+                rng.gen::<f64>() < params.recall
+            } else {
+                rng.gen::<f64>() < q
+            };
+            match (flagged, colliding) {
+                (true, true) => flagged_coll += 1,
+                (true, false) => flagged_free += 1,
+                (false, true) => unflagged_coll += 1,
+                (false, false) => unflagged_free += 1,
+            }
+        }
+        total += executed_with_priority(
+            flagged_coll,
+            flagged_free,
+            unflagged_coll,
+            unflagged_free,
+            rng,
+        ) as u64;
+    }
+    total as f64 / params.trials as f64
+}
+
+/// Simulates early-exit execution where the flagged group runs first;
+/// ordering within each group is uniformly random.
+fn executed_with_priority<R: Rng + ?Sized>(
+    flagged_coll: usize,
+    flagged_free: usize,
+    unflagged_coll: usize,
+    unflagged_free: usize,
+    rng: &mut R,
+) -> usize {
+    let first = count_until_hit(flagged_coll, flagged_free, rng);
+    match first {
+        Some(k) => k,
+        None => {
+            let flagged_total = flagged_coll + flagged_free;
+            match count_until_hit(unflagged_coll, unflagged_free, rng) {
+                Some(k) => flagged_total + k,
+                None => flagged_total + unflagged_coll + unflagged_free,
+            }
+        }
+    }
+}
+
+/// Number of draws until the first colliding item when `coll` colliding and
+/// `free` free items are executed in uniformly random order; `None` if no
+/// colliding item exists.
+fn count_until_hit<R: Rng + ?Sized>(coll: usize, free: usize, rng: &mut R) -> Option<usize> {
+    if coll == 0 {
+        return None;
+    }
+    let (c, mut f) = (coll as f64, free as f64);
+    let mut executed = 0usize;
+    loop {
+        executed += 1;
+        if rng.gen::<f64>() < c / (c + f) {
+            return Some(executed);
+        }
+        f -= 1.0;
+    }
+}
+
+/// The Fig. 13 metric: fractional decrease in expected executed CDQs versus
+/// the unpredicted baseline, in `[-1, 1]` (negative would mean the predictor
+/// hurt).
+pub fn computation_decrease<R: Rng + ?Sized>(params: &StatModelParams, rng: &mut R) -> f64 {
+    let base = expected_cdqs_baseline(params, rng);
+    let pred = expected_cdqs_predicted(params, rng);
+    (base - pred) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn implied_fp_rate_consistency() {
+        // Perfect precision => no false positives.
+        assert_eq!(implied_fp_rate(0.1, 1.0, 0.8), 0.0);
+        // precision == base rate with full recall => flag everything.
+        let q = implied_fp_rate(0.2, 0.2, 1.0);
+        assert!((q - 1.0).abs() < 1e-9);
+        // Zero recall => no flags needed.
+        assert_eq!(implied_fp_rate(0.2, 0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn oracle_limit_is_one_cdq_for_colliding_motions() {
+        // precision=recall=1 with p=1: every CDQ collides, predictor flags
+        // all, first executed hits.
+        let params = StatModelParams {
+            cdqs_per_motion: 80,
+            collision_prob: 1.0,
+            precision: 1.0,
+            recall: 1.0,
+            trials: 200,
+        };
+        let e = expected_cdqs_predicted(&params, &mut rng());
+        assert!((e - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_collisions_executes_everything() {
+        let params = StatModelParams {
+            cdqs_per_motion: 40,
+            collision_prob: 0.0,
+            precision: 0.9,
+            recall: 0.9,
+            trials: 100,
+        };
+        assert_eq!(expected_cdqs_baseline(&params, &mut rng()), 40.0);
+        assert_eq!(expected_cdqs_predicted(&params, &mut rng()), 40.0);
+        assert_eq!(computation_decrease(&params, &mut rng()), 0.0);
+    }
+
+    #[test]
+    fn good_predictor_reduces_computation() {
+        let params = StatModelParams::paper_default(0.1, 0.8, 0.6);
+        let dec = computation_decrease(&params, &mut rng());
+        assert!(dec > 0.1, "decrease {dec}");
+    }
+
+    #[test]
+    fn perfect_predictor_beats_imperfect() {
+        let perfect = StatModelParams::paper_default(0.1, 1.0, 1.0);
+        let weak = StatModelParams::paper_default(0.1, 0.4, 0.2);
+        let mut r = rng();
+        let d_perfect = computation_decrease(&perfect, &mut r);
+        let d_weak = computation_decrease(&weak, &mut r);
+        assert!(d_perfect > d_weak, "perfect {d_perfect} vs weak {d_weak}");
+    }
+
+    #[test]
+    fn high_clutter_prefers_precision_low_clutter_prefers_recall() {
+        // The paper's Fig. 13 observation: in low-clutter environments
+        // recall matters (aggressive predictor wins); in high clutter
+        // precision matters.
+        let mut r = rng();
+        // Low clutter: aggressive (high recall, low precision) vs
+        // conservative (low recall, high precision).
+        let low_aggr = StatModelParams::paper_default(0.025, 0.3, 0.9);
+        let low_cons = StatModelParams::paper_default(0.025, 0.9, 0.2);
+        let d_aggr = computation_decrease(&low_aggr, &mut r);
+        let d_cons = computation_decrease(&low_cons, &mut r);
+        assert!(d_aggr > d_cons, "low clutter: aggressive {d_aggr} vs conservative {d_cons}");
+        // High clutter: precision wins.
+        let hi_aggr = StatModelParams::paper_default(0.25, 0.3, 0.95);
+        let hi_cons = StatModelParams::paper_default(0.25, 0.95, 0.45);
+        let d_aggr = computation_decrease(&hi_aggr, &mut r);
+        let d_cons = computation_decrease(&hi_cons, &mut r);
+        assert!(d_cons > d_aggr, "high clutter: conservative {d_cons} vs aggressive {d_aggr}");
+    }
+
+    #[test]
+    fn baseline_expectation_matches_geometric() {
+        // With collision probability p, the baseline early-exit count is
+        // approximately min(Geom(p), N).
+        let params = StatModelParams {
+            cdqs_per_motion: 200,
+            collision_prob: 0.25,
+            precision: 1.0,
+            recall: 1.0,
+            trials: 20_000,
+        };
+        let e = expected_cdqs_baseline(&params, &mut rng());
+        assert!((e - 4.0).abs() < 0.2, "expected ~4, got {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be a probability")]
+    fn invalid_probability_rejected() {
+        let params = StatModelParams {
+            cdqs_per_motion: 10,
+            collision_prob: 1.5,
+            precision: 0.5,
+            recall: 0.5,
+            trials: 10,
+        };
+        let _ = expected_cdqs_baseline(&params, &mut rng());
+    }
+}

@@ -1,0 +1,141 @@
+//! ASCII rendering of planar scenes — a zero-dependency way to *see* 2D
+//! environments, paths, and predictor behaviour in terminals, examples, and
+//! failing-test output.
+
+use copred_collision::Environment;
+use copred_geometry::Vec3;
+
+/// Renders the z = 0 slice of an environment as an ASCII grid.
+///
+/// Obstacles render as `#`, free space as `·`, and each point of `path`
+/// as `*` (drawn over obstacles as `X` to make collisions visible). The
+/// first and last path points render as `S` and `G`.
+///
+/// # Panics
+///
+/// Panics when `cols` or `rows` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use copred_envgen::ascii_scene;
+/// use copred_collision::Environment;
+/// use copred_geometry::{Aabb, Vec3};
+///
+/// let ws = Aabb::new(Vec3::new(-1.0, -1.0, -0.1), Vec3::new(1.0, 1.0, 0.1));
+/// let env = Environment::new(ws, vec![Aabb::new(
+///     Vec3::new(-0.1, -1.0, -0.1), Vec3::new(0.1, 0.0, 0.1),
+/// )]);
+/// let art = ascii_scene(&env, &[], 20, 10);
+/// assert!(art.contains('#'));
+/// ```
+pub fn ascii_scene(env: &Environment, path: &[Vec3], cols: usize, rows: usize) -> String {
+    assert!(cols > 0 && rows > 0, "grid must have positive dimensions");
+    let ws = env.workspace();
+    let (min, ext) = (ws.min, ws.extents());
+    let cell = |r: usize, c: usize| -> Vec3 {
+        Vec3::new(
+            min.x + ext.x * (c as f64 + 0.5) / cols as f64,
+            // Row 0 is the top of the picture (max y).
+            min.y + ext.y * ((rows - 1 - r) as f64 + 0.5) / rows as f64,
+            0.0,
+        )
+    };
+    let mut grid: Vec<Vec<char>> = (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| if env.point_collides(cell(r, c)) { '#' } else { '·' })
+                .collect()
+        })
+        .collect();
+    let to_rc = |p: Vec3| -> Option<(usize, usize)> {
+        let cx = ((p.x - min.x) / ext.x * cols as f64).floor();
+        let cy = ((p.y - min.y) / ext.y * rows as f64).floor();
+        if cx < 0.0 || cy < 0.0 || cx >= cols as f64 || cy >= rows as f64 {
+            return None;
+        }
+        Some((rows - 1 - cy as usize, cx as usize))
+    };
+    for (i, &p) in path.iter().enumerate() {
+        if let Some((r, c)) = to_rc(p) {
+            let mark = if i == 0 {
+                'S'
+            } else if i == path.len() - 1 {
+                'G'
+            } else if grid[r][c] == '#' {
+                'X'
+            } else {
+                '*'
+            };
+            grid[r][c] = mark;
+        }
+    }
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_geometry::Aabb;
+
+    fn env_with_wall() -> Environment {
+        let ws = Aabb::new(Vec3::new(-1.0, -1.0, -0.1), Vec3::new(1.0, 1.0, 0.1));
+        Environment::new(
+            ws,
+            vec![Aabb::new(Vec3::new(-0.1, -1.0, -0.1), Vec3::new(0.1, 0.2, 0.1))],
+        )
+    }
+
+    #[test]
+    fn renders_requested_dimensions() {
+        let art = ascii_scene(&env_with_wall(), &[], 24, 12);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 12);
+        assert!(lines.iter().all(|l| l.chars().count() == 24));
+    }
+
+    #[test]
+    fn wall_appears_in_the_middle_columns() {
+        let art = ascii_scene(&env_with_wall(), &[], 20, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        // Bottom row crosses the wall; top row does not (wall ends at y=0.2).
+        assert!(lines.last().unwrap().contains('#'));
+        assert!(!lines.first().unwrap().contains('#'));
+        // Wall occupies the central columns only.
+        let bottom: Vec<char> = lines.last().unwrap().chars().collect();
+        assert_eq!(bottom[0], '·');
+        assert_eq!(bottom[19], '·');
+        assert_eq!(bottom[10], '#');
+    }
+
+    #[test]
+    fn path_markers_and_collision_highlight() {
+        let path = vec![
+            Vec3::new(-0.8, 0.8, 0.0),
+            Vec3::new(0.0, -0.5, 0.0), // inside the wall -> X
+            Vec3::new(0.8, 0.8, 0.0),
+        ];
+        let art = ascii_scene(&env_with_wall(), &path, 20, 10);
+        assert!(art.contains('S'));
+        assert!(art.contains('G'));
+        assert!(art.contains('X'), "colliding waypoint not highlighted:\n{art}");
+    }
+
+    #[test]
+    fn out_of_workspace_points_are_skipped() {
+        let path = vec![Vec3::new(5.0, 5.0, 0.0)];
+        let art = ascii_scene(&env_with_wall(), &path, 10, 5);
+        assert!(!art.contains('S'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn zero_grid_rejected() {
+        let _ = ascii_scene(&env_with_wall(), &[], 0, 5);
+    }
+}

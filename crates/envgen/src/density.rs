@@ -1,0 +1,211 @@
+//! Obstacle-density classes and calibration.
+//!
+//! The paper's random benchmarks bound obstacle size and count "such that,
+//! on average, ~2.5%, ~10%, and ~25% robot poses are in collision" for low,
+//! medium, and high density. [`calibrated_environment`] reproduces that
+//! protocol: it scales obstacle extents until the measured colliding-pose
+//! fraction hits the target.
+
+use copred_collision::{check_pose, Environment};
+use copred_geometry::{Aabb, Vec3};
+use copred_kinematics::Robot;
+use rand::Rng;
+
+/// Obstacle-density classes from the paper's methodology (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Density {
+    /// ~2.5% of random poses collide.
+    Low,
+    /// ~10% of random poses collide.
+    Medium,
+    /// ~25% of random poses collide.
+    High,
+}
+
+impl Density {
+    /// Target colliding-pose fraction.
+    pub fn target(&self) -> f64 {
+        match self {
+            Density::Low => 0.025,
+            Density::Medium => 0.10,
+            Density::High => 0.25,
+        }
+    }
+
+    /// All classes, low to high.
+    pub fn all() -> [Density; 3] {
+        [Density::Low, Density::Medium, Density::High]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Density::Low => "low",
+            Density::Medium => "medium",
+            Density::High => "high",
+        }
+    }
+}
+
+/// Measures the fraction of uniformly random poses that collide.
+pub fn colliding_pose_fraction<R: Rng + ?Sized>(
+    robot: &Robot,
+    env: &Environment,
+    n_poses: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(n_poses > 0, "need at least one probe pose");
+    let mut hits = 0usize;
+    for _ in 0..n_poses {
+        let q = robot.sample_uniform(rng);
+        if check_pose(robot, env, &q).0 {
+            hits += 1;
+        }
+    }
+    hits as f64 / n_poses as f64
+}
+
+/// Places `count` cuboid obstacles with extents scaled by `scale` uniformly
+/// inside the robot's workspace (the paper: "random placement of 5 - 9
+/// cuboid-shaped obstacles ... limited to the reach of the robot").
+pub fn random_obstacles<R: Rng + ?Sized>(
+    robot: &Robot,
+    count: usize,
+    scale: f64,
+    rng: &mut R,
+) -> Vec<Aabb> {
+    let ws = robot.workspace();
+    let ext = ws.extents();
+    (0..count)
+        .map(|_| {
+            let half = Vec3::new(
+                rng.gen_range(0.5..1.0) * scale * ext.x,
+                rng.gen_range(0.5..1.0) * scale * ext.y,
+                rng.gen_range(0.5..1.0) * scale * ext.z,
+            );
+            let center = Vec3::new(
+                rng.gen_range(ws.min.x + half.x..ws.max.x - half.x),
+                rng.gen_range(ws.min.y + half.y..ws.max.y - half.y),
+                rng.gen_range(ws.min.z + half.z..ws.max.z - half.z),
+            );
+            Aabb::from_center_half_extents(center, half)
+        })
+        .collect()
+}
+
+/// Generates an environment whose measured colliding-pose fraction matches
+/// the density target, by bisecting the obstacle size scale.
+///
+/// `probe_poses` controls calibration accuracy (the paper samples 1000 poses
+/// per scene; 200-400 suffice for calibration).
+pub fn calibrated_environment<R: Rng + ?Sized>(
+    robot: &Robot,
+    density: Density,
+    probe_poses: usize,
+    rng: &mut R,
+) -> Environment {
+    let target = density.target();
+    let count = rng.gen_range(5..=9);
+    // Freeze obstacle *shapes* (unit-scale extents and relative positions are
+    // re-rolled per trial scale to keep placement feasible).
+    let (mut lo, mut hi) = (0.005f64, 0.22f64);
+    let mut best: Option<(f64, Environment)> = None;
+    for _ in 0..9 {
+        let scale = 0.5 * (lo + hi);
+        let env = Environment::new(robot.workspace(), random_obstacles(robot, count, scale, rng));
+        let frac = colliding_pose_fraction(robot, &env, probe_poses, rng);
+        let err = (frac - target).abs();
+        if best.as_ref().is_none_or(|(e, _)| err < *e) {
+            best = Some((err, env));
+        }
+        if frac < target {
+            lo = scale;
+        } else {
+            hi = scale;
+        }
+    }
+    best.expect("bisection ran at least once").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_kinematics::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn density_targets_match_paper() {
+        assert_eq!(Density::Low.target(), 0.025);
+        assert_eq!(Density::Medium.target(), 0.10);
+        assert_eq!(Density::High.target(), 0.25);
+        assert_eq!(Density::all().len(), 3);
+        assert_eq!(Density::High.label(), "high");
+    }
+
+    #[test]
+    fn random_obstacles_stay_in_workspace() {
+        let robot: Robot = presets::jaco2().into();
+        let ws = robot.workspace();
+        let mut rng = StdRng::seed_from_u64(5);
+        for o in random_obstacles(&robot, 9, 0.1, &mut rng) {
+            assert!(ws.contains_aabb(&o), "obstacle {o:?} escapes workspace");
+        }
+    }
+
+    #[test]
+    fn fraction_is_zero_in_empty_env() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::empty(robot.workspace());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(colliding_pose_fraction(&robot, &env, 50, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn fraction_is_one_when_everything_is_obstacle() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(robot.workspace(), vec![robot.workspace()]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(colliding_pose_fraction(&robot, &env, 50, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn calibration_hits_targets_planar() {
+        let robot: Robot = presets::planar_2d().into();
+        let mut rng = StdRng::seed_from_u64(33);
+        for d in Density::all() {
+            let env = calibrated_environment(&robot, d, 300, &mut rng);
+            let measured = colliding_pose_fraction(&robot, &env, 600, &mut rng);
+            let target = d.target();
+            assert!(
+                (measured - target).abs() < target.max(0.02) * 0.9 + 0.02,
+                "{}: measured {measured}, target {target}",
+                d.label()
+            );
+            assert!((5..=9).contains(&env.obstacle_count()));
+        }
+    }
+
+    #[test]
+    fn calibration_hits_target_arm_medium() {
+        let robot: Robot = presets::jaco2().into();
+        let mut rng = StdRng::seed_from_u64(7);
+        let env = calibrated_environment(&robot, Density::Medium, 150, &mut rng);
+        let measured = colliding_pose_fraction(&robot, &env, 300, &mut rng);
+        assert!(
+            (0.03..0.25).contains(&measured),
+            "medium-density arm scene measured {measured}"
+        );
+    }
+
+    #[test]
+    fn higher_density_classes_collide_more() {
+        let robot: Robot = presets::planar_2d().into();
+        let mut rng = StdRng::seed_from_u64(4);
+        let lo = calibrated_environment(&robot, Density::Low, 300, &mut rng);
+        let hi = calibrated_environment(&robot, Density::High, 300, &mut rng);
+        let f_lo = colliding_pose_fraction(&robot, &lo, 500, &mut rng);
+        let f_hi = colliding_pose_fraction(&robot, &hi, 500, &mut rng);
+        assert!(f_hi > f_lo, "high {f_hi} !> low {f_lo}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Difficulty grouping G1–G5.
+//!
+//! The paper approximates a planning query's difficulty by "the number of
+//! CDQs performed during a motion planning query" and divides benchmarks
+//! "into five equal-size groups, G1-G5, where the difficulty level increases
+//! from G1 to G5" (Fig. 7, Fig. 15).
+
+/// The five difficulty quintiles.
+pub const GROUP_COUNT: usize = 5;
+
+/// Labels `G1`..`G5`.
+pub fn group_label(g: usize) -> String {
+    assert!(g < GROUP_COUNT, "group index out of range");
+    format!("G{}", g + 1)
+}
+
+/// Splits items into [`GROUP_COUNT`] equal-size groups ordered by a
+/// difficulty key (ascending). Returns a vector of groups, each holding the
+/// original item indices. Sizes differ by at most one when the item count is
+/// not divisible by five.
+///
+/// # Examples
+///
+/// ```
+/// use copred_envgen::group_by_difficulty;
+///
+/// let costs = vec![50u64, 10, 40, 20, 30];
+/// let groups = group_by_difficulty(&costs, |c| *c);
+/// assert_eq!(groups[0], vec![1]); // the cheapest query is G1
+/// assert_eq!(groups[4], vec![0]); // the most expensive is G5
+/// ```
+pub fn group_by_difficulty<T, F: Fn(&T) -> u64>(items: &[T], key: F) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (key(&items[i]), i));
+    let n = items.len();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); GROUP_COUNT];
+    for (rank, idx) in order.into_iter().enumerate() {
+        // Distribute ranks evenly: group g covers ranks [g*n/5, (g+1)*n/5).
+        let g = (rank * GROUP_COUNT).checked_div(n).unwrap_or(0);
+        groups[g.min(GROUP_COUNT - 1)].push(idx);
+    }
+    groups
+}
+
+/// Mean of `key` over the item indices of each group (NaN-free: empty groups
+/// report 0).
+pub fn group_means<T, F: Fn(&T) -> f64>(items: &[T], groups: &[Vec<usize>], key: F) -> Vec<f64> {
+    groups
+        .iter()
+        .map(|g| {
+            if g.is_empty() {
+                0.0
+            } else {
+                g.iter().map(|&i| key(&items[i])).sum::<f64>() / g.len() as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_are_equal_size_when_divisible() {
+        let costs: Vec<u64> = (0..25).collect();
+        let groups = group_by_difficulty(&costs, |c| *c);
+        for g in &groups {
+            assert_eq!(g.len(), 5);
+        }
+        // Ascending difficulty across groups.
+        assert!(groups[0].iter().all(|&i| costs[i] < 5));
+        assert!(groups[4].iter().all(|&i| costs[i] >= 20));
+    }
+
+    #[test]
+    fn uneven_counts_differ_by_at_most_one() {
+        let costs: Vec<u64> = (0..23).collect();
+        let groups = group_by_difficulty(&costs, |c| *c);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn ties_are_stable() {
+        let costs = vec![5u64; 10];
+        let groups = group_by_difficulty(&costs, |c| *c);
+        // With all-equal keys the split is by original index order.
+        assert_eq!(groups[0], vec![0, 1]);
+        assert_eq!(groups[4], vec![8, 9]);
+    }
+
+    #[test]
+    fn group_means_computed_per_group() {
+        let costs = vec![1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let groups = group_by_difficulty(&costs, |c| *c as u64);
+        let means = group_means(&costs, &groups, |c| *c);
+        assert_eq!(means, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_groups() {
+        let costs: Vec<u64> = vec![];
+        let groups = group_by_difficulty(&costs, |c| *c);
+        assert!(groups.iter().all(Vec::is_empty));
+        let means = group_means(&costs, &groups, |c| *c as f64);
+        assert_eq!(means, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(group_label(0), "G1");
+        assert_eq!(group_label(4), "G5");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range() {
+        let _ = group_label(5);
+    }
+}

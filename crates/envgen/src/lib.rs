@@ -1,0 +1,37 @@
+//! # copred-envgen
+//!
+//! Benchmark environment generation for the COORD reproduction: random
+//! scenes with calibrated obstacle density (low/medium/high from the
+//! paper's methodology), tabletop and narrow-passage scenarios, the B1–B6
+//! benchmark suites of Fig. 1d, and the G1–G5 difficulty quintiles of
+//! Fig. 7 / Fig. 15.
+//!
+//! ## Example
+//!
+//! ```
+//! use copred_envgen::{random_scene, Density};
+//! use copred_kinematics::{presets, Robot};
+//!
+//! let robot: Robot = presets::planar_2d().into();
+//! let scene = random_scene(&robot, Density::Medium, 100, 42);
+//! assert_eq!(scene.poses.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ascii;
+mod density;
+mod difficulty;
+mod scenes;
+mod suites;
+
+pub use ascii::ascii_scene;
+pub use density::{
+    calibrated_environment, colliding_pose_fraction, random_obstacles, Density,
+};
+pub use difficulty::{group_by_difficulty, group_label, group_means, GROUP_COUNT};
+pub use scenes::{
+    narrow_passage_environment, random_scene, sample_free_config, tabletop_environment, Scene,
+};
+pub use suites::{build_suite, suite_environment, suite_robot, MotionBenchmark, SuiteId};

@@ -1,0 +1,201 @@
+//! Structured scenes: predictor-study scenes, tabletop scenarios, and
+//! narrow passages.
+
+use crate::density::{calibrated_environment, Density};
+use copred_collision::Environment;
+use copred_geometry::{Aabb, Vec3};
+use copred_kinematics::{Config, Robot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A predictor-study scene: one environment plus the random poses sampled in
+/// it (the paper samples "1000 random robot poses ... in an environment").
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// The obstacle scene.
+    pub env: Environment,
+    /// The sampled evaluation poses.
+    pub poses: Vec<Config>,
+}
+
+/// Generates a calibrated random scene with `n_poses` sampled poses.
+pub fn random_scene(robot: &Robot, density: Density, n_poses: usize, seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let env = calibrated_environment(robot, density, 250, &mut rng);
+    let poses = (0..n_poses).map(|_| robot.sample_uniform(&mut rng)).collect();
+    Scene { env, poses }
+}
+
+/// A tabletop scenario in the style of the MPNet/GNNMP benchmarks: "a work
+/// table with several objects randomly placed on the table and in the
+/// surroundings."
+pub fn tabletop_environment(robot: &Robot, n_objects: usize, seed: u64) -> Environment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ws = robot.workspace();
+    let reach = ws.half_extents().x;
+    let mut obstacles = Vec::with_capacity(n_objects + 1);
+    // The table: a slab in front of the robot, slightly below the base.
+    let table_top = -0.05;
+    obstacles.push(Aabb::new(
+        Vec3::new(0.25 * reach, -0.8 * reach, table_top - 0.04),
+        Vec3::new(0.95 * reach, 0.8 * reach, table_top),
+    ));
+    // Objects on the table and in the surroundings.
+    for i in 0..n_objects {
+        let half = Vec3::new(
+            rng.gen_range(0.03..0.11) * reach,
+            rng.gen_range(0.03..0.11) * reach,
+            rng.gen_range(0.06..0.26) * reach,
+        );
+        let center = if i % 4 != 3 {
+            // On the table.
+            Vec3::new(
+                rng.gen_range(0.3 * reach..0.9 * reach),
+                rng.gen_range(-0.7 * reach..0.7 * reach),
+                table_top + half.z,
+            )
+        } else {
+            // Floating in the surroundings (shelves, fixtures).
+            Vec3::new(
+                rng.gen_range(-0.6 * reach..0.9 * reach),
+                rng.gen_range(-0.8 * reach..0.8 * reach),
+                rng.gen_range(0.2 * reach..0.8 * reach),
+            )
+        };
+        obstacles.push(Aabb::from_center_half_extents(center, half));
+    }
+    Environment::new(ws, obstacles)
+}
+
+/// A narrow-passage scene: two blocks separated by a gap of width
+/// `gap_fraction` of the workspace — the challenging scenario class where
+/// the paper finds collision prediction helps most.
+pub fn narrow_passage_environment(robot: &Robot, gap_fraction: f64, seed: u64) -> Environment {
+    assert!(
+        gap_fraction > 0.0 && gap_fraction < 1.0,
+        "gap fraction must be in (0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ws = robot.workspace();
+    let ext = ws.extents();
+    // The dividing wall sits at a random x position in the middle band.
+    let wall_x = ws.min.x + ext.x * rng.gen_range(0.4..0.6);
+    let wall_half_t = 0.04 * ext.x;
+    let gap_half = 0.5 * gap_fraction * ext.y;
+    let gap_center = ws.min.y + ext.y * rng.gen_range(0.3..0.7);
+    let obstacles = vec![
+        // Lower wall segment.
+        Aabb::new(
+            Vec3::new(wall_x - wall_half_t, ws.min.y, ws.min.z),
+            Vec3::new(wall_x + wall_half_t, gap_center - gap_half, ws.max.z),
+        ),
+        // Upper wall segment.
+        Aabb::new(
+            Vec3::new(wall_x - wall_half_t, gap_center + gap_half, ws.min.z),
+            Vec3::new(wall_x + wall_half_t, ws.max.y, ws.max.z),
+        ),
+    ];
+    Environment::new(ws, obstacles)
+}
+
+/// Samples a collision-free configuration by rejection (up to `attempts`
+/// tries); returns `None` when the scene is too cluttered to find one.
+pub fn sample_free_config<R: Rng + ?Sized>(
+    robot: &Robot,
+    env: &Environment,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<Config> {
+    for _ in 0..attempts {
+        let q = robot.sample_uniform(rng);
+        if !copred_collision::check_pose(robot, env, &q).0 {
+            return Some(q);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_collision::check_pose;
+    use copred_kinematics::presets;
+
+    #[test]
+    fn random_scene_has_requested_poses() {
+        let robot: Robot = presets::planar_2d().into();
+        let s = random_scene(&robot, Density::Medium, 100, 3);
+        assert_eq!(s.poses.len(), 100);
+        assert!(s.env.obstacle_count() >= 5);
+    }
+
+    #[test]
+    fn random_scene_is_reproducible() {
+        let robot: Robot = presets::planar_2d().into();
+        let a = random_scene(&robot, Density::Low, 10, 42);
+        let b = random_scene(&robot, Density::Low, 10, 42);
+        assert_eq!(a.poses, b.poses);
+        assert_eq!(a.env.obstacles(), b.env.obstacles());
+    }
+
+    #[test]
+    fn tabletop_has_table_and_objects() {
+        let robot: Robot = presets::baxter_arm().into();
+        let env = tabletop_environment(&robot, 6, 1);
+        assert_eq!(env.obstacle_count(), 7);
+        // The table slab is wide and flat.
+        let table = &env.obstacles()[0];
+        let e = table.extents();
+        assert!(e.x > e.z && e.y > e.z);
+    }
+
+    #[test]
+    fn tabletop_blocks_some_poses_but_not_all() {
+        let robot: Robot = presets::kuka_iiwa().into();
+        let env = tabletop_environment(&robot, 8, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hits = 0;
+        let n = 200;
+        for _ in 0..n {
+            if check_pose(&robot, &env, &robot.sample_uniform(&mut rng)).0 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "tabletop never collides");
+        assert!(hits < n, "tabletop always collides");
+    }
+
+    #[test]
+    fn narrow_passage_leaves_a_gap() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = narrow_passage_environment(&robot, 0.15, 5);
+        assert_eq!(env.obstacle_count(), 2);
+        // The two wall segments do not overlap (there is a gap).
+        let [a, b] = [&env.obstacles()[0], &env.obstacles()[1]];
+        assert!(!a.intersects(b));
+    }
+
+    #[test]
+    fn free_config_sampling_avoids_obstacles() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = narrow_passage_environment(&robot, 0.2, 6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = sample_free_config(&robot, &env, 200, &mut rng).expect("free config exists");
+        assert!(!check_pose(&robot, &env, &q).0);
+    }
+
+    #[test]
+    fn fully_blocked_scene_returns_none() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(robot.workspace(), vec![robot.workspace()]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sample_free_config(&robot, &env, 50, &mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "gap fraction")]
+    fn invalid_gap_rejected() {
+        let robot: Robot = presets::planar_2d().into();
+        let _ = narrow_passage_environment(&robot, 1.5, 0);
+    }
+}

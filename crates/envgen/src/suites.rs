@@ -1,0 +1,170 @@
+//! Benchmark suites B1–B6 (paper Fig. 1d) and motion workloads.
+
+use crate::density::Density;
+use crate::scenes::{narrow_passage_environment, sample_free_config, tabletop_environment};
+use copred_collision::Environment;
+use copred_kinematics::{presets, Motion, Robot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A motion-checking benchmark: a robot, a scene, and the motions whose
+/// collision checks are measured.
+#[derive(Debug, Clone)]
+pub struct MotionBenchmark {
+    /// Benchmark label (suite + scenario index).
+    pub name: String,
+    /// The robot.
+    pub robot: Robot,
+    /// The scene.
+    pub env: Environment,
+    /// Motions to check.
+    pub motions: Vec<Motion>,
+}
+
+/// The six benchmark suites compared in Fig. 1d.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteId {
+    /// Jaco2 arm, low-clutter random scenes.
+    B1,
+    /// Jaco2 arm, medium-clutter random scenes.
+    B2,
+    /// Jaco2 arm, high-clutter random scenes.
+    B3,
+    /// KUKA iiwa, tabletop scenes.
+    B4,
+    /// Baxter arm, tabletop scenes.
+    B5,
+    /// 2D path planning, narrow passages.
+    B6,
+}
+
+impl SuiteId {
+    /// All suites in order.
+    pub fn all() -> [SuiteId; 6] {
+        [SuiteId::B1, SuiteId::B2, SuiteId::B3, SuiteId::B4, SuiteId::B5, SuiteId::B6]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuiteId::B1 => "B1",
+            SuiteId::B2 => "B2",
+            SuiteId::B3 => "B3",
+            SuiteId::B4 => "B4",
+            SuiteId::B5 => "B5",
+            SuiteId::B6 => "B6",
+        }
+    }
+}
+
+/// Builds the environment of one suite scenario.
+pub fn suite_environment(id: SuiteId, robot: &Robot, scenario: usize, seed: u64) -> Environment {
+    let scene_seed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(scenario as u64);
+    let mut rng = StdRng::seed_from_u64(scene_seed);
+    match id {
+        SuiteId::B1 => crate::density::calibrated_environment(robot, Density::Low, 200, &mut rng),
+        SuiteId::B2 => crate::density::calibrated_environment(robot, Density::Medium, 200, &mut rng),
+        SuiteId::B3 => crate::density::calibrated_environment(robot, Density::High, 200, &mut rng),
+        SuiteId::B4 | SuiteId::B5 => tabletop_environment(robot, 6 + scenario % 4, scene_seed),
+        SuiteId::B6 => narrow_passage_environment(robot, 0.08 + 0.04 * (scenario % 3) as f64, scene_seed),
+    }
+}
+
+/// The robot each suite evaluates.
+pub fn suite_robot(id: SuiteId) -> Robot {
+    match id {
+        SuiteId::B1 | SuiteId::B2 | SuiteId::B3 => presets::jaco2().into(),
+        SuiteId::B4 => presets::kuka_iiwa().into(),
+        SuiteId::B5 => presets::baxter_arm().into(),
+        SuiteId::B6 => presets::planar_2d().into(),
+    }
+}
+
+/// Generates one suite: `scenarios` scenes, each with `motions_per_scenario`
+/// random start→goal motions. Start poses are rejection-sampled to be
+/// collision-free (a planner never asks about a motion from an invalid
+/// pose); goals are unconstrained, so a realistic mix of colliding and free
+/// motions results.
+pub fn build_suite(
+    id: SuiteId,
+    scenarios: usize,
+    motions_per_scenario: usize,
+    seed: u64,
+) -> Vec<MotionBenchmark> {
+    let robot = suite_robot(id);
+    (0..scenarios)
+        .map(|s| {
+            let env = suite_environment(id, &robot, s, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ (s as u64) << 17);
+            let mut motions = Vec::with_capacity(motions_per_scenario);
+            while motions.len() < motions_per_scenario {
+                let from = sample_free_config(&robot, &env, 400, &mut rng)
+                    .unwrap_or_else(|| robot.sample_uniform(&mut rng));
+                let to = robot.sample_uniform(&mut rng);
+                motions.push(Motion::new(from, to));
+            }
+            MotionBenchmark {
+                name: format!("{}-{}", id.label(), s),
+                robot: robot.clone(),
+                env,
+                motions,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_collision::{check_motion_scheduled, Schedule};
+
+    #[test]
+    fn all_suites_build() {
+        for id in SuiteId::all() {
+            let benches = build_suite(id, 1, 3, 7);
+            assert_eq!(benches.len(), 1);
+            assert_eq!(benches[0].motions.len(), 3, "{}", id.label());
+            assert!(benches[0].name.starts_with(id.label()));
+        }
+    }
+
+    #[test]
+    fn suites_are_reproducible() {
+        let a = build_suite(SuiteId::B6, 2, 2, 11);
+        let b = build_suite(SuiteId::B6, 2, 2, 11);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.env.obstacles(), y.env.obstacles());
+            assert_eq!(x.motions.len(), y.motions.len());
+            for (m, n) in x.motions.iter().zip(&y.motions) {
+                assert_eq!(m.from, n.from);
+                assert_eq!(m.to, n.to);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_robots_match_spec() {
+        assert_eq!(suite_robot(SuiteId::B1).name(), "jaco2");
+        assert_eq!(suite_robot(SuiteId::B4).name(), "kuka-iiwa");
+        assert_eq!(suite_robot(SuiteId::B5).name(), "baxter");
+        assert_eq!(suite_robot(SuiteId::B6).name(), "planar-2d");
+    }
+
+    #[test]
+    fn cluttered_suites_produce_colliding_motions() {
+        // B3 (high clutter) should yield a healthy fraction of colliding
+        // motions — the paper measures 52%-93% across planner workloads.
+        let benches = build_suite(SuiteId::B3, 1, 10, 3);
+        let b = &benches[0];
+        let mut colliding = 0;
+        for m in &b.motions {
+            let poses = m.discretize(10);
+            if check_motion_scheduled(&b.robot, &b.env, &poses, Schedule::Oracle).colliding {
+                colliding += 1;
+            }
+        }
+        assert!(colliding >= 2, "only {colliding}/10 colliding motions in B3");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for environment generation.
+
+use copred_envgen::{
+    group_by_difficulty, group_means, narrow_passage_environment, random_obstacles,
+    tabletop_environment, Density, GROUP_COUNT,
+};
+use copred_kinematics::{presets, Robot};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grouping_is_a_partition(costs in prop::collection::vec(0u64..10_000, 0..120)) {
+        let groups = group_by_difficulty(&costs, |c| *c);
+        prop_assert_eq!(groups.len(), GROUP_COUNT);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..costs.len()).collect::<Vec<_>>());
+        // Group sizes are balanced within one.
+        if !costs.is_empty() {
+            let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+            let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            prop_assert!(mx - mn <= 1);
+        }
+    }
+
+    #[test]
+    fn grouping_is_ordered_by_difficulty(costs in prop::collection::vec(0u64..10_000, 10..100)) {
+        let groups = group_by_difficulty(&costs, |c| *c);
+        // Every element of group g is <= every element of group g+1.
+        for w in groups.windows(2) {
+            let max_lo = w[0].iter().map(|&i| costs[i]).max();
+            let min_hi = w[1].iter().map(|&i| costs[i]).min();
+            if let (Some(a), Some(b)) = (max_lo, min_hi) {
+                prop_assert!(a <= b);
+            }
+        }
+        let means = group_means(&costs, &groups, |c| *c as f64);
+        for w in means.windows(2) {
+            if w[0] > 0.0 && w[1] > 0.0 {
+                prop_assert!(w[0] <= w[1] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn obstacles_fit_workspace(seed in any::<u64>(), count in 1usize..12, scale in 0.01..0.2f64) {
+        let robot: Robot = presets::jaco2().into();
+        let ws = robot.workspace();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for o in random_obstacles(&robot, count, scale, &mut rng) {
+            prop_assert!(ws.contains_aabb(&o));
+        }
+    }
+
+    #[test]
+    fn narrow_passage_gap_scales(seed in any::<u64>(), gap in 0.05..0.5f64) {
+        let robot: Robot = presets::planar_2d().into();
+        let env = narrow_passage_environment(&robot, gap, seed);
+        let [a, b] = [&env.obstacles()[0], &env.obstacles()[1]];
+        // The opening between the two wall segments matches the requested
+        // fraction of the workspace's y extent.
+        let opening = b.min.y - a.max.y;
+        let expect = gap * robot.workspace().extents().y;
+        prop_assert!((opening - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tabletop_is_deterministic(seed in any::<u64>(), n in 1usize..10) {
+        let robot: Robot = presets::kuka_iiwa().into();
+        let a = tabletop_environment(&robot, n, seed);
+        let b = tabletop_environment(&robot, n, seed);
+        prop_assert_eq!(a.obstacles(), b.obstacles());
+        prop_assert_eq!(a.obstacle_count(), n + 1); // table + objects
+    }
+}
+
+#[test]
+fn density_targets_are_ordered() {
+    let t: Vec<f64> = Density::all().iter().map(Density::target).collect();
+    assert!(t[0] < t[1] && t[1] < t[2]);
+}

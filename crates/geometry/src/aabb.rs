@@ -1,0 +1,245 @@
+//! Axis-aligned bounding boxes.
+
+use crate::vec3::Vec3;
+
+/// An axis-aligned box given by its `min` and `max` corners.
+///
+/// Used for environment obstacles (the paper's "cuboid-shaped obstacles"),
+/// workspace bounds, and broad-phase culling.
+///
+/// # Examples
+///
+/// ```
+/// use copred_geometry::{Aabb, Vec3};
+///
+/// let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+/// assert!(a.contains(Vec3::splat(0.5)));
+/// assert!(a.intersects(&Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when any `min` component exceeds the matching
+    /// `max` component.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted Aabb: {min} > {max}"
+        );
+        Aabb { min, max }
+    }
+
+    /// Creates a box from a center point and half-extents.
+    pub fn from_center_half_extents(center: Vec3, half: Vec3) -> Self {
+        Aabb::new(center - half, center + half)
+    }
+
+    /// Smallest box containing all `points`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for p in it {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Some(Aabb::new(lo, hi))
+    }
+
+    /// Center of the box.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Half-extents (half the side lengths).
+    #[inline]
+    pub fn half_extents(&self) -> Vec3 {
+        (self.max - self.min) * 0.5
+    }
+
+    /// Side lengths.
+    #[inline]
+    pub fn extents(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Volume of the box.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extents();
+        e.x * e.y * e.z
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Returns `true` when `other` lies entirely inside `self`.
+    pub fn contains_aabb(&self, other: &Aabb) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// Axis-aligned overlap test (closed intervals: touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Smallest box containing both boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb::new(self.min.min(other.min), self.max.max(other.max))
+    }
+
+    /// Box grown by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb::new(self.min - Vec3::splat(margin), self.max + Vec3::splat(margin))
+    }
+
+    /// Closest point inside the box to `p`.
+    #[inline]
+    pub fn closest_point(&self, p: Vec3) -> Vec3 {
+        p.clamp(self.min, self.max)
+    }
+
+    /// Squared distance from `p` to the box (0 when inside).
+    #[inline]
+    pub fn distance_squared(&self, p: Vec3) -> f64 {
+        (p - self.closest_point(p)).norm_squared()
+    }
+
+    /// The 8 corner points.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (lo, hi) = (self.min, self.max);
+        [
+            Vec3::new(lo.x, lo.y, lo.z),
+            Vec3::new(hi.x, lo.y, lo.z),
+            Vec3::new(lo.x, hi.y, lo.z),
+            Vec3::new(hi.x, hi.y, lo.z),
+            Vec3::new(lo.x, lo.y, hi.z),
+            Vec3::new(hi.x, lo.y, hi.z),
+            Vec3::new(lo.x, hi.y, hi.z),
+            Vec3::new(hi.x, hi.y, hi.z),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    #[test]
+    fn center_and_extents() {
+        let b = Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(1.0, 4.0, 6.0));
+        assert_eq!(b.center(), Vec3::new(0.0, 2.0, 4.0));
+        assert_eq!(b.half_extents(), Vec3::new(1.0, 2.0, 2.0));
+        assert_eq!(b.volume(), 2.0 * 4.0 * 4.0);
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let b = unit();
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::ONE));
+        assert!(b.contains(Vec3::splat(0.5)));
+        assert!(!b.contains(Vec3::new(1.0001, 0.5, 0.5)));
+        assert!(!b.contains(Vec3::new(0.5, -0.0001, 0.5)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let b = unit();
+        // Overlapping.
+        assert!(b.intersects(&Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0))));
+        // Touching faces count as intersecting (conservative).
+        assert!(b.intersects(&Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0))));
+        // Disjoint along one axis.
+        assert!(!b.intersects(&Aabb::new(Vec3::new(1.1, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0))));
+        // Contained.
+        assert!(b.intersects(&Aabb::new(Vec3::splat(0.25), Vec3::splat(0.75))));
+        // Symmetric.
+        let other = Aabb::new(Vec3::splat(-0.5), Vec3::splat(0.5));
+        assert_eq!(b.intersects(&other), other.intersects(&b));
+    }
+
+    #[test]
+    fn from_points_builds_hull() {
+        let pts = [
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::new(-2.0, 3.0, 1.0),
+            Vec3::new(0.0, 0.0, -4.0),
+        ];
+        let b = Aabb::from_points(pts).unwrap();
+        assert_eq!(b.min, Vec3::new(-2.0, -1.0, -4.0));
+        assert_eq!(b.max, Vec3::new(1.0, 3.0, 1.0));
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn union_and_inflate() {
+        let a = unit();
+        let b = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = a.union(&b);
+        assert_eq!(u.min, Vec3::ZERO);
+        assert_eq!(u.max, Vec3::splat(3.0));
+        let inf = a.inflated(0.5);
+        assert_eq!(inf.min, Vec3::splat(-0.5));
+        assert_eq!(inf.max, Vec3::splat(1.5));
+    }
+
+    #[test]
+    fn closest_point_and_distance() {
+        let b = unit();
+        assert_eq!(b.closest_point(Vec3::splat(0.5)), Vec3::splat(0.5));
+        assert_eq!(b.closest_point(Vec3::new(2.0, 0.5, 0.5)), Vec3::new(1.0, 0.5, 0.5));
+        assert_eq!(b.distance_squared(Vec3::new(2.0, 0.5, 0.5)), 1.0);
+        assert_eq!(b.distance_squared(Vec3::splat(0.5)), 0.0);
+    }
+
+    #[test]
+    fn corners_are_all_distinct_and_contained() {
+        let b = Aabb::new(Vec3::new(-1.0, -2.0, -3.0), Vec3::new(1.0, 2.0, 3.0));
+        let cs = b.corners();
+        for (i, c) in cs.iter().enumerate() {
+            assert!(b.contains(*c));
+            for c2 in &cs[i + 1..] {
+                assert_ne!(c, c2);
+            }
+        }
+    }
+
+    #[test]
+    fn contains_aabb_nested() {
+        let outer = Aabb::new(Vec3::splat(-2.0), Vec3::splat(2.0));
+        assert!(outer.contains_aabb(&unit()));
+        assert!(!unit().contains_aabb(&outer));
+    }
+}

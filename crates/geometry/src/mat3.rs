@@ -1,0 +1,238 @@
+//! 3×3 rotation matrices.
+//!
+//! [`Mat3`] is used for link orientations and OBB axes. Rows/columns are
+//! stored row-major; the columns of a rotation matrix are the local frame's
+//! axes expressed in world coordinates.
+
+use crate::vec3::Vec3;
+use std::ops::Mul;
+
+/// A 3×3 matrix of `f64`, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use copred_geometry::{Mat3, Vec3};
+///
+/// let r = Mat3::rot_z(std::f64::consts::FRAC_PI_2);
+/// let v = r * Vec3::X;
+/// assert!((v - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Creates a matrix from rows.
+    #[inline]
+    pub const fn from_rows(rows: [[f64; 3]; 3]) -> Self {
+        Mat3 { rows }
+    }
+
+    /// Creates a matrix whose columns are `x`, `y`, `z`.
+    #[inline]
+    pub fn from_cols(x: Vec3, y: Vec3, z: Vec3) -> Self {
+        Mat3 {
+            rows: [[x.x, y.x, z.x], [x.y, y.y, z.y], [x.z, y.z, z.z]],
+        }
+    }
+
+    /// Rotation of `angle` radians about the X axis.
+    pub fn rot_x(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+    }
+
+    /// Rotation of `angle` radians about the Y axis.
+    pub fn rot_y(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+    }
+
+    /// Rotation of `angle` radians about the Z axis.
+    pub fn rot_z(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// Rotation of `angle` radians about an arbitrary (normalized) `axis`
+    /// using Rodrigues' formula.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
+        let a = axis.normalized();
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (a.x, a.y, a.z);
+        Mat3::from_rows([
+            [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+            [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+            [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+        ])
+    }
+
+    /// Element at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+    }
+
+    /// The `i`-th column (the `i`-th local axis for rotation matrices).
+    #[inline]
+    pub fn col(&self, i: usize) -> Vec3 {
+        Vec3::new(self.rows[0][i], self.rows[1][i], self.rows[2][i])
+    }
+
+    /// The `i`-th row.
+    #[inline]
+    pub fn row(&self, i: usize) -> Vec3 {
+        Vec3::from_array(self.rows[i])
+    }
+
+    /// Matrix transpose. For rotation matrices this is the inverse.
+    pub fn transpose(&self) -> Mat3 {
+        let mut m = [[0.0; 3]; 3];
+        for (r, row) in m.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = self.rows[c][r];
+            }
+        }
+        Mat3 { rows: m }
+    }
+
+    /// Matrix determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.rows;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Returns `true` when the matrix is orthonormal with determinant +1
+    /// (i.e. a proper rotation) within tolerance `tol`.
+    pub fn is_rotation(&self, tol: f64) -> bool {
+        let t = *self * self.transpose();
+        let mut ortho = true;
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                if (t.rows[r][c] - expect).abs() > tol {
+                    ortho = false;
+                }
+            }
+        }
+        ortho && (self.det() - 1.0).abs() < tol
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut m = [[0.0; 3]; 3];
+        for (r, row) in m.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = self.row(r).dot(rhs.col(c));
+            }
+        }
+        Mat3 { rows: m }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_close(a: Vec3, b: Vec3) {
+        assert!((a - b).norm() < 1e-10, "{a} != {b}");
+    }
+
+    #[test]
+    fn identity_leaves_vectors_unchanged() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+    }
+
+    #[test]
+    fn principal_rotations() {
+        assert_close(Mat3::rot_z(FRAC_PI_2) * Vec3::X, Vec3::Y);
+        assert_close(Mat3::rot_x(FRAC_PI_2) * Vec3::Y, Vec3::Z);
+        assert_close(Mat3::rot_y(FRAC_PI_2) * Vec3::Z, Vec3::X);
+        assert_close(Mat3::rot_z(PI) * Vec3::X, -Vec3::X);
+    }
+
+    #[test]
+    fn axis_angle_matches_principal() {
+        let a = Mat3::from_axis_angle(Vec3::Z, 0.7);
+        let b = Mat3::rot_z(0.7);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((a.rows[r][c] - b.rows[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rotations_are_orthonormal() {
+        let r = Mat3::rot_x(0.3) * Mat3::rot_y(1.1) * Mat3::rot_z(-2.0);
+        assert!(r.is_rotation(1e-10));
+        assert!((r.det() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transpose_is_inverse_for_rotation() {
+        let r = Mat3::from_axis_angle(Vec3::new(1.0, 2.0, 3.0), 0.9);
+        let i = r * r.transpose();
+        for (rr, row) in i.rows.iter().enumerate() {
+            for (cc, &v) in row.iter().enumerate() {
+                let expect = if rr == cc { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn composition_applies_right_to_left() {
+        let r1 = Mat3::rot_z(FRAC_PI_2);
+        let r2 = Mat3::rot_x(FRAC_PI_2);
+        // (r2 * r1) v == r2 (r1 v)
+        let v = Vec3::new(1.0, 0.0, 0.0);
+        assert_close((r2 * r1) * v, r2 * (r1 * v));
+    }
+
+    #[test]
+    fn cols_and_rows_roundtrip() {
+        let r = Mat3::rot_y(0.4);
+        let rebuilt = Mat3::from_cols(r.col(0), r.col(1), r.col(2));
+        assert_eq!(r, rebuilt);
+        assert_eq!(r.at(0, 2), r.row(0)[2]);
+    }
+
+    #[test]
+    fn non_rotation_detected() {
+        let scaled = Mat3::from_rows([[2.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]);
+        assert!(!scaled.is_rotation(1e-9));
+        // Reflection: orthonormal but det = -1.
+        let reflect = Mat3::from_rows([[-1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]);
+        assert!(!reflect.is_rotation(1e-9));
+    }
+}

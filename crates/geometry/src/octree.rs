@@ -1,0 +1,228 @@
+//! Octrees over occupancy data.
+//!
+//! Dadu-P (paper §VII-2) stores "the space occupied by each short motion ...
+//! converted to an optimized octree-based representation offline"; at runtime
+//! each motion octree is tested against environment voxels. [`Octree`] is
+//! that offline representation: built once from a set of occupied world-space
+//! boxes (the swept volume of a motion), then queried with voxel boxes.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// Node payload: either a leaf with uniform occupancy, or eight children.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(bool),
+    Branch(Box<[Node; 8]>),
+}
+
+/// A region octree storing boolean occupancy over a cubic root box.
+///
+/// # Examples
+///
+/// ```
+/// use copred_geometry::{Aabb, Octree, Vec3};
+///
+/// let root = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+/// let tree = Octree::build(root, 4, &[Aabb::new(Vec3::ZERO, Vec3::splat(0.3))]);
+/// assert!(tree.intersects(&Aabb::new(Vec3::splat(0.1), Vec3::splat(0.2))));
+/// assert!(!tree.intersects(&Aabb::new(Vec3::splat(0.8), Vec3::splat(0.9))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Octree {
+    root_box: Aabb,
+    root: Node,
+    max_depth: u32,
+}
+
+fn octant(b: &Aabb, i: usize) -> Aabb {
+    let c = b.center();
+    let min = Vec3::new(
+        if i & 1 == 0 { b.min.x } else { c.x },
+        if i & 2 == 0 { b.min.y } else { c.y },
+        if i & 4 == 0 { b.min.z } else { c.z },
+    );
+    let max = Vec3::new(
+        if i & 1 == 0 { c.x } else { b.max.x },
+        if i & 2 == 0 { c.y } else { b.max.y },
+        if i & 4 == 0 { c.z } else { b.max.z },
+    );
+    Aabb::new(min, max)
+}
+
+fn build_node(region: &Aabb, depth: u32, max_depth: u32, occupied: &[Aabb]) -> Node {
+    // Which inputs touch this region?
+    let touching: Vec<&Aabb> = occupied.iter().filter(|o| o.intersects(region)).collect();
+    if touching.is_empty() {
+        return Node::Leaf(false);
+    }
+    if touching.iter().any(|o| o.contains_aabb(region)) || depth == max_depth {
+        return Node::Leaf(true);
+    }
+    let owned: Vec<Aabb> = touching.into_iter().copied().collect();
+    let children: Vec<Node> = (0..8)
+        .map(|i| build_node(&octant(region, i), depth + 1, max_depth, &owned))
+        .collect();
+    // Merge uniform children back into a leaf ("optimized" octree).
+    let first = match &children[0] {
+        Node::Leaf(v) => Some(*v),
+        Node::Branch(_) => None,
+    };
+    if let Some(v) = first {
+        if children.iter().all(|c| matches!(c, Node::Leaf(x) if *x == v)) {
+            return Node::Leaf(v);
+        }
+    }
+    let arr: [Node; 8] = children.try_into().expect("exactly 8 children");
+    Node::Branch(Box::new(arr))
+}
+
+impl Octree {
+    /// Builds an octree of maximum depth `max_depth` whose occupied space is
+    /// the union of `occupied` boxes, clipped to `root_box`.
+    ///
+    /// Leaves at `max_depth` that partially overlap an input box are marked
+    /// occupied, so the tree is a conservative over-approximation — exactly
+    /// what a collision-detection representation needs.
+    pub fn build(root_box: Aabb, max_depth: u32, occupied: &[Aabb]) -> Self {
+        let root = build_node(&root_box, 0, max_depth, occupied);
+        Octree { root_box, root, max_depth }
+    }
+
+    /// The root bounding box.
+    pub fn root_box(&self) -> &Aabb {
+        &self.root_box
+    }
+
+    /// Maximum subdivision depth.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Returns `true` when `query` overlaps any occupied region.
+    pub fn intersects(&self, query: &Aabb) -> bool {
+        fn rec(node: &Node, region: &Aabb, query: &Aabb) -> bool {
+            if !region.intersects(query) {
+                return false;
+            }
+            match node {
+                Node::Leaf(v) => *v,
+                Node::Branch(ch) => (0..8).any(|i| rec(&ch[i], &octant(region, i), query)),
+            }
+        }
+        rec(&self.root, &self.root_box, query)
+    }
+
+    /// Returns `true` when the point is inside occupied space.
+    pub fn contains(&self, p: Vec3) -> bool {
+        if !self.root_box.contains(p) {
+            return false;
+        }
+        self.intersects(&Aabb::new(p, p))
+    }
+
+    /// Total number of nodes (for size accounting in the Dadu-P model).
+    pub fn node_count(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Branch(ch) => 1 + ch.iter().map(rec).sum::<usize>(),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// Number of occupied leaves.
+    pub fn occupied_leaf_count(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf(true) => 1,
+                Node::Leaf(false) => 0,
+                Node::Branch(ch) => ch.iter().map(rec).sum(),
+            }
+        }
+        rec(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn empty_tree_never_intersects() {
+        let t = Octree::build(root(), 4, &[]);
+        assert!(!t.intersects(&root()));
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.occupied_leaf_count(), 0);
+    }
+
+    #[test]
+    fn full_tree_always_intersects() {
+        let t = Octree::build(root(), 4, &[root()]);
+        assert!(t.intersects(&Aabb::new(Vec3::splat(0.4), Vec3::splat(0.6))));
+        // A fully-covered root collapses to a single occupied leaf.
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.occupied_leaf_count(), 1);
+    }
+
+    #[test]
+    fn partial_occupancy_localized() {
+        let occ = Aabb::new(Vec3::ZERO, Vec3::splat(0.4));
+        let t = Octree::build(root(), 5, &[occ]);
+        assert!(t.intersects(&Aabb::new(Vec3::splat(0.1), Vec3::splat(0.2))));
+        assert!(!t.intersects(&Aabb::new(Vec3::splat(0.7), Vec3::splat(0.9))));
+        assert!(t.contains(Vec3::splat(0.2)));
+        assert!(!t.contains(Vec3::splat(0.8)));
+    }
+
+    #[test]
+    fn conservative_at_max_depth() {
+        // A sliver thinner than the deepest leaf is still reported occupied.
+        let sliver = Aabb::new(Vec3::new(0.5, 0.5, 0.5), Vec3::new(0.5001, 0.5001, 0.5001));
+        let t = Octree::build(root(), 3, &[sliver]);
+        assert!(t.intersects(&Aabb::new(Vec3::splat(0.49), Vec3::splat(0.51))));
+    }
+
+    #[test]
+    fn union_of_boxes() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(0.2));
+        let b = Aabb::new(Vec3::splat(0.8), Vec3::splat(1.0));
+        let t = Octree::build(root(), 5, &[a, b]);
+        assert!(t.contains(Vec3::splat(0.1)));
+        assert!(t.contains(Vec3::splat(0.9)));
+        assert!(!t.contains(Vec3::splat(0.5)));
+    }
+
+    #[test]
+    fn deeper_trees_are_tighter() {
+        let occ = Aabb::new(Vec3::ZERO, Vec3::splat(0.3));
+        let shallow = Octree::build(root(), 1, &[occ]);
+        let deep = Octree::build(root(), 6, &[occ]);
+        // A query near but outside the box: shallow tree over-approximates.
+        let q = Aabb::new(Vec3::splat(0.4), Vec3::splat(0.45));
+        assert!(shallow.intersects(&q));
+        assert!(!deep.intersects(&q));
+    }
+
+    #[test]
+    fn queries_outside_root_are_false() {
+        let t = Octree::build(root(), 3, &[root()]);
+        assert!(!t.intersects(&Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0))));
+        assert!(!t.contains(Vec3::splat(-1.0)));
+    }
+
+    #[test]
+    fn octant_partition_covers_parent() {
+        let b = Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(1.0, 2.0, 4.0));
+        let mut vol = 0.0;
+        for i in 0..8 {
+            vol += octant(&b, i).volume();
+        }
+        assert!((vol - b.volume()).abs() < 1e-12);
+    }
+}

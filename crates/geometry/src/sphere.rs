@@ -1,0 +1,138 @@
+//! Spheres and sphere intersection tests.
+//!
+//! Spheres are the alternative link bounding volume studied in the paper's
+//! §VII-1 (curobo-style sphere sets per link). Sphere CDQs are cheaper than
+//! OBB CDQs but need several spheres per link for comparable tightness.
+
+use crate::aabb::Aabb;
+use crate::obb::Obb;
+use crate::vec3::Vec3;
+
+/// A sphere given by center and radius.
+///
+/// # Examples
+///
+/// ```
+/// use copred_geometry::{Sphere, Vec3};
+///
+/// let a = Sphere::new(Vec3::ZERO, 1.0);
+/// let b = Sphere::new(Vec3::new(1.5, 0.0, 0.0), 1.0);
+/// assert!(a.intersects(&b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Center in world coordinates.
+    pub center: Vec3,
+    /// Radius. Non-negative.
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `radius` is negative.
+    pub fn new(center: Vec3, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "negative sphere radius: {radius}");
+        Sphere { center, radius }
+    }
+
+    /// Sphere-sphere overlap (touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Sphere) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance_squared(other.center) <= r * r
+    }
+
+    /// Sphere-AABB overlap via closest-point distance.
+    #[inline]
+    pub fn intersects_aabb(&self, aabb: &Aabb) -> bool {
+        aabb.distance_squared(self.center) <= self.radius * self.radius
+    }
+
+    /// Sphere-OBB overlap: transform the center into the box frame and run
+    /// the AABB test there.
+    pub fn intersects_obb(&self, obb: &Obb) -> bool {
+        let d = self.center - obb.center;
+        let local = Vec3::new(
+            d.dot(obb.rot.col(0)),
+            d.dot(obb.rot.col(1)),
+            d.dot(obb.rot.col(2)),
+        );
+        let box_local = Aabb::from_center_half_extents(Vec3::ZERO, obb.half_extents);
+        box_local.distance_squared(local) <= self.radius * self.radius
+    }
+
+    /// Returns `true` when `p` is inside or on the sphere.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        self.center.distance_squared(p) <= self.radius * self.radius
+    }
+
+    /// Smallest AABB enclosing the sphere.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_center_half_extents(self.center, Vec3::splat(self.radius))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat3::Mat3;
+
+    #[test]
+    fn sphere_sphere() {
+        let a = Sphere::new(Vec3::ZERO, 1.0);
+        assert!(a.intersects(&Sphere::new(Vec3::new(1.9, 0.0, 0.0), 1.0)));
+        // Exactly touching.
+        assert!(a.intersects(&Sphere::new(Vec3::new(2.0, 0.0, 0.0), 1.0)));
+        assert!(!a.intersects(&Sphere::new(Vec3::new(2.01, 0.0, 0.0), 1.0)));
+    }
+
+    #[test]
+    fn sphere_aabb() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert!(Sphere::new(Vec3::splat(0.5), 0.1).intersects_aabb(&b)); // inside
+        assert!(Sphere::new(Vec3::new(1.5, 0.5, 0.5), 0.6).intersects_aabb(&b)); // face
+        assert!(!Sphere::new(Vec3::new(1.5, 0.5, 0.5), 0.4).intersects_aabb(&b));
+        // Corner approach: distance to corner (1,1,1) from (1.5,1.5,1.5) is sqrt(0.75).
+        let corner = Vec3::splat(1.5);
+        assert!(Sphere::new(corner, 0.87).intersects_aabb(&b));
+        assert!(!Sphere::new(corner, 0.85).intersects_aabb(&b));
+    }
+
+    #[test]
+    fn sphere_obb_rotation_matters() {
+        let obb = Obb::new(Vec3::ZERO, Mat3::rot_z(std::f64::consts::FRAC_PI_4), Vec3::new(2.0, 0.1, 0.1));
+        // Point along the rotated long axis.
+        let dir = Mat3::rot_z(std::f64::consts::FRAC_PI_4) * Vec3::X;
+        assert!(Sphere::new(dir * 1.9, 0.05).intersects_obb(&obb));
+        // Same distance along world X misses the thin rotated box.
+        assert!(!Sphere::new(Vec3::X * 1.9, 0.05).intersects_obb(&obb));
+    }
+
+    #[test]
+    fn contains_points() {
+        let s = Sphere::new(Vec3::new(1.0, 1.0, 1.0), 0.5);
+        assert!(s.contains(Vec3::new(1.0, 1.0, 1.4)));
+        assert!(s.contains(Vec3::new(1.0, 1.0, 1.5))); // boundary
+        assert!(!s.contains(Vec3::new(1.0, 1.0, 1.51)));
+    }
+
+    #[test]
+    fn aabb_encloses_sphere() {
+        let s = Sphere::new(Vec3::new(-1.0, 2.0, 0.0), 0.75);
+        let b = s.aabb();
+        assert_eq!(b.min, Vec3::new(-1.75, 1.25, -0.75));
+        assert_eq!(b.max, Vec3::new(-0.25, 2.75, 0.75));
+    }
+
+    #[test]
+    fn zero_radius_is_point() {
+        let s = Sphere::new(Vec3::splat(0.5), 0.0);
+        assert!(s.intersects_aabb(&Aabb::new(Vec3::ZERO, Vec3::ONE)));
+        assert!(s.contains(Vec3::splat(0.5)));
+        assert!(!s.contains(Vec3::splat(0.5001)));
+    }
+}

@@ -1,0 +1,287 @@
+//! Uniform voxel grids.
+//!
+//! The Dadu-P accelerator (paper §VII-2) represents environmental obstacles
+//! as "a set of voxels" and each precomputed robot motion as an octree; a CDQ
+//! there is a motion-octree vs voxel test. [`VoxelGrid`] provides the
+//! occupancy-grid side of that substrate and is also used by environment
+//! generators to estimate clutter.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// Integer voxel coordinates within a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VoxelCoord {
+    /// X index.
+    pub x: u32,
+    /// Y index.
+    pub y: u32,
+    /// Z index.
+    pub z: u32,
+}
+
+impl VoxelCoord {
+    /// Creates a voxel coordinate.
+    pub const fn new(x: u32, y: u32, z: u32) -> Self {
+        VoxelCoord { x, y, z }
+    }
+}
+
+/// A dense boolean occupancy grid over a workspace box.
+///
+/// # Examples
+///
+/// ```
+/// use copred_geometry::{Aabb, Vec3, VoxelGrid};
+///
+/// let ws = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+/// let mut g = VoxelGrid::new(ws, 8);
+/// g.fill_aabb(&Aabb::new(Vec3::ZERO, Vec3::splat(0.25)));
+/// assert!(g.occupied_at(Vec3::splat(0.1)));
+/// assert!(!g.occupied_at(Vec3::splat(0.9)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoxelGrid {
+    workspace: Aabb,
+    /// Voxels per axis.
+    resolution: u32,
+    occupancy: Vec<bool>,
+}
+
+impl VoxelGrid {
+    /// Creates an empty grid with `resolution` voxels per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `resolution` is zero or the workspace is degenerate.
+    pub fn new(workspace: Aabb, resolution: u32) -> Self {
+        assert!(resolution > 0, "voxel resolution must be positive");
+        let e = workspace.extents();
+        assert!(
+            e.x > 0.0 && e.y > 0.0 && e.z > 0.0,
+            "workspace must have positive extent, got {e}"
+        );
+        let n = (resolution as usize).pow(3);
+        VoxelGrid {
+            workspace,
+            resolution,
+            occupancy: vec![false; n],
+        }
+    }
+
+    /// Voxels per axis.
+    pub fn resolution(&self) -> u32 {
+        self.resolution
+    }
+
+    /// The workspace covered by the grid.
+    pub fn workspace(&self) -> &Aabb {
+        &self.workspace
+    }
+
+    /// Side lengths of one voxel.
+    pub fn voxel_size(&self) -> Vec3 {
+        self.workspace.extents() / f64::from(self.resolution)
+    }
+
+    fn index(&self, c: VoxelCoord) -> usize {
+        let r = self.resolution as usize;
+        (c.z as usize * r + c.y as usize) * r + c.x as usize
+    }
+
+    /// Converts a world point to its voxel coordinate, or `None` outside the
+    /// workspace.
+    pub fn coord_of(&self, p: Vec3) -> Option<VoxelCoord> {
+        if !self.workspace.contains(p) {
+            return None;
+        }
+        let e = self.workspace.extents();
+        let r = f64::from(self.resolution);
+        let f = |v: f64, lo: f64, ext: f64| -> u32 {
+            (((v - lo) / ext * r) as u32).min(self.resolution - 1)
+        };
+        Some(VoxelCoord::new(
+            f(p.x, self.workspace.min.x, e.x),
+            f(p.y, self.workspace.min.y, e.y),
+            f(p.z, self.workspace.min.z, e.z),
+        ))
+    }
+
+    /// World-space box of voxel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is outside the grid.
+    pub fn voxel_aabb(&self, c: VoxelCoord) -> Aabb {
+        assert!(
+            c.x < self.resolution && c.y < self.resolution && c.z < self.resolution,
+            "voxel coordinate {c:?} outside resolution {}",
+            self.resolution
+        );
+        let s = self.voxel_size();
+        let min = self.workspace.min
+            + Vec3::new(
+                f64::from(c.x) * s.x,
+                f64::from(c.y) * s.y,
+                f64::from(c.z) * s.z,
+            );
+        Aabb::new(min, min + s)
+    }
+
+    /// Center of voxel `c` in world space.
+    pub fn voxel_center(&self, c: VoxelCoord) -> Vec3 {
+        self.voxel_aabb(c).center()
+    }
+
+    /// Marks a single voxel occupied.
+    pub fn set(&mut self, c: VoxelCoord, occupied: bool) {
+        let i = self.index(c);
+        self.occupancy[i] = occupied;
+    }
+
+    /// Returns the occupancy of voxel `c`.
+    pub fn get(&self, c: VoxelCoord) -> bool {
+        self.occupancy[self.index(c)]
+    }
+
+    /// Occupancy at a world point (false outside the workspace).
+    pub fn occupied_at(&self, p: Vec3) -> bool {
+        self.coord_of(p).is_some_and(|c| self.get(c))
+    }
+
+    /// Marks every voxel overlapping `aabb` as occupied.
+    pub fn fill_aabb(&mut self, aabb: &Aabb) {
+        let Some(lo) = self.coord_of(aabb.min.max(self.workspace.min)) else {
+            return;
+        };
+        let eps = self.voxel_size() * 1e-9;
+        let hi_p = aabb.max.min(self.workspace.max - eps);
+        let Some(hi) = self.coord_of(hi_p) else {
+            return;
+        };
+        for z in lo.z..=hi.z {
+            for y in lo.y..=hi.y {
+                for x in lo.x..=hi.x {
+                    let c = VoxelCoord::new(x, y, z);
+                    if self.voxel_aabb(c).intersects(aabb) {
+                        self.set(c, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of occupied voxels.
+    pub fn occupied_count(&self) -> usize {
+        self.occupancy.iter().filter(|&&o| o).count()
+    }
+
+    /// Fraction of voxels occupied — the clutter heuristic the paper suggests
+    /// ("the number of voxels") for adapting the prediction strategy `S`.
+    pub fn occupancy_fraction(&self) -> f64 {
+        self.occupied_count() as f64 / self.occupancy.len() as f64
+    }
+
+    /// Iterator over the coordinates of all occupied voxels.
+    pub fn occupied_voxels(&self) -> impl Iterator<Item = VoxelCoord> + '_ {
+        let r = self.resolution;
+        self.occupancy.iter().enumerate().filter(|(_, &o)| o).map(move |(i, _)| {
+            let x = (i as u32) % r;
+            let y = ((i as u32) / r) % r;
+            let z = (i as u32) / (r * r);
+            VoxelCoord::new(x, y, z)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> VoxelGrid {
+        VoxelGrid::new(Aabb::new(Vec3::ZERO, Vec3::splat(1.0)), 4)
+    }
+
+    #[test]
+    fn empty_grid_has_no_occupancy() {
+        let g = grid();
+        assert_eq!(g.occupied_count(), 0);
+        assert_eq!(g.occupancy_fraction(), 0.0);
+        assert!(!g.occupied_at(Vec3::splat(0.5)));
+    }
+
+    #[test]
+    fn coord_mapping_and_bounds() {
+        let g = grid();
+        assert_eq!(g.coord_of(Vec3::ZERO), Some(VoxelCoord::new(0, 0, 0)));
+        // Max corner maps into the last voxel (clamped).
+        assert_eq!(g.coord_of(Vec3::splat(1.0)), Some(VoxelCoord::new(3, 3, 3)));
+        assert_eq!(g.coord_of(Vec3::splat(1.01)), None);
+        assert_eq!(g.coord_of(Vec3::splat(-0.01)), None);
+    }
+
+    #[test]
+    fn voxel_aabb_geometry() {
+        let g = grid();
+        let b = g.voxel_aabb(VoxelCoord::new(0, 0, 0));
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::splat(0.25));
+        assert_eq!(g.voxel_center(VoxelCoord::new(0, 0, 0)), Vec3::splat(0.125));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut g = grid();
+        let c = VoxelCoord::new(1, 2, 3);
+        g.set(c, true);
+        assert!(g.get(c));
+        assert_eq!(g.occupied_count(), 1);
+        g.set(c, false);
+        assert!(!g.get(c));
+    }
+
+    #[test]
+    fn fill_aabb_marks_overlapping_voxels() {
+        let mut g = grid();
+        g.fill_aabb(&Aabb::new(Vec3::ZERO, Vec3::splat(0.5)));
+        // 2x2x2 voxels (voxels touching the boundary at 0.5 also count —
+        // conservative fill).
+        assert!(g.occupied_count() >= 8);
+        assert!(g.occupied_at(Vec3::splat(0.1)));
+        assert!(!g.occupied_at(Vec3::splat(0.9)));
+    }
+
+    #[test]
+    fn fill_outside_workspace_is_noop() {
+        let mut g = grid();
+        g.fill_aabb(&Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0)));
+        assert_eq!(g.occupied_count(), 0);
+    }
+
+    #[test]
+    fn occupied_voxels_iterates_exactly_set() {
+        let mut g = grid();
+        let set = [VoxelCoord::new(0, 0, 0), VoxelCoord::new(3, 3, 3), VoxelCoord::new(1, 2, 0)];
+        for &c in &set {
+            g.set(c, true);
+        }
+        let mut got: Vec<_> = g.occupied_voxels().collect();
+        got.sort();
+        let mut want = set.to_vec();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn occupancy_fraction_counts() {
+        let mut g = grid();
+        g.fill_aabb(&Aabb::new(Vec3::ZERO, Vec3::splat(1.0)));
+        assert_eq!(g.occupancy_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_rejected() {
+        let _ = VoxelGrid::new(Aabb::new(Vec3::ZERO, Vec3::ONE), 0);
+    }
+}

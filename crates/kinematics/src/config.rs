@@ -1,0 +1,181 @@
+//! Configuration-space points (robot poses).
+//!
+//! A pose of an n-DOF robot is an n-dimensional real vector — a point in the
+//! robot's C-space (paper Fig. 2). [`Config`] wraps that vector and provides
+//! the interpolation used to discretize motions into sample poses.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A point in configuration space: one value per degree of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use copred_kinematics::Config;
+///
+/// let a = Config::new(vec![0.0, 0.0]);
+/// let b = Config::new(vec![1.0, 2.0]);
+/// let mid = a.lerp(&b, 0.5);
+/// assert_eq!(mid.values(), &[0.5, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Config(Vec<f64>);
+
+impl Config {
+    /// Creates a configuration from DOF values.
+    pub fn new(values: Vec<f64>) -> Self {
+        Config(values)
+    }
+
+    /// The all-zero configuration with `n` DOFs.
+    pub fn zeros(n: usize) -> Self {
+        Config(vec![0.0; n])
+    }
+
+    /// Number of degrees of freedom.
+    pub fn dofs(&self) -> usize {
+        self.0.len()
+    }
+
+    /// DOF values as a slice.
+    pub fn values(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutable DOF values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the configuration, returning the underlying vector.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Euclidean distance in C-space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two configurations have different DOF counts.
+    pub fn distance(&self, other: &Config) -> f64 {
+        assert_eq!(self.dofs(), other.dofs(), "DOF mismatch in Config::distance");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Linear interpolation `self + t (other - self)` — a point on the
+    /// C-space line segment (the paper's "motion").
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two configurations have different DOF counts.
+    pub fn lerp(&self, other: &Config, t: f64) -> Config {
+        assert_eq!(self.dofs(), other.dofs(), "DOF mismatch in Config::lerp");
+        Config(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a + (b - a) * t)
+                .collect(),
+        )
+    }
+
+    /// Returns `true` when every DOF value is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<usize> for Config {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<f64>> for Config {
+    fn from(v: Vec<f64>) -> Self {
+        Config(v)
+    }
+}
+
+impl FromIterator<f64> for Config {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Config(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let c = Config::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.dofs(), 3);
+        assert_eq!(c[1], 2.0);
+        assert_eq!(c.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(Config::zeros(4).values(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Config::new(vec![0.0, 0.0]);
+        let b = Config::new(vec![3.0, 4.0]);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Config::new(vec![1.0, -1.0]);
+        let b = Config::new(vec![3.0, 1.0]);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.25).values(), &[1.5, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "DOF mismatch")]
+    fn mismatched_dofs_panic() {
+        let _ = Config::zeros(2).distance(&Config::zeros(3));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: Config = (0..3).map(|i| i as f64).collect();
+        assert_eq!(c.values(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn mutation_through_values_mut() {
+        let mut c = Config::zeros(2);
+        c.values_mut()[0] = 7.0;
+        assert_eq!(c[0], 7.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Config::new(vec![0.5, 1.0]);
+        assert_eq!(format!("{c}"), "[0.5000, 1.0000]");
+    }
+}

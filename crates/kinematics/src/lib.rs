@@ -1,0 +1,38 @@
+//! # copred-kinematics
+//!
+//! Robot kinematics substrate: configuration-space points and motions,
+//! DH-parameter forward kinematics, per-link bounding geometry, and the
+//! robot models evaluated in the paper (Kinova Jaco2, Baxter, KUKA iiwa,
+//! and a planar 2D path-planning robot).
+//!
+//! ## Example
+//!
+//! ```
+//! use copred_kinematics::{presets, Config, Motion, Robot};
+//!
+//! let robot: Robot = presets::baxter_arm().into();
+//! let motion = Motion::new(Config::zeros(7), Config::new(vec![0.4; 7]));
+//! // Discretize the motion and bound every pose's links:
+//! for q in motion.discretize(10) {
+//!     let pose = robot.fk(&q);
+//!     assert_eq!(pose.links.len(), 7);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arm;
+mod config;
+mod motion;
+mod planar;
+mod pose;
+pub mod presets;
+mod robot;
+
+pub use arm::{ArmModel, DhJoint};
+pub use config::Config;
+pub use motion::{csp_order, Motion};
+pub use planar::PlanarModel;
+pub use pose::{LinkPose, RobotPose};
+pub use robot::Robot;

@@ -1,0 +1,190 @@
+//! Motions: line segments in configuration space.
+//!
+//! A motion between two poses is a straight line in C-space (paper Fig. 2b).
+//! Discrete collision detection divides the motion uniformly into sample
+//! poses (Fig. 4c); the resolution is chosen so that no DOF moves more than a
+//! step bound between consecutive samples.
+
+use crate::config::Config;
+
+/// A straight-line motion between two configurations.
+///
+/// # Examples
+///
+/// ```
+/// use copred_kinematics::{Config, Motion};
+///
+/// let m = Motion::new(Config::zeros(2), Config::new(vec![1.0, 0.0]));
+/// let poses = m.discretize(5);
+/// assert_eq!(poses.len(), 5);
+/// assert_eq!(poses[0], m.from);
+/// assert_eq!(poses[4], m.to);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Motion {
+    /// Start pose.
+    pub from: Config,
+    /// End pose.
+    pub to: Config,
+}
+
+impl Motion {
+    /// Creates a motion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the endpoints have different DOF counts.
+    pub fn new(from: Config, to: Config) -> Self {
+        assert_eq!(from.dofs(), to.dofs(), "motion endpoints must share DOF count");
+        Motion { from, to }
+    }
+
+    /// C-space length of the motion.
+    pub fn length(&self) -> f64 {
+        self.from.distance(&self.to)
+    }
+
+    /// Uniformly discretizes into exactly `n` poses including both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn discretize(&self, n: usize) -> Vec<Config> {
+        assert!(n > 0, "cannot discretize a motion into 0 poses");
+        if n == 1 {
+            return vec![self.from.clone()];
+        }
+        (0..n)
+            .map(|i| self.from.lerp(&self.to, i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    /// Discretizes with a maximum per-step C-space distance `step`, returning
+    /// at least two poses (both endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` is not positive.
+    pub fn discretize_by_step(&self, step: f64) -> Vec<Config> {
+        assert!(step > 0.0, "discretization step must be positive");
+        let n = (self.length() / step).ceil() as usize + 1;
+        self.discretize(n.max(2))
+    }
+
+    /// The reversed motion.
+    pub fn reversed(&self) -> Motion {
+        Motion::new(self.to.clone(), self.from.clone())
+    }
+}
+
+/// Reorders pose indices `0..n` with the coarse-step policy (**CSP**) from
+/// Shah et al. (ref. \[43\]): indices are visited with stride `step` in several
+/// passes, so physically distant poses along the motion are checked first
+/// (e.g. step 3 over 7 poses yields 0, 3, 6, 1, 4, 2, 5).
+///
+/// Returns the identity permutation for `step <= 1`.
+///
+/// # Examples
+///
+/// ```
+/// use copred_kinematics::csp_order;
+///
+/// assert_eq!(csp_order(7, 3), vec![0, 3, 6, 1, 4, 2, 5]);
+/// assert_eq!(csp_order(4, 1), vec![0, 1, 2, 3]);
+/// ```
+pub fn csp_order(n: usize, step: usize) -> Vec<usize> {
+    if step <= 1 {
+        return (0..n).collect();
+    }
+    let mut order = Vec::with_capacity(n);
+    for offset in 0..step.min(n.max(1)) {
+        let mut i = offset;
+        while i < n {
+            order.push(i);
+            i += step;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discretize_endpoints_exact() {
+        let m = Motion::new(Config::new(vec![0.0, 1.0]), Config::new(vec![2.0, 3.0]));
+        let ps = m.discretize(3);
+        assert_eq!(ps[0], m.from);
+        assert_eq!(ps[1].values(), &[1.0, 2.0]);
+        assert_eq!(ps[2], m.to);
+    }
+
+    #[test]
+    fn discretize_single_pose() {
+        let m = Motion::new(Config::zeros(1), Config::new(vec![1.0]));
+        assert_eq!(m.discretize(1), vec![Config::zeros(1)]);
+    }
+
+    #[test]
+    fn discretize_by_step_bounds_step_size() {
+        let m = Motion::new(Config::zeros(2), Config::new(vec![3.0, 4.0])); // length 5
+        let ps = m.discretize_by_step(0.5);
+        assert!(ps.len() >= 11);
+        for w in ps.windows(2) {
+            assert!(w[0].distance(&w[1]) <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_length_motion() {
+        let c = Config::new(vec![1.0, 2.0]);
+        let m = Motion::new(c.clone(), c.clone());
+        assert_eq!(m.length(), 0.0);
+        let ps = m.discretize_by_step(0.1);
+        assert!(ps.len() >= 2);
+        assert!(ps.iter().all(|p| *p == c));
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let m = Motion::new(Config::zeros(2), Config::new(vec![1.0, 1.0]));
+        let r = m.reversed();
+        assert_eq!(r.from, m.to);
+        assert_eq!(r.to, m.from);
+        assert_eq!(m.length(), r.length());
+    }
+
+    #[test]
+    fn csp_order_is_permutation() {
+        for n in [1usize, 2, 5, 7, 16, 33] {
+            for step in [1usize, 2, 3, 5, 8] {
+                let mut order = csp_order(n, step);
+                assert_eq!(order.len(), n, "n={n} step={step}");
+                order.sort_unstable();
+                assert_eq!(order, (0..n).collect::<Vec<_>>(), "n={n} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    fn csp_order_matches_paper_example() {
+        // Paper §III-A: "a step size of 3 results in the order
+        // P1, P4, P7, .., P2, P5, ... Pn".
+        let order = csp_order(9, 3);
+        assert_eq!(order, vec![0, 3, 6, 1, 4, 7, 2, 5, 8]);
+    }
+
+    #[test]
+    fn csp_first_indices_are_spread() {
+        let order = csp_order(30, 5);
+        // The first ceil(30/5)=6 visited poses are 5 apart.
+        assert_eq!(&order[..6], &[0, 5, 10, 15, 20, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share DOF count")]
+    fn mismatched_motion_endpoints_panic() {
+        let _ = Motion::new(Config::zeros(2), Config::zeros(3));
+    }
+}

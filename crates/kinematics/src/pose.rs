@@ -1,0 +1,56 @@
+//! World-space bounding geometry of a robot pose.
+
+use copred_geometry::{Obb, Sphere, Vec3};
+
+/// Bounding geometry of one rigid link at a given pose.
+///
+/// A link carries both representations the paper evaluates: one OBB
+/// (Shah et al. / RACOD style) and a set of covering spheres (curobo style,
+/// §VII-1). The `center` is the quantity the COORD hash consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkPose {
+    /// Cartesian center of the link (the OBB center; paper Fig. 10 input).
+    pub center: Vec3,
+    /// OBB bounding the link.
+    pub obb: Obb,
+    /// Sphere set covering the link.
+    pub spheres: Vec<Sphere>,
+}
+
+/// The full bounding geometry of a robot at one configuration: one
+/// [`LinkPose`] per rigid link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobotPose {
+    /// Per-link geometry, ordered from the base outward.
+    pub links: Vec<LinkPose>,
+}
+
+impl RobotPose {
+    /// Number of links (= number of OBB CDQs needed for a pose check).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total number of sphere CDQs needed for a pose check.
+    pub fn sphere_count(&self) -> usize {
+        self.links.iter().map(|l| l.spheres.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_geometry::Mat3;
+
+    #[test]
+    fn counts() {
+        let link = LinkPose {
+            center: Vec3::ZERO,
+            obb: Obb::new(Vec3::ZERO, Mat3::IDENTITY, Vec3::splat(0.1)),
+            spheres: vec![Sphere::new(Vec3::ZERO, 0.1), Sphere::new(Vec3::X, 0.1)],
+        };
+        let pose = RobotPose { links: vec![link.clone(), link] };
+        assert_eq!(pose.link_count(), 2);
+        assert_eq!(pose.sphere_count(), 4);
+    }
+}

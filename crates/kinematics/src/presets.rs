@@ -1,0 +1,168 @@
+//! Robot presets used in the paper's evaluation.
+//!
+//! DH tables follow published kinematic descriptions; link bounding radii
+//! are datasheet-scale approximations (see DESIGN.md substitution table —
+//! the accelerators consume conservative bounding volumes, so exact link
+//! meshes are not required).
+
+use crate::arm::{ArmModel, DhJoint};
+use crate::planar::PlanarModel;
+use copred_geometry::{Aabb, Iso3, Vec3};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Kinova Jaco2, the 7-DOF assistive arm used for the predictor design
+/// studies (paper §V). Spherical-wrist DH approximation.
+pub fn jaco2() -> ArmModel {
+    let j = |d: f64, alpha: f64| DhJoint::new(0.0, d, 0.0, alpha, PI);
+    ArmModel::new(
+        "jaco2",
+        Iso3::IDENTITY,
+        vec![
+            j(0.2755, FRAC_PI_2),
+            j(0.0, FRAC_PI_2),
+            j(-0.410, FRAC_PI_2),
+            j(-0.0098, FRAC_PI_2),
+            j(-0.3111, FRAC_PI_2),
+            j(0.0, FRAC_PI_2),
+            j(-0.2638, PI),
+        ],
+        0.045,
+        3,
+    )
+}
+
+/// One 7-DOF arm of the Rethink Baxter, used for the MPNet benchmarks.
+pub fn baxter_arm() -> ArmModel {
+    ArmModel::new(
+        "baxter",
+        Iso3::IDENTITY,
+        vec![
+            DhJoint::new(0.0, 0.2703, 0.069, -FRAC_PI_2, 1.70),
+            DhJoint::new(FRAC_PI_2, 0.0, 0.0, FRAC_PI_2, 1.50),
+            DhJoint::new(0.0, 0.3644, 0.069, -FRAC_PI_2, 3.05),
+            DhJoint::new(0.0, 0.0, 0.0, FRAC_PI_2, 2.61),
+            DhJoint::new(0.0, 0.3743, 0.010, -FRAC_PI_2, 3.05),
+            DhJoint::new(0.0, 0.0, 0.0, FRAC_PI_2, 2.09),
+            DhJoint::new(0.0, 0.2295, 0.0, 0.0, 3.05),
+        ],
+        0.055,
+        3,
+    )
+}
+
+/// KUKA LBR iiwa 7 R800, the 7-DOF arm used for the GNNMP and BIT*
+/// benchmarks.
+pub fn kuka_iiwa() -> ArmModel {
+    let lim = [2.96, 2.09, 2.96, 2.09, 2.96, 2.09, 3.05];
+    let rows = [
+        (0.34, -FRAC_PI_2),
+        (0.0, FRAC_PI_2),
+        (0.40, FRAC_PI_2),
+        (0.0, -FRAC_PI_2),
+        (0.40, -FRAC_PI_2),
+        (0.0, FRAC_PI_2),
+        (0.126, 0.0),
+    ];
+    ArmModel::new(
+        "kuka-iiwa",
+        Iso3::IDENTITY,
+        rows.iter()
+            .zip(lim)
+            .map(|(&(d, alpha), l)| DhJoint::new(0.0, d, 0.0, alpha, l))
+            .collect(),
+        0.05,
+        3,
+    )
+}
+
+/// A planar 2-link arm (2 DOF, both joints about z): the textbook robot of
+/// the paper's Fig. 2 C-space illustration. Useful for visualizable tests.
+pub fn planar_arm_2dof() -> ArmModel {
+    ArmModel::new(
+        "planar-arm-2dof",
+        Iso3::IDENTITY,
+        vec![
+            DhJoint::new(0.0, 0.0, 0.5, 0.0, PI),
+            DhJoint::new(0.0, 0.0, 0.4, 0.0, PI),
+        ],
+        0.04,
+        2,
+    )
+}
+
+/// The 2D path-planning robot: a small disc in a ±1 m planar workspace.
+pub fn planar_2d() -> PlanarModel {
+    PlanarModel::new(
+        "planar-2d",
+        Aabb::new(Vec3::new(-1.0, -1.0, -0.05), Vec3::new(1.0, 1.0, 0.05)),
+        0.02,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    #[test]
+    fn all_arms_have_seven_dofs() {
+        assert_eq!(jaco2().dofs(), 7);
+        assert_eq!(baxter_arm().dofs(), 7);
+        assert_eq!(kuka_iiwa().dofs(), 7);
+    }
+
+    #[test]
+    fn reaches_are_plausible_for_tabletop_arms() {
+        // All three commercial arms reach roughly 0.9-1.3 m.
+        for arm in [jaco2(), baxter_arm(), kuka_iiwa()] {
+            let r = arm.reach();
+            assert!((0.8..1.5).contains(&r), "{} reach {r}", arm.name());
+        }
+    }
+
+    #[test]
+    fn kuka_zero_pose_is_vertical() {
+        let arm = kuka_iiwa();
+        let ts = arm.link_transforms(&Config::zeros(7));
+        let tip = ts.last().unwrap().trans;
+        // All joints at zero: the arm points straight up (x=y=0, z=sum of d).
+        assert!(tip.x.abs() < 1e-9 && tip.y.abs() < 1e-9);
+        assert!((tip.z - (0.34 + 0.40 + 0.40 + 0.126)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_configs_give_distinct_poses() {
+        let arm = jaco2();
+        let a = arm.fk(&Config::zeros(7));
+        let b = arm.fk(&Config::new(vec![0.5; 7]));
+        assert_ne!(a.links.last().unwrap().center, b.links.last().unwrap().center);
+    }
+
+    #[test]
+    fn planar_arm_matches_fig2_geometry() {
+        // Fig. 2: a 2-DOF arm whose pose is the pair of joint angles.
+        let arm = planar_arm_2dof();
+        assert_eq!(arm.dofs(), 2);
+        // Stretched out along x: tip at link lengths' sum.
+        let ts = arm.link_transforms(&Config::zeros(2));
+        let tip = ts.last().unwrap().trans;
+        assert!((tip.x - 0.9).abs() < 1e-12 && tip.y.abs() < 1e-12);
+        // Elbow at 90 degrees: tip at (0.5, 0.4).
+        let ts = arm.link_transforms(&Config::new(vec![0.0, std::f64::consts::FRAC_PI_2]));
+        let tip = ts.last().unwrap().trans;
+        assert!((tip.x - 0.5).abs() < 1e-12 && (tip.y - 0.4).abs() < 1e-12);
+        // All motion stays in the z = 0 plane.
+        let pose = arm.fk(&Config::new(vec![1.1, -0.7]));
+        for link in pose.links {
+            assert!(link.center.z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn planar_preset_geometry() {
+        let p = planar_2d();
+        assert_eq!(p.dofs(), 2);
+        assert!((p.radius() - 0.02).abs() < 1e-12);
+        assert_eq!(p.limits(0), (-1.0, 1.0));
+    }
+}

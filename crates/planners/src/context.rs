@@ -1,0 +1,234 @@
+//! Planning context: routes and records every collision check a planner
+//! performs.
+//!
+//! The paper's evaluation is trace-driven: planners are run once, the
+//! sequence of pose/motion checks they issue is recorded, and predictors/
+//! accelerators are evaluated by replaying those sequences under different
+//! CDQ schedules. [`PlanContext`] is the recording harness: planners call
+//! [`PlanContext::motion_free`] / [`PlanContext::pose_free`] for control
+//! flow, and every call is appended to the query's [`PlanLog`] with its
+//! stage tag (S1 exploration vs S2 trajectory validation, Fig. 6).
+
+use copred_collision::{check_pose, motion_collides, CdqStats, Environment};
+use copred_kinematics::{Config, Motion, Robot};
+
+/// Motion-planning stages from the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// S1: exploration — "different motions are checked for collision to
+    /// find a suitable and short path"; most checked motions collide.
+    Explore,
+    /// S2: validation — "the trajectory determined by S1 is checked for
+    /// feasibility"; most checked motions are collision-free.
+    Validate,
+}
+
+impl Stage {
+    /// Display label (`"S1"` / `"S2"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Explore => "S1",
+            Stage::Validate => "S2",
+        }
+    }
+}
+
+/// One recorded motion-environment check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotionRecord {
+    /// The discretized sample poses of the motion (a single pose for pose
+    /// checks).
+    pub poses: Vec<Config>,
+    /// The stage that issued the check.
+    pub stage: Stage,
+    /// Ground-truth outcome.
+    pub colliding: bool,
+}
+
+/// The ordered log of all checks one planning query issued.
+#[derive(Debug, Clone, Default)]
+pub struct PlanLog {
+    /// Checks in issue order.
+    pub records: Vec<MotionRecord>,
+}
+
+impl PlanLog {
+    /// Number of recorded checks.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records issued by a given stage.
+    pub fn stage_records(&self, stage: Stage) -> impl Iterator<Item = &MotionRecord> {
+        self.records.iter().filter(move |r| r.stage == stage)
+    }
+
+    /// Fraction of checks that collided (paper: 52%–93% across planner
+    /// workloads).
+    pub fn colliding_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.colliding).count() as f64 / self.records.len() as f64
+    }
+}
+
+/// The check-issuing context a planner runs inside.
+#[derive(Debug)]
+pub struct PlanContext<'a> {
+    robot: &'a Robot,
+    env: &'a Environment,
+    /// Maximum C-space distance between consecutive motion samples.
+    step: f64,
+    stage: Stage,
+    log: PlanLog,
+    stats: CdqStats,
+}
+
+impl<'a> PlanContext<'a> {
+    /// Creates a context with discretization step `step` (C-space distance
+    /// between consecutive sample poses).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` is not positive.
+    pub fn new(robot: &'a Robot, env: &'a Environment, step: f64) -> Self {
+        assert!(step > 0.0, "discretization step must be positive");
+        PlanContext {
+            robot,
+            env,
+            step,
+            stage: Stage::Explore,
+            log: PlanLog::default(),
+            stats: CdqStats::new(),
+        }
+    }
+
+    /// The robot under plan.
+    pub fn robot(&self) -> &Robot {
+        self.robot
+    }
+
+    /// The environment under plan.
+    pub fn env(&self) -> &Environment {
+        self.env
+    }
+
+    /// The discretization step.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Switches the stage tag for subsequent checks.
+    pub fn set_stage(&mut self, stage: Stage) {
+        self.stage = stage;
+    }
+
+    /// Checks whether the pose is collision-free, recording the check.
+    pub fn pose_free(&mut self, q: &Config) -> bool {
+        let (colliding, cdqs) = check_pose(self.robot, self.env, q);
+        self.stats.record_check(colliding, cdqs);
+        self.log.records.push(MotionRecord {
+            poses: vec![q.clone()],
+            stage: self.stage,
+            colliding,
+        });
+        !colliding
+    }
+
+    /// Checks whether the straight-line motion is collision-free, recording
+    /// the check.
+    pub fn motion_free(&mut self, from: &Config, to: &Config) -> bool {
+        let motion = Motion::new(from.clone(), to.clone());
+        let poses = motion.discretize_by_step(self.step);
+        let colliding = motion_collides(self.robot, self.env, &poses);
+        self.stats
+            .record_check(colliding, poses.len() * self.robot.link_count());
+        self.log.records.push(MotionRecord { poses, stage: self.stage, colliding });
+        !colliding
+    }
+
+    /// Aggregate ground-truth statistics.
+    pub fn stats(&self) -> &CdqStats {
+        &self.stats
+    }
+
+    /// Consumes the context, returning the query's check log.
+    pub fn into_log(self) -> PlanLog {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_geometry::{Aabb, Vec3};
+    use copred_kinematics::presets;
+
+    fn setup() -> (Robot, Environment) {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(-0.1, -1.0, -0.1), Vec3::new(0.1, 1.0, 0.1))],
+        );
+        (robot, env)
+    }
+
+    #[test]
+    fn records_pose_and_motion_checks_in_order() {
+        let (robot, env) = setup();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        assert!(ctx.pose_free(&Config::new(vec![-0.5, 0.0])));
+        assert!(!ctx.motion_free(&Config::new(vec![-0.5, 0.0]), &Config::new(vec![0.5, 0.0])));
+        let log = ctx.into_log();
+        assert_eq!(log.len(), 2);
+        assert!(!log.records[0].colliding);
+        assert!(log.records[1].colliding);
+        assert_eq!(log.records[0].poses.len(), 1);
+        assert!(log.records[1].poses.len() > 2);
+    }
+
+    #[test]
+    fn stage_tags_apply_to_subsequent_checks() {
+        let (robot, env) = setup();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        ctx.pose_free(&Config::new(vec![-0.5, 0.0]));
+        ctx.set_stage(Stage::Validate);
+        ctx.pose_free(&Config::new(vec![-0.6, 0.0]));
+        let log = ctx.into_log();
+        assert_eq!(log.records[0].stage, Stage::Explore);
+        assert_eq!(log.records[1].stage, Stage::Validate);
+        assert_eq!(log.stage_records(Stage::Validate).count(), 1);
+    }
+
+    #[test]
+    fn stats_track_checks() {
+        let (robot, env) = setup();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        ctx.pose_free(&Config::new(vec![0.0, 0.0])); // colliding (inside wall)
+        ctx.pose_free(&Config::new(vec![-0.5, 0.0]));
+        assert_eq!(ctx.stats().total_checks(), 2);
+        assert_eq!(ctx.stats().colliding_checks, 1);
+    }
+
+    #[test]
+    fn colliding_fraction_over_log() {
+        let (robot, env) = setup();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        ctx.pose_free(&Config::new(vec![0.0, 0.0]));
+        ctx.pose_free(&Config::new(vec![-0.5, 0.0]));
+        let log = ctx.into_log();
+        assert!((log.colliding_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_labels() {
+        assert_eq!(Stage::Explore.label(), "S1");
+        assert_eq!(Stage::Validate.label(), "S2");
+    }
+}

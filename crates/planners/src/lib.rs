@@ -1,0 +1,58 @@
+//! # copred-planners
+//!
+//! Sampling-based motion planners that generate the CDQ workloads of the
+//! paper's evaluation: an MPNet-style neural sampler emulator, a
+//! GNNMP-style graph planner emulator, BIT*, plus RRT / RRT-Connect / PRM
+//! substrates. Every collision check a planner issues is routed through
+//! [`PlanContext`] and recorded in a [`PlanLog`] with its stage tag (S1
+//! exploration vs S2 validation), enabling trace-driven evaluation of
+//! predictors and accelerators.
+//!
+//! ## Example
+//!
+//! ```
+//! use copred_planners::{MpnetEmulator, PlanContext, Planner};
+//! use copred_collision::Environment;
+//! use copred_geometry::{Aabb, Vec3};
+//! use copred_kinematics::{presets, Config, Robot};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let robot: Robot = presets::planar_2d().into();
+//! let env = Environment::new(
+//!     robot.workspace(),
+//!     vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.5, 0.1))],
+//! );
+//! let mut ctx = PlanContext::new(&robot, &env, 0.05);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let result = MpnetEmulator::default().plan(
+//!     &mut ctx,
+//!     &Config::new(vec![-0.6, 0.0]),
+//!     &Config::new(vec![0.6, 0.0]),
+//!     &mut rng,
+//! );
+//! assert!(result.solved());
+//! let log = ctx.into_log();
+//! assert!(!log.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bit;
+mod context;
+mod gnn;
+mod mpnet;
+mod planner;
+mod prm;
+mod rrt;
+#[cfg(test)]
+pub(crate) mod tests_support;
+pub mod util;
+
+pub use bit::BitStar;
+pub use context::{MotionRecord, PlanContext, PlanLog, Stage};
+pub use gnn::GnnmpEmulator;
+pub use mpnet::MpnetEmulator;
+pub use planner::{PlanResult, Planner};
+pub use prm::{Prm, Roadmap};
+pub use rrt::{Rrt, RrtConnect};

@@ -1,0 +1,251 @@
+//! MPNet-style neural motion planner (emulated sampler).
+//!
+//! MPNet (ref. \[41\]) grows two paths — from the start and from the goal — by
+//! repeatedly asking a neural network for the next state toward the other
+//! end and collision-checking the connecting motion; dropout noise makes
+//! retries explore around obstacles, and the resulting trajectory is finally
+//! checked for feasibility. The original network weights are unavailable, so
+//! [`MpnetEmulator`] reproduces the *workload signature* the predictor
+//! consumes (see DESIGN.md): greedy goal-directed steps whose connecting
+//! motions mostly collide near obstacles (the paper's 52%–93% colliding
+//! checks in exploration), followed by a mostly-free validation stage (S2).
+
+use crate::context::{PlanContext, Stage};
+use crate::planner::{Planner, PlanResult};
+use crate::rrt::validate_path;
+use crate::util::gaussian;
+use copred_kinematics::Config;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The MPNet-like planner.
+#[derive(Debug, Clone)]
+pub struct MpnetEmulator {
+    /// Maximum bidirectional growth iterations.
+    pub max_iters: usize,
+    /// Proposal retries per growth step before the step is skipped.
+    pub step_attempts: usize,
+    /// Step length as a fraction of the remaining gap (the network proposes
+    /// aggressive jumps toward the goal).
+    pub step_fraction: f64,
+    /// Base proposal noise (per-DOF standard deviation, scaled by the step
+    /// length); grows with failed attempts like MPNet's dropout sampling.
+    pub noise_scale: f64,
+}
+
+impl Default for MpnetEmulator {
+    fn default() -> Self {
+        MpnetEmulator {
+            max_iters: 60,
+            step_attempts: 8,
+            step_fraction: 0.6,
+            noise_scale: 0.35,
+        }
+    }
+}
+
+impl MpnetEmulator {
+    /// One "network" proposal: a jump from `from` toward `to` with
+    /// attempt-scaled dropout noise.
+    fn propose(
+        &self,
+        ctx: &PlanContext<'_>,
+        from: &Config,
+        to: &Config,
+        attempt: usize,
+        rng: &mut StdRng,
+    ) -> Config {
+        let gap = from.distance(to);
+        let step = self.step_fraction * gap;
+        let towards = from.lerp(to, (step / gap.max(1e-9)).min(1.0));
+        let spread = self.noise_scale * step * (1.0 + attempt as f64 * 0.5);
+        ctx.robot().clamp(
+            towards
+                .values()
+                .iter()
+                .map(|&v| v + gaussian(rng) * spread)
+                .collect(),
+        )
+    }
+}
+
+impl Planner for MpnetEmulator {
+    fn name(&self) -> &'static str {
+        "mpnet"
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut PlanContext<'_>,
+        start: &Config,
+        goal: &Config,
+        rng: &mut StdRng,
+    ) -> PlanResult {
+        ctx.set_stage(Stage::Explore);
+        if !ctx.pose_free(start) || !ctx.pose_free(goal) {
+            return PlanResult::failure(0);
+        }
+        let mut path_a = vec![start.clone()];
+        let mut path_b = vec![goal.clone()];
+        let mut a_is_start = true;
+        for iter in 0..self.max_iters {
+            let a_end = path_a.last().expect("non-empty").clone();
+            let b_end = path_b.last().expect("non-empty").clone();
+            // Try to join the two paths directly (MPNet's steerTo).
+            if ctx.motion_free(&a_end, &b_end) {
+                path_b.reverse();
+                path_a.extend(path_b);
+                if !a_is_start {
+                    path_a.reverse();
+                }
+                validate_path(ctx, &path_a);
+                return PlanResult::success(path_a, iter + 1);
+            }
+            // Grow path A toward path B with noisy proposals. Each failed
+            // advance is a (usually colliding) motion check — the workload
+            // the predictor accelerates.
+            for attempt in 0..self.step_attempts {
+                // Early attempts aim straight at the other path; late
+                // attempts explore wide (MPNet's dropout produces diverse
+                // detour proposals once the greedy direction keeps failing).
+                let target = if attempt < self.step_attempts / 2 {
+                    b_end.clone()
+                } else {
+                    ctx.robot().sample_uniform(rng)
+                };
+                let cand = self.propose(ctx, &a_end, &target, attempt, rng);
+                if !ctx.pose_free(&cand) {
+                    continue;
+                }
+                if ctx.motion_free(&a_end, &cand) {
+                    path_a.push(cand);
+                    break;
+                }
+            }
+            // Occasionally backtrack when stuck (MPNet replans from an
+            // earlier state).
+            if path_a.len() > 2 && rng.gen::<f64>() < 0.15 {
+                path_a.pop();
+            }
+            std::mem::swap(&mut path_a, &mut path_b);
+            a_is_start = !a_is_start;
+        }
+        PlanResult::failure(self.max_iters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_collision::Environment;
+    use copred_geometry::{Aabb, Vec3};
+    use copred_kinematics::{presets, Robot};
+    use rand::SeedableRng;
+
+    fn gap_world() -> (Robot, Environment) {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.5, 0.1))],
+        );
+        (robot, env)
+    }
+
+    #[test]
+    fn solves_gap_world_and_path_is_valid() {
+        let (robot, env) = gap_world();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(21);
+        let start = Config::new(vec![-0.6, 0.0]);
+        let goal = Config::new(vec![0.6, 0.0]);
+        let result = MpnetEmulator::default().plan(&mut ctx, &start, &goal, &mut rng);
+        assert!(result.solved(), "mpnet failed gap world");
+        let path = result.path.unwrap();
+        assert_eq!(path[0], start);
+        assert_eq!(*path.last().unwrap(), goal);
+        for w in path.windows(2) {
+            let poses = copred_kinematics::Motion::new(w[0].clone(), w[1].clone())
+                .discretize_by_step(0.05);
+            assert!(!copred_collision::motion_collides(&robot, &env, &poses));
+        }
+    }
+
+    #[test]
+    fn exploration_stage_is_collision_heavy() {
+        // The paper's premise: in S1 "the majority of the motions checked
+        // are colliding", while S2 is mostly free.
+        let (robot, env) = gap_world();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(22);
+        let planner = MpnetEmulator { max_iters: 300, ..Default::default() };
+        let result = planner.plan(
+            &mut ctx,
+            &Config::new(vec![-0.6, -0.2]),
+            &Config::new(vec![0.6, -0.2]),
+            &mut rng,
+        );
+        assert!(result.solved());
+        let log = ctx.into_log();
+        let s1: Vec<_> = log.stage_records(Stage::Explore).collect();
+        let s2: Vec<_> = log.stage_records(Stage::Validate).collect();
+        let s1_coll = s1.iter().filter(|r| r.colliding).count() as f64 / s1.len() as f64;
+        let s2_coll = s2.iter().filter(|r| r.colliding).count() as f64 / s2.len().max(1) as f64;
+        assert!(s1_coll > s2_coll, "S1 {s1_coll} vs S2 {s2_coll}");
+        assert_eq!(s2_coll, 0.0, "validated path must be free");
+    }
+
+    #[test]
+    fn trivial_query_checks_one_motion() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::empty(robot.workspace());
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(23);
+        let result = MpnetEmulator::default().plan(
+            &mut ctx,
+            &Config::new(vec![-0.3, 0.0]),
+            &Config::new(vec![0.3, 0.0]),
+            &mut rng,
+        );
+        assert!(result.solved());
+        assert_eq!(result.path.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn impossible_query_fails() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(-0.05, -1.1, -0.1), Vec3::new(0.05, 1.1, 0.1))],
+        );
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(24);
+        let planner = MpnetEmulator { max_iters: 25, ..Default::default() };
+        let result = planner.plan(
+            &mut ctx,
+            &Config::new(vec![-0.6, 0.0]),
+            &Config::new(vec![0.6, 0.0]),
+            &mut rng,
+        );
+        assert!(!result.solved());
+        // A blocked query produces a collision-heavy log.
+        let log = ctx.into_log();
+        assert!(log.colliding_fraction() > 0.3, "fraction {}", log.colliding_fraction());
+    }
+
+    #[test]
+    fn works_on_seven_dof_arm() {
+        let robot: Robot = presets::baxter_arm().into();
+        let env = crate::tests_support::arm_tabletop(&robot, 31);
+        let mut ctx = PlanContext::new(&robot, &env, 0.2);
+        let mut rng = StdRng::seed_from_u64(25);
+        let start = Config::new(vec![0.3, -0.6, 0.0, 0.8, 0.0, 0.5, 0.0]);
+        let goal = Config::new(vec![-0.4, -0.4, 0.2, 1.0, -0.2, 0.3, 0.1]);
+        if copred_collision::check_pose(&robot, &env, &start).0
+            || copred_collision::check_pose(&robot, &env, &goal).0
+        {
+            return; // scene blocks endpoints for this seed; nothing to test
+        }
+        let result = MpnetEmulator::default().plan(&mut ctx, &start, &goal, &mut rng);
+        assert!(ctx.stats().total_checks() > 0 || result.solved());
+    }
+}

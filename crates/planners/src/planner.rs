@@ -1,0 +1,64 @@
+//! The planner interface.
+
+use crate::context::PlanContext;
+use copred_kinematics::Config;
+use rand::rngs::StdRng;
+
+/// Outcome of a planning query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanResult {
+    /// The found path (start..=goal), or `None` on failure.
+    pub path: Option<Vec<Config>>,
+    /// Planner iterations consumed.
+    pub iterations: usize,
+}
+
+impl PlanResult {
+    /// A successful result.
+    pub fn success(path: Vec<Config>, iterations: usize) -> Self {
+        PlanResult { path: Some(path), iterations }
+    }
+
+    /// A failed result.
+    pub fn failure(iterations: usize) -> Self {
+        PlanResult { path: None, iterations }
+    }
+
+    /// Whether a path was found.
+    pub fn solved(&self) -> bool {
+        self.path.is_some()
+    }
+}
+
+/// A sampling-based motion planner.
+///
+/// Planners issue every collision check through the [`PlanContext`] so the
+/// full CDQ workload is recorded for trace-driven evaluation.
+pub trait Planner {
+    /// Short identifier (e.g. `"mpnet"`).
+    fn name(&self) -> &'static str;
+
+    /// Plans from `start` to `goal`.
+    fn plan(
+        &self,
+        ctx: &mut PlanContext<'_>,
+        start: &Config,
+        goal: &Config,
+        rng: &mut StdRng,
+    ) -> PlanResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_constructors() {
+        let ok = PlanResult::success(vec![Config::zeros(2)], 5);
+        assert!(ok.solved());
+        assert_eq!(ok.iterations, 5);
+        let bad = PlanResult::failure(10);
+        assert!(!bad.solved());
+        assert_eq!(bad.iterations, 10);
+    }
+}

@@ -1,0 +1,234 @@
+//! Probabilistic Roadmaps (PRM).
+//!
+//! The classic multi-query planner (ref. \[22\]); also the algorithm family behind
+//! the Dadu-P accelerator (§VII-2), which precomputes a fixed set of short
+//! motions offline — [`Prm::roadmap_motions`] exposes the roadmap's edge
+//! motions for that substrate.
+
+use crate::context::{PlanContext, Stage};
+use crate::planner::{Planner, PlanResult};
+use copred_kinematics::{Config, Motion};
+use rand::rngs::StdRng;
+use std::collections::BinaryHeap;
+
+/// An eager PRM.
+#[derive(Debug, Clone)]
+pub struct Prm {
+    /// Roadmap size (free samples).
+    pub n_samples: usize,
+    /// Neighbors considered per node.
+    pub k_neighbors: usize,
+}
+
+impl Default for Prm {
+    fn default() -> Self {
+        Prm { n_samples: 120, k_neighbors: 7 }
+    }
+}
+
+/// A constructed roadmap: nodes and validated edges.
+#[derive(Debug, Clone)]
+pub struct Roadmap {
+    /// Node configurations (index 0 = start, 1 = goal when built by
+    /// [`Prm::plan`]).
+    pub nodes: Vec<Config>,
+    /// Undirected validated edges `(i, j, length)`.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl Roadmap {
+    /// The edge motions of the roadmap — Dadu-P's "fixed set of short
+    /// motions" checked against environment voxels at runtime.
+    pub fn roadmap_motions(&self) -> Vec<Motion> {
+        self.edges
+            .iter()
+            .map(|&(i, j, _)| Motion::new(self.nodes[i].clone(), self.nodes[j].clone()))
+            .collect()
+    }
+}
+
+impl Prm {
+    /// Builds a roadmap: samples free nodes, eagerly validates k-NN edges.
+    /// `extra_nodes` are inserted first (e.g. start and goal).
+    pub fn build_roadmap(
+        &self,
+        ctx: &mut PlanContext<'_>,
+        extra_nodes: &[Config],
+        rng: &mut StdRng,
+    ) -> Roadmap {
+        let mut nodes: Vec<Config> = extra_nodes.to_vec();
+        let mut guard = 0;
+        while nodes.len() < self.n_samples + extra_nodes.len() && guard < self.n_samples * 30 {
+            guard += 1;
+            let q = ctx.robot().sample_uniform(rng);
+            if ctx.pose_free(&q) {
+                nodes.push(q);
+            }
+        }
+        let mut edges = Vec::new();
+        for i in 0..nodes.len() {
+            let mut dists: Vec<(usize, f64)> = (0..nodes.len())
+                .filter(|&j| j > i)
+                .map(|j| (j, nodes[i].distance(&nodes[j])))
+                .collect();
+            dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for &(j, d) in dists.iter().take(self.k_neighbors) {
+                if ctx.motion_free(&nodes[i], &nodes[j]) {
+                    edges.push((i, j, d));
+                }
+            }
+        }
+        Roadmap { nodes, edges }
+    }
+}
+
+#[derive(PartialEq)]
+struct Item(f64, usize);
+impl Eq for Item {}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.total_cmp(&self.0)
+    }
+}
+
+fn dijkstra(n: usize, edges: &[(usize, usize, f64)], start: usize, goal: usize) -> Option<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(i, j, w) in edges {
+        adj[i].push((j, w));
+        adj[j].push((i, w));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[start] = 0.0;
+    heap.push(Item(0.0, start));
+    while let Some(Item(d, u)) = heap.pop() {
+        if u == goal {
+            let mut path = vec![goal];
+            let mut cur = goal;
+            while prev[cur] != usize::MAX {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            if d + w < dist[v] {
+                dist[v] = d + w;
+                prev[v] = u;
+                heap.push(Item(dist[v], v));
+            }
+        }
+    }
+    None
+}
+
+impl Planner for Prm {
+    fn name(&self) -> &'static str {
+        "prm"
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut PlanContext<'_>,
+        start: &Config,
+        goal: &Config,
+        rng: &mut StdRng,
+    ) -> PlanResult {
+        ctx.set_stage(Stage::Explore);
+        if !ctx.pose_free(start) || !ctx.pose_free(goal) {
+            return PlanResult::failure(0);
+        }
+        let roadmap = self.build_roadmap(ctx, &[start.clone(), goal.clone()], rng);
+        let iterations = roadmap.edges.len();
+        match dijkstra(roadmap.nodes.len(), &roadmap.edges, 0, 1) {
+            Some(path_idx) => {
+                let path: Vec<Config> =
+                    path_idx.iter().map(|&i| roadmap.nodes[i].clone()).collect();
+                crate::rrt::validate_path(ctx, &path);
+                PlanResult::success(path, iterations)
+            }
+            None => PlanResult::failure(iterations),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_collision::Environment;
+    use copred_geometry::{Aabb, Vec3};
+    use copred_kinematics::{presets, Robot};
+    use rand::SeedableRng;
+
+    fn gap_world() -> (Robot, Environment) {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.5, 0.1))],
+        );
+        (robot, env)
+    }
+
+    #[test]
+    fn prm_solves_gap_world() {
+        let (robot, env) = gap_world();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(51);
+        let start = Config::new(vec![-0.6, 0.0]);
+        let goal = Config::new(vec![0.6, 0.0]);
+        let result = Prm::default().plan(&mut ctx, &start, &goal, &mut rng);
+        assert!(result.solved());
+        let path = result.path.unwrap();
+        for w in path.windows(2) {
+            let poses = copred_kinematics::Motion::new(w[0].clone(), w[1].clone())
+                .discretize_by_step(0.05);
+            assert!(!copred_collision::motion_collides(&robot, &env, &poses));
+        }
+    }
+
+    #[test]
+    fn roadmap_edges_are_validated() {
+        let (robot, env) = gap_world();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(52);
+        let rm = Prm { n_samples: 40, k_neighbors: 5 }.build_roadmap(&mut ctx, &[], &mut rng);
+        assert!(!rm.nodes.is_empty());
+        for &(i, j, _) in &rm.edges {
+            let poses = copred_kinematics::Motion::new(rm.nodes[i].clone(), rm.nodes[j].clone())
+                .discretize_by_step(0.05);
+            assert!(
+                !copred_collision::motion_collides(&robot, &env, &poses),
+                "edge {i}-{j} collides"
+            );
+        }
+    }
+
+    #[test]
+    fn roadmap_motions_match_edges() {
+        let (robot, env) = gap_world();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(53);
+        let rm = Prm { n_samples: 20, k_neighbors: 4 }.build_roadmap(&mut ctx, &[], &mut rng);
+        let motions = rm.roadmap_motions();
+        assert_eq!(motions.len(), rm.edges.len());
+    }
+
+    #[test]
+    fn dijkstra_finds_shortest() {
+        // Square with a diagonal: 0-1-3 costs 2, 0-3 direct costs 1.5.
+        let edges = vec![(0, 1, 1.0), (1, 3, 1.0), (0, 3, 1.5), (0, 2, 5.0)];
+        let path = dijkstra(4, &edges, 0, 3).unwrap();
+        assert_eq!(path, vec![0, 3]);
+        assert!(dijkstra(5, &edges, 0, 4).is_none());
+    }
+}

@@ -1,0 +1,280 @@
+//! Rapidly-exploring Random Trees (RRT and RRT-Connect).
+//!
+//! Classic sampling-based baselines (ref. \[26\]). They are not headline benchmarks
+//! in the paper but serve as additional CDQ-workload generators and as the
+//! reference planners for the integration tests.
+
+use crate::context::{PlanContext, Stage};
+use crate::planner::{Planner, PlanResult};
+use crate::util::{nearest, steer, trace_path};
+use copred_kinematics::Config;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Single-tree RRT with goal biasing.
+#[derive(Debug, Clone)]
+pub struct Rrt {
+    /// Maximum tree-growth iterations.
+    pub max_iters: usize,
+    /// Extension step in C-space distance.
+    pub eps: f64,
+    /// Probability of sampling the goal instead of a random config.
+    pub goal_bias: f64,
+}
+
+impl Default for Rrt {
+    fn default() -> Self {
+        Rrt { max_iters: 2000, eps: 0.35, goal_bias: 0.1 }
+    }
+}
+
+impl Planner for Rrt {
+    fn name(&self) -> &'static str {
+        "rrt"
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut PlanContext<'_>,
+        start: &Config,
+        goal: &Config,
+        rng: &mut StdRng,
+    ) -> PlanResult {
+        ctx.set_stage(Stage::Explore);
+        if !ctx.pose_free(start) {
+            return PlanResult::failure(0);
+        }
+        let mut nodes = vec![start.clone()];
+        let mut parents: Vec<Option<usize>> = vec![None];
+        for iter in 0..self.max_iters {
+            let target = if rng.gen::<f64>() < self.goal_bias {
+                goal.clone()
+            } else {
+                ctx.robot().sample_uniform(rng)
+            };
+            let near = nearest(&nodes, &target);
+            let new = steer(&nodes[near], &target, self.eps);
+            if !ctx.motion_free(&nodes[near], &new) {
+                continue;
+            }
+            nodes.push(new.clone());
+            parents.push(Some(near));
+            // Try to connect to the goal.
+            if new.distance(goal) <= self.eps && ctx.motion_free(&new, goal) {
+                let mut path = trace_path(&parents, &nodes, nodes.len() - 1);
+                path.push(goal.clone());
+                validate_path(ctx, &path);
+                return PlanResult::success(path, iter + 1);
+            }
+        }
+        PlanResult::failure(self.max_iters)
+    }
+}
+
+/// Bidirectional RRT-Connect.
+#[derive(Debug, Clone)]
+pub struct RrtConnect {
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Extension step.
+    pub eps: f64,
+}
+
+impl Default for RrtConnect {
+    fn default() -> Self {
+        RrtConnect { max_iters: 2000, eps: 0.35 }
+    }
+}
+
+struct Tree {
+    nodes: Vec<Config>,
+    parents: Vec<Option<usize>>,
+}
+
+impl Tree {
+    fn new(root: Config) -> Self {
+        Tree { nodes: vec![root], parents: vec![None] }
+    }
+
+    fn add(&mut self, q: Config, parent: usize) -> usize {
+        self.nodes.push(q);
+        self.parents.push(Some(parent));
+        self.nodes.len() - 1
+    }
+}
+
+impl Planner for RrtConnect {
+    fn name(&self) -> &'static str {
+        "rrt-connect"
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut PlanContext<'_>,
+        start: &Config,
+        goal: &Config,
+        rng: &mut StdRng,
+    ) -> PlanResult {
+        ctx.set_stage(Stage::Explore);
+        if !ctx.pose_free(start) || !ctx.pose_free(goal) {
+            return PlanResult::failure(0);
+        }
+        let mut ta = Tree::new(start.clone());
+        let mut tb = Tree::new(goal.clone());
+        let mut a_is_start = true;
+        for iter in 0..self.max_iters {
+            let target = ctx.robot().sample_uniform(rng);
+            // Extend tree A toward the sample.
+            let na = nearest(&ta.nodes, &target);
+            let qa = steer(&ta.nodes[na], &target, self.eps);
+            if ctx.motion_free(&ta.nodes[na], &qa) {
+                let ia = ta.add(qa.clone(), na);
+                // Greedily connect tree B toward the new node.
+                let mut nb = nearest(&tb.nodes, &qa);
+                loop {
+                    let qb = steer(&tb.nodes[nb], &qa, self.eps);
+                    if !ctx.motion_free(&tb.nodes[nb], &qb) {
+                        break;
+                    }
+                    nb = tb.add(qb.clone(), nb);
+                    if qb.distance(&qa) < 1e-9 {
+                        // Trees met: stitch the two half-paths.
+                        let pa = trace_path(&ta.parents, &ta.nodes, ia);
+                        let mut pb = trace_path(&tb.parents, &tb.nodes, nb);
+                        pb.reverse();
+                        // pa runs root_a -> meeting point, pb runs meeting
+                        // point -> root_b; join and orient start -> goal.
+                        let mut path: Vec<Config> =
+                            pa.into_iter().chain(pb.into_iter().skip(1)).collect();
+                        if !a_is_start {
+                            path.reverse();
+                        }
+                        validate_path(ctx, &path);
+                        return PlanResult::success(path, iter + 1);
+                    }
+                }
+            }
+            std::mem::swap(&mut ta, &mut tb);
+            a_is_start = !a_is_start;
+        }
+        PlanResult::failure(self.max_iters)
+    }
+}
+
+/// The S2 stage: re-checks the final trajectory's segments for feasibility
+/// (mostly collision-free checks, per the paper's Fig. 6 observation).
+pub(crate) fn validate_path(ctx: &mut PlanContext<'_>, path: &[Config]) {
+    ctx.set_stage(Stage::Validate);
+    for w in path.windows(2) {
+        ctx.motion_free(&w[0], &w[1]);
+    }
+    ctx.set_stage(Stage::Explore);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_collision::Environment;
+    use copred_geometry::{Aabb, Vec3};
+    use copred_kinematics::{presets, Robot};
+    use rand::SeedableRng;
+
+    fn gap_world() -> (Robot, Environment) {
+        let robot: Robot = presets::planar_2d().into();
+        // Wall with a gap at the top.
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.55, 0.1))],
+        );
+        (robot, env)
+    }
+
+    fn check_found_path(robot: &Robot, env: &Environment, result: &PlanResult, start: &Config, goal: &Config) {
+        let path = result.path.as_ref().expect("path found");
+        assert_eq!(&path[0], start);
+        assert_eq!(path.last().unwrap(), goal);
+        // The reported path must be genuinely collision-free.
+        for w in path.windows(2) {
+            let poses = copred_kinematics::Motion::new(w[0].clone(), w[1].clone())
+                .discretize_by_step(0.05);
+            assert!(!copred_collision::motion_collides(robot, env, &poses));
+        }
+    }
+
+    #[test]
+    fn rrt_solves_gap_world() {
+        let (robot, env) = gap_world();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(5);
+        let start = Config::new(vec![-0.6, 0.0]);
+        let goal = Config::new(vec![0.6, 0.0]);
+        let result = Rrt::default().plan(&mut ctx, &start, &goal, &mut rng);
+        assert!(result.solved());
+        check_found_path(&robot, &env, &result, &start, &goal);
+        // The log must contain both stages.
+        let log = ctx.into_log();
+        assert!(log.stage_records(Stage::Validate).count() > 0);
+        assert!(log.stage_records(Stage::Explore).count() > 0);
+    }
+
+    #[test]
+    fn rrt_connect_solves_gap_world() {
+        let (robot, env) = gap_world();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(6);
+        let start = Config::new(vec![-0.6, -0.4]);
+        let goal = Config::new(vec![0.6, -0.4]);
+        let result = RrtConnect::default().plan(&mut ctx, &start, &goal, &mut rng);
+        assert!(result.solved());
+        check_found_path(&robot, &env, &result, &start, &goal);
+    }
+
+    #[test]
+    fn blocked_start_fails_fast() {
+        let (robot, env) = gap_world();
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(7);
+        let start = Config::new(vec![0.0, 0.0]); // inside the wall
+        let goal = Config::new(vec![0.6, 0.0]);
+        let result = Rrt::default().plan(&mut ctx, &start, &goal, &mut rng);
+        assert!(!result.solved());
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn trivial_straight_line() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::empty(robot.workspace());
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(8);
+        let start = Config::new(vec![-0.5, 0.0]);
+        let goal = Config::new(vec![-0.4, 0.0]);
+        let result = Rrt::default().plan(&mut ctx, &start, &goal, &mut rng);
+        assert!(result.solved());
+    }
+
+    #[test]
+    fn unreachable_goal_exhausts_iterations() {
+        let robot: Robot = presets::planar_2d().into();
+        // Fully separated halves: no gap at all.
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(Vec3::new(-0.05, -1.1, -0.1), Vec3::new(0.05, 1.1, 0.1))],
+        );
+        let mut ctx = PlanContext::new(&robot, &env, 0.05);
+        let mut rng = StdRng::seed_from_u64(9);
+        let planner = Rrt { max_iters: 150, ..Rrt::default() };
+        let result = planner.plan(
+            &mut ctx,
+            &Config::new(vec![-0.6, 0.0]),
+            &Config::new(vec![0.6, 0.0]),
+            &mut rng,
+        );
+        assert!(!result.solved());
+        assert_eq!(result.iterations, 150);
+        // Exploration against a full wall produces many colliding checks —
+        // the workload property collision prediction exploits.
+        let log = ctx.into_log();
+        assert!(log.colliding_fraction() > 0.1);
+    }
+}

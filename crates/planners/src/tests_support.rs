@@ -1,0 +1,28 @@
+//! Shared fixtures for planner unit tests.
+
+use copred_collision::Environment;
+use copred_geometry::{Aabb, Vec3};
+use copred_kinematics::Robot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small tabletop-like scene for arm planner tests.
+pub fn arm_tabletop(robot: &Robot, seed: u64) -> Environment {
+    let ws = robot.workspace();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut obs = Vec::new();
+    for _ in 0..4 {
+        let half = Vec3::new(
+            rng.gen_range(0.04..0.10),
+            rng.gen_range(0.04..0.10),
+            rng.gen_range(0.05..0.15),
+        );
+        let c = Vec3::new(
+            rng.gen_range(0.3..0.7),
+            rng.gen_range(-0.5..0.5),
+            rng.gen_range(0.1..0.5),
+        );
+        obs.push(Aabb::from_center_half_extents(c, half));
+    }
+    Environment::new(ws, obs)
+}

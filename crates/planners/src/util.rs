@@ -1,0 +1,121 @@
+//! Shared planner utilities.
+
+use copred_kinematics::Config;
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller (rand's core crate has no normal
+/// distribution; this keeps the dependency set minimal).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Moves from `from` toward `to` by at most `eps` in C-space distance.
+/// Returns `to` itself when it is closer than `eps`.
+pub fn steer(from: &Config, to: &Config, eps: f64) -> Config {
+    let d = from.distance(to);
+    if d <= eps {
+        to.clone()
+    } else {
+        from.lerp(to, eps / d)
+    }
+}
+
+/// Index of the configuration in `nodes` closest to `q`.
+///
+/// # Panics
+///
+/// Panics when `nodes` is empty.
+pub fn nearest(nodes: &[Config], q: &Config) -> usize {
+    assert!(!nodes.is_empty(), "nearest() needs at least one node");
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, n) in nodes.iter().enumerate() {
+        let d = n.distance(q);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Reconstructs a root-to-node path from a parent-pointer tree.
+pub fn trace_path(parents: &[Option<usize>], nodes: &[Config], mut idx: usize) -> Vec<Config> {
+    let mut rev = vec![nodes[idx].clone()];
+    while let Some(p) = parents[idx] {
+        rev.push(nodes[p].clone());
+        idx = p;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Total C-space length of a path.
+pub fn path_length(path: &[Config]) -> f64 {
+    path.windows(2).map(|w| w[0].distance(&w[1])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn steer_caps_distance() {
+        let a = Config::new(vec![0.0, 0.0]);
+        let b = Config::new(vec![3.0, 4.0]);
+        let s = steer(&a, &b, 1.0);
+        assert!((a.distance(&s) - 1.0).abs() < 1e-12);
+        // Within eps: returns target exactly.
+        assert_eq!(steer(&a, &b, 10.0), b);
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let nodes = vec![
+            Config::new(vec![0.0, 0.0]),
+            Config::new(vec![1.0, 0.0]),
+            Config::new(vec![0.0, 2.0]),
+        ];
+        assert_eq!(nearest(&nodes, &Config::new(vec![0.9, 0.1])), 1);
+        assert_eq!(nearest(&nodes, &Config::new(vec![0.1, 1.8])), 2);
+    }
+
+    #[test]
+    fn trace_path_walks_parents() {
+        let nodes = vec![
+            Config::new(vec![0.0]),
+            Config::new(vec![1.0]),
+            Config::new(vec![2.0]),
+        ];
+        let parents = vec![None, Some(0), Some(1)];
+        let path = trace_path(&parents, &nodes, 2);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], nodes[0]);
+        assert_eq!(path[2], nodes[2]);
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        let path = vec![
+            Config::new(vec![0.0, 0.0]),
+            Config::new(vec![3.0, 0.0]),
+            Config::new(vec![3.0, 4.0]),
+        ];
+        assert!((path_length(&path) - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for trace serialization and replay.
+
+use copred_collision::{run_schedule, Schedule};
+use copred_geometry::Vec3;
+use copred_kinematics::Config;
+use copred_planners::Stage;
+use copred_trace::{MotionTrace, QueryTrace, TraceCdq};
+use proptest::prelude::*;
+
+fn arbitrary_trace() -> impl Strategy<Value = QueryTrace> {
+    let motion = (1usize..6, 1usize..4).prop_flat_map(|(n_poses, links)| {
+        let n = n_poses * links;
+        (
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(0u32..20, n),
+            prop::collection::vec(-10.0..10.0f64, n * 3),
+            prop::collection::vec(-3.0..3.0f64, n_poses * 2),
+            prop::bool::ANY,
+        )
+            .prop_map(move |(outcomes, costs, coords, dofs, validate)| MotionTrace {
+                stage: if validate { Stage::Validate } else { Stage::Explore },
+                poses: dofs.chunks(2).map(|c| Config::new(c.to_vec())).collect(),
+                cdqs: (0..n)
+                    .map(|i| TraceCdq {
+                        pose_idx: (i / links) as u32,
+                        link_idx: (i % links) as u32,
+                        center: Vec3::new(coords[3 * i], coords[3 * i + 1], coords[3 * i + 2]),
+                        colliding: outcomes[i],
+                        obstacle_tests: costs[i],
+                    })
+                    .collect(),
+            })
+    });
+    (prop::collection::vec(motion, 0..6), 1u32..8).prop_map(|(motions, link_count)| QueryTrace {
+        robot_name: "prop-robot".to_string(),
+        link_count,
+        motions,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_roundtrip_is_lossless(trace in arbitrary_trace()) {
+        let text = trace.to_text();
+        let back = QueryTrace::from_text(&text).expect("parse back");
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn schedules_preserve_outcome_and_bounds(trace in arbitrary_trace()) {
+        for m in &trace.motions {
+            let infos = m.to_cdq_infos();
+            for s in [Schedule::Naive, Schedule::Csp { step: 3 }, Schedule::Oracle] {
+                let out = run_schedule(&infos, m.poses.len(), s);
+                prop_assert_eq!(out.colliding, m.colliding());
+                prop_assert!(out.cdqs_executed <= m.cdq_count());
+                if !m.colliding() {
+                    prop_assert_eq!(out.cdqs_executed, m.cdq_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn totals_are_sums(trace in arbitrary_trace()) {
+        let n: usize = trace.motions.iter().map(MotionTrace::cdq_count).sum();
+        prop_assert_eq!(trace.total_cdqs(), n);
+        let f = trace.colliding_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

@@ -1,0 +1,94 @@
+//! Accelerator design-space exploration: sweep CDU count, QNONCOLL size,
+//! and the prediction strategy S on one workload, printing the CDQ
+//! reduction and speedup grid — the knobs DESIGN.md calls out as ablations.
+//!
+//! ```sh
+//! cargo run --release --example accel_design_space
+//! ```
+
+use copred::accel::{AccelConfig, AccelSim};
+use copred::collision::motion_collides;
+use copred::core::{ChtParams, CoordHash, Strategy};
+use copred::geometry::{Aabb, Vec3};
+use copred::kinematics::{presets, Motion, Robot};
+use copred::planners::{MotionRecord, PlanLog, Stage};
+use copred::trace::QueryTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A cluttered KUKA scene with a batch of nontrivial motions.
+    let robot: Robot = presets::kuka_iiwa().into();
+    let env = copred::collision::Environment::new(
+        robot.workspace(),
+        vec![
+            Aabb::from_center_half_extents(Vec3::new(0.45, 0.1, 0.45), Vec3::splat(0.22)),
+            Aabb::from_center_half_extents(Vec3::new(-0.35, -0.35, 0.55), Vec3::splat(0.18)),
+            Aabb::from_center_half_extents(Vec3::new(0.0, 0.5, 0.3), Vec3::splat(0.16)),
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    let records: Vec<MotionRecord> = (0..150)
+        .map(|_| {
+            let poses = Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng))
+                .discretize(20);
+            let colliding = motion_collides(&robot, &env, &poses);
+            MotionRecord { poses, stage: Stage::Explore, colliding }
+        })
+        .collect();
+    let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });
+    let hash = CoordHash::paper_default(&robot);
+
+    let run = |cfg: AccelConfig| {
+        let mut sim = AccelSim::new(cfg, hash.clone());
+        sim.run_query(&trace.motions)
+    };
+
+    println!("== CDU count sweep (CHT 4096x1, S=0) ==");
+    println!("CDUs | base CDQs | COPU CDQs | reduction | speedup");
+    for x in [1usize, 2, 4, 6, 8] {
+        let b = run(AccelConfig::baseline(x));
+        let c = run(AccelConfig::copu(x, ChtParams::paper_1bit()));
+        println!(
+            "  {x}  | {:9} | {:9} | {:+8.1}% | {:.2}x",
+            b.cdqs_executed(),
+            c.cdqs_executed(),
+            (1.0 - c.cdqs_executed() as f64 / b.cdqs_executed() as f64) * 100.0,
+            b.mean_latency() / c.mean_latency(),
+        );
+    }
+
+    println!();
+    println!("== QNONCOLL size sweep (4 CDUs) ==");
+    let b4 = run(AccelConfig::baseline(4));
+    println!("queue | COPU CDQs | reduction");
+    for q in [2usize, 8, 24, 56, 128] {
+        let c = run(AccelConfig {
+            qnoncoll_len: q,
+            ..AccelConfig::copu(4, ChtParams::paper_1bit())
+        });
+        println!(
+            "  {q:3} | {:9} | {:+8.1}%",
+            c.cdqs_executed(),
+            (1.0 - c.cdqs_executed() as f64 / b4.cdqs_executed() as f64) * 100.0,
+        );
+    }
+
+    println!();
+    println!("== strategy S sweep (4 CDUs, 4096x8 CHT) ==");
+    println!("  S   | COPU CDQs | reduction");
+    for s in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let c = run(AccelConfig::copu(
+            4,
+            ChtParams {
+                strategy: Strategy::new(s),
+                ..ChtParams::paper_arm()
+            },
+        ));
+        println!(
+            " {s:4} | {:9} | {:+8.1}%",
+            c.cdqs_executed(),
+            (1.0 - c.cdqs_executed() as f64 / b4.cdqs_executed() as f64) * 100.0,
+        );
+    }
+}

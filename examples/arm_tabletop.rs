@@ -1,0 +1,96 @@
+//! A 7-DOF Baxter arm planning over a cluttered tabletop: plan with the
+//! MPNet-style sampler, record the CDQ trace, and replay it through the
+//! cycle-level accelerator simulator with and without the Collision
+//! Prediction Unit.
+//!
+//! ```sh
+//! cargo run --release --example arm_tabletop
+//! ```
+
+use copred::accel::{perf_report, AccelConfig, AccelSim, AreaModel, EnergyModel};
+use copred::collision::motion_collides;
+use copred::core::{ChtParams, CoordHash};
+use copred::envgen::{sample_free_config, tabletop_environment};
+use copred::kinematics::{presets, Motion, Robot};
+use copred::planners::{MpnetEmulator, PlanContext, Planner};
+use copred::trace::QueryTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let robot: Robot = presets::baxter_arm().into();
+    let mut rng = StdRng::seed_from_u64(7);
+    let em = EnergyModel::default();
+    let am = AreaModel::default();
+
+    let hash = CoordHash::paper_default(&robot);
+    let mut baseline = AccelSim::new(AccelConfig::baseline(4), hash.clone());
+    let mut copu = AccelSim::new(AccelConfig::copu(4, ChtParams::paper_1bit()), hash);
+    let mut base_agg = copred::accel::AccelRunResult::default();
+    let mut copu_agg = copred::accel::AccelRunResult::default();
+
+    let mut planned = 0;
+    let mut scene = 0usize;
+    while planned < 6 {
+        scene += 1;
+        let env = tabletop_environment(&robot, 12, scene as u64);
+        let Some(start) = sample_free_config(&robot, &env, 300, &mut rng) else { continue };
+        // Find a nontrivial goal: the straight-line motion must collide.
+        let goal = (0..40).find_map(|_| {
+            let g = sample_free_config(&robot, &env, 300, &mut rng)?;
+            let direct = Motion::new(start.clone(), g.clone()).discretize_by_step(0.18);
+            motion_collides(&robot, &env, &direct).then_some(g)
+        });
+        let Some(goal) = goal else { continue };
+
+        let mut ctx = PlanContext::new(&robot, &env, 0.18);
+        let result = MpnetEmulator::default().plan(&mut ctx, &start, &goal, &mut rng);
+        let log = ctx.into_log();
+        println!(
+            "query {planned}: {} after {} checks ({} motions recorded, {:.0}% colliding)",
+            if result.solved() { "solved" } else { "failed" },
+            result.iterations,
+            log.len(),
+            log.colliding_fraction() * 100.0,
+        );
+        let trace = QueryTrace::from_log(&robot, &env, &log);
+
+        // One planning query per environment: the CHT resets in between.
+        baseline.reset_query();
+        copu.reset_query();
+        let b = baseline.run_query(&trace.motions);
+        let c = copu.run_query(&trace.motions);
+        merge(&mut base_agg, &b);
+        merge(&mut copu_agg, &c);
+        planned += 1;
+    }
+
+    let pb = perf_report(&baseline, &base_agg, &em, &am);
+    let pc = perf_report(&copu, &copu_agg, &em, &am);
+    println!();
+    println!("accelerator (4 CDUs, CHT 4096x1, S=0):");
+    println!(
+        "  CDQs executed : baseline {} vs COPU {} ({:+.1}%)",
+        base_agg.cdqs_executed(),
+        copu_agg.cdqs_executed(),
+        (copu_agg.cdqs_executed() as f64 / base_agg.cdqs_executed() as f64 - 1.0) * 100.0,
+    );
+    println!(
+        "  mean latency  : baseline {:.0} vs COPU {:.0} cycles (speedup {:.2}x)",
+        pb.mean_latency_cycles,
+        pc.mean_latency_cycles,
+        pb.mean_latency_cycles / pc.mean_latency_cycles,
+    );
+    println!(
+        "  perf/watt     : {:.2}x   perf/mm2: {:.2}x",
+        pc.perf_per_watt / pb.perf_per_watt,
+        pc.perf_per_mm2 / pb.perf_per_mm2,
+    );
+}
+
+fn merge(agg: &mut copred::accel::AccelRunResult, r: &copred::accel::AccelRunResult) {
+    agg.motions += r.motions;
+    agg.colliding_motions += r.colliding_motions;
+    agg.total_cycles += r.total_cycles;
+    agg.events.merge(&r.events);
+}

@@ -1,0 +1,88 @@
+//! Dynamic environments and history lifetime.
+//!
+//! The paper's Fig. 8a observes that "depending upon the speed of obstacles
+//! ... temporal-spatial locality exists ... the collision history of a time
+//! frame can be used for the next time frame", while the hardware (§IV)
+//! conservatively resets the CHT after every planning query "as obstacle
+//! positions might change".
+//!
+//! This example sweeps an obstacle at two speeds and compares
+//! reset-per-frame against kept history. Two things to notice: (1) outcomes
+//! are identical either way — prediction only reorders checks, so stale
+//! history is *safe*; (2) on these crossing workloads kept history wins at
+//! both speeds (stale entries cost at most a few false-positive checks on
+//! colliding motions and nothing on free ones), quantifying the Fig. 8a
+//! headroom the hardware's conservative reset leaves on the table.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_environment
+//! ```
+
+use copred::collision::{check_motion_scheduled, Environment, Schedule};
+use copred::core::Predictor;
+use copred::geometry::{Aabb, Vec3};
+use copred::kinematics::{presets, Config, Motion, Robot};
+
+fn frame_env(robot: &Robot, t: usize, step: f64) -> Environment {
+    // A block sweeping from left to right by `step` per frame (wrapping).
+    let x = -0.7 + (step * t as f64) % 1.4;
+    Environment::new(
+        robot.workspace(),
+        vec![Aabb::from_center_half_extents(
+            Vec3::new(x, 0.0, 0.0),
+            Vec3::new(0.12, 0.35, 0.1),
+        )],
+    )
+}
+
+/// Checks a batch of crossing motions; returns CDQs executed.
+fn run_frame(robot: &Robot, env: &Environment, predictor: &mut Predictor) -> usize {
+    let mut cdqs = 0;
+    for i in 0..8 {
+        let y = -0.3 + 0.08 * i as f64;
+        let poses =
+            Motion::new(Config::new(vec![-0.9, y]), Config::new(vec![0.9, y])).discretize(37);
+        let out = predictor.check_motion(robot, env, &poses);
+        // Soundness: stale or fresh, the outcome matches ground truth.
+        let truth = check_motion_scheduled(robot, env, &poses, Schedule::Naive).colliding;
+        assert_eq!(out.colliding, truth);
+        cdqs += out.cdqs_executed;
+    }
+    cdqs
+}
+
+fn sweep(robot: &Robot, step: f64, frames: usize) -> (usize, usize) {
+    let mut fresh = Predictor::coord_default(robot, 1);
+    let mut stale = Predictor::coord_default(robot, 1);
+    let (mut total_fresh, mut total_stale) = (0, 0);
+    for t in 0..frames {
+        let env = frame_env(robot, t, step);
+        fresh.reset(); // the paper's per-query reset
+        total_fresh += run_frame(robot, &env, &mut fresh);
+        total_stale += run_frame(robot, &env, &mut stale); // never reset
+    }
+    (total_fresh, total_stale)
+}
+
+fn main() {
+    let robot: Robot = presets::planar_2d().into();
+    println!("obstacle speed | CDQs reset/frame | CDQs kept history | keeping history is");
+    println!("---------------+------------------+-------------------+-------------------");
+    for (label, step) in [("slow (6 cm/frame)", 0.06), ("fast (47 cm/frame)", 0.47)] {
+        let (fresh, stale) = sweep(&robot, step, 12);
+        let delta = stale as f64 / fresh as f64 - 1.0;
+        println!(
+            "{label:>14} | {fresh:16} | {stale:17} | {:+.1}% ({})",
+            delta * 100.0,
+            if delta < 0.0 { "better" } else { "worse" },
+        );
+    }
+    println!();
+    println!(
+        "Keeping history across frames is safe (outcomes never change) and on \
+         these workloads even profitable — the Fig. 8a temporal locality. The \
+         hardware still clears the CHT per planning query: stale entries can \
+         only waste checks, and the reset bounds that waste under arbitrary \
+         obstacle dynamics without tracking obstacle speed."
+    );
+}

@@ -1,0 +1,122 @@
+//! Narrow-passage 2D planning with BIT*: the paper's observation that
+//! collision prediction helps *more* as queries get harder. Sweeps the
+//! passage width and reports the COORD CDQ reduction per difficulty.
+//!
+//! ```sh
+//! cargo run --release --example narrow_passage_2d
+//! ```
+
+use copred::collision::{run_schedule, Schedule};
+use copred::core::{ChtParams, Cht, CoordHash, HashInput};
+use copred::core::hash::CollisionHash;
+use copred::envgen::{ascii_scene, narrow_passage_environment, sample_free_config};
+use copred::kinematics::{csp_order, presets, Config, Robot};
+use copred::planners::{BitStar, PlanContext, Planner};
+use copred::trace::QueryTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let robot: Robot = presets::planar_2d().into();
+    let hash = CoordHash::paper_default(&robot);
+
+    // Show one narrow-passage scene with a found path.
+    {
+        let env = narrow_passage_environment(&robot, 0.12, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        if let (Some(start), Some(goal)) = (
+            sample_free_config(&robot, &env, 200, &mut rng),
+            sample_free_config(&robot, &env, 200, &mut rng),
+        ) {
+            let mut ctx = PlanContext::new(&robot, &env, 0.05);
+            let planner = BitStar { batch_size: 48, max_batches: 6, radius: 0.6, ..BitStar::default() };
+            if let Some(path) = planner.plan(&mut ctx, &start, &goal, &mut rng).path {
+                let pts: Vec<copred::geometry::Vec3> = path
+                    .iter()
+                    .map(|q| copred::geometry::Vec3::new(q[0], q[1], 0.0))
+                    .collect();
+                println!("scene (S=start, G=goal, *=waypoints, #=walls):");
+                println!("{}", ascii_scene(&env, &pts, 48, 18));
+            }
+        }
+    }
+
+    println!("gap width | queries | CSP CDQs | COORD CDQs | reduction");
+    println!("----------+---------+----------+------------+----------");
+    for (gi, gap) in [0.30, 0.20, 0.12, 0.07].iter().enumerate() {
+        let (mut csp_total, mut coord_total) = (0u64, 0u64);
+        let mut solved = 0usize;
+        for q in 0..6 {
+            let env = narrow_passage_environment(&robot, *gap, (gi * 100 + q) as u64);
+            let mut rng = StdRng::seed_from_u64((gi * 31 + q) as u64);
+            let (Some(start), Some(goal)) = (
+                sample_free_config(&robot, &env, 200, &mut rng),
+                sample_free_config(&robot, &env, 200, &mut rng),
+            ) else {
+                continue;
+            };
+            let mut ctx = PlanContext::new(&robot, &env, 0.05);
+            let planner = BitStar { batch_size: 48, max_batches: 6, radius: 0.6, ..BitStar::default() };
+            let result = planner.plan(&mut ctx, &start, &goal, &mut rng);
+            solved += usize::from(result.solved());
+            let trace = QueryTrace::from_log(&robot, &env, &ctx.into_log());
+
+            // CSP replay.
+            csp_total += trace
+                .motions
+                .iter()
+                .map(|m| {
+                    run_schedule(&m.to_cdq_infos(), m.poses.len(), Schedule::csp_default())
+                        .cdqs_executed as u64
+                })
+                .sum::<u64>();
+            // COORD replay (Algorithm 1 over CSP order, fresh table per query).
+            coord_total += replay_coord(&trace, &hash);
+        }
+        let red = 1.0 - coord_total as f64 / csp_total.max(1) as f64;
+        println!(
+            "   {gap:.2}   |   {solved}/6   | {csp_total:8} | {coord_total:10} | {:+7.1}%",
+            red * 100.0
+        );
+    }
+    println!();
+    println!("Narrower passages force the planner to probe the walls repeatedly,");
+    println!("which is exactly the history the COORD predictor exploits.");
+}
+
+fn replay_coord(trace: &QueryTrace, hash: &CoordHash) -> u64 {
+    let mut cht = Cht::new(ChtParams::paper_2d(), 1);
+    let dummy = Config::zeros(0);
+    let mut executed = 0u64;
+    for m in &trace.motions {
+        let n_poses = m.poses.len();
+        let mut queue = Vec::new();
+        let mut hit = false;
+        'outer: for p in csp_order(n_poses, Schedule::DEFAULT_CSP_STEP) {
+            for c in m.cdqs.iter().filter(|c| c.pose_idx as usize == p) {
+                let code = hash.code(&HashInput { config: &dummy, center: c.center });
+                if cht.predict(code) {
+                    executed += 1;
+                    cht.observe(code, c.colliding);
+                    if c.colliding {
+                        hit = true;
+                        break 'outer;
+                    }
+                } else {
+                    queue.push(c);
+                }
+            }
+        }
+        if !hit {
+            for c in queue {
+                let code = hash.code(&HashInput { config: &dummy, center: c.center });
+                executed += 1;
+                cht.observe(code, c.colliding);
+                if c.colliding {
+                    break;
+                }
+            }
+        }
+    }
+    executed
+}

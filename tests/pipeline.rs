@@ -1,0 +1,208 @@
+//! End-to-end integration tests spanning all crates: planner → trace →
+//! replay → predictor → accelerator.
+
+use copred::accel::{AccelConfig, AccelSim};
+use copred::collision::{run_schedule, Environment, Schedule};
+use copred::core::{ChtParams, CoordHash, Predictor};
+use copred::envgen::{narrow_passage_environment, sample_free_config};
+use copred::geometry::{Aabb, Vec3};
+use copred::kinematics::{presets, Config, Motion, Robot};
+use copred::planners::{BitStar, GnnmpEmulator, MpnetEmulator, PlanContext, Planner, Rrt, Stage};
+use copred::trace::QueryTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn planar_world() -> (Robot, Environment) {
+    let robot: Robot = presets::planar_2d().into();
+    let env = narrow_passage_environment(&robot, 0.25, 3);
+    (robot, env)
+}
+
+/// Runs a planner, captures the trace, and cross-checks every layer's view
+/// of the workload.
+fn full_pipeline(planner: &dyn Planner, seed: u64) -> (Robot, QueryTrace) {
+    let (robot, env) = planar_world();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = sample_free_config(&robot, &env, 200, &mut rng).expect("free start");
+    let goal = sample_free_config(&robot, &env, 200, &mut rng).expect("free goal");
+    let mut ctx = PlanContext::new(&robot, &env, 0.05);
+    let _ = planner.plan(&mut ctx, &start, &goal, &mut rng);
+    let log = ctx.into_log();
+    assert!(!log.is_empty(), "{} produced no workload", planner.name());
+    let trace = QueryTrace::from_log(&robot, &env, &log);
+    (robot, trace)
+}
+
+#[test]
+fn every_planner_feeds_the_full_pipeline() {
+    let planners: Vec<Box<dyn Planner>> = vec![
+        Box::new(Rrt::default()),
+        Box::new(MpnetEmulator::default()),
+        Box::new(GnnmpEmulator::default()),
+        Box::new(BitStar::default()),
+    ];
+    for planner in planners {
+        let (robot, trace) = full_pipeline(planner.as_ref(), 17);
+        // 1. Trace serialization roundtrips exactly.
+        let text = trace.to_text();
+        assert_eq!(QueryTrace::from_text(&text).unwrap(), trace);
+        // 2. Replay agrees with ground truth under every schedule.
+        for m in &trace.motions {
+            let infos = m.to_cdq_infos();
+            for s in [Schedule::Naive, Schedule::csp_default(), Schedule::Oracle] {
+                assert_eq!(run_schedule(&infos, m.poses.len(), s).colliding, m.colliding());
+            }
+        }
+        // 3. The accelerator simulator reproduces the same outcomes.
+        let mut sim = AccelSim::new(
+            AccelConfig::copu(3, ChtParams::paper_2d()),
+            CoordHash::paper_default(&robot),
+        );
+        for m in &trace.motions {
+            assert_eq!(sim.run_motion(m).colliding, m.colliding(), "{}", planner.name());
+        }
+    }
+}
+
+#[test]
+fn accelerator_never_executes_more_than_the_decomposition() {
+    let (robot, trace) = full_pipeline(&MpnetEmulator::default(), 5);
+    for cfg in [
+        AccelConfig::baseline(4),
+        AccelConfig::copu(4, ChtParams::paper_2d()),
+        AccelConfig::oracle(4),
+    ] {
+        let mut sim = AccelSim::new(cfg, CoordHash::paper_default(&robot));
+        for m in &trace.motions {
+            let r = sim.run_motion(m);
+            assert!(r.events.cdqs <= m.cdq_count() as u64);
+            if !m.colliding() {
+                assert_eq!(r.events.cdqs, m.cdq_count() as u64, "free motions run everything");
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_bounds_every_other_scheme_per_workload() {
+    let (robot, trace) = full_pipeline(&GnnmpEmulator::default(), 23);
+    let mut oracle = AccelSim::new(AccelConfig::oracle(4), CoordHash::paper_default(&robot));
+    let mut copu = AccelSim::new(
+        AccelConfig::copu(4, ChtParams::paper_2d()),
+        CoordHash::paper_default(&robot),
+    );
+    let mut base = AccelSim::new(AccelConfig::baseline(4), CoordHash::paper_default(&robot));
+    let ro = oracle.run_query(&trace.motions);
+    let rc = copu.run_query(&trace.motions);
+    let rb = base.run_query(&trace.motions);
+    assert!(ro.cdqs_executed() <= rc.cdqs_executed() + rc.motions * 3);
+    assert!(rc.cdqs_executed() <= rb.cdqs_executed() + rb.motions);
+    assert_eq!(ro.colliding_motions, rb.colliding_motions);
+}
+
+#[test]
+fn software_predictor_matches_trace_ground_truth() {
+    let (robot, env) = planar_world();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut predictor = Predictor::coord_default(&robot, 1);
+    for _ in 0..30 {
+        let m = Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng));
+        let poses = m.discretize(15);
+        let out = predictor.check_motion(&robot, &env, &poses);
+        let truth = copred::collision::motion_collides(&robot, &env, &poses);
+        assert_eq!(out.colliding, truth);
+    }
+}
+
+#[test]
+fn stage_structure_survives_the_pipeline() {
+    let (_, trace) = full_pipeline(&MpnetEmulator::default(), 77);
+    let s1: Vec<_> = trace.stage_motions(Stage::Explore).collect();
+    let s2: Vec<_> = trace.stage_motions(Stage::Validate).collect();
+    assert!(!s1.is_empty());
+    if !s2.is_empty() {
+        // The validated trajectory is collision-free by construction.
+        assert!(s2.iter().all(|m| !m.colliding()));
+    }
+}
+
+#[test]
+fn cpu_software_execution_agrees_with_reference() {
+    let (robot, env) = planar_world();
+    let mut rng = StdRng::seed_from_u64(4);
+    let motions: Vec<Vec<Config>> = (0..40)
+        .map(|_| {
+            Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng))
+                .discretize(12)
+        })
+        .collect();
+    let expected = motions
+        .iter()
+        .filter(|poses| copred::collision::motion_collides(&robot, &env, poses))
+        .count() as u64;
+    for with_prediction in [false, true] {
+        let r = copred::swexec::run_cpu(&robot, &env, &motions, &copred::swexec::CpuExecConfig {
+            n_threads: 4,
+            with_prediction,
+            cht_params: ChtParams::paper_2d(),
+            seed: 9,
+        });
+        assert_eq!(r.colliding_motions, expected, "prediction={with_prediction}");
+    }
+}
+
+#[test]
+fn dadup_substrate_integrates_with_planner_roadmaps() {
+    use copred::accel::{precompute_motion, DadupConfig, DadupMode, DadupSim};
+    let (robot, env) = planar_world();
+    let mut ctx = PlanContext::new(&robot, &env, 0.05);
+    let mut rng = StdRng::seed_from_u64(6);
+    let roadmap = copred::planners::Prm { n_samples: 30, k_neighbors: 4 }
+        .build_roadmap(&mut ctx, &[], &mut rng);
+    let cfg = DadupConfig::default();
+    let motions: Vec<_> = roadmap
+        .roadmap_motions()
+        .iter()
+        .map(|m| precompute_motion(&robot, &m.discretize(8), &cfg))
+        .collect();
+    assert!(!motions.is_empty());
+    let mut sim = DadupSim::new(&env, cfg);
+    let (results, _) = sim.run_workload(&motions, DadupMode::CspCopu);
+    // Roadmap edges were validated as collision-free against the exact
+    // geometry; the voxel/octree substrate is conservative, so it may flag
+    // some, but it must terminate and report a result per motion.
+    assert_eq!(results.len(), motions.len());
+}
+
+#[test]
+fn gpu_model_runs_on_pipeline_traces() {
+    let (_, trace) = full_pipeline(&MpnetEmulator::default(), 91);
+    let rows = copred::swexec::gpu_sweep(
+        &trace.motions,
+        &[64, 512],
+        &copred::swexec::GpuModelParams::default(),
+        ChtParams::paper_2d(),
+        1,
+    );
+    assert_eq!(rows.len(), 2);
+    assert!(rows[1].cdqs_base >= rows[0].cdqs_base);
+}
+
+#[test]
+fn predictor_warm_history_beats_cold_on_repeated_queries() {
+    // The end-to-end effect the quickstart demonstrates, asserted.
+    let robot: Robot = presets::planar_2d().into();
+    let env = Environment::new(
+        robot.workspace(),
+        vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+    );
+    let mut predictor = Predictor::coord_default(&robot, 42);
+    let motion = |y: f64| {
+        Motion::new(Config::new(vec![-0.8, y]), Config::new(vec![0.8, y])).discretize(33)
+    };
+    let cold = predictor.check_motion(&robot, &env, &motion(0.0));
+    let warm = predictor.check_motion(&robot, &env, &motion(0.01));
+    assert!(cold.colliding && warm.colliding);
+    assert!(warm.cdqs_executed < cold.cdqs_executed);
+    assert!(warm.cdqs_executed <= 2, "warm check should be near the oracle limit");
+}
