@@ -113,7 +113,12 @@ impl DadupSim {
         let grid = env.voxelize(cfg.voxel_resolution);
         let voxels: Vec<VoxelCoord> = grid.occupied_voxels().collect();
         let cht = Cht::new(cfg.cht_params, cfg.seed);
-        DadupSim { grid, voxels, cht, cfg }
+        DadupSim {
+            grid,
+            voxels,
+            cht,
+            cfg,
+        }
     }
 
     /// Number of occupied environment voxels (CDQs per exhaustive check).
@@ -159,10 +164,16 @@ impl DadupSim {
             DadupMode::Naive | DadupMode::Csp => {
                 for i in base_order {
                     if test(i, &mut executed, cht, false) {
-                        return DadupMotionResult { colliding: true, cdqs: executed };
+                        return DadupMotionResult {
+                            colliding: true,
+                            cdqs: executed,
+                        };
                     }
                 }
-                DadupMotionResult { colliding: false, cdqs: executed }
+                DadupMotionResult {
+                    colliding: false,
+                    cdqs: executed,
+                }
             }
             DadupMode::CspCopu => {
                 // Bounded deferral: unpredicted voxels wait in a queue of
@@ -173,7 +184,10 @@ impl DadupSim {
                     let predicted = cht.predict(voxel_code(voxels[i]));
                     if predicted {
                         if test(i, &mut executed, cht, true) {
-                            return DadupMotionResult { colliding: true, cdqs: executed };
+                            return DadupMotionResult {
+                                colliding: true,
+                                cdqs: executed,
+                            };
                         }
                     } else if queue.len() < self.cfg.queue_len {
                         queue.push(i);
@@ -181,16 +195,25 @@ impl DadupSim {
                         let oldest = queue.remove(0);
                         queue.push(i);
                         if test(oldest, &mut executed, cht, true) {
-                            return DadupMotionResult { colliding: true, cdqs: executed };
+                            return DadupMotionResult {
+                                colliding: true,
+                                cdqs: executed,
+                            };
                         }
                     }
                 }
                 for i in queue {
                     if test(i, &mut executed, cht, true) {
-                        return DadupMotionResult { colliding: true, cdqs: executed };
+                        return DadupMotionResult {
+                            colliding: true,
+                            cdqs: executed,
+                        };
                     }
                 }
-                DadupMotionResult { colliding: false, cdqs: executed }
+                DadupMotionResult {
+                    colliding: false,
+                    cdqs: executed,
+                }
             }
         }
     }
@@ -245,11 +268,22 @@ mod tests {
         let mut sims: Vec<DadupSim> = (0..4)
             .map(|_| DadupSim::new(&env, DadupConfig::default()))
             .collect();
-        let modes = [DadupMode::Naive, DadupMode::Csp, DadupMode::CspCopu, DadupMode::Oracle];
+        let modes = [
+            DadupMode::Naive,
+            DadupMode::Csp,
+            DadupMode::CspCopu,
+            DadupMode::Oracle,
+        ];
         let outcomes: Vec<Vec<bool>> = sims
             .iter_mut()
             .zip(modes)
-            .map(|(s, m)| s.run_workload(&motions, m).0.iter().map(|r| r.colliding).collect())
+            .map(|(s, m)| {
+                s.run_workload(&motions, m)
+                    .0
+                    .iter()
+                    .map(|r| r.colliding)
+                    .collect()
+            })
             .collect();
         for o in &outcomes[1..] {
             assert_eq!(o, &outcomes[0], "scheduling changed an outcome");
@@ -288,7 +322,10 @@ mod tests {
     fn smaller_queue_gives_less_benefit() {
         let (_, env, motions) = setup();
         let run = |queue_len| {
-            let cfg = DadupConfig { queue_len, ..Default::default() };
+            let cfg = DadupConfig {
+                queue_len,
+                ..Default::default()
+            };
             let mut s = DadupSim::new(&env, cfg);
             s.run_workload(&motions, DadupMode::CspCopu).1
         };

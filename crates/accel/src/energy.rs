@@ -125,7 +125,8 @@ impl AreaModel {
         copu: Option<(&ChtParams, usize)>,
         sram: &SramModel,
     ) -> f64 {
-        let mut a = self.base_mm2 + n_cdus as f64 * self.cdu_mm2 + n_obbgen as f64 * self.obbgen_mm2;
+        let mut a =
+            self.base_mm2 + n_cdus as f64 * self.cdu_mm2 + n_obbgen as f64 * self.obbgen_mm2;
         if let Some((cht, queue_entries)) = copu {
             a += self.copu_logic_mm2;
             a += sram.area_mm2(cht.entries(), cht.entry_bits());
@@ -160,7 +161,11 @@ pub struct OverheadReport {
 /// one CHT read per CDQ, one CHT write per executed CDQ, one queue push and
 /// pop per CDQ, against the average CDQ energy for `avg_obstacles`
 /// obstacle tests plus the amortized OBB-generation energy.
-pub fn mpaccel_overheads(energy: &EnergyModel, area: &AreaModel, avg_obstacles: f64) -> OverheadReport {
+pub fn mpaccel_overheads(
+    energy: &EnergyModel,
+    area: &AreaModel,
+    avg_obstacles: f64,
+) -> OverheadReport {
     // MPAccel: 24 CDUs, one OBBGen per 6 CDUs.
     let base_area = area.accel_area_mm2(24, 4, None, &energy.sram);
     let cht8 = ChtParams::paper_arm();
@@ -173,11 +178,14 @@ pub fn mpaccel_overheads(energy: &EnergyModel, area: &AreaModel, avg_obstacles: 
 
     // Per-CDQ base energy: CDU work + amortized OBB generation (one pose
     // per `links` CDQs; links ≈ 7 for the arms).
-    let per_cdq = energy.cdq_base_pj
-        + avg_obstacles * energy.obstacle_test_pj
-        + energy.obbgen_pose_pj / 7.0;
-    let cht8_access = energy.sram.access_energy_pj(cht8.entries(), cht8.entry_bits());
-    let cht1_access = energy.sram.access_energy_pj(cht1.entries(), cht1.entry_bits());
+    let per_cdq =
+        energy.cdq_base_pj + avg_obstacles * energy.obstacle_test_pj + energy.obbgen_pose_pj / 7.0;
+    let cht8_access = energy
+        .sram
+        .access_energy_pj(cht8.entries(), cht8.entry_bits());
+    let cht1_access = energy
+        .sram
+        .access_energy_pj(cht1.entries(), cht1.entry_bits());
     let cht8_energy = 2.0 * cht8_access / per_cdq;
     let cht1_energy = 2.0 * cht1_access / per_cdq;
     let queues_energy = 2.0 * energy.queue_op_pj / per_cdq;
@@ -222,12 +230,36 @@ mod tests {
     fn overheads_match_paper_within_tolerance() {
         // Calibration check: the reported §VI-B1 numbers.
         let r = mpaccel_overheads(&EnergyModel::default(), &AreaModel::default(), 7.0);
-        assert!(close(r.cht8_area, 0.0196, 0.15), "cht8 area {}", r.cht8_area);
-        assert!(close(r.cht8_energy, 0.0101, 0.25), "cht8 energy {}", r.cht8_energy);
-        assert!(close(r.cht1_area, 0.0055, 0.25), "cht1 area {}", r.cht1_area);
-        assert!(close(r.cht1_energy, 0.0028, 0.35), "cht1 energy {}", r.cht1_energy);
-        assert!(close(r.queues_area, 0.026, 0.15), "queues area {}", r.queues_area);
-        assert!(close(r.queues_energy, 0.014, 0.35), "queues energy {}", r.queues_energy);
+        assert!(
+            close(r.cht8_area, 0.0196, 0.15),
+            "cht8 area {}",
+            r.cht8_area
+        );
+        assert!(
+            close(r.cht8_energy, 0.0101, 0.25),
+            "cht8 energy {}",
+            r.cht8_energy
+        );
+        assert!(
+            close(r.cht1_area, 0.0055, 0.25),
+            "cht1 area {}",
+            r.cht1_area
+        );
+        assert!(
+            close(r.cht1_energy, 0.0028, 0.35),
+            "cht1 energy {}",
+            r.cht1_energy
+        );
+        assert!(
+            close(r.queues_area, 0.026, 0.15),
+            "queues area {}",
+            r.queues_area
+        );
+        assert!(
+            close(r.queues_energy, 0.014, 0.35),
+            "queues energy {}",
+            r.queues_energy
+        );
     }
 
     #[test]
@@ -246,7 +278,10 @@ mod tests {
         let sram = SramModel::calibrated_45nm();
         let p8 = ChtParams::paper_arm();
         let p1 = ChtParams::paper_1bit();
-        assert!(sram.area_mm2(p1.entries(), p1.entry_bits()) < sram.area_mm2(p8.entries(), p8.entry_bits()));
+        assert!(
+            sram.area_mm2(p1.entries(), p1.entry_bits())
+                < sram.area_mm2(p8.entries(), p8.entry_bits())
+        );
         assert!(
             sram.access_energy_pj(p1.entries(), p1.entry_bits())
                 < sram.access_energy_pj(p8.entries(), p8.entry_bits())

@@ -74,7 +74,12 @@ mod tests {
                 poses_generated: 2500,
             },
         };
-        let r = perf_report(&sim, &result, &EnergyModel::default(), &AreaModel::default());
+        let r = perf_report(
+            &sim,
+            &result,
+            &EnergyModel::default(),
+            &AreaModel::default(),
+        );
         assert!(r.throughput > 0.0);
         assert!(r.energy_pj > 0.0);
         assert!(r.perf_per_watt > 0.0);
@@ -85,7 +90,12 @@ mod tests {
         doubled.events.cdqs *= 2;
         doubled.events.obstacle_tests *= 2;
         doubled.events.poses_generated *= 2;
-        let r2 = perf_report(&sim, &doubled, &EnergyModel::default(), &AreaModel::default());
+        let r2 = perf_report(
+            &sim,
+            &doubled,
+            &EnergyModel::default(),
+            &AreaModel::default(),
+        );
         assert!(r2.perf_per_watt < r.perf_per_watt);
     }
 

@@ -80,7 +80,10 @@ impl SphereSim {
                 }
             }
             if with_copu {
-                let code = hash.code(&HashInput { config: &dummy, center: link.center });
+                let code = hash.code(&HashInput {
+                    config: &dummy,
+                    center: link.center,
+                });
                 cht.observe(code, hit);
             }
             hit
@@ -90,7 +93,10 @@ impl SphereSim {
             for li in 0..fk[pi].links.len() {
                 if with_copu {
                     let center = fk[pi].links[li].center;
-                    let code = hash.code(&HashInput { config: &dummy, center });
+                    let code = hash.code(&HashInput {
+                        config: &dummy,
+                        center,
+                    });
                     if cht.predict(code) {
                         if exec_link(pi, li, &mut executed, cht) {
                             return (true, executed);
@@ -149,8 +155,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let motions: Vec<Vec<Config>> = (0..60)
             .map(|_| {
-                Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng))
-                    .discretize(12)
+                Motion::new(
+                    robot.sample_uniform(&mut rng),
+                    robot.sample_uniform(&mut rng),
+                )
+                .discretize(12)
             })
             .collect();
         (robot, env, motions)

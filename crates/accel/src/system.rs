@@ -19,8 +19,8 @@
 //! directly — the Shah et al. accelerator the paper compares against.
 
 use crate::energy::{AreaModel, EnergyModel};
-use copred_core::{Cht, ChtParams, CoordHash};
 use copred_core::hash::CollisionHash;
+use copred_core::{Cht, ChtParams, CoordHash};
 use copred_geometry::Vec3;
 use copred_kinematics::csp_order;
 use copred_trace::MotionTrace;
@@ -182,8 +182,7 @@ impl AccelRunResult {
     /// Full energy including CHT SRAM accesses for the given CHT sizing.
     pub fn energy_with_cht_pj(&self, em: &EnergyModel, area_mm2: f64, cht: &ChtParams) -> f64 {
         let acc = em.sram.access_energy_pj(cht.entries(), cht.entry_bits());
-        self.energy_pj(em, area_mm2)
-            + (self.events.cht_reads + self.events.cht_writes) as f64 * acc
+        self.energy_pj(em, area_mm2) + (self.events.cht_reads + self.events.cht_writes) as f64 * acc
     }
 }
 
@@ -222,8 +221,10 @@ impl AccelSim {
         // The hash consumes only the center for COORD; the config argument
         // is unused by this family, so a dummy zero-DOF config suffices.
         let dummy = copred_kinematics::Config::zeros(0);
-        self.hash
-            .code(&copred_core::HashInput { config: &dummy, center })
+        self.hash.code(&copred_core::HashInput {
+            config: &dummy,
+            center,
+        })
     }
 
     /// Simulates one motion-environment check.
@@ -231,7 +232,12 @@ impl AccelSim {
         let cfg = &self.cfg;
         let n = motion.cdqs.len();
         let n_poses = motion.poses.len().max(
-            motion.cdqs.iter().map(|c| c.pose_idx as usize + 1).max().unwrap_or(0),
+            motion
+                .cdqs
+                .iter()
+                .map(|c| c.pose_idx as usize + 1)
+                .max()
+                .unwrap_or(0),
         );
         // Generation order: CSP over poses, link order within each pose.
         let mut starts = vec![0usize; n_poses + 1];
@@ -373,10 +379,17 @@ impl AccelSim {
             }
             // An empty motion terminates immediately.
             if n == 0 {
-                return MotionSimResult { colliding: false, latency_cycles: 0, events };
+                return MotionSimResult {
+                    colliding: false,
+                    latency_cycles: 0,
+                    events,
+                };
             }
             cycle += 1;
-            assert!(cycle < CYCLE_CAP, "accelerator simulation exceeded cycle cap");
+            assert!(
+                cycle < CYCLE_CAP,
+                "accelerator simulation exceeded cycle cap"
+            );
         }
     }
 
@@ -397,7 +410,10 @@ impl AccelSim {
     /// Total accelerator area for this configuration under `area`.
     pub fn area_mm2(&self, area: &AreaModel, em: &EnergyModel) -> f64 {
         let copu = if self.cfg.with_copu {
-            Some((&self.cfg.cht_params, self.cfg.qcoll_len + self.cfg.qnoncoll_len))
+            Some((
+                &self.cfg.cht_params,
+                self.cfg.qcoll_len + self.cfg.qnoncoll_len,
+            ))
         } else {
             None
         };
@@ -434,7 +450,11 @@ mod tests {
                 )
                 .discretize(24);
                 let colliding = copred_collision::motion_collides(&robot, &env, &poses);
-                MotionRecord { poses, stage: Stage::Explore, colliding }
+                MotionRecord {
+                    poses,
+                    stage: Stage::Explore,
+                    colliding,
+                }
             })
             .collect();
         let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });
@@ -473,7 +493,11 @@ mod tests {
                 )
                 .discretize(20);
                 let colliding = copred_collision::motion_collides(&robot, &env, &poses);
-                MotionRecord { poses, stage: Stage::Explore, colliding }
+                MotionRecord {
+                    poses,
+                    stage: Stage::Explore,
+                    colliding,
+                }
             })
             .collect();
         let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });
@@ -483,7 +507,10 @@ mod tests {
     #[test]
     fn outcomes_match_ground_truth() {
         let (robot, motions) = workload(40, 1);
-        for cfg in [AccelConfig::baseline(4), AccelConfig::copu(4, ChtParams::paper_2d())] {
+        for cfg in [
+            AccelConfig::baseline(4),
+            AccelConfig::copu(4, ChtParams::paper_2d()),
+        ] {
             let mut s = sim(&robot, cfg);
             for m in &motions {
                 let r = s.run_motion(m);
@@ -542,13 +569,20 @@ mod tests {
     fn free_motion_executes_all_cdqs() {
         let (robot, _) = workload(1, 5);
         let env = Environment::empty(robot.workspace());
-        let poses = Motion::new(Config::new(vec![-0.5, 0.0]), Config::new(vec![0.5, 0.0]))
-            .discretize(10);
+        let poses =
+            Motion::new(Config::new(vec![-0.5, 0.0]), Config::new(vec![0.5, 0.0])).discretize(10);
         let log = PlanLog {
-            records: vec![MotionRecord { poses, stage: Stage::Explore, colliding: false }],
+            records: vec![MotionRecord {
+                poses,
+                stage: Stage::Explore,
+                colliding: false,
+            }],
         };
         let trace = QueryTrace::from_log(&robot, &env, &log);
-        for cfg in [AccelConfig::baseline(3), AccelConfig::copu(3, ChtParams::paper_2d())] {
+        for cfg in [
+            AccelConfig::baseline(3),
+            AccelConfig::copu(3, ChtParams::paper_2d()),
+        ] {
             let mut s = sim(&robot, cfg);
             let r = s.run_motion(&trace.motions[0]);
             assert!(!r.colliding);
@@ -603,14 +637,20 @@ mod tests {
     #[test]
     fn queue_too_small_hurts_cdq_reduction() {
         let (robot, motions) = workload(120, 9);
-        let mut tiny = sim(&robot, AccelConfig {
-            qnoncoll_len: 2,
-            ..AccelConfig::copu(4, ChtParams::paper_2d())
-        });
-        let mut big = sim(&robot, AccelConfig {
-            qnoncoll_len: 56,
-            ..AccelConfig::copu(4, ChtParams::paper_2d())
-        });
+        let mut tiny = sim(
+            &robot,
+            AccelConfig {
+                qnoncoll_len: 2,
+                ..AccelConfig::copu(4, ChtParams::paper_2d())
+            },
+        );
+        let mut big = sim(
+            &robot,
+            AccelConfig {
+                qnoncoll_len: 56,
+                ..AccelConfig::copu(4, ChtParams::paper_2d())
+            },
+        );
         let rt = tiny.run_query(&motions);
         let rb = big.run_query(&motions);
         assert!(

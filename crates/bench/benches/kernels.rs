@@ -2,12 +2,12 @@
 //! COORD/POSE hashing, CHT lookups/updates, the OBB SAT test, forward
 //! kinematics, and end-to-end motion checks with and without prediction.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use copred_collision::{check_motion_scheduled, Environment, Schedule};
 use copred_core::hash::CollisionHash;
 use copred_core::{Cht, ChtParams, CoordHash, HashInput, PoseHash, Predictor};
 use copred_geometry::{Aabb, Mat3, Obb, Vec3};
 use copred_kinematics::{presets, Config, Motion, Robot};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -20,8 +20,12 @@ fn bench_hash_kernels(c: &mut Criterion) {
     let center = robot.fk(&q).links[3].center;
     let input = HashInput { config: &q, center };
     let mut g = c.benchmark_group("hash");
-    g.bench_function("coord", |b| b.iter(|| black_box(coord.code(black_box(&input)))));
-    g.bench_function("pose", |b| b.iter(|| black_box(pose_hash.code(black_box(&input)))));
+    g.bench_function("coord", |b| {
+        b.iter(|| black_box(coord.code(black_box(&input))))
+    });
+    g.bench_function("pose", |b| {
+        b.iter(|| black_box(pose_hash.code(black_box(&input))))
+    });
     g.finish();
 }
 
@@ -49,11 +53,23 @@ fn bench_cht_ops(c: &mut Criterion) {
 
 fn bench_obb_sat(c: &mut Criterion) {
     let a = Obb::new(Vec3::ZERO, Mat3::rot_z(0.4), Vec3::new(0.3, 0.2, 0.1));
-    let hit = Obb::new(Vec3::new(0.2, 0.1, 0.0), Mat3::rot_x(0.7), Vec3::new(0.2, 0.2, 0.2));
-    let miss = Obb::new(Vec3::new(2.0, 2.0, 2.0), Mat3::rot_y(1.0), Vec3::new(0.2, 0.2, 0.2));
+    let hit = Obb::new(
+        Vec3::new(0.2, 0.1, 0.0),
+        Mat3::rot_x(0.7),
+        Vec3::new(0.2, 0.2, 0.2),
+    );
+    let miss = Obb::new(
+        Vec3::new(2.0, 2.0, 2.0),
+        Mat3::rot_y(1.0),
+        Vec3::new(0.2, 0.2, 0.2),
+    );
     let mut g = c.benchmark_group("obb_sat");
-    g.bench_function("hit", |b| b.iter(|| black_box(a.intersects(black_box(&hit)))));
-    g.bench_function("miss", |b| b.iter(|| black_box(a.intersects(black_box(&miss)))));
+    g.bench_function("hit", |b| {
+        b.iter(|| black_box(a.intersects(black_box(&hit))))
+    });
+    g.bench_function("miss", |b| {
+        b.iter(|| black_box(a.intersects(black_box(&miss))))
+    });
     g.finish();
 }
 
@@ -67,10 +83,13 @@ fn bench_motion_check(c: &mut Criterion) {
     let robot: Robot = presets::planar_2d().into();
     let env = Environment::new(
         robot.workspace(),
-        vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+        vec![Aabb::new(
+            Vec3::new(0.2, -1.0, -0.1),
+            Vec3::new(0.6, 1.0, 0.1),
+        )],
     );
-    let poses = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]))
-        .discretize(33);
+    let poses =
+        Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0])).discretize(33);
     let mut g = c.benchmark_group("motion_check");
     g.bench_function("csp", |b| {
         b.iter(|| {
@@ -113,14 +132,21 @@ fn bench_accel_sim(c: &mut Criterion) {
         )],
     );
     let mut rng = StdRng::seed_from_u64(2);
-    let poses = Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng))
-        .discretize(20);
+    let poses = Motion::new(
+        robot.sample_uniform(&mut rng),
+        robot.sample_uniform(&mut rng),
+    )
+    .discretize(20);
     let colliding = copred_collision::motion_collides(&robot, &env, &poses);
     let trace = QueryTrace::from_log(
         &robot,
         &env,
         &PlanLog {
-            records: vec![MotionRecord { poses, stage: Stage::Explore, colliding }],
+            records: vec![MotionRecord {
+                poses,
+                stage: Stage::Explore,
+                colliding,
+            }],
         },
     );
     let motion = &trace.motions[0];

@@ -1,0 +1,143 @@
+//! Load generator: replays captured planner workloads against a running
+//! `copred_server` and writes an s3-bench-style TSV op-log.
+//!
+//! ```text
+//! copred_loadgen [key=value ...]
+//!   addr=127.0.0.1:7457   server address
+//!   combo=MPNet-Baxter    workload (a Fig. 15 combo label)
+//!   queries=8             planning queries (sessions) to capture and replay
+//!   connections=8         concurrent client connections
+//!   mode=coord            coord | naive | csp
+//!   pacing=closed         closed | open:<interval_us>
+//!   batch=8               motions per CHECK_MOTION frame
+//!   seed=42               capture + replay seed (deterministic)
+//!   oplog=oplog.tsv       op-log output path ("-" to skip)
+//! ```
+
+use copred_bench::{Combo, Scale};
+use copred_service::protocol::SchedMode;
+use copred_service::{run_loadgen, write_oplog, LoadgenConfig, Pacing};
+
+struct Args {
+    combo: Combo,
+    queries: usize,
+    seed: u64,
+    oplog: String,
+    lg: LoadgenConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        combo: Combo::paper_six()[0], // MPNet-Baxter
+        queries: 8,
+        seed: 42,
+        oplog: "oplog.tsv".to_string(),
+        lg: LoadgenConfig::default(),
+    };
+    for arg in std::env::args().skip(1) {
+        let (key, value) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got '{arg}'"))?;
+        let num = || {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("bad number for {key}: '{value}'"))
+        };
+        match key {
+            "addr" => args.lg.addr = value.to_string(),
+            "combo" => {
+                args.combo = Combo::paper_six()
+                    .into_iter()
+                    .find(|c| c.label() == value)
+                    .ok_or_else(|| {
+                        let known: Vec<String> =
+                            Combo::paper_six().iter().map(Combo::label).collect();
+                        format!("unknown combo '{value}', one of: {}", known.join(", "))
+                    })?;
+            }
+            "queries" => args.queries = num()? as usize,
+            "connections" => args.lg.connections = num()? as usize,
+            "mode" => {
+                args.lg.mode = SchedMode::parse(value)
+                    .ok_or_else(|| format!("bad mode '{value}' (coord|naive|csp)"))?;
+            }
+            "pacing" => {
+                args.lg.pacing = match value.split_once(':') {
+                    None if value == "closed" => Pacing::Closed,
+                    Some(("open", us)) => Pacing::Open {
+                        interval_us: us
+                            .parse()
+                            .map_err(|_| format!("bad open-loop interval '{us}'"))?,
+                    },
+                    _ => return Err(format!("bad pacing '{value}' (closed|open:<us>)")),
+                };
+            }
+            "batch" => args.lg.batch = num()? as usize,
+            "seed" => {
+                args.seed = num()?;
+                args.lg.seed = args.seed;
+            }
+            "oplog" => args.oplog = value.to_string(),
+            _ => return Err(format!("unknown option '{key}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("copred_loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scale = Scale {
+        queries: args.queries,
+        ..Scale::quick()
+    };
+    eprintln!(
+        "capturing {} {} queries (seed {})...",
+        args.queries,
+        args.combo.label(),
+        args.seed
+    );
+    let traces = copred_bench::workloads::planner_traces(&args.combo, &scale, args.seed);
+    let motions: usize = traces.iter().map(|t| t.motions.len()).sum();
+    eprintln!(
+        "replaying {} traces / {} motions over {} connections ({:?}, mode {})...",
+        traces.len(),
+        motions,
+        args.lg.connections,
+        args.lg.pacing,
+        args.lg.mode.label()
+    );
+    let report = match run_loadgen(&args.lg, &traces) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("copred_loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("workload      {}", args.combo.label());
+    println!("mode          {}", args.lg.mode.label());
+    println!("checks        {}", report.checks);
+    println!("collisions    {}", report.collisions);
+    println!("cdqs_issued   {}", report.cdqs_issued);
+    println!("cdqs_total    {}", report.cdqs_total);
+    println!(
+        "cdqs_saved    {} ({:.1}%)",
+        report.cdqs_total - report.cdqs_issued,
+        100.0 * (report.cdqs_total - report.cdqs_issued) as f64 / report.cdqs_total.max(1) as f64
+    );
+    println!("retries       {}", report.retries);
+    println!("wall_s        {:.3}", report.wall_ns as f64 / 1e9);
+    println!("checks_per_s  {:.1}", report.checks_per_sec());
+    if args.oplog != "-" {
+        if let Err(e) = std::fs::write(&args.oplog, write_oplog(&report.ops)) {
+            eprintln!("copred_loadgen: writing {}: {e}", args.oplog);
+            std::process::exit(1);
+        }
+        println!("oplog         {} ({} ops)", args.oplog, report.ops.len());
+    }
+}

@@ -1,0 +1,71 @@
+//! Runs the copred collision-prediction service until killed.
+//!
+//! ```text
+//! copred_server [key=value ...]
+//!   addr=127.0.0.1:7457   bind address (port 0 = OS-assigned)
+//!   workers=4             worker threads
+//!   queue=128             global queue capacity (batches)
+//!   session_queue=32      per-session pending cap
+//!   max_sessions=64       session pool size (power of two)
+//!   csp_step=5            CSP stride for the schedulers
+//!   retry_ms=10           back-off hint in retry_after responses
+//! ```
+
+use copred_service::{Server, ServerConfig};
+use std::thread;
+use std::time::Duration;
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7457".to_string(),
+        ..ServerConfig::default()
+    };
+    for arg in std::env::args().skip(1) {
+        let (key, value) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got '{arg}'"))?;
+        let num = || {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("bad number for {key}: '{value}'"))
+        };
+        match key {
+            "addr" => cfg.addr = value.to_string(),
+            "workers" => cfg.workers = num()? as usize,
+            "queue" => cfg.queue_capacity = num()? as usize,
+            "session_queue" => cfg.session_queue_cap = num()? as usize,
+            "max_sessions" => cfg.max_sessions = num()? as usize,
+            "csp_step" => cfg.csp_step = num()? as usize,
+            "retry_ms" => cfg.retry_after_ms = num()?,
+            _ => return Err(format!("unknown option '{key}'")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("copred_server: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("copred_server: bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "copred_server listening on {} ({} workers, queue {}, {} sessions)",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.max_sessions
+    );
+    loop {
+        thread::sleep(Duration::from_secs(3600));
+    }
+}

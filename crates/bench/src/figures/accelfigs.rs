@@ -77,11 +77,18 @@ pub fn fig15(work: &mut Workloads) -> String {
                 copred_envgen::group_label(g),
                 num(b as f64 / n / g1_mean, 3),
                 num(c as f64 / n / g1_mean, 3),
-                pct(if b > 0 { 1.0 - c as f64 / b as f64 } else { 0.0 }),
+                pct(if b > 0 {
+                    1.0 - c as f64 / b as f64
+                } else {
+                    0.0
+                }),
             ]);
         }
         out.push_str(&render_table(
-            &format!("Fig. 15 — {} (CDQs normalized to G1 CSP mean)", combo.label()),
+            &format!(
+                "Fig. 15 — {} (CDQs normalized to G1 CSP mean)",
+                combo.label()
+            ),
             &["group", "CSP", "COPU", "COPU reduction"],
             &rows,
         ));
@@ -102,7 +109,10 @@ pub fn fig15(work: &mut Workloads) -> String {
 /// Fig. 16: perf/mm², perf/watt, and latency for baseline.x vs COPU.x,
 /// x ∈ {1, 2, 4, 6}, MPNet-Baxter, CHT 4096×1 (S=0, U=0).
 pub fn fig16(work: &mut Workloads) -> String {
-    let combo = Combo { algo: crate::workloads::Algo::Mpnet, robot: RobotKind::Baxter };
+    let combo = Combo {
+        algo: crate::workloads::Algo::Mpnet,
+        robot: RobotKind::Baxter,
+    };
     let traces = work.traces(combo).to_vec();
     let robot = combo.robot.robot();
     let em = EnergyModel::default();
@@ -121,13 +131,21 @@ pub fn fig16(work: &mut Workloads) -> String {
             ratio(pc.perf_per_mm2 / pb.perf_per_mm2),
             ratio(pc.perf_per_watt / pb.perf_per_watt),
             ratio(pb.mean_latency_cycles / pc.mean_latency_cycles.max(1.0)),
-            pct(1.0 - rc.energy_with_cht_pj(&em, pc.area_mm2, &perf_cht(combo.robot))
-                / rb.energy_with_cht_pj(&em, pb.area_mm2, &perf_cht(combo.robot)).max(1e-12)),
+            pct(1.0
+                - rc.energy_with_cht_pj(&em, pc.area_mm2, &perf_cht(combo.robot))
+                    / rb.energy_with_cht_pj(&em, pb.area_mm2, &perf_cht(combo.robot))
+                        .max(1e-12)),
         ]);
     }
     render_table(
         "Fig. 16 — COPU.x vs baseline.x (MPNet-Baxter, 4096x1 CHT, S=0, U=0)",
-        &["CDUs", "perf/mm2", "perf/watt", "speedup", "energy reduction"],
+        &[
+            "CDUs",
+            "perf/mm2",
+            "perf/watt",
+            "speedup",
+            "energy reduction",
+        ],
         &rows,
     )
 }
@@ -135,9 +153,18 @@ pub fn fig16(work: &mut Workloads) -> String {
 /// Fig. 17: QNONCOLL queue-size sweep — CDQ reduction vs the CSP baseline.
 pub fn fig17(work: &mut Workloads) -> String {
     let combos = [
-        Combo { algo: crate::workloads::Algo::Mpnet, robot: RobotKind::Baxter },
-        Combo { algo: crate::workloads::Algo::Gnnmp, robot: RobotKind::Kuka },
-        Combo { algo: crate::workloads::Algo::BitStar, robot: RobotKind::Planar2d },
+        Combo {
+            algo: crate::workloads::Algo::Mpnet,
+            robot: RobotKind::Baxter,
+        },
+        Combo {
+            algo: crate::workloads::Algo::Gnnmp,
+            robot: RobotKind::Kuka,
+        },
+        Combo {
+            algo: crate::workloads::Algo::BitStar,
+            robot: RobotKind::Planar2d,
+        },
     ];
     let sizes = [2usize, 4, 8, 16, 32, 56, 128];
     let mut rows = Vec::new();
@@ -156,7 +183,7 @@ pub fn fig17(work: &mut Workloads) -> String {
             let mut sim = AccelSim::new(cfg, hash.clone());
             let (_, rc) = run_per_query(&mut sim, &traces);
             cells.push(pct(
-                1.0 - rc.cdqs_executed() as f64 / rb.cdqs_executed().max(1) as f64,
+                1.0 - rc.cdqs_executed() as f64 / rb.cdqs_executed().max(1) as f64
             ));
         }
         rows.push(cells);
@@ -237,9 +264,24 @@ pub fn tab_overheads() -> String {
         "§VI-B1 — COPU component overheads on a 24-CDU MPAccel",
         &["component", "area overhead", "energy overhead", "paper"],
         &[
-            vec!["CHT 4096x8".into(), pct(r.cht8_area), pct(r.cht8_energy), "1.96% / 1.01%".into()],
-            vec!["CHT 4096x1".into(), pct(r.cht1_area), pct(r.cht1_energy), "0.55% / 0.28%".into()],
-            vec!["QCOLL+QNONCOLL".into(), pct(r.queues_area), pct(r.queues_energy), "2.6% / 1.4%".into()],
+            vec![
+                "CHT 4096x8".into(),
+                pct(r.cht8_area),
+                pct(r.cht8_energy),
+                "1.96% / 1.01%".into(),
+            ],
+            vec![
+                "CHT 4096x1".into(),
+                pct(r.cht1_area),
+                pct(r.cht1_energy),
+                "0.55% / 0.28%".into(),
+            ],
+            vec![
+                "QCOLL+QNONCOLL".into(),
+                pct(r.queues_area),
+                pct(r.queues_energy),
+                "2.6% / 1.4%".into(),
+            ],
         ],
     )
 }

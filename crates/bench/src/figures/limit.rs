@@ -22,7 +22,11 @@ pub fn fig1d(scale: &Scale) -> String {
     let mut rows = Vec::new();
     for id in SuiteId::all() {
         let robot = suite_robot(id);
-        let step = if matches!(robot, copred_kinematics::Robot::Planar(_)) { 0.05 } else { 0.18 };
+        let step = if matches!(robot, copred_kinematics::Robot::Planar(_)) {
+            0.05
+        } else {
+            0.18
+        };
         let cht = match robot {
             copred_kinematics::Robot::Planar(_) => copred_core::ChtParams::paper_2d(),
             _ => copred_core::ChtParams::paper_arm(),
@@ -85,9 +89,18 @@ fn replay_by_stage(traces: &[QueryTrace], schedule: Schedule) -> (u64, u64) {
 /// for three algorithm-robot combinations.
 pub fn fig6(work: &mut Workloads) -> String {
     let combos = [
-        Combo { algo: Algo::Mpnet, robot: RobotKind::Baxter },
-        Combo { algo: Algo::Gnnmp, robot: RobotKind::Kuka },
-        Combo { algo: Algo::BitStar, robot: RobotKind::Kuka },
+        Combo {
+            algo: Algo::Mpnet,
+            robot: RobotKind::Baxter,
+        },
+        Combo {
+            algo: Algo::Gnnmp,
+            robot: RobotKind::Kuka,
+        },
+        Combo {
+            algo: Algo::BitStar,
+            robot: RobotKind::Kuka,
+        },
     ];
     let mut rows = Vec::new();
     for combo in combos {
@@ -96,16 +109,39 @@ pub fn fig6(work: &mut Workloads) -> String {
         let (c1, c2) = replay_by_stage(&traces, Schedule::csp_default());
         let (o1, o2) = replay_by_stage(&traces, Schedule::Oracle);
         let total_naive = (n1 + n2).max(1) as f64;
-        let colliding: f64 = traces.iter().map(QueryTrace::colliding_fraction).sum::<f64>()
+        let colliding: f64 = traces
+            .iter()
+            .map(QueryTrace::colliding_fraction)
+            .sum::<f64>()
             / traces.len().max(1) as f64;
         rows.push(vec![
             combo.label(),
-            format!("{:.3}/{:.3}", n1 as f64 / total_naive, n2 as f64 / total_naive),
-            format!("{:.3}/{:.3}", c1 as f64 / total_naive, c2 as f64 / total_naive),
-            format!("{:.3}/{:.3}", o1 as f64 / total_naive, o2 as f64 / total_naive),
+            format!(
+                "{:.3}/{:.3}",
+                n1 as f64 / total_naive,
+                n2 as f64 / total_naive
+            ),
+            format!(
+                "{:.3}/{:.3}",
+                c1 as f64 / total_naive,
+                c2 as f64 / total_naive
+            ),
+            format!(
+                "{:.3}/{:.3}",
+                o1 as f64 / total_naive,
+                o2 as f64 / total_naive
+            ),
             pct(1.0 - (o1 + o2) as f64 / (c1 + c2).max(1) as f64),
-            pct(if c1 > 0 { 1.0 - o1 as f64 / c1 as f64 } else { 0.0 }),
-            pct(if c2 > 0 { 1.0 - o2 as f64 / c2 as f64 } else { 0.0 }),
+            pct(if c1 > 0 {
+                1.0 - o1 as f64 / c1 as f64
+            } else {
+                0.0
+            }),
+            pct(if c2 > 0 {
+                1.0 - o2 as f64 / c2 as f64
+            } else {
+                0.0
+            }),
             pct(colliding),
         ]);
     }
@@ -127,7 +163,10 @@ pub fn fig6(work: &mut Workloads) -> String {
 
 /// Fig. 7: Oracle vs CSP across difficulty groups G1–G5 for GNNMP-KUKA.
 pub fn fig7(work: &mut Workloads) -> String {
-    let combo = Combo { algo: Algo::Gnnmp, robot: RobotKind::Kuka };
+    let combo = Combo {
+        algo: Algo::Gnnmp,
+        robot: RobotKind::Kuka,
+    };
     let traces = work.traces(combo).to_vec();
     // Difficulty proxy: CDQs executed under CSP for the whole query.
     let csp_costs: Vec<u64> = traces
@@ -169,7 +208,11 @@ pub fn fig7(work: &mut Workloads) -> String {
             copred_envgen::group_label(g),
             format!("{:.3}", norm(csp)),
             format!("{:.3}", norm(oracle)),
-            pct(if csp > 0 { 1.0 - oracle as f64 / csp as f64 } else { 0.0 }),
+            pct(if csp > 0 {
+                1.0 - oracle as f64 / csp as f64
+            } else {
+                0.0
+            }),
         ]);
     }
     render_table(
@@ -183,9 +226,18 @@ pub fn fig7(work: &mut Workloads) -> String {
 /// 1.11×–1.44× across algorithms for 7-DOF arms).
 pub fn oracle_perfwatt(work: &mut Workloads) -> String {
     let combos = [
-        Combo { algo: Algo::Mpnet, robot: RobotKind::Baxter },
-        Combo { algo: Algo::Gnnmp, robot: RobotKind::Kuka },
-        Combo { algo: Algo::BitStar, robot: RobotKind::Kuka },
+        Combo {
+            algo: Algo::Mpnet,
+            robot: RobotKind::Baxter,
+        },
+        Combo {
+            algo: Algo::Gnnmp,
+            robot: RobotKind::Kuka,
+        },
+        Combo {
+            algo: Algo::BitStar,
+            robot: RobotKind::Kuka,
+        },
     ];
     let em = EnergyModel::default();
     let am = AreaModel::default();

@@ -11,8 +11,8 @@ use crate::workloads::Scale;
 use copred_core::hash::CollisionHash;
 use copred_core::statmodel::{computation_decrease, StatModelParams};
 use copred_core::{
-    ChtParams, CoordHash, EncoordHash, EnposeHash, HashInput, PoseFoldHash, PoseHash,
-    PosePartHash, PredictionMetrics, Predictor, Strategy,
+    ChtParams, CoordHash, EncoordHash, EnposeHash, HashInput, PoseFoldHash, PoseHash, PosePartHash,
+    PredictionMetrics, Predictor, Strategy,
 };
 use copred_envgen::{random_scene, Density};
 use copred_geometry::Vec3;
@@ -40,7 +40,10 @@ fn scene_cases(robot: &Robot, density: Density, scale: &Scale, seed: u64) -> Vec
                         .into_iter()
                         .map(|c| (c.center, c.colliding))
                         .collect();
-                    PoseCase { config: q.clone(), cdqs }
+                    PoseCase {
+                        config: q.clone(),
+                        cdqs,
+                    }
                 })
                 .collect()
         })
@@ -62,7 +65,12 @@ fn eval_hasher(
     let mut metrics = PredictionMetrics::new();
     let mut predictor = Predictor::new(
         hasher,
-        ChtParams { bits, counter_bits: 4, strategy, update_fraction },
+        ChtParams {
+            bits,
+            counter_bits: 4,
+            strategy,
+            update_fraction,
+        },
         9,
     );
     for scene in scenes {
@@ -74,14 +82,20 @@ fn eval_hasher(
             let mut pose_predicted = false;
             let mut pose_actual = false;
             for &(center, colliding) in &case.cdqs {
-                let input = HashInput { config: &case.config, center };
+                let input = HashInput {
+                    config: &case.config,
+                    center,
+                };
                 if predictor.predict(&input) {
                     pose_predicted = true;
                 }
                 pose_actual |= colliding;
             }
             for &(center, colliding) in &case.cdqs {
-                let input = HashInput { config: &case.config, center };
+                let input = HashInput {
+                    config: &case.config,
+                    center,
+                };
                 predictor.observe(&input, colliding);
             }
             metrics.record(pose_predicted, pose_actual);
@@ -232,7 +246,15 @@ pub fn ablation_adaptive_s(scale: &Scale) -> String {
     }
     render_table(
         "Ablation — adaptive S from clutter vs fixed strategies (computation decrease)",
-        &["density", "S=0", "S=0.5", "S=1", "S=2", "adaptive", "best fixed"],
+        &[
+            "density",
+            "S=0",
+            "S=0.5",
+            "S=1",
+            "S=2",
+            "adaptive",
+            "best fixed",
+        ],
         &rows,
     )
 }

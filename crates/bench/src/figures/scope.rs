@@ -34,7 +34,11 @@ pub fn sec7_spheres(work: &mut Workloads) -> String {
         "§VII-1 — sphere-based representation (Jaco2, MPNet workload)",
         &["config", "sphere CDQs", "reduction"],
         &[
-            vec!["CSP baseline".into(), rb.sphere_cdqs.to_string(), "-".into()],
+            vec![
+                "CSP baseline".into(),
+                rb.sphere_cdqs.to_string(),
+                "-".into(),
+            ],
             vec![
                 "CSP + COPU".into(),
                 rc.sphere_cdqs.to_string(),
@@ -59,7 +63,10 @@ pub fn sec7_dadup(scale: &Scale) -> String {
     // short motions).
     let mut ctx = PlanContext::new(&robot, &env, 0.05);
     let mut rng = StdRng::seed_from_u64(7);
-    let prm = Prm { n_samples: scale.suite_motions.max(40), k_neighbors: 6 };
+    let prm = Prm {
+        n_samples: scale.suite_motions.max(40),
+        k_neighbors: 6,
+    };
     let roadmap = prm.build_roadmap(&mut ctx, &[], &mut rng);
     let cfg = DadupConfig::default();
     let motions: Vec<_> = roadmap
@@ -92,7 +99,12 @@ pub fn sec7_dadup(scale: &Scale) -> String {
         &["schedule", "CDQs", "reduction vs naive", "paper"],
         &[
             vec!["naive".into(), naive.to_string(), "-".into(), "-".into()],
-            vec!["CSP".into(), csp.to_string(), pct(1.0 - csp as f64 / naive as f64), "74.3%".into()],
+            vec![
+                "CSP".into(),
+                csp.to_string(),
+                pct(1.0 - csp as f64 / naive as f64),
+                "74.3%".into(),
+            ],
             vec![
                 "CSP+COPU".into(),
                 copu.to_string(),

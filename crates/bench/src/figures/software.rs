@@ -18,7 +18,10 @@ fn flat_motions(work: &mut Workloads, combo: Combo) -> Vec<MotionTrace> {
 /// §III-E: multi-threaded CPU collision detection with a shared CHT
 /// (paper: −25.3% CDQs, −13.8% runtime on 64 threads).
 pub fn cpu_section(work: &mut Workloads) -> String {
-    let combo = Combo { algo: Algo::Mpnet, robot: RobotKind::Baxter };
+    let combo = Combo {
+        algo: Algo::Mpnet,
+        robot: RobotKind::Baxter,
+    };
     let robot = combo.robot.robot();
     // Re-execute the recorded motions live against a representative scene.
     // Real benchmark scenes decompose obstacle meshes into many primitive
@@ -31,11 +34,9 @@ pub fn cpu_section(work: &mut Workloads) -> String {
             .iter()
             .flat_map(|o| {
                 let c = o.center();
-                o.corners()
-                    .into_iter()
-                    .map(move |corner| {
-                        copred_geometry::Aabb::from_points([c, corner]).expect("two points")
-                    })
+                o.corners().into_iter().map(move |corner| {
+                    copred_geometry::Aabb::from_points([c, corner]).expect("two points")
+                })
             })
             .collect();
     }
@@ -46,17 +47,27 @@ pub fn cpu_section(work: &mut Workloads) -> String {
         .flat_map(|t| t.motions.iter().map(|m| m.poses.clone()))
         .collect();
     let threads = std::thread::available_parallelism().map_or(8, |n| n.get());
-    let base = run_cpu(&robot, &env, &motions, &CpuExecConfig {
-        n_threads: threads,
-        with_prediction: false,
-        ..Default::default()
-    });
-    let pred = run_cpu(&robot, &env, &motions, &CpuExecConfig {
-        n_threads: threads,
-        with_prediction: true,
-        cht_params: ChtParams::paper_arm(),
-        ..Default::default()
-    });
+    let base = run_cpu(
+        &robot,
+        &env,
+        &motions,
+        &CpuExecConfig {
+            n_threads: threads,
+            with_prediction: false,
+            ..Default::default()
+        },
+    );
+    let pred = run_cpu(
+        &robot,
+        &env,
+        &motions,
+        &CpuExecConfig {
+            n_threads: threads,
+            with_prediction: true,
+            cht_params: ChtParams::paper_arm(),
+            ..Default::default()
+        },
+    );
     let cdq_red = 1.0 - pred.cdqs_executed as f64 / base.cdqs_executed.max(1) as f64;
     let time_red = 1.0 - pred.wall_time.as_secs_f64() / base.wall_time.as_secs_f64().max(1e-12);
     render_table(
@@ -82,7 +93,10 @@ pub fn cpu_section(work: &mut Workloads) -> String {
 /// Fig. 11: GPU parallelism sweep — CDQs and runtime with and without
 /// prediction, normalized to the 64-thread baseline.
 pub fn fig11(work: &mut Workloads) -> String {
-    let combo = Combo { algo: Algo::Mpnet, robot: RobotKind::Baxter };
+    let combo = Combo {
+        algo: Algo::Mpnet,
+        robot: RobotKind::Baxter,
+    };
     let motions = flat_motions(work, combo);
     let rows_data = gpu_sweep(
         &motions,
@@ -105,7 +119,13 @@ pub fn fig11(work: &mut Workloads) -> String {
         .collect();
     render_table(
         "Fig. 11 — GPU parallelism sweep (normalized to 64-thread baseline)",
-        &["threads", "#CDQ base", "#CDQ pred", "time base", "time pred"],
+        &[
+            "threads",
+            "#CDQ base",
+            "#CDQ pred",
+            "time base",
+            "time pred",
+        ],
         &rows,
     )
 }

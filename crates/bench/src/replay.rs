@@ -23,11 +23,20 @@ pub fn replay_schedule(trace: &QueryTrace, schedule: Schedule) -> u64 {
 pub fn replay_coord(trace: &QueryTrace, hash: &CoordHash, cht_params: ChtParams, seed: u64) -> u64 {
     let mut cht = Cht::new(cht_params, seed);
     let dummy = Config::zeros(0);
-    let code = |center| hash.code(&HashInput { config: &dummy, center });
+    let code = |center| {
+        hash.code(&HashInput {
+            config: &dummy,
+            center,
+        })
+    };
     let mut executed = 0u64;
     for m in &trace.motions {
         let n_poses = m.poses.len().max(
-            m.cdqs.iter().map(|c| c.pose_idx as usize + 1).max().unwrap_or(0),
+            m.cdqs
+                .iter()
+                .map(|c| c.pose_idx as usize + 1)
+                .max()
+                .unwrap_or(0),
         );
         // Pose-major blocks in CSP order, links in order within a pose.
         let mut starts = vec![0usize; n_poses + 1];
@@ -80,7 +89,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(0.2, -1.0, -0.1),
+                Vec3::new(0.6, 1.0, 0.1),
+            )],
         );
         // Several *nearby* parallel crossings of the same wall (within one
         // COORD bin): the predictor should get warm after the first.
@@ -89,7 +101,11 @@ mod tests {
                 let y = -0.02 + 0.01 * i as f64;
                 let poses = Motion::new(Config::new(vec![-0.8, y]), Config::new(vec![0.8, y]))
                     .discretize(33);
-                MotionRecord { poses, stage: Stage::Explore, colliding: true }
+                MotionRecord {
+                    poses,
+                    stage: Stage::Explore,
+                    colliding: true,
+                }
             })
             .collect();
         let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });

@@ -140,12 +140,30 @@ impl Combo {
     /// The six combinations of Fig. 15.
     pub fn paper_six() -> [Combo; 6] {
         [
-            Combo { algo: Algo::Mpnet, robot: RobotKind::Baxter },
-            Combo { algo: Algo::Mpnet, robot: RobotKind::Planar2d },
-            Combo { algo: Algo::Gnnmp, robot: RobotKind::Kuka },
-            Combo { algo: Algo::Gnnmp, robot: RobotKind::Planar2d },
-            Combo { algo: Algo::BitStar, robot: RobotKind::Kuka },
-            Combo { algo: Algo::BitStar, robot: RobotKind::Planar2d },
+            Combo {
+                algo: Algo::Mpnet,
+                robot: RobotKind::Baxter,
+            },
+            Combo {
+                algo: Algo::Mpnet,
+                robot: RobotKind::Planar2d,
+            },
+            Combo {
+                algo: Algo::Gnnmp,
+                robot: RobotKind::Kuka,
+            },
+            Combo {
+                algo: Algo::Gnnmp,
+                robot: RobotKind::Planar2d,
+            },
+            Combo {
+                algo: Algo::BitStar,
+                robot: RobotKind::Kuka,
+            },
+            Combo {
+                algo: Algo::BitStar,
+                robot: RobotKind::Planar2d,
+            },
         ]
     }
 
@@ -257,7 +275,11 @@ pub struct Workloads {
 impl Workloads {
     /// Creates an empty cache.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        Workloads { scale, seed, cache: std::collections::HashMap::new() }
+        Workloads {
+            scale,
+            seed,
+            cache: std::collections::HashMap::new(),
+        }
     }
 
     /// The traces for a combo, generating them on first use.
@@ -289,8 +311,14 @@ mod tests {
 
     #[test]
     fn planar_traces_have_workload_signature() {
-        let combo = Combo { algo: Algo::Mpnet, robot: RobotKind::Planar2d };
-        let scale = Scale { queries: 3, ..Scale::quick() };
+        let combo = Combo {
+            algo: Algo::Mpnet,
+            robot: RobotKind::Planar2d,
+        };
+        let scale = Scale {
+            queries: 3,
+            ..Scale::quick()
+        };
         let traces = planner_traces(&combo, &scale, 5);
         assert!(!traces.is_empty());
         for t in &traces {
@@ -300,7 +328,10 @@ mod tests {
 
     #[test]
     fn combo_environments_are_deterministic() {
-        let combo = Combo { algo: Algo::Gnnmp, robot: RobotKind::Planar2d };
+        let combo = Combo {
+            algo: Algo::Gnnmp,
+            robot: RobotKind::Planar2d,
+        };
         let robot = combo.robot.robot();
         let a = combo_environment(&combo, &robot, 2, 9);
         let b = combo_environment(&combo, &robot, 2, 9);

@@ -39,7 +39,14 @@ fn fig9_runs_at_tiny_scale() {
     check_table("fig9", &out);
     // Both clutter levels and all six hash families appear.
     assert!(out.contains("low-clutter") && out.contains("high-clutter"));
-    for family in ["POSE-", "POSE+fold", "POSE-part", "ENPOSE", "COORD-", "ENCOORD"] {
+    for family in [
+        "POSE-",
+        "POSE+fold",
+        "POSE-part",
+        "ENPOSE",
+        "COORD-",
+        "ENCOORD",
+    ] {
         assert!(out.contains(family), "missing {family}");
     }
 }

@@ -50,11 +50,7 @@ pub fn enumerate_pose_cdqs(robot: &Robot, env: &Environment, q: &Config) -> Vec<
 
 /// All CDQs for a discretized motion, pose-major then link order, with
 /// `pose_idx` set to the sample index.
-pub fn enumerate_motion_cdqs(
-    robot: &Robot,
-    env: &Environment,
-    poses: &[Config],
-) -> Vec<CdqInfo> {
+pub fn enumerate_motion_cdqs(robot: &Robot, env: &Environment, poses: &[Config]) -> Vec<CdqInfo> {
     let mut out = Vec::with_capacity(poses.len() * robot.link_count());
     for (pose_idx, q) in poses.iter().enumerate() {
         for mut cdq in enumerate_pose_cdqs(robot, env, q) {
@@ -149,7 +145,10 @@ mod tests {
         // A block on the right half of the plane.
         let env = Environment::new(
             ws,
-            vec![Aabb::new(Vec3::new(0.3, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(0.3, -1.0, -0.1),
+                Vec3::new(0.6, 1.0, 0.1),
+            )],
         );
         (robot, env)
     }
@@ -182,7 +181,10 @@ mod tests {
         // Obstacle swallowing the base: the first link collides immediately.
         let env = Environment::new(
             ws,
-            vec![Aabb::from_center_half_extents(Vec3::new(0.0, 0.0, 0.2), Vec3::splat(0.3))],
+            vec![Aabb::from_center_half_extents(
+                Vec3::new(0.0, 0.0, 0.2),
+                Vec3::splat(0.3),
+            )],
         );
         let (hit, n) = check_pose(&robot, &env, &Config::zeros(7));
         assert!(hit);

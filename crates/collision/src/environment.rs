@@ -32,7 +32,10 @@ impl Environment {
     /// Creates an environment. Obstacles are kept as given (they may poke
     /// out of the workspace; only their overlap matters).
     pub fn new(workspace: Aabb, obstacles: Vec<Aabb>) -> Self {
-        Environment { workspace, obstacles }
+        Environment {
+            workspace,
+            obstacles,
+        }
     }
 
     /// An obstacle-free environment.
@@ -192,7 +195,10 @@ mod tests {
     fn early_exit_cost_counts_tests() {
         let mut e = Environment::empty(ws());
         // Three obstacles; the probe hits the second one.
-        e.add_obstacle(Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(-0.9, -0.9, -0.9)));
+        e.add_obstacle(Aabb::new(
+            Vec3::new(-1.0, -1.0, -1.0),
+            Vec3::new(-0.9, -0.9, -0.9),
+        ));
         e.add_obstacle(Aabb::new(Vec3::ZERO, Vec3::splat(0.3)));
         e.add_obstacle(Aabb::new(Vec3::splat(0.8), Vec3::splat(0.9)));
         let probe = Obb::axis_aligned(Vec3::splat(0.1), Vec3::splat(0.05));
@@ -238,7 +244,7 @@ mod tests {
     #[test]
     fn separation_distance_scope_query() {
         let e = env_one(); // obstacle [0, 0.5]^3
-        // Intersecting box: distance 0.
+                           // Intersecting box: distance 0.
         let hit = Obb::axis_aligned(Vec3::splat(0.4), Vec3::splat(0.2));
         assert_eq!(e.separation_distance_obb(&hit), 0.0);
         // Separated box: nearest corner at (-0.2,...) -> 0.2 from the face.

@@ -35,4 +35,7 @@ pub use cdq::{
     check_pose, enumerate_motion_cdqs, enumerate_pose_cdqs, motion_collides, CdqInfo, CdqStats,
 };
 pub use environment::Environment;
-pub use schedule::{check_motion_scheduled, run_schedule, MotionCheckOutcome, Schedule};
+pub use schedule::{
+    check_motion_scheduled, run_predicted_schedule, run_schedule, CdqPredictor, MotionCheckOutcome,
+    Schedule,
+};

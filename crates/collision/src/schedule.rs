@@ -45,7 +45,9 @@ impl Schedule {
 
     /// The default CSP schedule.
     pub fn csp_default() -> Self {
-        Schedule::Csp { step: Self::DEFAULT_CSP_STEP }
+        Schedule::Csp {
+            step: Self::DEFAULT_CSP_STEP,
+        }
     }
 }
 
@@ -172,6 +174,83 @@ fn exhaust_all(cdqs: &[CdqInfo]) -> MotionCheckOutcome {
     }
 }
 
+/// A stateful CDQ-level collision predictor driving
+/// [`run_predicted_schedule`] — the software shape of the paper's CHT
+/// lookup/update pair (Algorithm 1), decoupled from any concrete hash or
+/// table so replay harnesses and servers can plug in shared, per-session,
+/// or mock predictors.
+pub trait CdqPredictor {
+    /// Predicts whether `cdq` will collide.
+    fn predict(&mut self, cdq: &CdqInfo) -> bool;
+    /// Records an executed CDQ's ground-truth outcome.
+    fn observe(&mut self, cdq: &CdqInfo, colliding: bool);
+}
+
+/// Algorithm 1 over a pre-enumerated CDQ list: the predictor-ordered
+/// schedule that `copred-service` dispatches batches through.
+///
+/// Poses are visited in the CSP order with stride `csp_step` (stride 1 is
+/// the naive order). Each CDQ is first looked up in the predictor:
+/// predicted-colliding CDQs execute immediately (early exit on a hit), the
+/// rest are queued and drained in arrival order only if no predicted CDQ
+/// hits. Every executed CDQ feeds its outcome back via
+/// [`CdqPredictor::observe`], so a cold predictor degrades exactly to CSP.
+///
+/// # Panics
+///
+/// Panics when a CDQ's `pose_idx` is not below `n_poses` (malformed input;
+/// traces validated by `copred-trace`'s parser never are).
+pub fn run_predicted_schedule(
+    cdqs: &[CdqInfo],
+    n_poses: usize,
+    csp_step: usize,
+    predictor: &mut dyn CdqPredictor,
+) -> MotionCheckOutcome {
+    let total = cdqs.len();
+    let mut executed = 0usize;
+    let mut tests = 0usize;
+    let mut queue: Vec<usize> = Vec::new();
+    let order = pose_order_indices(cdqs, n_poses, csp_step.max(1));
+    for i in order {
+        let cdq = &cdqs[i];
+        if predictor.predict(cdq) {
+            executed += 1;
+            tests += cdq.obstacle_tests;
+            predictor.observe(cdq, cdq.colliding);
+            if cdq.colliding {
+                return MotionCheckOutcome {
+                    colliding: true,
+                    cdqs_executed: executed,
+                    cdqs_total: total,
+                    obstacle_tests: tests,
+                };
+            }
+        } else {
+            queue.push(i);
+        }
+    }
+    for i in queue {
+        let cdq = &cdqs[i];
+        executed += 1;
+        tests += cdq.obstacle_tests;
+        predictor.observe(cdq, cdq.colliding);
+        if cdq.colliding {
+            return MotionCheckOutcome {
+                colliding: true,
+                cdqs_executed: executed,
+                cdqs_total: total,
+                obstacle_tests: tests,
+            };
+        }
+    }
+    MotionCheckOutcome {
+        colliding: false,
+        cdqs_executed: executed,
+        cdqs_total: total,
+        obstacle_tests: tests,
+    }
+}
+
 /// Convenience: discretize, enumerate, and run one scheduled motion check.
 pub fn check_motion_scheduled(
     robot: &Robot,
@@ -195,7 +274,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 1.0, 0.1),
+            )],
         );
         let motion = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]));
         let poses = motion.discretize(17);
@@ -229,10 +311,13 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(0.2, -1.0, -0.1),
+                Vec3::new(0.6, 1.0, 0.1),
+            )],
         );
-        let poses = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]))
-            .discretize(17);
+        let poses =
+            Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0])).discretize(17);
         let naive = check_motion_scheduled(&robot, &env, &poses, Schedule::Naive);
         let csp = check_motion_scheduled(&robot, &env, &poses, Schedule::csp_default());
         assert!(csp.colliding && naive.colliding);
@@ -248,8 +333,8 @@ mod tests {
     fn free_motion_costs_all_cdqs_for_every_schedule() {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::empty(robot.workspace());
-        let poses = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]))
-            .discretize(9);
+        let poses =
+            Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0])).discretize(9);
         for s in [Schedule::Naive, Schedule::csp_default(), Schedule::Oracle] {
             let out = check_motion_scheduled(&robot, &env, &poses, s);
             assert!(!out.colliding);
@@ -264,10 +349,12 @@ mod tests {
         // in-flight work), and depth 1 is exactly naive.
         let (robot, env, poses) = crossing_setup();
         let naive = check_motion_scheduled(&robot, &env, &poses, Schedule::Naive);
-        let spec1 = check_motion_scheduled(&robot, &env, &poses, Schedule::Speculative { depth: 1 });
+        let spec1 =
+            check_motion_scheduled(&robot, &env, &poses, Schedule::Speculative { depth: 1 });
         assert_eq!(naive, spec1);
         for depth in [2usize, 4, 8] {
-            let spec = check_motion_scheduled(&robot, &env, &poses, Schedule::Speculative { depth });
+            let spec =
+                check_motion_scheduled(&robot, &env, &poses, Schedule::Speculative { depth });
             assert_eq!(spec.colliding, naive.colliding);
             assert!(
                 spec.cdqs_executed >= naive.cdqs_executed,
@@ -299,12 +386,105 @@ mod tests {
         }
     }
 
+    /// A mock predictor with a fixed set of predicted-colliding CDQ indices.
+    struct FixedPredictor {
+        hot: Vec<usize>,
+        observed: usize,
+    }
+
+    impl CdqPredictor for FixedPredictor {
+        fn predict(&mut self, cdq: &CdqInfo) -> bool {
+            self.hot.contains(&cdq.pose_idx)
+        }
+        fn observe(&mut self, _cdq: &CdqInfo, _colliding: bool) {
+            self.observed += 1;
+        }
+    }
+
+    #[test]
+    fn perfect_predictor_matches_oracle() {
+        let (robot, env, poses) = crossing_setup();
+        let cdqs = enumerate_motion_cdqs(&robot, &env, &poses);
+        let hot: Vec<usize> = cdqs
+            .iter()
+            .filter(|c| c.colliding)
+            .map(|c| c.pose_idx)
+            .collect();
+        let mut pred = FixedPredictor { hot, observed: 0 };
+        let out = run_predicted_schedule(&cdqs, poses.len(), 1, &mut pred);
+        assert!(out.colliding);
+        assert_eq!(
+            out.cdqs_executed, 1,
+            "a perfect prediction is checked first"
+        );
+        assert_eq!(pred.observed, out.cdqs_executed);
+    }
+
+    #[test]
+    fn cold_predictor_degrades_to_csp() {
+        let (robot, env, poses) = crossing_setup();
+        let cdqs = enumerate_motion_cdqs(&robot, &env, &poses);
+        let mut cold = FixedPredictor {
+            hot: vec![],
+            observed: 0,
+        };
+        let step = Schedule::DEFAULT_CSP_STEP;
+        let predicted = run_predicted_schedule(&cdqs, poses.len(), step, &mut cold);
+        let csp = run_schedule(&cdqs, poses.len(), Schedule::Csp { step });
+        assert_eq!(
+            predicted, csp,
+            "never-predicting table must equal plain CSP"
+        );
+    }
+
+    #[test]
+    fn wrong_predictions_still_find_the_collision() {
+        let (robot, env, poses) = crossing_setup();
+        let cdqs = enumerate_motion_cdqs(&robot, &env, &poses);
+        // Predict only known-free poses: everything predicted executes
+        // first without a hit, then the queue drains to the true collision.
+        let free: Vec<usize> = cdqs
+            .iter()
+            .filter(|c| !c.colliding)
+            .map(|c| c.pose_idx)
+            .take(3)
+            .collect();
+        let mut pred = FixedPredictor {
+            hot: free,
+            observed: 0,
+        };
+        let out = run_predicted_schedule(&cdqs, poses.len(), 1, &mut pred);
+        assert!(out.colliding);
+        assert!(out.cdqs_executed <= out.cdqs_total);
+        assert_eq!(pred.observed, out.cdqs_executed);
+    }
+
+    #[test]
+    fn free_motion_executes_everything_once() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::empty(robot.workspace());
+        let poses =
+            Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0])).discretize(9);
+        let cdqs = enumerate_motion_cdqs(&robot, &env, &poses);
+        let mut pred = FixedPredictor {
+            hot: vec![0, 4],
+            observed: 0,
+        };
+        let out = run_predicted_schedule(&cdqs, poses.len(), 3, &mut pred);
+        assert!(!out.colliding);
+        assert_eq!(out.cdqs_executed, out.cdqs_total);
+        assert_eq!(pred.observed, out.cdqs_total);
+    }
+
     #[test]
     fn arm_motion_through_obstacle() {
         let robot: Robot = presets::kuka_iiwa().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::from_center_half_extents(Vec3::new(0.5, 0.0, 0.5), Vec3::splat(0.25))],
+            vec![Aabb::from_center_half_extents(
+                Vec3::new(0.5, 0.0, 0.5),
+                Vec3::splat(0.25),
+            )],
         );
         // A sweep of the base joint passes the arm through the obstacle.
         let motion = Motion::new(

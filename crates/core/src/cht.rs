@@ -25,7 +25,10 @@ impl Strategy {
     ///
     /// Panics when `s` is negative or not finite.
     pub fn new(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "S must be a finite non-negative weight");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "S must be a finite non-negative weight"
+        );
         Strategy { s }
     }
 
@@ -122,7 +125,10 @@ impl ChtParams {
 
     /// The paper's 2D path-planning setup: 1024 × 8-bit entries.
     pub fn paper_2d() -> Self {
-        ChtParams { bits: 10, ..Self::paper_arm() }
+        ChtParams {
+            bits: 10,
+            ..Self::paper_arm()
+        }
     }
 
     /// The performance-evaluation setup of §VI-B2: 4096 × 1-bit entries with
@@ -201,7 +207,10 @@ impl Cht {
     /// Creates an empty table. `seed` drives the random `U`-policy sampling
     /// (the hardware uses an RNG in the Query Update Unit).
     pub fn new(params: ChtParams, seed: u64) -> Self {
-        assert!(params.bits >= 1 && params.bits <= 63, "CHT needs 1..=63 address bits");
+        assert!(
+            params.bits >= 1 && params.bits <= 63,
+            "CHT needs 1..=63 address bits"
+        );
         assert!(
             params.counter_bits >= 1 && params.counter_bits <= 8,
             "counter width must be 1..=8 bits"

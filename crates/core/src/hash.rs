@@ -81,11 +81,18 @@ impl DofQuantizer {
 /// XOR-folds a `from_bits`-wide code down to `to_bits` (paper's POSE+fold:
 /// "a part of the POSE hash code is XORed with the other part").
 pub fn fold_xor(code: u64, from_bits: u32, to_bits: u32) -> u64 {
-    assert!(to_bits > 0 && to_bits <= 64, "fold target must be 1..=64 bits");
+    assert!(
+        to_bits > 0 && to_bits <= 64,
+        "fold target must be 1..=64 bits"
+    );
     if from_bits <= to_bits {
         return code;
     }
-    let mask = if to_bits == 64 { u64::MAX } else { (1u64 << to_bits) - 1 };
+    let mask = if to_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << to_bits) - 1
+    };
     let mut rest = code;
     let mut out = 0u64;
     let mut remaining = from_bits;
@@ -157,7 +164,11 @@ impl PosePartHash {
         assert!((1..=16).contains(&k), "POSE-part needs 1..=16 bits per DOF");
         let quant = DofQuantizer::for_robot(robot);
         assert!(quant.dofs() >= 2, "POSE-part needs at least 2 DOFs");
-        PosePartHash { quant, k, dofs_used: 2 }
+        PosePartHash {
+            quant,
+            k,
+            dofs_used: 2,
+        }
     }
 }
 
@@ -191,7 +202,10 @@ impl PoseFoldHash {
     /// Creates a POSE hash with `k` bits per DOF folded to `to_bits`.
     pub fn new(robot: &Robot, k: u32, to_bits: u32) -> Self {
         let inner = PoseHash::new(robot, k);
-        assert!(to_bits >= 1 && to_bits < inner.bits(), "fold must shrink the code");
+        assert!(
+            to_bits >= 1 && to_bits < inner.bits(),
+            "fold must shrink the code"
+        );
         PoseFoldHash { inner, to_bits }
     }
 }
@@ -233,7 +247,10 @@ impl EnposeHash {
         epochs: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(k >= 1 && (k as usize * latent_dim) <= 64, "ENPOSE code too wide");
+        assert!(
+            k >= 1 && (k as usize * latent_dim) <= 64,
+            "ENPOSE code too wide"
+        );
         let quant = DofQuantizer::for_robot(robot);
         let samples: Vec<Vec<f64>> = (0..train_poses.max(8))
             .map(|_| quant.normalize_config(&robot.sample_uniform(rng)))
@@ -274,7 +291,10 @@ impl CoordHash {
     ///
     /// Panics when `k` is out of `1..=16`.
     pub fn new(workspace: Aabb, k: u32, planar: bool) -> Self {
-        assert!((1..=16).contains(&k), "COORD needs 1..=16 bits per coordinate");
+        assert!(
+            (1..=16).contains(&k),
+            "COORD needs 1..=16 bits per coordinate"
+        );
         CoordHash {
             enc: FixedEncoder::new(workspace),
             k,
@@ -342,7 +362,10 @@ impl EncoordHash {
         epochs: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(k >= 1 && (k as usize * latent_dim) <= 64, "ENCOORD code too wide");
+        assert!(
+            k >= 1 && (k as usize * latent_dim) <= 64,
+            "ENCOORD code too wide"
+        );
         let workspace = robot.workspace();
         let mut samples = Vec::with_capacity(train_points.max(8));
         while samples.len() < train_points.max(8) {
@@ -395,7 +418,13 @@ mod tests {
     fn input_for<'a>(robot: &Robot, q: &'a Config) -> (HashInput<'a>, Vec3) {
         let pose = robot.fk(q);
         let c = pose.links[3].center;
-        (HashInput { config: q, center: c }, c)
+        (
+            HashInput {
+                config: q,
+                center: c,
+            },
+            c,
+        )
     }
 
     #[test]
@@ -418,8 +447,14 @@ mod tests {
         let pa = robot.fk(&a).links[6].center;
         let pb = robot.fk(&b).links[6].center;
         assert_eq!(
-            h.code(&HashInput { config: &a, center: pa }),
-            h.code(&HashInput { config: &b, center: pb })
+            h.code(&HashInput {
+                config: &a,
+                center: pa
+            }),
+            h.code(&HashInput {
+                config: &b,
+                center: pb
+            })
         );
     }
 
@@ -433,8 +468,14 @@ mod tests {
         let ca = robot.fk(&a).links[0].center;
         let cb = robot.fk(&b).links[0].center;
         assert_eq!(
-            h.code(&HashInput { config: &a, center: ca }),
-            h.code(&HashInput { config: &b, center: cb })
+            h.code(&HashInput {
+                config: &a,
+                center: ca
+            }),
+            h.code(&HashInput {
+                config: &b,
+                center: cb
+            })
         );
     }
 
@@ -442,7 +483,7 @@ mod tests {
     fn fold_reduces_width() {
         assert_eq!(fold_xor(0b1010_1100, 8, 4), 0b1010 ^ 0b1100);
         assert_eq!(fold_xor(0x7, 3, 8), 0x7); // no-op when already narrow
-        // Folding is deterministic and in range.
+                                              // Folding is deterministic and in range.
         for c in [0u64, 1, 0xFFFF_FFFF, 0xDEAD_BEEF_CAFE] {
             let f = fold_xor(c, 48, 12);
             assert!(f < (1 << 12));
@@ -485,9 +526,18 @@ mod tests {
         let a = Vec3::new(0.30, 0.30, 0.30);
         let b = a + Vec3::splat(0.01);
         let far = Vec3::new(-0.70, 0.30, 0.30);
-        let ca = h.code(&HashInput { config: &q, center: a });
-        let cb = h.code(&HashInput { config: &q, center: b });
-        let cf = h.code(&HashInput { config: &q, center: far });
+        let ca = h.code(&HashInput {
+            config: &q,
+            center: a,
+        });
+        let cb = h.code(&HashInput {
+            config: &q,
+            center: b,
+        });
+        let cf = h.code(&HashInput {
+            config: &q,
+            center: far,
+        });
         assert_eq!(ca, cb);
         assert_ne!(ca, cf);
     }
@@ -498,8 +548,14 @@ mod tests {
         let h = CoordHash::new(ws, 5, true);
         assert_eq!(h.bits(), 10);
         let q = Config::zeros(2);
-        let a = h.code(&HashInput { config: &q, center: Vec3::new(0.2, 0.2, -0.05) });
-        let b = h.code(&HashInput { config: &q, center: Vec3::new(0.2, 0.2, 0.05) });
+        let a = h.code(&HashInput {
+            config: &q,
+            center: Vec3::new(0.2, 0.2, -0.05),
+        });
+        let b = h.code(&HashInput {
+            config: &q,
+            center: Vec3::new(0.2, 0.2, 0.05),
+        });
         assert_eq!(a, b);
     }
 

@@ -159,10 +159,28 @@ mod tests {
 
     #[test]
     fn merge_adds_cells() {
-        let mut a = PredictionMetrics { tp: 1, fp: 2, tn: 3, fn_: 4 };
-        let b = PredictionMetrics { tp: 10, fp: 20, tn: 30, fn_: 40 };
+        let mut a = PredictionMetrics {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        let b = PredictionMetrics {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        };
         a.merge(&b);
-        assert_eq!(a, PredictionMetrics { tp: 11, fp: 22, tn: 33, fn_: 44 });
+        assert_eq!(
+            a,
+            PredictionMetrics {
+                tp: 11,
+                fp: 22,
+                tn: 33,
+                fn_: 44
+            }
+        );
     }
 
     #[test]

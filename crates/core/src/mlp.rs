@@ -25,7 +25,9 @@ impl Linear {
         assert!(n_in > 0 && n_out > 0, "layer dimensions must be positive");
         let scale = (6.0 / (n_in + n_out) as f64).sqrt();
         Linear {
-            w: (0..n_in * n_out).map(|_| rng.gen_range(-scale..scale)).collect(),
+            w: (0..n_in * n_out)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
             b: vec![0.0; n_out],
             n_in,
             n_out,
@@ -74,7 +76,11 @@ impl Linear {
         let mut dx = vec![0.0; self.n_in];
         for o in 0..self.n_out {
             // d(tanh)/dz = 1 - y^2 for the activated layer, 1 otherwise.
-            let dz = if self.tanh { dy[o] * (1.0 - y[o] * y[o]) } else { dy[o] };
+            let dz = if self.tanh {
+                dy[o] * (1.0 - y[o] * y[o])
+            } else {
+                dy[o]
+            };
             let row = &mut self.w[o * self.n_in..(o + 1) * self.n_in];
             for (i, (w, xi)) in row.iter_mut().zip(x).enumerate() {
                 dx[i] += *w * dz;
@@ -112,7 +118,10 @@ impl Autoencoder {
     ) -> Self {
         assert!(!samples.is_empty(), "autoencoder needs training samples");
         let n = samples[0].len();
-        assert!(samples.iter().all(|s| s.len() == n), "inconsistent sample dims");
+        assert!(
+            samples.iter().all(|s| s.len() == n),
+            "inconsistent sample dims"
+        );
         let mut encoder = Linear::new(n, latent_dim, true, rng);
         let mut decoder = Linear::new(latent_dim, n, false, rng);
         let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -126,7 +135,11 @@ impl Autoencoder {
                 let z = encoder.forward(x);
                 let y = decoder.forward(&z);
                 // MSE gradient: dL/dy = 2 (y - x) / n.
-                let dy: Vec<f64> = y.iter().zip(x).map(|(yi, xi)| 2.0 * (yi - xi) / n as f64).collect();
+                let dy: Vec<f64> = y
+                    .iter()
+                    .zip(x)
+                    .map(|(yi, xi)| 2.0 * (yi - xi) / n as f64)
+                    .collect();
                 let dz = decoder.backward(&z, &y, &dy, lr);
                 encoder.backward(x, &z, &dz, lr);
             }
@@ -146,7 +159,11 @@ impl Autoencoder {
                 r.1 = r.0 + 1e-9;
             }
         }
-        Autoencoder { encoder, decoder, latent_ranges }
+        Autoencoder {
+            encoder,
+            decoder,
+            latent_ranges,
+        }
     }
 
     /// Latent dimension.
@@ -266,7 +283,10 @@ mod tests {
         let mut r = rng();
         let samples: Vec<Vec<f64>> = (0..32).map(|_| vec![r.gen_range(-1.0..1.0); 3]).collect();
         let ae = Autoencoder::train(&samples, 2, 3, 0.05, &mut r);
-        assert_eq!(ae.quantized_code(&samples[0], 4), ae.quantized_code(&samples[0], 4));
+        assert_eq!(
+            ae.quantized_code(&samples[0], 4),
+            ae.quantized_code(&samples[0], 4)
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl Predictor {
             let q = &poses[pi];
             let pose = robot.fk(q);
             for link in &pose.links {
-                let input = HashInput { config: q, center: link.center };
+                let input = HashInput {
+                    config: q,
+                    center: link.center,
+                };
                 if self.predict(&input) {
                     let (colliding, cost) = env.obb_collides_with_cost(&link.obb);
                     executed += 1;
@@ -154,7 +157,10 @@ impl Predictor {
             let (colliding, cost) = env.obb_collides_with_cost(&obb);
             executed += 1;
             tests += cost;
-            let input = HashInput { config: &poses[pi], center };
+            let input = HashInput {
+                config: &poses[pi],
+                center,
+            };
             self.observe(&input, colliding);
             if colliding {
                 return MotionCheckOutcome {
@@ -175,12 +181,7 @@ impl Predictor {
 
     /// Pose-environment check with prediction: predicted links first, then
     /// the rest, early exit on a hit. Returns `(colliding, cdqs executed)`.
-    pub fn check_pose(
-        &mut self,
-        robot: &Robot,
-        env: &Environment,
-        q: &Config,
-    ) -> (bool, usize) {
+    pub fn check_pose(&mut self, robot: &Robot, env: &Environment, q: &Config) -> (bool, usize) {
         let out = self.check_motion(robot, env, std::slice::from_ref(q));
         (out.colliding, out.cdqs_executed)
     }
@@ -221,7 +222,10 @@ pub fn samples_for_poses(robot: &Robot, env: &Environment, poses: &[Config]) -> 
 pub fn evaluate_online(predictor: &mut Predictor, samples: &[PredSample]) -> PredictionMetrics {
     let mut metrics = PredictionMetrics::new();
     for s in samples {
-        let input = HashInput { config: &s.config, center: s.center };
+        let input = HashInput {
+            config: &s.config,
+            center: s.center,
+        };
         let predicted = predictor.predict(&input);
         metrics.record(predicted, s.colliding);
         predictor.observe(&input, s.colliding);
@@ -243,7 +247,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(0.2, -1.0, -0.1),
+                Vec3::new(0.6, 1.0, 0.1),
+            )],
         );
         (robot, env)
     }
@@ -253,8 +260,14 @@ mod tests {
         let (robot, env) = walled_planar();
         let mut pred = Predictor::coord_default(&robot, 3);
         for (motion, expect) in [
-            (Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0])), true),
-            (Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![-0.1, 0.0])), false),
+            (
+                Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0])),
+                true,
+            ),
+            (
+                Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![-0.1, 0.0])),
+                false,
+            ),
         ] {
             let poses = motion.discretize(17);
             let out = pred.check_motion(&robot, &env, &poses);
@@ -281,15 +294,19 @@ mod tests {
             cold.cdqs_executed
         );
         // The warm pass should be near the oracle limit of 1.
-        assert!(warm.cdqs_executed <= 4, "warm executed {}", warm.cdqs_executed);
+        assert!(
+            warm.cdqs_executed <= 4,
+            "warm executed {}",
+            warm.cdqs_executed
+        );
     }
 
     #[test]
     fn free_motion_executes_every_cdq_once() {
         let (robot, env) = walled_planar();
         let mut pred = Predictor::coord_default(&robot, 3);
-        let poses = Motion::new(Config::new(vec![-0.9, -0.5]), Config::new(vec![-0.9, 0.5]))
-            .discretize(11);
+        let poses =
+            Motion::new(Config::new(vec![-0.9, -0.5]), Config::new(vec![-0.9, 0.5])).discretize(11);
         let out = pred.check_motion(&robot, &env, &poses);
         assert!(!out.colliding);
         assert_eq!(out.cdqs_executed, 11);
@@ -304,7 +321,10 @@ mod tests {
         let mut pred = Predictor::coord_default(&robot, 5);
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..40 {
-            let m = Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng));
+            let m = Motion::new(
+                robot.sample_uniform(&mut rng),
+                robot.sample_uniform(&mut rng),
+            );
             let poses = m.discretize(9);
             let with_pred = pred.check_motion(&robot, &env, &poses);
             let without = check_motion_scheduled(&robot, &env, &poses, Schedule::Naive);
@@ -316,8 +336,8 @@ mod tests {
     fn reset_forgets_history() {
         let (robot, env) = walled_planar();
         let mut pred = Predictor::coord_default(&robot, 3);
-        let poses = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]))
-            .discretize(33);
+        let poses =
+            Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0])).discretize(33);
         let cold = pred.check_motion(&robot, &env, &poses);
         pred.reset();
         let again = pred.check_motion(&robot, &env, &poses);
@@ -338,7 +358,12 @@ mod tests {
         // COORD on a big static wall should predict usefully better than the
         // base rate.
         assert!(m.base_rate() > 0.05, "base rate {}", m.base_rate());
-        assert!(m.precision() > m.base_rate(), "precision {} vs base {}", m.precision(), m.base_rate());
+        assert!(
+            m.precision() > m.base_rate(),
+            "precision {} vs base {}",
+            m.precision(),
+            m.base_rate()
+        );
         assert!(m.recall() > 0.3, "recall {}", m.recall());
     }
 
@@ -355,8 +380,8 @@ mod tests {
             update_fraction: 1.0,
         };
         let mut pred = Predictor::new(Box::new(hash), params, 4);
-        let poses = Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0]))
-            .discretize(9);
+        let poses =
+            Motion::new(Config::new(vec![-0.8, 0.0]), Config::new(vec![0.8, 0.0])).discretize(9);
         let out = pred.check_motion(&robot, &env, &poses);
         assert!(out.colliding);
     }

@@ -42,9 +42,18 @@ impl StatModelParams {
 
     fn validate(&self) {
         assert!(self.cdqs_per_motion > 0, "motion needs at least one CDQ");
-        assert!((0.0..=1.0).contains(&self.collision_prob), "p must be a probability");
-        assert!((0.0..=1.0).contains(&self.precision), "precision must be a probability");
-        assert!((0.0..=1.0).contains(&self.recall), "recall must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&self.collision_prob),
+            "p must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.precision),
+            "precision must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.recall),
+            "recall must be a probability"
+        );
         assert!(self.trials > 0, "need at least one trial");
     }
 }
@@ -248,13 +257,19 @@ mod tests {
         let low_cons = StatModelParams::paper_default(0.025, 0.9, 0.2);
         let d_aggr = computation_decrease(&low_aggr, &mut r);
         let d_cons = computation_decrease(&low_cons, &mut r);
-        assert!(d_aggr > d_cons, "low clutter: aggressive {d_aggr} vs conservative {d_cons}");
+        assert!(
+            d_aggr > d_cons,
+            "low clutter: aggressive {d_aggr} vs conservative {d_cons}"
+        );
         // High clutter: precision wins.
         let hi_aggr = StatModelParams::paper_default(0.25, 0.3, 0.95);
         let hi_cons = StatModelParams::paper_default(0.25, 0.95, 0.45);
         let d_aggr = computation_decrease(&hi_aggr, &mut r);
         let d_cons = computation_decrease(&hi_cons, &mut r);
-        assert!(d_cons > d_aggr, "high clutter: conservative {d_cons} vs aggressive {d_aggr}");
+        assert!(
+            d_cons > d_aggr,
+            "high clutter: conservative {d_cons} vs aggressive {d_aggr}"
+        );
     }
 
     #[test]

@@ -44,7 +44,13 @@ pub fn ascii_scene(env: &Environment, path: &[Vec3], cols: usize, rows: usize) -
     let mut grid: Vec<Vec<char>> = (0..rows)
         .map(|r| {
             (0..cols)
-                .map(|c| if env.point_collides(cell(r, c)) { '#' } else { '·' })
+                .map(|c| {
+                    if env.point_collides(cell(r, c)) {
+                        '#'
+                    } else {
+                        '·'
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -87,7 +93,10 @@ mod tests {
         let ws = Aabb::new(Vec3::new(-1.0, -1.0, -0.1), Vec3::new(1.0, 1.0, 0.1));
         Environment::new(
             ws,
-            vec![Aabb::new(Vec3::new(-0.1, -1.0, -0.1), Vec3::new(0.1, 0.2, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.1, -1.0, -0.1),
+                Vec3::new(0.1, 0.2, 0.1),
+            )],
         )
     }
 
@@ -123,7 +132,10 @@ mod tests {
         let art = ascii_scene(&env_with_wall(), &path, 20, 10);
         assert!(art.contains('S'));
         assert!(art.contains('G'));
-        assert!(art.contains('X'), "colliding waypoint not highlighted:\n{art}");
+        assert!(
+            art.contains('X'),
+            "colliding waypoint not highlighted:\n{art}"
+        );
     }
 
     #[test]

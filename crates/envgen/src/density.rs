@@ -112,7 +112,10 @@ pub fn calibrated_environment<R: Rng + ?Sized>(
     let mut best: Option<(f64, Environment)> = None;
     for _ in 0..9 {
         let scale = 0.5 * (lo + hi);
-        let env = Environment::new(robot.workspace(), random_obstacles(robot, count, scale, rng));
+        let env = Environment::new(
+            robot.workspace(),
+            random_obstacles(robot, count, scale, rng),
+        );
         let frac = colliding_pose_fraction(robot, &env, probe_poses, rng);
         let err = (frac - target).abs();
         if best.as_ref().is_none_or(|(e, _)| err < *e) {

@@ -27,9 +27,7 @@ mod scenes;
 mod suites;
 
 pub use ascii::ascii_scene;
-pub use density::{
-    calibrated_environment, colliding_pose_fraction, random_obstacles, Density,
-};
+pub use density::{calibrated_environment, colliding_pose_fraction, random_obstacles, Density};
 pub use difficulty::{group_by_difficulty, group_label, group_means, GROUP_COUNT};
 pub use scenes::{
     narrow_passage_environment, random_scene, sample_free_config, tabletop_environment, Scene,

@@ -22,7 +22,9 @@ pub struct Scene {
 pub fn random_scene(robot: &Robot, density: Density, n_poses: usize, seed: u64) -> Scene {
     let mut rng = StdRng::seed_from_u64(seed);
     let env = calibrated_environment(robot, density, 250, &mut rng);
-    let poses = (0..n_poses).map(|_| robot.sample_uniform(&mut rng)).collect();
+    let poses = (0..n_poses)
+        .map(|_| robot.sample_uniform(&mut rng))
+        .collect();
     Scene { env, poses }
 }
 

@@ -41,7 +41,14 @@ pub enum SuiteId {
 impl SuiteId {
     /// All suites in order.
     pub fn all() -> [SuiteId; 6] {
-        [SuiteId::B1, SuiteId::B2, SuiteId::B3, SuiteId::B4, SuiteId::B5, SuiteId::B6]
+        [
+            SuiteId::B1,
+            SuiteId::B2,
+            SuiteId::B3,
+            SuiteId::B4,
+            SuiteId::B5,
+            SuiteId::B6,
+        ]
     }
 
     /// Display label.
@@ -65,10 +72,14 @@ pub fn suite_environment(id: SuiteId, robot: &Robot, scenario: usize, seed: u64)
     let mut rng = StdRng::seed_from_u64(scene_seed);
     match id {
         SuiteId::B1 => crate::density::calibrated_environment(robot, Density::Low, 200, &mut rng),
-        SuiteId::B2 => crate::density::calibrated_environment(robot, Density::Medium, 200, &mut rng),
+        SuiteId::B2 => {
+            crate::density::calibrated_environment(robot, Density::Medium, 200, &mut rng)
+        }
         SuiteId::B3 => crate::density::calibrated_environment(robot, Density::High, 200, &mut rng),
         SuiteId::B4 | SuiteId::B5 => tabletop_environment(robot, 6 + scenario % 4, scene_seed),
-        SuiteId::B6 => narrow_passage_environment(robot, 0.08 + 0.04 * (scenario % 3) as f64, scene_seed),
+        SuiteId::B6 => {
+            narrow_passage_environment(robot, 0.08 + 0.04 * (scenario % 3) as f64, scene_seed)
+        }
     }
 }
 
@@ -165,6 +176,9 @@ mod tests {
                 colliding += 1;
             }
         }
-        assert!(colliding >= 2, "only {colliding}/10 colliding motions in B3");
+        assert!(
+            colliding >= 2,
+            "only {colliding}/10 colliding motions in B3"
+        );
     }
 }

@@ -117,7 +117,10 @@ impl Aabb {
 
     /// Box grown by `margin` on every side.
     pub fn inflated(&self, margin: f64) -> Aabb {
-        Aabb::new(self.min - Vec3::splat(margin), self.max + Vec3::splat(margin))
+        Aabb::new(
+            self.min - Vec3::splat(margin),
+            self.max + Vec3::splat(margin),
+        )
     }
 
     /// Closest point inside the box to `p`.
@@ -180,9 +183,15 @@ mod tests {
         // Overlapping.
         assert!(b.intersects(&Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0))));
         // Touching faces count as intersecting (conservative).
-        assert!(b.intersects(&Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0))));
+        assert!(b.intersects(&Aabb::new(
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 1.0, 1.0)
+        )));
         // Disjoint along one axis.
-        assert!(!b.intersects(&Aabb::new(Vec3::new(1.1, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0))));
+        assert!(!b.intersects(&Aabb::new(
+            Vec3::new(1.1, 0.0, 0.0),
+            Vec3::new(2.0, 1.0, 1.0)
+        )));
         // Contained.
         assert!(b.intersects(&Aabb::new(Vec3::splat(0.25), Vec3::splat(0.75))));
         // Symmetric.
@@ -219,7 +228,10 @@ mod tests {
     fn closest_point_and_distance() {
         let b = unit();
         assert_eq!(b.closest_point(Vec3::splat(0.5)), Vec3::splat(0.5));
-        assert_eq!(b.closest_point(Vec3::new(2.0, 0.5, 0.5)), Vec3::new(1.0, 0.5, 0.5));
+        assert_eq!(
+            b.closest_point(Vec3::new(2.0, 0.5, 0.5)),
+            Vec3::new(1.0, 0.5, 0.5)
+        );
         assert_eq!(b.distance_squared(Vec3::new(2.0, 0.5, 0.5)), 1.0);
         assert_eq!(b.distance_squared(Vec3::splat(0.5)), 0.0);
     }

@@ -148,7 +148,10 @@ mod tests {
 
     #[test]
     fn inverse_roundtrips() {
-        let t = Iso3::new(Mat3::rot_y(0.8) * Mat3::rot_z(0.2), Vec3::new(1.0, 2.0, 3.0));
+        let t = Iso3::new(
+            Mat3::rot_y(0.8) * Mat3::rot_z(0.2),
+            Vec3::new(1.0, 2.0, 3.0),
+        );
         let p = Vec3::new(-0.5, 0.25, 4.0);
         assert_close(t.inverse().apply(t.apply(p)), p);
         assert_close(t.apply(t.inverse().apply(p)), p);

@@ -46,7 +46,11 @@ impl Obb {
             half_extents.x >= 0.0 && half_extents.y >= 0.0 && half_extents.z >= 0.0,
             "negative OBB half-extents: {half_extents}"
         );
-        Obb { center, rot, half_extents }
+        Obb {
+            center,
+            rot,
+            half_extents,
+        }
     }
 
     /// An axis-aligned OBB (identity orientation).
@@ -219,7 +223,11 @@ mod tests {
         // Two unit cubes 1.2 apart: disjoint axis-aligned, but rotating one
         // by 45 degrees extends its reach along x to sqrt(2)/2 + 0.5 > 1.2.
         let a = unit_at(Vec3::ZERO);
-        let b = Obb::new(Vec3::new(1.2, 0.0, 0.0), Mat3::rot_z(FRAC_PI_4), Vec3::splat(0.5));
+        let b = Obb::new(
+            Vec3::new(1.2, 0.0, 0.0),
+            Mat3::rot_z(FRAC_PI_4),
+            Vec3::splat(0.5),
+        );
         assert!(!a.intersects(&unit_at(Vec3::new(1.2, 0.0, 0.0))));
         assert!(a.intersects(&b));
     }
@@ -238,8 +246,16 @@ mod tests {
 
     #[test]
     fn intersection_is_symmetric() {
-        let a = Obb::new(Vec3::new(0.2, 0.1, 0.0), Mat3::rot_z(0.3), Vec3::new(0.4, 0.7, 0.2));
-        let b = Obb::new(Vec3::new(0.8, 0.4, 0.1), Mat3::rot_x(1.0), Vec3::new(0.3, 0.3, 0.9));
+        let a = Obb::new(
+            Vec3::new(0.2, 0.1, 0.0),
+            Mat3::rot_z(0.3),
+            Vec3::new(0.4, 0.7, 0.2),
+        );
+        let b = Obb::new(
+            Vec3::new(0.8, 0.4, 0.1),
+            Mat3::rot_x(1.0),
+            Vec3::new(0.3, 0.3, 0.9),
+        );
         assert_eq!(a.intersects(&b), b.intersects(&a));
     }
 
@@ -255,7 +271,11 @@ mod tests {
 
     #[test]
     fn aabb_encloses_all_corners() {
-        let b = Obb::new(Vec3::new(1.0, -2.0, 0.5), Mat3::rot_y(0.7) * Mat3::rot_z(0.3), Vec3::new(0.5, 1.0, 0.25));
+        let b = Obb::new(
+            Vec3::new(1.0, -2.0, 0.5),
+            Mat3::rot_y(0.7) * Mat3::rot_z(0.3),
+            Vec3::new(0.5, 1.0, 0.25),
+        );
         let bb = b.aabb();
         for c in b.corners() {
             assert!(bb.contains(c), "corner {c} escapes {bb:?}");
@@ -275,8 +295,16 @@ mod tests {
     #[test]
     fn obb_vs_aabb() {
         let aabb = Aabb::new(Vec3::ZERO, Vec3::ONE);
-        let hit = Obb::new(Vec3::new(1.2, 0.5, 0.5), Mat3::rot_z(FRAC_PI_4), Vec3::splat(0.3));
-        let miss = Obb::new(Vec3::new(2.0, 0.5, 0.5), Mat3::rot_z(FRAC_PI_4), Vec3::splat(0.3));
+        let hit = Obb::new(
+            Vec3::new(1.2, 0.5, 0.5),
+            Mat3::rot_z(FRAC_PI_4),
+            Vec3::splat(0.3),
+        );
+        let miss = Obb::new(
+            Vec3::new(2.0, 0.5, 0.5),
+            Mat3::rot_z(FRAC_PI_4),
+            Vec3::splat(0.3),
+        );
         assert!(hit.intersects_aabb(&aabb));
         assert!(!miss.intersects_aabb(&aabb));
     }

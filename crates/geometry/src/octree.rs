@@ -69,7 +69,10 @@ fn build_node(region: &Aabb, depth: u32, max_depth: u32, occupied: &[Aabb]) -> N
         Node::Branch(_) => None,
     };
     if let Some(v) = first {
-        if children.iter().all(|c| matches!(c, Node::Leaf(x) if *x == v)) {
+        if children
+            .iter()
+            .all(|c| matches!(c, Node::Leaf(x) if *x == v))
+        {
             return Node::Leaf(v);
         }
     }
@@ -86,7 +89,11 @@ impl Octree {
     /// what a collision-detection representation needs.
     pub fn build(root_box: Aabb, max_depth: u32, occupied: &[Aabb]) -> Self {
         let root = build_node(&root_box, 0, max_depth, occupied);
-        Octree { root_box, root, max_depth }
+        Octree {
+            root_box,
+            root,
+            max_depth,
+        }
     }
 
     /// The root bounding box.

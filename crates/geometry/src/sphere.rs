@@ -104,7 +104,11 @@ mod tests {
 
     #[test]
     fn sphere_obb_rotation_matters() {
-        let obb = Obb::new(Vec3::ZERO, Mat3::rot_z(std::f64::consts::FRAC_PI_4), Vec3::new(2.0, 0.1, 0.1));
+        let obb = Obb::new(
+            Vec3::ZERO,
+            Mat3::rot_z(std::f64::consts::FRAC_PI_4),
+            Vec3::new(2.0, 0.1, 0.1),
+        );
         // Point along the rotated long axis.
         let dir = Mat3::rot_z(std::f64::consts::FRAC_PI_4) * Vec3::X;
         assert!(Sphere::new(dir * 1.9, 0.05).intersects_obb(&obb));

@@ -185,12 +185,16 @@ impl VoxelGrid {
     /// Iterator over the coordinates of all occupied voxels.
     pub fn occupied_voxels(&self) -> impl Iterator<Item = VoxelCoord> + '_ {
         let r = self.resolution;
-        self.occupancy.iter().enumerate().filter(|(_, &o)| o).map(move |(i, _)| {
-            let x = (i as u32) % r;
-            let y = ((i as u32) / r) % r;
-            let z = (i as u32) / (r * r);
-            VoxelCoord::new(x, y, z)
-        })
+        self.occupancy
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(move |(i, _)| {
+                let x = (i as u32) % r;
+                let y = ((i as u32) / r) % r;
+                let z = (i as u32) / (r * r);
+                VoxelCoord::new(x, y, z)
+            })
     }
 }
 
@@ -261,7 +265,11 @@ mod tests {
     #[test]
     fn occupied_voxels_iterates_exactly_set() {
         let mut g = grid();
-        let set = [VoxelCoord::new(0, 0, 0), VoxelCoord::new(3, 3, 3), VoxelCoord::new(1, 2, 0)];
+        let set = [
+            VoxelCoord::new(0, 0, 0),
+            VoxelCoord::new(3, 3, 3),
+            VoxelCoord::new(1, 2, 0),
+        ];
         for &c in &set {
             g.set(c, true);
         }

@@ -13,8 +13,7 @@ fn rotation() -> impl Strategy<Value = Mat3> {
 }
 
 fn obb() -> impl Strategy<Value = Obb> {
-    (vec3_in(-2.0, 2.0), rotation(), vec3_in(0.01, 1.0))
-        .prop_map(|(c, r, h)| Obb::new(c, r, h))
+    (vec3_in(-2.0, 2.0), rotation(), vec3_in(0.01, 1.0)).prop_map(|(c, r, h)| Obb::new(c, r, h))
 }
 
 proptest! {

@@ -197,7 +197,11 @@ fn segment_link(p0: Vec3, p1: Vec3, radius: f64, n_spheres: usize) -> LinkPose {
             Sphere::new(p0.lerp(p1, t), sphere_r)
         })
         .collect();
-    LinkPose { center, obb, spheres }
+    LinkPose {
+        center,
+        obb,
+        spheres,
+    }
 }
 
 /// Completes a unit vector `x` into a right-handed orthonormal frame whose
@@ -267,8 +271,14 @@ mod tests {
         let pose = arm.fk(&Config::new(vec![0.3, -0.7]));
         let ts = arm.link_transforms(&Config::new(vec![0.3, -0.7]));
         for (i, link) in pose.links.iter().enumerate() {
-            assert!(link.obb.contains(ts[i].trans), "link {i} misses proximal end");
-            assert!(link.obb.contains(ts[i + 1].trans), "link {i} misses distal end");
+            assert!(
+                link.obb.contains(ts[i].trans),
+                "link {i} misses proximal end"
+            );
+            assert!(
+                link.obb.contains(ts[i + 1].trans),
+                "link {i} misses distal end"
+            );
         }
     }
 
@@ -322,7 +332,12 @@ mod tests {
 
     #[test]
     fn orthonormal_frame_is_rotation() {
-        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 2.0, 3.0).normalized()] {
+        for v in [
+            Vec3::X,
+            Vec3::Y,
+            Vec3::Z,
+            Vec3::new(1.0, 2.0, 3.0).normalized(),
+        ] {
             let m = orthonormal_frame(v);
             assert!(m.is_rotation(1e-9), "frame for {v} not a rotation");
             assert!((m.col(0) - v).norm() < 1e-9);

@@ -59,7 +59,11 @@ impl Config {
     ///
     /// Panics when the two configurations have different DOF counts.
     pub fn distance(&self, other: &Config) -> f64 {
-        assert_eq!(self.dofs(), other.dofs(), "DOF mismatch in Config::distance");
+        assert_eq!(
+            self.dofs(),
+            other.dofs(),
+            "DOF mismatch in Config::distance"
+        );
         self.0
             .iter()
             .zip(&other.0)

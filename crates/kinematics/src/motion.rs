@@ -35,7 +35,11 @@ impl Motion {
     ///
     /// Panics when the endpoints have different DOF counts.
     pub fn new(from: Config, to: Config) -> Self {
-        assert_eq!(from.dofs(), to.dofs(), "motion endpoints must share DOF count");
+        assert_eq!(
+            from.dofs(),
+            to.dofs(),
+            "motion endpoints must share DOF count"
+        );
         Motion { from, to }
     }
 

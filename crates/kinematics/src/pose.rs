@@ -49,7 +49,9 @@ mod tests {
             obb: Obb::new(Vec3::ZERO, Mat3::IDENTITY, Vec3::splat(0.1)),
             spheres: vec![Sphere::new(Vec3::ZERO, 0.1), Sphere::new(Vec3::X, 0.1)],
         };
-        let pose = RobotPose { links: vec![link.clone(), link] };
+        let pose = RobotPose {
+            links: vec![link.clone(), link],
+        };
         assert_eq!(pose.link_count(), 2);
         assert_eq!(pose.sphere_count(), 4);
     }

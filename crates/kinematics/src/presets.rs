@@ -135,7 +135,10 @@ mod tests {
         let arm = jaco2();
         let a = arm.fk(&Config::zeros(7));
         let b = arm.fk(&Config::new(vec![0.5; 7]));
-        assert_ne!(a.links.last().unwrap().center, b.links.last().unwrap().center);
+        assert_ne!(
+            a.links.last().unwrap().center,
+            b.links.last().unwrap().center
+        );
     }
 
     #[test]

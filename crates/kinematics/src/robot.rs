@@ -164,7 +164,11 @@ mod tests {
         for _ in 0..50 {
             let q = r.sample_uniform(&mut rng);
             for link in r.fk(&q).links {
-                assert!(ws.contains(link.center), "link center {} escapes", link.center);
+                assert!(
+                    ws.contains(link.center),
+                    "link center {} escapes",
+                    link.center
+                );
             }
         }
     }

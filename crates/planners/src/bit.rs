@@ -8,7 +8,7 @@
 //! rebuilt per batch).
 
 use crate::context::{PlanContext, Stage};
-use crate::planner::{Planner, PlanResult};
+use crate::planner::{PlanResult, Planner};
 use copred_kinematics::Config;
 use rand::rngs::StdRng;
 
@@ -174,7 +174,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.5, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 0.5, 0.1),
+            )],
         );
         (robot, env)
     }
@@ -192,8 +195,8 @@ mod tests {
         assert_eq!(path[0], start);
         assert_eq!(*path.last().unwrap(), goal);
         for w in path.windows(2) {
-            let poses = copred_kinematics::Motion::new(w[0].clone(), w[1].clone())
-                .discretize_by_step(0.05);
+            let poses =
+                copred_kinematics::Motion::new(w[0].clone(), w[1].clone()).discretize_by_step(0.05);
             assert!(!copred_collision::motion_collides(&robot, &env, &poses));
         }
     }
@@ -221,7 +224,11 @@ mod tests {
         let env = Environment::empty(robot.workspace());
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(63);
-        let planner = BitStar { first_solution: false, max_batches: 3, ..Default::default() };
+        let planner = BitStar {
+            first_solution: false,
+            max_batches: 3,
+            ..Default::default()
+        };
         let result = planner.plan(
             &mut ctx,
             &Config::new(vec![-0.1, 0.0]),
@@ -239,11 +246,18 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.1, -0.1), Vec3::new(0.05, 1.1, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.1, -0.1),
+                Vec3::new(0.05, 1.1, 0.1),
+            )],
         );
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(64);
-        let planner = BitStar { max_batches: 2, batch_size: 30, ..Default::default() };
+        let planner = BitStar {
+            max_batches: 2,
+            batch_size: 30,
+            ..Default::default()
+        };
         let result = planner.plan(
             &mut ctx,
             &Config::new(vec![-0.6, 0.0]),

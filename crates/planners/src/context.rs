@@ -149,7 +149,11 @@ impl<'a> PlanContext<'a> {
         let colliding = motion_collides(self.robot, self.env, &poses);
         self.stats
             .record_check(colliding, poses.len() * self.robot.link_count());
-        self.log.records.push(MotionRecord { poses, stage: self.stage, colliding });
+        self.log.records.push(MotionRecord {
+            poses,
+            stage: self.stage,
+            colliding,
+        });
         !colliding
     }
 
@@ -174,7 +178,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.1, -1.0, -0.1), Vec3::new(0.1, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.1, -1.0, -0.1),
+                Vec3::new(0.1, 1.0, 0.1),
+            )],
         );
         (robot, env)
     }

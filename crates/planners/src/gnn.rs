@@ -8,7 +8,7 @@
 //! naive lazy planner — the workload the paper evaluates.
 
 use crate::context::{PlanContext, Stage};
-use crate::planner::{Planner, PlanResult};
+use crate::planner::{PlanResult, Planner};
 use crate::util::path_length;
 use copred_kinematics::Config;
 use rand::rngs::StdRng;
@@ -84,7 +84,10 @@ impl GnnmpEmulator {
         let mut prev: HashMap<usize, usize> = HashMap::new();
         let mut heap = BinaryHeap::new();
         dist.insert(start, 0.0);
-        heap.push(QueueItem { cost: nodes[start].distance(&nodes[goal]), node: start });
+        heap.push(QueueItem {
+            cost: nodes[start].distance(&nodes[goal]),
+            node: start,
+        });
         while let Some(QueueItem { node, .. }) = heap.pop() {
             if node == goal {
                 let mut path = vec![goal];
@@ -189,8 +192,7 @@ impl Planner for GnnmpEmulator {
                 }
             }
             if !broken {
-                let mut cfg_path: Vec<Config> =
-                    path.iter().map(|&i| nodes[i].clone()).collect();
+                let mut cfg_path: Vec<Config> = path.iter().map(|&i| nodes[i].clone()).collect();
                 // Shortcut smoothing still explores (its checks often
                 // collide); only the final trajectory validation is S2.
                 for _ in 0..self.smoothing_rounds {
@@ -227,7 +229,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.5, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 0.5, 0.1),
+            )],
         );
         (robot, env)
     }
@@ -245,8 +250,8 @@ mod tests {
         assert_eq!(path[0], start);
         assert_eq!(*path.last().unwrap(), goal);
         for w in path.windows(2) {
-            let poses = copred_kinematics::Motion::new(w[0].clone(), w[1].clone())
-                .discretize_by_step(0.05);
+            let poses =
+                copred_kinematics::Motion::new(w[0].clone(), w[1].clone()).discretize_by_step(0.05);
             assert!(!copred_collision::motion_collides(&robot, &env, &poses));
         }
     }
@@ -276,13 +281,19 @@ mod tests {
         let goal = Config::new(vec![0.6, 0.7]);
         // With heavy smoothing.
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
-        let smooth = GnnmpEmulator { smoothing_rounds: 30, ..Default::default() }
-            .plan(&mut ctx, &start, &goal, &mut rng);
+        let smooth = GnnmpEmulator {
+            smoothing_rounds: 30,
+            ..Default::default()
+        }
+        .plan(&mut ctx, &start, &goal, &mut rng);
         // Without smoothing.
         let mut ctx2 = PlanContext::new(&robot, &env, 0.05);
         let mut rng2 = StdRng::seed_from_u64(43);
-        let rough = GnnmpEmulator { smoothing_rounds: 0, ..Default::default() }
-            .plan(&mut ctx2, &start, &goal, &mut rng2);
+        let rough = GnnmpEmulator {
+            smoothing_rounds: 0,
+            ..Default::default()
+        }
+        .plan(&mut ctx2, &start, &goal, &mut rng2);
         if let (Some(a), Some(b)) = (&smooth.path, &rough.path) {
             assert!(path_length(a) <= path_length(b) + 1e-9);
         }
@@ -293,11 +304,17 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.1, -0.1), Vec3::new(0.05, 1.1, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.1, -0.1),
+                Vec3::new(0.05, 1.1, 0.1),
+            )],
         );
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(44);
-        let planner = GnnmpEmulator { n_samples: 60, ..Default::default() };
+        let planner = GnnmpEmulator {
+            n_samples: 60,
+            ..Default::default()
+        };
         let result = planner.plan(
             &mut ctx,
             &Config::new(vec![-0.6, 0.0]),

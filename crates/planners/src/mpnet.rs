@@ -11,7 +11,7 @@
 //! checks in exploration), followed by a mostly-free validation stage (S2).
 
 use crate::context::{PlanContext, Stage};
-use crate::planner::{Planner, PlanResult};
+use crate::planner::{PlanResult, Planner};
 use crate::rrt::validate_path;
 use crate::util::gaussian;
 use copred_kinematics::Config;
@@ -146,7 +146,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.5, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 0.5, 0.1),
+            )],
         );
         (robot, env)
     }
@@ -164,8 +167,8 @@ mod tests {
         assert_eq!(path[0], start);
         assert_eq!(*path.last().unwrap(), goal);
         for w in path.windows(2) {
-            let poses = copred_kinematics::Motion::new(w[0].clone(), w[1].clone())
-                .discretize_by_step(0.05);
+            let poses =
+                copred_kinematics::Motion::new(w[0].clone(), w[1].clone()).discretize_by_step(0.05);
             assert!(!copred_collision::motion_collides(&robot, &env, &poses));
         }
     }
@@ -177,7 +180,10 @@ mod tests {
         let (robot, env) = gap_world();
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(22);
-        let planner = MpnetEmulator { max_iters: 300, ..Default::default() };
+        let planner = MpnetEmulator {
+            max_iters: 300,
+            ..Default::default()
+        };
         let result = planner.plan(
             &mut ctx,
             &Config::new(vec![-0.6, -0.2]),
@@ -215,11 +221,17 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.1, -0.1), Vec3::new(0.05, 1.1, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.1, -0.1),
+                Vec3::new(0.05, 1.1, 0.1),
+            )],
         );
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(24);
-        let planner = MpnetEmulator { max_iters: 25, ..Default::default() };
+        let planner = MpnetEmulator {
+            max_iters: 25,
+            ..Default::default()
+        };
         let result = planner.plan(
             &mut ctx,
             &Config::new(vec![-0.6, 0.0]),
@@ -229,7 +241,11 @@ mod tests {
         assert!(!result.solved());
         // A blocked query produces a collision-heavy log.
         let log = ctx.into_log();
-        assert!(log.colliding_fraction() > 0.3, "fraction {}", log.colliding_fraction());
+        assert!(
+            log.colliding_fraction() > 0.3,
+            "fraction {}",
+            log.colliding_fraction()
+        );
     }
 
     #[test]

@@ -16,12 +16,18 @@ pub struct PlanResult {
 impl PlanResult {
     /// A successful result.
     pub fn success(path: Vec<Config>, iterations: usize) -> Self {
-        PlanResult { path: Some(path), iterations }
+        PlanResult {
+            path: Some(path),
+            iterations,
+        }
     }
 
     /// A failed result.
     pub fn failure(iterations: usize) -> Self {
-        PlanResult { path: None, iterations }
+        PlanResult {
+            path: None,
+            iterations,
+        }
     }
 
     /// Whether a path was found.

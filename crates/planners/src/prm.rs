@@ -6,7 +6,7 @@
 //! motions for that substrate.
 
 use crate::context::{PlanContext, Stage};
-use crate::planner::{Planner, PlanResult};
+use crate::planner::{PlanResult, Planner};
 use copred_kinematics::{Config, Motion};
 use rand::rngs::StdRng;
 use std::collections::BinaryHeap;
@@ -22,7 +22,10 @@ pub struct Prm {
 
 impl Default for Prm {
     fn default() -> Self {
-        Prm { n_samples: 120, k_neighbors: 7 }
+        Prm {
+            n_samples: 120,
+            k_neighbors: 7,
+        }
     }
 }
 
@@ -96,7 +99,12 @@ impl Ord for Item {
     }
 }
 
-fn dijkstra(n: usize, edges: &[(usize, usize, f64)], start: usize, goal: usize) -> Option<Vec<usize>> {
+fn dijkstra(
+    n: usize,
+    edges: &[(usize, usize, f64)],
+    start: usize,
+    goal: usize,
+) -> Option<Vec<usize>> {
     let mut adj = vec![Vec::new(); n];
     for &(i, j, w) in edges {
         adj[i].push((j, w));
@@ -174,7 +182,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.5, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 0.5, 0.1),
+            )],
         );
         (robot, env)
     }
@@ -190,8 +201,8 @@ mod tests {
         assert!(result.solved());
         let path = result.path.unwrap();
         for w in path.windows(2) {
-            let poses = copred_kinematics::Motion::new(w[0].clone(), w[1].clone())
-                .discretize_by_step(0.05);
+            let poses =
+                copred_kinematics::Motion::new(w[0].clone(), w[1].clone()).discretize_by_step(0.05);
             assert!(!copred_collision::motion_collides(&robot, &env, &poses));
         }
     }
@@ -201,7 +212,11 @@ mod tests {
         let (robot, env) = gap_world();
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(52);
-        let rm = Prm { n_samples: 40, k_neighbors: 5 }.build_roadmap(&mut ctx, &[], &mut rng);
+        let rm = Prm {
+            n_samples: 40,
+            k_neighbors: 5,
+        }
+        .build_roadmap(&mut ctx, &[], &mut rng);
         assert!(!rm.nodes.is_empty());
         for &(i, j, _) in &rm.edges {
             let poses = copred_kinematics::Motion::new(rm.nodes[i].clone(), rm.nodes[j].clone())
@@ -218,7 +233,11 @@ mod tests {
         let (robot, env) = gap_world();
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(53);
-        let rm = Prm { n_samples: 20, k_neighbors: 4 }.build_roadmap(&mut ctx, &[], &mut rng);
+        let rm = Prm {
+            n_samples: 20,
+            k_neighbors: 4,
+        }
+        .build_roadmap(&mut ctx, &[], &mut rng);
         let motions = rm.roadmap_motions();
         assert_eq!(motions.len(), rm.edges.len());
     }

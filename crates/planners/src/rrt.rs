@@ -5,7 +5,7 @@
 //! reference planners for the integration tests.
 
 use crate::context::{PlanContext, Stage};
-use crate::planner::{Planner, PlanResult};
+use crate::planner::{PlanResult, Planner};
 use crate::util::{nearest, steer, trace_path};
 use copred_kinematics::Config;
 use rand::rngs::StdRng;
@@ -24,7 +24,11 @@ pub struct Rrt {
 
 impl Default for Rrt {
     fn default() -> Self {
-        Rrt { max_iters: 2000, eps: 0.35, goal_bias: 0.1 }
+        Rrt {
+            max_iters: 2000,
+            eps: 0.35,
+            goal_bias: 0.1,
+        }
     }
 }
 
@@ -82,7 +86,10 @@ pub struct RrtConnect {
 
 impl Default for RrtConnect {
     fn default() -> Self {
-        RrtConnect { max_iters: 2000, eps: 0.35 }
+        RrtConnect {
+            max_iters: 2000,
+            eps: 0.35,
+        }
     }
 }
 
@@ -93,7 +100,10 @@ struct Tree {
 
 impl Tree {
     fn new(root: Config) -> Self {
-        Tree { nodes: vec![root], parents: vec![None] }
+        Tree {
+            nodes: vec![root],
+            parents: vec![None],
+        }
     }
 
     fn add(&mut self, q: Config, parent: usize) -> usize {
@@ -184,19 +194,28 @@ mod tests {
         // Wall with a gap at the top.
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.55, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 0.55, 0.1),
+            )],
         );
         (robot, env)
     }
 
-    fn check_found_path(robot: &Robot, env: &Environment, result: &PlanResult, start: &Config, goal: &Config) {
+    fn check_found_path(
+        robot: &Robot,
+        env: &Environment,
+        result: &PlanResult,
+        start: &Config,
+        goal: &Config,
+    ) {
         let path = result.path.as_ref().expect("path found");
         assert_eq!(&path[0], start);
         assert_eq!(path.last().unwrap(), goal);
         // The reported path must be genuinely collision-free.
         for w in path.windows(2) {
-            let poses = copred_kinematics::Motion::new(w[0].clone(), w[1].clone())
-                .discretize_by_step(0.05);
+            let poses =
+                copred_kinematics::Motion::new(w[0].clone(), w[1].clone()).discretize_by_step(0.05);
             assert!(!copred_collision::motion_collides(robot, env, &poses));
         }
     }
@@ -259,11 +278,17 @@ mod tests {
         // Fully separated halves: no gap at all.
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.1, -0.1), Vec3::new(0.05, 1.1, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.1, -0.1),
+                Vec3::new(0.05, 1.1, 0.1),
+            )],
         );
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(9);
-        let planner = Rrt { max_iters: 150, ..Rrt::default() };
+        let planner = Rrt {
+            max_iters: 150,
+            ..Rrt::default()
+        };
         let result = planner.plan(
             &mut ctx,
             &Config::new(vec![-0.6, 0.0]),

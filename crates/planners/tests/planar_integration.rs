@@ -1,0 +1,79 @@
+//! Cross-crate integration: RRT, PRM, and BIT* each solve a seeded planar
+//! 2-DOF narrow-passage query end to end, and the recorded [`PlanLog`]
+//! carries both pipeline stages of the paper's Fig. 6 — S1 exploration
+//! checks and S2 trajectory-validation checks.
+
+use copred_collision::check_pose;
+use copred_envgen::narrow_passage_environment;
+use copred_kinematics::{presets, Config, Robot};
+use copred_planners::{BitStar, PlanContext, Planner, Prm, Rrt, Stage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 3;
+const STEP: f64 = 0.05;
+
+fn setup() -> (Robot, copred_collision::Environment, Config, Config) {
+    let robot: Robot = presets::planar_2d().into();
+    // A dividing wall with a generous gap; endpoints sit well clear of the
+    // wall band (x within ±0.2 of center), so they are free by
+    // construction — asserted anyway.
+    let env = narrow_passage_environment(&robot, 0.25, SEED);
+    let start = Config::new(vec![-0.7, 0.0]);
+    let goal = Config::new(vec![0.7, 0.0]);
+    assert!(!check_pose(&robot, &env, &start).0, "start must be free");
+    assert!(!check_pose(&robot, &env, &goal).0, "goal must be free");
+    (robot, env, start, goal)
+}
+
+fn run(planner: &dyn Planner) -> (bool, copred_planners::PlanLog) {
+    let (robot, env, start, goal) = setup();
+    let mut ctx = PlanContext::new(&robot, &env, STEP);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let result = planner.plan(&mut ctx, &start, &goal, &mut rng);
+    (result.solved(), ctx.into_log())
+}
+
+fn assert_both_stages(name: &str, log: &copred_planners::PlanLog) {
+    assert!(!log.is_empty(), "{name}: log must record checks");
+    let s1 = log.stage_records(Stage::Explore).count();
+    let s2 = log.stage_records(Stage::Validate).count();
+    assert!(s1 > 0, "{name}: no S1 exploration checks recorded");
+    assert!(s2 > 0, "{name}: no S2 validation checks recorded");
+    // S2 re-checks the solution path, so every S2 record must be free.
+    assert!(
+        log.stage_records(Stage::Validate).all(|r| !r.colliding),
+        "{name}: a validated path segment collided"
+    );
+    for r in &log.records {
+        assert!(!r.poses.is_empty(), "{name}: record without poses");
+    }
+}
+
+#[test]
+fn rrt_solves_and_logs_both_stages() {
+    let (solved, log) = run(&Rrt::default());
+    assert!(solved, "RRT must solve the seeded narrow passage");
+    assert_both_stages("rrt", &log);
+}
+
+#[test]
+fn prm_solves_and_logs_both_stages() {
+    let (solved, log) = run(&Prm::default());
+    assert!(solved, "PRM must solve the seeded narrow passage");
+    assert_both_stages("prm", &log);
+}
+
+#[test]
+fn bitstar_solves_and_logs_both_stages() {
+    let (solved, log) = run(&BitStar::default());
+    assert!(solved, "BIT* must solve the seeded narrow passage");
+    assert_both_stages("bit*", &log);
+}
+
+#[test]
+fn identical_seeds_replay_identical_logs() {
+    let (_, a) = run(&Rrt::default());
+    let (_, b) = run(&Rrt::default());
+    assert_eq!(a.records, b.records, "seeded planning must be reproducible");
+}

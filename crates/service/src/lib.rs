@@ -1,0 +1,40 @@
+//! copred-service: a batched, session-sharded collision-prediction server.
+//!
+//! The paper's predictor assumes the CHT sits next to the collision
+//! checker; this crate packages the same machinery behind a TCP service so
+//! many planners can share one accelerator-style backend. Each planning
+//! query opens a *session* that leases a private [`copred_swexec::ShardedCht`]
+//! shard; motion-check batches are dispatched through a bounded worker
+//! pool running the predictor-ordered scheduler
+//! ([`copred_collision::run_predicted_schedule`], the paper's Algorithm 1).
+//!
+//! Layers, bottom-up:
+//!
+//! - [`protocol`] — text verbs over length-prefixed frames
+//!   ([`copred_trace::frame`]); motion payloads reuse the trace encoding.
+//! - [`metrics`] — atomic counters and log₂-bucketed latency histograms
+//!   (p50/p95/p99), plus per-session prediction confusion counts.
+//! - [`session`] — the session registry: shard leasing, LRU eviction,
+//!   per-session bounded queues.
+//! - [`server`] — accept loop, per-connection readers, worker pool with
+//!   explicit backpressure (`err retry_after`).
+//! - [`client`] — a small blocking client used by tests and the load
+//!   generator.
+//! - [`loadgen`] + [`oplog`] — closed-/open-loop load generation over
+//!   captured [`copred_trace::QueryTrace`] workloads with a TSV op-log.
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod oplog;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::ServiceClient;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, Pacing};
+pub use metrics::{LatencyHistogram, Metrics, SessionMetrics};
+pub use oplog::{parse_oplog, write_oplog, OpRecord};
+pub use protocol::{CheckResult, Request, Response, SchedMode, ServiceError, MAX_BATCH};
+pub use server::{Server, ServerConfig};
+pub use session::{SessionRegistry, SessionState};

@@ -1,0 +1,242 @@
+//! Closed- and open-loop load generation over captured planner traces.
+//!
+//! Each [`copred_trace::QueryTrace`] plays as one session: the generator
+//! opens it, replays the trace's motion checks in batches, and closes it.
+//! Traces are dealt round-robin across `connections` concurrent client
+//! connections. Closed-loop mode issues the next batch as soon as the
+//! previous reply lands (throughput probe); open-loop mode fires batches
+//! on a fixed interval regardless of reply latency (latency-under-load
+//! probe), absorbing `retry_after` backpressure by sleeping as told.
+//!
+//! Every wire operation is recorded as an [`OpRecord`]; the merged,
+//! time-sorted log plus aggregate counters come back in a
+//! [`LoadgenReport`].
+
+use crate::client::ServiceClient;
+use crate::oplog::OpRecord;
+use crate::protocol::{Request, SchedMode};
+use copred_trace::QueryTrace;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// When the generator issues the next batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Issue immediately after the previous reply (one outstanding batch
+    /// per connection).
+    Closed,
+    /// Issue on a fixed schedule of one batch per `interval_us`
+    /// microseconds per connection.
+    Open {
+        /// Microseconds between scheduled batch starts.
+        interval_us: u64,
+    },
+}
+
+/// Load-generator tunables.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Scheduling mode requested for every session.
+    pub mode: SchedMode,
+    /// Base seed for the sessions' `U`-policy streams (combined with the
+    /// trace index, so replays are deterministic).
+    pub seed: u64,
+    /// Closed- or open-loop issue policy.
+    pub pacing: Pacing,
+    /// Motions per CHECK_MOTION batch.
+    pub batch: usize,
+    /// Backpressure retries per batch before giving up.
+    pub max_retries: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7457".to_string(),
+            connections: 8,
+            mode: SchedMode::Coord,
+            seed: 1,
+            pacing: Pacing::Closed,
+            batch: 8,
+            max_retries: 64,
+        }
+    }
+}
+
+/// What a load-generation run produced.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// All operations, sorted by start time and reindexed.
+    pub ops: Vec<OpRecord>,
+    /// Motion checks completed.
+    pub checks: u64,
+    /// Checks that reported a collision.
+    pub collisions: u64,
+    /// CDQs the server executed for this run (client-side sum).
+    pub cdqs_issued: u64,
+    /// CDQs the replayed motions declared.
+    pub cdqs_total: u64,
+    /// Backpressure retries absorbed.
+    pub retries: u64,
+    /// Wall time of the whole run.
+    pub wall_ns: u64,
+}
+
+impl LoadgenReport {
+    /// Checks per second over the run's wall time.
+    pub fn checks_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.checks as f64 * 1e9 / self.wall_ns as f64
+    }
+}
+
+struct ConnOutcome {
+    ops: Vec<OpRecord>,
+    checks: u64,
+    collisions: u64,
+    cdqs_issued: u64,
+    cdqs_total: u64,
+}
+
+/// Replays `traces` against a running server per `config`.
+///
+/// # Errors
+///
+/// Connection failures, server-side errors, or retry exhaustion on any
+/// connection abort the run.
+///
+/// # Panics
+///
+/// Panics when `config.connections` or `config.batch` is zero.
+pub fn run_loadgen(config: &LoadgenConfig, traces: &[QueryTrace]) -> io::Result<LoadgenReport> {
+    assert!(config.connections > 0, "need at least one connection");
+    assert!(config.batch > 0, "need a positive batch size");
+    let epoch = Instant::now();
+    let retries = AtomicU64::new(0);
+    let outcomes: Vec<io::Result<ConnOutcome>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|conn| {
+                let retries = &retries;
+                scope.spawn(move || run_connection(config, traces, conn, epoch, retries))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread panicked"))
+            .collect()
+    });
+    let mut report = LoadgenReport {
+        wall_ns: elapsed_ns(epoch),
+        ..LoadgenReport::default()
+    };
+    for outcome in outcomes {
+        let o = outcome?;
+        report.ops.extend(o.ops);
+        report.checks += o.checks;
+        report.collisions += o.collisions;
+        report.cdqs_issued += o.cdqs_issued;
+        report.cdqs_total += o.cdqs_total;
+    }
+    report.retries = retries.load(Ordering::Relaxed);
+    report.ops.sort_by_key(|op| (op.start_ns, op.session));
+    for (i, op) in report.ops.iter_mut().enumerate() {
+        op.idx = i as u64;
+    }
+    Ok(report)
+}
+
+fn elapsed_ns(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn run_connection(
+    config: &LoadgenConfig,
+    traces: &[QueryTrace],
+    conn: usize,
+    epoch: Instant,
+    retries: &AtomicU64,
+) -> io::Result<ConnOutcome> {
+    let mut client = ServiceClient::connect(&config.addr)?;
+    let mut out = ConnOutcome {
+        ops: Vec::new(),
+        checks: 0,
+        collisions: 0,
+        cdqs_issued: 0,
+        cdqs_total: 0,
+    };
+    let mut issued = 0u64; // batches issued by this connection, for open-loop pacing
+    for (trace_idx, trace) in traces.iter().enumerate() {
+        if trace_idx % config.connections != conn {
+            continue;
+        }
+        // Deterministic per-trace seed: replaying the same trace list with
+        // the same config reproduces every session's U stream.
+        let seed = config.seed ^ ((trace_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let open_req = Request::Open {
+            robot: trace.robot_name.clone(),
+            link_count: trace.link_count,
+            mode: config.mode,
+            seed,
+        };
+        let start = elapsed_ns(epoch);
+        let session = client.open(&trace.robot_name, trace.link_count, config.mode, seed)?;
+        out.ops
+            .push(op(session, "open", &open_req, start, elapsed_ns(epoch)));
+
+        for batch in trace.motions.chunks(config.batch) {
+            if let Pacing::Open { interval_us } = config.pacing {
+                pace(epoch, issued * interval_us * 1_000);
+            }
+            issued += 1;
+            let req = Request::CheckMotion {
+                session,
+                motions: batch.to_vec(),
+            };
+            let start = elapsed_ns(epoch);
+            let (results, r) = client.check_motions(session, batch, config.max_retries)?;
+            retries.fetch_add(r as u64, Ordering::Relaxed);
+            out.ops
+                .push(op(session, "check_motion", &req, start, elapsed_ns(epoch)));
+            for res in results {
+                out.checks += 1;
+                out.collisions += u64::from(res.colliding);
+                out.cdqs_issued += res.cdqs_executed;
+                out.cdqs_total += res.cdqs_total;
+            }
+        }
+
+        let req = Request::Close { session };
+        let start = elapsed_ns(epoch);
+        client.close(session)?;
+        out.ops
+            .push(op(session, "close", &req, start, elapsed_ns(epoch)));
+    }
+    Ok(out)
+}
+
+fn pace(epoch: Instant, scheduled_ns: u64) {
+    let now = elapsed_ns(epoch);
+    if scheduled_ns > now {
+        thread::sleep(Duration::from_nanos(scheduled_ns - now));
+    }
+}
+
+fn op(session: u64, verb: &str, req: &Request, start_ns: u64, end_ns: u64) -> OpRecord {
+    OpRecord {
+        idx: 0, // assigned after the global sort
+        session,
+        verb: verb.to_string(),
+        bytes: req.to_text().len() as u64,
+        start_ns,
+        duration_ns: end_ns.saturating_sub(start_ns),
+        status: "ok".to_string(),
+    }
+}

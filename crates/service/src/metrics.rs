@@ -1,0 +1,274 @@
+//! Lock-free service metrics: counters, latency quantiles, and the
+//! per-session prediction-quality numbers the paper reports (precision and
+//! recall of the CHT, CDQs issued versus saved).
+//!
+//! Everything here is atomics so the hot path — worker threads recording a
+//! batch — never takes a lock; the STATS verb reads a relaxed snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Streaming latency histogram with one atomic bucket per power of two of
+/// nanoseconds. Quantiles are read as the upper bound of the bucket the
+/// requested rank falls in, which is exact to within 2× — plenty for p50 /
+/// p95 / p99 trend lines and free of allocation or locking.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // 0 ns → bucket 0; otherwise floor(log2(ns)) + 1, capped at 63.
+        (64 - ns.leading_zeros() as usize).min(63)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (ns) of the bucket holding the `q`-quantile sample, or
+    /// `None` when empty. `q` is clamped into `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let snapshot: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in snapshot.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { 1u64 << i });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Per-session counters, owned by the registry entry and updated by
+/// whichever worker executes the session's batches.
+#[derive(Debug, Default)]
+pub struct SessionMetrics {
+    /// Motion/pose checks completed.
+    pub checks: AtomicU64,
+    /// CDQs actually executed.
+    pub cdqs_issued: AtomicU64,
+    /// CDQs the checked motions decomposed into.
+    pub cdqs_total: AtomicU64,
+    /// Checks that found a collision.
+    pub collisions: AtomicU64,
+    /// Predictor said colliding, CDQ was colliding.
+    pub true_pos: AtomicU64,
+    /// Predictor said colliding, CDQ was free.
+    pub false_pos: AtomicU64,
+    /// Predictor said free, CDQ was free.
+    pub true_neg: AtomicU64,
+    /// Predictor said free, CDQ was colliding.
+    pub false_neg: AtomicU64,
+}
+
+impl SessionMetrics {
+    /// CDQs skipped thanks to early exit: declared minus executed.
+    pub fn cdqs_saved(&self) -> u64 {
+        self.cdqs_total
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.cdqs_issued.load(Ordering::Relaxed))
+    }
+
+    /// Fraction of collision predictions that were right, or `None` when
+    /// the predictor never fired.
+    pub fn precision(&self) -> Option<f64> {
+        let tp = self.true_pos.load(Ordering::Relaxed);
+        let fp = self.false_pos.load(Ordering::Relaxed);
+        (tp + fp > 0).then(|| tp as f64 / (tp + fp) as f64)
+    }
+
+    /// Fraction of actually colliding CDQs the predictor flagged, or
+    /// `None` when no executed CDQ collided.
+    pub fn recall(&self) -> Option<f64> {
+        let tp = self.true_pos.load(Ordering::Relaxed);
+        let fneg = self.false_neg.load(Ordering::Relaxed);
+        (tp + fneg > 0).then(|| tp as f64 / (tp + fneg) as f64)
+    }
+
+    /// Renders the ordered key/value pairs for a `stats <session>` reply.
+    pub fn stat_lines(&self, mode: &str, occupancy: usize) -> Vec<(String, String)> {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed).to_string();
+        let frac = |o: Option<f64>| o.map_or_else(|| "nan".to_string(), |v| format!("{v:.6}"));
+        vec![
+            ("mode".into(), mode.to_string()),
+            ("checks".into(), g(&self.checks)),
+            ("cdqs_issued".into(), g(&self.cdqs_issued)),
+            ("cdqs_total".into(), g(&self.cdqs_total)),
+            ("cdqs_saved".into(), self.cdqs_saved().to_string()),
+            ("collisions".into(), g(&self.collisions)),
+            ("true_pos".into(), g(&self.true_pos)),
+            ("false_pos".into(), g(&self.false_pos)),
+            ("true_neg".into(), g(&self.true_neg)),
+            ("false_neg".into(), g(&self.false_neg)),
+            ("precision".into(), frac(self.precision())),
+            ("recall".into(), frac(self.recall())),
+            ("cht_occupancy".into(), occupancy.to_string()),
+        ]
+    }
+}
+
+/// Server-wide counters plus the check-latency histogram.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Sessions ever opened.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed by the client.
+    pub sessions_closed: AtomicU64,
+    /// Sessions evicted by the LRU cap.
+    pub sessions_evicted: AtomicU64,
+    /// Requests parsed and dispatched.
+    pub requests: AtomicU64,
+    /// Requests rejected as malformed.
+    pub bad_requests: AtomicU64,
+    /// Requests bounced with `retry_after` backpressure.
+    pub rejected: AtomicU64,
+    /// Motion/pose checks completed across all sessions.
+    pub checks: AtomicU64,
+    /// CDQs executed across all sessions.
+    pub cdqs_issued: AtomicU64,
+    /// CDQs declared across all sessions.
+    pub cdqs_total: AtomicU64,
+    /// End-to-end check-batch service latency (enqueue → reply built).
+    pub check_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the ordered key/value pairs for a global `stats` reply.
+    pub fn stat_lines(&self, sessions_open: usize) -> Vec<(String, String)> {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed).to_string();
+        let q = |p: f64| {
+            self.check_latency
+                .quantile(p)
+                .map_or_else(|| "nan".into(), |v| v.to_string())
+        };
+        vec![
+            ("sessions_open".into(), sessions_open.to_string()),
+            ("sessions_opened".into(), g(&self.sessions_opened)),
+            ("sessions_closed".into(), g(&self.sessions_closed)),
+            ("sessions_evicted".into(), g(&self.sessions_evicted)),
+            ("requests".into(), g(&self.requests)),
+            ("bad_requests".into(), g(&self.bad_requests)),
+            ("rejected".into(), g(&self.rejected)),
+            ("checks".into(), g(&self.checks)),
+            ("cdqs_issued".into(), g(&self.cdqs_issued)),
+            ("cdqs_total".into(), g(&self.cdqs_total)),
+            (
+                "cdqs_saved".into(),
+                self.cdqs_total
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(self.cdqs_issued.load(Ordering::Relaxed))
+                    .to_string(),
+            ),
+            (
+                "latency_samples".into(),
+                self.check_latency.count().to_string(),
+            ),
+            ("latency_p50_ns".into(), q(0.50)),
+            ("latency_p95_ns".into(), q(0.95)),
+            ("latency_p99_ns".into(), q(0.99)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = LatencyHistogram::new();
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_track_ranks() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~1 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        assert!(
+            (1_000..2_048).contains(&p50),
+            "p50 in the fast bucket, got {p50}"
+        );
+        assert!(p95 >= 1_000_000, "p95 in the slow bucket, got {p95}");
+        assert!(h.quantile(0.0).unwrap() <= p50);
+    }
+
+    #[test]
+    fn precision_recall_edges() {
+        let m = SessionMetrics::default();
+        assert_eq!(m.precision(), None);
+        assert_eq!(m.recall(), None);
+        m.true_pos.store(3, Ordering::Relaxed);
+        m.false_pos.store(1, Ordering::Relaxed);
+        m.false_neg.store(1, Ordering::Relaxed);
+        assert_eq!(m.precision(), Some(0.75));
+        assert_eq!(m.recall(), Some(0.75));
+        m.cdqs_total.store(10, Ordering::Relaxed);
+        m.cdqs_issued.store(4, Ordering::Relaxed);
+        assert_eq!(m.cdqs_saved(), 6);
+    }
+
+    #[test]
+    fn stat_lines_are_parseable_pairs() {
+        let m = Metrics::new();
+        m.check_latency.record(5_000);
+        let kv = m.stat_lines(2);
+        assert!(kv.iter().any(|(k, v)| k == "sessions_open" && v == "2"));
+        assert!(kv.iter().any(|(k, _)| k == "latency_p99_ns"));
+        for (k, v) in &kv {
+            assert!(!k.contains(' ') && !v.is_empty(), "{k}={v}");
+        }
+    }
+}

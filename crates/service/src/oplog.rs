@@ -1,0 +1,131 @@
+//! The load generator's TSV op-log: one line per wire operation, in the
+//! style of object-store benchmark logs (idx, endpoint, verb, payload
+//! bytes, start offset, duration). The log is the raw material for
+//! latency/throughput analysis offline — EXPERIMENTS.md plots come from
+//! exactly this format.
+
+use std::fmt::Write as _;
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Global operation index in completion order.
+    pub idx: u64,
+    /// Session token the operation targeted (0 for `open` and global
+    /// `stats`).
+    pub session: u64,
+    /// Wire verb (`open`, `check_motion`, `reset`, `stats`, `close`).
+    pub verb: String,
+    /// Request payload size in bytes.
+    pub bytes: u64,
+    /// Start time as nanoseconds since the run epoch.
+    pub start_ns: u64,
+    /// Wall time from write to parsed reply.
+    pub duration_ns: u64,
+    /// Outcome: `ok`, `retry_after`, or `err`.
+    pub status: String,
+}
+
+/// Column order of the TSV.
+pub const OPLOG_HEADER: &str = "idx\tsession\tverb\tbytes\tstart_ns\tduration_ns\tstatus";
+
+/// Renders records as TSV with a header line.
+pub fn write_oplog(ops: &[OpRecord]) -> String {
+    let mut out = String::with_capacity(ops.len() * 48 + OPLOG_HEADER.len() + 1);
+    out.push_str(OPLOG_HEADER);
+    out.push('\n');
+    for op in ops {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            op.idx, op.session, op.verb, op.bytes, op.start_ns, op.duration_ns, op.status
+        );
+    }
+    out
+}
+
+/// Parses a TSV op-log back into records.
+///
+/// # Errors
+///
+/// Returns a located reason for a bad header, wrong column count, or
+/// unparseable numbers.
+pub fn parse_oplog(text: &str) -> Result<Vec<OpRecord>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty op-log")?;
+    if header != OPLOG_HEADER {
+        return Err(format!("bad op-log header: {header:?}"));
+    }
+    let mut ops = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let ln = i + 2;
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 7 {
+            return Err(format!("line {ln}: want 7 columns, got {}", cols.len()));
+        }
+        let num = |j: usize, what: &str| -> Result<u64, String> {
+            cols[j]
+                .parse()
+                .map_err(|_| format!("line {ln}: bad {what} {:?}", cols[j]))
+        };
+        ops.push(OpRecord {
+            idx: num(0, "idx")?,
+            session: num(1, "session")?,
+            verb: cols[2].to_string(),
+            bytes: num(3, "bytes")?,
+            start_ns: num(4, "start_ns")?,
+            duration_ns: num(5, "duration_ns")?,
+            status: cols[6].to_string(),
+        });
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<OpRecord> {
+        vec![
+            OpRecord {
+                idx: 0,
+                session: 0,
+                verb: "open".into(),
+                bytes: 24,
+                start_ns: 0,
+                duration_ns: 81_233,
+                status: "ok".into(),
+            },
+            OpRecord {
+                idx: 1,
+                session: 3,
+                verb: "check_motion".into(),
+                bytes: 4_096,
+                start_ns: 90_000,
+                duration_ns: 1_502_118,
+                status: "retry_after".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let ops = sample();
+        let text = write_oplog(&ops);
+        assert!(text.starts_with(OPLOG_HEADER));
+        assert_eq!(parse_oplog(&text).expect("parse"), ops);
+    }
+
+    #[test]
+    fn malformed_logs_are_rejected() {
+        assert!(parse_oplog("").is_err());
+        assert!(parse_oplog("idx\tbad\theader\n").is_err());
+        let text = format!("{OPLOG_HEADER}\n1\t2\tcheck\n");
+        assert!(parse_oplog(&text).unwrap_err().contains("7 columns"));
+        let text = format!("{OPLOG_HEADER}\nx\t0\topen\t1\t2\t3\tok\n");
+        assert!(parse_oplog(&text).unwrap_err().contains("bad idx"));
+    }
+}

@@ -1,0 +1,526 @@
+//! The copred-service wire protocol.
+//!
+//! Requests and responses are UTF-8 text payloads carried in the
+//! length-prefixed frames of [`copred_trace::frame`]. The first line of a
+//! payload names the verb; motion payloads reuse the `motion` block
+//! encoding of [`copred_trace::MotionTrace`] verbatim, so captured traces
+//! frame directly onto the wire.
+//!
+//! ```text
+//! request                                  response
+//! ------------------------------------     ---------------------------------
+//! open <robot> <links> <mode> <seed>       ok session <id>
+//! check_motion <session> <n> \n blocks…    ok results <n> \n result … per motion
+//! check_pose <session> \n one block        ok results 1 \n result …
+//! reset <session>                          ok reset
+//! stats [<session>]                        ok stats <n> \n <key> <value> …
+//! close <session>                          ok closed
+//! (any)                                    err retry_after <ms> <message>
+//! (any)                                    err <code> <message>
+//! ```
+
+use copred_trace::MotionTrace;
+use std::fmt;
+
+/// How a session schedules the CDQs of each motion check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Predictor-ordered execution (Algorithm 1 over the session CHT).
+    Coord,
+    /// Sequential pose order — the paper's naive baseline.
+    Naive,
+    /// Coarse-step pose order without prediction.
+    Csp,
+}
+
+impl SchedMode {
+    /// Wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedMode::Coord => "coord",
+            SchedMode::Naive => "naive",
+            SchedMode::Csp => "csp",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "coord" => Some(SchedMode::Coord),
+            "naive" => Some(SchedMode::Naive),
+            "csp" => Some(SchedMode::Csp),
+            _ => None,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens a planning session: leases a CHT shard.
+    Open {
+        /// Robot preset name (must match the trace's `robot_name`).
+        robot: String,
+        /// Links per pose.
+        link_count: u32,
+        /// CDQ scheduling mode for every check in the session.
+        mode: SchedMode,
+        /// Seed of the session's `U`-policy stream (determinism).
+        seed: u64,
+    },
+    /// A batch of motion checks against the session's CHT.
+    CheckMotion {
+        /// Session token from [`Response::Session`].
+        session: u64,
+        /// The motions, in issue order.
+        motions: Vec<MotionTrace>,
+    },
+    /// A single pose check (a one-pose motion block).
+    CheckPose {
+        /// Session token.
+        session: u64,
+        /// One-pose motion block.
+        motion: MotionTrace,
+    },
+    /// Clears the session's CHT — the paper's dynamic-obstacle remap.
+    ResetCht {
+        /// Session token.
+        session: u64,
+    },
+    /// Metrics snapshot: global, or one session's.
+    Stats {
+        /// `None` for server-wide stats.
+        session: Option<u64>,
+    },
+    /// Ends the session and releases its shard.
+    Close {
+        /// Session token.
+        session: u64,
+    },
+}
+
+/// One motion check's outcome on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckResult {
+    /// Whether the motion collides.
+    pub colliding: bool,
+    /// CDQs executed before the check resolved.
+    pub cdqs_executed: u64,
+    /// CDQs the motion decomposes into.
+    pub cdqs_total: u64,
+    /// Obstacle-pair tests inside the executed CDQs.
+    pub obstacle_tests: u64,
+}
+
+/// Machine-readable error category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Malformed or unparseable request.
+    BadRequest(String),
+    /// Unknown or evicted session token.
+    NoSession(u64),
+    /// Registry full and nothing evictable.
+    Busy(String),
+    /// Bounded queue full: back off and retry after the given delay.
+    RetryAfter {
+        /// Suggested client back-off.
+        ms: u64,
+        /// Which bound was hit.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::NoSession(id) => write!(f, "no such session {id}"),
+            ServiceError::Busy(m) => write!(f, "busy: {m}"),
+            ServiceError::RetryAfter { ms, message } => {
+                write!(f, "backpressure, retry after {ms} ms: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session opened.
+    Session(u64),
+    /// Batch results, one per motion in request order.
+    Results(Vec<CheckResult>),
+    /// CHT cleared.
+    ResetDone,
+    /// Metrics snapshot as ordered key/value pairs.
+    Stats(Vec<(String, String)>),
+    /// Session closed.
+    Closed,
+    /// Request failed.
+    Error(ServiceError),
+}
+
+fn parse_u64(tok: Option<&str>, what: &str) -> Result<u64, String> {
+    tok.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("bad {what}"))
+}
+
+impl Request {
+    /// Serializes to a frame payload.
+    pub fn to_text(&self) -> String {
+        match self {
+            Request::Open {
+                robot,
+                link_count,
+                mode,
+                seed,
+            } => {
+                format!("open {robot} {link_count} {} {seed}\n", mode.label())
+            }
+            Request::CheckMotion { session, motions } => {
+                let mut out = format!("check_motion {session} {}\n", motions.len());
+                for m in motions {
+                    m.write_text(&mut out);
+                }
+                out
+            }
+            Request::CheckPose { session, motion } => {
+                let mut out = format!("check_pose {session}\n");
+                motion.write_text(&mut out);
+                out
+            }
+            Request::ResetCht { session } => format!("reset {session}\n"),
+            Request::Stats { session: None } => "stats\n".to_string(),
+            Request::Stats { session: Some(id) } => format!("stats {id}\n"),
+            Request::Close { session } => format!("close {session}\n"),
+        }
+    }
+
+    /// Parses a frame payload. All malformed input returns `Err` with a
+    /// human-readable reason (never panics) — the server maps it to
+    /// [`ServiceError::BadRequest`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, head) = lines.next().ok_or("empty request")?;
+        let mut f = head.split_whitespace();
+        let verb = f.next().ok_or("blank request line")?;
+        match verb {
+            "open" => {
+                let robot = f.next().ok_or("missing robot name")?.to_string();
+                let link_count = parse_u64(f.next(), "link count")? as u32;
+                let mode = SchedMode::parse(f.next().ok_or("missing mode")?)
+                    .ok_or("bad mode (want coord|naive|csp)")?;
+                let seed = parse_u64(f.next(), "seed")?;
+                Ok(Request::Open {
+                    robot,
+                    link_count,
+                    mode,
+                    seed,
+                })
+            }
+            "check_motion" => {
+                let session = parse_u64(f.next(), "session")?;
+                let n = parse_u64(f.next(), "motion count")? as usize;
+                if n == 0 {
+                    return Err("empty motion batch".into());
+                }
+                if n > MAX_BATCH {
+                    return Err(format!("batch of {n} exceeds MAX_BATCH ({MAX_BATCH})"));
+                }
+                let mut motions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (ln, header) = lines.next().ok_or("truncated motion batch")?;
+                    motions.push(
+                        copred_trace::parse_motion_block(ln, header, &mut lines)
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+                if lines.next().is_some() {
+                    return Err("trailing content after motion batch".into());
+                }
+                Ok(Request::CheckMotion { session, motions })
+            }
+            "check_pose" => {
+                let session = parse_u64(f.next(), "session")?;
+                let (ln, header) = lines.next().ok_or("missing pose block")?;
+                let motion = copred_trace::parse_motion_block(ln, header, &mut lines)
+                    .map_err(|e| e.to_string())?;
+                if motion.poses.len() != 1 {
+                    return Err("check_pose wants exactly one pose".into());
+                }
+                if lines.next().is_some() {
+                    return Err("trailing content after pose block".into());
+                }
+                Ok(Request::CheckPose { session, motion })
+            }
+            "reset" => Ok(Request::ResetCht {
+                session: parse_u64(f.next(), "session")?,
+            }),
+            "stats" => match f.next() {
+                None => Ok(Request::Stats { session: None }),
+                Some(tok) => {
+                    let id = tok.parse().map_err(|_| "bad session".to_string())?;
+                    Ok(Request::Stats { session: Some(id) })
+                }
+            },
+            "close" => Ok(Request::Close {
+                session: parse_u64(f.next(), "session")?,
+            }),
+            other => Err(format!("unknown verb '{other}'")),
+        }
+    }
+}
+
+/// Largest motion batch accepted in one CHECK_MOTION frame.
+pub const MAX_BATCH: usize = 4096;
+
+impl Response {
+    /// Serializes to a frame payload.
+    pub fn to_text(&self) -> String {
+        match self {
+            Response::Session(id) => format!("ok session {id}\n"),
+            Response::Results(rs) => {
+                let mut out = format!("ok results {}\n", rs.len());
+                for r in rs {
+                    out.push_str(&format!(
+                        "result {} {} {} {}\n",
+                        u8::from(r.colliding),
+                        r.cdqs_executed,
+                        r.cdqs_total,
+                        r.obstacle_tests
+                    ));
+                }
+                out
+            }
+            Response::ResetDone => "ok reset\n".to_string(),
+            Response::Stats(kv) => {
+                let mut out = format!("ok stats {}\n", kv.len());
+                for (k, v) in kv {
+                    out.push_str(&format!("{k} {v}\n"));
+                }
+                out
+            }
+            Response::Closed => "ok closed\n".to_string(),
+            Response::Error(ServiceError::RetryAfter { ms, message }) => {
+                format!("err retry_after {ms} {message}\n")
+            }
+            Response::Error(ServiceError::BadRequest(m)) => format!("err bad_request {m}\n"),
+            Response::Error(ServiceError::NoSession(id)) => format!("err no_session {id}\n"),
+            Response::Error(ServiceError::Busy(m)) => format!("err busy {m}\n"),
+        }
+    }
+
+    /// Parses a frame payload (the client side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason string for malformed payloads.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let head = lines.next().ok_or("empty response")?;
+        let mut f = head.split_whitespace();
+        match f.next() {
+            Some("ok") => match f.next() {
+                Some("session") => Ok(Response::Session(parse_u64(f.next(), "session id")?)),
+                Some("results") => {
+                    let n = parse_u64(f.next(), "result count")? as usize;
+                    if n > MAX_BATCH {
+                        return Err("result count exceeds MAX_BATCH".into());
+                    }
+                    let mut rs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let line = lines.next().ok_or("truncated results")?;
+                        let mut g = line.split_whitespace();
+                        if g.next() != Some("result") {
+                            return Err("expected 'result' line".into());
+                        }
+                        let colliding = parse_u64(g.next(), "colliding flag")? != 0;
+                        rs.push(CheckResult {
+                            colliding,
+                            cdqs_executed: parse_u64(g.next(), "cdqs executed")?,
+                            cdqs_total: parse_u64(g.next(), "cdqs total")?,
+                            obstacle_tests: parse_u64(g.next(), "obstacle tests")?,
+                        });
+                    }
+                    Ok(Response::Results(rs))
+                }
+                Some("reset") => Ok(Response::ResetDone),
+                Some("stats") => {
+                    let n = parse_u64(f.next(), "stat count")? as usize;
+                    if n > 4096 {
+                        return Err("stat count too large".into());
+                    }
+                    let mut kv = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let line = lines.next().ok_or("truncated stats")?;
+                        let (k, v) = line.split_once(' ').ok_or("stat line without value")?;
+                        kv.push((k.to_string(), v.to_string()));
+                    }
+                    Ok(Response::Stats(kv))
+                }
+                Some("closed") => Ok(Response::Closed),
+                _ => Err("unknown ok form".into()),
+            },
+            Some("err") => match f.next() {
+                Some("retry_after") => {
+                    let ms = parse_u64(f.next(), "retry delay")?;
+                    let message = f.collect::<Vec<_>>().join(" ");
+                    Ok(Response::Error(ServiceError::RetryAfter { ms, message }))
+                }
+                Some("bad_request") => Ok(Response::Error(ServiceError::BadRequest(
+                    f.collect::<Vec<_>>().join(" "),
+                ))),
+                Some("no_session") => Ok(Response::Error(ServiceError::NoSession(parse_u64(
+                    f.next(),
+                    "session id",
+                )?))),
+                Some("busy") => Ok(Response::Error(ServiceError::Busy(
+                    f.collect::<Vec<_>>().join(" "),
+                ))),
+                _ => Err("unknown err code".into()),
+            },
+            _ => Err("response must start with ok/err".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_kinematics::Config;
+    use copred_trace::TraceCdq;
+
+    fn motion() -> MotionTrace {
+        MotionTrace {
+            stage: copred_trace::Stage::Explore,
+            poses: vec![Config::new(vec![0.1, -0.2]), Config::new(vec![0.3, 0.4])],
+            cdqs: vec![
+                TraceCdq {
+                    pose_idx: 0,
+                    link_idx: 0,
+                    center: copred_geometry::Vec3::new(0.1, 0.2, 0.3),
+                    colliding: false,
+                    obstacle_tests: 3,
+                },
+                TraceCdq {
+                    pose_idx: 1,
+                    link_idx: 0,
+                    center: copred_geometry::Vec3::new(-0.1, 0.0, 0.9),
+                    colliding: true,
+                    obstacle_tests: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = vec![
+            Request::Open {
+                robot: "planar-2d".into(),
+                link_count: 1,
+                mode: SchedMode::Coord,
+                seed: 42,
+            },
+            Request::CheckMotion {
+                session: 7,
+                motions: vec![motion(), motion()],
+            },
+            Request::CheckPose {
+                session: 7,
+                motion: MotionTrace {
+                    poses: vec![Config::new(vec![0.0, 0.0])],
+                    ..motion()
+                }
+                .tap_single_pose(),
+            },
+            Request::ResetCht { session: 7 },
+            Request::Stats { session: None },
+            Request::Stats { session: Some(9) },
+            Request::Close { session: 7 },
+        ];
+        for r in reqs {
+            let text = r.to_text();
+            assert_eq!(Request::from_text(&text).expect("parse"), r, "{text}");
+        }
+    }
+
+    /// Helper trait so the test can build a valid single-pose block.
+    trait TapSingle {
+        fn tap_single_pose(self) -> MotionTrace;
+    }
+    impl TapSingle for MotionTrace {
+        fn tap_single_pose(mut self) -> MotionTrace {
+            self.cdqs.truncate(1);
+            self.cdqs[0].pose_idx = 0;
+            self
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = vec![
+            Response::Session(3),
+            Response::Results(vec![CheckResult {
+                colliding: true,
+                cdqs_executed: 4,
+                cdqs_total: 17,
+                obstacle_tests: 12,
+            }]),
+            Response::ResetDone,
+            Response::Stats(vec![
+                ("cdqs_issued".into(), "120".into()),
+                ("precision".into(), "0.9375".into()),
+            ]),
+            Response::Closed,
+            Response::Error(ServiceError::RetryAfter {
+                ms: 12,
+                message: "session queue full".into(),
+            }),
+            Response::Error(ServiceError::BadRequest("bad stage label".into())),
+            Response::Error(ServiceError::NoSession(99)),
+            Response::Error(ServiceError::Busy("no evictable session".into())),
+        ];
+        for r in resps {
+            let text = r.to_text();
+            assert_eq!(Response::from_text(&text).expect("parse"), r, "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        for bad in [
+            "",
+            "open",
+            "open r",
+            "open r 1 warp 3",
+            "check_motion 1",
+            "check_motion 1 2\nmotion S1 0 0\n",
+            "check_motion 1 99999999\n",
+            "check_pose 1\nmotion S1 2 0\npose 0.0\npose 0.0\n",
+            "reset",
+            "close nope",
+            "warp 9",
+            "check_motion 1 1\nmotion S1 1 1\npose 0.0\ncdq 9 0 0 0 0 1 1\n",
+        ] {
+            assert!(Request::from_text(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn batch_payload_reuses_trace_encoding() {
+        let m = motion();
+        let req = Request::CheckMotion {
+            session: 1,
+            motions: vec![m.clone()],
+        };
+        let text = req.to_text();
+        assert!(
+            text.contains(&m.to_text()),
+            "motion block embedded verbatim"
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! The TCP server: accept loop, per-connection readers, and a bounded
+//! worker pool with explicit backpressure.
+//!
+//! Check batches are not executed on the connection thread: they are
+//! enqueued on a bounded global queue and drained by `workers` threads
+//! running the predictor-ordered scheduler. Two bounds protect the pool —
+//! a per-session pending cap (one planner flooding its session cannot
+//! starve the rest) and the global queue capacity. Hitting either bound
+//! returns `err retry_after <ms>` immediately instead of stalling or
+//! dropping the connection: load shedding is part of the protocol.
+
+use crate::metrics::Metrics;
+use crate::protocol::{CheckResult, Request, Response, SchedMode, ServiceError};
+use crate::session::{ChtPredictor, SessionRegistry, SessionState};
+use copred_collision::{run_predicted_schedule, run_schedule, Schedule};
+use copred_core::ChtParams;
+use copred_trace::frame::{read_text_frame, write_text_frame};
+use copred_trace::MotionTrace;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker threads draining the check queue.
+    pub workers: usize,
+    /// Global bounded-queue capacity (jobs, i.e. batches).
+    pub queue_capacity: usize,
+    /// Max jobs queued or executing per session before backpressure.
+    pub session_queue_cap: usize,
+    /// Session-pool capacity (must be a power of two).
+    pub max_sessions: usize,
+    /// CHT geometry for every leased shard.
+    pub cht_params: ChtParams,
+    /// CSP stride used by the scheduler.
+    pub csp_step: usize,
+    /// Suggested client back-off carried in `retry_after` responses.
+    pub retry_after_ms: u64,
+    /// Test hook: artificial per-job delay in the workers, used to force
+    /// queue overflow deterministically. 0 in production.
+    pub worker_delay_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 128,
+            session_queue_cap: 32,
+            max_sessions: 64,
+            cht_params: ChtParams::paper_arm(),
+            csp_step: Schedule::DEFAULT_CSP_STEP,
+            retry_after_ms: 10,
+            worker_delay_ms: 0,
+        }
+    }
+}
+
+/// One enqueued check batch.
+struct Job {
+    session: Arc<SessionState>,
+    motions: Vec<MotionTrace>,
+    reply: SyncSender<Vec<CheckResult>>,
+    enqueued: Instant,
+}
+
+/// Bounded MPMC queue: `Mutex<VecDeque>` + `Condvar`, rejecting (never
+/// blocking) on overflow so producers can translate fullness into
+/// protocol-level backpressure.
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            jobs: Mutex::new(VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues without blocking; hands the job back when full.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.jobs.lock().expect("queue lock");
+        if q.len() >= self.capacity {
+            return Err(job);
+        }
+        q.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` means shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.jobs.lock().expect("queue lock");
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue wait");
+        }
+    }
+
+    fn close(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+struct Shared {
+    registry: SessionRegistry,
+    metrics: Metrics,
+    queue: JobQueue,
+    config: ServerConfig,
+}
+
+/// A running copred service. Dropping the handle shuts it down.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.max_sessions` is not a power of two or
+    /// `config.workers` is zero.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        assert!(config.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: SessionRegistry::new(config.cht_params, config.max_sessions),
+            metrics: Metrics::new(),
+            queue: JobQueue::new(config.queue_capacity),
+            config,
+        });
+        let stopping = Arc::new(AtomicBool::new(false));
+
+        let worker_handles = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("copred-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let stopping = Arc::clone(&stopping);
+            thread::Builder::new()
+                .name("copred-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &stopping))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            stopping,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Server-wide metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Stops accepting, drains the workers, and joins them. Connection
+    /// handler threads exit when their peers disconnect.
+    pub fn shutdown(&mut self) {
+        if self.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        self.shared.queue.close();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, stopping: &Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("copred-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) if stopping.load(Ordering::Acquire) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        let payload = match read_text_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean disconnect
+            Err(_) => {
+                // Framing is broken; the stream cannot be resynchronized.
+                let resp = Response::Error(ServiceError::BadRequest("bad frame".into()));
+                let _ = write_text_frame(&mut writer, &resp.to_text());
+                return;
+            }
+        };
+        let response = match Request::from_text(&payload) {
+            Ok(req) => {
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                dispatch(req, shared)
+            }
+            Err(reason) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Response::Error(ServiceError::BadRequest(reason))
+            }
+        };
+        if write_text_frame(&mut writer, &response.to_text()).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(req: Request, shared: &Shared) -> Response {
+    match req {
+        Request::Open {
+            robot,
+            link_count: _,
+            mode,
+            seed,
+        } => match shared.registry.open(&robot, mode, seed) {
+            Ok((session, evicted)) => {
+                shared
+                    .metrics
+                    .sessions_opened
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .sessions_evicted
+                    .fetch_add(evicted as u64, Ordering::Relaxed);
+                Response::Session(session.id)
+            }
+            Err(e) => Response::Error(e),
+        },
+        Request::CheckMotion { session, motions } => enqueue_checks(session, motions, shared),
+        Request::CheckPose { session, motion } => enqueue_checks(session, vec![motion], shared),
+        Request::ResetCht { session } => match shared.registry.get(session) {
+            Ok(s) => {
+                s.shard.reset();
+                Response::ResetDone
+            }
+            Err(e) => Response::Error(e),
+        },
+        Request::Stats { session: None } => {
+            Response::Stats(shared.metrics.stat_lines(shared.registry.len()))
+        }
+        Request::Stats { session: Some(id) } => match shared.registry.get(id) {
+            Ok(s) => Response::Stats(s.metrics.stat_lines(s.mode.label(), s.shard.occupancy())),
+            Err(e) => Response::Error(e),
+        },
+        Request::Close { session } => match shared.registry.close(session) {
+            Ok(()) => {
+                shared
+                    .metrics
+                    .sessions_closed
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Closed
+            }
+            Err(e) => Response::Error(e),
+        },
+    }
+}
+
+/// Applies both backpressure bounds, enqueues, and blocks this connection
+/// thread (only) until the worker replies.
+fn enqueue_checks(session_id: u64, motions: Vec<MotionTrace>, shared: &Shared) -> Response {
+    let session = match shared.registry.get(session_id) {
+        Ok(s) => s,
+        Err(e) => return Response::Error(e),
+    };
+    let retry = |message: &str| {
+        shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        Response::Error(ServiceError::RetryAfter {
+            ms: shared.config.retry_after_ms,
+            message: message.to_string(),
+        })
+    };
+    // Per-session bound first: a flooding session is rejected before it
+    // can take global queue slots from the others.
+    let prev = session.pending.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.config.session_queue_cap {
+        session.pending.fetch_sub(1, Ordering::AcqRel);
+        return retry("session queue full");
+    }
+    let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+    let job = Job {
+        session: Arc::clone(&session),
+        motions,
+        reply: reply_tx,
+        enqueued: Instant::now(),
+    };
+    if shared.queue.try_push(job).is_err() {
+        session.pending.fetch_sub(1, Ordering::AcqRel);
+        return retry("server queue full");
+    }
+    match reply_rx.recv() {
+        Ok(results) => Response::Results(results),
+        // Worker pool shut down mid-request.
+        Err(_) => Response::Error(ServiceError::Busy("server shutting down".into())),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        if shared.config.worker_delay_ms > 0 {
+            thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
+        }
+        let results = run_batch(&job.session, &job.motions, shared);
+        job.session.pending.fetch_sub(1, Ordering::AcqRel);
+        let ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.metrics.check_latency.record(ns);
+        // The connection may have vanished; the work still counted.
+        let _ = job.reply.send(results);
+    }
+}
+
+fn run_batch(session: &SessionState, motions: &[MotionTrace], shared: &Shared) -> Vec<CheckResult> {
+    motions
+        .iter()
+        .map(|m| {
+            let infos = m.to_cdq_infos();
+            let out = match session.mode {
+                SchedMode::Coord => {
+                    let mut pred = ChtPredictor::new(session, &m.poses);
+                    run_predicted_schedule(&infos, m.poses.len(), shared.config.csp_step, &mut pred)
+                }
+                SchedMode::Naive => run_schedule(&infos, m.poses.len(), Schedule::Naive),
+                SchedMode::Csp => run_schedule(
+                    &infos,
+                    m.poses.len(),
+                    Schedule::Csp {
+                        step: shared.config.csp_step,
+                    },
+                ),
+            };
+            let sm = &session.metrics;
+            sm.checks.fetch_add(1, Ordering::Relaxed);
+            sm.cdqs_issued
+                .fetch_add(out.cdqs_executed as u64, Ordering::Relaxed);
+            sm.cdqs_total
+                .fetch_add(out.cdqs_total as u64, Ordering::Relaxed);
+            sm.collisions
+                .fetch_add(u64::from(out.colliding), Ordering::Relaxed);
+            let gm = &shared.metrics;
+            gm.checks.fetch_add(1, Ordering::Relaxed);
+            gm.cdqs_issued
+                .fetch_add(out.cdqs_executed as u64, Ordering::Relaxed);
+            gm.cdqs_total
+                .fetch_add(out.cdqs_total as u64, Ordering::Relaxed);
+            CheckResult {
+                colliding: out.colliding,
+                cdqs_executed: out.cdqs_executed as u64,
+                cdqs_total: out.cdqs_total as u64,
+                obstacle_tests: out.obstacle_tests as u64,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,372 @@
+//! Session registry: each open planning query leases a private shard of a
+//! [`ShardedCht`] pool, so concurrent clients never alias each other's
+//! collision history (the paper resets the CHT per planning query; a
+//! leased shard is exactly that lifetime).
+//!
+//! The registry enforces a capacity cap with LRU eviction: opening a
+//! session when the table is full evicts the least-recently-used *idle*
+//! session (no in-flight jobs). If every session is busy the open is
+//! rejected as [`ServiceError::Busy`] rather than blocking the accept
+//! path.
+
+use crate::metrics::SessionMetrics;
+use crate::protocol::{SchedMode, ServiceError};
+use copred_collision::{CdqInfo, CdqPredictor};
+use copred_core::{ChtParams, CollisionHash, CoordHash, HashInput};
+use copred_kinematics::{presets, Config, Robot};
+use copred_swexec::{ConcurrentCht, ShardedCht};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Looks up a robot preset by wire name.
+pub fn robot_by_name(name: &str) -> Option<Robot> {
+    match name {
+        "planar-2d" => Some(presets::planar_2d().into()),
+        "planar-arm-2dof" => Some(presets::planar_arm_2dof().into()),
+        "baxter" => Some(presets::baxter_arm().into()),
+        "jaco2" => Some(presets::jaco2().into()),
+        "kuka-iiwa" => Some(presets::kuka_iiwa().into()),
+        _ => None,
+    }
+}
+
+/// One open planning session.
+#[derive(Debug)]
+pub struct SessionState {
+    /// Session token handed to the client.
+    pub id: u64,
+    /// Scheduling mode for every check in the session.
+    pub mode: SchedMode,
+    /// The leased CHT shard (private to this session until close/evict).
+    pub shard: Arc<ConcurrentCht>,
+    /// Which pool slot the shard came from (returned on release).
+    shard_slot: usize,
+    /// COORD hash over the session robot's workspace.
+    pub hasher: CoordHash,
+    /// Per-session counters.
+    pub metrics: SessionMetrics,
+    /// Jobs currently queued or executing for this session.
+    pub pending: AtomicUsize,
+    /// xorshift64 state driving the CHT's `U`-policy draws; seeded by the
+    /// client so replays are deterministic.
+    u_state: Mutex<u64>,
+    /// LRU timestamp (registry logical clock).
+    last_used: AtomicU64,
+}
+
+impl SessionState {
+    /// Advances the session's `U`-policy stream by one draw in `[0, 1)`.
+    pub fn next_u_draw(&self) -> f64 {
+        let mut s = self.u_state.lock().expect("u_state lock");
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        (*s >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// [`CdqPredictor`] adapter binding a session's shard, hasher, and the
+/// poses of the motion being checked. Prediction quality (confusion versus
+/// the trace's ground truth) is recorded at predict time.
+pub struct ChtPredictor<'a> {
+    session: &'a SessionState,
+    poses: &'a [Config],
+    /// `false` disables lookups entirely (naive/CSP sessions), leaving the
+    /// scheduler to degrade to plain CSP order.
+    enabled: bool,
+}
+
+impl<'a> ChtPredictor<'a> {
+    /// Binds a predictor for one motion check.
+    pub fn new(session: &'a SessionState, poses: &'a [Config]) -> Self {
+        ChtPredictor {
+            session,
+            poses,
+            enabled: session.mode == SchedMode::Coord,
+        }
+    }
+
+    fn code(&self, cdq: &CdqInfo) -> u64 {
+        let input = HashInput {
+            config: &self.poses[cdq.pose_idx],
+            center: cdq.center,
+        };
+        self.session.hasher.code(&input)
+    }
+}
+
+impl CdqPredictor for ChtPredictor<'_> {
+    fn predict(&mut self, cdq: &CdqInfo) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let predicted = self.session.shard.predict(self.code(cdq));
+        let m = &self.session.metrics;
+        let counter = match (predicted, cdq.colliding) {
+            (true, true) => &m.true_pos,
+            (true, false) => &m.false_pos,
+            (false, false) => &m.true_neg,
+            (false, true) => &m.false_neg,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        predicted
+    }
+
+    fn observe(&mut self, cdq: &CdqInfo, colliding: bool) {
+        if !self.enabled {
+            return;
+        }
+        let u = self.session.next_u_draw();
+        self.session.shard.observe(self.code(cdq), colliding, u);
+    }
+}
+
+struct RegistryInner {
+    sessions: HashMap<u64, Arc<SessionState>>,
+    free_slots: Vec<usize>,
+    next_id: u64,
+}
+
+/// The concurrent session table. All methods are safe to call from any
+/// connection or worker thread.
+pub struct SessionRegistry {
+    pool: ShardedCht,
+    inner: Mutex<RegistryInner>,
+    clock: AtomicU64,
+    capacity: usize,
+}
+
+impl SessionRegistry {
+    /// Builds a registry whose shard pool has `capacity` independent CHTs
+    /// of `params` geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero or not a power of two (the
+    /// [`ShardedCht`] slot-count invariant).
+    pub fn new(params: ChtParams, capacity: usize) -> Self {
+        SessionRegistry {
+            pool: ShardedCht::new(params, capacity),
+            inner: Mutex::new(RegistryInner {
+                sessions: HashMap::new(),
+                free_slots: (0..capacity).rev().collect(),
+                next_id: 1,
+            }),
+            clock: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Capacity of the shard pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Open sessions right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").sessions.len()
+    }
+
+    /// Whether no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Opens a session, evicting the least-recently-used idle session when
+    /// the pool is full. Returns the new session and how many sessions
+    /// were evicted to make room (0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] for an unknown robot,
+    /// [`ServiceError::Busy`] when the pool is full of busy sessions.
+    pub fn open(
+        &self,
+        robot_name: &str,
+        mode: SchedMode,
+        seed: u64,
+    ) -> Result<(Arc<SessionState>, usize), ServiceError> {
+        let robot = robot_by_name(robot_name)
+            .ok_or_else(|| ServiceError::BadRequest(format!("unknown robot '{robot_name}'")))?;
+        let hasher = CoordHash::paper_default(&robot);
+        let mut inner = self.inner.lock().expect("registry lock");
+        let mut evicted = 0;
+        if inner.free_slots.is_empty() {
+            let victim = inner
+                .sessions
+                .values()
+                .filter(|s| s.pending.load(Ordering::Acquire) == 0)
+                .min_by_key(|s| s.last_used.load(Ordering::Relaxed))
+                .map(|s| s.id);
+            match victim {
+                Some(id) => {
+                    let s = inner.sessions.remove(&id).expect("victim present");
+                    inner.free_slots.push(s.shard_slot);
+                    evicted = 1;
+                }
+                None => {
+                    return Err(ServiceError::Busy(
+                        "session pool full and every session has jobs in flight".into(),
+                    ))
+                }
+            }
+        }
+        let slot = inner.free_slots.pop().expect("slot after eviction");
+        let shard = self.pool.shard(slot);
+        // The slot may have a previous tenant's history: a session always
+        // starts with the paper's per-query reset.
+        shard.reset();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        // The U stream must be a pure function of the *client's* seed —
+        // session ids are assigned in racy accept order, so folding them
+        // in would break replay determinism. SplitMix64 scrambles weak
+        // seeds; xorshift64 must not start at zero, hence the remap.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let u_seed = (z ^ (z >> 31)).max(1);
+        let session = Arc::new(SessionState {
+            id,
+            mode,
+            shard,
+            shard_slot: slot,
+            hasher,
+            metrics: SessionMetrics::default(),
+            pending: AtomicUsize::new(0),
+            u_state: Mutex::new(u_seed),
+            last_used: AtomicU64::new(self.tick()),
+        });
+        inner.sessions.insert(id, Arc::clone(&session));
+        Ok((session, evicted))
+    }
+
+    /// Looks up a session and bumps its LRU stamp.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoSession`] for unknown (or evicted) tokens.
+    pub fn get(&self, id: u64) -> Result<Arc<SessionState>, ServiceError> {
+        let inner = self.inner.lock().expect("registry lock");
+        let s = inner.sessions.get(&id).ok_or(ServiceError::NoSession(id))?;
+        s.last_used.store(self.tick(), Ordering::Relaxed);
+        Ok(Arc::clone(s))
+    }
+
+    /// Closes a session and returns its shard slot to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NoSession`] for unknown tokens.
+    pub fn close(&self, id: u64) -> Result<(), ServiceError> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let s = inner
+            .sessions
+            .remove(&id)
+            .ok_or(ServiceError::NoSession(id))?;
+        inner.free_slots.push(s.shard_slot);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(cap: usize) -> SessionRegistry {
+        SessionRegistry::new(ChtParams::paper_2d(), cap)
+    }
+
+    #[test]
+    fn open_get_close_roundtrip() {
+        let reg = registry(4);
+        let (s, evicted) = reg.open("planar-2d", SchedMode::Coord, 7).unwrap();
+        assert_eq!(evicted, 0);
+        assert_eq!(reg.len(), 1);
+        let again = reg.get(s.id).unwrap();
+        assert_eq!(again.id, s.id);
+        reg.close(s.id).unwrap();
+        assert!(reg.is_empty());
+        assert!(matches!(reg.get(s.id), Err(ServiceError::NoSession(_))));
+    }
+
+    #[test]
+    fn unknown_robot_is_bad_request() {
+        let reg = registry(2);
+        assert!(matches!(
+            reg.open("hal-9000", SchedMode::Naive, 0),
+            Err(ServiceError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stalest_idle_session() {
+        let reg = registry(2);
+        let (a, _) = reg.open("planar-2d", SchedMode::Coord, 1).unwrap();
+        let (b, _) = reg.open("planar-2d", SchedMode::Coord, 2).unwrap();
+        // Touch `a` so `b` is the LRU victim.
+        reg.get(a.id).unwrap();
+        let (c, evicted) = reg.open("planar-2d", SchedMode::Coord, 3).unwrap();
+        assert_eq!(evicted, 1);
+        assert!(reg.get(a.id).is_ok(), "recently used survives");
+        assert!(matches!(reg.get(b.id), Err(ServiceError::NoSession(_))));
+        assert!(reg.get(c.id).is_ok());
+    }
+
+    #[test]
+    fn busy_sessions_are_never_evicted() {
+        let reg = registry(2);
+        let (a, _) = reg.open("planar-2d", SchedMode::Coord, 1).unwrap();
+        let (b, _) = reg.open("planar-2d", SchedMode::Coord, 2).unwrap();
+        a.pending.store(1, Ordering::Release);
+        b.pending.store(3, Ordering::Release);
+        assert!(matches!(
+            reg.open("planar-2d", SchedMode::Coord, 3),
+            Err(ServiceError::Busy(_))
+        ));
+        b.pending.store(0, Ordering::Release);
+        let (_, evicted) = reg.open("planar-2d", SchedMode::Coord, 3).unwrap();
+        assert_eq!(evicted, 1);
+        assert!(reg.get(a.id).is_ok(), "busy session kept its slot");
+    }
+
+    #[test]
+    fn sessions_lease_distinct_shards_and_reset_on_reuse() {
+        let reg = registry(2);
+        let (a, _) = reg.open("planar-2d", SchedMode::Coord, 1).unwrap();
+        let (b, _) = reg.open("planar-2d", SchedMode::Coord, 2).unwrap();
+        assert!(!Arc::ptr_eq(&a.shard, &b.shard), "distinct shard leases");
+        // Pollute a's shard, close it, reopen: the new tenant sees a
+        // clean table.
+        a.shard.observe(3, true, 0.9);
+        assert!(a.shard.occupancy() > 0);
+        let slot_shard = Arc::clone(&a.shard);
+        reg.close(a.id).unwrap();
+        let (c, _) = reg.open("planar-2d", SchedMode::Coord, 3).unwrap();
+        assert!(Arc::ptr_eq(&c.shard, &slot_shard), "slot recycled");
+        assert_eq!(c.shard.occupancy(), 0, "history cleared on lease");
+    }
+
+    #[test]
+    fn u_draw_stream_is_deterministic_per_seed() {
+        let reg = registry(4);
+        let (a, _) = reg.open("planar-2d", SchedMode::Coord, 99).unwrap();
+        let draws_a: Vec<f64> = (0..5).map(|_| a.next_u_draw()).collect();
+        reg.close(a.id).unwrap();
+        // Reopening with the same client seed replays the same stream
+        // even though the session id differs: determinism must not
+        // depend on id-assignment order.
+        let (b, _) = reg.open("planar-2d", SchedMode::Coord, 99).unwrap();
+        assert_ne!(a.id, b.id);
+        let draws_b: Vec<f64> = (0..5).map(|_| b.next_u_draw()).collect();
+        assert_eq!(draws_a, draws_b);
+        for d in draws_a {
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+}

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 pub struct ConcurrentCht {
     coll: Vec<AtomicU8>,
     noncoll: Vec<AtomicU8>,
+    params: ChtParams,
     strategy: Strategy,
     counter_max: u8,
     update_fraction: f64,
@@ -37,7 +38,29 @@ impl ConcurrentCht {
             counter_max: ((1u32 << params.counter_bits) - 1) as u8,
             update_fraction: params.update_fraction,
             mask: (1u64 << params.bits) - 1,
+            params,
         }
+    }
+
+    /// The parameters the table was built with.
+    pub fn params(&self) -> &ChtParams {
+        &self.params
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.coll.len()
+    }
+
+    /// Entries with at least one nonzero counter — a warm-up/contention
+    /// proxy exposed through the service STATS verb.
+    pub fn occupancy(&self) -> usize {
+        (0..self.coll.len())
+            .filter(|&i| {
+                self.coll[i].load(Ordering::Relaxed) != 0
+                    || self.noncoll[i].load(Ordering::Relaxed) != 0
+            })
+            .count()
     }
 
     #[inline]
@@ -113,7 +136,10 @@ mod tests {
 
     #[test]
     fn update_fraction_skips_free_updates() {
-        let p = ChtParams { update_fraction: 0.25, ..params() };
+        let p = ChtParams {
+            update_fraction: 0.25,
+            ..params()
+        };
         let cht = ConcurrentCht::new(p);
         cht.observe(3, false, 0.9); // 0.9 >= 0.25: skipped
         cht.observe(3, false, 0.1); // 0.1 < 0.25: applied
@@ -155,7 +181,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "dense")]
     fn oversized_table_rejected() {
-        let p = ChtParams { bits: 30, ..params() };
+        let p = ChtParams {
+            bits: 30,
+            ..params()
+        };
         let _ = ConcurrentCht::new(p);
     }
 }

@@ -10,10 +10,10 @@
 
 use crate::concurrent_cht::ConcurrentCht;
 use copred_collision::Environment;
-use copred_core::{ChtParams, CoordHash};
-use copred_kinematics::{Config, Robot};
 use copred_core::hash::CollisionHash;
 use copred_core::HashInput;
+use copred_core::{ChtParams, CoordHash};
+use copred_kinematics::{Config, Robot};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -104,7 +104,10 @@ pub fn run_cpu(
                         'outer: for (pi, q) in poses.iter().enumerate() {
                             let pose = robot.fk(q);
                             for link in &pose.links {
-                                let input = HashInput { config: q, center: link.center };
+                                let input = HashInput {
+                                    config: q,
+                                    center: link.center,
+                                };
                                 let code = hash.code(&input);
                                 if cht.predict(code) {
                                     executed += 1;
@@ -123,7 +126,10 @@ pub fn run_cpu(
                             for (pi, center, obb) in queue {
                                 executed += 1;
                                 let c = env.obb_collides(&obb);
-                                let input = HashInput { config: &poses[pi], center };
+                                let input = HashInput {
+                                    config: &poses[pi],
+                                    center,
+                                };
                                 cht.observe(hash.code(&input), c, rand01());
                                 if c {
                                     hit = true;
@@ -171,13 +177,19 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(0.1, -1.0, -0.1), Vec3::new(0.5, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(0.1, -1.0, -0.1),
+                Vec3::new(0.5, 1.0, 0.1),
+            )],
         );
         let mut rng = StdRng::seed_from_u64(17);
         let motions: Vec<Vec<Config>> = (0..120)
             .map(|_| {
-                Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng))
-                    .discretize(20)
+                Motion::new(
+                    robot.sample_uniform(&mut rng),
+                    robot.sample_uniform(&mut rng),
+                )
+                .discretize(20)
             })
             .collect();
         (robot, env, motions)
@@ -186,17 +198,27 @@ mod tests {
     #[test]
     fn prediction_reduces_cdqs() {
         let (robot, env, motions) = workload();
-        let base = run_cpu(&robot, &env, &motions, &CpuExecConfig {
-            with_prediction: false,
-            n_threads: 4,
-            ..Default::default()
-        });
-        let pred = run_cpu(&robot, &env, &motions, &CpuExecConfig {
-            with_prediction: true,
-            n_threads: 4,
-            cht_params: ChtParams::paper_2d(),
-            ..Default::default()
-        });
+        let base = run_cpu(
+            &robot,
+            &env,
+            &motions,
+            &CpuExecConfig {
+                with_prediction: false,
+                n_threads: 4,
+                ..Default::default()
+            },
+        );
+        let pred = run_cpu(
+            &robot,
+            &env,
+            &motions,
+            &CpuExecConfig {
+                with_prediction: true,
+                n_threads: 4,
+                cht_params: ChtParams::paper_2d(),
+                ..Default::default()
+            },
+        );
         // Same answers.
         assert_eq!(base.colliding_motions, pred.colliding_motions);
         // Less computation.
@@ -211,16 +233,26 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let (robot, env, motions) = workload();
-        let one = run_cpu(&robot, &env, &motions, &CpuExecConfig {
-            with_prediction: false,
-            n_threads: 1,
-            ..Default::default()
-        });
-        let eight = run_cpu(&robot, &env, &motions, &CpuExecConfig {
-            with_prediction: false,
-            n_threads: 8,
-            ..Default::default()
-        });
+        let one = run_cpu(
+            &robot,
+            &env,
+            &motions,
+            &CpuExecConfig {
+                with_prediction: false,
+                n_threads: 1,
+                ..Default::default()
+            },
+        );
+        let eight = run_cpu(
+            &robot,
+            &env,
+            &motions,
+            &CpuExecConfig {
+                with_prediction: false,
+                n_threads: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(one.colliding_motions, eight.colliding_motions);
         assert_eq!(one.cdqs_executed, eight.cdqs_executed);
     }
@@ -230,13 +262,19 @@ mod tests {
         let robot: Robot = presets::kuka_iiwa().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::from_center_half_extents(Vec3::new(0.5, 0.0, 0.4), Vec3::splat(0.2))],
+            vec![Aabb::from_center_half_extents(
+                Vec3::new(0.5, 0.0, 0.4),
+                Vec3::splat(0.2),
+            )],
         );
         let mut rng = StdRng::seed_from_u64(3);
         let motions: Vec<Vec<Config>> = (0..20)
             .map(|_| {
-                Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng))
-                    .discretize(10)
+                Motion::new(
+                    robot.sample_uniform(&mut rng),
+                    robot.sample_uniform(&mut rng),
+                )
+                .discretize(10)
             })
             .collect();
         let r = run_cpu(&robot, &env, &motions, &CpuExecConfig::default());
@@ -248,9 +286,14 @@ mod tests {
     #[should_panic(expected = "worker thread")]
     fn zero_threads_rejected() {
         let (robot, env, motions) = workload();
-        let _ = run_cpu(&robot, &env, &motions, &CpuExecConfig {
-            n_threads: 0,
-            ..Default::default()
-        });
+        let _ = run_cpu(
+            &robot,
+            &env,
+            &motions,
+            &CpuExecConfig {
+                n_threads: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -114,9 +114,8 @@ pub fn run_gpu_model(
             // Divergence penalty: mixed predicted/unpredicted waves leave
             // lanes idle in lockstep.
             if width > 1 && !predicted.is_empty() && !rest.is_empty() {
-                pred_time += params.divergence_coeff
-                    * params.wave_cost
-                    * (n as f64 / width as f64).ceil();
+                pred_time +=
+                    params.divergence_coeff * params.wave_cost * (n as f64 / width as f64).ceil();
             }
             predicted.into_iter().chain(rest).collect()
         } else {
@@ -146,8 +145,7 @@ pub fn run_gpu_model(
         total_cdqs += executed as u64;
         // Compute-bound (lockstep waves) or bandwidth-bound, whichever
         // dominates, plus the prediction bookkeeping.
-        let exec_time = (waves as f64 * params.wave_cost)
-            .max(executed as f64 * params.mem_bw_cost);
+        let exec_time = (waves as f64 * params.wave_cost).max(executed as f64 * params.mem_bw_cost);
         total_time += exec_time + pred_time;
     }
 
@@ -229,7 +227,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(0.1, -1.0, -0.1), Vec3::new(0.5, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(0.1, -1.0, -0.1),
+                Vec3::new(0.5, 1.0, 0.1),
+            )],
         );
         let mut rng = StdRng::seed_from_u64(5);
         let records: Vec<MotionRecord> = (0..150)
@@ -240,7 +241,11 @@ mod tests {
                 )
                 .discretize(32);
                 let colliding = copred_collision::motion_collides(&robot, &env, &poses);
-                MotionRecord { poses, stage: Stage::Explore, colliding }
+                MotionRecord {
+                    poses,
+                    stage: Stage::Explore,
+                    colliding,
+                }
             })
             .collect();
         QueryTrace::from_log(&robot, &env, &PlanLog { records }).motions

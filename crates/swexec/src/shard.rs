@@ -1,0 +1,186 @@
+//! Sharding the shared Collision History Table.
+//!
+//! The paper's software integration (§III-E) shares one CHT between all
+//! threads of a single planning query. A *server* runs many concurrent
+//! planning queries, and the paper's dynamic-obstacle semantics reset the
+//! table per query — so queries must not share prediction state. A
+//! [`ShardedCht`] is a pool of independent [`ConcurrentCht`] shards:
+//!
+//! * **session sharding** — each planning session leases one shard for
+//!   exclusive use ([`ShardedCht::shard`]), giving per-query reset
+//!   isolation with zero cross-session contention;
+//! * **flat sharded table** — a single logical table routed by the high
+//!   bits of the hash code ([`ShardedCht::predict`]/[`observe`]), which
+//!   spreads atomic traffic across shards for workloads that do want one
+//!   shared predictor.
+//!
+//! [`observe`]: ShardedCht::observe
+
+use crate::concurrent_cht::ConcurrentCht;
+use copred_core::ChtParams;
+use std::sync::Arc;
+
+/// A pool of independent shared CHT shards.
+#[derive(Debug)]
+pub struct ShardedCht {
+    shards: Vec<Arc<ConcurrentCht>>,
+    /// log2(shards), for high-bit routing in the flat view.
+    shard_bits: u32,
+    /// Bits of the per-shard table index (`params.bits`).
+    table_bits: u32,
+}
+
+impl ShardedCht {
+    /// Creates `n_shards` empty shards, each a full table of `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_shards` is zero or not a power of two, or when
+    /// `params.bits` exceeds the dense-table limit of [`ConcurrentCht`].
+    pub fn new(params: ChtParams, n_shards: usize) -> Self {
+        assert!(
+            n_shards.is_power_of_two(),
+            "shard count must be a nonzero power of two, got {n_shards}"
+        );
+        ShardedCht {
+            shards: (0..n_shards)
+                .map(|_| Arc::new(ConcurrentCht::new(params)))
+                .collect(),
+            shard_bits: n_shards.trailing_zeros(),
+            table_bits: params.bits,
+        }
+    }
+
+    /// Number of shards in the pool.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A handle to shard `i` for exclusive session use. Cloning the `Arc`
+    /// is how a session registry leases the shard to a planning query.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn shard(&self, i: usize) -> Arc<ConcurrentCht> {
+        Arc::clone(&self.shards[i])
+    }
+
+    /// The shard index the flat view routes `code` to: the bits directly
+    /// above the per-shard table index, so sharding never changes which
+    /// table entry a code maps to.
+    #[inline]
+    pub fn shard_index(&self, code: u64) -> usize {
+        ((code >> self.table_bits) & ((1 << self.shard_bits) - 1)) as usize
+    }
+
+    /// Flat-view prediction lookup (routes by the code's high bits).
+    pub fn predict(&self, code: u64) -> bool {
+        self.shards[self.shard_index(code)].predict(code)
+    }
+
+    /// Flat-view outcome recording. `u_draw` feeds the `U` update policy,
+    /// as in [`ConcurrentCht::observe`].
+    pub fn observe(&self, code: u64, colliding: bool, u_draw: f64) {
+        self.shards[self.shard_index(code)].observe(code, colliding, u_draw);
+    }
+
+    /// Clears every shard (obstacle remap across all sessions).
+    pub fn reset_all(&self) {
+        for s in &self.shards {
+            s.reset();
+        }
+    }
+
+    /// Total nonzero entries across all shards.
+    pub fn occupancy(&self) -> usize {
+        self.shards.iter().map(|s| s.occupancy()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_core::Strategy;
+
+    fn params() -> ChtParams {
+        ChtParams {
+            bits: 8,
+            counter_bits: 4,
+            strategy: Strategy::new(1.0),
+            update_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let pool = ShardedCht::new(params(), 4);
+        let a = pool.shard(0);
+        let b = pool.shard(1);
+        a.observe(17, true, 0.0);
+        assert!(a.predict(17));
+        assert!(!b.predict(17), "session shards must not share state");
+        a.reset();
+        assert!(!a.predict(17));
+    }
+
+    #[test]
+    fn flat_view_routes_by_high_bits() {
+        let pool = ShardedCht::new(params(), 4);
+        // Same table index, different shard bits.
+        let code_a = 0b00_0000_0101u64;
+        let code_b = code_a | (1 << 8);
+        assert_eq!(pool.shard_index(code_a), 0);
+        assert_eq!(pool.shard_index(code_b), 1);
+        pool.observe(code_a, true, 0.0);
+        assert!(pool.predict(code_a));
+        assert!(!pool.predict(code_b), "different shard, independent entry");
+    }
+
+    #[test]
+    fn reset_all_and_occupancy() {
+        let pool = ShardedCht::new(params(), 2);
+        assert_eq!(pool.occupancy(), 0);
+        pool.observe(3, true, 0.0);
+        pool.observe(3 | (1 << 8), false, 0.0);
+        assert_eq!(pool.occupancy(), 2);
+        pool.reset_all();
+        assert_eq!(pool.occupancy(), 0);
+    }
+
+    #[test]
+    fn single_shard_pool_is_the_plain_table() {
+        let pool = ShardedCht::new(params(), 1);
+        assert_eq!(pool.n_shards(), 1);
+        for code in [0u64, 1 << 8, 1 << 20] {
+            assert_eq!(pool.shard_index(code), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = ShardedCht::new(params(), 3);
+    }
+
+    #[test]
+    fn concurrent_sessions_on_distinct_shards() {
+        let pool = Arc::new(ShardedCht::new(params(), 8));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let shard = pool.shard(i);
+                    for code in 0..64u64 {
+                        shard.observe(code, code % 2 == 0, 0.0);
+                    }
+                    shard.occupancy()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().expect("worker") > 0);
+        }
+        assert_eq!(pool.occupancy(), 8 * 64);
+    }
+}

@@ -41,8 +41,18 @@
 use copred_collision::{enumerate_motion_cdqs, CdqInfo, Environment};
 use copred_geometry::Vec3;
 use copred_kinematics::{Config, Robot};
-use copred_planners::{PlanLog, Stage};
+use copred_planners::PlanLog;
 use std::fmt::Write as _;
+
+pub use copred_planners::Stage;
+
+pub mod frame;
+
+/// Hard cap applied to *declared* counts (`motion <stage> <poses> <cdqs>`)
+/// before any allocation, so a malformed or hostile header cannot request
+/// an absurd reservation. Actual content is still parsed line by line and
+/// may legitimately exceed typical sizes up to this bound.
+pub const MAX_DECLARED: usize = 1 << 20;
 
 /// One CDQ in a trace: which sample pose and link it belongs to, the hash
 /// input (link center), the ground-truth outcome, and its CDU cost.
@@ -81,6 +91,69 @@ impl MotionTrace {
     /// Total CDQ count.
     pub fn cdq_count(&self) -> usize {
         self.cdqs.len()
+    }
+
+    /// Serializes this motion as a standalone `motion` block — the payload
+    /// unit of the `copred-service` wire protocol (CHECK_MOTION /
+    /// CHECK_POSE frames carry one block each).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write_text(&mut out);
+        out
+    }
+
+    /// Appends this motion's `motion` block to `out`.
+    pub fn write_text(&self, out: &mut String) {
+        writeln!(
+            out,
+            "motion {} {} {}",
+            self.stage.label(),
+            self.poses.len(),
+            self.cdqs.len()
+        )
+        .expect("string write");
+        for p in &self.poses {
+            write!(out, "pose").expect("string write");
+            for v in p.values() {
+                write!(out, " {v:.17e}").expect("string write");
+            }
+            writeln!(out).expect("string write");
+        }
+        for c in &self.cdqs {
+            writeln!(
+                out,
+                "cdq {} {} {:.17e} {:.17e} {:.17e} {} {}",
+                c.pose_idx,
+                c.link_idx,
+                c.center.x,
+                c.center.y,
+                c.center.z,
+                u8::from(c.colliding),
+                c.obstacle_tests
+            )
+            .expect("string write");
+        }
+    }
+
+    /// Parses one standalone `motion` block produced by [`Self::to_text`].
+    /// Rejects trailing content after the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceParseError`] describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, TraceParseError> {
+        let mut lines = text.lines().enumerate();
+        let (ln, header) = lines
+            .next()
+            .ok_or_else(|| TraceParseError::at(0, "empty motion block"))?;
+        let motion = parse_motion_block(ln, header, &mut lines)?;
+        if let Some((ln, _)) = lines.next() {
+            return Err(TraceParseError::at(
+                ln,
+                "trailing content after motion block",
+            ));
+        }
+        Ok(motion)
     }
 
     /// Converts to the collision crate's [`CdqInfo`] list so the reference
@@ -167,37 +240,9 @@ impl QueryTrace {
     /// Serializes to the line-oriented text format.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "query {} {}", self.robot_name, self.link_count).unwrap();
+        writeln!(out, "query {} {}", self.robot_name, self.link_count).expect("string write");
         for m in &self.motions {
-            writeln!(
-                out,
-                "motion {} {} {}",
-                m.stage.label(),
-                m.poses.len(),
-                m.cdqs.len()
-            )
-            .unwrap();
-            for p in &m.poses {
-                write!(out, "pose").unwrap();
-                for v in p.values() {
-                    write!(out, " {v:.17e}").unwrap();
-                }
-                writeln!(out).unwrap();
-            }
-            for c in &m.cdqs {
-                writeln!(
-                    out,
-                    "cdq {} {} {:.17e} {:.17e} {:.17e} {} {}",
-                    c.pose_idx,
-                    c.link_idx,
-                    c.center.x,
-                    c.center.y,
-                    c.center.z,
-                    u8::from(c.colliding),
-                    c.obstacle_tests
-                )
-                .unwrap();
-            }
+            m.write_text(&mut out);
         }
         out
     }
@@ -219,18 +264,24 @@ impl QueryTrace {
     /// as [`std::io::ErrorKind::InvalidData`]) for malformed contents.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
-        Self::from_text(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Parses the text format produced by [`Self::to_text`].
+    ///
+    /// Every malformed input — truncated blocks, bad numbers, counts that
+    /// overflow their integer type, out-of-range CDQ pose indices, or
+    /// absurd declared sizes (see [`MAX_DECLARED`]) — returns `Err`; no
+    /// input panics or over-allocates.
     ///
     /// # Errors
     ///
     /// Returns a [`TraceParseError`] describing the first malformed line.
     pub fn from_text(text: &str) -> Result<Self, TraceParseError> {
-        let mut lines = text.lines().enumerate().peekable();
-        let (ln, header) = lines.next().ok_or_else(|| TraceParseError::at(0, "empty trace"))?;
+        let mut lines = text.lines().enumerate();
+        let (ln, header) = lines
+            .next()
+            .ok_or_else(|| TraceParseError::at(0, "empty trace"))?;
         let mut h = header.split_whitespace();
         if h.next() != Some("query") {
             return Err(TraceParseError::at(ln, "expected 'query' header"));
@@ -240,60 +291,105 @@ impl QueryTrace {
             .ok_or_else(|| TraceParseError::at(ln, "missing robot name"))?
             .to_string();
         let link_count: u32 = parse_field(h.next(), ln, "link count")?;
+        if h.next().is_some() {
+            return Err(TraceParseError::at(ln, "trailing fields on 'query' header"));
+        }
         let mut motions = Vec::new();
         while let Some((ln, line)) = lines.next() {
-            let mut f = line.split_whitespace();
-            if f.next() != Some("motion") {
-                return Err(TraceParseError::at(ln, "expected 'motion' line"));
-            }
-            let stage = match f.next() {
-                Some("S1") => Stage::Explore,
-                Some("S2") => Stage::Validate,
-                _ => return Err(TraceParseError::at(ln, "bad stage label")),
-            };
-            let n_poses: usize = parse_field(f.next(), ln, "pose count")?;
-            let n_cdqs: usize = parse_field(f.next(), ln, "cdq count")?;
-            let mut poses = Vec::with_capacity(n_poses);
-            for _ in 0..n_poses {
-                let (ln, line) = lines
-                    .next()
-                    .ok_or_else(|| TraceParseError::at(ln, "truncated pose block"))?;
-                let mut f = line.split_whitespace();
-                if f.next() != Some("pose") {
-                    return Err(TraceParseError::at(ln, "expected 'pose' line"));
-                }
-                let vals: Result<Vec<f64>, _> = f.map(str::parse).collect();
-                let vals = vals.map_err(|_| TraceParseError::at(ln, "bad pose value"))?;
-                poses.push(Config::new(vals));
-            }
-            let mut cdqs = Vec::with_capacity(n_cdqs);
-            for _ in 0..n_cdqs {
-                let (ln, line) = lines
-                    .next()
-                    .ok_or_else(|| TraceParseError::at(ln, "truncated cdq block"))?;
-                let mut f = line.split_whitespace();
-                if f.next() != Some("cdq") {
-                    return Err(TraceParseError::at(ln, "expected 'cdq' line"));
-                }
-                let pose_idx: u32 = parse_field(f.next(), ln, "pose idx")?;
-                let link_idx: u32 = parse_field(f.next(), ln, "link idx")?;
-                let x: f64 = parse_field(f.next(), ln, "center x")?;
-                let y: f64 = parse_field(f.next(), ln, "center y")?;
-                let z: f64 = parse_field(f.next(), ln, "center z")?;
-                let colliding: u8 = parse_field(f.next(), ln, "colliding flag")?;
-                let obstacle_tests: u32 = parse_field(f.next(), ln, "obstacle tests")?;
-                cdqs.push(TraceCdq {
-                    pose_idx,
-                    link_idx,
-                    center: Vec3::new(x, y, z),
-                    colliding: colliding != 0,
-                    obstacle_tests,
-                });
-            }
-            motions.push(MotionTrace { stage, poses, cdqs });
+            motions.push(parse_motion_block(ln, line, &mut lines)?);
         }
-        Ok(QueryTrace { robot_name, link_count, motions })
+        Ok(QueryTrace {
+            robot_name,
+            link_count,
+            motions,
+        })
     }
+}
+
+/// Parses one `motion` block whose header line is already in hand;
+/// consumes exactly the declared pose and cdq lines from `lines`.
+///
+/// Public so protocol layers that embed motion blocks inside larger
+/// line-oriented payloads (e.g. `copred-service` batches) can reuse the
+/// hardened parser instead of re-implementing it. `lines` must yield
+/// `(line_number, line)` pairs, typically from `text.lines().enumerate()`.
+///
+/// # Errors
+///
+/// Returns a located [`TraceParseError`] for any malformed block.
+pub fn parse_motion_block<'a>(
+    header_ln: usize,
+    header: &str,
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+) -> Result<MotionTrace, TraceParseError> {
+    let ln = header_ln;
+    let mut f = header.split_whitespace();
+    if f.next() != Some("motion") {
+        return Err(TraceParseError::at(ln, "expected 'motion' line"));
+    }
+    let stage = match f.next() {
+        Some("S1") => Stage::Explore,
+        Some("S2") => Stage::Validate,
+        _ => return Err(TraceParseError::at(ln, "bad stage label")),
+    };
+    let n_poses: usize = parse_field(f.next(), ln, "pose count")?;
+    let n_cdqs: usize = parse_field(f.next(), ln, "cdq count")?;
+    if f.next().is_some() {
+        return Err(TraceParseError::at(ln, "trailing fields on 'motion' line"));
+    }
+    if n_poses > MAX_DECLARED || n_cdqs > MAX_DECLARED {
+        return Err(TraceParseError::at(
+            ln,
+            "declared count exceeds MAX_DECLARED",
+        ));
+    }
+    let mut poses = Vec::with_capacity(n_poses);
+    for _ in 0..n_poses {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| TraceParseError::at(ln, "truncated pose block"))?;
+        let mut f = line.split_whitespace();
+        if f.next() != Some("pose") {
+            return Err(TraceParseError::at(ln, "expected 'pose' line"));
+        }
+        let vals: Result<Vec<f64>, _> = f.map(str::parse).collect();
+        let vals = vals.map_err(|_| TraceParseError::at(ln, "bad pose value"))?;
+        poses.push(Config::new(vals));
+    }
+    let mut cdqs = Vec::with_capacity(n_cdqs);
+    for _ in 0..n_cdqs {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| TraceParseError::at(ln, "truncated cdq block"))?;
+        let mut f = line.split_whitespace();
+        if f.next() != Some("cdq") {
+            return Err(TraceParseError::at(ln, "expected 'cdq' line"));
+        }
+        let pose_idx: u32 = parse_field(f.next(), ln, "pose idx")?;
+        let link_idx: u32 = parse_field(f.next(), ln, "link idx")?;
+        let x: f64 = parse_field(f.next(), ln, "center x")?;
+        let y: f64 = parse_field(f.next(), ln, "center y")?;
+        let z: f64 = parse_field(f.next(), ln, "center z")?;
+        let colliding: u8 = parse_field(f.next(), ln, "colliding flag")?;
+        let obstacle_tests: u32 = parse_field(f.next(), ln, "obstacle tests")?;
+        if f.next().is_some() {
+            return Err(TraceParseError::at(ln, "trailing fields on 'cdq' line"));
+        }
+        if pose_idx as usize >= n_poses {
+            // Out-of-range indices would panic downstream in the
+            // schedulers' pose-block bucketing; reject them at the parse
+            // boundary instead.
+            return Err(TraceParseError::at(ln, "cdq pose idx out of range"));
+        }
+        cdqs.push(TraceCdq {
+            pose_idx,
+            link_idx,
+            center: Vec3::new(x, y, z),
+            colliding: colliding != 0,
+            obstacle_tests,
+        });
+    }
+    Ok(MotionTrace { stage, poses, cdqs })
 }
 
 fn parse_field<T: std::str::FromStr>(
@@ -318,13 +414,21 @@ pub struct TraceParseError {
 
 impl TraceParseError {
     fn at(line: usize, message: impl Into<String>) -> Self {
-        TraceParseError { line, message: message.into() }
+        TraceParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line + 1, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line + 1,
+            self.message
+        )
     }
 }
 
@@ -343,7 +447,10 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 0.5, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 0.5, 0.1),
+            )],
         );
         let mut ctx = PlanContext::new(&robot, &env, 0.05);
         let mut rng = StdRng::seed_from_u64(1);
@@ -413,8 +520,44 @@ mod tests {
         assert_eq!(err.line, 1);
         assert!(err.to_string().contains("stage"));
         // Truncated cdq block.
-        let err = QueryTrace::from_text("query r 1\nmotion S1 0 2\ncdq 0 0 0 0 0 1 1").unwrap_err();
+        let err =
+            QueryTrace::from_text("query r 1\nmotion S1 1 2\npose 0.0 0.0\ncdq 0 0 0 0 0 1 1")
+                .unwrap_err();
         assert!(err.message.contains("truncated"));
+    }
+
+    #[test]
+    fn parser_rejects_hostile_headers() {
+        // A CDQ pointing at a pose that does not exist would panic in the
+        // schedulers' pose bucketing; the parser must reject it.
+        let err = QueryTrace::from_text("query r 1\nmotion S1 0 1\ncdq 0 0 0 0 0 1 1").unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        let err = QueryTrace::from_text(
+            "query r 1\nmotion S1 2 1\npose 0.0\npose 0.0\ncdq 5 0 0 0 0 1 1",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        // Declared counts that overflow or exceed the allocation cap.
+        assert!(QueryTrace::from_text("query r 1\nmotion S1 99999999999999999999 0").is_err());
+        let huge = format!("query r 1\nmotion S1 {} 0", usize::MAX);
+        assert!(QueryTrace::from_text(&huge).is_err());
+        let big = format!("query r 1\nmotion S1 {} 0", crate::MAX_DECLARED + 1);
+        let err = QueryTrace::from_text(&big).unwrap_err();
+        assert!(err.message.contains("MAX_DECLARED"), "{err}");
+    }
+
+    #[test]
+    fn motion_block_roundtrip_standalone() {
+        let (_, _, trace) = sample_trace();
+        let m = &trace.motions[0];
+        let text = m.to_text();
+        let back = MotionTrace::from_text(&text).expect("parse motion block");
+        assert_eq!(&back, m);
+        // Trailing garbage after a standalone block is rejected.
+        let mut with_junk = text.clone();
+        with_junk.push_str("junk line\n");
+        assert!(MotionTrace::from_text(&with_junk).is_err());
+        assert!(MotionTrace::from_text("").is_err());
     }
 
     #[test]
@@ -470,10 +613,13 @@ mod tests {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
             robot.workspace(),
-            vec![Aabb::new(Vec3::new(-0.05, -1.0, -0.1), Vec3::new(0.05, 1.0, 0.1))],
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 1.0, 0.1),
+            )],
         );
-        let poses = Motion::new(Config::new(vec![-0.5, 0.0]), Config::new(vec![0.5, 0.0]))
-            .discretize(11);
+        let poses =
+            Motion::new(Config::new(vec![-0.5, 0.0]), Config::new(vec![0.5, 0.0])).discretize(11);
         let log = PlanLog {
             records: vec![copred_planners::MotionRecord {
                 poses: poses.clone(),

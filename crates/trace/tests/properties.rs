@@ -17,19 +17,25 @@ fn arbitrary_trace() -> impl Strategy<Value = QueryTrace> {
             prop::collection::vec(-3.0..3.0f64, n_poses * 2),
             prop::bool::ANY,
         )
-            .prop_map(move |(outcomes, costs, coords, dofs, validate)| MotionTrace {
-                stage: if validate { Stage::Validate } else { Stage::Explore },
-                poses: dofs.chunks(2).map(|c| Config::new(c.to_vec())).collect(),
-                cdqs: (0..n)
-                    .map(|i| TraceCdq {
-                        pose_idx: (i / links) as u32,
-                        link_idx: (i % links) as u32,
-                        center: Vec3::new(coords[3 * i], coords[3 * i + 1], coords[3 * i + 2]),
-                        colliding: outcomes[i],
-                        obstacle_tests: costs[i],
-                    })
-                    .collect(),
-            })
+            .prop_map(
+                move |(outcomes, costs, coords, dofs, validate)| MotionTrace {
+                    stage: if validate {
+                        Stage::Validate
+                    } else {
+                        Stage::Explore
+                    },
+                    poses: dofs.chunks(2).map(|c| Config::new(c.to_vec())).collect(),
+                    cdqs: (0..n)
+                        .map(|i| TraceCdq {
+                            pose_idx: (i / links) as u32,
+                            link_idx: (i % links) as u32,
+                            center: Vec3::new(coords[3 * i], coords[3 * i + 1], coords[3 * i + 2]),
+                            colliding: outcomes[i],
+                            obstacle_tests: costs[i],
+                        })
+                        .collect(),
+                },
+            )
     });
     (prop::collection::vec(motion, 0..6), 1u32..8).prop_map(|(motions, link_count)| QueryTrace {
         robot_name: "prop-robot".to_string(),
@@ -69,5 +75,101 @@ proptest! {
         prop_assert_eq!(trace.total_cdqs(), n);
         let f = trace.colliding_fraction();
         prop_assert!((0.0..=1.0).contains(&f));
+    }
+}
+
+/// One mutation applied to a valid trace text: the fuzz moves that have
+/// historically broken hand-rolled parsers (truncation, line churn, token
+/// corruption, numeric overflow).
+fn mutate(text: &str, kind: u8, pos: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    match kind % 6 {
+        // Truncate mid-character-stream.
+        0 => text.chars().take(pos % (text.len() + 1)).collect(),
+        // Drop a line.
+        1 if !lines.is_empty() => {
+            let drop = pos % lines.len();
+            lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        // Duplicate a line.
+        2 if !lines.is_empty() => {
+            let dup = pos % lines.len();
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == dup {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+        // Replace one whitespace-separated token with garbage.
+        3 | 4 => {
+            let garbage = ["999999999999999999999", "-1", "NaN", "", "cdq", "motion"];
+            let g = garbage[pos % garbage.len()];
+            let tokens: Vec<&str> = text.split(' ').collect();
+            if tokens.is_empty() {
+                return g.to_string();
+            }
+            let target = pos % tokens.len();
+            tokens
+                .iter()
+                .enumerate()
+                .map(|(i, t)| if i == target { g } else { *t })
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        // Splice random bytes into the middle.
+        _ => {
+            let at = pos % (text.len() + 1);
+            let mut out = String::with_capacity(text.len() + 8);
+            out.push_str(&text[..floor_char_boundary(text, at)]);
+            out.push_str("\u{0}\u{7f}garbage 42");
+            out.push_str(&text[floor_char_boundary(text, at)..]);
+            out
+        }
+    }
+}
+
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The hardening property (fuzz-style): feeding arbitrarily mutated
+    /// valid traces to the parser never panics — every malformed input
+    /// surfaces as `Err`, and anything accepted re-serializes cleanly.
+    #[test]
+    fn parser_never_panics_on_mutations(
+        trace in arbitrary_trace(),
+        kinds in prop::collection::vec((0u8..6, 0usize..10_000), 1..4),
+    ) {
+        let mut text = trace.to_text();
+        for (kind, pos) in kinds {
+            text = mutate(&text, kind, pos);
+        }
+        if let Ok(parsed) = QueryTrace::from_text(&text) {
+            // Whatever the parser accepts must be safely replayable: the
+            // roundtrip must succeed and every CDQ index must be in range.
+            let again = QueryTrace::from_text(&parsed.to_text()).expect("accepted traces roundtrip");
+            prop_assert_eq!(again.total_cdqs(), parsed.total_cdqs());
+            for m in &parsed.motions {
+                for c in &m.cdqs {
+                    prop_assert!((c.pose_idx as usize) < m.poses.len());
+                }
+            }
+        }
     }
 }

@@ -30,10 +30,17 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let records: Vec<MotionRecord> = (0..150)
         .map(|_| {
-            let poses = Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng))
-                .discretize(20);
+            let poses = Motion::new(
+                robot.sample_uniform(&mut rng),
+                robot.sample_uniform(&mut rng),
+            )
+            .discretize(20);
             let colliding = motion_collides(&robot, &env, &poses);
-            MotionRecord { poses, stage: Stage::Explore, colliding }
+            MotionRecord {
+                poses,
+                stage: Stage::Explore,
+                colliding,
+            }
         })
         .collect();
     let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });

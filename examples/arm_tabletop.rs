@@ -34,7 +34,9 @@ fn main() {
     while planned < 6 {
         scene += 1;
         let env = tabletop_environment(&robot, 12, scene as u64);
-        let Some(start) = sample_free_config(&robot, &env, 300, &mut rng) else { continue };
+        let Some(start) = sample_free_config(&robot, &env, 300, &mut rng) else {
+            continue;
+        };
         // Find a nontrivial goal: the straight-line motion must collide.
         let goal = (0..40).find_map(|_| {
             let g = sample_free_config(&robot, &env, 300, &mut rng)?;

@@ -7,8 +7,8 @@
 //! ```
 
 use copred::collision::{run_schedule, Schedule};
-use copred::core::{ChtParams, Cht, CoordHash, HashInput};
 use copred::core::hash::CollisionHash;
+use copred::core::{Cht, ChtParams, CoordHash, HashInput};
 use copred::envgen::{ascii_scene, narrow_passage_environment, sample_free_config};
 use copred::kinematics::{csp_order, presets, Config, Robot};
 use copred::planners::{BitStar, PlanContext, Planner};
@@ -29,7 +29,12 @@ fn main() {
             sample_free_config(&robot, &env, 200, &mut rng),
         ) {
             let mut ctx = PlanContext::new(&robot, &env, 0.05);
-            let planner = BitStar { batch_size: 48, max_batches: 6, radius: 0.6, ..BitStar::default() };
+            let planner = BitStar {
+                batch_size: 48,
+                max_batches: 6,
+                radius: 0.6,
+                ..BitStar::default()
+            };
             if let Some(path) = planner.plan(&mut ctx, &start, &goal, &mut rng).path {
                 let pts: Vec<copred::geometry::Vec3> = path
                     .iter()
@@ -56,7 +61,12 @@ fn main() {
                 continue;
             };
             let mut ctx = PlanContext::new(&robot, &env, 0.05);
-            let planner = BitStar { batch_size: 48, max_batches: 6, radius: 0.6, ..BitStar::default() };
+            let planner = BitStar {
+                batch_size: 48,
+                max_batches: 6,
+                radius: 0.6,
+                ..BitStar::default()
+            };
             let result = planner.plan(&mut ctx, &start, &goal, &mut rng);
             solved += usize::from(result.solved());
             let trace = QueryTrace::from_log(&robot, &env, &ctx.into_log());
@@ -94,7 +104,10 @@ fn replay_coord(trace: &QueryTrace, hash: &CoordHash) -> u64 {
         let mut hit = false;
         'outer: for p in csp_order(n_poses, Schedule::DEFAULT_CSP_STEP) {
             for c in m.cdqs.iter().filter(|c| c.pose_idx as usize == p) {
-                let code = hash.code(&HashInput { config: &dummy, center: c.center });
+                let code = hash.code(&HashInput {
+                    config: &dummy,
+                    center: c.center,
+                });
                 if cht.predict(code) {
                     executed += 1;
                     cht.observe(code, c.colliding);
@@ -109,7 +122,10 @@ fn replay_coord(trace: &QueryTrace, hash: &CoordHash) -> u64 {
         }
         if !hit {
             for c in queue {
-                let code = hash.code(&HashInput { config: &dummy, center: c.center });
+                let code = hash.code(&HashInput {
+                    config: &dummy,
+                    center: c.center,
+                });
                 executed += 1;
                 cht.observe(code, c.colliding);
                 if c.colliding {

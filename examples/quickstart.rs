@@ -14,7 +14,10 @@ fn main() {
     let robot: Robot = presets::planar_2d().into();
     let env = Environment::new(
         robot.workspace(),
-        vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+        vec![Aabb::new(
+            Vec3::new(0.2, -1.0, -0.1),
+            Vec3::new(0.6, 1.0, 0.1),
+        )],
     );
 
     // The paper's COORD predictor with its default table (1024 entries for
@@ -32,12 +35,19 @@ fn main() {
         let csp = check_motion_scheduled(&robot, &env, &poses, Schedule::csp_default());
         // COORD: Algorithm 1 (history persists across motions of a query).
         let coord = predictor.check_motion(&robot, &env, &poses);
-        assert_eq!(csp.colliding, coord.colliding, "prediction never changes answers");
+        assert_eq!(
+            csp.colliding, coord.colliding,
+            "prediction never changes answers"
+        );
         println!(
             "#{} crossing at y = {:+.2}       | {} | {:8} | {:9}{}",
             i,
             y,
-            if coord.colliding { "colliding" } else { "free     " },
+            if coord.colliding {
+                "colliding"
+            } else {
+                "free     "
+            },
             csp.cdqs_executed,
             coord.cdqs_executed,
             if i == 0 { "  (cold table)" } else { "" },

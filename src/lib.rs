@@ -12,7 +12,10 @@
 //! * [`planners`] — MPNet/GNNMP emulators, BIT*, RRT(-Connect), PRM;
 //! * [`trace`] — CDQ trace capture, serialization, replay;
 //! * [`swexec`] — CPU threads + GPU wavefront software models;
-//! * [`accel`] — the cycle-level COPU+CDU simulator and energy/area models.
+//! * [`accel`] — the cycle-level COPU+CDU simulator and energy/area models;
+//! * [`service`] — the batched, session-sharded collision-prediction
+//!   server (TCP wire protocol, worker pool with backpressure, load
+//!   generator and op-log replay).
 //!
 //! ## Quickstart
 //!
@@ -41,5 +44,6 @@ pub use copred_envgen as envgen;
 pub use copred_geometry as geometry;
 pub use copred_kinematics as kinematics;
 pub use copred_planners as planners;
+pub use copred_service as service;
 pub use copred_swexec as swexec;
 pub use copred_trace as trace;

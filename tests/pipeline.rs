@@ -50,7 +50,10 @@ fn every_planner_feeds_the_full_pipeline() {
         for m in &trace.motions {
             let infos = m.to_cdq_infos();
             for s in [Schedule::Naive, Schedule::csp_default(), Schedule::Oracle] {
-                assert_eq!(run_schedule(&infos, m.poses.len(), s).colliding, m.colliding());
+                assert_eq!(
+                    run_schedule(&infos, m.poses.len(), s).colliding,
+                    m.colliding()
+                );
             }
         }
         // 3. The accelerator simulator reproduces the same outcomes.
@@ -59,7 +62,12 @@ fn every_planner_feeds_the_full_pipeline() {
             CoordHash::paper_default(&robot),
         );
         for m in &trace.motions {
-            assert_eq!(sim.run_motion(m).colliding, m.colliding(), "{}", planner.name());
+            assert_eq!(
+                sim.run_motion(m).colliding,
+                m.colliding(),
+                "{}",
+                planner.name()
+            );
         }
     }
 }
@@ -77,7 +85,11 @@ fn accelerator_never_executes_more_than_the_decomposition() {
             let r = sim.run_motion(m);
             assert!(r.events.cdqs <= m.cdq_count() as u64);
             if !m.colliding() {
-                assert_eq!(r.events.cdqs, m.cdq_count() as u64, "free motions run everything");
+                assert_eq!(
+                    r.events.cdqs,
+                    m.cdq_count() as u64,
+                    "free motions run everything"
+                );
             }
         }
     }
@@ -106,7 +118,10 @@ fn software_predictor_matches_trace_ground_truth() {
     let mut rng = StdRng::seed_from_u64(2);
     let mut predictor = Predictor::coord_default(&robot, 1);
     for _ in 0..30 {
-        let m = Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng));
+        let m = Motion::new(
+            robot.sample_uniform(&mut rng),
+            robot.sample_uniform(&mut rng),
+        );
         let poses = m.discretize(15);
         let out = predictor.check_motion(&robot, &env, &poses);
         let truth = copred::collision::motion_collides(&robot, &env, &poses);
@@ -132,8 +147,11 @@ fn cpu_software_execution_agrees_with_reference() {
     let mut rng = StdRng::seed_from_u64(4);
     let motions: Vec<Vec<Config>> = (0..40)
         .map(|_| {
-            Motion::new(robot.sample_uniform(&mut rng), robot.sample_uniform(&mut rng))
-                .discretize(12)
+            Motion::new(
+                robot.sample_uniform(&mut rng),
+                robot.sample_uniform(&mut rng),
+            )
+            .discretize(12)
         })
         .collect();
     let expected = motions
@@ -141,13 +159,21 @@ fn cpu_software_execution_agrees_with_reference() {
         .filter(|poses| copred::collision::motion_collides(&robot, &env, poses))
         .count() as u64;
     for with_prediction in [false, true] {
-        let r = copred::swexec::run_cpu(&robot, &env, &motions, &copred::swexec::CpuExecConfig {
-            n_threads: 4,
-            with_prediction,
-            cht_params: ChtParams::paper_2d(),
-            seed: 9,
-        });
-        assert_eq!(r.colliding_motions, expected, "prediction={with_prediction}");
+        let r = copred::swexec::run_cpu(
+            &robot,
+            &env,
+            &motions,
+            &copred::swexec::CpuExecConfig {
+                n_threads: 4,
+                with_prediction,
+                cht_params: ChtParams::paper_2d(),
+                seed: 9,
+            },
+        );
+        assert_eq!(
+            r.colliding_motions, expected,
+            "prediction={with_prediction}"
+        );
     }
 }
 
@@ -157,8 +183,11 @@ fn dadup_substrate_integrates_with_planner_roadmaps() {
     let (robot, env) = planar_world();
     let mut ctx = PlanContext::new(&robot, &env, 0.05);
     let mut rng = StdRng::seed_from_u64(6);
-    let roadmap = copred::planners::Prm { n_samples: 30, k_neighbors: 4 }
-        .build_roadmap(&mut ctx, &[], &mut rng);
+    let roadmap = copred::planners::Prm {
+        n_samples: 30,
+        k_neighbors: 4,
+    }
+    .build_roadmap(&mut ctx, &[], &mut rng);
     let cfg = DadupConfig::default();
     let motions: Vec<_> = roadmap
         .roadmap_motions()
@@ -189,20 +218,62 @@ fn gpu_model_runs_on_pipeline_traces() {
 }
 
 #[test]
+fn service_serves_planner_traces_over_loopback() {
+    use copred::service::protocol::SchedMode;
+    use copred::service::{Server, ServerConfig, ServiceClient};
+
+    let (_, trace) = full_pipeline(&Rrt::default(), 17);
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let mut c = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    // Serve the same captured workload under prediction and naively; the
+    // wire results must match ground truth either way, and the session
+    // stats must show prediction doing no more work.
+    let mut issued = [0u64; 2];
+    for (i, mode) in [SchedMode::Coord, SchedMode::Naive].into_iter().enumerate() {
+        let session = c
+            .open(&trace.robot_name, trace.link_count, mode, 7)
+            .expect("open");
+        let (results, _) = c.check_motions(session, &trace.motions, 32).expect("check");
+        assert_eq!(results.len(), trace.motions.len());
+        for (r, m) in results.iter().zip(&trace.motions) {
+            assert_eq!(
+                r.colliding,
+                m.colliding(),
+                "wire outcome matches ground truth"
+            );
+            assert_eq!(r.cdqs_total as usize, m.cdq_count());
+        }
+        let kv = c.stats(Some(session)).expect("session stats");
+        issued[i] = copred::service::client::stat_u64(&kv, "cdqs_issued").expect("cdqs_issued");
+        c.close(session).expect("close");
+    }
+    assert!(
+        issued[0] <= issued[1],
+        "prediction never issues more CDQs than naive"
+    );
+}
+
+#[test]
 fn predictor_warm_history_beats_cold_on_repeated_queries() {
     // The end-to-end effect the quickstart demonstrates, asserted.
     let robot: Robot = presets::planar_2d().into();
     let env = Environment::new(
         robot.workspace(),
-        vec![Aabb::new(Vec3::new(0.2, -1.0, -0.1), Vec3::new(0.6, 1.0, 0.1))],
+        vec![Aabb::new(
+            Vec3::new(0.2, -1.0, -0.1),
+            Vec3::new(0.6, 1.0, 0.1),
+        )],
     );
     let mut predictor = Predictor::coord_default(&robot, 42);
-    let motion = |y: f64| {
-        Motion::new(Config::new(vec![-0.8, y]), Config::new(vec![0.8, y])).discretize(33)
-    };
+    let motion =
+        |y: f64| Motion::new(Config::new(vec![-0.8, y]), Config::new(vec![0.8, y])).discretize(33);
     let cold = predictor.check_motion(&robot, &env, &motion(0.0));
     let warm = predictor.check_motion(&robot, &env, &motion(0.01));
     assert!(cold.colliding && warm.colliding);
     assert!(warm.cdqs_executed < cold.cdqs_executed);
-    assert!(warm.cdqs_executed <= 2, "warm check should be near the oracle limit");
+    assert!(
+        warm.cdqs_executed <= 2,
+        "warm check should be near the oracle limit"
+    );
 }

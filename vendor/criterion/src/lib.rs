@@ -1,0 +1,172 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The workspace builds in sandboxes with no network access, so the real
+//! crates.io `criterion` cannot be fetched. This shim keeps `cargo bench`
+//! working with the same bench sources: it runs each benchmark for a fixed
+//! time budget and prints mean ns/iter. It performs no statistical
+//! analysis, warm-up calibration, or HTML reporting.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// The shim runs one input per iteration regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Drives timed iterations of one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// Measured iterations and total time, filled by `iter*`.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters, spent));
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget: Duration::from_millis(200),
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, total)) if iters > 0 => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            println!("{label:<40} {ns:>14.1} ns/iter ({iters} iters)");
+        }
+        _ => println!("{label:<40} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Configuration hook kept for API compatibility (no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.finish();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
