@@ -1,0 +1,19 @@
+//! Smoke test: the conformance harness stays green on the bench crate's
+//! side of the workspace. Keeps `copred-conform` linked into the bench
+//! build so regenerating figures and running the gate share one compiled
+//! graph, and gives `cargo test -p copred-bench` a fast end-to-end signal
+//! before the heavier CI gate runs.
+
+use copred_conform::{run_all, ConformConfig};
+
+#[test]
+fn conformance_smoke() {
+    let report = run_all(&ConformConfig {
+        seed: 0x5EED,
+        schedule_iters: 25,
+        service_traces: 4,
+        fault_cases: 16,
+    });
+    assert!(report.is_clean(), "{:?}", report.failures);
+    assert!(report.total_iterations() >= 45);
+}

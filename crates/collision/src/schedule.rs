@@ -376,6 +376,107 @@ mod tests {
     }
 
     #[test]
+    fn csp_step_zero_equals_naive() {
+        // `step: 0` is a degenerate stride a client can send over the wire;
+        // `csp_order` treats any step <= 1 as the identity order, so the
+        // outcome must be exactly naive rather than a panic or empty order.
+        let (robot, env, poses) = crossing_setup();
+        let cdqs = enumerate_motion_cdqs(&robot, &env, &poses);
+        let naive = run_schedule(&cdqs, poses.len(), Schedule::Naive);
+        let csp0 = run_schedule(&cdqs, poses.len(), Schedule::Csp { step: 0 });
+        assert_eq!(naive, csp0);
+        let mut cold = FixedPredictor {
+            hot: vec![],
+            observed: 0,
+        };
+        let predicted0 = run_predicted_schedule(&cdqs, poses.len(), 0, &mut cold);
+        assert_eq!(predicted0, naive, "cold predictor with step 0 is naive");
+    }
+
+    #[test]
+    fn single_pose_motion_works_under_every_schedule() {
+        let robot: Robot = presets::planar_2d().into();
+        let env = Environment::new(
+            robot.workspace(),
+            vec![Aabb::new(
+                Vec3::new(-0.05, -1.0, -0.1),
+                Vec3::new(0.05, 1.0, 0.1),
+            )],
+        );
+        for start in [-0.8f64, 0.0] {
+            let poses = Motion::new(Config::new(vec![start, 0.0]), Config::new(vec![start, 0.0]))
+                .discretize(1);
+            assert_eq!(poses.len(), 1);
+            let cdqs = enumerate_motion_cdqs(&robot, &env, &poses);
+            let truth = cdqs.iter().any(|c| c.colliding);
+            for s in [
+                Schedule::Naive,
+                Schedule::Csp { step: 0 },
+                Schedule::csp_default(),
+                Schedule::Oracle,
+                Schedule::Speculative { depth: 4 },
+            ] {
+                let out = run_schedule(&cdqs, 1, s);
+                assert_eq!(out.colliding, truth, "{s:?} start={start}");
+                assert!(out.cdqs_executed <= out.cdqs_total.max(1), "{s:?}");
+            }
+            let mut cold = FixedPredictor {
+                hot: vec![],
+                observed: 0,
+            };
+            let out = run_predicted_schedule(&cdqs, 1, 5, &mut cold);
+            assert_eq!(out.colliding, truth);
+            assert_eq!(cold.observed, out.cdqs_executed);
+        }
+    }
+
+    /// Synthetic free CDQ for permutation tests: `pose_idx` is all the
+    /// ordering logic looks at.
+    fn synth_cdq(pose_idx: usize) -> CdqInfo {
+        CdqInfo {
+            pose_idx,
+            link_idx: 0,
+            center: Vec3::ZERO,
+            obb: copred_geometry::Obb::axis_aligned(Vec3::ZERO, Vec3::ZERO),
+            colliding: false,
+            obstacle_tests: 1,
+        }
+    }
+
+    #[test]
+    fn pose_order_is_a_permutation_for_uneven_blocks() {
+        // Property: for any per-pose CDQ multiplicity (including poses with
+        // zero CDQs) and any stride, `pose_order_indices` visits every CDQ
+        // index exactly once. Checked exhaustively over a grid of shapes —
+        // a missed or doubled index is exactly the bug class that would
+        // silently skip or re-execute a CDQ.
+        for counts in [
+            vec![1usize],
+            vec![3],
+            vec![1, 1, 1, 1, 1],
+            vec![2, 0, 3, 1, 0, 4],
+            vec![0, 0, 2],
+            vec![5, 1, 1, 1, 1, 1, 1, 2],
+        ] {
+            let cdqs: Vec<CdqInfo> = counts
+                .iter()
+                .enumerate()
+                .flat_map(|(p, &k)| (0..k).map(move |_| synth_cdq(p)))
+                .collect();
+            for step in [0usize, 1, 2, 3, 5, 7, 100] {
+                let mut order = pose_order_indices(&cdqs, counts.len(), step.max(1));
+                assert_eq!(order.len(), cdqs.len(), "counts={counts:?} step={step}");
+                order.sort_unstable();
+                assert_eq!(
+                    order,
+                    (0..cdqs.len()).collect::<Vec<_>>(),
+                    "counts={counts:?} step={step}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn run_schedule_consistent_with_ground_truth() {
         let (robot, env, poses) = crossing_setup();
         let cdqs = enumerate_motion_cdqs(&robot, &env, &poses);

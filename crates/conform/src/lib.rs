@@ -1,0 +1,178 @@
+//! # copred-conform
+//!
+//! Differential conformance and fault-injection harness for the COORD
+//! reproduction. The paper's headline claim — prediction reduces CDQs
+//! executed per colliding check — is only meaningful if every execution
+//! path computes the *same* collision verdicts with consistent CDQ
+//! accounting. Learned proxy checkers accept approximate answers; COORD
+//! does not: prediction may only reorder work, never change a verdict.
+//! This crate enforces that mechanically, in three stages:
+//!
+//! 1. **Schedule semantics** ([`reference`]) — seeded random and
+//!    edge-case CDQ workloads through `Naive`/`Csp`/`Oracle`/`Speculative`
+//!    and `run_predicted_schedule` under cold, adversarial, and perfect
+//!    predictors, all diffed against a brute-force reference.
+//! 2. **Service replay** ([`service_diff`]) — identical [`copred_trace::QueryTrace`]
+//!    workloads through the in-process scheduler and a loopback
+//!    `copred-service` TCP session, diffing every `CheckResult` and the
+//!    metrics ledger, plus a swexec CPU-path verdict cross-check.
+//! 3. **Fault injection** ([`fault`]) — adversarial bytes against the
+//!    frame codec and torn-input scenarios against a live server through
+//!    a [`fault::FaultyStream`] wrapper.
+//!
+//! The `copred_conform` binary wires all three into CI; every run is a
+//! pure function of `--seed`, so a red build is reproducible locally with
+//! the same flags.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fault;
+pub mod generate;
+pub mod reference;
+pub mod service_diff;
+
+pub use generate::{ScenarioGen, ScheduleCase};
+pub use reference::{brute_force_verdict, check_schedule_case, RecordingPredictor};
+pub use service_diff::{replay_batch_in_process, run_cpu_diff, run_service_diff};
+
+use copred_service::{Server, ServerConfig};
+
+/// Harness configuration: how many cases each stage runs.
+#[derive(Debug, Clone)]
+pub struct ConformConfig {
+    /// Root seed; every case derives deterministically from it.
+    pub seed: u64,
+    /// Schedule-semantics cases.
+    pub schedule_iters: u64,
+    /// Query traces replayed through the service diff (0 skips the stage).
+    pub service_traces: u64,
+    /// Codec-fuzz cases (0 skips codec fuzz and the live fault scenarios).
+    pub fault_cases: u64,
+}
+
+impl Default for ConformConfig {
+    fn default() -> Self {
+        ConformConfig {
+            seed: 0xC0_11_1D,
+            schedule_iters: 120,
+            service_traces: 24,
+            fault_cases: 64,
+        }
+    }
+}
+
+/// Aggregated result of a harness run.
+#[derive(Debug, Default)]
+pub struct ConformReport {
+    /// Schedule cases checked.
+    pub schedule_iters: u64,
+    /// Motion checks diffed between the service paths.
+    pub service_checks: u64,
+    /// Service traces replayed.
+    pub service_traces: u64,
+    /// CPU-path diff runs.
+    pub cpu_diffs: u64,
+    /// Codec-fuzz cases plus live fault scenarios.
+    pub fault_cases: u64,
+    /// Every divergence, mismatch, or panic found.
+    pub failures: Vec<String>,
+}
+
+impl ConformReport {
+    /// Whether the run found no divergence of any kind.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total differential iterations across all stages (the CI gate
+    /// requires this to clear a floor).
+    pub fn total_iterations(&self) -> u64 {
+        self.schedule_iters + self.service_traces + self.cpu_diffs + self.fault_cases
+    }
+
+    /// One-line-per-stage human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\ntotal iterations: {}\nfailures: {}",
+            self.schedule_iters,
+            self.service_traces,
+            self.service_checks,
+            self.cpu_diffs,
+            self.fault_cases,
+            self.total_iterations(),
+            self.failures.len()
+        )
+    }
+}
+
+/// Runs every stage and aggregates the report.
+pub fn run_all(cfg: &ConformConfig) -> ConformReport {
+    let mut report = ConformReport::default();
+    let gen = ScenarioGen::new(cfg.seed);
+
+    // Stage 1: schedule semantics vs brute force.
+    for i in 0..cfg.schedule_iters {
+        let case = gen.schedule_case(i);
+        report
+            .failures
+            .extend(check_schedule_case(&case, cfg.seed.wrapping_add(i)));
+        report.schedule_iters += 1;
+    }
+
+    // Stage 2: in-process vs loopback service replay + ledger audit.
+    if cfg.service_traces > 0 {
+        let traces: Vec<_> = (0..cfg.service_traces)
+            .map(|i| gen.query_trace(i))
+            .collect();
+        let out = run_service_diff(&traces, cfg.seed);
+        report.service_traces = cfg.service_traces;
+        report.service_checks = out.checks_diffed;
+        report.failures.extend(out.failures);
+        // swexec CPU path: verdicts must survive threading and prediction.
+        for i in 0..3 {
+            report
+                .failures
+                .extend(run_cpu_diff(cfg.seed.wrapping_add(i)));
+            report.cpu_diffs += 1;
+        }
+    }
+
+    // Stage 3: codec fuzz + live fault scenarios.
+    if cfg.fault_cases > 0 {
+        let (cases, failures) = fault::run_codec_fuzz(&gen, cfg.fault_cases);
+        report.fault_cases += cases;
+        report.failures.extend(failures);
+        match Server::start(ServerConfig::default()) {
+            Ok(server) => {
+                let (scenarios, failures) = fault::run_fault_scenarios(server.local_addr());
+                report.fault_cases += scenarios;
+                report.failures.extend(failures);
+            }
+            Err(e) => report
+                .failures
+                .push(format!("fault stage: server failed to start: {e}")),
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_clean_and_counts_iterations() {
+        let cfg = ConformConfig {
+            seed: 5,
+            schedule_iters: 10,
+            service_traces: 3,
+            fault_cases: 8,
+        };
+        let report = run_all(&cfg);
+        assert!(report.is_clean(), "{:?}", report.failures);
+        assert!(report.total_iterations() >= 10 + 3 + 8);
+        assert!(report.summary().contains("failures: 0"));
+    }
+}

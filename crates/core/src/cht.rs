@@ -33,8 +33,15 @@ impl Strategy {
     }
 
     /// The hardware form `COLL > NONCOLL >> x`, i.e. `S = 2^-x`.
+    ///
+    /// Every shift width is valid: `x >= 1075` underflows `2^-x` to `0.0`,
+    /// which is simply [`Strategy::most_aggressive`]. (The earlier
+    /// `1u32 << x` form panicked in debug builds for `x >= 32` and silently
+    /// wrapped to `S = 1.0` in release.)
     pub fn from_shift(x: u32) -> Self {
-        Strategy::new(1.0 / f64::from(1u32 << x))
+        // Clamp the exponent so the i32 cast cannot wrap; 2^-1074 is the
+        // smallest subnormal, anything beyond is exactly 0.0 anyway.
+        Strategy::new(2f64.powi(-(x.min(1075) as i32)))
     }
 
     /// The most aggressive strategy (`S = 0`): any recorded collision in the
@@ -418,6 +425,31 @@ mod tests {
         assert_eq!(Strategy::from_shift(0).s(), 1.0);
         assert_eq!(Strategy::from_shift(1).s(), 0.5);
         assert_eq!(Strategy::from_shift(3).s(), 0.125);
+    }
+
+    #[test]
+    fn shift_form_survives_wide_shifts() {
+        // Regression: `1u32 << 32` panicked in debug builds and wrapped to
+        // S = 1.0 in release; the strategy must stay 2^-x for any width.
+        assert_eq!(Strategy::from_shift(31).s(), 2f64.powi(-31));
+        assert_eq!(Strategy::from_shift(32).s(), 2f64.powi(-32));
+        assert_ne!(Strategy::from_shift(32).s(), 1.0, "no silent wrap");
+        assert_eq!(Strategy::from_shift(64).s(), 2f64.powi(-64));
+        // Deep in the subnormal range `powi` may round to zero a little
+        // early; what matters is that S stays finite, tiny, and reaches
+        // exactly 0.0 (the most aggressive strategy) rather than wrapping
+        // back to 1.0.
+        assert!(Strategy::from_shift(1022).s() > 0.0);
+        assert!(Strategy::from_shift(1022).s() <= 2f64.powi(-1022));
+        assert_eq!(Strategy::from_shift(1075).s(), 0.0);
+        assert_eq!(Strategy::from_shift(u32::MAX).s(), 0.0);
+        // Monotone: a wider shift never raises S.
+        let mut prev = f64::INFINITY;
+        for x in 0..80 {
+            let s = Strategy::from_shift(x).s();
+            assert!(s < prev, "S must strictly fall until underflow");
+            prev = s;
+        }
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub trait CollisionHash: fmt::Debug + Send + Sync {
 
 /// Quantizes each DOF of a configuration to 16-bit fixed point over its
 /// joint limits.
+///
+/// Degenerate joint limits (`hi <= lo`, e.g. a welded joint with a
+/// zero-width range) map every value of that DOF to one constant bucket
+/// instead of propagating the `0/0` NaN of the naive formula: NaN silently
+/// casts to code 0 in [`Self::quantize`] but poisons any MLP fed by
+/// [`Self::normalize`].
 #[derive(Debug, Clone)]
 pub struct DofQuantizer {
     limits: Vec<(f64, f64)>,
@@ -45,9 +51,14 @@ pub struct DofQuantizer {
 impl DofQuantizer {
     /// Builds a quantizer from a robot's joint limits.
     pub fn for_robot(robot: &Robot) -> Self {
-        DofQuantizer {
-            limits: (0..robot.dofs()).map(|i| robot.limits(i)).collect(),
-        }
+        Self::from_limits((0..robot.dofs()).map(|i| robot.limits(i)).collect())
+    }
+
+    /// Builds a quantizer from explicit `(lo, hi)` limits per DOF.
+    /// Degenerate pairs (`hi <= lo`, or non-finite bounds) are accepted and
+    /// behave as a constant bucket.
+    pub fn from_limits(limits: Vec<(f64, f64)>) -> Self {
+        DofQuantizer { limits }
     }
 
     /// Number of DOFs.
@@ -55,16 +66,29 @@ impl DofQuantizer {
         self.limits.len()
     }
 
-    /// Quantizes DOF `i` to a `u16` (saturating outside limits).
-    pub fn quantize(&self, v: f64, i: usize) -> u16 {
+    /// Whether DOF `i` has a usable (positive-width, finite) range.
+    #[inline]
+    fn usable_range(&self, i: usize) -> Option<(f64, f64)> {
         let (lo, hi) = self.limits[i];
+        (hi > lo && (hi - lo).is_finite()).then_some((lo, hi))
+    }
+
+    /// Quantizes DOF `i` to a `u16` (saturating outside limits). DOFs with
+    /// degenerate limits quantize to the constant bucket 0.
+    pub fn quantize(&self, v: f64, i: usize) -> u16 {
+        let Some((lo, hi)) = self.usable_range(i) else {
+            return 0;
+        };
         let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
         (t * f64::from(u16::MAX)).round() as u16
     }
 
-    /// Normalizes DOF `i` into `[-1, 1]` (for MLP inputs).
+    /// Normalizes DOF `i` into `[-1, 1]` (for MLP inputs). DOFs with
+    /// degenerate limits normalize to the constant midpoint `0.0`.
     pub fn normalize(&self, v: f64, i: usize) -> f64 {
-        let (lo, hi) = self.limits[i];
+        let Some((lo, hi)) = self.usable_range(i) else {
+            return 0.0;
+        };
         (2.0 * (v - lo) / (hi - lo) - 1.0).clamp(-1.0, 1.0)
     }
 
@@ -597,6 +621,32 @@ mod tests {
         assert_eq!(PoseHash::new(&robot, 4).name(), "POSE-28");
         assert_eq!(CoordHash::for_robot(&robot, 4).name(), "COORD-12");
         assert_eq!(PoseFoldHash::new(&robot, 4, 14).name(), "POSE+fold-14");
+    }
+
+    #[test]
+    fn degenerate_limits_map_to_constant_bucket_not_nan() {
+        // Regression: `hi == lo` made (v - lo) / (hi - lo) evaluate to NaN,
+        // which silently cast to quantized code 0 but leaked NaN out of
+        // normalize() into MLP inputs.
+        let q = DofQuantizer::from_limits(vec![(0.5, 0.5), (-1.0, 1.0), (2.0, -2.0)]);
+        assert_eq!(q.dofs(), 3);
+        for v in [0.5, 0.0, -3.0, 7.0, f64::MAX] {
+            // Zero-width and inverted ranges: one constant bucket.
+            assert_eq!(q.quantize(v, 0), 0, "v={v}");
+            assert_eq!(q.quantize(v, 2), 0, "v={v}");
+            // normalize must never return NaN.
+            assert_eq!(q.normalize(v, 0), 0.0, "v={v}");
+            assert_eq!(q.normalize(v, 2), 0.0, "v={v}");
+            assert!(!q.normalize(v, 0).is_nan());
+        }
+        // The healthy DOF still quantizes normally.
+        assert_eq!(q.quantize(-1.0, 1), 0);
+        assert_eq!(q.quantize(1.0, 1), u16::MAX);
+        assert!((q.normalize(0.0, 1)).abs() < 1e-9);
+        // Non-finite limits are degenerate too, not NaN factories.
+        let inf = DofQuantizer::from_limits(vec![(f64::NEG_INFINITY, f64::INFINITY)]);
+        assert_eq!(inf.quantize(0.0, 0), 0);
+        assert!(!inf.normalize(123.0, 0).is_nan());
     }
 
     #[test]

@@ -69,10 +69,20 @@ proptest! {
     }
 
     #[test]
-    fn csp_is_permutation(n in 0usize..200, step in 1usize..20) {
+    fn csp_is_permutation(n in 0usize..200, step in 0usize..250) {
+        // `step` deliberately covers the degenerate 0, strides larger than
+        // `n`, and everything between: every case must visit each pose
+        // exactly once.
         let mut order = csp_order(n, step);
         order.sort_unstable();
         prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn csp_degenerate_strides_are_identity(n in 0usize..64) {
+        let identity: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(csp_order(n, 0), identity.clone(), "step 0");
+        prop_assert_eq!(csp_order(n, 1), identity, "step 1");
     }
 
     #[test]

@@ -45,8 +45,14 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
-    /// Upper bound (ns) of the bucket holding the `q`-quantile sample, or
-    /// `None` when empty. `q` is clamped into `[0, 1]`.
+    /// Inclusive upper bound (ns) of the bucket holding the `q`-quantile
+    /// sample, or `None` when empty. `q` is clamped into `[0, 1]`.
+    ///
+    /// Bucket `i` holds samples in `[2^(i-1), 2^i - 1]` (bucket 0 holds
+    /// only 0 ns), so the reported bound is `2^i - 1` — the largest sample
+    /// the bucket can contain. Reporting the exclusive bound `2^i` would
+    /// exceed 2× the true sample right at bucket edges (and report 1 ns
+    /// for a bucket holding only zeros), breaking the ≤2× error contract.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let snapshot: Vec<u64> = self
             .buckets
@@ -64,7 +70,7 @@ impl LatencyHistogram {
         for (i, &n) in snapshot.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(if i >= 63 { u64::MAX } else { 1u64 << i });
+                return Some(if i >= 63 { u64::MAX } else { (1u64 << i) - 1 });
             }
         }
         Some(u64::MAX)
@@ -243,6 +249,29 @@ mod tests {
         );
         assert!(p95 >= 1_000_000, "p95 in the slow bucket, got {p95}");
         assert!(h.quantile(0.0).unwrap() <= p50);
+    }
+
+    #[test]
+    fn quantile_bounds_are_inclusive() {
+        // Regression: the reported bound used to be the exclusive `1 << i`,
+        // which exceeds 2× the true sample at bucket edges (a sample of
+        // exactly 2^k reported as 2^(k+1)) and reported 1 ns for a
+        // histogram holding only zeros.
+        let zeros = LatencyHistogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.quantile(1.0), Some(0));
+        let ones = LatencyHistogram::new();
+        ones.record(1);
+        assert_eq!(ones.quantile(1.0), Some(1));
+        for v in [1u64, 2, 3, 4, 1_000, 1_024, 1_025, 1 << 20, (1 << 20) + 1] {
+            let h = LatencyHistogram::new();
+            h.record(v);
+            let b = h.quantile(0.5).unwrap();
+            assert!(
+                v <= b && b < 2 * v,
+                "bound {b} for sample {v} breaks the ≤2× contract"
+            );
+        }
     }
 
     #[test]

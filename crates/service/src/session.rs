@@ -67,14 +67,22 @@ impl SessionState {
 }
 
 /// [`CdqPredictor`] adapter binding a session's shard, hasher, and the
-/// poses of the motion being checked. Prediction quality (confusion versus
-/// the trace's ground truth) is recorded at predict time.
+/// poses of the motion being checked.
+///
+/// Prediction quality (the confusion counters) is classified at *observe*
+/// time, not predict time: under early exit a schedule consults the
+/// predictor for every CDQ but executes only some of them, so counting at
+/// predict would record more outcomes than `cdqs_issued` and break the
+/// ledger invariant `tp + fp + tn + fn == cdqs_issued`. Predictions are
+/// therefore stashed per CDQ here and consumed when (if) the CDQ runs.
 pub struct ChtPredictor<'a> {
     session: &'a SessionState,
     poses: &'a [Config],
     /// `false` disables lookups entirely (naive/CSP sessions), leaving the
     /// scheduler to degrade to plain CSP order.
     enabled: bool,
+    /// Latest prediction per `(pose_idx, link_idx)`, consumed at observe.
+    predictions: HashMap<(usize, usize), bool>,
 }
 
 impl<'a> ChtPredictor<'a> {
@@ -84,6 +92,7 @@ impl<'a> ChtPredictor<'a> {
             session,
             poses,
             enabled: session.mode == SchedMode::Coord,
+            predictions: HashMap::new(),
         }
     }
 
@@ -102,14 +111,8 @@ impl CdqPredictor for ChtPredictor<'_> {
             return false;
         }
         let predicted = self.session.shard.predict(self.code(cdq));
-        let m = &self.session.metrics;
-        let counter = match (predicted, cdq.colliding) {
-            (true, true) => &m.true_pos,
-            (true, false) => &m.false_pos,
-            (false, false) => &m.true_neg,
-            (false, true) => &m.false_neg,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
+        self.predictions
+            .insert((cdq.pose_idx, cdq.link_idx), predicted);
         predicted
     }
 
@@ -117,6 +120,22 @@ impl CdqPredictor for ChtPredictor<'_> {
         if !self.enabled {
             return;
         }
+        // One confusion-counter bump per executed CDQ, keyed on the
+        // prediction stashed for it. A CDQ observed without a prior
+        // predict call counts as a negative prediction (the scheduler's
+        // default when it never consulted us).
+        let predicted = self
+            .predictions
+            .remove(&(cdq.pose_idx, cdq.link_idx))
+            .unwrap_or(false);
+        let m = &self.session.metrics;
+        let counter = match (predicted, colliding) {
+            (true, true) => &m.true_pos,
+            (true, false) => &m.false_pos,
+            (false, false) => &m.true_neg,
+            (false, true) => &m.false_neg,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
         let u = self.session.next_u_draw();
         self.session.shard.observe(self.code(cdq), colliding, u);
     }

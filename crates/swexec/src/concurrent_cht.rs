@@ -84,7 +84,11 @@ impl ConcurrentCht {
         let cell = if colliding {
             &self.coll[i]
         } else {
-            if u_draw >= self.update_fraction {
+            // 1-bit entries store only the collision bit; free outcomes
+            // are never recorded, matching `copred_core::Cht` (which a
+            // NONCOLL write here would diverge from: with S ≤ 1 an entry
+            // that saw both outcomes would flip its prediction to free).
+            if self.params.counter_bits == 1 || u_draw >= self.update_fraction {
                 return;
             }
             &self.noncoll[i]
@@ -148,6 +152,31 @@ mod tests {
         assert!(!cht.predict(3));
         cht.observe(3, true, 0.0);
         assert!(cht.predict(3));
+    }
+
+    #[test]
+    fn single_bit_mode_matches_core_cht() {
+        // Regression: 1-bit tables used to record NONCOLL for free
+        // outcomes, which `copred_core::Cht` never does. With S = 1 that
+        // made COLL=1/NONCOLL=1 predict free where the reference predicts
+        // colliding.
+        let p = ChtParams {
+            counter_bits: 1,
+            ..params()
+        };
+        let cht = ConcurrentCht::new(p);
+        cht.observe(9, true, 0.0);
+        assert!(cht.predict(9));
+        // A free outcome with a "record it" draw must still be a no-op.
+        cht.observe(9, false, 0.0);
+        assert!(
+            cht.predict(9),
+            "free outcome must not be stored in 1-bit mode"
+        );
+        assert_eq!(cht.occupancy(), 1);
+        // And it must not create occupancy on untouched codes either.
+        cht.observe(10, false, 0.0);
+        assert_eq!(cht.occupancy(), 1);
     }
 
     #[test]

@@ -12,6 +12,12 @@ use std::io::{self, Read, Write};
 /// treated as a protocol error rather than an allocation request.
 pub const MAX_FRAME_LEN: usize = 16 << 20;
 
+/// Granularity of payload reads in [`read_frame`]. The buffer grows by at
+/// most this much ahead of the bytes actually received, so a peer that
+/// declares a huge frame and then stalls (or disconnects) costs one chunk
+/// of memory, not the declared length.
+const READ_CHUNK: usize = 64 << 10;
+
 /// Writes one length-prefixed frame.
 ///
 /// # Errors
@@ -65,8 +71,30 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             format!("frame length {len} exceeds MAX_FRAME_LEN"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    // Read incrementally instead of trusting the prefix with a single
+    // up-front `vec![0; len]`: allocation tracks bytes received, so a
+    // lying or slow client can't make us commit MAX_FRAME_LEN per
+    // connection before sending a byte.
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let target = (payload.len() + READ_CHUNK).min(len);
+        let filled = payload.len();
+        payload.resize(target, 0);
+        let mut got = filled;
+        while got < target {
+            match r.read(&mut payload[got..target]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a frame payload",
+                    ))
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
     Ok(Some(payload))
 }
 

@@ -1,0 +1,102 @@
+//! Regression test: `read_frame` must not allocate the declared frame
+//! length up front. A peer that sends a 16 MiB length prefix and then
+//! stalls or disconnects used to cost a 16 MiB `vec!` before any payload
+//! byte arrived; reads are now chunked so allocation tracks bytes
+//! actually received.
+//!
+//! This lives in its own integration binary (one test) because it uses a
+//! counting global allocator, and peak-allocation measurements from
+//! concurrently running tests would pollute each other.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use copred_trace::frame::{read_frame, MAX_FRAME_LEN};
+
+/// System allocator that tracks the largest single allocation since the
+/// last reset.
+struct MaxAlloc {
+    peak_single: AtomicUsize,
+}
+
+static ALLOC: MaxAlloc = MaxAlloc {
+    peak_single: AtomicUsize::new(0),
+};
+
+#[global_allocator]
+static GLOBAL: &MaxAlloc = &ALLOC;
+
+unsafe impl GlobalAlloc for &'static MaxAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.peak_single.fetch_max(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.peak_single.fetch_max(new_size, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A reader that presents a frame header claiming `declared` payload bytes
+/// and then hangs up after `sent` actual payload bytes.
+struct LyingPeer {
+    bytes: Vec<u8>,
+    pos: usize,
+}
+
+impl LyingPeer {
+    fn new(declared: u32, sent: usize) -> Self {
+        let mut bytes = declared.to_be_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0xAB, sent));
+        LyingPeer { bytes, pos: 0 }
+    }
+}
+
+impl Read for LyingPeer {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn lying_length_prefix_does_not_amplify_allocation() {
+    // A peer declaring the full 16 MiB but sending nothing must not cost
+    // anything near 16 MiB. Budget: one read chunk plus slack for the
+    // test harness's own allocations.
+    const BUDGET: usize = 256 << 10;
+
+    ALLOC.peak_single.store(0, Ordering::Relaxed);
+    let err = read_frame(&mut LyingPeer::new(MAX_FRAME_LEN as u32, 0)).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    let peak = ALLOC.peak_single.load(Ordering::Relaxed);
+    assert!(
+        peak <= BUDGET,
+        "read_frame allocated {peak} bytes for a 16 MiB claim with no payload"
+    );
+
+    // Same claim, a few KiB actually delivered: allocation tracks delivery.
+    ALLOC.peak_single.store(0, Ordering::Relaxed);
+    let err = read_frame(&mut LyingPeer::new(MAX_FRAME_LEN as u32, 8 << 10)).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    let peak = ALLOC.peak_single.load(Ordering::Relaxed);
+    assert!(
+        peak <= BUDGET,
+        "read_frame allocated {peak} bytes after only 8 KiB of payload"
+    );
+
+    // An honest large frame still round-trips.
+    let payload = vec![0x5Au8; 300 << 10];
+    let mut wire = Vec::new();
+    copred_trace::frame::write_frame(&mut wire, &payload).unwrap();
+    let got = read_frame(&mut io::Cursor::new(wire)).unwrap().unwrap();
+    assert_eq!(got, payload);
+}
