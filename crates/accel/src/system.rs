@@ -229,6 +229,7 @@ impl AccelSim {
 
     /// Simulates one motion-environment check.
     pub fn run_motion(&mut self, motion: &MotionTrace) -> MotionSimResult {
+        let _motion_span = copred_obs::span("accel", "run_motion");
         let cfg = &self.cfg;
         let n = motion.cdqs.len();
         let n_poses = motion.poses.len().max(
@@ -396,6 +397,7 @@ impl AccelSim {
     /// Simulates every motion of a query trace back-to-back (the CHT
     /// carries over within the query).
     pub fn run_query(&mut self, motions: &[MotionTrace]) -> AccelRunResult {
+        let query_span = copred_obs::span("accel", "run_query");
         let mut agg = AccelRunResult::default();
         for m in motions {
             let r = self.run_motion(m);
@@ -403,6 +405,17 @@ impl AccelSim {
             agg.colliding_motions += u64::from(r.colliding);
             agg.total_cycles += r.latency_cycles;
             agg.events.merge(&r.events);
+        }
+        drop(query_span);
+        if copred_obs::enabled() {
+            // Cycle/energy-model inputs as Chrome counter tracks, one
+            // sample per query.
+            copred_obs::counter("accel", "cycles", agg.total_cycles);
+            copred_obs::counter("accel", "cdqs", agg.events.cdqs);
+            copred_obs::counter("accel", "obstacle_tests", agg.events.obstacle_tests);
+            copred_obs::counter("accel", "cht_reads", agg.events.cht_reads);
+            copred_obs::counter("accel", "cht_writes", agg.events.cht_writes);
+            copred_obs::counter("accel", "queue_ops", agg.events.queue_ops);
         }
         agg
     }

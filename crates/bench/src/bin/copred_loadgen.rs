@@ -12,17 +12,32 @@
 //!   batch=8               motions per CHECK_MOTION frame
 //!   seed=42               capture + replay seed (deterministic)
 //!   oplog=oplog.tsv       op-log output path ("-" to skip)
+//!   metrics_interval=1    sample global stats every N seconds into a
+//!                         sidecar TSV next to the op-log
+//!   inproc=1              start the server in this process (addr ignored)
+//!   trace=trace.json      write a Chrome trace of the run (implies inproc)
+//!   ab=1                  A/B the observability overhead: replay twice
+//!                         (obs off, obs on) and report p50/p95/p99 deltas
+//!                         (implies inproc)
 //! ```
 
 use copred_bench::{Combo, Scale};
 use copred_service::protocol::SchedMode;
-use copred_service::{run_loadgen, write_oplog, LoadgenConfig, Pacing};
+use copred_service::{
+    run_loadgen, write_oplog, write_stats_tsv, LoadgenConfig, LoadgenReport, Pacing, Server,
+    ServerConfig,
+};
+use copred_trace::QueryTrace;
+use std::time::Duration;
 
 struct Args {
     combo: Combo,
     queries: usize,
     seed: u64,
     oplog: String,
+    trace: Option<String>,
+    inproc: bool,
+    ab: bool,
     lg: LoadgenConfig,
 }
 
@@ -32,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
         queries: 8,
         seed: 42,
         oplog: "oplog.tsv".to_string(),
+        trace: None,
+        inproc: false,
+        ab: false,
         lg: LoadgenConfig::default(),
     };
     for arg in std::env::args().skip(1) {
@@ -78,10 +96,119 @@ fn parse_args() -> Result<Args, String> {
                 args.lg.seed = args.seed;
             }
             "oplog" => args.oplog = value.to_string(),
+            "metrics_interval" => {
+                let secs: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad metrics interval '{value}'"))?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err(format!("metrics interval must be positive, got '{value}'"));
+                }
+                args.lg.metrics_interval = Some(Duration::from_secs_f64(secs));
+            }
+            "trace" => args.trace = Some(value.to_string()),
+            "inproc" => args.inproc = value == "1" || value == "true",
+            "ab" => args.ab = value == "1" || value == "true",
             _ => return Err(format!("unknown option '{key}'")),
         }
     }
+    // Worker-side spans only reach this process's recorder when the server
+    // runs in-process, and the A/B needs a fresh server per arm.
+    if args.trace.is_some() || args.ab {
+        args.inproc = true;
+    }
     Ok(args)
+}
+
+/// Quantile of a sorted slice by nearest-rank; 0 when empty.
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Sorted per-batch `check_motion` latencies from a run's op-log.
+fn check_latencies(report: &LoadgenReport) -> Vec<u64> {
+    let mut ns: Vec<u64> = report
+        .ops
+        .iter()
+        .filter(|op| op.verb == "check_motion")
+        .map(|op| op.duration_ns)
+        .collect();
+    ns.sort_unstable();
+    ns
+}
+
+/// Runs the workload against a fresh in-process server (or the configured
+/// remote address when `inproc` is off).
+fn run_arm(args: &Args, traces: &[QueryTrace]) -> std::io::Result<LoadgenReport> {
+    if args.inproc {
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        })?;
+        let lg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            ..args.lg.clone()
+        };
+        run_loadgen(&lg, traces)
+    } else {
+        run_loadgen(&args.lg, traces)
+    }
+}
+
+/// Replays the workload repeatedly with observability off and on —
+/// alternating arm order to cancel warmup/drift, fresh in-process server
+/// per replay — and reports the latency overhead of leaving tracing
+/// enabled. The PR's budget is < 5% on p99.
+fn run_ab(args: &Args, traces: &[QueryTrace]) -> std::io::Result<()> {
+    const REPS: usize = 5;
+    // Discarded warmup replay: pages in the binary, traces, and rings.
+    copred_obs::enable();
+    run_arm(args, traces)?;
+    copred_obs::drain_events();
+
+    let mut off_ns = Vec::new();
+    let mut on_ns = Vec::new();
+    let mut events = 0usize;
+    for rep in 0..REPS {
+        // a/b on even reps, b/a on odd: drift hits both arms equally.
+        for pass in 0..2 {
+            let enabled = (rep + pass) % 2 == 1;
+            if enabled {
+                copred_obs::enable();
+            } else {
+                copred_obs::disable();
+            }
+            let report = run_arm(args, traces)?;
+            copred_obs::disable();
+            events += copred_obs::drain_events().len();
+            let target = if enabled { &mut on_ns } else { &mut off_ns };
+            target.extend(check_latencies(&report));
+        }
+    }
+    off_ns.sort_unstable();
+    on_ns.sort_unstable();
+    println!(
+        "observability A/B ({} batches per arm over {REPS}x2 alternating replays)",
+        off_ns.len()
+    );
+    println!("quantile      obs_off_ns    obs_on_ns    overhead");
+    for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+        let (a, b) = (quantile_ns(&off_ns, q), quantile_ns(&on_ns, q));
+        let pct = if a == 0 {
+            0.0
+        } else {
+            100.0 * (b as f64 - a as f64) / a as f64
+        };
+        println!("{label:<10} {a:>13} {b:>12}    {pct:+.2}%");
+    }
+    println!(
+        "events        {events} recorded, {} dropped",
+        copred_obs::dropped_events()
+    );
+    Ok(())
 }
 
 fn main() {
@@ -112,13 +239,36 @@ fn main() {
         args.lg.pacing,
         args.lg.mode.label()
     );
-    let report = match run_loadgen(&args.lg, &traces) {
+    if args.ab {
+        if let Err(e) = run_ab(&args, &traces) {
+            eprintln!("copred_loadgen: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.trace.is_some() {
+        copred_obs::enable();
+    }
+    let report = match run_arm(&args, &traces) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("copred_loadgen: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(path) = &args.trace {
+        copred_obs::disable();
+        let events = copred_obs::drain_events();
+        if let Err(e) = std::fs::write(path, copred_obs::chrome_trace_json(&events)) {
+            eprintln!("copred_loadgen: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace         {path} ({} events, {} dropped)",
+            events.len(),
+            copred_obs::dropped_events()
+        );
+    }
     println!("workload      {}", args.combo.label());
     println!("mode          {}", args.lg.mode.label());
     println!("checks        {}", report.checks);
@@ -139,5 +289,24 @@ fn main() {
             std::process::exit(1);
         }
         println!("oplog         {} ({} ops)", args.oplog, report.ops.len());
+        if !report.stats_snapshots.is_empty() {
+            let path = stats_path(&args.oplog);
+            if let Err(e) = std::fs::write(&path, write_stats_tsv(&report.stats_snapshots)) {
+                eprintln!("copred_loadgen: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "stats         {path} ({} snapshots)",
+                report.stats_snapshots.len()
+            );
+        }
+    }
+}
+
+/// Sidecar stats path next to the op-log: `oplog.tsv` → `oplog.stats.tsv`.
+fn stats_path(oplog: &str) -> String {
+    match oplog.strip_suffix(".tsv") {
+        Some(stem) => format!("{stem}.stats.tsv"),
+        None => format!("{oplog}.stats.tsv"),
     }
 }

@@ -9,7 +9,10 @@
 //!   max_sessions=64       session pool size (power of two)
 //!   csp_step=5            CSP stride for the schedulers
 //!   retry_ms=10           back-off hint in retry_after responses
+//!   metrics_addr=ADDR     serve Prometheus text exposition on GET /metrics
 //! ```
+//!
+//! Keys also parse in GNU style (`--metrics-addr=127.0.0.1:9100`).
 
 use copred_service::{Server, ServerConfig};
 use std::thread;
@@ -24,12 +27,13 @@ fn parse_args() -> Result<ServerConfig, String> {
         let (key, value) = arg
             .split_once('=')
             .ok_or_else(|| format!("expected key=value, got '{arg}'"))?;
+        let key = key.trim_start_matches("--").replace('-', "_");
         let num = || {
             value
                 .parse::<u64>()
                 .map_err(|_| format!("bad number for {key}: '{value}'"))
         };
-        match key {
+        match key.as_str() {
             "addr" => cfg.addr = value.to_string(),
             "workers" => cfg.workers = num()? as usize,
             "queue" => cfg.queue_capacity = num()? as usize,
@@ -37,6 +41,7 @@ fn parse_args() -> Result<ServerConfig, String> {
             "max_sessions" => cfg.max_sessions = num()? as usize,
             "csp_step" => cfg.csp_step = num()? as usize,
             "retry_ms" => cfg.retry_after_ms = num()?,
+            "metrics_addr" => cfg.metrics_addr = Some(value.to_string()),
             _ => return Err(format!("unknown option '{key}'")),
         }
     }
@@ -65,6 +70,9 @@ fn main() {
         cfg.queue_capacity,
         cfg.max_sessions
     );
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics on http://{addr}/metrics");
+    }
     loop {
         thread::sleep(Duration::from_secs(3600));
     }

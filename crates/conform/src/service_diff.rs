@@ -15,6 +15,11 @@
 //! * globally: `checks` / `cdqs_issued` / `cdqs_total` equal the sums over
 //!   open sessions;
 //! * replaying a session with the same seed is deterministic.
+//!
+//! The same ledger is audited a third way: each chunk's server exposes a
+//! `/metrics` endpoint, and the scraped Prometheus page must agree with
+//! both the wire stats and the in-process results (metric names are a
+//! conformance contract — see ROADMAP.md).
 
 use copred_collision::{run_predicted_schedule, run_schedule, Schedule};
 use copred_core::ChtParams;
@@ -125,6 +130,7 @@ fn diff_chunk(
         cht_params: params,
         csp_step: CSP_STEP,
         retry_after_ms: 2,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
         ..ServerConfig::default()
     }) {
         Ok(s) => s,
@@ -243,6 +249,17 @@ fn diff_chunk(
     // Global counters must equal the sum over the (still open) sessions.
     diff_global_ledger(&mut client, &runs, chunk_idx, &mut outcome.failures);
 
+    // Third view of the same ledger: scrape /metrics while the sessions
+    // are still open (global counters are cumulative, so this must run
+    // before the determinism replay adds a session).
+    match server.metrics_addr() {
+        Some(addr) => diff_prometheus_scrape(addr, &runs, chunk_idx, &mut outcome.failures),
+        None => fail(
+            &mut outcome.failures,
+            "metrics endpoint did not come up".to_string(),
+        ),
+    }
+
     // Determinism: replay the first trace in a fresh session with the same
     // seed and mode; results must be identical.
     if let (Some(first_run), Some(trace)) = (runs.first(), chunk.first()) {
@@ -350,6 +367,119 @@ fn diff_session_ledger(
             "cdqs_issued {} > cdqs_total {}",
             wire("cdqs_issued"),
             wire("cdqs_total")
+        ));
+    }
+}
+
+/// Scrapes the chunk server's `/metrics` page and diffs it against the
+/// wire results: per coord session the scraped confusion ledger must sum
+/// to the scraped `cdqs_issued`, scraped session series must match the
+/// client-side result sums, and scraped global counters must equal the
+/// sums over the scraped session series.
+fn diff_prometheus_scrape(
+    addr: std::net::SocketAddr,
+    runs: &[SessionRun],
+    chunk_idx: usize,
+    failures: &mut Vec<String>,
+) {
+    let body = match copred_obs::http_get(addr, "/metrics") {
+        Ok(b) => b,
+        Err(e) => {
+            failures.push(format!("chunk {chunk_idx}: /metrics scrape failed: {e}"));
+            return;
+        }
+    };
+    let samples = match copred_obs::parse_prometheus(&body) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!(
+                "chunk {chunk_idx}: scraped page does not parse: {e}"
+            ));
+            return;
+        }
+    };
+    let mut fail = |msg: String| failures.push(format!("chunk {chunk_idx}: scrape: {msg}"));
+    // Counters are exact small integers, so f64 equality is safe here.
+    let get = |name: &str, session: Option<&str>| -> Option<f64> {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && match session {
+                        Some(id) => s.label("session") == Some(id),
+                        None => true,
+                    }
+            })
+            .map(|s| s.value)
+    };
+    let mut sums = (0.0f64, 0.0f64, 0.0f64); // checks, issued, declared
+    for run in runs {
+        let id = run.id.to_string();
+        let g = |name: &str| get(name, Some(&id));
+        // A missing series yields NaN, which poisons the sums and fails
+        // the equality checks below.
+        let series = |name: &str| g(name).unwrap_or(f64::NAN);
+        let checks = series("copred_session_checks_total");
+        let issued = series("copred_session_cdqs_issued_total");
+        let declared = series("copred_session_cdqs_declared_total");
+        if checks != run.tcp_results.len() as f64 {
+            fail(format!(
+                "session {id}: scraped checks {checks} != {} wire results",
+                run.tcp_results.len()
+            ));
+        }
+        let wire_issued: u64 = run.tcp_results.iter().map(|r| r.cdqs_executed).sum();
+        if issued != wire_issued as f64 {
+            fail(format!(
+                "session {id}: scraped cdqs_issued {issued} != wire sum {wire_issued}"
+            ));
+        }
+        let confusion: f64 = [
+            "copred_session_true_pos_total",
+            "copred_session_false_pos_total",
+            "copred_session_true_neg_total",
+            "copred_session_false_neg_total",
+        ]
+        .iter()
+        .map(|n| series(n))
+        .sum();
+        match run.mode {
+            SchedMode::Coord => {
+                if confusion != issued {
+                    fail(format!(
+                        "session {id}: scraped tp+fp+tn+fn {confusion} != cdqs_issued {issued}"
+                    ));
+                }
+            }
+            SchedMode::Naive | SchedMode::Csp => {
+                if confusion != 0.0 {
+                    fail(format!(
+                        "session {id}: unpredicted session scraped confusion {confusion}"
+                    ));
+                }
+            }
+        }
+        sums.0 += checks;
+        sums.1 += issued;
+        sums.2 += declared;
+    }
+    for (name, expect) in [
+        ("copred_checks_total", sums.0),
+        ("copred_cdqs_issued_total", sums.1),
+        ("copred_cdqs_declared_total", sums.2),
+    ] {
+        match get(name, None) {
+            Some(got) if got == expect => {}
+            got => fail(format!(
+                "global {name} {got:?} != sum of session series {expect}"
+            )),
+        }
+    }
+    if get("copred_sessions_open", None) != Some(runs.len() as f64) {
+        fail(format!(
+            "copred_sessions_open {:?} != {} open sessions",
+            get("copred_sessions_open", None),
+            runs.len()
         ));
     }
 }

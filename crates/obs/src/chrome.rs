@@ -1,0 +1,190 @@
+//! Exporters for drained event buffers: Chrome `chrome://tracing` /
+//! Perfetto JSON, and line-delimited JSON for ad-hoc tooling.
+//!
+//! Spans are emitted as complete (`"ph":"X"`) events, markers as instants
+//! (`"ph":"i"`), counter samples as `"ph":"C"` — load the file straight
+//! into `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::span::{Event, EventKind};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal. Names are `&'static str`
+/// instrumentation constants, but escaping keeps the exporter total.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_event_json(out: &mut String, e: &Event) {
+    // Chrome traces use microsecond floats; keep ns precision in the
+    // fraction.
+    let ts_us = e.ts_ns as f64 / 1000.0;
+    let name = json_escape(e.name);
+    let cat = json_escape(e.cat);
+    match e.kind {
+        EventKind::Span => {
+            let dur_us = e.dur_ns as f64 / 1000.0;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{ts_us:.3},\"dur\":{dur_us:.3}}}",
+                e.tid
+            );
+        }
+        EventKind::Instant => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{ts_us:.3}}}",
+                e.tid
+            );
+        }
+        EventKind::Counter => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{ts_us:.3},\"args\":{{\"value\":{}}}}}",
+                e.tid, e.value
+            );
+        }
+    }
+}
+
+/// Renders events as a Chrome trace (`{"traceEvents": [...]}`).
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        write_event_json(&mut out, e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders events as JSONL: one raw event object per line, with the full
+/// recorder fields (seq, exact nanoseconds) that the Chrome form rounds.
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 112);
+    for e in events {
+        let kind = match e.kind {
+            EventKind::Span => "span",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+        };
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"{kind}\",\"cat\":\"{}\",\"name\":\"{}\",\"tid\":{},\"seq\":{},\"ts_ns\":{},\"dur_ns\":{},\"value\":{}}}",
+            json_escape(e.cat),
+            json_escape(e.name),
+            e.tid,
+            e.seq,
+            e.ts_ns,
+            e.dur_ns,
+            e.value
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                name: "decode",
+                cat: "service",
+                kind: EventKind::Span,
+                tid: 2,
+                seq: 0,
+                ts_ns: 1_500,
+                dur_ns: 2_250,
+                value: 0,
+            },
+            Event {
+                name: "queue_depth",
+                cat: "service",
+                kind: EventKind::Counter,
+                tid: 2,
+                seq: 1,
+                ts_ns: 4_000,
+                dur_ns: 0,
+                value: 17,
+            },
+            Event {
+                name: "evicted",
+                cat: "service",
+                kind: EventKind::Instant,
+                tid: 3,
+                seq: 2,
+                ts_ns: 9_000,
+                dur_ns: 0,
+                value: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_json_has_all_phases() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.250"));
+        assert!(json.contains("\"value\":17"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let text = events_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(lines[0].contains("\"kind\":\"span\""));
+        assert!(lines[1].contains("\"value\":17"));
+        assert!(lines[2].contains("\"kind\":\"instant\""));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let ev = Event {
+            name: "weird\"name\\with\ncontrol",
+            cat: "c",
+            ..Event::default()
+        };
+        let json = chrome_trace_json(&[ev]);
+        assert!(json.contains("weird\\\"name\\\\with\\ncontrol"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[\n]}\n");
+        assert_eq!(events_jsonl(&[]), "");
+    }
+}

@@ -1,0 +1,229 @@
+//! A minimal std-only HTTP/1.0 endpoint for Prometheus scrapes.
+//!
+//! One accept-loop thread; each connection gets its request line read,
+//! its headers skipped, and a single `text/plain; version=0.0.4` response
+//! rendered by the caller's closure. Connections close after one exchange
+//! (`Connection: close`), which every Prometheus scraper handles.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Renders the metrics page on each scrape.
+pub type RenderFn = dyn Fn() -> String + Send + Sync;
+
+/// A running metrics endpoint. Dropping the handle shuts it down.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `GET /metrics` with `render`'s output.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    pub fn start(addr: &str, render: Arc<RenderFn>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::Builder::new()
+                .name("copred-metrics-http".to_string())
+                .spawn(move || accept_loop(&listener, &render, &stopping))
+                .expect("spawn metrics endpoint")
+        };
+        Ok(MetricsServer {
+            local_addr,
+            stopping,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, render: &Arc<RenderFn>, stopping: &Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                // Scrapes are tiny; serve inline so a slow renderer can't
+                // pile up threads. A hung peer is bounded by the timeout.
+                let _ = serve_one(stream, render);
+            }
+            Err(_) if stopping.load(Ordering::Acquire) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Longest request head (request line + headers) accepted.
+const MAX_HEAD: usize = 8 * 1024;
+
+fn serve_one(stream: TcpStream, render: &Arc<RenderFn>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader
+        .by_ref()
+        .take(MAX_HEAD as u64)
+        .read_line(&mut request_line)?;
+    // Drain headers until the blank line so well-behaved clients don't see
+    // a reset, bounded by MAX_HEAD total.
+    let mut seen = request_line.len();
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .by_ref()
+            .take((MAX_HEAD - seen.min(MAX_HEAD)) as u64)
+            .read_line(&mut line)?;
+        seen += n;
+        if n == 0 || line == "\r\n" || line == "\n" || seen >= MAX_HEAD {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut fields = request_line.split_whitespace();
+    let (method, path) = (fields.next().unwrap_or(""), fields.next().unwrap_or(""));
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        ("200 OK", render())
+    } else {
+        ("404 Not Found", "try /metrics\n".to_string())
+    };
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Blocking one-shot HTTP GET returning the response body — the scrape
+/// half used by tests and the conformance harness.
+///
+/// # Errors
+///
+/// Connect/IO failures, or [`io::ErrorKind::InvalidData`] for non-200
+/// responses and unparseable heads.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: copred\r\n\r\n")?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("non-200 response: {status}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> MetricsServer {
+        MetricsServer::start("127.0.0.1:0", Arc::new(|| "copred_up 1\n".to_string())).expect("bind")
+    }
+
+    #[test]
+    fn serves_metrics_page() {
+        let s = server();
+        let body = http_get(s.local_addr(), "/metrics").expect("scrape");
+        assert_eq!(body, "copred_up 1\n");
+    }
+
+    #[test]
+    fn metrics_with_query_string_ok() {
+        let s = server();
+        let body = http_get(s.local_addr(), "/metrics?format=prometheus").expect("scrape");
+        assert_eq!(body, "copred_up 1\n");
+    }
+
+    #[test]
+    fn other_paths_are_404() {
+        let s = server();
+        let err = http_get(s.local_addr(), "/").expect_err("404");
+        assert!(err.to_string().contains("404"), "{err}");
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let s = server();
+        let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+    }
+
+    #[test]
+    fn garbage_request_does_not_wedge_the_endpoint() {
+        let s = server();
+        {
+            let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+            stream.write_all(&[0xff; 64]).unwrap();
+            // Drop without reading; the endpoint must keep serving.
+        }
+        let body = http_get(s.local_addr(), "/metrics").expect("still up");
+        assert_eq!(body, "copred_up 1\n");
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let mut s = server();
+        s.shutdown();
+        s.shutdown(); // idempotent
+        assert!(http_get(s.local_addr(), "/metrics").is_err());
+    }
+}

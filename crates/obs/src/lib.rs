@@ -1,0 +1,36 @@
+//! `copred-obs`: observability for the COORD reproduction.
+//!
+//! Three std-only pieces, designed to be cheap enough to leave compiled
+//! into release hot paths:
+//!
+//! * [`span`]/[`instant`]/[`counter`] — a zero-alloc, lock-free recorder.
+//!   Each thread writes into its own SPSC ring; a drain merges rings by
+//!   global sequence number. When recording is disabled (the default) an
+//!   instrumentation site costs one relaxed atomic load and a branch.
+//! * [`chrome_trace_json`]/[`events_jsonl`] — exporters for the drained
+//!   events. The Chrome form loads directly into `chrome://tracing` or
+//!   Perfetto.
+//! * [`PromBuf`]/[`parse_prometheus`]/[`MetricsServer`] — Prometheus
+//!   text-exposition (0.0.4) rendering, a parser for round-trip and
+//!   scrape-based conformance tests, and a plain `std::net` HTTP endpoint
+//!   serving `GET /metrics`.
+//!
+//! The crate deliberately knows nothing about collision prediction: the
+//! service, software executor, and accelerator simulator each decide what
+//! to record and how to name it.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod http;
+mod prom;
+mod span;
+
+pub use chrome::{chrome_trace_json, events_jsonl};
+pub use http::{http_get, MetricsServer, RenderFn};
+pub use prom::{parse_prometheus, PromBuf, PromSample};
+pub use span::{
+    counter, disable, drain_events, dropped_events, enable, enabled, instant, span, span_at,
+    timestamp_ns, Collector, Event, EventKind, SpanGuard,
+};

@@ -1,0 +1,257 @@
+//! Prometheus text-exposition (version 0.0.4) rendering and a small
+//! parser for round-trip testing and scrape-based conformance checks.
+//!
+//! The renderer is deliberately dumb: callers declare a metric family
+//! (`# HELP` / `# TYPE` header) then emit samples. The parser understands
+//! exactly what the renderer produces plus arbitrary label order, which is
+//! all the conformance scraper needs.
+
+use std::fmt::Write as _;
+
+/// Builder for a text-exposition page.
+#[derive(Debug, Default)]
+pub struct PromBuf {
+    out: String,
+}
+
+impl PromBuf {
+    /// An empty page.
+    pub fn new() -> Self {
+        PromBuf::default()
+    }
+
+    /// Declares a metric family. Call once per family, before its samples.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits an unlabeled sample.
+    pub fn sample(&mut self, name: &str, value: f64) {
+        let _ = writeln!(self.out, "{name} {}", fmt_value(value));
+    }
+
+    /// Emits a labeled sample. Label values are escaped per the format
+    /// spec (backslash, quote, newline).
+    pub fn sample_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let _ = write!(self.out, "{name}{{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+        }
+        let _ = writeln!(self.out, "}} {}", fmt_value(value));
+    }
+
+    /// The rendered page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Prometheus value formatting: integers without a fraction, specials as
+/// `NaN`/`+Inf`/`-Inf`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`NaN` parses to a NaN).
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a text-exposition page into samples, skipping comments and
+/// blank lines.
+///
+/// # Errors
+///
+/// Returns a located reason for lines that are neither comments nor
+/// well-formed samples.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {ln}: {e}"))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value separator in {line:?}"))?;
+    let value: f64 = match value {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in {head:?}"))?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // key
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("expected key=\"value\" in {body:?}"));
+        }
+        // quoted value with escapes
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => value.push('\n'),
+                    Some(c) => value.push(c),
+                    None => return Err("dangling escape".to_string()),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value in {body:?}")),
+            }
+        }
+        labels.push((key.trim().to_string(), value));
+        match chars.next() {
+            Some(',') => continue,
+            None => return Ok(labels),
+            Some(c) => return Err(format!("unexpected {c:?} after label")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut b = PromBuf::new();
+        b.family("copred_checks_total", "counter", "Motion checks completed.");
+        b.sample("copred_checks_total", 1234.0);
+        b.family("copred_session_precision", "gauge", "Predictor precision.");
+        b.sample_labeled(
+            "copred_session_precision",
+            &[("session", "3"), ("mode", "coord")],
+            0.9375,
+        );
+        b.sample_labeled(
+            "copred_session_precision",
+            &[("session", "4"), ("mode", "naive")],
+            f64::NAN,
+        );
+        let page = b.finish();
+        let samples = parse_prometheus(&page).expect("parse");
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "copred_checks_total");
+        assert_eq!(samples[0].value, 1234.0);
+        assert!(samples[0].labels.is_empty());
+        assert_eq!(samples[1].label("session"), Some("3"));
+        assert_eq!(samples[1].label("mode"), Some("coord"));
+        assert_eq!(samples[1].value, 0.9375);
+        assert!(samples[2].value.is_nan());
+    }
+
+    #[test]
+    fn integer_values_have_no_fraction() {
+        assert_eq!(fmt_value(17.0), "17");
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(0.5), "0.5");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(1e18), "1000000000000000000");
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let mut b = PromBuf::new();
+        b.sample_labeled("m", &[("k", "a\"b\\c\nd")], 1.0);
+        let page = b.finish();
+        let s = parse_prometheus(&page).expect("parse");
+        assert_eq!(s[0].label("k"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "no_value",
+            "bad name 1",
+            "m{unterminated 1",
+            "m{k=\"v\" 1",
+            "m{k=v\"} 1",
+            "{} 1",
+        ] {
+            assert!(parse_prometheus(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let page = "# HELP x y\n# TYPE x counter\n\nx 1\n";
+        let s = parse_prometheus(page).expect("parse");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "x");
+    }
+}

@@ -12,8 +12,11 @@
 //!
 //! - [`protocol`] — text verbs over length-prefixed frames
 //!   ([`copred_trace::frame`]); motion payloads reuse the trace encoding.
-//! - [`metrics`] — atomic counters and log₂-bucketed latency histograms
-//!   (p50/p95/p99), plus per-session prediction confusion counts.
+//! - [`metrics`] — atomic counters and log-linear latency histograms
+//!   (p50/p95/p99 to within 5/4×), plus per-session prediction confusion
+//!   counts.
+//! - [`prom`] — Prometheus text exposition of those metrics; the server
+//!   serves it on `GET /metrics` when configured with a metrics address.
 //! - [`session`] — the session registry: shard leasing, LRU eviction,
 //!   per-session bounded queues.
 //! - [`server`] — accept loop, per-connection readers, worker pool with
@@ -27,14 +30,16 @@ pub mod client;
 pub mod loadgen;
 pub mod metrics;
 pub mod oplog;
+pub mod prom;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use client::ServiceClient;
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, Pacing};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, Pacing, StatsSnapshot};
 pub use metrics::{LatencyHistogram, Metrics, SessionMetrics};
-pub use oplog::{parse_oplog, write_oplog, OpRecord};
+pub use oplog::{parse_oplog, write_oplog, write_stats_tsv, OpRecord, OplogWriter};
+pub use prom::{render_prometheus, GLOBAL_COUNTERS, SESSION_COUNTERS};
 pub use protocol::{CheckResult, Request, Response, SchedMode, ServiceError, MAX_BATCH};
 pub use server::{Server, ServerConfig};
-pub use session::{SessionRegistry, SessionState};
+pub use session::{SessionRegistry, SessionState, TimedPredictor};

@@ -17,9 +17,18 @@ use crate::oplog::OpRecord;
 use crate::protocol::{Request, SchedMode};
 use copred_trace::QueryTrace;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// One periodic sample of the server's global stats during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Nanoseconds since the run epoch when the sample returned.
+    pub elapsed_ns: u64,
+    /// The server's global stat key/value pairs, in server order.
+    pub stats: Vec<(String, String)>,
+}
 
 /// When the generator issues the next batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +62,10 @@ pub struct LoadgenConfig {
     pub batch: usize,
     /// Backpressure retries per batch before giving up.
     pub max_retries: usize,
+    /// When set, a sampler connection polls the server's global stats on
+    /// this interval (plus once at run end); the snapshots come back in
+    /// [`LoadgenReport::stats_snapshots`].
+    pub metrics_interval: Option<Duration>,
 }
 
 impl Default for LoadgenConfig {
@@ -65,6 +78,7 @@ impl Default for LoadgenConfig {
             pacing: Pacing::Closed,
             batch: 8,
             max_retries: 64,
+            metrics_interval: None,
         }
     }
 }
@@ -86,6 +100,9 @@ pub struct LoadgenReport {
     pub retries: u64,
     /// Wall time of the whole run.
     pub wall_ns: u64,
+    /// Periodic global-stats samples (empty unless
+    /// [`LoadgenConfig::metrics_interval`] was set).
+    pub stats_snapshots: Vec<StatsSnapshot>,
 }
 
 impl LoadgenReport {
@@ -121,20 +138,32 @@ pub fn run_loadgen(config: &LoadgenConfig, traces: &[QueryTrace]) -> io::Result<
     assert!(config.batch > 0, "need a positive batch size");
     let epoch = Instant::now();
     let retries = AtomicU64::new(0);
-    let outcomes: Vec<io::Result<ConnOutcome>> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.connections)
-            .map(|conn| {
-                let retries = &retries;
-                scope.spawn(move || run_connection(config, traces, conn, epoch, retries))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen thread panicked"))
-            .collect()
-    });
+    let stop_sampler = AtomicBool::new(false);
+    let (outcomes, snapshots): (Vec<io::Result<ConnOutcome>>, io::Result<Vec<StatsSnapshot>>) =
+        thread::scope(|scope| {
+            let sampler = config.metrics_interval.map(|interval| {
+                let stop = &stop_sampler;
+                scope.spawn(move || sample_stats(config, interval, epoch, stop))
+            });
+            let handles: Vec<_> = (0..config.connections)
+                .map(|conn| {
+                    let retries = &retries;
+                    scope.spawn(move || run_connection(config, traces, conn, epoch, retries))
+                })
+                .collect();
+            let outcomes = handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen thread panicked"))
+                .collect();
+            stop_sampler.store(true, Ordering::Release);
+            let snapshots = sampler
+                .map(|h| h.join().expect("stats sampler panicked"))
+                .unwrap_or_else(|| Ok(Vec::new()));
+            (outcomes, snapshots)
+        });
     let mut report = LoadgenReport {
         wall_ns: elapsed_ns(epoch),
+        stats_snapshots: snapshots?,
         ..LoadgenReport::default()
     };
     for outcome in outcomes {
@@ -155,6 +184,35 @@ pub fn run_loadgen(config: &LoadgenConfig, traces: &[QueryTrace]) -> io::Result<
 
 fn elapsed_ns(epoch: Instant) -> u64 {
     u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Polls the global STATS verb on its own connection every `interval`
+/// until stopped, then takes one final sample — so even a run shorter
+/// than the interval yields a snapshot.
+fn sample_stats(
+    config: &LoadgenConfig,
+    interval: Duration,
+    epoch: Instant,
+    stop: &AtomicBool,
+) -> io::Result<Vec<StatsSnapshot>> {
+    let mut client = ServiceClient::connect(&config.addr)?;
+    let mut snapshots = Vec::new();
+    let mut next = interval;
+    loop {
+        while !stop.load(Ordering::Acquire) && epoch.elapsed() < next {
+            thread::sleep(Duration::from_millis(1).min(interval));
+        }
+        let stopping = stop.load(Ordering::Acquire);
+        let stats = client.stats(None)?;
+        snapshots.push(StatsSnapshot {
+            elapsed_ns: elapsed_ns(epoch),
+            stats,
+        });
+        if stopping {
+            return Ok(snapshots);
+        }
+        next += interval;
+    }
 }
 
 fn run_connection(

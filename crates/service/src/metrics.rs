@@ -7,13 +7,22 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Streaming latency histogram with one atomic bucket per power of two of
-/// nanoseconds. Quantiles are read as the upper bound of the bucket the
-/// requested rank falls in, which is exact to within 2× — plenty for p50 /
-/// p95 / p99 trend lines and free of allocation or locking.
+/// Number of histogram buckets: 4 exact low buckets plus 4 sub-buckets per
+/// octave for the 62 octaves whose values are ≥ 4.
+const HIST_BUCKETS: usize = 4 + 62 * 4;
+
+/// Streaming log-linear latency histogram (HDR-style): values 0–3 ns get
+/// exact buckets, every larger octave `[2^k, 2^(k+1))` is split into 4
+/// linear sub-buckets. Quantiles are read as the inclusive upper bound of
+/// the bucket holding the requested rank, which bounds the relative error
+/// by 5/4 (worst case at a sub-bucket's lower edge; ~2^0.25 ≈ 1.19×
+/// typical) — a 2× improvement over the old one-bucket-per-octave layout,
+/// still lock-free and allocation-free on the record path.
 #[derive(Debug)]
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; 64],
+    buckets: [AtomicU64; HIST_BUCKETS],
+    /// Sum of all recorded samples (for Prometheus `_sum`).
+    sum: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -27,17 +36,37 @@ impl LatencyHistogram {
     pub fn new() -> Self {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
         }
     }
 
     fn bucket_of(ns: u64) -> usize {
-        // 0 ns → bucket 0; otherwise floor(log2(ns)) + 1, capped at 63.
-        (64 - ns.leading_zeros() as usize).min(63)
+        if ns < 4 {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros() as usize;
+        let sub = ((ns >> (msb - 2)) & 3) as usize;
+        4 + (msb - 2) * 4 + sub
+    }
+
+    /// Inclusive upper bound of bucket `i` — the largest value mapping to
+    /// it. Reporting the inclusive bound keeps the error contract tight at
+    /// sub-bucket edges (an exclusive bound would exceed 5/4× for a sample
+    /// sitting exactly on one).
+    fn bucket_bound(i: usize) -> u64 {
+        if i < 4 {
+            return i as u64;
+        }
+        let octave = (i - 4) / 4;
+        let sub = ((i - 4) % 4) as u128;
+        let bound = ((sub + 5) << octave) - 1;
+        u64::try_from(bound).unwrap_or(u64::MAX)
     }
 
     /// Records one sample.
     pub fn record(&self, ns: u64) {
         self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
@@ -45,14 +74,13 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// Sum of all recorded samples in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// Inclusive upper bound (ns) of the bucket holding the `q`-quantile
     /// sample, or `None` when empty. `q` is clamped into `[0, 1]`.
-    ///
-    /// Bucket `i` holds samples in `[2^(i-1), 2^i - 1]` (bucket 0 holds
-    /// only 0 ns), so the reported bound is `2^i - 1` — the largest sample
-    /// the bucket can contain. Reporting the exclusive bound `2^i` would
-    /// exceed 2× the true sample right at bucket edges (and report 1 ns
-    /// for a bucket holding only zeros), breaking the ≤2× error contract.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let snapshot: Vec<u64> = self
             .buckets
@@ -70,7 +98,7 @@ impl LatencyHistogram {
         for (i, &n) in snapshot.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(if i >= 63 { u64::MAX } else { (1u64 << i) - 1 });
+                return Some(Self::bucket_bound(i));
             }
         }
         Some(u64::MAX)
@@ -218,14 +246,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_are_log2() {
+    fn histogram_buckets_are_log_linear() {
         let h = LatencyHistogram::new();
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 1);
-        assert_eq!(LatencyHistogram::bucket_of(2), 2);
-        assert_eq!(LatencyHistogram::bucket_of(3), 2);
-        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+        // Exact low buckets.
+        for v in 0..4u64 {
+            assert_eq!(LatencyHistogram::bucket_of(v), v as usize);
+            assert_eq!(LatencyHistogram::bucket_of(v) as u64, v);
+        }
+        // 4 sub-buckets per octave: 4..7 land in 4..=7, 8..15 in 8..=11.
+        assert_eq!(LatencyHistogram::bucket_of(4), 4);
+        assert_eq!(LatencyHistogram::bucket_of(7), 7);
+        assert_eq!(LatencyHistogram::bucket_of(8), 8);
+        assert_eq!(LatencyHistogram::bucket_of(9), 8);
+        assert_eq!(LatencyHistogram::bucket_of(15), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Every value maps into range, bounds are monotone, and each
+        // value is ≤ its bucket's inclusive bound.
+        let mut prev = 0u64;
+        for i in 0..HIST_BUCKETS {
+            let b = LatencyHistogram::bucket_bound(i);
+            assert!(i == 0 || b > prev, "bounds must increase at {i}");
+            prev = b;
+            assert_eq!(
+                LatencyHistogram::bucket_of(b),
+                i,
+                "bound {b} must map back to its bucket"
+            );
+        }
+        assert_eq!(LatencyHistogram::bucket_bound(HIST_BUCKETS - 1), u64::MAX);
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), None);
     }
@@ -253,25 +301,54 @@ mod tests {
 
     #[test]
     fn quantile_bounds_are_inclusive() {
-        // Regression: the reported bound used to be the exclusive `1 << i`,
-        // which exceeds 2× the true sample at bucket edges (a sample of
-        // exactly 2^k reported as 2^(k+1)) and reported 1 ns for a
-        // histogram holding only zeros.
+        // Regression (tightened with the log-linear layout): the reported
+        // bound must be the inclusive largest value of the sample's bucket
+        // — an exclusive bound exceeds the error contract right at bucket
+        // edges and reports 1 ns for a histogram holding only zeros. The
+        // contract itself tightened from 2× (one bucket per octave) to
+        // 5/4× (4 sub-buckets per octave).
         let zeros = LatencyHistogram::new();
         zeros.record(0);
         assert_eq!(zeros.quantile(1.0), Some(0));
         let ones = LatencyHistogram::new();
         ones.record(1);
         assert_eq!(ones.quantile(1.0), Some(1));
-        for v in [1u64, 2, 3, 4, 1_000, 1_024, 1_025, 1 << 20, (1 << 20) + 1] {
+        for v in [
+            1u64,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            1_000,
+            1_024,
+            1_025,
+            999_999,
+            1 << 20,
+            (1 << 20) + 1,
+            (5 << 18) - 1,
+            5 << 18,
+            u64::MAX,
+        ] {
             let h = LatencyHistogram::new();
             h.record(v);
             let b = h.quantile(0.5).unwrap();
             assert!(
-                v <= b && b < 2 * v,
-                "bound {b} for sample {v} breaks the ≤2× contract"
+                v <= b && (b as f64) < 1.25 * v as f64,
+                "bound {b} for sample {v} breaks the ≤5/4× contract"
             );
         }
+    }
+
+    #[test]
+    fn histogram_sum_accumulates() {
+        let h = LatencyHistogram::new();
+        h.record(10);
+        h.record(990);
+        h.record(0);
+        assert_eq!(h.sum_ns(), 1_000);
+        assert_eq!(h.count(), 3);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! latency/throughput analysis offline — EXPERIMENTS.md plots come from
 //! exactly this format.
 
+use crate::loadgen::StatsSnapshot;
 use std::fmt::Write as _;
+use std::io::{self, Write};
 
 /// One logged operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +42,95 @@ pub fn write_oplog(ops: &[OpRecord]) -> String {
             "{}\t{}\t{}\t{}\t{}\t{}\t{}",
             op.idx, op.session, op.verb, op.bytes, op.start_ns, op.duration_ns, op.status
         );
+    }
+    out
+}
+
+/// Streaming op-log writer: emits the header row up front, appends one
+/// TSV line per record, and flushes on drop — so a run that is
+/// interrupted (or a caller that forgets the final flush) still leaves a
+/// parseable log on disk.
+#[derive(Debug)]
+pub struct OplogWriter<W: Write> {
+    out: io::BufWriter<W>,
+    records: u64,
+}
+
+impl<W: Write> OplogWriter<W> {
+    /// Wraps `sink` and writes the header row.
+    ///
+    /// # Errors
+    ///
+    /// Any write failure.
+    pub fn new(sink: W) -> io::Result<Self> {
+        let mut out = io::BufWriter::new(sink);
+        writeln!(out, "{OPLOG_HEADER}")?;
+        Ok(OplogWriter { out, records: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Any write failure.
+    pub fn record(&mut self, op: &OpRecord) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            op.idx, op.session, op.verb, op.bytes, op.start_ns, op.duration_ns, op.status
+        )?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far (excluding the header).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes buffered lines to the sink.
+    ///
+    /// # Errors
+    ///
+    /// Any flush failure.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl<W: Write> Drop for OplogWriter<W> {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Renders periodic stats snapshots as the op-log's sidecar TSV:
+/// `elapsed_ns` plus one column per stat key, keys taken from the first
+/// snapshot (all snapshots of one run share the server's fixed key
+/// order). Empty input renders an empty string.
+pub fn write_stats_tsv(snapshots: &[StatsSnapshot]) -> String {
+    let Some(first) = snapshots.first() else {
+        return String::new();
+    };
+    let mut out = String::new();
+    out.push_str("elapsed_ns");
+    for (k, _) in &first.stats {
+        out.push('\t');
+        out.push_str(k);
+    }
+    out.push('\n');
+    for snap in snapshots {
+        let _ = write!(out, "{}", snap.elapsed_ns);
+        for (k, _) in &first.stats {
+            let v = snap
+                .stats
+                .iter()
+                .find(|(key, _)| key == k)
+                .map_or("", |(_, v)| v.as_str());
+            out.push('\t');
+            out.push_str(v);
+        }
+        out.push('\n');
     }
     out
 }
@@ -117,6 +208,60 @@ mod tests {
         let text = write_oplog(&ops);
         assert!(text.starts_with(OPLOG_HEADER));
         assert_eq!(parse_oplog(&text).expect("parse"), ops);
+    }
+
+    #[test]
+    fn streaming_writer_matches_batch_writer_and_flushes_on_drop() {
+        let ops = sample();
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut w = OplogWriter::new(&mut buf).expect("header");
+            for op in &ops {
+                w.record(op).expect("record");
+            }
+            assert_eq!(w.records(), 2);
+            // No explicit flush: the drop must leave a complete log.
+        }
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text, write_oplog(&ops));
+        assert_eq!(parse_oplog(&text).expect("parse"), ops);
+    }
+
+    #[test]
+    fn empty_streaming_log_is_parseable() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let _w = OplogWriter::new(&mut buf).expect("header");
+        }
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(parse_oplog(&text).expect("parse"), vec![]);
+    }
+
+    #[test]
+    fn stats_tsv_has_header_and_aligned_columns() {
+        let snaps = vec![
+            StatsSnapshot {
+                elapsed_ns: 1_000,
+                stats: vec![
+                    ("checks".into(), "10".into()),
+                    ("cdqs_issued".into(), "40".into()),
+                ],
+            },
+            StatsSnapshot {
+                elapsed_ns: 2_000,
+                stats: vec![
+                    ("checks".into(), "25".into()),
+                    ("cdqs_issued".into(), "90".into()),
+                ],
+            },
+        ];
+        let text = write_stats_tsv(&snaps);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "elapsed_ns\tchecks\tcdqs_issued");
+        assert_eq!(lines[1], "1000\t10\t40");
+        assert_eq!(lines[2], "2000\t25\t90");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(write_stats_tsv(&[]), "");
     }
 
     #[test]

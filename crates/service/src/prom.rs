@@ -1,0 +1,245 @@
+//! Prometheus text-exposition rendering of the server's metrics.
+//!
+//! Metric names are part of the service's conformance contract (see
+//! ROADMAP.md): dashboards and the conformance scraper key on them, so the
+//! mapping lives in two const tables — [`GLOBAL_COUNTERS`] and
+//! [`SESSION_COUNTERS`] — that both the renderer and the exposition tests
+//! iterate. Renaming a metric means editing a table entry, which the
+//! golden-file test will flag.
+
+use crate::metrics::Metrics;
+use crate::session::SessionState;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Every global counter in [`Metrics`], as
+/// `(field, prometheus name, help)`. The exposition test asserts each
+/// appears exactly once in a scrape.
+pub const GLOBAL_COUNTERS: &[(&str, &str, &str)] = &[
+    (
+        "sessions_opened",
+        "copred_sessions_opened_total",
+        "Sessions ever opened.",
+    ),
+    (
+        "sessions_closed",
+        "copred_sessions_closed_total",
+        "Sessions closed by the client.",
+    ),
+    (
+        "sessions_evicted",
+        "copred_sessions_evicted_total",
+        "Shard leases reclaimed by LRU eviction.",
+    ),
+    (
+        "requests",
+        "copred_requests_total",
+        "Requests parsed and dispatched.",
+    ),
+    (
+        "bad_requests",
+        "copred_bad_requests_total",
+        "Requests rejected as malformed.",
+    ),
+    (
+        "rejected",
+        "copred_retry_after_total",
+        "Requests bounced with retry_after backpressure.",
+    ),
+    (
+        "checks",
+        "copred_checks_total",
+        "Motion/pose checks completed.",
+    ),
+    (
+        "cdqs_issued",
+        "copred_cdqs_issued_total",
+        "Collision-detection queries executed.",
+    ),
+    (
+        "cdqs_total",
+        "copred_cdqs_declared_total",
+        "Collision-detection queries the checked motions declared.",
+    ),
+];
+
+/// Every per-session counter in [`crate::metrics::SessionMetrics`], as
+/// `(field, prometheus name, help)`. Samples carry `session` and `mode`
+/// labels.
+pub const SESSION_COUNTERS: &[(&str, &str, &str)] = &[
+    (
+        "checks",
+        "copred_session_checks_total",
+        "Motion/pose checks completed in the session.",
+    ),
+    (
+        "cdqs_issued",
+        "copred_session_cdqs_issued_total",
+        "CDQs executed in the session.",
+    ),
+    (
+        "cdqs_total",
+        "copred_session_cdqs_declared_total",
+        "CDQs the session's checked motions declared.",
+    ),
+    (
+        "collisions",
+        "copred_session_collisions_total",
+        "Checks that found a collision.",
+    ),
+    (
+        "true_pos",
+        "copred_session_true_pos_total",
+        "Executed CDQs predicted colliding that collided.",
+    ),
+    (
+        "false_pos",
+        "copred_session_false_pos_total",
+        "Executed CDQs predicted colliding that were free.",
+    ),
+    (
+        "true_neg",
+        "copred_session_true_neg_total",
+        "Executed CDQs predicted free that were free.",
+    ),
+    (
+        "false_neg",
+        "copred_session_false_neg_total",
+        "Executed CDQs predicted free that collided.",
+    ),
+];
+
+fn global_counter<'a>(m: &'a Metrics, field: &str) -> &'a AtomicU64 {
+    match field {
+        "sessions_opened" => &m.sessions_opened,
+        "sessions_closed" => &m.sessions_closed,
+        "sessions_evicted" => &m.sessions_evicted,
+        "requests" => &m.requests,
+        "bad_requests" => &m.bad_requests,
+        "rejected" => &m.rejected,
+        "checks" => &m.checks,
+        "cdqs_issued" => &m.cdqs_issued,
+        "cdqs_total" => &m.cdqs_total,
+        other => unreachable!("unmapped global counter {other}"),
+    }
+}
+
+fn session_counter<'a>(s: &'a SessionState, field: &str) -> &'a AtomicU64 {
+    let m = &s.metrics;
+    match field {
+        "checks" => &m.checks,
+        "cdqs_issued" => &m.cdqs_issued,
+        "cdqs_total" => &m.cdqs_total,
+        "collisions" => &m.collisions,
+        "true_pos" => &m.true_pos,
+        "false_pos" => &m.false_pos,
+        "true_neg" => &m.true_neg,
+        "false_neg" => &m.false_neg,
+        other => unreachable!("unmapped session counter {other}"),
+    }
+}
+
+/// Renders the full `/metrics` page: global counters, the check-latency
+/// summary, queue/session gauges, and per-session prediction-quality and
+/// CHT-health series.
+pub fn render_prometheus(
+    metrics: &Metrics,
+    sessions: &[Arc<SessionState>],
+    queue_depth: usize,
+) -> String {
+    let mut b = copred_obs::PromBuf::new();
+    for &(field, name, help) in GLOBAL_COUNTERS {
+        b.family(name, "counter", help);
+        b.sample(
+            name,
+            global_counter(metrics, field).load(Ordering::Relaxed) as f64,
+        );
+    }
+
+    b.family(
+        "copred_sessions_open",
+        "gauge",
+        "Sessions currently holding a shard lease.",
+    );
+    b.sample("copred_sessions_open", sessions.len() as f64);
+    b.family(
+        "copred_worker_queue_depth",
+        "gauge",
+        "Check batches waiting in the worker queue.",
+    );
+    b.sample("copred_worker_queue_depth", queue_depth as f64);
+    b.family(
+        "copred_obs_dropped_events_total",
+        "counter",
+        "Trace events discarded because a recorder ring was full.",
+    );
+    b.sample(
+        "copred_obs_dropped_events_total",
+        copred_obs::dropped_events() as f64,
+    );
+
+    let h = &metrics.check_latency;
+    b.family(
+        "copred_check_latency_ns",
+        "summary",
+        "End-to-end check-batch latency (enqueue to reply built).",
+    );
+    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+        let v = h.quantile(q).map_or(f64::NAN, |n| n as f64);
+        b.sample_labeled("copred_check_latency_ns", &[("quantile", label)], v);
+    }
+    b.sample("copred_check_latency_ns_sum", h.sum_ns() as f64);
+    b.sample("copred_check_latency_ns_count", h.count() as f64);
+
+    for &(field, name, help) in SESSION_COUNTERS {
+        b.family(name, "counter", help);
+        for s in sessions {
+            let id = s.id.to_string();
+            b.sample_labeled(
+                name,
+                &[("session", id.as_str()), ("mode", s.mode.label())],
+                session_counter(s, field).load(Ordering::Relaxed) as f64,
+            );
+        }
+    }
+    type SessionGauge = (&'static str, &'static str, fn(&SessionState) -> f64);
+    let session_gauges: &[SessionGauge] = &[
+        (
+            "copred_session_precision",
+            "Fraction of collision predictions that were right (NaN before the predictor fires).",
+            |s| s.metrics.precision().unwrap_or(f64::NAN),
+        ),
+        (
+            "copred_session_recall",
+            "Fraction of colliding CDQs the predictor flagged (NaN before any executed CDQ collides).",
+            |s| s.metrics.recall().unwrap_or(f64::NAN),
+        ),
+        (
+            "copred_session_cht_occupancy",
+            "Shard entries with nonzero counters.",
+            |s| s.shard.occupancy() as f64,
+        ),
+        (
+            "copred_session_cht_saturation",
+            "Fraction of shard entries with a saturated counter.",
+            |s| s.shard.saturation_fraction(),
+        ),
+        (
+            "copred_session_cht_aliasing",
+            "Estimated fraction of shard writes that aliased with a different code.",
+            |s| s.shard.aliasing_estimate(),
+        ),
+    ];
+    for &(name, help, value) in session_gauges {
+        b.family(name, "gauge", help);
+        for s in sessions {
+            let id = s.id.to_string();
+            b.sample_labeled(
+                name,
+                &[("session", id.as_str()), ("mode", s.mode.label())],
+                value(s),
+            );
+        }
+    }
+    b.finish()
+}

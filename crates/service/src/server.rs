@@ -10,8 +10,9 @@
 //! dropping the connection: load shedding is part of the protocol.
 
 use crate::metrics::Metrics;
+use crate::prom::render_prometheus;
 use crate::protocol::{CheckResult, Request, Response, SchedMode, ServiceError};
-use crate::session::{ChtPredictor, SessionRegistry, SessionState};
+use crate::session::{ChtPredictor, SessionRegistry, SessionState, TimedPredictor};
 use copred_collision::{run_predicted_schedule, run_schedule, Schedule};
 use copred_core::ChtParams;
 use copred_trace::frame::{read_text_frame, write_text_frame};
@@ -47,6 +48,10 @@ pub struct ServerConfig {
     /// Test hook: artificial per-job delay in the workers, used to force
     /// queue overflow deterministically. 0 in production.
     pub worker_delay_ms: u64,
+    /// When set, serve Prometheus text exposition on `GET /metrics` at
+    /// this address (plain HTTP, port 0 allowed). `None` disables the
+    /// endpoint.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +66,7 @@ impl Default for ServerConfig {
             csp_step: Schedule::DEFAULT_CSP_STEP,
             retry_after_ms: 10,
             worker_delay_ms: 0,
+            metrics_addr: None,
         }
     }
 }
@@ -119,6 +125,11 @@ impl JobQueue {
         }
     }
 
+    /// Jobs currently waiting (excludes executing ones).
+    fn len(&self) -> usize {
+        self.jobs.lock().expect("queue lock").len()
+    }
+
     fn close(&self) {
         self.shutdown.store(true, Ordering::Release);
         self.ready.notify_all();
@@ -133,6 +144,15 @@ struct Shared {
     config: ServerConfig,
 }
 
+/// Renders the `/metrics` page from the shared state.
+fn render_shared(shared: &Shared) -> String {
+    render_prometheus(
+        &shared.metrics,
+        &shared.registry.sessions_snapshot(),
+        shared.queue.len(),
+    )
+}
+
 /// A running copred service. Dropping the handle shuts it down.
 pub struct Server {
     shared: Arc<Shared>,
@@ -140,6 +160,7 @@ pub struct Server {
     stopping: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    metrics_server: Option<copred_obs::MetricsServer>,
 }
 
 impl Server {
@@ -164,6 +185,19 @@ impl Server {
             config,
         });
         let stopping = Arc::new(AtomicBool::new(false));
+
+        // Bind the metrics endpoint before spawning workers so a bad
+        // metrics address fails the whole start cleanly.
+        let metrics_server = match shared.config.metrics_addr.clone() {
+            Some(addr) => {
+                let render_shared_state = Arc::clone(&shared);
+                Some(copred_obs::MetricsServer::start(
+                    &addr,
+                    Arc::new(move || render_shared(&render_shared_state)),
+                )?)
+            }
+            None => None,
+        };
 
         let worker_handles = (0..shared.config.workers)
             .map(|i| {
@@ -190,6 +224,7 @@ impl Server {
             stopping,
             accept_handle: Some(accept_handle),
             worker_handles,
+            metrics_server,
         })
     }
 
@@ -201,6 +236,17 @@ impl Server {
     /// Server-wide metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// The bound address of the `/metrics` endpoint, when one is enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|m| m.local_addr())
+    }
+
+    /// Renders the Prometheus exposition page from live state — the same
+    /// bytes a `GET /metrics` scrape returns.
+    pub fn render_prometheus(&self) -> String {
+        render_shared(&self.shared)
     }
 
     /// Stops accepting, drains the workers, and joins them. Connection
@@ -217,6 +263,9 @@ impl Server {
         self.shared.queue.close();
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
+        }
+        if let Some(mut m) = self.metrics_server.take() {
+            m.shutdown();
         }
     }
 }
@@ -263,7 +312,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
-        let response = match Request::from_text(&payload) {
+        let decode_span = copred_obs::span("service", "decode");
+        let parsed = Request::from_text(&payload);
+        drop(decode_span);
+        let response = match parsed {
             Ok(req) => {
                 shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 dispatch(req, shared)
@@ -273,7 +325,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 Response::Error(ServiceError::BadRequest(reason))
             }
         };
-        if write_text_frame(&mut writer, &response.to_text()).is_err() {
+        let encode_span = copred_obs::span("service", "encode");
+        let wrote = write_text_frame(&mut writer, &response.to_text());
+        drop(encode_span);
+        if wrote.is_err() {
             return;
         }
     }
@@ -370,6 +425,9 @@ fn enqueue_checks(session_id: u64, motions: Vec<MotionTrace>, shared: &Shared) -
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        if copred_obs::enabled() {
+            copred_obs::counter("service", "queue_depth", shared.queue.len() as u64);
+        }
         if shared.config.worker_delay_ms > 0 {
             thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
         }
@@ -386,11 +444,41 @@ fn run_batch(session: &SessionState, motions: &[MotionTrace], shared: &Shared) -
     motions
         .iter()
         .map(|m| {
+            let schedule_span = copred_obs::span("service", "schedule");
             let infos = m.to_cdq_infos();
+            drop(schedule_span);
+            let execute_span = copred_obs::span("service", "execute");
             let out = match session.mode {
                 SchedMode::Coord => {
                     let mut pred = ChtPredictor::new(session, &m.poses);
-                    run_predicted_schedule(&infos, m.poses.len(), shared.config.csp_step, &mut pred)
+                    if copred_obs::enabled() {
+                        // Wrapping the predictor keeps the inner call
+                        // sequence identical to the untimed path, so
+                        // results stay bit-identical while the accumulated
+                        // predictor time becomes a "predict" span nested
+                        // in "execute".
+                        let mut timed = TimedPredictor::new(&mut pred);
+                        let out = run_predicted_schedule(
+                            &infos,
+                            m.poses.len(),
+                            shared.config.csp_step,
+                            &mut timed,
+                        );
+                        copred_obs::span_at(
+                            "service",
+                            "predict",
+                            execute_span.start_ns(),
+                            timed.predict_ns() + timed.observe_ns(),
+                        );
+                        out
+                    } else {
+                        run_predicted_schedule(
+                            &infos,
+                            m.poses.len(),
+                            shared.config.csp_step,
+                            &mut pred,
+                        )
+                    }
                 }
                 SchedMode::Naive => run_schedule(&infos, m.poses.len(), Schedule::Naive),
                 SchedMode::Csp => run_schedule(
@@ -401,6 +489,7 @@ fn run_batch(session: &SessionState, motions: &[MotionTrace], shared: &Shared) -
                     },
                 ),
             };
+            drop(execute_span);
             let sm = &session.metrics;
             sm.checks.fetch_add(1, Ordering::Relaxed);
             sm.cdqs_issued

@@ -73,6 +73,7 @@ fn loadgen_config(addr: std::net::SocketAddr, mode: SchedMode) -> LoadgenConfig 
         pacing: Pacing::Closed,
         batch: 4,
         max_retries: 256,
+        metrics_interval: None,
     }
 }
 

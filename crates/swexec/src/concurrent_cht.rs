@@ -7,7 +7,7 @@
 //! paper's software implementation makes the same trade).
 
 use copred_core::{ChtParams, Strategy};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// A thread-safe CHT with the same prediction semantics as
 /// [`copred_core::Cht`].
@@ -15,11 +15,27 @@ use std::sync::atomic::{AtomicU8, Ordering};
 pub struct ConcurrentCht {
     coll: Vec<AtomicU8>,
     noncoll: Vec<AtomicU8>,
+    /// 8-bit fingerprint of the last code written to each entry, used to
+    /// estimate hash aliasing (distinct codes sharing an entry). Purely
+    /// telemetry: predictions never read it.
+    fingerprint: Vec<AtomicU8>,
+    /// Applied observe() writes.
+    writes: AtomicU64,
+    /// Writes that hit an occupied entry whose fingerprint changed —
+    /// i.e. a different code aliased onto the same entry.
+    alias_events: AtomicU64,
     params: ChtParams,
     strategy: Strategy,
     counter_max: u8,
     update_fraction: f64,
     mask: u64,
+}
+
+/// Fingerprint of a CDQ code for alias detection: top byte of a Fibonacci
+/// hash, so codes differing only in low (index) bits still separate.
+#[inline]
+fn fingerprint_of(code: u64) -> u8 {
+    (code.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8
 }
 
 impl ConcurrentCht {
@@ -34,6 +50,9 @@ impl ConcurrentCht {
         ConcurrentCht {
             coll: (0..n).map(|_| AtomicU8::new(0)).collect(),
             noncoll: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            fingerprint: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            writes: AtomicU64::new(0),
+            alias_events: AtomicU64::new(0),
             strategy: params.strategy,
             counter_max: ((1u32 << params.counter_bits) - 1) as u8,
             update_fraction: params.update_fraction,
@@ -63,9 +82,63 @@ impl ConcurrentCht {
             .count()
     }
 
+    /// Entries with at least one counter pinned at its saturating maximum.
+    pub fn saturated_entries(&self) -> usize {
+        (0..self.coll.len())
+            .filter(|&i| {
+                self.coll[i].load(Ordering::Relaxed) == self.counter_max
+                    || self.noncoll[i].load(Ordering::Relaxed) == self.counter_max
+            })
+            .count()
+    }
+
+    /// Fraction of entries with a saturated counter, in `[0, 1]`.
+    pub fn saturation_fraction(&self) -> f64 {
+        self.saturated_entries() as f64 / self.coll.len() as f64
+    }
+
+    /// Applied `observe` writes since construction or [`reset`](Self::reset).
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Writes that landed on an occupied entry last written by a different
+    /// code (fingerprint mismatch).
+    pub fn alias_events(&self) -> u64 {
+        self.alias_events.load(Ordering::Relaxed)
+    }
+
+    /// Estimated fraction of writes that aliased with a different code,
+    /// in `[0, 1]` (0 when nothing was written). Fingerprints are 8 bits,
+    /// so ~1/256 of true aliases go uncounted — fine for a health gauge.
+    pub fn aliasing_estimate(&self) -> f64 {
+        let w = self.writes();
+        if w == 0 {
+            0.0
+        } else {
+            self.alias_events() as f64 / w as f64
+        }
+    }
+
     #[inline]
     fn idx(&self, code: u64) -> usize {
         (code & self.mask) as usize
+    }
+
+    /// Telemetry bookkeeping for an applied write: count it, and count an
+    /// alias event when the entry was occupied by a different code. Races
+    /// between the occupancy check and the swap can miscount by a write or
+    /// two under contention, matching the table's relaxed-counter trade.
+    #[inline]
+    fn note_write(&self, i: usize, code: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let occupied = self.coll[i].load(Ordering::Relaxed) != 0
+            || self.noncoll[i].load(Ordering::Relaxed) != 0;
+        let fp = fingerprint_of(code);
+        let prev = self.fingerprint[i].swap(fp, Ordering::Relaxed);
+        if occupied && prev != fp {
+            self.alias_events.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Prediction lookup.
@@ -93,6 +166,7 @@ impl ConcurrentCht {
             }
             &self.noncoll[i]
         };
+        self.note_write(i, code);
         // Saturating increment via CAS loop.
         let mut cur = cell.load(Ordering::Relaxed);
         while cur < self.counter_max {
@@ -111,6 +185,11 @@ impl ConcurrentCht {
         for n in &self.noncoll {
             n.store(0, Ordering::Relaxed);
         }
+        for f in &self.fingerprint {
+            f.store(0, Ordering::Relaxed);
+        }
+        self.writes.store(0, Ordering::Relaxed);
+        self.alias_events.store(0, Ordering::Relaxed);
     }
 }
 
@@ -205,6 +284,59 @@ mod tests {
         }
         // Saturated at the 4-bit max; prediction holds.
         assert!(cht.predict(5));
+    }
+
+    #[test]
+    fn aliasing_estimator_separates_clean_and_colliding_streams() {
+        let cht = ConcurrentCht::new(params()); // 10-bit table
+                                                // Distinct entries, one code each: no aliasing.
+        for code in 0..64u64 {
+            cht.observe(code, true, 0.0);
+            cht.observe(code, true, 0.0);
+        }
+        assert_eq!(cht.alias_events(), 0);
+        assert_eq!(cht.aliasing_estimate(), 0.0);
+        assert_eq!(cht.writes(), 128);
+        // Two codes that share entry 5 (differ above the 10 index bits):
+        // every write after the first alternates the fingerprint.
+        let (a, b) = (5u64, 5u64 | (1 << 20));
+        assert_ne!(fingerprint_of(a), fingerprint_of(b));
+        for _ in 0..10 {
+            cht.observe(a, true, 0.0);
+            cht.observe(b, true, 0.0);
+        }
+        assert!(cht.alias_events() >= 19, "got {}", cht.alias_events());
+        assert!(cht.aliasing_estimate() > 0.0);
+    }
+
+    #[test]
+    fn skipped_updates_are_not_counted_as_writes() {
+        let p = ChtParams {
+            update_fraction: 0.25,
+            ..params()
+        };
+        let cht = ConcurrentCht::new(p);
+        cht.observe(3, false, 0.9); // gated out: not a write
+        assert_eq!(cht.writes(), 0);
+        cht.observe(3, false, 0.1);
+        cht.observe(3, true, 0.0);
+        assert_eq!(cht.writes(), 2);
+    }
+
+    #[test]
+    fn saturation_fraction_tracks_pinned_counters() {
+        let cht = ConcurrentCht::new(params()); // 4-bit counters: max 15
+        assert_eq!(cht.saturated_entries(), 0);
+        for _ in 0..20 {
+            cht.observe(7, true, 0.0);
+        }
+        assert_eq!(cht.saturated_entries(), 1);
+        let expect = 1.0 / cht.entries() as f64;
+        assert!((cht.saturation_fraction() - expect).abs() < 1e-12);
+        cht.reset();
+        assert_eq!(cht.saturated_entries(), 0);
+        assert_eq!(cht.writes(), 0);
+        assert_eq!(cht.alias_events(), 0);
     }
 
     #[test]

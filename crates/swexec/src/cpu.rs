@@ -71,6 +71,7 @@ pub fn run_cpu(
     let colliding = AtomicU64::new(0);
     let next = AtomicUsize::new(0);
 
+    let run_span = copred_obs::span("swexec", "run_cpu");
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..cfg.n_threads {
@@ -99,6 +100,7 @@ pub fn run_cpu(
                     let mut hit = false;
                     if cfg.with_prediction {
                         // Algorithm 1: predicted CDQs first, queue the rest.
+                        let predict_span = copred_obs::span("swexec", "predict");
                         let mut queue: Vec<(usize, copred_geometry::Vec3, copred_geometry::Obb)> =
                             Vec::new();
                         'outer: for (pi, q) in poses.iter().enumerate() {
@@ -122,7 +124,9 @@ pub fn run_cpu(
                                 }
                             }
                         }
+                        drop(predict_span);
                         if !hit {
+                            let _execute_span = copred_obs::span("swexec", "execute");
                             for (pi, center, obb) in queue {
                                 executed += 1;
                                 let c = env.obb_collides(&obb);
@@ -139,6 +143,7 @@ pub fn run_cpu(
                         }
                     } else {
                         // Naive sequential checking with early exit.
+                        let _execute_span = copred_obs::span("swexec", "execute");
                         'outer2: for q in poses {
                             let pose = robot.fk(q);
                             for link in &pose.links {
@@ -158,6 +163,14 @@ pub fn run_cpu(
             });
         }
     });
+    drop(run_span);
+    if copred_obs::enabled() {
+        // CHT health at end of run, as Chrome counter tracks.
+        copred_obs::counter("swexec", "cht_occupancy", cht.occupancy() as u64);
+        copred_obs::counter("swexec", "cht_saturated", cht.saturated_entries() as u64);
+        copred_obs::counter("swexec", "cht_writes", cht.writes());
+        copred_obs::counter("swexec", "cht_alias_events", cht.alias_events());
+    }
     CpuExecResult {
         cdqs_executed: cdqs.load(Ordering::Relaxed),
         colliding_motions: colliding.load(Ordering::Relaxed),
