@@ -136,6 +136,44 @@ impl AreaModel {
     }
 }
 
+/// Per-component split of a run's energy. Produced by
+/// `AccelRunResult::energy_breakdown`; the components sum to
+/// `energy_with_cht_pj` exactly (an invariant the test suite pins to
+/// 1e-9), so the breakdown is the total, itemized.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// CDU work: CDQ issue plus obstacle-pair tests (pJ).
+    pub cdus_pj: f64,
+    /// OBB Generation Unit work (pJ).
+    pub obbgen_pj: f64,
+    /// QCOLL/QNONCOLL pushes and pops (pJ).
+    pub queues_pj: f64,
+    /// CHT SRAM reads and writes (pJ).
+    pub cht_pj: f64,
+    /// Leakage over the run's simulated cycles and area (pJ).
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy — the sum of every component. The addition order
+    /// mirrors `AccelRunResult::energy_with_cht_pj` term for term, so the
+    /// two agree bit-for-bit, not just within rounding.
+    pub fn total_pj(&self) -> f64 {
+        self.cdus_pj + self.obbgen_pj + self.queues_pj + self.leakage_pj + self.cht_pj
+    }
+
+    /// `(component, pJ)` rows in a fixed order, for tables and metrics.
+    pub fn rows(&self) -> [(&'static str, f64); 5] {
+        [
+            ("cdus", self.cdus_pj),
+            ("obbgen", self.obbgen_pj),
+            ("queues", self.queues_pj),
+            ("cht", self.cht_pj),
+            ("leakage", self.leakage_pj),
+        ]
+    }
+}
+
 /// The §VI-B1 overhead table, computed from the calibrated models for the
 /// MPAccel configuration: 24 CDUs with one COPU + queues + OBB Generation
 /// Unit per 6 CDUs.

@@ -27,6 +27,7 @@
 
 mod dadup;
 mod energy;
+mod observe;
 mod perf;
 mod sphere;
 mod system;
@@ -34,7 +35,10 @@ mod system;
 pub use dadup::{
     precompute_motion, DadupConfig, DadupMode, DadupMotionResult, DadupSim, PrecomputedMotion,
 };
-pub use energy::{mpaccel_overheads, AreaModel, EnergyModel, OverheadReport, SramModel};
+pub use energy::{
+    mpaccel_overheads, AreaModel, EnergyBreakdown, EnergyModel, OverheadReport, SramModel,
+};
+pub use observe::{accel_prom_page, AccelObserver, OccupancyHist, StallBreakdown};
 pub use perf::{perf_report, PerfReport};
 pub use sphere::{SphereRunResult, SphereSim};
 pub use system::{AccelConfig, AccelEvents, AccelRunResult, AccelSim, MotionSimResult};

@@ -1,0 +1,385 @@
+//! Deep observability for [`crate::AccelSim`]: per-cycle stall
+//! attribution, queue-occupancy histograms, a simulated-time Chrome trace
+//! on a virtual cycle clock, and a `copred_accel_*` Prometheus page.
+//!
+//! Attach an [`AccelObserver`] via [`crate::AccelSim::run_motion_observed`]
+//! or [`crate::AccelSim::run_query_observed`]. Every simulated cycle is
+//! classified into exactly one [`StallBreakdown`] bucket, so per motion the
+//! buckets sum to `latency_cycles` — an invariant the test suite pins.
+
+use crate::energy::EnergyBreakdown;
+use crate::system::{AccelEvents, AccelRunResult};
+use copred_obs::{PromBuf, TrackId, VirtualTrace};
+
+/// Per-cycle attribution of simulator time. Exactly one bucket is charged
+/// each cycle, so the fields sum to the motion's `latency_cycles`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// At least one CDU was executing a CDQ.
+    pub busy: u64,
+    /// All CDUs idle and a COPU-pipe exit was blocked by a full QCOLL or
+    /// QNONCOLL (or, in the baseline, OBB generation blocked on the full
+    /// dispatch FIFO).
+    pub queue_full: u64,
+    /// All CDUs idle; work was in flight in the COPU pipe (hash + CHT
+    /// lookup latency, or OBB-generation initiation-interval fill).
+    pub pipe_fill: u64,
+    /// All CDUs idle; QNONCOLL held entries but the energy-biased
+    /// dispatcher kept them back waiting for predicted collisions.
+    pub policy_hold: u64,
+    /// All CDUs idle and no work anywhere — OBB-generation pipeline-fill
+    /// latency at motion start.
+    pub starved: u64,
+}
+
+impl StallBreakdown {
+    /// Sum of all buckets — equals the motion's `latency_cycles`.
+    pub fn total(&self) -> u64 {
+        self.busy + self.queue_full + self.pipe_fill + self.policy_hold + self.starved
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, o: &StallBreakdown) {
+        self.busy += o.busy;
+        self.queue_full += o.queue_full;
+        self.pipe_fill += o.pipe_fill;
+        self.policy_hold += o.policy_hold;
+        self.starved += o.starved;
+    }
+
+    /// `(reason, cycles)` rows in a fixed order, for tables and metrics.
+    pub fn rows(&self) -> [(&'static str, u64); 5] {
+        [
+            ("busy", self.busy),
+            ("queue_full", self.queue_full),
+            ("pipe_fill", self.pipe_fill),
+            ("policy_hold", self.policy_hold),
+            ("starved", self.starved),
+        ]
+    }
+}
+
+/// Which hardware queue an occupancy sample or queue operation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueueKind {
+    Coll,
+    Noncoll,
+}
+
+/// Occupancy histogram: `counts[d]` is the number of cycles the structure
+/// held exactly `d` entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancyHist {
+    /// Cycle counts indexed by occupancy.
+    pub counts: Vec<u64>,
+}
+
+impl OccupancyHist {
+    fn bump(&mut self, depth: usize) {
+        if self.counts.len() <= depth {
+            self.counts.resize(depth + 1, 0);
+        }
+        self.counts[depth] += 1;
+    }
+
+    /// Total sampled cycles.
+    pub fn samples(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean occupancy over all sampled cycles (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.samples();
+        if n == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        weighted as f64 / n as f64
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn max(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or_default()
+    }
+}
+
+/// Collects stall attribution, occupancy histograms, and (optionally) a
+/// simulated-time Chrome trace across one or more observed runs.
+#[derive(Debug, Default)]
+pub struct AccelObserver {
+    /// Aggregate stall breakdown over all observed motions.
+    pub stalls: StallBreakdown,
+    /// Per-motion breakdowns, in simulation order.
+    pub motion_stalls: Vec<StallBreakdown>,
+    /// QCOLL occupancy histogram (sampled once per cycle).
+    pub qcoll_occupancy: OccupancyHist,
+    /// QNONCOLL (or baseline dispatch FIFO) occupancy histogram.
+    pub qnoncoll_occupancy: OccupancyHist,
+    /// COPU pipe occupancy histogram.
+    pub pipe_occupancy: OccupancyHist,
+    trace: Option<TraceState>,
+    /// Virtual-clock offset of the motion currently being simulated:
+    /// motions run back-to-back, so each starts where the previous ended.
+    base_cycle: u64,
+    /// Breakdown being accumulated for the current motion.
+    current: StallBreakdown,
+}
+
+#[derive(Debug)]
+struct TraceState {
+    trace: VirtualTrace,
+    cdus: Vec<TrackId>,
+    obbgen: TrackId,
+    cht: TrackId,
+    qcoll: TrackId,
+    qnoncoll: TrackId,
+}
+
+impl AccelObserver {
+    /// An observer collecting stalls and occupancy only (no trace).
+    pub fn new() -> Self {
+        AccelObserver::default()
+    }
+
+    /// An observer that additionally builds a simulated-time Chrome trace
+    /// with one track per CDU plus the OBB-generation unit, the CHT, and
+    /// both queues.
+    pub fn with_trace(n_cdus: usize) -> Self {
+        let mut trace = VirtualTrace::new("AccelSim (virtual cycles)");
+        let cdus = (0..n_cdus)
+            .map(|i| trace.track(&format!("cdu{i}")))
+            .collect();
+        let obbgen = trace.track("obbgen");
+        let cht = trace.track("cht");
+        let qcoll = trace.track("qcoll");
+        let qnoncoll = trace.track("qnoncoll");
+        AccelObserver {
+            trace: Some(TraceState {
+                trace,
+                cdus,
+                obbgen,
+                cht,
+                qcoll,
+                qnoncoll,
+            }),
+            ..AccelObserver::default()
+        }
+    }
+
+    /// The simulated-time trace, when enabled.
+    pub fn trace(&self) -> Option<&VirtualTrace> {
+        self.trace.as_ref().map(|t| &t.trace)
+    }
+
+    // ---- hooks called by the simulator --------------------------------
+
+    /// Charges one cycle to a bucket and samples queue occupancy.
+    pub(crate) fn cycle(
+        &mut self,
+        cdu_busy: bool,
+        queue_blocked: bool,
+        pipe_len: usize,
+        qcoll_len: usize,
+        qnoncoll_len: usize,
+    ) {
+        let c = &mut self.current;
+        if cdu_busy {
+            c.busy += 1;
+        } else if queue_blocked {
+            c.queue_full += 1;
+        } else if pipe_len > 0 {
+            c.pipe_fill += 1;
+        } else if qcoll_len > 0 || qnoncoll_len > 0 {
+            c.policy_hold += 1;
+        } else {
+            c.starved += 1;
+        }
+        self.qcoll_occupancy.bump(qcoll_len);
+        self.qnoncoll_occupancy.bump(qnoncoll_len);
+        self.pipe_occupancy.bump(pipe_len);
+    }
+
+    /// Closes out the motion: files its breakdown and advances the
+    /// virtual-clock base so the next motion starts where this one ended.
+    pub(crate) fn finish_motion(&mut self, latency_cycles: u64) {
+        let m = std::mem::take(&mut self.current);
+        debug_assert_eq!(m.total(), latency_cycles, "stall buckets must cover time");
+        self.stalls.merge(&m);
+        self.motion_stalls.push(m);
+        self.base_cycle += latency_cycles;
+    }
+
+    /// A CDQ occupying CDU `cdu` for `dur` cycles from `cycle`.
+    pub(crate) fn cdu_span(&mut self, cdu: usize, cycle: u64, dur: u64) {
+        let base = self.base_cycle;
+        if let Some(t) = &mut self.trace {
+            t.trace.span(t.cdus[cdu], "cdq", base + cycle, dur);
+        }
+    }
+
+    /// A collision outcome terminating the motion on CDU `cdu`.
+    pub(crate) fn collision(&mut self, cdu: usize, cycle: u64) {
+        let base = self.base_cycle;
+        if let Some(t) = &mut self.trace {
+            t.trace.instant(t.cdus[cdu], "collision", base + cycle);
+        }
+    }
+
+    /// One pose leaving the OBB Generation Unit.
+    pub(crate) fn pose(&mut self, cycle: u64) {
+        let base = self.base_cycle;
+        if let Some(t) = &mut self.trace {
+            t.trace.instant(t.obbgen, "pose", base + cycle);
+        }
+    }
+
+    /// A CHT prediction read or outcome write.
+    pub(crate) fn cht_access(&mut self, write: bool, cycle: u64) {
+        let base = self.base_cycle;
+        if let Some(t) = &mut self.trace {
+            let name = if write { "write" } else { "read" };
+            t.trace.instant(t.cht, name, base + cycle);
+        }
+    }
+
+    /// A queue push or pop; `depth` is the occupancy after the operation.
+    pub(crate) fn queue_op(&mut self, kind: QueueKind, cycle: u64, depth: usize) {
+        let base = self.base_cycle;
+        if let Some(t) = &mut self.trace {
+            let track = match kind {
+                QueueKind::Coll => t.qcoll,
+                QueueKind::Noncoll => t.qnoncoll,
+            };
+            t.trace.counter(track, "depth", base + cycle, depth as i64);
+        }
+    }
+}
+
+/// Renders an accelerator run as `copred_accel_*` Prometheus gauges:
+/// event totals, stall attribution, queue occupancy, and the
+/// per-component energy breakdown. The metric names are a stability
+/// contract (see ROADMAP.md), pinned by the bench golden tests.
+pub fn accel_prom_page(
+    result: &AccelRunResult,
+    stalls: &StallBreakdown,
+    energy: &EnergyBreakdown,
+) -> String {
+    let mut p = PromBuf::new();
+    let e: &AccelEvents = &result.events;
+    p.family(
+        "copred_accel_cycles_total",
+        "counter",
+        "Simulated cycles across all motions.",
+    );
+    p.sample("copred_accel_cycles_total", result.total_cycles as f64);
+    p.family(
+        "copred_accel_motions_total",
+        "counter",
+        "Motion checks simulated.",
+    );
+    p.sample("copred_accel_motions_total", result.motions as f64);
+    p.family(
+        "copred_accel_cdqs_total",
+        "counter",
+        "CDQs dispatched to CDUs.",
+    );
+    p.sample("copred_accel_cdqs_total", e.cdqs as f64);
+    p.family(
+        "copred_accel_obstacle_tests_total",
+        "counter",
+        "Obstacle-pair tests inside dispatched CDQs.",
+    );
+    p.sample("copred_accel_obstacle_tests_total", e.obstacle_tests as f64);
+    p.family(
+        "copred_accel_cht_reads_total",
+        "counter",
+        "CHT prediction reads.",
+    );
+    p.sample("copred_accel_cht_reads_total", e.cht_reads as f64);
+    p.family(
+        "copred_accel_cht_writes_total",
+        "counter",
+        "CHT outcome writes.",
+    );
+    p.sample("copred_accel_cht_writes_total", e.cht_writes as f64);
+    p.family(
+        "copred_accel_queue_ops_total",
+        "counter",
+        "Queue pushes and pops.",
+    );
+    p.sample("copred_accel_queue_ops_total", e.queue_ops as f64);
+    p.family(
+        "copred_accel_poses_generated_total",
+        "counter",
+        "Poses processed by the OBB Generation Unit.",
+    );
+    p.sample(
+        "copred_accel_poses_generated_total",
+        e.poses_generated as f64,
+    );
+    p.family(
+        "copred_accel_stall_cycles_total",
+        "counter",
+        "Per-cycle attribution of simulator time by reason; sums to cycles.",
+    );
+    for (reason, cycles) in stalls.rows() {
+        p.sample_labeled(
+            "copred_accel_stall_cycles_total",
+            &[("reason", reason)],
+            cycles as f64,
+        );
+    }
+    p.family(
+        "copred_accel_energy_pj",
+        "gauge",
+        "Per-component energy breakdown; components sum to the total.",
+    );
+    for (component, pj) in energy.rows() {
+        p.sample_labeled("copred_accel_energy_pj", &[("component", component)], pj);
+    }
+    p.family(
+        "copred_accel_energy_total_pj",
+        "gauge",
+        "Total energy including CHT SRAM accesses.",
+    );
+    p.sample("copred_accel_energy_total_pj", energy.total_pj());
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_hist_grows_and_summarizes() {
+        let mut h = OccupancyHist::default();
+        for d in [0usize, 0, 1, 3, 3, 3] {
+            h.bump(d);
+        }
+        assert_eq!(h.counts, vec![2, 1, 0, 3]);
+        assert_eq!(h.samples(), 6);
+        assert_eq!(h.max(), 3);
+        assert!((h.mean() - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(OccupancyHist::default().mean(), 0.0);
+        assert_eq!(OccupancyHist::default().max(), 0);
+    }
+
+    #[test]
+    fn stall_rows_cover_every_bucket() {
+        let s = StallBreakdown {
+            busy: 1,
+            queue_full: 2,
+            pipe_fill: 3,
+            policy_hold: 4,
+            starved: 5,
+        };
+        assert_eq!(s.total(), 15);
+        let sum: u64 = s.rows().iter().map(|&(_, c)| c).sum();
+        assert_eq!(sum, s.total(), "rows() must enumerate every bucket");
+    }
+}

@@ -18,7 +18,8 @@
 //! The baseline configuration (no COPU) dispatches OBBs in CSP order
 //! directly — the Shah et al. accelerator the paper compares against.
 
-use crate::energy::{AreaModel, EnergyModel};
+use crate::energy::{AreaModel, EnergyBreakdown, EnergyModel};
+use crate::observe::{AccelObserver, QueueKind};
 use copred_core::hash::CollisionHash;
 use copred_core::{Cht, ChtParams, CoordHash};
 use copred_geometry::Vec3;
@@ -184,6 +185,25 @@ impl AccelRunResult {
         let acc = em.sram.access_energy_pj(cht.entries(), cht.entry_bits());
         self.energy_pj(em, area_mm2) + (self.events.cht_reads + self.events.cht_writes) as f64 * acc
     }
+
+    /// The same energy as [`AccelRunResult::energy_with_cht_pj`], itemized
+    /// per component; the breakdown's `total_pj()` matches it bit-for-bit.
+    pub fn energy_breakdown(
+        &self,
+        em: &EnergyModel,
+        area_mm2: f64,
+        cht: &ChtParams,
+    ) -> EnergyBreakdown {
+        let e = &self.events;
+        let acc = em.sram.access_energy_pj(cht.entries(), cht.entry_bits());
+        EnergyBreakdown {
+            cdus_pj: e.cdqs as f64 * em.cdq_base_pj + e.obstacle_tests as f64 * em.obstacle_test_pj,
+            obbgen_pj: e.poses_generated as f64 * em.obbgen_pose_pj,
+            queues_pj: e.queue_ops as f64 * em.queue_op_pj,
+            cht_pj: (e.cht_reads + e.cht_writes) as f64 * acc,
+            leakage_pj: self.total_cycles as f64 * em.leakage_pj_per_cycle_mm2 * area_mm2,
+        }
+    }
 }
 
 /// The accelerator simulator. Owns the CHT so history persists across the
@@ -229,6 +249,25 @@ impl AccelSim {
 
     /// Simulates one motion-environment check.
     pub fn run_motion(&mut self, motion: &MotionTrace) -> MotionSimResult {
+        self.run_motion_probe(motion, None)
+    }
+
+    /// Simulates one motion-environment check while feeding `obs` per-cycle
+    /// stall attribution, queue occupancy, and (when the observer carries a
+    /// trace) simulated-time trace events.
+    pub fn run_motion_observed(
+        &mut self,
+        motion: &MotionTrace,
+        obs: &mut AccelObserver,
+    ) -> MotionSimResult {
+        self.run_motion_probe(motion, Some(obs))
+    }
+
+    fn run_motion_probe(
+        &mut self,
+        motion: &MotionTrace,
+        mut obs: Option<&mut AccelObserver>,
+    ) -> MotionSimResult {
         let _motion_span = copred_obs::span("accel", "run_motion");
         let cfg = &self.cfg;
         let n = motion.cdqs.len();
@@ -269,8 +308,11 @@ impl AccelSim {
 
         let mut cycle: u64 = 0;
         loop {
+            // Set when forward progress was blocked this cycle by a full
+            // queue — the observer's `queue_full` stall attribution.
+            let mut queue_blocked = false;
             // --- 1. CDU completions.
-            for slot in cdus.iter_mut() {
+            for (ci, slot) in cdus.iter_mut().enumerate() {
                 if let Some((idx, done)) = *slot {
                     if done <= cycle {
                         *slot = None;
@@ -280,8 +322,15 @@ impl AccelSim {
                             let code = self.code(cdq.center);
                             self.cht.observe(code, cdq.colliding);
                             events.cht_writes += 1;
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.cht_access(true, cycle);
+                            }
                         }
                         if cdq.colliding {
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.collision(ci, cycle);
+                                o.finish_motion(cycle);
+                            }
                             return MotionSimResult {
                                 colliding: true,
                                 latency_cycles: cycle,
@@ -296,16 +345,20 @@ impl AccelSim {
                 if ready > cycle {
                     break;
                 }
-                let (q, cap) = if predicted {
-                    (&mut qcoll, cfg.qcoll_len)
+                let (q, cap, kind) = if predicted {
+                    (&mut qcoll, cfg.qcoll_len, QueueKind::Coll)
                 } else {
-                    (&mut qnoncoll, cfg.qnoncoll_len)
+                    (&mut qnoncoll, cfg.qnoncoll_len, QueueKind::Noncoll)
                 };
                 if q.len() >= cap {
+                    queue_blocked = true;
                     break; // backpressure
                 }
                 q.push_back(idx);
                 events.queue_ops += 1;
+                if let Some(o) = obs.as_deref_mut() {
+                    o.queue_op(kind, cycle, q.len());
+                }
                 pipe.pop_front();
             }
             // --- 3. OBB generation.
@@ -318,6 +371,9 @@ impl AccelSim {
                             cdq.colliding
                         } else {
                             events.cht_reads += 1;
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.cht_access(false, cycle);
+                            }
                             let code = self.code(cdq.center);
                             self.cht.predict(code)
                         };
@@ -329,14 +385,21 @@ impl AccelSim {
                 } else if qnoncoll.len() < baseline_cap {
                     qnoncoll.push_back(idx);
                     events.queue_ops += 1;
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.queue_op(QueueKind::Noncoll, cycle, qnoncoll.len());
+                    }
                     true
                 } else {
+                    queue_blocked = true;
                     false
                 };
                 if emitted {
                     if cdq.pose_idx as usize != last_pose_generated {
                         last_pose_generated = cdq.pose_idx as usize;
                         events.poses_generated += 1;
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.pose(cycle);
+                        }
                     }
                     gen_pos += 1;
                     next_gen = cycle + cfg.obbgen_ii;
@@ -344,20 +407,35 @@ impl AccelSim {
             }
             let all_generated = gen_pos >= n && pipe.is_empty();
             // --- 4. Dispatch to free CDUs.
-            for slot in cdus.iter_mut() {
+            for (ci, slot) in cdus.iter_mut().enumerate() {
                 if slot.is_some() {
                     continue;
                 }
                 let next = if cfg.with_copu {
                     if let Some(idx) = qcoll.pop_front() {
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.queue_op(QueueKind::Coll, cycle, qcoll.len());
+                        }
                         Some(idx)
                     } else if all_generated || qnoncoll.len() >= cfg.qnoncoll_len {
-                        qnoncoll.pop_front()
+                        let popped = qnoncoll.pop_front();
+                        if popped.is_some() {
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.queue_op(QueueKind::Noncoll, cycle, qnoncoll.len());
+                            }
+                        }
+                        popped
                     } else {
                         None
                     }
                 } else {
-                    qnoncoll.pop_front()
+                    let popped = qnoncoll.pop_front();
+                    if popped.is_some() {
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.queue_op(QueueKind::Noncoll, cycle, qnoncoll.len());
+                        }
+                    }
+                    popped
                 };
                 if let Some(idx) = next {
                     events.queue_ops += 1;
@@ -365,6 +443,9 @@ impl AccelSim {
                     let occupancy =
                         cfg.cdu_base_cycles + cfg.cdu_per_obstacle * cdq.obstacle_tests as u64;
                     *slot = Some((idx, cycle + occupancy.max(1)));
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.cdu_span(ci, cycle, occupancy.max(1));
+                    }
                     dispatched += 1;
                     events.cdqs += 1;
                     events.obstacle_tests += cdq.obstacle_tests as u64;
@@ -372,6 +453,9 @@ impl AccelSim {
             }
             // --- 5. Termination: everything executed, nothing in flight.
             if completed == n && dispatched == n {
+                if let Some(o) = obs.as_deref_mut() {
+                    o.finish_motion(cycle);
+                }
                 return MotionSimResult {
                     colliding: false,
                     latency_cycles: cycle,
@@ -380,11 +464,26 @@ impl AccelSim {
             }
             // An empty motion terminates immediately.
             if n == 0 {
+                if let Some(o) = obs.as_deref_mut() {
+                    o.finish_motion(0);
+                }
                 return MotionSimResult {
                     colliding: false,
                     latency_cycles: 0,
                     events,
                 };
+            }
+            // The cycle is over: charge it to exactly one stall bucket and
+            // sample queue occupancy before the clock advances.
+            if let Some(o) = obs.as_deref_mut() {
+                let cdu_busy = cdus.iter().any(Option::is_some);
+                o.cycle(
+                    cdu_busy,
+                    queue_blocked,
+                    pipe.len(),
+                    qcoll.len(),
+                    qnoncoll.len(),
+                );
             }
             cycle += 1;
             assert!(
@@ -416,6 +515,26 @@ impl AccelSim {
             copred_obs::counter("accel", "cht_reads", agg.events.cht_reads);
             copred_obs::counter("accel", "cht_writes", agg.events.cht_writes);
             copred_obs::counter("accel", "queue_ops", agg.events.queue_ops);
+        }
+        agg
+    }
+
+    /// Like [`AccelSim::run_query`], but feeds the observer per-motion
+    /// stall attribution, occupancy histograms, and (when enabled) the
+    /// simulated-time trace. Motions share one virtual clock: each starts
+    /// at the cycle where the previous one ended.
+    pub fn run_query_observed(
+        &mut self,
+        motions: &[MotionTrace],
+        obs: &mut AccelObserver,
+    ) -> AccelRunResult {
+        let mut agg = AccelRunResult::default();
+        for m in motions {
+            let r = self.run_motion_observed(m, obs);
+            agg.motions += 1;
+            agg.colliding_motions += u64::from(r.colliding);
+            agg.total_cycles += r.latency_cycles;
+            agg.events.merge(&r.events);
         }
         agg
     }
@@ -645,6 +764,163 @@ mod tests {
         assert!(eb > 0.0 && ec > 0.0);
         // Fewer CDQs should net out to lower energy despite CHT accesses.
         assert!(ec < eb, "copu energy {ec} !< baseline {eb}");
+    }
+
+    #[test]
+    fn stall_attribution_sums_to_latency_per_motion() {
+        let (robot, motions) = dense_workload(40, 11);
+        for cfg in [
+            AccelConfig::baseline(2),
+            AccelConfig::copu(2, perf_cht()),
+            AccelConfig::oracle(2),
+        ] {
+            let mut s = sim(&robot, cfg);
+            let mut obs = AccelObserver::new();
+            for m in &motions {
+                let r = s.run_motion_observed(m, &mut obs);
+                let stalls = obs.motion_stalls.last().expect("one breakdown per motion");
+                assert_eq!(
+                    stalls.total(),
+                    r.latency_cycles,
+                    "stall buckets must cover every simulated cycle"
+                );
+            }
+            assert_eq!(obs.motion_stalls.len(), motions.len());
+            let total: u64 = obs
+                .motion_stalls
+                .iter()
+                .map(crate::StallBreakdown::total)
+                .sum();
+            assert_eq!(obs.stalls.total(), total, "aggregate matches per-motion");
+            // Occupancy histograms sample once per classified cycle.
+            assert_eq!(obs.qcoll_occupancy.samples(), total);
+            assert_eq!(obs.qnoncoll_occupancy.samples(), total);
+            assert_eq!(obs.pipe_occupancy.samples(), total);
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved() {
+        let (robot, motions) = workload(60, 12);
+        let cfg = AccelConfig::copu(3, ChtParams::paper_2d());
+        let mut plain = sim(&robot, cfg.clone());
+        let mut probed = sim(&robot, cfg);
+        let mut obs = AccelObserver::with_trace(3);
+        let a = plain.run_query(&motions);
+        let b = probed.run_query_observed(&motions, &mut obs);
+        assert_eq!(a, b, "observation must not perturb the simulation");
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let (robot, motions) = dense_workload(120, 13);
+        let em = EnergyModel::default();
+        let am = AreaModel::default();
+        for cfg in [AccelConfig::baseline(4), AccelConfig::copu(4, perf_cht())] {
+            let mut s = sim(&robot, cfg);
+            let area = s.area_mm2(&am, &em);
+            let r = s.run_query(&motions);
+            let bd = r.energy_breakdown(&em, area, &perf_cht());
+            let total = r.energy_with_cht_pj(&em, area, &perf_cht());
+            assert!(
+                (bd.total_pj() - total).abs() <= 1e-9,
+                "breakdown {} != total {}",
+                bd.total_pj(),
+                total
+            );
+            assert!(bd.cdus_pj > 0.0 && bd.leakage_pj > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulated_trace_is_deterministic_monotone_and_complete() {
+        let (robot, motions) = workload(30, 14);
+        let cfg = AccelConfig::copu(2, ChtParams::paper_2d());
+        let run = |motions: &[MotionTrace]| {
+            let mut s = sim(&robot, cfg.clone());
+            let mut obs = AccelObserver::with_trace(2);
+            let r = s.run_query_observed(motions, &mut obs);
+            (r, obs)
+        };
+        let (r1, o1) = run(&motions);
+        let (r2, o2) = run(&motions);
+        let t1 = o1.trace().expect("trace enabled");
+        let t2 = o2.trace().expect("trace enabled");
+        assert_eq!(t1, t2, "same seed, same trace");
+        assert_eq!(r1, r2);
+        assert!(t1.is_monotone_per_track(), "virtual clock went backwards");
+        assert_eq!(t1.to_chrome_json(), t2.to_chrome_json());
+
+        // Event counts tie out against the AccelEvents ledger: one CDU
+        // span per CDQ, one pose instant per generated pose, one depth
+        // counter per queue op, one CHT instant per read or write.
+        use copred_obs::VEventKind;
+        let spans = t1
+            .events()
+            .iter()
+            .filter(|e| e.kind == VEventKind::Span)
+            .count();
+        assert_eq!(spans as u64, r1.events.cdqs, "one span per CDQ");
+        let poses = t1
+            .events()
+            .iter()
+            .filter(|e| e.kind == VEventKind::Instant && e.name == "pose")
+            .count();
+        assert_eq!(poses as u64, r1.events.poses_generated);
+        let depth_samples = t1
+            .events()
+            .iter()
+            .filter(|e| e.kind == VEventKind::Counter && e.name == "depth")
+            .count();
+        assert_eq!(depth_samples as u64, r1.events.queue_ops);
+        let cht_accesses = t1
+            .events()
+            .iter()
+            .filter(|e| e.kind == VEventKind::Instant && (e.name == "read" || e.name == "write"))
+            .count();
+        assert_eq!(
+            cht_accesses as u64,
+            r1.events.cht_reads + r1.events.cht_writes
+        );
+    }
+
+    #[test]
+    fn prom_page_carries_stalls_and_energy() {
+        let (robot, motions) = workload(40, 15);
+        let em = EnergyModel::default();
+        let am = AreaModel::default();
+        let mut s = sim(&robot, AccelConfig::copu(2, ChtParams::paper_2d()));
+        let area = s.area_mm2(&am, &em);
+        let mut obs = AccelObserver::new();
+        let r = s.run_query_observed(&motions, &mut obs);
+        let bd = r.energy_breakdown(&em, area, &ChtParams::paper_2d());
+        let page = crate::accel_prom_page(&r, &obs.stalls, &bd);
+        let samples = copred_obs::parse_prometheus(&page).expect("page parses");
+        for s in &samples {
+            assert!(s.name.starts_with("copred_accel_"), "bad name {}", s.name);
+        }
+        let stall_sum: f64 = samples
+            .iter()
+            .filter(|s| s.name == "copred_accel_stall_cycles_total")
+            .map(|s| s.value)
+            .sum();
+        let cycles = samples
+            .iter()
+            .find(|s| s.name == "copred_accel_cycles_total")
+            .expect("cycles gauge")
+            .value;
+        assert_eq!(stall_sum, cycles, "stall attribution covers all cycles");
+        let energy_sum: f64 = samples
+            .iter()
+            .filter(|s| s.name == "copred_accel_energy_pj")
+            .map(|s| s.value)
+            .sum();
+        let energy_total = samples
+            .iter()
+            .find(|s| s.name == "copred_accel_energy_total_pj")
+            .expect("total gauge")
+            .value;
+        assert!((energy_sum - energy_total).abs() <= 1e-9 * energy_total.max(1.0));
     }
 
     #[test]

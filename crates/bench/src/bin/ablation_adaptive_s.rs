@@ -1,5 +1,5 @@
 //! Regenerates the adaptive-S ablation (paper §VI-A1 future work).
 fn main() {
-    let scale = copred_bench::Scale::from_env();
+    let scale = copred_bench::Scale::from_env_or_exit();
     print!("{}", copred_bench::figures::ablation_adaptive_s(&scale));
 }

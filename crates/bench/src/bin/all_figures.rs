@@ -2,7 +2,7 @@
 use copred_bench::figures as f;
 
 fn main() {
-    let scale = copred_bench::Scale::from_env();
+    let scale = copred_bench::Scale::from_env_or_exit();
     let mut w = copred_bench::Workloads::new(scale, 42);
     let sections: Vec<(&str, String)> = vec![
         ("fig1d", f::fig1d(&scale)),

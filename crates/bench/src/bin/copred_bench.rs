@@ -1,0 +1,264 @@
+//! `copred_bench`: the perfwatch entry point — runs the canonical seeded
+//! benchmark suite, writes a machine-readable `BENCH_<label>.json`, and
+//! optionally gates against a committed baseline.
+//!
+//! ```text
+//! copred_bench [run] [flags]          run the suite (default mode)
+//!   --quick | --full                  workload size (default --quick)
+//!   --label <name>                    report label (default: scale name)
+//!   --seed <n>                        workload seed (default 42)
+//!   --reps <n>                        wall-clock repetitions (default 3/5)
+//!   --out <path>                      output (default BENCH_<label>.json)
+//!   --baseline <file>                 committed BENCH_*.json to diff against
+//!   --check                           exit 1 when the diff shows a regression
+//!   --det-threshold <frac>            relative gate for deterministic metrics
+//!   --timing-threshold <frac>         relative gate for wall-clock metrics
+//!   --accel-artifacts <dir>           also write the accel deep-observability
+//!                                     artifacts (prom page, sim-time trace)
+//!
+//! copred_bench figures --out <dir> [--quick|--full] [--seed <n>]
+//!   dual-emit every fig*/tab* section as text and JSON rows
+//! ```
+
+use copred_bench::figures as f;
+use copred_bench::perfwatch::{self, PerfwatchConfig};
+use copred_bench::table::{parse_tables, tables_json};
+use copred_bench::{Scale, Workloads};
+use copred_obs::{check_against_baseline, BenchReport, BenchWriter, CheckConfig};
+use std::path::{Path, PathBuf};
+
+struct Flags {
+    mode: Mode,
+    cfg: PerfwatchConfig,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    check: bool,
+    check_cfg: CheckConfig,
+    accel_artifacts: Option<PathBuf>,
+}
+
+enum Mode {
+    Run,
+    Figures,
+}
+
+fn parse_flags() -> Result<Flags, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mode = match args.peek().map(String::as_str) {
+        Some("run") => {
+            args.next();
+            Mode::Run
+        }
+        Some("figures") => {
+            args.next();
+            Mode::Figures
+        }
+        _ => Mode::Run,
+    };
+    let mut flags = Flags {
+        mode,
+        cfg: PerfwatchConfig::quick(),
+        out: None,
+        baseline: None,
+        check: false,
+        check_cfg: CheckConfig::default(),
+        accel_artifacts: None,
+    };
+    let mut label: Option<String> = None;
+    let mut reps: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
+        match arg.as_str() {
+            "--quick" => flags.cfg = PerfwatchConfig::quick(),
+            "--full" => flags.cfg = PerfwatchConfig::full(),
+            "--label" => label = Some(value("--label")?),
+            "--seed" => {
+                flags.cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?;
+            }
+            "--reps" => {
+                reps = Some(
+                    value("--reps")?
+                        .parse()
+                        .map_err(|_| "bad --reps".to_string())?,
+                );
+            }
+            "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => flags.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--check" => flags.check = true,
+            "--det-threshold" => {
+                flags.check_cfg.max_rel_deterministic = value("--det-threshold")?
+                    .parse()
+                    .map_err(|_| "bad --det-threshold".to_string())?;
+            }
+            "--timing-threshold" => {
+                flags.check_cfg.max_rel_timing = value("--timing-threshold")?
+                    .parse()
+                    .map_err(|_| "bad --timing-threshold".to_string())?;
+            }
+            "--accel-artifacts" => {
+                flags.accel_artifacts = Some(PathBuf::from(value("--accel-artifacts")?));
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if let Some(l) = label {
+        flags.cfg.label = l;
+    }
+    if let Some(r) = reps {
+        flags.cfg.reps = r.max(1);
+    }
+    Ok(flags)
+}
+
+fn run_mode(flags: &Flags) -> Result<i32, String> {
+    let cfg = &flags.cfg;
+    eprintln!(
+        "perfwatch: running {} suite (seed {}, {} reps)...",
+        cfg.scale_name(),
+        cfg.seed,
+        cfg.reps
+    );
+    let out_path = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", cfg.label)));
+    let report = perfwatch::run_suites(cfg);
+    // The writer carries the flush-on-drop contract; finish() reports
+    // errors eagerly on the happy path.
+    let mut writer = BenchWriter::new(&out_path, report);
+    writer
+        .finish()
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+    let report = writer.report().clone();
+
+    println!("suite    metric                                     value  unit");
+    for r in &report.records {
+        println!(
+            "{:<8} {:<40} {:>11.3}  {}",
+            r.suite, r.metric, r.value, r.unit
+        );
+    }
+    println!(
+        "wrote {} ({} records, git {})",
+        out_path.display(),
+        report.records.len(),
+        report.git_sha
+    );
+
+    if let Some(dir) = &flags.accel_artifacts {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        let (tables, prom, trace) = perfwatch::accel_observability(cfg);
+        for (name, body) in [
+            ("accel_breakdown.txt", &tables),
+            ("accel_metrics.prom", &prom),
+            ("accel_trace.json", &trace),
+        ] {
+            let p = dir.join(name);
+            std::fs::write(&p, body).map_err(|e| format!("writing {}: {e}", p.display()))?;
+        }
+        println!("{tables}");
+        println!("accel artifacts in {}", dir.display());
+    }
+
+    if let Some(baseline_path) = &flags.baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        let baseline = BenchReport::from_json(&text)
+            .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?;
+        let regressions = check_against_baseline(&report, &baseline, &flags.check_cfg);
+        if regressions.is_empty() {
+            println!(
+                "baseline {}: clean ({} metrics gated)",
+                baseline_path.display(),
+                baseline.records.len()
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("REGRESSION {r}");
+            }
+            eprintln!(
+                "{} regression(s) vs {}",
+                regressions.len(),
+                baseline_path.display()
+            );
+            if flags.check {
+                return Ok(1);
+            }
+        }
+    }
+    Ok(0)
+}
+
+fn figures_mode(flags: &Flags) -> Result<i32, String> {
+    let dir = flags
+        .out
+        .clone()
+        .ok_or_else(|| "figures mode needs --out <dir>".to_string())?;
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let scale = if flags.cfg.quick {
+        Scale::quick()
+    } else {
+        Scale::full()
+    };
+    let mut w = Workloads::new(scale, flags.cfg.seed);
+    let sections: Vec<(&str, String)> = vec![
+        ("fig1d", f::fig1d(&scale)),
+        ("fig6", f::fig6(&mut w)),
+        ("fig7", f::fig7(&mut w)),
+        ("oracle_perfwatt", f::oracle_perfwatt(&mut w)),
+        ("fig9", f::fig9(&scale)),
+        ("fig13", f::fig13(&scale)),
+        ("fig14", f::fig14(&scale)),
+        ("ablation_adaptive_s", f::ablation_adaptive_s(&scale)),
+        ("cpu_sec3e", f::cpu_section(&mut w)),
+        ("fig11", f::fig11(&mut w)),
+        ("fig15", f::fig15(&mut w)),
+        ("fig16", f::fig16(&mut w)),
+        ("fig17", f::fig17(&mut w)),
+        ("fig18", f::fig18(&mut w)),
+        ("tab_overheads", f::tab_overheads()),
+        ("sec7_spheres", f::sec7_spheres(&mut w)),
+        ("sec7_dadup", f::sec7_dadup(&scale)),
+    ];
+    for (name, body) in &sections {
+        write_section(&dir, name, body)?;
+    }
+    println!(
+        "wrote {} sections (text + JSON rows) to {}",
+        sections.len(),
+        dir.display()
+    );
+    Ok(0)
+}
+
+fn write_section(dir: &Path, name: &str, body: &str) -> Result<(), String> {
+    let txt = dir.join(format!("{name}.txt"));
+    std::fs::write(&txt, body).map_err(|e| format!("writing {}: {e}", txt.display()))?;
+    let json = dir.join(format!("{name}.json"));
+    let rows = tables_json(&parse_tables(body));
+    std::fs::write(&json, rows).map_err(|e| format!("writing {}: {e}", json.display()))?;
+    Ok(())
+}
+
+fn main() {
+    let flags = match parse_flags() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("copred_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match flags.mode {
+        Mode::Run => run_mode(&flags),
+        Mode::Figures => figures_mode(&flags),
+    };
+    match result {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("copred_bench: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   oplog=oplog.tsv       op-log output path ("-" to skip)
 //!   metrics_interval=1    sample global stats every N seconds into a
 //!                         sidecar TSV next to the op-log
+//!   bench_json=bench.json also write the run summary as a perfwatch
+//!                         BENCH-schema JSON report (see `copred_bench`)
 //!   inproc=1              start the server in this process (addr ignored)
 //!   trace=trace.json      write a Chrome trace of the run (implies inproc)
 //!   ab=1                  A/B the observability overhead: replay twice
@@ -35,6 +37,7 @@ struct Args {
     queries: usize,
     seed: u64,
     oplog: String,
+    bench_json: Option<String>,
     trace: Option<String>,
     inproc: bool,
     ab: bool,
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         queries: 8,
         seed: 42,
         oplog: "oplog.tsv".to_string(),
+        bench_json: None,
         trace: None,
         inproc: false,
         ab: false,
@@ -96,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
                 args.lg.seed = args.seed;
             }
             "oplog" => args.oplog = value.to_string(),
+            "bench_json" => args.bench_json = Some(value.to_string()),
             "metrics_interval" => {
                 let secs: f64 = value
                     .parse()
@@ -283,6 +288,13 @@ fn main() {
     println!("retries       {}", report.retries);
     println!("wall_s        {:.3}", report.wall_ns as f64 / 1e9);
     println!("checks_per_s  {:.1}", report.checks_per_sec());
+    if let Some(path) = &args.bench_json {
+        if let Err(e) = write_bench_json(path, &args, &report) {
+            eprintln!("copred_loadgen: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench_json    {path}");
+    }
     if args.oplog != "-" {
         if let Err(e) = std::fs::write(&args.oplog, write_oplog(&report.ops)) {
             eprintln!("copred_loadgen: writing {}: {e}", args.oplog);
@@ -301,6 +313,74 @@ fn main() {
             );
         }
     }
+}
+
+/// Writes the run summary as a perfwatch BENCH-schema report so ad-hoc
+/// loadgen runs land in the same machine-readable trajectory as the
+/// canonical `copred_bench` suite.
+fn write_bench_json(path: &str, args: &Args, report: &LoadgenReport) -> std::io::Result<()> {
+    use copred_obs::{BenchRecord, BenchReport, BenchWriter, Better};
+    let label = format!("loadgen_{}_{}", args.combo.label(), args.lg.mode.label());
+    let bench = BenchReport::new(
+        &label,
+        &copred_bench::perfwatch::git_sha(),
+        args.seed,
+        "custom",
+    );
+    // Flush-on-drop (same contract as the op-log writer): the report lands
+    // on disk even if a later step panics.
+    let mut w = BenchWriter::new(std::path::Path::new(path), bench);
+    let saved = (report.cdqs_total - report.cdqs_issued) as f64;
+    for (metric, value, unit, better) in [
+        ("checks", report.checks as f64, "checks", Better::Higher),
+        (
+            "cdqs_issued",
+            report.cdqs_issued as f64,
+            "cdqs",
+            Better::Lower,
+        ),
+        (
+            "cdqs_total",
+            report.cdqs_total as f64,
+            "cdqs",
+            Better::Lower,
+        ),
+        (
+            "cdqs_saved_frac",
+            saved / report.cdqs_total.max(1) as f64,
+            "fraction",
+            Better::Higher,
+        ),
+    ] {
+        w.push(BenchRecord::deterministic(
+            "loadgen", metric, value, unit, better,
+        ));
+    }
+    let lat = check_latencies(report);
+    for (q, metric) in [(0.5, "p50_ns"), (0.95, "p95_ns"), (0.99, "p99_ns")] {
+        w.push(BenchRecord::timing(
+            "loadgen",
+            metric,
+            &[quantile_ns(&lat, q) as f64],
+            "ns",
+            Better::Lower,
+        ));
+    }
+    w.push(BenchRecord::timing(
+        "loadgen",
+        "wall_s",
+        &[report.wall_ns as f64 / 1e9],
+        "s",
+        Better::Lower,
+    ));
+    w.push(BenchRecord::timing(
+        "loadgen",
+        "checks_per_s",
+        &[report.checks_per_sec()],
+        "checks/s",
+        Better::Higher,
+    ));
+    w.finish()
 }
 
 /// Sidecar stats path next to the op-log: `oplog.tsv` → `oplog.stats.tsv`.

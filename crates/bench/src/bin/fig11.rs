@@ -1,6 +1,6 @@
 //! Regenerates Fig. 11 plus the §III-E CPU section.
 fn main() {
-    let mut w = copred_bench::Workloads::new(copred_bench::Scale::from_env(), 42);
+    let mut w = copred_bench::Workloads::new(copred_bench::Scale::from_env_or_exit(), 42);
     print!("{}", copred_bench::figures::cpu_section(&mut w));
     print!("{}", copred_bench::figures::fig11(&mut w));
 }

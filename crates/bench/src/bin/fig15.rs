@@ -1,5 +1,5 @@
 //! Regenerates Fig. 15.
 fn main() {
-    let mut w = copred_bench::Workloads::new(copred_bench::Scale::from_env(), 42);
+    let mut w = copred_bench::Workloads::new(copred_bench::Scale::from_env_or_exit(), 42);
     print!("{}", copred_bench::figures::fig15(&mut w));
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 9.
 fn main() {
-    let scale = copred_bench::Scale::from_env();
+    let scale = copred_bench::Scale::from_env_or_exit();
     print!("{}", copred_bench::figures::fig9(&scale));
 }

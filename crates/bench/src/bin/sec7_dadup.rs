@@ -1,5 +1,5 @@
 //! Regenerates the §VII-2 Dadu-P study.
 fn main() {
-    let scale = copred_bench::Scale::from_env();
+    let scale = copred_bench::Scale::from_env_or_exit();
     print!("{}", copred_bench::figures::sec7_dadup(&scale));
 }

@@ -1,5 +1,5 @@
 //! Regenerates the §VII-1 sphere-CDU study.
 fn main() {
-    let mut w = copred_bench::Workloads::new(copred_bench::Scale::from_env(), 42);
+    let mut w = copred_bench::Workloads::new(copred_bench::Scale::from_env_or_exit(), 42);
     print!("{}", copred_bench::figures::sec7_spheres(&mut w));
 }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perfwatch;
 pub mod replay;
 pub mod table;
 pub mod workloads;

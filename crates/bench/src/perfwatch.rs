@@ -1,0 +1,637 @@
+//! The canonical seeded benchmark suite behind the `copred_bench` binary:
+//! schedule CDQ-reduction on planner workloads, swexec CPU/GPU replay,
+//! loopback server latency from the service's `LatencyHistogram`, and
+//! `AccelSim` cycles/energy/perf-per-watt — emitted as a
+//! [`copred_obs::BenchReport`] (`BENCH_<label>.json`) so every run joins
+//! the repo's machine-readable benchmark trajectory.
+//!
+//! Deterministic metrics (counts, simulated cycles, modeled energy) are
+//! measured once and must reproduce bit-identically under a fixed seed;
+//! wall-clock metrics run `reps` times and report median/mean/stddev.
+
+use crate::replay::{replay_coord, replay_schedule};
+use crate::workloads::{planner_traces, Algo, Combo, RobotKind, Scale};
+use copred_accel::{
+    accel_prom_page, perf_report, AccelConfig, AccelObserver, AccelRunResult, AccelSim, AreaModel,
+    EnergyModel,
+};
+use copred_collision::{Environment, Schedule};
+use copred_core::{ChtParams, CoordHash};
+use copred_geometry::{Aabb, Vec3};
+use copred_kinematics::{presets, Motion, Robot};
+use copred_obs::{BenchRecord, BenchReport, Better};
+use copred_planners::{MotionRecord, PlanLog, Stage};
+use copred_service::protocol::SchedMode;
+use copred_service::{run_loadgen, LoadgenConfig, Pacing, Server, ServerConfig};
+use copred_swexec::{run_cpu, run_gpu_model, CpuExecConfig, GpuModelParams, MOTION_LANES};
+use copred_trace::{MotionTrace, QueryTrace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What one `copred_bench` invocation measures.
+#[derive(Debug, Clone)]
+pub struct PerfwatchConfig {
+    /// Run label — lands in the report header and the default file name.
+    pub label: String,
+    /// Workload seed; same seed ⇒ byte-identical deterministic metrics.
+    pub seed: u64,
+    /// Repetitions for wall-clock metrics.
+    pub reps: usize,
+    /// `quick` (CI-sized) or `full` workloads.
+    pub quick: bool,
+}
+
+impl PerfwatchConfig {
+    /// The CI-sized suite (seconds, offline).
+    pub fn quick() -> Self {
+        PerfwatchConfig {
+            label: "quick".to_string(),
+            seed: 42,
+            reps: 3,
+            quick: true,
+        }
+    }
+
+    /// The larger nightly-sized suite.
+    pub fn full() -> Self {
+        PerfwatchConfig {
+            label: "full".to_string(),
+            seed: 42,
+            reps: 5,
+            quick: false,
+        }
+    }
+
+    /// Scale name recorded in the report header.
+    pub fn scale_name(&self) -> &'static str {
+        if self.quick {
+            "quick"
+        } else {
+            "full"
+        }
+    }
+
+    fn planner_scale(&self) -> Scale {
+        Scale {
+            queries: if self.quick { 3 } else { 8 },
+            ..Scale::quick()
+        }
+    }
+
+    fn schedule_combos(&self) -> Vec<Combo> {
+        let planar = |algo| Combo {
+            algo,
+            robot: RobotKind::Planar2d,
+        };
+        if self.quick {
+            vec![planar(Algo::Mpnet), planar(Algo::Gnnmp)]
+        } else {
+            vec![
+                planar(Algo::Mpnet),
+                planar(Algo::Gnnmp),
+                planar(Algo::BitStar),
+                Combo {
+                    algo: Algo::Mpnet,
+                    robot: RobotKind::Baxter,
+                },
+            ]
+        }
+    }
+
+    fn sim_motions(&self) -> usize {
+        if self.quick {
+            60
+        } else {
+            300
+        }
+    }
+}
+
+/// The short git SHA of the working tree, or `unknown` outside a checkout
+/// (git SHAs are run provenance, never compared by the baseline checker).
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// A fixed seeded planar workload shared by the swexec and accel suites:
+/// random motions against two obstacles, with ground-truth collision
+/// labels, as both raw pose lists and CDQ traces.
+fn sim_workload(n: usize, seed: u64) -> (Robot, Environment, Vec<MotionTrace>) {
+    let robot: Robot = presets::planar_2d().into();
+    // Dense enough that roughly half the motions collide: the COPU design
+    // point is collision-heavy planner traffic (early exit pays there).
+    let env = Environment::new(
+        robot.workspace(),
+        vec![
+            Aabb::new(Vec3::new(0.1, -1.0, -0.1), Vec3::new(0.5, 0.6, 0.1)),
+            Aabb::new(Vec3::new(-0.7, -0.3, -0.1), Vec3::new(-0.4, 0.0, 0.1)),
+            Aabb::new(Vec3::new(-0.2, 0.55, -0.1), Vec3::new(0.2, 0.9, 0.1)),
+            Aabb::new(Vec3::new(-1.0, -0.9, -0.1), Vec3::new(-0.5, -0.6, 0.1)),
+            Aabb::new(Vec3::new(0.6, -0.6, -0.1), Vec3::new(0.95, -0.2, 0.1)),
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records: Vec<MotionRecord> = (0..n)
+        .map(|_| {
+            let poses = Motion::new(
+                robot.sample_uniform(&mut rng),
+                robot.sample_uniform(&mut rng),
+            )
+            .discretize(24);
+            let colliding = copred_collision::motion_collides(&robot, &env, &poses);
+            MotionRecord {
+                poses,
+                stage: Stage::Explore,
+                colliding,
+            }
+        })
+        .collect();
+    let trace = QueryTrace::from_log(&robot, &env, &PlanLog { records });
+    (robot, env, trace.motions)
+}
+
+/// Runs the full suite and returns the report (no file I/O).
+pub fn run_suites(cfg: &PerfwatchConfig) -> BenchReport {
+    let mut report = BenchReport::new(&cfg.label, &git_sha(), cfg.seed, cfg.scale_name());
+    schedule_suite(cfg, &mut report.records);
+    swexec_suite(cfg, &mut report.records);
+    service_suite(cfg, &mut report.records);
+    accel_suite(cfg, &mut report.records);
+    report
+}
+
+/// Schedule suite: CDQ counts of the reference schedules and software
+/// COORD on planner-generated workloads — the paper's Fig. 15 axis.
+fn schedule_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
+    let scale = cfg.planner_scale();
+    for combo in cfg.schedule_combos() {
+        let traces = planner_traces(&combo, &scale, cfg.seed);
+        let robot = combo.robot.robot();
+        let hash = CoordHash::paper_default(&robot);
+        let cht = match combo.robot {
+            RobotKind::Planar2d => ChtParams::paper_2d(),
+            _ => ChtParams::paper_arm(),
+        };
+        let mut naive = 0u64;
+        let mut csp = 0u64;
+        let mut coord = 0u64;
+        for t in &traces {
+            naive += replay_schedule(t, Schedule::Naive);
+            csp += replay_schedule(t, Schedule::csp_default());
+            coord += replay_coord(t, &hash, cht, cfg.seed);
+        }
+        let label = combo.label();
+        out.push(BenchRecord::deterministic(
+            "schedule",
+            &format!("{label}_cdqs_naive"),
+            naive as f64,
+            "cdqs",
+            Better::Lower,
+        ));
+        out.push(BenchRecord::deterministic(
+            "schedule",
+            &format!("{label}_cdqs_csp"),
+            csp as f64,
+            "cdqs",
+            Better::Lower,
+        ));
+        out.push(BenchRecord::deterministic(
+            "schedule",
+            &format!("{label}_cdqs_coord"),
+            coord as f64,
+            "cdqs",
+            Better::Lower,
+        ));
+        out.push(BenchRecord::deterministic(
+            "schedule",
+            &format!("{label}_coord_saved_vs_csp"),
+            1.0 - coord as f64 / csp.max(1) as f64,
+            "fraction",
+            Better::Higher,
+        ));
+    }
+}
+
+/// Swexec suite: software-executor CDQ counts (deterministic at one
+/// thread; the multithreaded interleaving is not) plus wall-clock replay
+/// throughput, and the modeled GPU executor.
+fn swexec_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
+    let (robot, env, motions) = sim_workload(cfg.sim_motions(), cfg.seed);
+    let poses: Vec<Vec<copred_kinematics::Config>> =
+        motions.iter().map(|m| m.poses.clone()).collect();
+
+    // Deterministic: single-threaded CPU replay (shared-CHT interleaving
+    // makes multi-threaded CDQ counts run-dependent).
+    let det = run_cpu(
+        &robot,
+        &env,
+        &poses,
+        &CpuExecConfig {
+            n_threads: 1,
+            with_prediction: true,
+            cht_params: ChtParams::paper_2d(),
+            seed: cfg.seed,
+        },
+    );
+    out.push(BenchRecord::deterministic(
+        "swexec",
+        "cpu_cdqs_1t",
+        det.cdqs_executed as f64,
+        "cdqs",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "swexec",
+        "cpu_colliding_motions",
+        det.colliding_motions as f64,
+        "motions",
+        Better::Higher,
+    ));
+
+    // Timing: multithreaded replay throughput.
+    let samples: Vec<f64> = (0..cfg.reps)
+        .map(|_| {
+            let r = run_cpu(
+                &robot,
+                &env,
+                &poses,
+                &CpuExecConfig {
+                    n_threads: 4,
+                    with_prediction: true,
+                    cht_params: ChtParams::paper_2d(),
+                    seed: cfg.seed,
+                },
+            );
+            poses.len() as f64 / r.wall_time.as_secs_f64().max(1e-9)
+        })
+        .collect();
+    out.push(BenchRecord::timing(
+        "swexec",
+        "cpu_motions_per_s_4t",
+        &samples,
+        "motions_per_s",
+        Better::Higher,
+    ));
+
+    // Deterministic: the GPU analytic model (counts and modeled time).
+    let gpu_pred = run_gpu_model(
+        &motions,
+        MOTION_LANES,
+        true,
+        &GpuModelParams::default(),
+        ChtParams::paper_2d(),
+        cfg.seed,
+    );
+    let gpu_base = run_gpu_model(
+        &motions,
+        MOTION_LANES,
+        false,
+        &GpuModelParams::default(),
+        ChtParams::paper_2d(),
+        cfg.seed,
+    );
+    out.push(BenchRecord::deterministic(
+        "swexec",
+        "gpu_cdqs_64t",
+        gpu_pred.cdqs as f64,
+        "cdqs",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "swexec",
+        "gpu_modeled_time_64t",
+        gpu_pred.time,
+        "model_units",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "swexec",
+        "gpu_cdqs_saved_frac",
+        1.0 - gpu_pred.cdqs as f64 / gpu_base.cdqs.max(1) as f64,
+        "fraction",
+        Better::Higher,
+    ));
+}
+
+/// Service suite: a loopback replay against a fresh in-process server per
+/// repetition; p50/p95/p99 come from the server's own `LatencyHistogram`
+/// (the metric the `/metrics` page exports).
+fn service_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
+    let combo = Combo {
+        algo: Algo::Mpnet,
+        robot: RobotKind::Planar2d,
+    };
+    let traces = planner_traces(&combo, &cfg.planner_scale(), cfg.seed);
+    let mut p50 = Vec::new();
+    let mut p95 = Vec::new();
+    let mut p99 = Vec::new();
+    let mut throughput = Vec::new();
+    let mut cdqs_issued = 0u64;
+    let mut checks = 0u64;
+    for rep in 0..cfg.reps.max(1) {
+        let mut server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        })
+        .expect("start loopback server");
+        let lg = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            connections: 2,
+            mode: SchedMode::Coord,
+            seed: cfg.seed,
+            pacing: Pacing::Closed,
+            batch: 8,
+            ..LoadgenConfig::default()
+        };
+        let r = run_loadgen(&lg, &traces).expect("loopback replay");
+        let hist = &server.metrics().check_latency;
+        p50.push(hist.quantile(0.5).unwrap_or(0) as f64);
+        p95.push(hist.quantile(0.95).unwrap_or(0) as f64);
+        p99.push(hist.quantile(0.99).unwrap_or(0) as f64);
+        throughput.push(r.checks_per_sec());
+        if rep == 0 {
+            cdqs_issued = r.cdqs_issued;
+            checks = r.checks;
+        }
+        server.shutdown();
+    }
+    out.push(BenchRecord::deterministic(
+        "service",
+        "loopback_cdqs_issued",
+        cdqs_issued as f64,
+        "cdqs",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "service",
+        "loopback_checks",
+        checks as f64,
+        "checks",
+        Better::Higher,
+    ));
+    out.push(BenchRecord::timing(
+        "service",
+        "loopback_p50_ns",
+        &p50,
+        "ns",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::timing(
+        "service",
+        "loopback_p95_ns",
+        &p95,
+        "ns",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::timing(
+        "service",
+        "loopback_p99_ns",
+        &p99,
+        "ns",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::timing(
+        "service",
+        "loopback_checks_per_s",
+        &throughput,
+        "checks_per_s",
+        Better::Higher,
+    ));
+}
+
+/// Accel suite: cycle-level simulation of the baseline accelerator vs the
+/// COPU configuration — cycles, CDQs, energy, perf/watt, and the busy
+/// fraction from the per-cycle stall attribution.
+fn accel_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
+    // Planner traffic, not uniform-random motions: the COPU design point is
+    // correlated, collision-heavy CDQ streams (same workload family as
+    // Fig. 15, paper CDU count).
+    let combo = Combo {
+        algo: Algo::Mpnet,
+        robot: RobotKind::Planar2d,
+    };
+    let traces = planner_traces(&combo, &cfg.planner_scale(), cfg.seed.wrapping_add(1));
+    let robot = combo.robot.robot();
+    let em = EnergyModel::default();
+    let am = AreaModel::default();
+    // §VI-B2 performance CHT (1-bit counters, most-aggressive strategy,
+    // U = 0) — the configuration the paper's speedup numbers use; sized for
+    // the 2D C-space.
+    let cht = ChtParams {
+        bits: 10,
+        ..ChtParams::paper_1bit()
+    };
+
+    // Per-query runs with history reset, like the figure harnesses: the
+    // paper measures per-query latency, and the CHT must not carry state
+    // across planning queries.
+    let mut base = AccelSim::new(AccelConfig::baseline(7), CoordHash::paper_default(&robot));
+    let mut copu = AccelSim::new(AccelConfig::copu(7, cht), CoordHash::paper_default(&robot));
+    let mut obs = AccelObserver::new();
+    let mut rb = AccelRunResult::default();
+    let mut rc = AccelRunResult::default();
+    for t in &traces {
+        base.reset_query();
+        let r = base.run_query(&t.motions);
+        rb.motions += r.motions;
+        rb.colliding_motions += r.colliding_motions;
+        rb.total_cycles += r.total_cycles;
+        rb.events.merge(&r.events);
+
+        copu.reset_query();
+        let r = copu.run_query_observed(&t.motions, &mut obs);
+        rc.motions += r.motions;
+        rc.colliding_motions += r.colliding_motions;
+        rc.total_cycles += r.total_cycles;
+        rc.events.merge(&r.events);
+    }
+    let pb = perf_report(&base, &rb, &em, &am);
+    let pc = perf_report(&copu, &rc, &em, &am);
+
+    out.push(BenchRecord::deterministic(
+        "accel",
+        "baseline_cycles",
+        rb.total_cycles as f64,
+        "cycles",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "accel",
+        "copu_cycles",
+        rc.total_cycles as f64,
+        "cycles",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "accel",
+        "copu_speedup",
+        rb.total_cycles as f64 / rc.total_cycles.max(1) as f64,
+        "ratio",
+        Better::Higher,
+    ));
+    out.push(BenchRecord::deterministic(
+        "accel",
+        "copu_cdqs",
+        rc.cdqs_executed() as f64,
+        "cdqs",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "accel",
+        "copu_energy_pj",
+        pc.energy_pj,
+        "pj",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "accel",
+        "copu_perf_per_watt",
+        pc.perf_per_watt,
+        "checks_per_mcycle_per_w",
+        Better::Higher,
+    ));
+    out.push(BenchRecord::deterministic(
+        "accel",
+        "copu_perf_per_watt_vs_baseline",
+        pc.perf_per_watt / pb.perf_per_watt.max(f64::MIN_POSITIVE),
+        "ratio",
+        Better::Higher,
+    ));
+    out.push(BenchRecord::deterministic(
+        "accel",
+        "copu_busy_frac",
+        obs.stalls.busy as f64 / obs.stalls.total().max(1) as f64,
+        "fraction",
+        Better::Higher,
+    ));
+}
+
+/// The accel deep-observability artifacts for one seeded COPU run: the
+/// `copred_accel_*` Prometheus page, the per-component energy table, the
+/// stall-attribution table, and the simulated-time Chrome trace JSON.
+pub fn accel_observability(cfg: &PerfwatchConfig) -> (String, String, String) {
+    let (robot, _env, motions) = sim_workload(cfg.sim_motions(), cfg.seed.wrapping_add(1));
+    let em = EnergyModel::default();
+    let am = AreaModel::default();
+    let cht = ChtParams::paper_2d();
+    let mut sim = AccelSim::new(AccelConfig::copu(4, cht), CoordHash::paper_default(&robot));
+    let mut obs = AccelObserver::with_trace(4);
+    let r = sim.run_query_observed(&motions, &mut obs);
+    let area = sim.area_mm2(&am, &em);
+    let bd = r.energy_breakdown(&em, area, &cht);
+
+    let energy_rows: Vec<Vec<String>> = bd
+        .rows()
+        .iter()
+        .map(|(c, pj)| {
+            vec![
+                c.to_string(),
+                crate::table::num(*pj, 1),
+                crate::table::pct(pj / bd.total_pj().max(f64::MIN_POSITIVE)),
+            ]
+        })
+        .collect();
+    let energy_table = crate::table::render_table(
+        "accel energy breakdown (COPU.4)",
+        &["component", "pj", "share"],
+        &energy_rows,
+    );
+    let stall_rows: Vec<Vec<String>> = obs
+        .stalls
+        .rows()
+        .iter()
+        .map(|(reason, cycles)| {
+            vec![
+                reason.to_string(),
+                cycles.to_string(),
+                crate::table::pct(*cycles as f64 / obs.stalls.total().max(1) as f64),
+            ]
+        })
+        .collect();
+    let stall_table = crate::table::render_table(
+        "accel stall attribution (COPU.4)",
+        &["reason", "cycles", "share"],
+        &stall_rows,
+    );
+    let prom = accel_prom_page(&r, &obs.stalls, &bd);
+    let trace_json = obs.trace().expect("trace enabled").to_chrome_json();
+    (format!("{energy_table}\n{stall_table}"), prom, trace_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_obs::MetricKind;
+
+    fn tiny() -> PerfwatchConfig {
+        PerfwatchConfig {
+            label: "tiny".to_string(),
+            seed: 7,
+            reps: 1,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn suite_covers_all_four_subsystems() {
+        let report = run_suites(&tiny());
+        for suite in ["schedule", "swexec", "service", "accel"] {
+            assert!(
+                report.records.iter().any(|r| r.suite == suite),
+                "missing suite {suite}"
+            );
+        }
+        // Metric names are unique within a suite.
+        let mut keys: Vec<(String, String)> = report
+            .records
+            .iter()
+            .map(|r| (r.suite.clone(), r.metric.clone()))
+            .collect();
+        keys.sort();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate suite/metric");
+    }
+
+    #[test]
+    fn deterministic_metrics_reproduce_across_runs() {
+        let a = run_suites(&tiny());
+        let b = run_suites(&tiny());
+        for ra in a
+            .records
+            .iter()
+            .filter(|r| r.kind == MetricKind::Deterministic)
+        {
+            let rb = b
+                .record(&ra.suite, &ra.metric)
+                .unwrap_or_else(|| panic!("missing {}/{}", ra.suite, ra.metric));
+            assert!(
+                ra.value.to_bits() == rb.value.to_bits(),
+                "{}/{} not reproducible: {} vs {}",
+                ra.suite,
+                ra.metric,
+                ra.value,
+                rb.value
+            );
+        }
+    }
+
+    #[test]
+    fn accel_observability_artifacts_are_consistent() {
+        let (tables, prom, trace) = accel_observability(&tiny());
+        assert!(tables.contains("accel energy breakdown"));
+        assert!(tables.contains("accel stall attribution"));
+        let samples = copred_obs::parse_prometheus(&prom).expect("prom page parses");
+        assert!(samples.iter().all(|s| s.name.starts_with("copred_accel_")));
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("cdu0"));
+    }
+}

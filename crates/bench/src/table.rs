@@ -30,6 +30,155 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     out
 }
 
+/// A table recovered from [`render_table`] output by [`parse_tables`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedTable {
+    /// The `== title` line, without the marker.
+    pub title: String,
+    /// Header cells.
+    pub headers: Vec<String>,
+    /// Data rows (cells, left to right).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Parses every [`render_table`]-formatted table out of a text blob,
+/// ignoring prose around them. Cells are recovered by splitting on runs of
+/// two or more spaces — the renderer always separates columns by at least
+/// two, and cell contents only ever contain single spaces.
+pub fn parse_tables(text: &str) -> Vec<ParsedTable> {
+    let split = |line: &str| -> Vec<String> {
+        let mut cells = Vec::new();
+        let mut cur = String::new();
+        let mut spaces = 0usize;
+        for c in line.trim().chars() {
+            if c == ' ' {
+                spaces += 1;
+            } else {
+                if spaces >= 2 && !cur.is_empty() {
+                    cells.push(std::mem::take(&mut cur));
+                } else if spaces > 0 && !cur.is_empty() {
+                    cur.push(' ');
+                }
+                spaces = 0;
+                cur.push(c);
+            }
+        }
+        if !cur.is_empty() {
+            cells.push(cur);
+        }
+        cells
+    };
+    let mut out = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let Some(title) = line.strip_prefix("== ") else {
+            continue;
+        };
+        let Some(header_line) = lines.next() else {
+            break;
+        };
+        let headers = split(header_line);
+        // The dash rule confirms this really is a rendered table.
+        let Some(rule) = lines.peek() else { break };
+        if rule.is_empty() || !rule.chars().all(|c| c == '-') {
+            continue;
+        }
+        lines.next();
+        let mut rows = Vec::new();
+        while let Some(&row) = lines.peek() {
+            if row.trim().is_empty() || row.starts_with("== ") {
+                break;
+            }
+            rows.push(split(row));
+            lines.next();
+        }
+        out.push(ParsedTable {
+            title: title.to_string(),
+            headers,
+            rows,
+        });
+    }
+    out
+}
+
+/// Renders parsed tables as flat JSON rows — one object per data cell:
+/// `{"table", "row_index", "row_key", "column", "text", "value"}` where
+/// `value` is the numeric reading of the cell (percentages as fractions,
+/// `N.NNx` ratios as plain numbers) or `null` for non-numeric cells. This
+/// is how figure output joins the machine-readable benchmark trajectory.
+pub fn tables_json(tables: &[ParsedTable]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for t in tables {
+        for (ri, row) in t.rows.iter().enumerate() {
+            let row_key = row.first().map(String::as_str).unwrap_or("");
+            for (ci, cell) in row.iter().enumerate() {
+                let column = t.headers.get(ci).map(String::as_str).unwrap_or("");
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let value = match cell_value(cell) {
+                    Some(v) => fmt_json_num(v),
+                    None => "null".to_string(),
+                };
+                write!(
+                    out,
+                    "  {{\"table\": \"{}\", \"row_index\": {ri}, \"row_key\": \"{}\", \
+                     \"column\": \"{}\", \"text\": \"{}\", \"value\": {value}}}",
+                    esc(&t.title),
+                    esc(row_key),
+                    esc(column),
+                    esc(cell)
+                )
+                .unwrap();
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Numeric reading of a rendered cell: plain numbers, `12.3%` percentages
+/// (returned as fractions), and `1.23x` ratios.
+fn cell_value(cell: &str) -> Option<f64> {
+    if let Some(p) = cell.strip_suffix('%') {
+        return p.parse::<f64>().ok().map(|v| v / 100.0);
+    }
+    if let Some(r) = cell.strip_suffix('x') {
+        if let Ok(v) = r.parse::<f64>() {
+            return Some(v);
+        }
+    }
+    cell.parse::<f64>().ok()
+}
+
+fn fmt_json_num(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
@@ -72,5 +221,58 @@ mod tests {
         assert_eq!(pct(0.253), "25.3%");
         assert_eq!(ratio(1.234), "1.23x");
         assert_eq!(num(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn parse_tables_round_trips_rendered_output() {
+        let rendered = format!(
+            "prose before\n{}\nprose between\n{}",
+            render_table(
+                "one",
+                &["combo", "cdqs saved", "ratio"],
+                &[
+                    vec!["MPNet-Baxter".into(), "41.2%".into(), "1.96x".into()],
+                    vec!["BIT*-2D".into(), "7.0%".into(), "1.01x".into()],
+                ],
+            ),
+            render_table("two", &["k", "v"], &[vec!["a b".into(), "3".into()]]),
+        );
+        let tables = parse_tables(&rendered);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].title, "one");
+        assert_eq!(tables[0].headers, ["combo", "cdqs saved", "ratio"]);
+        assert_eq!(
+            tables[0].rows[0],
+            ["MPNet-Baxter", "41.2%", "1.96x"],
+            "cells with single internal spaces survive"
+        );
+        assert_eq!(tables[1].rows[0], ["a b", "3"]);
+    }
+
+    #[test]
+    fn tables_json_emits_one_object_per_cell() {
+        let t = parse_tables(&render_table(
+            "demo",
+            &["name", "saved"],
+            &[vec!["x".into(), "25.0%".into()]],
+        ));
+        let json = tables_json(&t);
+        assert!(json.contains("\"table\": \"demo\""));
+        assert!(json.contains("\"row_key\": \"x\""));
+        assert!(json.contains("\"column\": \"saved\""));
+        // Percentage parsed to a fraction; name cell is null-valued.
+        assert!(json.contains("\"text\": \"25.0%\", \"value\": 0.25"));
+        assert!(json.contains("\"text\": \"x\", \"value\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn cell_values_parse_common_formats() {
+        assert_eq!(cell_value("41.2%"), Some(41.2 / 100.0));
+        assert_eq!(cell_value("1.96x"), Some(1.96));
+        assert_eq!(cell_value("123"), Some(123.0));
+        assert_eq!(cell_value("-0.5"), Some(-0.5));
+        assert_eq!(cell_value("MPNet-Baxter"), None);
+        assert_eq!(cell_value("1.2% / 3.4%"), None);
     }
 }

@@ -53,12 +53,33 @@ impl Scale {
         }
     }
 
-    /// Reads `COPRED_SCALE` from the environment.
-    pub fn from_env() -> Self {
-        match std::env::var("COPRED_SCALE").as_deref() {
-            Ok("full") => Scale::full(),
-            _ => Scale::quick(),
+    /// Reads `COPRED_SCALE` from the environment: `quick` (also the
+    /// default when unset) or `full`.
+    ///
+    /// # Errors
+    ///
+    /// An unknown value is an error listing the valid names — a typo like
+    /// `COPRED_SCALE=ful` must not silently run the quick suite.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("COPRED_SCALE") {
+            Err(std::env::VarError::NotPresent) => Ok(Scale::quick()),
+            Err(e) => Err(format!("COPRED_SCALE is not valid unicode: {e}")),
+            Ok(v) => match v.as_str() {
+                "quick" => Ok(Scale::quick()),
+                "full" => Ok(Scale::full()),
+                other => Err(format!(
+                    "unknown COPRED_SCALE '{other}' (valid: quick, full)"
+                )),
+            },
         }
+    }
+
+    /// [`Scale::from_env`] for binaries: prints the error and exits 2.
+    pub fn from_env_or_exit() -> Self {
+        Scale::from_env().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
     }
 }
 
@@ -298,7 +319,7 @@ mod tests {
     #[test]
     fn scale_env_parsing_defaults_quick() {
         // (Environment variable not set in tests.)
-        assert_eq!(Scale::from_env(), Scale::quick());
+        assert_eq!(Scale::from_env(), Ok(Scale::quick()));
         assert!(Scale::full().queries > Scale::quick().queries);
     }
 

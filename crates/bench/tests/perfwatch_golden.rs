@@ -1,0 +1,87 @@
+//! Stability contract for the perfwatch BENCH JSON schema.
+//!
+//! The golden file pins the exact serialized form (field order, number
+//! formatting, schema version) of a fixed synthetic report. CI diffs mean
+//! the schema changed — bump `BENCH_SCHEMA_VERSION` and regenerate with
+//! `REGEN_GOLDEN=1 cargo test -p copred-bench --test perfwatch_golden`.
+
+use copred_obs::{
+    check_against_baseline, BenchRecord, BenchReport, Better, CheckConfig, BENCH_SCHEMA_VERSION,
+};
+
+/// A fixed synthetic report — no live benchmark runs, so the golden bytes
+/// depend only on the serializer.
+fn fixture() -> BenchReport {
+    let mut r = BenchReport::new("golden", "0123456789ab", 42, "quick");
+    r.records.push(BenchRecord::deterministic(
+        "schedule",
+        "mpnet2d_cdqs_coord",
+        1234.0,
+        "cdqs",
+        Better::Lower,
+    ));
+    r.records.push(BenchRecord::deterministic(
+        "accel",
+        "copu_speedup",
+        4.5,
+        "ratio",
+        Better::Higher,
+    ));
+    r.records.push(BenchRecord::timing(
+        "service",
+        "loopback_p99",
+        &[120.0, 100.0, 110.0],
+        "us",
+        Better::Lower,
+    ));
+    r
+}
+
+#[test]
+fn bench_json_matches_golden() {
+    let got = fixture().to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/bench_quick.json");
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing; regenerate with REGEN_GOLDEN=1 cargo test -p copred-bench");
+    assert_eq!(
+        got, want,
+        "BENCH JSON schema drifted; if intentional, bump BENCH_SCHEMA_VERSION \
+         and regenerate with REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_round_trips_through_parser() {
+    let report = fixture();
+    let parsed = BenchReport::from_json(&report.to_json()).expect("parse own output");
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.schema_version, BENCH_SCHEMA_VERSION);
+}
+
+#[test]
+fn check_flags_artificially_slowed_run() {
+    let baseline = fixture();
+    let mut slowed = fixture();
+    // Doctor the current run: a deterministic count regresses by 2x (way
+    // past the 25% gate) and the timing metric by 10x (past the 4x gate).
+    for rec in &mut slowed.records {
+        match rec.metric.as_str() {
+            "mpnet2d_cdqs_coord" => rec.value *= 2.0,
+            "loopback_p99" => rec.value *= 10.0,
+            _ => {}
+        }
+    }
+    let regressions = check_against_baseline(&slowed, &baseline, &CheckConfig::default());
+    let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+    assert!(metrics.contains(&"mpnet2d_cdqs_coord"), "{metrics:?}");
+    assert!(metrics.contains(&"loopback_p99"), "{metrics:?}");
+    // The untouched improvement-direction metric passes.
+    assert!(!metrics.contains(&"copu_speedup"), "{metrics:?}");
+
+    // The clean run is clean.
+    assert!(check_against_baseline(&fixture(), &baseline, &CheckConfig::default()).is_empty());
+}

@@ -1,0 +1,809 @@
+//! The machine-readable benchmark trajectory: a versioned, hand-rolled
+//! (std-only) JSON schema for `BENCH_<label>.json` files, a streaming
+//! writer with the op-log's flush-on-drop contract, and a noise-aware
+//! baseline checker that turns a committed `BENCH_*.json` into a CI
+//! perf-regression gate.
+//!
+//! One file is one [`BenchReport`]: a header (schema version, label, git
+//! SHA, seed, scale) plus flat [`BenchRecord`] rows
+//! (`{suite, metric, value, unit, reps, mean, stddev, kind, better}`).
+//! Deterministic metrics (CDQ counts, simulated cycles, modeled energy)
+//! carry `stddev = 0` and are gated tightly; timing metrics (wall-clock
+//! latency, throughput) carry their cross-repetition spread and are gated
+//! with generous thresholds so the gate catches gross regressions without
+//! flaking on scheduler noise.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the `BENCH_*.json` schema. Bump on any breaking change to
+/// the field set and note it in ROADMAP.md (the schema is a stability
+/// contract, like the `/metrics` page).
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Whether a metric's value is reproducible bit-for-bit under a fixed
+/// seed, or a wall-clock measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Same seed ⇒ same value (counts, simulated cycles, modeled energy).
+    Deterministic,
+    /// Wall-clock measurement; varies run to run and machine to machine.
+    Timing,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Deterministic => "deterministic",
+            MetricKind::Timing => "timing",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "deterministic" => Ok(MetricKind::Deterministic),
+            "timing" => Ok(MetricKind::Timing),
+            other => Err(format!("bad metric kind {other:?}")),
+        }
+    }
+}
+
+/// Which direction of change is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Larger is better (throughput, reduction fractions, perf/watt).
+    Higher,
+    /// Smaller is better (latency, cycles, energy).
+    Lower,
+}
+
+impl Better {
+    fn as_str(self) -> &'static str {
+        match self {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "higher" => Ok(Better::Higher),
+            "lower" => Ok(Better::Lower),
+            other => Err(format!("bad better direction {other:?}")),
+        }
+    }
+}
+
+/// One benchmark measurement row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Suite the metric belongs to (`schedule`, `swexec`, `service`,
+    /// `accel`, `loadgen`, ...).
+    pub suite: String,
+    /// Metric name, unique within the suite.
+    pub metric: String,
+    /// The reported value (median across repetitions for timing metrics).
+    pub value: f64,
+    /// Unit string (`cdqs`, `cycles`, `pj`, `ns`, `checks_per_s`,
+    /// `fraction`, `ratio`, ...).
+    pub unit: String,
+    /// Repetitions that produced `mean`/`stddev`.
+    pub reps: u64,
+    /// Mean across repetitions.
+    pub mean: f64,
+    /// Population standard deviation across repetitions.
+    pub stddev: f64,
+    /// Deterministic or timing.
+    pub kind: MetricKind,
+    /// Improvement direction, used by the baseline checker.
+    pub better: Better,
+}
+
+impl BenchRecord {
+    /// A seeded, reproducible metric: one repetition, zero spread.
+    pub fn deterministic(
+        suite: &str,
+        metric: &str,
+        value: f64,
+        unit: &str,
+        better: Better,
+    ) -> Self {
+        BenchRecord {
+            suite: suite.to_string(),
+            metric: metric.to_string(),
+            value,
+            unit: unit.to_string(),
+            reps: 1,
+            mean: value,
+            stddev: 0.0,
+            kind: MetricKind::Deterministic,
+            better,
+        }
+    }
+
+    /// A wall-clock metric summarized over repetitions: the reported value
+    /// is the median (robust to a single noisy rep), `mean`/`stddev` keep
+    /// the full spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty.
+    pub fn timing(suite: &str, metric: &str, samples: &[f64], unit: &str, better: Better) -> Self {
+        assert!(!samples.is_empty(), "timing metric needs >= 1 sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let var = sorted.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sorted.len() as f64;
+        BenchRecord {
+            suite: suite.to_string(),
+            metric: metric.to_string(),
+            value: median,
+            unit: unit.to_string(),
+            reps: sorted.len() as u64,
+            mean,
+            stddev: var.sqrt(),
+            kind: MetricKind::Timing,
+            better,
+        }
+    }
+}
+
+/// A full `BENCH_<label>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`] when written by this code).
+    pub schema_version: u64,
+    /// Run label (`quick`, `full`, a PR tag, ...).
+    pub label: String,
+    /// Git commit the run was taken at (`unknown` outside a checkout).
+    pub git_sha: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Workload scale name (`quick`/`full`/`tiny`).
+    pub scale: String,
+    /// The measurement rows.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// An empty report with the given header.
+    pub fn new(label: &str, git_sha: &str, seed: u64, scale: &str) -> Self {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            label: label.to_string(),
+            git_sha: git_sha.to_string(),
+            seed,
+            scale: scale.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Looks up a record by suite and metric name.
+    pub fn record(&self, suite: &str, metric: &str) -> Option<&BenchRecord> {
+        self.records
+            .iter()
+            .find(|r| r.suite == suite && r.metric == metric)
+    }
+
+    /// Renders the report as pretty-printed JSON. Field order is fixed, so
+    /// same-seed runs of deterministic suites produce byte-identical
+    /// documents (modulo timing values and the git SHA).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.records.len() * 192);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"label\": \"{}\",", escape_json(&self.label));
+        let _ = writeln!(out, "  \"git_sha\": \"{}\",", escape_json(&self.git_sha));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"scale\": \"{}\",", escape_json(&self.scale));
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"suite\": \"{}\", \"metric\": \"{}\", \"value\": {}, \"unit\": \"{}\", \
+                 \"reps\": {}, \"mean\": {}, \"stddev\": {}, \"kind\": \"{}\", \"better\": \"{}\"}}",
+                escape_json(&r.suite),
+                escape_json(&r.metric),
+                fmt_num(r.value),
+                escape_json(&r.unit),
+                r.reps,
+                fmt_num(r.mean),
+                fmt_num(r.stddev),
+                r.kind.as_str(),
+                r.better.as_str(),
+            );
+            out.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report from JSON text (anything `to_json` emits, plus
+    /// arbitrary whitespace and key order).
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, missing fields, wrong field types, or an unknown
+    /// `kind`/`better` value.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        let obj = root.as_obj("report")?;
+        let schema_version = get_num(obj, "schema_version")? as u64;
+        if schema_version > BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench schema version {schema_version} is newer than supported {BENCH_SCHEMA_VERSION}"
+            ));
+        }
+        let mut records = Vec::new();
+        for (i, item) in get(obj, "records")?.as_arr("records")?.iter().enumerate() {
+            let r = item.as_obj(&format!("records[{i}]"))?;
+            records.push(BenchRecord {
+                suite: get_str(r, "suite")?,
+                metric: get_str(r, "metric")?,
+                value: get_num(r, "value")?,
+                unit: get_str(r, "unit")?,
+                reps: get_num(r, "reps")? as u64,
+                mean: get_num(r, "mean")?,
+                stddev: get_num(r, "stddev")?,
+                kind: MetricKind::parse(&get_str(r, "kind")?)?,
+                better: Better::parse(&get_str(r, "better")?)?,
+            });
+        }
+        Ok(BenchReport {
+            schema_version,
+            label: get_str(obj, "label")?,
+            git_sha: get_str(obj, "git_sha")?,
+            seed: get_num(obj, "seed")? as u64,
+            scale: get_str(obj, "scale")?,
+            records,
+        })
+    }
+}
+
+/// Streaming report writer with the op-log's flush-on-drop contract: push
+/// records as suites finish; the file is written on [`BenchWriter::finish`]
+/// or, failing that, on drop — an interrupted run still leaves the
+/// completed suites on disk as a parseable document.
+#[derive(Debug)]
+pub struct BenchWriter {
+    path: PathBuf,
+    report: BenchReport,
+    written: bool,
+}
+
+impl BenchWriter {
+    /// A writer targeting `path` with the given report header.
+    pub fn new(path: &Path, report: BenchReport) -> Self {
+        BenchWriter {
+            path: path.to_path_buf(),
+            report,
+            written: false,
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: BenchRecord) {
+        self.report.records.push(record);
+        self.written = false;
+    }
+
+    /// Records pushed so far.
+    pub fn records(&self) -> usize {
+        self.report.records.len()
+    }
+
+    /// The report as accumulated so far.
+    pub fn report(&self) -> &BenchReport {
+        &self.report
+    }
+
+    /// Writes the document to disk.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem write failure.
+    pub fn finish(&mut self) -> io::Result<()> {
+        std::fs::write(&self.path, self.report.to_json())?;
+        self.written = true;
+        Ok(())
+    }
+}
+
+impl Drop for BenchWriter {
+    fn drop(&mut self) {
+        if !self.written {
+            let _ = std::fs::write(&self.path, self.report.to_json());
+        }
+    }
+}
+
+/// Thresholds for the baseline gate, relative to the baseline value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckConfig {
+    /// Allowed relative regression for deterministic metrics. Seeded
+    /// counts are reproducible, but libm differences across platforms can
+    /// nudge workload generation, so the default is the ISSUE's generous
+    /// 25% rather than exact equality.
+    pub max_rel_deterministic: f64,
+    /// Allowed relative regression for timing metrics. Wall-clock numbers
+    /// move with the host, so the default only catches gross (4×)
+    /// regressions.
+    pub max_rel_timing: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_rel_deterministic: 0.25,
+            max_rel_timing: 4.0,
+        }
+    }
+}
+
+/// One detected regression (or coverage loss) against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Suite of the offending metric.
+    pub suite: String,
+    /// Metric name.
+    pub metric: String,
+    /// Human-readable reason including values and the threshold.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}: {}", self.suite, self.metric, self.reason)
+    }
+}
+
+/// Diffs `current` against `baseline` and returns every regression:
+/// a metric moving in its bad direction by more than the kind's relative
+/// threshold, or a baseline metric missing from the current run (coverage
+/// loss). Improvements and new metrics pass.
+pub fn check_against_baseline(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    cfg: &CheckConfig,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base in &baseline.records {
+        let Some(cur) = current.record(&base.suite, &base.metric) else {
+            out.push(Regression {
+                suite: base.suite.clone(),
+                metric: base.metric.clone(),
+                reason: "metric present in baseline but missing from this run".to_string(),
+            });
+            continue;
+        };
+        let threshold = match base.kind {
+            MetricKind::Deterministic => cfg.max_rel_deterministic,
+            MetricKind::Timing => cfg.max_rel_timing,
+        };
+        // Relative change in the *bad* direction, normalized by the
+        // baseline magnitude (a zero baseline gates on absolute change).
+        let scale = base.value.abs().max(f64::MIN_POSITIVE);
+        let worsening = match base.better {
+            Better::Higher => (base.value - cur.value) / scale,
+            Better::Lower => (cur.value - base.value) / scale,
+        };
+        if !worsening.is_finite() || worsening > threshold {
+            out.push(Regression {
+                suite: base.suite.clone(),
+                metric: base.metric.clone(),
+                reason: format!(
+                    "regressed: baseline {} -> current {} ({} is better; {:+.1}% worse, \
+                     threshold {:.1}%)",
+                    fmt_num(base.value),
+                    fmt_num(cur.value),
+                    base.better.as_str(),
+                    worsening * 100.0,
+                    threshold * 100.0
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// JSON number formatting: finite shortest-round-trip floats; non-finite
+/// values (never produced by a sane run) degrade to `null`-safe 0.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value parser — exactly what the bench schema needs, plus
+// tolerance for arbitrary whitespace, key order, and nesting, so a
+// hand-edited baseline still parses.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing content at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        other => Err(format!("field {key:?}: expected string, got {other:?}")),
+    }
+}
+
+fn get_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => Ok(*n),
+        other => Err(format!("field {key:?}: expected number, got {other:?}")),
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {c:?} at offset {}, got {:?}",
+                self.pos,
+                self.peek()
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        for c in lit.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            out.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos).copied() {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos).copied() {
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let hex: String =
+                                self.chars.iter().skip(self.pos + 1).take(4).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        Some(c) => out.push(c),
+                        None => return Err("dangling escape".to_string()),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let mut r = BenchReport::new("quick", "abc1234", 42, "quick");
+        r.records.push(BenchRecord::deterministic(
+            "schedule",
+            "cdqs_coord",
+            1234.0,
+            "cdqs",
+            Better::Lower,
+        ));
+        r.records.push(BenchRecord::timing(
+            "service",
+            "loopback_p99_ns",
+            &[900_000.0, 1_000_000.0, 1_100_000.0],
+            "ns",
+            Better::Lower,
+        ));
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_report() {
+        let r = sample_report();
+        let text = r.to_json();
+        let parsed = BenchReport::from_json(&text).expect("parse");
+        assert_eq!(parsed, r);
+        // Rendering is stable: render → parse → render is a fixpoint.
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn timing_summary_is_median_mean_stddev() {
+        let r = BenchRecord::timing("s", "m", &[3.0, 1.0, 2.0], "ns", Better::Lower);
+        assert_eq!(r.value, 2.0);
+        assert_eq!(r.mean, 2.0);
+        assert!((r.stddev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(r.reps, 3);
+        assert_eq!(r.kind, MetricKind::Timing);
+    }
+
+    #[test]
+    fn parser_tolerates_whitespace_and_key_order() {
+        let text = r#"
+        { "records": [ {"metric":"m","suite":"s","value":2,"unit":"x",
+            "reps":1,"mean":2,"stddev":0,"better":"lower","kind":"deterministic"} ],
+          "seed": 7, "scale": "tiny", "git_sha": "deadbee", "label": "t",
+          "schema_version": 1 }
+        "#;
+        let r = BenchReport::from_json(text).expect("parse");
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.record("s", "m").unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,2",
+            "{\"schema_version\": 1}",
+            "{\"schema_version\": 99, \"label\": \"x\", \"git_sha\": \"y\", \
+             \"seed\": 1, \"scale\": \"q\", \"records\": []}",
+            "{\"x\": 1} trailing",
+        ] {
+            assert!(BenchReport::from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn checker_flags_regressions_by_direction() {
+        let base = sample_report();
+        let cfg = CheckConfig::default();
+        // Identical run: clean.
+        assert!(check_against_baseline(&base, &base, &cfg).is_empty());
+
+        // Deterministic lower-is-better metric grows 2×: regression.
+        let mut worse = base.clone();
+        worse.records[0].value = 2468.0;
+        let regs = check_against_baseline(&worse, &base, &cfg);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "cdqs_coord");
+        assert!(regs[0].reason.contains("regressed"));
+
+        // Improvement in the good direction passes.
+        let mut better = base.clone();
+        better.records[0].value = 600.0;
+        assert!(check_against_baseline(&better, &base, &cfg).is_empty());
+
+        // Timing metric within its generous threshold passes...
+        let mut noisy = base.clone();
+        noisy.records[1].value *= 2.0;
+        assert!(check_against_baseline(&noisy, &base, &cfg).is_empty());
+        // ...but a gross (>4×) timing regression fails.
+        let mut slow = base.clone();
+        slow.records[1].value *= 6.0;
+        assert_eq!(check_against_baseline(&slow, &base, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn checker_flags_missing_metrics() {
+        let base = sample_report();
+        let mut current = base.clone();
+        current.records.remove(0);
+        let regs = check_against_baseline(&current, &base, &CheckConfig::default());
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].reason.contains("missing"));
+        // Extra metrics in the current run are not an error.
+        let mut extended = base.clone();
+        extended.records.push(BenchRecord::deterministic(
+            "new",
+            "metric",
+            1.0,
+            "x",
+            Better::Higher,
+        ));
+        assert!(check_against_baseline(&extended, &base, &CheckConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn writer_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("copred_bench_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("BENCH_droptest.json");
+        {
+            let mut w = BenchWriter::new(&path, BenchReport::new("t", "sha", 1, "tiny"));
+            w.push(BenchRecord::deterministic(
+                "s",
+                "m",
+                5.0,
+                "x",
+                Better::Lower,
+            ));
+            assert_eq!(w.records(), 1);
+            // No finish(): drop must still write a parseable document.
+        }
+        let text = std::fs::read_to_string(&path).expect("file written on drop");
+        let r = BenchReport::from_json(&text).expect("parse");
+        assert_eq!(r.record("s", "m").unwrap().value, 5.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

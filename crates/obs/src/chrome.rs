@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 /// Escapes a string for a JSON string literal. Names are `&'static str`
 /// instrumentation constants, but escaping keeps the exporter total.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

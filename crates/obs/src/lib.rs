@@ -22,11 +22,17 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+mod bench;
 mod chrome;
 mod http;
 mod prom;
 mod span;
+mod vclock;
 
+pub use bench::{
+    check_against_baseline, BenchRecord, BenchReport, BenchWriter, Better, CheckConfig, MetricKind,
+    Regression, BENCH_SCHEMA_VERSION,
+};
 pub use chrome::{chrome_trace_json, events_jsonl};
 pub use http::{http_get, MetricsServer, RenderFn};
 pub use prom::{parse_prometheus, PromBuf, PromSample};
@@ -34,3 +40,4 @@ pub use span::{
     counter, disable, drain_events, dropped_events, enable, enabled, instant, span, span_at,
     timestamp_ns, Collector, Event, EventKind, SpanGuard,
 };
+pub use vclock::{TrackId, VEvent, VEventKind, VirtualTrace};
