@@ -21,6 +21,13 @@
 //!   ab=1                  A/B the observability overhead: replay twice
 //!                         (obs off, obs on) and report p50/p95/p99 deltas
 //!                         (implies inproc)
+//!   warm=1                replay the workload twice against one
+//!                         store-enabled server — cold then warm — and
+//!                         report both runs (implies inproc; both land in
+//!                         bench_json= when set; the op-log records the
+//!                         warm pass)
+//!   store_dir=DIR         store directory for warm=1 (default: a scratch
+//!                         directory wiped at start)
 //! ```
 
 use copred_bench::{Combo, Scale};
@@ -41,6 +48,8 @@ struct Args {
     trace: Option<String>,
     inproc: bool,
     ab: bool,
+    warm: bool,
+    store_dir: Option<String>,
     lg: LoadgenConfig,
 }
 
@@ -54,6 +63,8 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         inproc: false,
         ab: false,
+        warm: false,
+        store_dir: None,
         lg: LoadgenConfig::default(),
     };
     for arg in std::env::args().skip(1) {
@@ -113,12 +124,15 @@ fn parse_args() -> Result<Args, String> {
             "trace" => args.trace = Some(value.to_string()),
             "inproc" => args.inproc = value == "1" || value == "true",
             "ab" => args.ab = value == "1" || value == "true",
+            "warm" => args.warm = value == "1" || value == "true",
+            "store_dir" => args.store_dir = Some(value.to_string()),
             _ => return Err(format!("unknown option '{key}'")),
         }
     }
     // Worker-side spans only reach this process's recorder when the server
-    // runs in-process, and the A/B needs a fresh server per arm.
-    if args.trace.is_some() || args.ab {
+    // runs in-process, the A/B needs a fresh server per arm, and the warm
+    // replay needs a server whose store it controls.
+    if args.trace.is_some() || args.ab || args.warm {
         args.inproc = true;
     }
     Ok(args)
@@ -161,6 +175,34 @@ fn run_arm(args: &Args, traces: &[QueryTrace]) -> std::io::Result<LoadgenReport>
     } else {
         run_loadgen(&args.lg, traces)
     }
+}
+
+/// Replays the workload twice against one in-process server with
+/// persistence enabled: the first pass starts cold and persists each
+/// session's CHT on close, the second warm-starts from the store.
+fn run_warm(args: &Args, traces: &[QueryTrace]) -> std::io::Result<(LoadgenReport, LoadgenReport)> {
+    let dir = match &args.store_dir {
+        Some(d) => d.clone(),
+        None => {
+            let d = std::env::temp_dir().join(format!("copred-loadgen-store-{}", args.seed));
+            // A scratch store must really start cold.
+            let _ = std::fs::remove_dir_all(&d);
+            d.to_string_lossy().into_owned()
+        }
+    };
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })?;
+    eprintln!("store         {dir}");
+    let lg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        ..args.lg.clone()
+    };
+    let cold = run_loadgen(&lg, traces)?;
+    let warm = run_loadgen(&lg, traces)?;
+    Ok((cold, warm))
 }
 
 /// Replays the workload repeatedly with observability off and on —
@@ -217,7 +259,7 @@ fn run_ab(args: &Args, traces: &[QueryTrace]) -> std::io::Result<()> {
 }
 
 fn main() {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("copred_loadgen: {e}");
@@ -234,7 +276,18 @@ fn main() {
         args.combo.label(),
         args.seed
     );
-    let traces = copred_bench::workloads::planner_traces(&args.combo, &scale, args.seed);
+    let pairs = copred_bench::workloads::planner_traces_with_scenes(&args.combo, &scale, args.seed);
+    if args.warm {
+        // Warm-start needs each open to carry its scene's fingerprint.
+        let robot = args.combo.robot.robot();
+        args.lg.fingerprints = Some(
+            pairs
+                .iter()
+                .map(|(_t, env)| copred_store::environment_fingerprint(&robot, env))
+                .collect(),
+        );
+    }
+    let traces: Vec<QueryTrace> = pairs.into_iter().map(|(t, _env)| t).collect();
     let motions: usize = traces.iter().map(|t| t.motions.len()).sum();
     eprintln!(
         "replaying {} traces / {} motions over {} connections ({:?}, mode {})...",
@@ -248,6 +301,45 @@ fn main() {
         if let Err(e) = run_ab(&args, &traces) {
             eprintln!("copred_loadgen: {e}");
             std::process::exit(1);
+        }
+        return;
+    }
+    if args.warm {
+        let (cold, warm) = match run_warm(&args, &traces) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("copred_loadgen: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("workload      {}", args.combo.label());
+        println!("mode          {}", args.lg.mode.label());
+        println!("pass            checks  cdqs_issued   warm_opens");
+        for (name, r) in [("cold", &cold), ("warm", &warm)] {
+            println!(
+                "{name:<13} {:>9} {:>12} {:>12}",
+                r.checks, r.cdqs_issued, r.warm_opens
+            );
+        }
+        let reduction = 1.0 - warm.cdqs_issued as f64 / cold.cdqs_issued.max(1) as f64;
+        println!("warm_cdq_reduction {reduction:.4}");
+        if let Some(path) = &args.bench_json {
+            if let Err(e) = write_warm_bench_json(path, &args, &cold, &warm) {
+                eprintln!("copred_loadgen: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("bench_json    {path}");
+        }
+        if args.oplog != "-" {
+            if let Err(e) = std::fs::write(&args.oplog, write_oplog(&warm.ops)) {
+                eprintln!("copred_loadgen: writing {}: {e}", args.oplog);
+                std::process::exit(1);
+            }
+            println!(
+                "oplog         {} ({} warm-pass ops)",
+                args.oplog,
+                warm.ops.len()
+            );
         }
         return;
     }
@@ -319,7 +411,7 @@ fn main() {
 /// loadgen runs land in the same machine-readable trajectory as the
 /// canonical `copred_bench` suite.
 fn write_bench_json(path: &str, args: &Args, report: &LoadgenReport) -> std::io::Result<()> {
-    use copred_obs::{BenchRecord, BenchReport, BenchWriter, Better};
+    use copred_obs::{BenchReport, BenchWriter};
     let label = format!("loadgen_{}_{}", args.combo.label(), args.lg.mode.label());
     let bench = BenchReport::new(
         &label,
@@ -330,6 +422,47 @@ fn write_bench_json(path: &str, args: &Args, report: &LoadgenReport) -> std::io:
     // Flush-on-drop (same contract as the op-log writer): the report lands
     // on disk even if a later step panics.
     let mut w = BenchWriter::new(std::path::Path::new(path), bench);
+    push_run(&mut w, "", report);
+    w.finish()
+}
+
+/// `warm=1` variant of [`write_bench_json`]: both passes land in one
+/// report, `cold_*`/`warm_*`-prefixed, plus the headline reduction.
+fn write_warm_bench_json(
+    path: &str,
+    args: &Args,
+    cold: &LoadgenReport,
+    warm: &LoadgenReport,
+) -> std::io::Result<()> {
+    use copred_obs::{BenchRecord, BenchReport, BenchWriter, Better};
+    let label = format!(
+        "loadgen_warm_{}_{}",
+        args.combo.label(),
+        args.lg.mode.label()
+    );
+    let bench = BenchReport::new(
+        &label,
+        &copred_bench::perfwatch::git_sha(),
+        args.seed,
+        "custom",
+    );
+    let mut w = BenchWriter::new(std::path::Path::new(path), bench);
+    push_run(&mut w, "cold_", cold);
+    push_run(&mut w, "warm_", warm);
+    w.push(BenchRecord::deterministic(
+        "loadgen",
+        "warm_cdq_reduction",
+        1.0 - warm.cdqs_issued as f64 / cold.cdqs_issued.max(1) as f64,
+        "fraction",
+        Better::Higher,
+    ));
+    w.finish()
+}
+
+/// Pushes one run's records with metric names prefixed (`""`, `"cold_"`,
+/// `"warm_"`). Counters are deterministic records, latencies timing.
+fn push_run(w: &mut copred_obs::BenchWriter, prefix: &str, report: &LoadgenReport) {
+    use copred_obs::{BenchRecord, Better};
     let saved = (report.cdqs_total - report.cdqs_issued) as f64;
     for (metric, value, unit, better) in [
         ("checks", report.checks as f64, "checks", Better::Higher),
@@ -351,16 +484,26 @@ fn write_bench_json(path: &str, args: &Args, report: &LoadgenReport) -> std::io:
             "fraction",
             Better::Higher,
         ),
+        (
+            "warm_opens",
+            report.warm_opens as f64,
+            "sessions",
+            Better::Higher,
+        ),
     ] {
         w.push(BenchRecord::deterministic(
-            "loadgen", metric, value, unit, better,
+            "loadgen",
+            &format!("{prefix}{metric}"),
+            value,
+            unit,
+            better,
         ));
     }
     let lat = check_latencies(report);
     for (q, metric) in [(0.5, "p50_ns"), (0.95, "p95_ns"), (0.99, "p99_ns")] {
         w.push(BenchRecord::timing(
             "loadgen",
-            metric,
+            &format!("{prefix}{metric}"),
             &[quantile_ns(&lat, q) as f64],
             "ns",
             Better::Lower,
@@ -368,19 +511,18 @@ fn write_bench_json(path: &str, args: &Args, report: &LoadgenReport) -> std::io:
     }
     w.push(BenchRecord::timing(
         "loadgen",
-        "wall_s",
+        &format!("{prefix}wall_s"),
         &[report.wall_ns as f64 / 1e9],
         "s",
         Better::Lower,
     ));
     w.push(BenchRecord::timing(
         "loadgen",
-        "checks_per_s",
+        &format!("{prefix}checks_per_s"),
         &[report.checks_per_sec()],
         "checks/s",
         Better::Higher,
     ));
-    w.finish()
 }
 
 /// Sidecar stats path next to the op-log: `oplog.tsv` → `oplog.stats.tsv`.

@@ -10,6 +10,8 @@
 //!   csp_step=5            CSP stride for the schedulers
 //!   retry_ms=10           back-off hint in retry_after responses
 //!   metrics_addr=ADDR     serve Prometheus text exposition on GET /metrics
+//!   store_dir=DIR         persist CHT shards under DIR and warm-start
+//!                         sessions opened with a matching fingerprint
 //! ```
 //!
 //! Keys also parse in GNU style (`--metrics-addr=127.0.0.1:9100`).
@@ -42,6 +44,7 @@ fn parse_args() -> Result<ServerConfig, String> {
             "csp_step" => cfg.csp_step = num()? as usize,
             "retry_ms" => cfg.retry_after_ms = num()?,
             "metrics_addr" => cfg.metrics_addr = Some(value.to_string()),
+            "store_dir" => cfg.store_dir = Some(value.to_string()),
             _ => return Err(format!("unknown option '{key}'")),
         }
     }
@@ -72,6 +75,9 @@ fn main() {
     );
     if let Some(addr) = server.metrics_addr() {
         println!("metrics on http://{addr}/metrics");
+    }
+    if let Some(dir) = &cfg.store_dir {
+        println!("persisting CHT state under {dir}");
     }
     loop {
         thread::sleep(Duration::from_secs(3600));

@@ -10,7 +10,7 @@
 //! wall-clock metrics run `reps` times and report median/mean/stddev.
 
 use crate::replay::{replay_coord, replay_schedule};
-use crate::workloads::{planner_traces, Algo, Combo, RobotKind, Scale};
+use crate::workloads::{planner_traces, planner_traces_with_scenes, Algo, Combo, RobotKind, Scale};
 use copred_accel::{
     accel_prom_page, perf_report, AccelConfig, AccelObserver, AccelRunResult, AccelSim, AreaModel,
     EnergyModel,
@@ -164,6 +164,7 @@ pub fn run_suites(cfg: &PerfwatchConfig) -> BenchReport {
     schedule_suite(cfg, &mut report.records);
     swexec_suite(cfg, &mut report.records);
     service_suite(cfg, &mut report.records);
+    store_suite(cfg, &mut report.records);
     accel_suite(cfg, &mut report.records);
     report
 }
@@ -407,6 +408,86 @@ fn service_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
     ));
 }
 
+/// Store suite: the persistence payoff — one fingerprinted planner
+/// workload replayed twice against a store-enabled loopback server. The
+/// first (cold) pass learns and persists each session's CHT on close; the
+/// second (warm) pass reopens the same fingerprints and must issue fewer
+/// CDQs. Single connection so sessions run one at a time and both passes
+/// are deterministic.
+fn store_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
+    let combo = Combo {
+        algo: Algo::Mpnet,
+        robot: RobotKind::Planar2d,
+    };
+    let pairs = planner_traces_with_scenes(&combo, &cfg.planner_scale(), cfg.seed);
+    let robot = combo.robot.robot();
+    let fingerprints: Vec<u64> = pairs
+        .iter()
+        .map(|(_t, env)| copred_store::environment_fingerprint(&robot, env))
+        .collect();
+    let traces: Vec<QueryTrace> = pairs.into_iter().map(|(t, _env)| t).collect();
+
+    // A fresh directory per call: `run_suites` may run twice in-process
+    // (the determinism test), and warm state leaking between calls would
+    // change the "cold" pass.
+    static STORE_DIR_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "copred-bench-store-{}-{}",
+        std::process::id(),
+        STORE_DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    })
+    .expect("start store-enabled server");
+    let lg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        connections: 1,
+        mode: SchedMode::Coord,
+        seed: cfg.seed,
+        pacing: Pacing::Closed,
+        batch: 8,
+        fingerprints: Some(fingerprints),
+        ..LoadgenConfig::default()
+    };
+    let cold = run_loadgen(&lg, &traces).expect("cold replay");
+    let warm = run_loadgen(&lg, &traces).expect("warm replay");
+    assert_eq!(cold.warm_opens, 0, "first pass must start cold");
+    assert_eq!(
+        warm.warm_opens,
+        traces.len() as u64,
+        "second pass must warm-start every session"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    out.push(BenchRecord::deterministic(
+        "store",
+        "warm_cold_cdqs",
+        cold.cdqs_issued as f64,
+        "cdqs",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "store",
+        "warm_warm_cdqs",
+        warm.cdqs_issued as f64,
+        "cdqs",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "store",
+        "warm_cdq_reduction",
+        1.0 - warm.cdqs_issued as f64 / cold.cdqs_issued.max(1) as f64,
+        "fraction",
+        Better::Higher,
+    ));
+}
+
 /// Accel suite: cycle-level simulation of the baseline accelerator vs the
 /// COPU configuration — cycles, CDQs, energy, perf/watt, and the busy
 /// fraction from the per-cycle stall attribution.
@@ -581,14 +662,25 @@ mod tests {
     }
 
     #[test]
-    fn suite_covers_all_four_subsystems() {
+    fn suite_covers_all_subsystems() {
         let report = run_suites(&tiny());
-        for suite in ["schedule", "swexec", "service", "accel"] {
+        for suite in ["schedule", "swexec", "service", "store", "accel"] {
             assert!(
                 report.records.iter().any(|r| r.suite == suite),
                 "missing suite {suite}"
             );
         }
+        // The persistence payoff the suite gates on: a warm session must
+        // issue strictly fewer CDQs than the cold pass on this colliding
+        // planner workload.
+        let reduction = report
+            .record("store", "warm_cdq_reduction")
+            .expect("store suite emits warm_cdq_reduction")
+            .value;
+        assert!(
+            reduction > 0.0,
+            "warm pass did not reduce CDQs: {reduction}"
+        );
         // Metric names are unique within a suite.
         let mut keys: Vec<(String, String)> = report
             .records

@@ -239,6 +239,21 @@ pub fn combo_environment(combo: &Combo, robot: &Robot, q: usize, seed: u64) -> E
 /// recorded CDQ traces (one per query). Queries with empty logs (blocked
 /// endpoints) are skipped.
 pub fn planner_traces(combo: &Combo, scale: &Scale, seed: u64) -> Vec<QueryTrace> {
+    planner_traces_with_scenes(combo, scale, seed)
+        .into_iter()
+        .map(|(t, _env)| t)
+        .collect()
+}
+
+/// [`planner_traces`] plus each trace's scene. Skipped queries make the
+/// trace index diverge from the scene index `q`, so persistence callers
+/// that fingerprint environments need the surviving pairs, not a parallel
+/// `combo_environment` loop.
+pub fn planner_traces_with_scenes(
+    combo: &Combo,
+    scale: &Scale,
+    seed: u64,
+) -> Vec<(QueryTrace, Environment)> {
     let robot = combo.robot.robot();
     let planner = combo.planner();
     let mut traces = Vec::with_capacity(scale.queries);
@@ -278,7 +293,7 @@ pub fn planner_traces(combo: &Combo, scale: &Scale, seed: u64) -> Vec<QueryTrace
         if log.is_empty() {
             continue;
         }
-        traces.push(QueryTrace::from_log(&robot, &env, &log));
+        traces.push((QueryTrace::from_log(&robot, &env, &log), env));
     }
     traces
 }

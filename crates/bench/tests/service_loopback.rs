@@ -47,6 +47,7 @@ fn replay(traces: &[QueryTrace], mode: SchedMode) -> (copred_service::LoadgenRep
         batch: 8,
         max_retries: 256,
         metrics_interval: None,
+        fingerprints: None,
     };
     let report = run_loadgen(&cfg, traces).expect("loadgen run");
     let mut c = ServiceClient::connect(addr).expect("connect for stats");

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! copred_conform [--seed N] [--iters N] [--service-traces N]
-//!                [--fault-cases N] [--skip-service] [--skip-fault]
+//!                [--fault-cases N] [--store-cases N]
+//!                [--skip-service] [--skip-fault] [--skip-store]
 //! ```
 //!
 //! Runs the seeded differential harness (schedule semantics, service
@@ -17,7 +18,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: copred_conform [--seed N] [--iters N] [--service-traces N] \
-         [--fault-cases N] [--skip-service] [--skip-fault]"
+         [--fault-cases N] [--store-cases N] [--skip-service] [--skip-fault] \
+         [--skip-store]"
     );
     std::process::exit(2);
 }
@@ -42,8 +44,10 @@ fn main() -> ExitCode {
             "--iters" => cfg.schedule_iters = parse_u64(&mut args, "--iters"),
             "--service-traces" => cfg.service_traces = parse_u64(&mut args, "--service-traces"),
             "--fault-cases" => cfg.fault_cases = parse_u64(&mut args, "--fault-cases"),
+            "--store-cases" => cfg.store_cases = parse_u64(&mut args, "--store-cases"),
             "--skip-service" => cfg.service_traces = 0,
             "--skip-fault" => cfg.fault_cases = 0,
+            "--skip-store" => cfg.store_cases = 0,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -53,8 +57,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases",
-        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases
+        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases",
+        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases
     );
     let report = run_all(&cfg);
     println!("{}", report.summary());

@@ -19,6 +19,10 @@
 //! 3. **Fault injection** ([`fault`]) — adversarial bytes against the
 //!    frame codec and torn-input scenarios against a live server through
 //!    a [`fault::FaultyStream`] wrapper.
+//! 4. **Persistence** ([`store_check`]) — warm-start equivalence (a
+//!    close/reopen session must bit-match one that kept its table), crash
+//!    recovery from the WAL alone, and torn-tail robustness, in-process
+//!    and over loopback TCP.
 //!
 //! The `copred_conform` binary wires all three into CI; every run is a
 //! pure function of `--seed`, so a red build is reproducible locally with
@@ -31,10 +35,12 @@ pub mod fault;
 pub mod generate;
 pub mod reference;
 pub mod service_diff;
+pub mod store_check;
 
 pub use generate::{ScenarioGen, ScheduleCase};
 pub use reference::{brute_force_verdict, check_schedule_case, RecordingPredictor};
 pub use service_diff::{replay_batch_in_process, run_cpu_diff, run_service_diff};
+pub use store_check::{run_store_checks, StoreCheckOutcome};
 
 use copred_service::{Server, ServerConfig};
 
@@ -49,6 +55,9 @@ pub struct ConformConfig {
     pub service_traces: u64,
     /// Codec-fuzz cases (0 skips codec fuzz and the live fault scenarios).
     pub fault_cases: u64,
+    /// Persistence traces put through warm-start/crash-recovery checks
+    /// (0 skips the stage).
+    pub store_cases: u64,
 }
 
 impl Default for ConformConfig {
@@ -58,6 +67,7 @@ impl Default for ConformConfig {
             schedule_iters: 120,
             service_traces: 24,
             fault_cases: 64,
+            store_cases: 4,
         }
     }
 }
@@ -75,6 +85,8 @@ pub struct ConformReport {
     pub cpu_diffs: u64,
     /// Codec-fuzz cases plus live fault scenarios.
     pub fault_cases: u64,
+    /// Persistence differential cases (warm start, crash, torn tail).
+    pub store_cases: u64,
     /// Every divergence, mismatch, or panic found.
     pub failures: Vec<String>,
 }
@@ -88,18 +100,23 @@ impl ConformReport {
     /// Total differential iterations across all stages (the CI gate
     /// requires this to clear a floor).
     pub fn total_iterations(&self) -> u64 {
-        self.schedule_iters + self.service_traces + self.cpu_diffs + self.fault_cases
+        self.schedule_iters
+            + self.service_traces
+            + self.cpu_diffs
+            + self.fault_cases
+            + self.store_cases
     }
 
     /// One-line-per-stage human summary.
     pub fn summary(&self) -> String {
         format!(
-            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\ntotal iterations: {}\nfailures: {}",
+            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\ntotal iterations: {}\nfailures: {}",
             self.schedule_iters,
             self.service_traces,
             self.service_checks,
             self.cpu_diffs,
             self.fault_cases,
+            self.store_cases,
             self.total_iterations(),
             self.failures.len()
         )
@@ -155,6 +172,14 @@ pub fn run_all(cfg: &ConformConfig) -> ConformReport {
         }
     }
 
+    // Stage 4: persistence — warm-start equivalence, crash recovery, torn
+    // WAL tails.
+    if cfg.store_cases > 0 {
+        let out = run_store_checks(&gen, cfg.store_cases, cfg.seed);
+        report.store_cases = out.cases_run;
+        report.failures.extend(out.failures);
+    }
+
     report
 }
 
@@ -169,6 +194,7 @@ mod tests {
             schedule_iters: 10,
             service_traces: 3,
             fault_cases: 8,
+            store_cases: 1,
         };
         let report = run_all(&cfg);
         assert!(report.is_clean(), "{:?}", report.failures);

@@ -1,0 +1,429 @@
+//! Persistence conformance: the store may change *when* learned state is
+//! available, never *what* the predictor computes.
+//!
+//! Three differentials per case, all pure functions of the seed:
+//!
+//! 1. **Warm-start equivalence** — a session that runs the first half of a
+//!    trace, closes (persisting a snapshot), and warm-reopens must produce
+//!    bit-identical results on the second half as a session that simply
+//!    kept its table. Checked twice: in-process against a continuous
+//!    baseline, and over a loopback TCP server with `store_dir` enabled —
+//!    the wire `warm` flags are asserted along the way.
+//! 2. **Crash recovery** — the first half runs against a store-enabled
+//!    loopback server that is then dropped *without* closing the session
+//!    (the WAL is the only survivor). A second server on the same
+//!    directory must recover: same warm verdict and bit-identical
+//!    second-half results as an in-process registry put through the
+//!    identical crash, with no leaked sessions afterwards.
+//! 3. **Torn tail** — the crashed directory's last WAL segment is
+//!    truncated at several byte offsets; every truncation must still load
+//!    (or degrade to cold) without a panic.
+
+use crate::generate::ScenarioGen;
+use copred_service::{
+    CheckResult, SchedMode, Server, ServerConfig, ServiceClient, SessionRegistry,
+};
+use copred_store::{StoreRegistry, TableImage};
+use copred_trace::{MotionTrace, QueryTrace};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// CSP stride shared by every path in this stage.
+const CSP_STEP: usize = 5;
+/// Motions per check batch, shared by every path.
+const BATCH: usize = 2;
+
+/// Outcome of the persistence stage.
+#[derive(Debug, Default)]
+pub struct StoreCheckOutcome {
+    /// Differential cases executed (scenarios × traces).
+    pub cases_run: u64,
+    /// Human-readable divergence reports (empty = conformant).
+    pub failures: Vec<String>,
+}
+
+/// Runs `cases` seeded persistence cases.
+pub fn run_store_checks(gen: &ScenarioGen, cases: u64, base_seed: u64) -> StoreCheckOutcome {
+    let mut outcome = StoreCheckOutcome::default();
+    for i in 0..cases {
+        let trace = gen.query_trace(1000 + i);
+        if trace.motions.len() < 2 {
+            continue;
+        }
+        let seed = base_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9));
+        let fp = seed | 1; // fingerprints are opaque u64 keys on the wire
+        let root = scratch_dir(&format!("conform-{base_seed}-{i}"));
+        warm_equivalence_case(&trace, seed, fp, &root, i, &mut outcome);
+        crash_recovery_case(&trace, seed, fp, &root, i, &mut outcome);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    outcome
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("copred-store-check-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn halves(trace: &QueryTrace) -> (&[MotionTrace], &[MotionTrace]) {
+    trace.motions.split_at(trace.motions.len() / 2)
+}
+
+/// Replays `motions` batch-by-batch against an in-process coord session.
+fn replay_local(
+    session: &copred_service::SessionState,
+    motions: &[MotionTrace],
+) -> Vec<CheckResult> {
+    let mut results = Vec::new();
+    for batch in motions.chunks(BATCH) {
+        results.extend(crate::service_diff::replay_batch_in_process(
+            session, batch, CSP_STEP,
+        ));
+    }
+    results
+}
+
+/// Replays `motions` batch-by-batch over the wire.
+fn replay_tcp(
+    client: &mut ServiceClient,
+    id: u64,
+    motions: &[MotionTrace],
+) -> std::io::Result<Vec<CheckResult>> {
+    let mut results = Vec::new();
+    for batch in motions.chunks(BATCH) {
+        let (rs, _retries) = client.check_motions(id, batch, 20)?;
+        results.extend(rs);
+    }
+    Ok(results)
+}
+
+fn store_server(root: &Path) -> std::io::Result<Server> {
+    Server::start(ServerConfig {
+        workers: 2,
+        max_sessions: 16,
+        cht_params: copred_core::ChtParams::paper_2d(),
+        csp_step: CSP_STEP,
+        store_dir: Some(root.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    })
+}
+
+/// Scenario 1: close-then-reopen warm start reproduces a continuous
+/// session bit-for-bit, in-process and over the wire.
+fn warm_equivalence_case(
+    trace: &QueryTrace,
+    seed: u64,
+    fp: u64,
+    root: &Path,
+    case: u64,
+    outcome: &mut StoreCheckOutcome,
+) {
+    outcome.cases_run += 1;
+    let fail = |failures: &mut Vec<String>, msg: String| {
+        failures.push(format!("store case {case} (warm equivalence): {msg}"));
+    };
+    let params = copred_core::ChtParams::paper_2d();
+    let (first, second) = halves(trace);
+
+    // Continuous baseline: one session runs both halves, no store.
+    let baseline = SessionRegistry::new(params, 16);
+    let (cont, _) = match baseline.open(&trace.robot_name, SchedMode::Coord, seed) {
+        Ok(s) => s,
+        Err(e) => return fail(&mut outcome.failures, format!("baseline open: {e}")),
+    };
+    let _ = replay_local(&cont, first);
+    let cont_second = replay_local(&cont, second);
+
+    // In-process store path: run, close (persist), warm-reopen, run again.
+    let store_a = match StoreRegistry::open(root.join("inproc")) {
+        Ok(s) => Arc::new(s),
+        Err(e) => return fail(&mut outcome.failures, format!("store open: {e}")),
+    };
+    let registry = SessionRegistry::new_with_store(params, 16, Some(store_a));
+    match registry.open_full(&trace.robot_name, SchedMode::Coord, seed, Some(fp)) {
+        Ok(o) => {
+            if o.warm {
+                fail(
+                    &mut outcome.failures,
+                    "first in-process open reported warm".into(),
+                );
+            }
+            let _ = replay_local(&o.session, first);
+            let id = o.session.id;
+            drop(o);
+            if let Err(e) = registry.close(id) {
+                fail(&mut outcome.failures, format!("in-process close: {e}"));
+            }
+        }
+        Err(e) => return fail(&mut outcome.failures, format!("in-process open: {e}")),
+    }
+    let local_second = match registry.open_full(&trace.robot_name, SchedMode::Coord, seed, Some(fp))
+    {
+        Ok(o) => {
+            if !o.warm {
+                fail(
+                    &mut outcome.failures,
+                    "in-process reopen did not warm-start".into(),
+                );
+            }
+            replay_local(&o.session, second)
+        }
+        Err(e) => return fail(&mut outcome.failures, format!("in-process reopen: {e}")),
+    };
+    if local_second != cont_second {
+        fail(
+            &mut outcome.failures,
+            "warm in-process second half diverged from continuous session".into(),
+        );
+    }
+
+    // Loopback store path: same sequence over the wire.
+    let server = match store_server(&root.join("tcp")) {
+        Ok(s) => s,
+        Err(e) => return fail(&mut outcome.failures, format!("server start: {e}")),
+    };
+    let mut client = match ServiceClient::connect(server.local_addr()) {
+        Ok(c) => c,
+        Err(e) => return fail(&mut outcome.failures, format!("connect: {e}")),
+    };
+    let tcp_second = (|| -> std::io::Result<Vec<CheckResult>> {
+        let (id, warm) = client.open_with_fp(
+            &trace.robot_name,
+            trace.link_count,
+            SchedMode::Coord,
+            seed,
+            Some(fp),
+        )?;
+        if warm {
+            fail(
+                &mut outcome.failures,
+                "first wire open reported warm".into(),
+            );
+        }
+        let _ = replay_tcp(&mut client, id, first)?;
+        client.close(id)?;
+        let (id, warm) = client.open_with_fp(
+            &trace.robot_name,
+            trace.link_count,
+            SchedMode::Coord,
+            seed,
+            Some(fp),
+        )?;
+        if !warm {
+            fail(
+                &mut outcome.failures,
+                "wire reopen did not warm-start".into(),
+            );
+        }
+        let out = replay_tcp(&mut client, id, second)?;
+        client.close(id)?;
+        Ok(out)
+    })();
+    match tcp_second {
+        Ok(rs) if rs != cont_second => fail(
+            &mut outcome.failures,
+            "warm wire second half diverged from continuous session".into(),
+        ),
+        Ok(_) => {}
+        Err(e) => fail(&mut outcome.failures, format!("wire warm replay: {e}")),
+    }
+}
+
+/// Scenarios 2 and 3: crash (drop without close), recover from the WAL,
+/// and survive a torn tail.
+fn crash_recovery_case(
+    trace: &QueryTrace,
+    seed: u64,
+    fp: u64,
+    root: &Path,
+    case: u64,
+    outcome: &mut StoreCheckOutcome,
+) {
+    outcome.cases_run += 1;
+    let fail = |failures: &mut Vec<String>, msg: String| {
+        failures.push(format!("store case {case} (crash recovery): {msg}"));
+    };
+    let params = copred_core::ChtParams::paper_2d();
+    let (first, second) = halves(trace);
+
+    // In-process mirror of the crash: same trace, own store directory,
+    // session dropped (never closed) so only the WAL survives.
+    let crash_a = root.join("crash-inproc");
+    let expected_cells: Vec<(u8, u8)>;
+    {
+        let store = match StoreRegistry::open(&crash_a) {
+            Ok(s) => Arc::new(s),
+            Err(e) => return fail(&mut outcome.failures, format!("store open: {e}")),
+        };
+        let registry = SessionRegistry::new_with_store(params, 16, Some(store));
+        match registry.open_full(&trace.robot_name, SchedMode::Coord, seed, Some(fp)) {
+            Ok(o) => {
+                let _ = replay_local(&o.session, first);
+                expected_cells = o.session.shard.export_cells();
+            }
+            Err(e) => return fail(&mut outcome.failures, format!("in-process open: {e}")),
+        }
+        // Registry (and the session's WAL handle) dropped here: the crash.
+    }
+
+    // Recovery must reconstruct the table bit-exactly from the WAL alone.
+    let recovered = match StoreRegistry::open(&crash_a) {
+        Ok(s) => s,
+        Err(e) => return fail(&mut outcome.failures, format!("store reopen: {e}")),
+    };
+    let image = recovered.load(fp, &params);
+    let expected_warm = expected_cells.iter().any(|&(c, n)| c != 0 || n != 0);
+    match image {
+        Some(img) => {
+            if !expected_warm {
+                fail(
+                    &mut outcome.failures,
+                    "recovery produced an image from an empty table".into(),
+                );
+            } else if img.cells != expected_cells {
+                fail(
+                    &mut outcome.failures,
+                    "WAL recovery diverged from the live table at crash time".into(),
+                );
+            }
+        }
+        None if expected_warm => fail(
+            &mut outcome.failures,
+            "recovery lost a non-empty table".into(),
+        ),
+        None => {}
+    }
+
+    // Post-recovery, the service differential must still bit-match: a warm
+    // in-process session and a warm wire session (crashed the same way)
+    // replay the second half identically.
+    let registry = SessionRegistry::new_with_store(params, 16, Some(Arc::new(recovered)));
+    let (local_warm, local_second) =
+        match registry.open_full(&trace.robot_name, SchedMode::Coord, seed, Some(fp)) {
+            Ok(o) => (o.warm, replay_local(&o.session, second)),
+            Err(e) => return fail(&mut outcome.failures, format!("recovered open: {e}")),
+        };
+    if local_warm != expected_warm {
+        fail(
+            &mut outcome.failures,
+            format!("recovered warm {local_warm} != expected {expected_warm}"),
+        );
+    }
+
+    let crash_b = root.join("crash-tcp");
+    {
+        let server = match store_server(&crash_b) {
+            Ok(s) => s,
+            Err(e) => return fail(&mut outcome.failures, format!("server start: {e}")),
+        };
+        let crashed = (|| -> std::io::Result<()> {
+            let mut client = ServiceClient::connect(server.local_addr())?;
+            let (id, _) = client.open_with_fp(
+                &trace.robot_name,
+                trace.link_count,
+                SchedMode::Coord,
+                seed,
+                Some(fp),
+            )?;
+            let _ = replay_tcp(&mut client, id, first)?;
+            Ok(()) // session deliberately left open: the crash
+        })();
+        if let Err(e) = crashed {
+            return fail(&mut outcome.failures, format!("pre-crash wire run: {e}"));
+        }
+        // Server dropped here without the session ever closing.
+    }
+    let server = match store_server(&crash_b) {
+        Ok(s) => s,
+        Err(e) => return fail(&mut outcome.failures, format!("server restart: {e}")),
+    };
+    let wire = (|| -> std::io::Result<(bool, Vec<CheckResult>, Option<u64>)> {
+        let mut client = ServiceClient::connect(server.local_addr())?;
+        let (id, warm) = client.open_with_fp(
+            &trace.robot_name,
+            trace.link_count,
+            SchedMode::Coord,
+            seed,
+            Some(fp),
+        )?;
+        let out = replay_tcp(&mut client, id, second)?;
+        client.close(id)?;
+        let open = copred_service::client::stat_u64(&client.stats(None)?, "sessions_open");
+        Ok((warm, out, open))
+    })();
+    match wire {
+        Ok((warm, tcp_second, open)) => {
+            if warm != expected_warm {
+                fail(
+                    &mut outcome.failures,
+                    format!("wire recovered warm {warm} != expected {expected_warm}"),
+                );
+            }
+            if tcp_second != local_second {
+                fail(
+                    &mut outcome.failures,
+                    "post-crash wire replay diverged from in-process replay".into(),
+                );
+            }
+            if open != Some(0) {
+                fail(
+                    &mut outcome.failures,
+                    format!("sessions leaked after recovery: {open:?}"),
+                );
+            }
+        }
+        Err(e) => fail(&mut outcome.failures, format!("post-crash wire run: {e}")),
+    }
+
+    // Torn tail: truncating the last surviving WAL segment anywhere must
+    // never panic a later load.
+    outcome.cases_run += 1;
+    let segs = copred_store::wal::segments(&crash_a);
+    if let Some((_, last)) = segs.last() {
+        let full = match std::fs::read(last) {
+            Ok(b) => b,
+            Err(e) => return fail(&mut outcome.failures, format!("read segment: {e}")),
+        };
+        for frac in [1, 2, 3, 5] {
+            let cut = full.len() * frac / 6;
+            if std::fs::write(last, &full[..cut]).is_err() {
+                continue;
+            }
+            let reopened = match StoreRegistry::open(&crash_a) {
+                Ok(s) => s,
+                Err(e) => {
+                    fail(
+                        &mut outcome.failures,
+                        format!("torn-tail store open (cut {cut}): {e}"),
+                    );
+                    continue;
+                }
+            };
+            // Any outcome but a panic is acceptable; a produced image must
+            // at least have the right geometry.
+            if let Some(img) = reopened.load(fp, &params) {
+                if img.cells.len() != TableImage::empty(params).cells.len() {
+                    fail(
+                        &mut outcome.failures,
+                        format!("torn-tail image has wrong geometry (cut {cut})"),
+                    );
+                }
+            }
+        }
+        let _ = std::fs::write(last, &full);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_checks_are_clean() {
+        let gen = ScenarioGen::new(31);
+        let out = run_store_checks(&gen, 2, 3100);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.cases_run >= 4);
+    }
+}

@@ -106,8 +106,13 @@ fn full_harness_finds_nothing_at_moderate_scale() {
         schedule_iters: 40,
         service_traces: 8,
         fault_cases: 24,
+        store_cases: 2,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
     assert!(report.service_checks > 0);
     assert!(report.fault_cases > 24, "live scenarios must run too");
+    assert!(
+        report.store_cases >= 4,
+        "persistence scenarios must run too"
+    );
 }

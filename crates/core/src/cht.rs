@@ -282,6 +282,17 @@ impl Cht {
         (e.coll, e.noncoll)
     }
 
+    /// Overwrites the raw counters of the entry `code` maps to — the
+    /// serialization hook used by `copred-store` to restore a table from a
+    /// snapshot image. Values are clamped to the counter width so a decoded
+    /// image can never hold an unrepresentable state.
+    pub fn set_counters(&mut self, code: u64, coll: u8, noncoll: u8) {
+        let max = ((1u32 << self.params.counter_bits) - 1) as u8;
+        let e = self.entry_mut(code);
+        e.coll = coll.min(max);
+        e.noncoll = noncoll.min(max);
+    }
+
     /// Prediction lookup: does the entry predict a collision?
     pub fn predict(&mut self, code: u64) -> bool {
         self.stats.reads += 1;

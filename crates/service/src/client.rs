@@ -62,14 +62,35 @@ impl ServiceClient {
         mode: SchedMode,
         seed: u64,
     ) -> io::Result<u64> {
+        self.open_with_fp(robot, link_count, mode, seed, None)
+            .map(|(id, _warm)| id)
+    }
+
+    /// Opens a session carrying an optional environment fingerprint and
+    /// returns its token plus whether the server warm-started it from
+    /// persisted state.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`io::ErrorKind::Other`] carrying the server's
+    /// error text.
+    pub fn open_with_fp(
+        &mut self,
+        robot: &str,
+        link_count: u32,
+        mode: SchedMode,
+        seed: u64,
+        fp: Option<u64>,
+    ) -> io::Result<(u64, bool)> {
         let req = Request::Open {
             robot: robot.to_string(),
             link_count,
             mode,
             seed,
+            fp,
         };
         match self.call(&req)? {
-            Response::Session(id) => Ok(id),
+            Response::Session { id, warm } => Ok((id, warm)),
             Response::Error(e) => Err(io::Error::other(e.to_string())),
             other => Err(proto_err(format!("unexpected reply to open: {other:?}"))),
         }

@@ -39,7 +39,7 @@ pub use client::ServiceClient;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, Pacing, StatsSnapshot};
 pub use metrics::{LatencyHistogram, Metrics, SessionMetrics};
 pub use oplog::{parse_oplog, write_oplog, write_stats_tsv, OpRecord, OplogWriter};
-pub use prom::{render_prometheus, GLOBAL_COUNTERS, SESSION_COUNTERS};
+pub use prom::{render_prometheus, GLOBAL_COUNTERS, SESSION_COUNTERS, STORE_COUNTERS};
 pub use protocol::{CheckResult, Request, Response, SchedMode, ServiceError, MAX_BATCH};
 pub use server::{Server, ServerConfig};
-pub use session::{SessionRegistry, SessionState, TimedPredictor};
+pub use session::{OpenOutcome, SessionRegistry, SessionState, TimedPredictor};

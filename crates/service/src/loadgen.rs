@@ -66,6 +66,10 @@ pub struct LoadgenConfig {
     /// this interval (plus once at run end); the snapshots come back in
     /// [`LoadgenReport::stats_snapshots`].
     pub metrics_interval: Option<Duration>,
+    /// Per-trace environment fingerprints (parallel to the trace list).
+    /// When set, each `open` carries `fingerprints[trace_idx]` so a
+    /// store-enabled server can warm-start matching sessions.
+    pub fingerprints: Option<Vec<u64>>,
 }
 
 impl Default for LoadgenConfig {
@@ -79,6 +83,7 @@ impl Default for LoadgenConfig {
             batch: 8,
             max_retries: 64,
             metrics_interval: None,
+            fingerprints: None,
         }
     }
 }
@@ -98,6 +103,8 @@ pub struct LoadgenReport {
     pub cdqs_total: u64,
     /// Backpressure retries absorbed.
     pub retries: u64,
+    /// Sessions the server warm-started from persisted state.
+    pub warm_opens: u64,
     /// Wall time of the whole run.
     pub wall_ns: u64,
     /// Periodic global-stats samples (empty unless
@@ -121,6 +128,7 @@ struct ConnOutcome {
     collisions: u64,
     cdqs_issued: u64,
     cdqs_total: u64,
+    warm_opens: u64,
 }
 
 /// Replays `traces` against a running server per `config`.
@@ -173,6 +181,7 @@ pub fn run_loadgen(config: &LoadgenConfig, traces: &[QueryTrace]) -> io::Result<
         report.collisions += o.collisions;
         report.cdqs_issued += o.cdqs_issued;
         report.cdqs_total += o.cdqs_total;
+        report.warm_opens += o.warm_opens;
     }
     report.retries = retries.load(Ordering::Relaxed);
     report.ops.sort_by_key(|op| (op.start_ns, op.session));
@@ -229,6 +238,7 @@ fn run_connection(
         collisions: 0,
         cdqs_issued: 0,
         cdqs_total: 0,
+        warm_opens: 0,
     };
     let mut issued = 0u64; // batches issued by this connection, for open-loop pacing
     for (trace_idx, trace) in traces.iter().enumerate() {
@@ -238,14 +248,21 @@ fn run_connection(
         // Deterministic per-trace seed: replaying the same trace list with
         // the same config reproduces every session's U stream.
         let seed = config.seed ^ ((trace_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let fp = config
+            .fingerprints
+            .as_ref()
+            .and_then(|fps| fps.get(trace_idx).copied());
         let open_req = Request::Open {
             robot: trace.robot_name.clone(),
             link_count: trace.link_count,
             mode: config.mode,
             seed,
+            fp,
         };
         let start = elapsed_ns(epoch);
-        let session = client.open(&trace.robot_name, trace.link_count, config.mode, seed)?;
+        let (session, warm) =
+            client.open_with_fp(&trace.robot_name, trace.link_count, config.mode, seed, fp)?;
+        out.warm_opens += u64::from(warm);
         out.ops
             .push(op(session, "open", &open_req, start, elapsed_ns(epoch)));
 

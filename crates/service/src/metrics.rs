@@ -194,6 +194,9 @@ pub struct Metrics {
     pub cdqs_issued: AtomicU64,
     /// CDQs declared across all sessions.
     pub cdqs_total: AtomicU64,
+    /// Sum of the CHT occupancy of evicted shards — learned state thrown
+    /// away (or, with the store enabled, persisted) by LRU pressure.
+    pub evicted_learned: AtomicU64,
     /// End-to-end check-batch service latency (enqueue → reply built).
     pub check_latency: LatencyHistogram,
 }
@@ -223,6 +226,7 @@ impl Metrics {
             ("checks".into(), g(&self.checks)),
             ("cdqs_issued".into(), g(&self.cdqs_issued)),
             ("cdqs_total".into(), g(&self.cdqs_total)),
+            ("evicted_learned".into(), g(&self.evicted_learned)),
             (
                 "cdqs_saved".into(),
                 self.cdqs_total

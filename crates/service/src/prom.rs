@@ -9,6 +9,7 @@
 
 use crate::metrics::Metrics;
 use crate::session::SessionState;
+use copred_store::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -60,6 +61,48 @@ pub const GLOBAL_COUNTERS: &[(&str, &str, &str)] = &[
         "cdqs_total",
         "copred_cdqs_declared_total",
         "Collision-detection queries the checked motions declared.",
+    ),
+    (
+        "evicted_learned",
+        "copred_sessions_evicted_learned_total",
+        "Sum of CHT occupancy across evicted shards (learned state displaced by LRU pressure).",
+    ),
+];
+
+/// Every persistence counter in [`copred_store::StoreStats`], as
+/// `(field, prometheus name, help)`. The field order mirrors
+/// `StoreStats::stat_lines` and is part of the conformance contract even
+/// when the store is disabled (the series then read 0).
+pub const STORE_COUNTERS: &[(&str, &str, &str)] = &[
+    (
+        "snapshots_written",
+        "copred_store_snapshots_written_total",
+        "CHT snapshots persisted (close, eviction, or WAL compaction).",
+    ),
+    (
+        "snapshots_loaded",
+        "copred_store_snapshots_loaded_total",
+        "CHT snapshots loaded for a warm start.",
+    ),
+    (
+        "wal_bytes",
+        "copred_store_wal_bytes_total",
+        "Bytes appended to write-ahead-log segments.",
+    ),
+    (
+        "warm_hits",
+        "copred_store_warm_hits_total",
+        "Session opens that found persisted state for their fingerprint.",
+    ),
+    (
+        "warm_misses",
+        "copred_store_warm_misses_total",
+        "Fingerprinted session opens that started cold.",
+    ),
+    (
+        "recovery_replays",
+        "copred_store_recovery_replays_total",
+        "Warm loads that replayed a non-empty WAL suffix (crash recovery).",
     ),
 ];
 
@@ -120,7 +163,20 @@ fn global_counter<'a>(m: &'a Metrics, field: &str) -> &'a AtomicU64 {
         "checks" => &m.checks,
         "cdqs_issued" => &m.cdqs_issued,
         "cdqs_total" => &m.cdqs_total,
+        "evicted_learned" => &m.evicted_learned,
         other => unreachable!("unmapped global counter {other}"),
+    }
+}
+
+fn store_counter<'a>(s: &'a StoreStats, field: &str) -> &'a AtomicU64 {
+    match field {
+        "snapshots_written" => &s.snapshots_written,
+        "snapshots_loaded" => &s.snapshots_loaded,
+        "wal_bytes" => &s.wal_bytes,
+        "warm_hits" => &s.warm_hits,
+        "warm_misses" => &s.warm_misses,
+        "recovery_replays" => &s.recovery_replays,
+        other => unreachable!("unmapped store counter {other}"),
     }
 }
 
@@ -146,6 +202,7 @@ pub fn render_prometheus(
     metrics: &Metrics,
     sessions: &[Arc<SessionState>],
     queue_depth: usize,
+    store: &StoreStats,
 ) -> String {
     let mut b = copred_obs::PromBuf::new();
     for &(field, name, help) in GLOBAL_COUNTERS {
@@ -153,6 +210,13 @@ pub fn render_prometheus(
         b.sample(
             name,
             global_counter(metrics, field).load(Ordering::Relaxed) as f64,
+        );
+    }
+    for &(field, name, help) in STORE_COUNTERS {
+        b.family(name, "counter", help);
+        b.sample(
+            name,
+            store_counter(store, field).load(Ordering::Relaxed) as f64,
         );
     }
 

@@ -9,7 +9,8 @@
 //! ```text
 //! request                                  response
 //! ------------------------------------     ---------------------------------
-//! open <robot> <links> <mode> <seed>       ok session <id>
+//! open <robot> <links> <mode> <seed>       ok session <id> warm <0|1>
+//!      [fp <hex>]
 //! check_motion <session> <n> \n blocks…    ok results <n> \n result … per motion
 //! check_pose <session> \n one block        ok results 1 \n result …
 //! reset <session>                          ok reset
@@ -67,6 +68,10 @@ pub enum Request {
         mode: SchedMode,
         /// Seed of the session's `U`-policy stream (determinism).
         seed: u64,
+        /// Environment fingerprint (`copred_store::environment_fingerprint`)
+        /// keying persisted CHT state. `None` opts out of warm-start and
+        /// persistence; ignored by servers without a store.
+        fp: Option<u64>,
     },
     /// A batch of motion checks against the session's CHT.
     CheckMotion {
@@ -149,7 +154,12 @@ impl std::error::Error for ServiceError {}
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Session opened.
-    Session(u64),
+    Session {
+        /// Session token.
+        id: u64,
+        /// Whether the session warm-started from persisted CHT state.
+        warm: bool,
+    },
     /// Batch results, one per motion in request order.
     Results(Vec<CheckResult>),
     /// CHT cleared.
@@ -177,9 +187,14 @@ impl Request {
                 link_count,
                 mode,
                 seed,
-            } => {
-                format!("open {robot} {link_count} {} {seed}\n", mode.label())
-            }
+                fp,
+            } => match fp {
+                Some(fp) => format!(
+                    "open {robot} {link_count} {} {seed} fp {fp:x}\n",
+                    mode.label()
+                ),
+                None => format!("open {robot} {link_count} {} {seed}\n", mode.label()),
+            },
             Request::CheckMotion { session, motions } => {
                 let mut out = format!("check_motion {session} {}\n", motions.len());
                 for m in motions {
@@ -214,11 +229,26 @@ impl Request {
                 let mode = SchedMode::parse(f.next().ok_or("missing mode")?)
                     .ok_or("bad mode (want coord|naive|csp)")?;
                 let seed = parse_u64(f.next(), "seed")?;
+                let fp = match f.next() {
+                    None => None,
+                    Some("fp") => {
+                        let hex = f.next().ok_or("missing fp value")?;
+                        Some(
+                            u64::from_str_radix(hex, 16)
+                                .map_err(|_| "bad fp (want hex)".to_string())?,
+                        )
+                    }
+                    Some(other) => return Err(format!("unexpected token '{other}' after seed")),
+                };
+                if let Some(extra) = f.next() {
+                    return Err(format!("unexpected token '{extra}' after fp"));
+                }
                 Ok(Request::Open {
                     robot,
                     link_count,
                     mode,
                     seed,
+                    fp,
                 })
             }
             "check_motion" => {
@@ -281,7 +311,9 @@ impl Response {
     /// Serializes to a frame payload.
     pub fn to_text(&self) -> String {
         match self {
-            Response::Session(id) => format!("ok session {id}\n"),
+            Response::Session { id, warm } => {
+                format!("ok session {id} warm {}\n", u8::from(*warm))
+            }
             Response::Results(rs) => {
                 let mut out = format!("ok results {}\n", rs.len());
                 for r in rs {
@@ -324,7 +356,19 @@ impl Response {
         let mut f = head.split_whitespace();
         match f.next() {
             Some("ok") => match f.next() {
-                Some("session") => Ok(Response::Session(parse_u64(f.next(), "session id")?)),
+                Some("session") => {
+                    let id = parse_u64(f.next(), "session id")?;
+                    // `warm <0|1>` is optional so pre-store servers still
+                    // parse; absence means a cold session.
+                    let warm = match f.next() {
+                        None => false,
+                        Some("warm") => parse_u64(f.next(), "warm flag")? != 0,
+                        Some(other) => {
+                            return Err(format!("unexpected token '{other}' after session id"))
+                        }
+                    };
+                    Ok(Response::Session { id, warm })
+                }
                 Some("results") => {
                     let n = parse_u64(f.next(), "result count")? as usize;
                     if n > MAX_BATCH {
@@ -424,6 +468,14 @@ mod tests {
                 link_count: 1,
                 mode: SchedMode::Coord,
                 seed: 42,
+                fp: None,
+            },
+            Request::Open {
+                robot: "jaco2".into(),
+                link_count: 7,
+                mode: SchedMode::Coord,
+                seed: 9,
+                fp: Some(0xDEAD_BEEF_0042),
             },
             Request::CheckMotion {
                 session: 7,
@@ -463,7 +515,8 @@ mod tests {
     #[test]
     fn response_roundtrips() {
         let resps = vec![
-            Response::Session(3),
+            Response::Session { id: 3, warm: false },
+            Response::Session { id: 4, warm: true },
             Response::Results(vec![CheckResult {
                 colliding: true,
                 cdqs_executed: 4,
@@ -497,6 +550,10 @@ mod tests {
             "open",
             "open r",
             "open r 1 warp 3",
+            "open r 1 coord 3 junk",
+            "open r 1 coord 3 fp",
+            "open r 1 coord 3 fp zz",
+            "open r 1 coord 3 fp 1f 9",
             "check_motion 1",
             "check_motion 1 2\nmotion S1 0 0\n",
             "check_motion 1 99999999\n",
@@ -508,6 +565,20 @@ mod tests {
         ] {
             assert!(Request::from_text(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn legacy_session_ack_parses_as_cold() {
+        // A pre-store server says just `ok session <id>`; the flag-less
+        // form must keep parsing and means "cold".
+        assert_eq!(
+            Response::from_text("ok session 12\n").unwrap(),
+            Response::Session {
+                id: 12,
+                warm: false
+            }
+        );
+        assert!(Response::from_text("ok session 12 tepid 1\n").is_err());
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct ServerConfig {
     /// this address (plain HTTP, port 0 allowed). `None` disables the
     /// endpoint.
     pub metrics_addr: Option<String>,
+    /// When set, persist CHT shards (snapshot + WAL) under this directory
+    /// and warm-start sessions whose `open` carries a matching environment
+    /// fingerprint. `None` disables persistence.
+    pub store_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +71,7 @@ impl Default for ServerConfig {
             retry_after_ms: 10,
             worker_delay_ms: 0,
             metrics_addr: None,
+            store_dir: None,
         }
     }
 }
@@ -150,6 +155,7 @@ fn render_shared(shared: &Shared) -> String {
         &shared.metrics,
         &shared.registry.sessions_snapshot(),
         shared.queue.len(),
+        &shared.registry.store_stats(),
     )
 }
 
@@ -178,8 +184,18 @@ impl Server {
         assert!(config.workers > 0, "need at least one worker");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        // Open (and create) the store root before anything is spawned so a
+        // bad directory fails the whole start cleanly.
+        let store = match config.store_dir.as_deref() {
+            Some(dir) => Some(Arc::new(copred_store::StoreRegistry::open(dir)?)),
+            None => None,
+        };
         let shared = Arc::new(Shared {
-            registry: SessionRegistry::new(config.cht_params, config.max_sessions),
+            registry: SessionRegistry::new_with_store(
+                config.cht_params,
+                config.max_sessions,
+                store,
+            ),
             metrics: Metrics::new(),
             queue: JobQueue::new(config.queue_capacity),
             config,
@@ -341,8 +357,9 @@ fn dispatch(req: Request, shared: &Shared) -> Response {
             link_count: _,
             mode,
             seed,
-        } => match shared.registry.open(&robot, mode, seed) {
-            Ok((session, evicted)) => {
+            fp,
+        } => match shared.registry.open_full(&robot, mode, seed, fp) {
+            Ok(outcome) => {
                 shared
                     .metrics
                     .sessions_opened
@@ -350,8 +367,17 @@ fn dispatch(req: Request, shared: &Shared) -> Response {
                 shared
                     .metrics
                     .sessions_evicted
-                    .fetch_add(evicted as u64, Ordering::Relaxed);
-                Response::Session(session.id)
+                    .fetch_add(outcome.evicted as u64, Ordering::Relaxed);
+                // Learned state displaced by LRU pressure is counted even
+                // when the store is disabled (then it really was lost).
+                shared
+                    .metrics
+                    .evicted_learned
+                    .fetch_add(outcome.evicted_occupancy, Ordering::Relaxed);
+                Response::Session {
+                    id: outcome.session.id,
+                    warm: outcome.warm,
+                }
             }
             Err(e) => Response::Error(e),
         },
@@ -360,6 +386,10 @@ fn dispatch(req: Request, shared: &Shared) -> Response {
         Request::ResetCht { session } => match shared.registry.get(session) {
             Ok(s) => {
                 s.shard.reset();
+                // An explicit reset is an intent to forget: persist the
+                // empty table so a later warm open does not resurrect the
+                // state the client just cleared.
+                s.persist_to_store();
                 Response::ResetDone
             }
             Err(e) => Response::Error(e),

@@ -14,6 +14,7 @@ use crate::protocol::{SchedMode, ServiceError};
 use copred_collision::{CdqInfo, CdqPredictor};
 use copred_core::{ChtParams, CollisionHash, CoordHash, HashInput};
 use copred_kinematics::{presets, Config, Robot};
+use copred_store::{SessionStore, StoreRegistry, StoreStats, TableImage};
 use copred_swexec::{ConcurrentCht, ShardedCht};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -53,6 +54,9 @@ pub struct SessionState {
     u_state: Mutex<u64>,
     /// LRU timestamp (registry logical clock).
     last_used: AtomicU64,
+    /// Store handle when the session opened with an environment
+    /// fingerprint against a store-enabled registry. `None` otherwise.
+    store: Option<SessionStore>,
 }
 
 impl SessionState {
@@ -63,6 +67,32 @@ impl SessionState {
         *s ^= *s >> 7;
         *s ^= *s << 17;
         (*s >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn u_state_snapshot(&self) -> u64 {
+        *self.u_state.lock().expect("u_state lock")
+    }
+
+    /// A plain-memory image of the session's table *and* its `U`-draw RNG
+    /// word: restoring both is what makes a warm-started session continue
+    /// the exact predict/observe stream the persisted session would have.
+    pub fn table_image(&self) -> TableImage {
+        TableImage {
+            params: *self.shard.params(),
+            u_state: self.u_state_snapshot(),
+            cells: self.shard.export_cells(),
+        }
+    }
+
+    /// Persists the session's table through its store handle (no-op
+    /// without one, or on a detached same-fingerprint handle). Returns
+    /// whether a snapshot was written. Persistence is best-effort: an I/O
+    /// failure degrades to losing the warm state, never a panic.
+    pub fn persist_to_store(&self) -> bool {
+        match &self.store {
+            Some(store) => store.persist(&self.table_image()).unwrap_or(false),
+            None => false,
+        }
     }
 }
 
@@ -137,7 +167,17 @@ impl CdqPredictor for ChtPredictor<'_> {
         };
         counter.fetch_add(1, Ordering::Relaxed);
         let u = self.session.next_u_draw();
-        self.session.shard.observe(self.code(cdq), colliding, u);
+        let code = self.code(cdq);
+        let applied = self.session.shard.observe(code, colliding, u);
+        // WAL-log only *applied* writes (the U gate already ran), so replay
+        // is RNG-free and bit-exact. The compaction closure exports the
+        // live shard under the WAL lock. Best-effort: a full disk loses
+        // durability, not correctness.
+        if applied {
+            if let Some(store) = &self.session.store {
+                let _ = store.log_observe(code, colliding, || self.session.table_image());
+            }
+        }
     }
 }
 
@@ -233,6 +273,21 @@ struct RegistryInner {
     next_id: u64,
 }
 
+/// What [`SessionRegistry::open_full`] produced.
+#[derive(Debug)]
+pub struct OpenOutcome {
+    /// The new session.
+    pub session: Arc<SessionState>,
+    /// Sessions evicted to make room (0 or 1).
+    pub evicted: usize,
+    /// Populated CHT entries the evicted session was holding — the learned
+    /// state that would have been silently discarded before the store
+    /// existed (feeds `copred_sessions_evicted_learned_total`).
+    pub evicted_occupancy: u64,
+    /// Whether the session warm-started from persisted state.
+    pub warm: bool,
+}
+
 /// The concurrent session table. All methods are safe to call from any
 /// connection or worker thread.
 pub struct SessionRegistry {
@@ -240,6 +295,10 @@ pub struct SessionRegistry {
     inner: Mutex<RegistryInner>,
     clock: AtomicU64,
     capacity: usize,
+    store: Option<Arc<StoreRegistry>>,
+    /// Telemetry rendered as `copred_store_*` even when the store is
+    /// disabled (all-zero counters keep the metrics page shape stable).
+    fallback_stats: Arc<StoreStats>,
 }
 
 impl SessionRegistry {
@@ -251,6 +310,17 @@ impl SessionRegistry {
     /// Panics when `capacity` is zero or not a power of two (the
     /// [`ShardedCht`] slot-count invariant).
     pub fn new(params: ChtParams, capacity: usize) -> Self {
+        Self::new_with_store(params, capacity, None)
+    }
+
+    /// Like [`new`](Self::new) but with an optional persistence backend:
+    /// sessions that open with an environment fingerprint warm-start from
+    /// it and persist back on close/evict.
+    pub fn new_with_store(
+        params: ChtParams,
+        capacity: usize,
+        store: Option<Arc<StoreRegistry>>,
+    ) -> Self {
         SessionRegistry {
             pool: ShardedCht::new(params, capacity),
             inner: Mutex::new(RegistryInner {
@@ -260,7 +330,23 @@ impl SessionRegistry {
             }),
             clock: AtomicU64::new(0),
             capacity,
+            store,
+            fallback_stats: Arc::new(StoreStats::new()),
         }
+    }
+
+    /// The store's telemetry counters (all-zero fallback when persistence
+    /// is disabled, so `/metrics` always renders the full series set).
+    pub fn store_stats(&self) -> Arc<StoreStats> {
+        match &self.store {
+            Some(s) => s.stats(),
+            None => Arc::clone(&self.fallback_stats),
+        }
+    }
+
+    /// Whether a persistence backend is attached.
+    pub fn store_enabled(&self) -> bool {
+        self.store.is_some()
     }
 
     /// Capacity of the shard pool.
@@ -294,7 +380,8 @@ impl SessionRegistry {
 
     /// Opens a session, evicting the least-recently-used idle session when
     /// the pool is full. Returns the new session and how many sessions
-    /// were evicted to make room (0 or 1).
+    /// were evicted to make room (0 or 1). Compatibility wrapper over
+    /// [`open_full`](Self::open_full) with no environment fingerprint.
     ///
     /// # Errors
     ///
@@ -306,11 +393,34 @@ impl SessionRegistry {
         mode: SchedMode,
         seed: u64,
     ) -> Result<(Arc<SessionState>, usize), ServiceError> {
+        self.open_full(robot_name, mode, seed, None)
+            .map(|o| (o.session, o.evicted))
+    }
+
+    /// Opens a session, optionally keyed by an environment fingerprint.
+    /// With a fingerprint and a store attached, the session warm-starts
+    /// from any persisted table for that fingerprint (copy-on-lease: the
+    /// stored image is *copied* into the private shard) and logs/persists
+    /// its learned state back. An evicted victim's table is persisted
+    /// through its own store handle before the slot is reused.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] for an unknown robot,
+    /// [`ServiceError::Busy`] when the pool is full of busy sessions.
+    pub fn open_full(
+        &self,
+        robot_name: &str,
+        mode: SchedMode,
+        seed: u64,
+        fp: Option<u64>,
+    ) -> Result<OpenOutcome, ServiceError> {
         let robot = robot_by_name(robot_name)
             .ok_or_else(|| ServiceError::BadRequest(format!("unknown robot '{robot_name}'")))?;
         let hasher = CoordHash::paper_default(&robot);
         let mut inner = self.inner.lock().expect("registry lock");
         let mut evicted = 0;
+        let mut evicted_occupancy = 0u64;
         if inner.free_slots.is_empty() {
             let victim = inner
                 .sessions
@@ -321,6 +431,13 @@ impl SessionRegistry {
             match victim {
                 Some(id) => {
                     let s = inner.sessions.remove(&id).expect("victim present");
+                    // Eviction used to discard the victim's learned table
+                    // silently; now the cost is measured, and persisted
+                    // when the victim has a store handle. The snapshot
+                    // write happens under the registry lock — acceptable
+                    // because eviction is the slow path by construction.
+                    evicted_occupancy = s.shard.occupancy() as u64;
+                    s.persist_to_store();
                     inner.free_slots.push(s.shard_slot);
                     evicted = 1;
                 }
@@ -345,7 +462,29 @@ impl SessionRegistry {
         let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let u_seed = (z ^ (z >> 31)).max(1);
+        let mut u_seed = (z ^ (z >> 31)).max(1);
+        // Warm start: copy any persisted table for this fingerprint into
+        // the private shard and resume its U-draw stream, so the session
+        // continues exactly where the persisted one left off.
+        let mut warm = false;
+        let store_handle = match (&self.store, fp) {
+            (Some(registry), Some(fp)) => match registry.open_session(fp, shard.params()) {
+                Ok(opened) => {
+                    if let Some(image) = &opened.image {
+                        shard.load_cells(&image.cells);
+                        if image.u_state != 0 {
+                            u_seed = image.u_state;
+                        }
+                        warm = true;
+                    }
+                    Some(opened.store)
+                }
+                // Store I/O failure degrades to a cold, unpersisted
+                // session rather than failing the open.
+                Err(_) => None,
+            },
+            _ => None,
+        };
         let session = Arc::new(SessionState {
             id,
             mode,
@@ -356,9 +495,15 @@ impl SessionRegistry {
             pending: AtomicUsize::new(0),
             u_state: Mutex::new(u_seed),
             last_used: AtomicU64::new(self.tick()),
+            store: store_handle,
         });
         inner.sessions.insert(id, Arc::clone(&session));
-        Ok((session, evicted))
+        Ok(OpenOutcome {
+            session,
+            evicted,
+            evicted_occupancy,
+            warm,
+        })
     }
 
     /// Looks up a session and bumps its LRU stamp.
@@ -373,7 +518,8 @@ impl SessionRegistry {
         Ok(Arc::clone(s))
     }
 
-    /// Closes a session and returns its shard slot to the pool.
+    /// Closes a session and returns its shard slot to the pool, persisting
+    /// its learned table first when it has a store handle.
     ///
     /// # Errors
     ///
@@ -384,6 +530,7 @@ impl SessionRegistry {
             .sessions
             .remove(&id)
             .ok_or(ServiceError::NoSession(id))?;
+        s.persist_to_store();
         inner.free_slots.push(s.shard_slot);
         Ok(())
     }
@@ -465,6 +612,97 @@ mod tests {
         let (c, _) = reg.open("planar-2d", SchedMode::Coord, 3).unwrap();
         assert!(Arc::ptr_eq(&c.shard, &slot_shard), "slot recycled");
         assert_eq!(c.shard.occupancy(), 0, "history cleared on lease");
+    }
+
+    fn store_root(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("copred-service-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn registry_with_store(cap: usize, root: &std::path::Path) -> SessionRegistry {
+        let store = Arc::new(StoreRegistry::open(root).unwrap());
+        SessionRegistry::new_with_store(ChtParams::paper_2d(), cap, Some(store))
+    }
+
+    #[test]
+    fn warm_start_restores_table_and_resumes_u_stream() {
+        let root = store_root("warm");
+        let reg = registry_with_store(4, &root);
+        let fp = Some(0xFACE);
+        let a = reg
+            .open_full("planar-2d", SchedMode::Coord, 42, fp)
+            .unwrap();
+        assert!(!a.warm, "nothing persisted yet");
+        a.session.shard.observe(7, true, 0.0);
+        a.session.shard.observe(9, true, 0.0);
+        let drawn: Vec<f64> = (0..3).map(|_| a.session.next_u_draw()).collect();
+        let cells = a.session.shard.export_cells();
+        reg.close(a.session.id).unwrap();
+        // Warm reopen: table restored bit-exactly, U stream continues from
+        // draw 4 — verified against an uninterrupted same-seed session.
+        let b = reg
+            .open_full("planar-2d", SchedMode::Coord, 42, fp)
+            .unwrap();
+        assert!(b.warm);
+        assert_eq!(b.session.shard.export_cells(), cells);
+        let continuous = reg.open("planar-2d", SchedMode::Coord, 42).unwrap().0;
+        let skipped: Vec<f64> = (0..3).map(|_| continuous.next_u_draw()).collect();
+        assert_eq!(skipped, drawn);
+        for _ in 0..4 {
+            assert_eq!(b.session.next_u_draw(), continuous.next_u_draw());
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_without_fp_is_cold_and_unpersisted() {
+        let root = store_root("nofp");
+        let reg = registry_with_store(4, &root);
+        let a = reg
+            .open_full("planar-2d", SchedMode::Coord, 1, None)
+            .unwrap();
+        assert!(!a.warm);
+        a.session.shard.observe(3, true, 0.0);
+        assert!(!a.session.persist_to_store(), "no fp means no store handle");
+        reg.close(a.session.id).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn eviction_persists_victim_and_reports_occupancy() {
+        let root = store_root("evict");
+        let reg = registry_with_store(2, &root);
+        let fp = Some(0xE11C);
+        let a = reg.open_full("planar-2d", SchedMode::Coord, 1, fp).unwrap();
+        a.session.shard.observe(5, true, 0.0);
+        a.session.shard.observe(11, true, 0.0);
+        let _b = reg.open("planar-2d", SchedMode::Coord, 2).unwrap();
+        reg.get(_b.0.id).unwrap(); // make `a` the LRU victim
+        let c = reg
+            .open_full("planar-2d", SchedMode::Coord, 3, None)
+            .unwrap();
+        assert_eq!(c.evicted, 1);
+        assert_eq!(c.evicted_occupancy, 2, "victim's learned entries counted");
+        // The victim's table survived eviction: a same-fp open warm-starts.
+        let d = reg.open_full("planar-2d", SchedMode::Coord, 4, fp).unwrap();
+        assert!(d.warm, "evicted state must be recoverable");
+        assert!(d.session.shard.predict(5));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn concurrent_same_fp_sessions_never_alias() {
+        let root = store_root("alias");
+        let reg = registry_with_store(4, &root);
+        let fp = Some(0xA11A5);
+        let a = reg.open_full("planar-2d", SchedMode::Coord, 1, fp).unwrap();
+        let b = reg.open_full("planar-2d", SchedMode::Coord, 2, fp).unwrap();
+        assert!(!Arc::ptr_eq(&a.session.shard, &b.session.shard));
+        a.session.shard.observe(3, true, 0.0);
+        assert!(!b.session.shard.predict(3), "copy-on-lease: no aliasing");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -74,6 +74,7 @@ fn loadgen_config(addr: std::net::SocketAddr, mode: SchedMode) -> LoadgenConfig 
         batch: 4,
         max_retries: 256,
         metrics_interval: None,
+        fingerprints: None,
     }
 }
 

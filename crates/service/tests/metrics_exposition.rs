@@ -8,8 +8,9 @@ use copred_obs::{http_get, parse_prometheus, PromSample};
 use copred_service::protocol::SchedMode;
 use copred_service::{
     render_prometheus, Metrics, Server, ServerConfig, SessionRegistry, GLOBAL_COUNTERS,
-    SESSION_COUNTERS,
+    SESSION_COUNTERS, STORE_COUNTERS,
 };
+use copred_store::StoreStats;
 use std::sync::atomic::Ordering;
 
 /// Builds a deterministic metrics + registry state for rendering: every
@@ -30,6 +31,7 @@ fn fixture() -> (Metrics, SessionRegistry) {
             "checks" => metrics.checks.store(v, Ordering::Relaxed),
             "cdqs_issued" => metrics.cdqs_issued.store(v, Ordering::Relaxed),
             "cdqs_total" => metrics.cdqs_total.store(v, Ordering::Relaxed),
+            "evicted_learned" => metrics.evicted_learned.store(v, Ordering::Relaxed),
             other => panic!("fixture does not cover global counter {other}"),
         }
     }
@@ -58,9 +60,28 @@ fn fixture() -> (Metrics, SessionRegistry) {
     (metrics, registry)
 }
 
+/// Distinct values for every persistence counter, same swap-detection idea
+/// as the global fixture but in a different arithmetic progression.
+fn store_fixture() -> StoreStats {
+    let stats = StoreStats::default();
+    for (i, &(field, _, _)) in STORE_COUNTERS.iter().enumerate() {
+        let v = 500 + 11 * i as u64;
+        match field {
+            "snapshots_written" => stats.snapshots_written.store(v, Ordering::Relaxed),
+            "snapshots_loaded" => stats.snapshots_loaded.store(v, Ordering::Relaxed),
+            "wal_bytes" => stats.wal_bytes.store(v, Ordering::Relaxed),
+            "warm_hits" => stats.warm_hits.store(v, Ordering::Relaxed),
+            "warm_misses" => stats.warm_misses.store(v, Ordering::Relaxed),
+            "recovery_replays" => stats.recovery_replays.store(v, Ordering::Relaxed),
+            other => panic!("fixture does not cover store counter {other}"),
+        }
+    }
+    stats
+}
+
 fn render_fixture() -> String {
     let (metrics, registry) = fixture();
-    render_prometheus(&metrics, &registry.sessions_snapshot(), 3)
+    render_prometheus(&metrics, &registry.sessions_snapshot(), 3, &store_fixture())
 }
 
 fn count(samples: &[PromSample], name: &str) -> usize {
@@ -99,6 +120,11 @@ fn every_global_counter_appears_exactly_once_with_prefix() {
         // The fixture stored 100 + 7i into the i-th counter: a swapped
         // field↔name mapping shows up as a wrong value here.
         assert_eq!(value(&samples, name), (100 + 7 * i) as f64, "{name}");
+    }
+    for (i, &(_, name, _)) in STORE_COUNTERS.iter().enumerate() {
+        assert!(name.starts_with("copred_store_"), "{name} lacks the prefix");
+        assert_eq!(count(&samples, name), 1, "{name} must appear exactly once");
+        assert_eq!(value(&samples, name), (500 + 11 * i) as f64, "{name}");
     }
     for &(_, name, _) in SESSION_COUNTERS {
         assert!(name.starts_with("copred_"), "{name} lacks the prefix");

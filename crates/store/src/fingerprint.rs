@@ -1,0 +1,160 @@
+//! Stable environment fingerprints: the key a warm-startable table is
+//! stored under.
+//!
+//! A fingerprint folds the robot model (name, DOFs, per-DOF limits, link
+//! count, workspace box) and the obstacle set (every AABB, in order)
+//! through 64-bit FNV-1a over exact `f64` bit patterns. Two sessions get
+//! the same fingerprint iff they plan the same robot against the same
+//! obstacles — exactly the condition under which learned CHT state
+//! transfers. The hash is pure arithmetic over the inputs (no pointer,
+//! time, or platform dependence), so it is stable across processes and
+//! restarts and can be computed client-side.
+
+use copred_collision::Environment;
+use copred_geometry::Aabb;
+use copred_kinematics::Robot;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a hasher over byte chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct Fold(u64);
+
+impl Fold {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Fold(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Folds an `f64` by exact bit pattern.
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    fn aabb(self, b: &Aabb) -> Self {
+        self.f64(b.min.x)
+            .f64(b.min.y)
+            .f64(b.min.z)
+            .f64(b.max.x)
+            .f64(b.max.y)
+            .f64(b.max.z)
+    }
+
+    /// The digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fingerprint of a (robot, environment) pair.
+pub fn environment_fingerprint(robot: &Robot, env: &Environment) -> u64 {
+    let mut f = Fold::new()
+        .bytes(robot.name().as_bytes())
+        .u64(robot.dofs() as u64)
+        .u64(robot.link_count() as u64);
+    for i in 0..robot.dofs() {
+        let (lo, hi) = robot.limits(i);
+        f = f.f64(lo).f64(hi);
+    }
+    f = f.aabb(&robot.workspace());
+    f = f.aabb(env.workspace());
+    f = f.u64(env.obstacles().len() as u64);
+    for obstacle in env.obstacles() {
+        f = f.aabb(obstacle);
+    }
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_geometry::Vec3;
+    use copred_kinematics::presets;
+
+    fn env(obstacles: Vec<Aabb>) -> Environment {
+        let ws = Aabb {
+            min: Vec3 {
+                x: -2.0,
+                y: -2.0,
+                z: -2.0,
+            },
+            max: Vec3 {
+                x: 2.0,
+                y: 2.0,
+                z: 2.0,
+            },
+        };
+        Environment::new(ws, obstacles)
+    }
+
+    fn obstacle(x: f64) -> Aabb {
+        Aabb {
+            min: Vec3 { x, y: 0.0, z: 0.0 },
+            max: Vec3 {
+                x: x + 0.5,
+                y: 0.5,
+                z: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn identical_inputs_identical_fingerprints() {
+        let robot: Robot = presets::jaco2().into();
+        let a = environment_fingerprint(&robot, &env(vec![obstacle(0.3)]));
+        let b = environment_fingerprint(&robot, &env(vec![obstacle(0.3)]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_input_change_changes_the_fingerprint() {
+        let robot: Robot = presets::jaco2().into();
+        let base = environment_fingerprint(&robot, &env(vec![obstacle(0.3)]));
+        // Moved obstacle.
+        assert_ne!(
+            base,
+            environment_fingerprint(&robot, &env(vec![obstacle(0.31)]))
+        );
+        // Added obstacle.
+        assert_ne!(
+            base,
+            environment_fingerprint(&robot, &env(vec![obstacle(0.3), obstacle(1.0)]))
+        );
+        // Empty scene.
+        assert_ne!(base, environment_fingerprint(&robot, &env(vec![])));
+        // Different robot.
+        let other: Robot = presets::kuka_iiwa().into();
+        assert_ne!(
+            base,
+            environment_fingerprint(&other, &env(vec![obstacle(0.3)]))
+        );
+    }
+
+    #[test]
+    fn fnv_fold_matches_reference() {
+        // FNV-1a 64-bit reference vector.
+        assert_eq!(Fold::new().bytes(b"").finish(), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(Fold::new().bytes(b"a").finish(), 0xAF63_DC4C_8601_EC8C);
+    }
+}

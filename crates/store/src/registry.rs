@@ -1,0 +1,410 @@
+//! The fingerprint-keyed store registry and per-session store handles.
+//!
+//! On-disk layout: one directory per environment fingerprint under the
+//! store root, holding a snapshot plus WAL segments:
+//!
+//! ```text
+//! <root>/<fp as 16 hex digits>/snapshot.bin
+//! <root>/<fp as 16 hex digits>/wal-000000.log …
+//! ```
+//!
+//! **Copy-on-lease**: opening a session copies the stored image into the
+//! session's private shard — stored state and live shards never alias. The
+//! *first* concurrent session per fingerprint owns the write side (WAL
+//! appends + persist); later sessions on the same fingerprint get a
+//! *detached* handle (warm copy, no writeback) so two writers can never
+//! interleave one log. Ownership returns to the pool when the owning
+//! handle drops.
+
+use crate::snapshot::{read_snapshot, write_snapshot, TableImage};
+use crate::stats::StoreStats;
+use crate::wal::{self, Wal, WalRecord};
+use crate::StoreError;
+use copred_core::ChtParams;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+/// Default WAL segment rotation size.
+pub const DEFAULT_SEGMENT_LIMIT: u64 = 64 * 1024;
+
+/// Default segment count that triggers compaction into a snapshot.
+pub const DEFAULT_COMPACT_SEGMENTS: u64 = 4;
+
+/// Outcome of opening a session against the store.
+#[derive(Debug)]
+pub struct OpenedStore {
+    /// The stored table to warm-start from, when one was found.
+    pub image: Option<TableImage>,
+    /// The session's handle for WAL appends and persistence.
+    pub store: SessionStore,
+}
+
+/// A fingerprint-keyed registry of persisted CHT tables.
+#[derive(Debug)]
+pub struct StoreRegistry {
+    root: PathBuf,
+    stats: Arc<StoreStats>,
+    active: Arc<Mutex<HashSet<u64>>>,
+    segment_limit: u64,
+    compact_segments: u64,
+}
+
+impl StoreRegistry {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(StoreRegistry {
+            root,
+            stats: Arc::new(StoreStats::new()),
+            active: Arc::new(Mutex::new(HashSet::new())),
+            segment_limit: DEFAULT_SEGMENT_LIMIT,
+            compact_segments: DEFAULT_COMPACT_SEGMENTS,
+        })
+    }
+
+    /// Overrides the WAL rotation/compaction thresholds (tests exercise
+    /// rotation with tiny segments).
+    pub fn with_wal_limits(mut self, segment_limit: u64, compact_segments: u64) -> Self {
+        self.segment_limit = segment_limit;
+        self.compact_segments = compact_segments.max(1);
+        self
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Shared telemetry counters.
+    pub fn stats(&self) -> Arc<StoreStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn table_dir(&self, fp: u64) -> PathBuf {
+        self.root.join(format!("{fp:016x}"))
+    }
+
+    /// Reads the stored table for `fp` without leasing it: snapshot (when
+    /// present, valid, and parameter-matching) plus WAL-suffix replay.
+    /// Returns `None` when nothing usable is stored — corruption and
+    /// parameter mismatches degrade to a cold start, never an error.
+    pub fn load(&self, fp: u64, params: &ChtParams) -> Option<TableImage> {
+        let dir = self.table_dir(fp);
+        let snap = dir.join("snapshot.bin");
+        let mut snapshot_loaded = false;
+        let base = match read_snapshot(&snap) {
+            Ok(image) if image.params == *params => {
+                snapshot_loaded = true;
+                Some(image)
+            }
+            // Mismatched parameters or a corrupt snapshot: the stored state
+            // is for a different table shape (or unreadable) — cold start,
+            // and skip the WAL too since its records target that table.
+            Ok(_) => return None,
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(_) => return None,
+        };
+        let mut image = base.unwrap_or_else(|| TableImage::empty(*params));
+        let summary = wal::replay(&dir, &mut image);
+        if snapshot_loaded {
+            self.stats.snapshots_loaded.fetch_add(1, Ordering::Relaxed);
+        }
+        if summary.applied > 0 {
+            self.stats.recovery_replays.fetch_add(1, Ordering::Relaxed);
+        }
+        if snapshot_loaded || summary.applied > 0 {
+            Some(image)
+        } else {
+            None
+        }
+    }
+
+    /// Opens the store for a session planning under fingerprint `fp`.
+    ///
+    /// Returns the warm-start image (if any) and a [`SessionStore`] handle.
+    /// The first live session per fingerprint owns the write side; later
+    /// concurrent sessions get a detached handle (reads the warm copy,
+    /// never writes back). Warm-hit/miss telemetry is counted here.
+    pub fn open_session(&self, fp: u64, params: &ChtParams) -> std::io::Result<OpenedStore> {
+        let image = self.load(fp, params);
+        if image.is_some() {
+            self.stats.warm_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.warm_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let owner = self.active.lock().expect("active set poisoned").insert(fp);
+        let dir = self.table_dir(fp);
+        let wal = if owner {
+            Some(Wal::open(&dir, self.segment_limit)?)
+        } else {
+            None
+        };
+        Ok(OpenedStore {
+            image,
+            store: SessionStore {
+                fp,
+                dir,
+                params: *params,
+                wal: Mutex::new(wal),
+                stats: Arc::clone(&self.stats),
+                active: Arc::clone(&self.active),
+                compact_segments: self.compact_segments,
+            },
+        })
+    }
+}
+
+/// One session's handle into the store. Owner handles append to the WAL
+/// and persist snapshots; detached handles (a concurrent session on the
+/// same fingerprint) treat both as no-ops.
+#[derive(Debug)]
+pub struct SessionStore {
+    fp: u64,
+    dir: PathBuf,
+    params: ChtParams,
+    /// `Some` iff this handle owns the fingerprint's write side.
+    wal: Mutex<Option<Wal>>,
+    stats: Arc<StoreStats>,
+    active: Arc<Mutex<HashSet<u64>>>,
+    compact_segments: u64,
+}
+
+impl SessionStore {
+    /// The environment fingerprint this handle persists under.
+    pub fn fp(&self) -> u64 {
+        self.fp
+    }
+
+    /// Whether this handle owns the write side.
+    pub fn is_owner(&self) -> bool {
+        self.wal.lock().expect("wal poisoned").is_some()
+    }
+
+    /// The table parameters the store was opened with.
+    pub fn params(&self) -> &ChtParams {
+        &self.params
+    }
+
+    /// Logs one applied observe write. When segment rotation pushes the log
+    /// past the compaction threshold, folds the WAL into a fresh snapshot
+    /// using `image_fn` (called under the WAL lock, so the image is
+    /// consistent with everything logged so far). Detached handles no-op.
+    pub fn log_observe(
+        &self,
+        code: u64,
+        colliding: bool,
+        image_fn: impl FnOnce() -> TableImage,
+    ) -> Result<(), StoreError> {
+        let mut guard = self.wal.lock().expect("wal poisoned");
+        let Some(wal) = guard.as_mut() else {
+            return Ok(());
+        };
+        let written = wal.append(WalRecord { code, colliding })?;
+        self.stats.wal_bytes.fetch_add(written, Ordering::Relaxed);
+        if wal.segments_started() > self.compact_segments {
+            let image = image_fn();
+            write_snapshot(&self.dir.join("snapshot.bin"), &image)?;
+            self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+            wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Persists the table image as a snapshot and truncates the WAL —
+    /// called on session close and eviction. Returns `Ok(false)` on a
+    /// detached handle (nothing written).
+    pub fn persist(&self, image: &TableImage) -> Result<bool, StoreError> {
+        let mut guard = self.wal.lock().expect("wal poisoned");
+        let Some(wal) = guard.as_mut() else {
+            return Ok(false);
+        };
+        write_snapshot(&self.dir.join("snapshot.bin"), image)?;
+        self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        wal.reset()?;
+        Ok(true)
+    }
+}
+
+impl Drop for SessionStore {
+    fn drop(&mut self) {
+        if self.is_owner() {
+            self.active
+                .lock()
+                .expect("active set poisoned")
+                .remove(&self.fp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copred_core::Strategy;
+
+    fn params() -> ChtParams {
+        ChtParams {
+            bits: 8,
+            counter_bits: 4,
+            strategy: Strategy::new(1.0),
+            update_fraction: 1.0,
+        }
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("copred-store-reg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn stat(registry: &StoreRegistry, name: &str) -> u64 {
+        registry
+            .stats()
+            .stat_lines()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn cold_miss_then_warm_hit_roundtrip() {
+        let root = tmp_root("warm");
+        let registry = StoreRegistry::open(&root).unwrap();
+        let fp = 0xFEED;
+        let opened = registry.open_session(fp, &params()).unwrap();
+        assert!(opened.image.is_none());
+        assert!(opened.store.is_owner());
+        assert_eq!(stat(&registry, "warm_misses"), 1);
+        let mut image = TableImage::empty(params());
+        image.u_state = 99;
+        image.cells[3] = (5, 1);
+        assert!(opened.store.persist(&image).unwrap());
+        drop(opened);
+        let again = registry.open_session(fp, &params()).unwrap();
+        assert_eq!(again.image.as_ref(), Some(&image));
+        assert_eq!(stat(&registry, "warm_hits"), 1);
+        assert_eq!(stat(&registry, "snapshots_loaded"), 1);
+        assert_eq!(stat(&registry, "snapshots_written"), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wal_suffix_replays_on_load() {
+        let root = tmp_root("replay");
+        let registry = StoreRegistry::open(&root).unwrap();
+        let fp = 0xBEEF;
+        let opened = registry.open_session(fp, &params()).unwrap();
+        let mut live = TableImage::empty(params());
+        for i in 0..30u64 {
+            opened
+                .store
+                .log_observe(i, i % 2 == 0, || unreachable!("no compaction yet"))
+                .unwrap();
+            live.apply_record(i, i % 2 == 0);
+        }
+        // Simulate a crash: drop without persist. The WAL alone must
+        // reconstruct the table.
+        drop(opened);
+        let recovered = registry.load(fp, &params()).unwrap();
+        assert_eq!(recovered.cells, live.cells);
+        assert_eq!(stat(&registry, "recovery_replays"), 1);
+        assert!(stat(&registry, "wal_bytes") >= 30 * WAL_RECORD_LEN_U64);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    const WAL_RECORD_LEN_U64: u64 = crate::wal::WAL_RECORD_LEN as u64;
+
+    #[test]
+    fn compaction_folds_wal_into_snapshot() {
+        let root = tmp_root("compact");
+        // Two records per segment, compact at >2 segments.
+        let registry = StoreRegistry::open(&root)
+            .unwrap()
+            .with_wal_limits(8 + 2 * WAL_RECORD_LEN_U64, 2);
+        let fp = 0xC0FFEE;
+        let opened = registry.open_session(fp, &params()).unwrap();
+        let mut live = TableImage::empty(params());
+        for i in 0..12u64 {
+            live.apply_record(i, true);
+            let snapshot = live.clone();
+            opened.store.log_observe(i, true, move || snapshot).unwrap();
+        }
+        assert!(
+            stat(&registry, "snapshots_written") >= 1,
+            "compaction must have produced a snapshot"
+        );
+        drop(opened);
+        // Recovery sees snapshot + post-compaction WAL suffix == live.
+        let recovered = registry.load(fp, &params()).unwrap();
+        assert_eq!(recovered.cells, live.cells);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn concurrent_same_fp_sessions_are_copy_on_lease() {
+        let root = tmp_root("detach");
+        let registry = StoreRegistry::open(&root).unwrap();
+        let fp = 0xAA;
+        let first = registry.open_session(fp, &params()).unwrap();
+        let second = registry.open_session(fp, &params()).unwrap();
+        assert!(first.store.is_owner());
+        assert!(!second.store.is_owner(), "second concurrent lease detaches");
+        // Detached writes are no-ops.
+        second
+            .store
+            .log_observe(1, true, || TableImage::empty(params()))
+            .unwrap();
+        assert!(!second.store.persist(&TableImage::empty(params())).unwrap());
+        assert_eq!(stat(&registry, "wal_bytes"), 0);
+        // Ownership returns when the owner drops.
+        drop(first);
+        let third = registry.open_session(fp, &params()).unwrap();
+        assert!(third.store.is_owner());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn mismatched_params_degrade_to_cold() {
+        let root = tmp_root("mismatch");
+        let registry = StoreRegistry::open(&root).unwrap();
+        let fp = 0x77;
+        let opened = registry.open_session(fp, &params()).unwrap();
+        let image = TableImage::empty(params());
+        opened.store.persist(&image).unwrap();
+        drop(opened);
+        let other = ChtParams {
+            counter_bits: 2,
+            ..params()
+        };
+        assert!(registry.load(fp, &other).is_none());
+        let reopened = registry.open_session(fp, &other).unwrap();
+        assert!(reopened.image.is_none(), "mismatch is a cold start");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_cold() {
+        let root = tmp_root("corrupt");
+        let registry = StoreRegistry::open(&root).unwrap();
+        let fp = 0x99;
+        let opened = registry.open_session(fp, &params()).unwrap();
+        let mut image = TableImage::empty(params());
+        image.cells[0] = (1, 0);
+        opened.store.persist(&image).unwrap();
+        drop(opened);
+        let snap = registry
+            .root()
+            .join(format!("{fp:016x}"))
+            .join("snapshot.bin");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&snap, bytes).unwrap();
+        assert!(registry.load(fp, &params()).is_none());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,438 @@
+//! Versioned binary snapshots of CHT state.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "CPRDSNAP"
+//!      8     4  format version (currently 1)
+//!     12     4  address bits
+//!     16     4  counter bits
+//!     20     8  strategy S (f64 bit pattern)
+//!     28     8  update fraction U (f64 bit pattern)
+//!     36     8  u-draw RNG state (xorshift64 word; 0 when unknown)
+//!     44     4  payload length in bytes
+//!     48     4  CRC-32/IEEE over the payload
+//!     52     …  payload: bit-packed counters, LSB-first
+//! ```
+//!
+//! The payload stores `entry_bits()` per cell in entry order: a single
+//! `COLL != 0` bit in 1-bit mode, otherwise `counter_bits` of `COLL`
+//! followed by `counter_bits` of `NONCOLL`. This mirrors the SRAM sizing of
+//! the paper's hardware table, so a snapshot is within a header of the
+//! modeled on-chip footprint. The format is a stability contract
+//! (ROADMAP.md): changing it requires bumping [`SNAPSHOT_VERSION`].
+
+use crate::crc::crc32;
+use crate::StoreError;
+use copred_core::{Cht, ChtParams, Strategy};
+use std::path::Path;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Snapshot file magic.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CPRDSNAP";
+
+const HEADER_LEN: usize = 52;
+
+/// Widest table the store will materialize (matches `ConcurrentCht`'s dense
+/// limit); also bounds what a decoded header may ask us to allocate.
+const MAX_BITS: u32 = 24;
+
+/// An owned, plain-memory image of a CHT: parameters, the `U`-policy RNG
+/// word, and every entry's `(COLL, NONCOLL)` counters in entry order.
+///
+/// This is the interchange type between live tables (`copred_core::Cht`,
+/// `copred_swexec::ConcurrentCht` via `export_cells`/`load_cells`), the
+/// snapshot codec, and WAL replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableImage {
+    /// Table sizing/policy parameters.
+    pub params: ChtParams,
+    /// The session's xorshift64 u-draw state at snapshot time (0 = unknown;
+    /// warm-start callers remap 0 to a fresh seed).
+    pub u_state: u64,
+    /// `(COLL, NONCOLL)` for every entry; length is `params.entries()`.
+    pub cells: Vec<(u8, u8)>,
+}
+
+impl TableImage {
+    /// An all-zero image for `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.bits` exceeds 24 (store images are dense).
+    pub fn empty(params: ChtParams) -> Self {
+        assert!(
+            params.bits >= 1 && params.bits <= MAX_BITS,
+            "store images must be dense (1..=24 address bits)"
+        );
+        TableImage {
+            u_state: 0,
+            cells: vec![(0, 0); params.entries()],
+            params,
+        }
+    }
+
+    /// Captures a reference table's counters.
+    pub fn from_cht(cht: &Cht) -> Self {
+        let params = *cht.params();
+        let mut image = TableImage::empty(params);
+        for code in 0..params.entries() as u64 {
+            image.cells[code as usize] = cht.counters(code);
+        }
+        image
+    }
+
+    /// Writes this image's counters into a reference table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table's parameters differ from the image's.
+    pub fn apply_to_cht(&self, cht: &mut Cht) {
+        assert_eq!(cht.params(), &self.params, "image/table parameter mismatch");
+        for (code, &(c, n)) in self.cells.iter().enumerate() {
+            cht.set_counters(code as u64, c, n);
+        }
+    }
+
+    /// Entries with any recorded history.
+    pub fn occupancy(&self) -> usize {
+        self.cells.iter().filter(|&&(c, n)| c > 0 || n > 0).count()
+    }
+
+    /// Applies one logged observe write: a saturating increment of the
+    /// addressed counter. This is the WAL replay rule; it matches
+    /// `ConcurrentCht::observe` for *applied* writes exactly (the `U` gate
+    /// already ran before the record was logged). Free records in 1-bit
+    /// mode are ignored — a live 1-bit table never applies them, so any
+    /// found in a log are stray corruption tolerated rather than replayed.
+    pub fn apply_record(&mut self, code: u64, colliding: bool) {
+        let max = ((1u32 << self.params.counter_bits) - 1) as u8;
+        let i = (code & ((1u64 << self.params.bits) - 1)) as usize;
+        let cell = &mut self.cells[i];
+        if colliding {
+            cell.0 = cell.0.saturating_add(1).min(max);
+        } else if self.params.counter_bits > 1 {
+            cell.1 = cell.1.saturating_add(1).min(max);
+        }
+    }
+}
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            bit: 0,
+        }
+    }
+
+    /// Appends the low `width` bits of `v`, LSB-first.
+    fn push(&mut self, v: u8, width: u32) {
+        for k in 0..width {
+            if self.bit == 0 {
+                self.bytes.push(0);
+            }
+            if (v >> k) & 1 != 0 {
+                *self.bytes.last_mut().unwrap() |= 1 << self.bit;
+            }
+            self.bit = (self.bit + 1) % 8;
+        }
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    fn pull(&mut self, width: u32) -> Option<u8> {
+        let mut v = 0u8;
+        for k in 0..width {
+            let byte = self.bytes.get(self.pos / 8)?;
+            if (byte >> (self.pos % 8)) & 1 != 0 {
+                v |= 1 << k;
+            }
+            self.pos += 1;
+        }
+        Some(v)
+    }
+}
+
+/// Serializes an image to the versioned snapshot format.
+pub fn encode(image: &TableImage) -> Vec<u8> {
+    let p = &image.params;
+    debug_assert_eq!(image.cells.len(), p.entries());
+    let mut w = BitWriter::new();
+    for &(c, n) in &image.cells {
+        if p.counter_bits == 1 {
+            w.push(u8::from(c != 0), 1);
+        } else {
+            w.push(c, p.counter_bits);
+            w.push(n, p.counter_bits);
+        }
+    }
+    let payload = w.bytes;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&p.bits.to_le_bytes());
+    out.extend_from_slice(&p.counter_bits.to_le_bytes());
+    out.extend_from_slice(&p.strategy.s().to_bits().to_le_bytes());
+    out.extend_from_slice(&p.update_fraction.to_bits().to_le_bytes());
+    out.extend_from_slice(&image.u_state.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn le_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+fn le_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+/// Deserializes a snapshot, validating magic, version, parameter ranges,
+/// payload length, and CRC. Corruption is an error, never a panic.
+pub fn decode(bytes: &[u8]) -> Result<TableImage, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "short header: {} bytes",
+            bytes.len()
+        )));
+    }
+    if &bytes[0..8] != SNAPSHOT_MAGIC {
+        return Err(StoreError::Corrupt("bad magic".into()));
+    }
+    let version = le_u32(bytes, 8);
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let bits = le_u32(bytes, 12);
+    let counter_bits = le_u32(bytes, 16);
+    if !(1..=MAX_BITS).contains(&bits) {
+        return Err(StoreError::Corrupt(format!("bad address bits {bits}")));
+    }
+    if !(1..=8).contains(&counter_bits) {
+        return Err(StoreError::Corrupt(format!(
+            "bad counter bits {counter_bits}"
+        )));
+    }
+    let s = f64::from_bits(le_u64(bytes, 20));
+    if !(s.is_finite() && s >= 0.0) {
+        return Err(StoreError::Corrupt(format!("bad strategy S {s}")));
+    }
+    let u = f64::from_bits(le_u64(bytes, 28));
+    if !(0.0..=1.0).contains(&u) {
+        return Err(StoreError::Corrupt(format!("bad update fraction {u}")));
+    }
+    let u_state = le_u64(bytes, 36);
+    let payload_len = le_u32(bytes, 44) as usize;
+    let crc = le_u32(bytes, 48);
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != payload_len {
+        return Err(StoreError::Corrupt(format!(
+            "payload length {} != declared {payload_len}",
+            payload.len()
+        )));
+    }
+    if crc32(payload) != crc {
+        return Err(StoreError::Corrupt("payload CRC mismatch".into()));
+    }
+    let params = ChtParams {
+        bits,
+        counter_bits,
+        strategy: Strategy::new(s),
+        update_fraction: u,
+    };
+    let entries = params.entries();
+    let expect_bytes = (entries as u64 * u64::from(params.entry_bits())).div_ceil(8) as usize;
+    if payload_len != expect_bytes {
+        return Err(StoreError::Corrupt(format!(
+            "payload is {payload_len} bytes, table needs {expect_bytes}"
+        )));
+    }
+    let mut r = BitReader {
+        bytes: payload,
+        pos: 0,
+    };
+    let mut cells = Vec::with_capacity(entries);
+    let max = ((1u32 << counter_bits) - 1) as u8;
+    for _ in 0..entries {
+        let (c, n) = if counter_bits == 1 {
+            (r.pull(1).unwrap(), 0)
+        } else {
+            (r.pull(counter_bits).unwrap(), r.pull(counter_bits).unwrap())
+        };
+        cells.push((c.min(max), n.min(max)));
+    }
+    Ok(TableImage {
+        params,
+        u_state,
+        cells,
+    })
+}
+
+/// Atomically writes a snapshot: encode, write to `<path>.tmp`, fsync,
+/// rename over `path`. Returns the byte count written.
+pub fn write_snapshot(path: &Path, image: &TableImage) -> Result<u64, StoreError> {
+    let _span = copred_obs::span("store", "snapshot_write");
+    let bytes = encode(image);
+    let tmp = path.with_extension("tmp");
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and decodes a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<TableImage, StoreError> {
+    let _span = copred_obs::span("store", "snapshot_read");
+    let bytes = std::fs::read(path)?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(counter_bits: u32, s: f64, u: f64) -> ChtParams {
+        ChtParams {
+            bits: 8,
+            counter_bits,
+            strategy: Strategy::new(s),
+            update_fraction: u,
+        }
+    }
+
+    fn filled(p: ChtParams, seed: u64) -> TableImage {
+        let mut image = TableImage::empty(p);
+        image.u_state = seed | 1;
+        let max = ((1u32 << p.counter_bits) - 1) as u8;
+        let mut x = seed | 1;
+        for cell in &mut image.cells {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let span = u32::from(max) + 1;
+            cell.0 = (x as u32 % span) as u8;
+            cell.1 = if p.counter_bits == 1 {
+                0
+            } else {
+                ((x >> 8) as u32 % span) as u8
+            };
+        }
+        image
+    }
+
+    #[test]
+    fn roundtrip_all_counter_widths() {
+        for cb in 1..=8 {
+            for s in [0.0, 1.0] {
+                let image = filled(params(cb, s, 0.125), 0xABCD + u64::from(cb));
+                let back = decode(&encode(&image)).unwrap();
+                assert_eq!(back, image, "width {cb}, S {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_mode_stores_single_bit_per_entry() {
+        let image = filled(params(1, 0.0, 0.0), 99);
+        let bytes = encode(&image);
+        assert_eq!(bytes.len(), HEADER_LEN + 256 / 8);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let image = filled(params(4, 1.0, 0.125), 7);
+        let good = encode(&image);
+        // Flip one payload bit: CRC catches it.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(matches!(decode(&bad), Err(StoreError::Corrupt(_))));
+        // Truncations anywhere never panic.
+        for cut in 0..good.len() {
+            let _ = decode(&good[..cut]);
+        }
+        // Bad magic / version / ranges.
+        let mut m = good.clone();
+        m[0] = b'X';
+        assert!(decode(&m).is_err());
+        let mut v = good.clone();
+        v[8] = 9;
+        assert!(decode(&v).is_err());
+        let mut b = good.clone();
+        b[12] = 60; // 2^60 entries: rejected before any allocation
+        assert!(decode(&b).is_err());
+    }
+
+    #[test]
+    fn apply_record_matches_saturating_observe() {
+        let mut image = TableImage::empty(params(2, 1.0, 1.0));
+        for _ in 0..10 {
+            image.apply_record(5, true);
+            image.apply_record(5, false);
+        }
+        assert_eq!(image.cells[5], (3, 3)); // 2-bit max
+        image.apply_record(0x105, true); // aliases onto entry 5
+        assert_eq!(image.cells[5], (3, 3));
+        // 1-bit mode ignores free records entirely.
+        let mut one = TableImage::empty(params(1, 0.0, 0.0));
+        one.apply_record(9, false);
+        assert_eq!(one.occupancy(), 0);
+        one.apply_record(9, true);
+        assert_eq!(one.cells[9], (1, 0));
+    }
+
+    #[test]
+    fn cht_roundtrip_is_bit_exact() {
+        let mut cht = Cht::new(params(4, 1.0, 1.0), 11);
+        for code in 0..200u64 {
+            cht.observe(code * 3, code % 2 == 0);
+        }
+        let image = TableImage::from_cht(&cht);
+        let back = decode(&encode(&image)).unwrap();
+        let mut restored = Cht::new(params(4, 1.0, 1.0), 11);
+        back.apply_to_cht(&mut restored);
+        for code in 0..256u64 {
+            assert_eq!(restored.counters(code), cht.counters(code));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "copred-store-snap-{}-{:x}",
+            std::process::id(),
+            0x51AB_u32
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.bin");
+        let image = filled(params(4, 1.0, 0.125), 31);
+        let n = write_snapshot(&path, &image).unwrap();
+        assert_eq!(n, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(read_snapshot(&path).unwrap(), image);
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Store telemetry counters, rendered by the service as the
+//! `copred_store_*` Prometheus series (a name-stability contract, see
+//! ROADMAP.md).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for the persistence layer. All relaxed: these are
+/// telemetry, never control flow.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Snapshots durably written (persist-on-close/evict + compactions).
+    pub snapshots_written: AtomicU64,
+    /// Snapshots successfully decoded on session open.
+    pub snapshots_loaded: AtomicU64,
+    /// Bytes appended to WAL segments (records + segment headers).
+    pub wal_bytes: AtomicU64,
+    /// Session opens that found a matching stored table.
+    pub warm_hits: AtomicU64,
+    /// Session opens that found no usable stored table.
+    pub warm_misses: AtomicU64,
+    /// Recovery events that replayed at least one WAL record on open.
+    pub recovery_replays: AtomicU64,
+}
+
+impl StoreStats {
+    /// A fresh zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(field, value)` pairs in stable render order — the service's
+    /// `STORE_COUNTERS` table indexes this by field name.
+    pub fn stat_lines(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (
+                "snapshots_written",
+                self.snapshots_written.load(Ordering::Relaxed),
+            ),
+            (
+                "snapshots_loaded",
+                self.snapshots_loaded.load(Ordering::Relaxed),
+            ),
+            ("wal_bytes", self.wal_bytes.load(Ordering::Relaxed)),
+            ("warm_hits", self.warm_hits.load(Ordering::Relaxed)),
+            ("warm_misses", self.warm_misses.load(Ordering::Relaxed)),
+            (
+                "recovery_replays",
+                self.recovery_replays.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_lines_order_is_stable() {
+        let s = StoreStats::new();
+        s.warm_hits.store(3, Ordering::Relaxed);
+        let lines = s.stat_lines();
+        let names: Vec<_> = lines.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "snapshots_written",
+                "snapshots_loaded",
+                "wal_bytes",
+                "warm_hits",
+                "warm_misses",
+                "recovery_replays"
+            ]
+        );
+        assert_eq!(lines[3], ("warm_hits", 3));
+    }
+}

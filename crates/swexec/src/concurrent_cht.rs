@@ -151,8 +151,11 @@ impl ConcurrentCht {
 
     /// Records an executed CDQ's outcome. `u_draw` is a uniform [0,1) draw
     /// used for the `U` update policy (passed in so callers control their
-    /// own RNG streams).
-    pub fn observe(&self, code: u64, colliding: bool, u_draw: f64) {
+    /// own RNG streams). Returns `true` when the write was applied to the
+    /// table, `false` when the `U` policy (or 1-bit mode) skipped it — the
+    /// discriminator `copred-store` uses to write an RNG-free WAL: only
+    /// applied writes are logged, so replay is a pure saturating increment.
+    pub fn observe(&self, code: u64, colliding: bool, u_draw: f64) -> bool {
         let i = self.idx(code);
         let cell = if colliding {
             &self.coll[i]
@@ -162,7 +165,7 @@ impl ConcurrentCht {
             // NONCOLL write here would diverge from: with S ≤ 1 an entry
             // that saw both outcomes would flip its prediction to free).
             if self.params.counter_bits == 1 || u_draw >= self.update_fraction {
-                return;
+                return false;
             }
             &self.noncoll[i]
         };
@@ -175,6 +178,43 @@ impl ConcurrentCht {
                 Err(v) => cur = v,
             }
         }
+        true
+    }
+
+    /// Copies the raw `(COLL, NONCOLL)` counters of every entry, in entry
+    /// order — the export hook `copred-store` snapshots from. Relaxed loads:
+    /// callers snapshot quiescent (leased-out or drained) shards.
+    pub fn export_cells(&self) -> Vec<(u8, u8)> {
+        (0..self.coll.len())
+            .map(|i| {
+                (
+                    self.coll[i].load(Ordering::Relaxed),
+                    self.noncoll[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Overwrites every entry's counters from `cells` (values clamped to the
+    /// counter width), clearing the telemetry the way [`reset`](Self::reset)
+    /// does — the warm-start import hook for `copred-store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells.len()` differs from [`entries`](Self::entries).
+    pub fn load_cells(&self, cells: &[(u8, u8)]) {
+        assert_eq!(
+            cells.len(),
+            self.coll.len(),
+            "cell image size must match the table"
+        );
+        for (i, &(c, n)) in cells.iter().enumerate() {
+            self.coll[i].store(c.min(self.counter_max), Ordering::Relaxed);
+            self.noncoll[i].store(n.min(self.counter_max), Ordering::Relaxed);
+            self.fingerprint[i].store(0, Ordering::Relaxed);
+        }
+        self.writes.store(0, Ordering::Relaxed);
+        self.alias_events.store(0, Ordering::Relaxed);
     }
 
     /// Clears the table (new planning query).
@@ -337,6 +377,46 @@ mod tests {
         assert_eq!(cht.saturated_entries(), 0);
         assert_eq!(cht.writes(), 0);
         assert_eq!(cht.alias_events(), 0);
+    }
+
+    #[test]
+    fn observe_reports_applied_writes() {
+        let p = ChtParams {
+            update_fraction: 0.25,
+            ..params()
+        };
+        let cht = ConcurrentCht::new(p);
+        assert!(cht.observe(3, true, 0.9), "collisions always apply");
+        assert!(!cht.observe(3, false, 0.9), "gated free outcome skipped");
+        assert!(cht.observe(3, false, 0.1), "lucky free outcome applied");
+        let one_bit = ConcurrentCht::new(ChtParams {
+            counter_bits: 1,
+            ..params()
+        });
+        assert!(!one_bit.observe(3, false, 0.0), "1-bit never stores free");
+    }
+
+    #[test]
+    fn export_load_roundtrip_is_bit_exact() {
+        let a = ConcurrentCht::new(params());
+        for code in 0..100u64 {
+            a.observe(code * 17, code % 3 == 0, 0.0);
+        }
+        let cells = a.export_cells();
+        let b = ConcurrentCht::new(params());
+        b.load_cells(&cells);
+        assert_eq!(b.export_cells(), cells);
+        assert_eq!(b.occupancy(), a.occupancy());
+        for code in 0..2048u64 {
+            assert_eq!(a.predict(code), b.predict(code));
+        }
+        // Out-of-range counters clamp to the width instead of wedging the
+        // saturating CAS loop (`cur < max` would never stop at 200).
+        let c = ConcurrentCht::new(params());
+        let mut wild = cells;
+        wild[0] = (200, 200);
+        c.load_cells(&wild);
+        assert_eq!(c.export_cells()[0], (15, 15));
     }
 
     #[test]
