@@ -1,5 +1,7 @@
 //! Load generator: replays captured planner workloads against a running
-//! `copred_server` and writes an s3-bench-style TSV op-log.
+//! `copred_server` and records the run as a CPRDLOG op-log — the
+//! versioned record/replay interchange format (`copred_replay` drives
+//! the same log back against any backend).
 //!
 //! ```text
 //! copred_loadgen [key=value ...]
@@ -11,7 +13,9 @@
 //!   pacing=closed         closed | open:<interval_us>
 //!   batch=8               motions per CHECK_MOTION frame
 //!   seed=42               capture + replay seed (deterministic)
-//!   oplog=oplog.tsv       op-log output path ("-" to skip)
+//!   oplog=oplog.cprlog    CPRDLOG op-log output path ("-" to skip)
+//!   tsv=oplog.tsv         also export the op-log as the legacy
+//!                         self-describing TSV
 //!   metrics_interval=1    sample global stats every N seconds into a
 //!                         sidecar TSV next to the op-log
 //!   bench_json=bench.json also write the run summary as a perfwatch
@@ -31,19 +35,43 @@
 //! ```
 
 use copred_bench::{Combo, Scale};
+use copred_replay::{LogMeta, LogRecord, LogWriter};
 use copred_service::protocol::SchedMode;
 use copred_service::{
-    run_loadgen, write_oplog, write_stats_tsv, LoadgenConfig, LoadgenReport, Pacing, Server,
-    ServerConfig,
+    run_loadgen, write_oplog, write_stats_tsv, LoadgenConfig, LoadgenReport, OpRecord, Pacing,
+    Server, ServerConfig,
 };
 use copred_trace::QueryTrace;
 use std::time::Duration;
+
+/// Every key `copred_loadgen` accepts; unknown keys are rejected with
+/// this list so a typo never silently no-ops.
+const VALID_FLAGS: &[&str] = &[
+    "addr",
+    "combo",
+    "queries",
+    "connections",
+    "mode",
+    "pacing",
+    "batch",
+    "seed",
+    "oplog",
+    "tsv",
+    "bench_json",
+    "metrics_interval",
+    "trace",
+    "inproc",
+    "ab",
+    "warm",
+    "store_dir",
+];
 
 struct Args {
     combo: Combo,
     queries: usize,
     seed: u64,
     oplog: String,
+    tsv: Option<String>,
     bench_json: Option<String>,
     trace: Option<String>,
     inproc: bool,
@@ -58,7 +86,8 @@ fn parse_args() -> Result<Args, String> {
         combo: Combo::paper_six()[0], // MPNet-Baxter
         queries: 8,
         seed: 42,
-        oplog: "oplog.tsv".to_string(),
+        oplog: "oplog.cprlog".to_string(),
+        tsv: None,
         bench_json: None,
         trace: None,
         inproc: false,
@@ -111,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
                 args.lg.seed = args.seed;
             }
             "oplog" => args.oplog = value.to_string(),
+            "tsv" => args.tsv = Some(value.to_string()),
             "bench_json" => args.bench_json = Some(value.to_string()),
             "metrics_interval" => {
                 let secs: f64 = value
@@ -126,7 +156,12 @@ fn parse_args() -> Result<Args, String> {
             "ab" => args.ab = value == "1" || value == "true",
             "warm" => args.warm = value == "1" || value == "true",
             "store_dir" => args.store_dir = Some(value.to_string()),
-            _ => return Err(format!("unknown option '{key}'")),
+            _ => {
+                return Err(format!(
+                    "unknown option '{key}' (valid flags: {})",
+                    VALID_FLAGS.join(", ")
+                ))
+            }
         }
     }
     // Worker-side spans only reach this process's recorder when the server
@@ -330,16 +365,11 @@ fn main() {
             }
             println!("bench_json    {path}");
         }
-        if args.oplog != "-" {
-            if let Err(e) = std::fs::write(&args.oplog, write_oplog(&warm.ops)) {
-                eprintln!("copred_loadgen: writing {}: {e}", args.oplog);
-                std::process::exit(1);
-            }
-            println!(
-                "oplog         {} ({} warm-pass ops)",
-                args.oplog,
-                warm.ops.len()
-            );
+        // The op-log records the warm pass.
+        let robot_name = traces.first().map_or("", |t| t.robot_name.as_str());
+        if let Err(e) = write_oplogs(&args, robot_name, &warm.ops) {
+            eprintln!("copred_loadgen: writing op-log: {e}");
+            std::process::exit(1);
         }
         return;
     }
@@ -387,13 +417,13 @@ fn main() {
         }
         println!("bench_json    {path}");
     }
-    if args.oplog != "-" {
-        if let Err(e) = std::fs::write(&args.oplog, write_oplog(&report.ops)) {
-            eprintln!("copred_loadgen: writing {}: {e}", args.oplog);
+    {
+        let robot_name = traces.first().map_or("", |t| t.robot_name.as_str());
+        if let Err(e) = write_oplogs(&args, robot_name, &report.ops) {
+            eprintln!("copred_loadgen: writing op-log: {e}");
             std::process::exit(1);
         }
-        println!("oplog         {} ({} ops)", args.oplog, report.ops.len());
-        if !report.stats_snapshots.is_empty() {
+        if args.oplog != "-" && !report.stats_snapshots.is_empty() {
             let path = stats_path(&args.oplog);
             if let Err(e) = std::fs::write(&path, write_stats_tsv(&report.stats_snapshots)) {
                 eprintln!("copred_loadgen: writing {path}: {e}");
@@ -525,10 +555,61 @@ fn push_run(w: &mut copred_obs::BenchWriter, prefix: &str, report: &LoadgenRepor
     ));
 }
 
-/// Sidecar stats path next to the op-log: `oplog.tsv` → `oplog.stats.tsv`.
+/// Sidecar stats path next to the op-log: `oplog.cprlog` (or `.tsv`) →
+/// `oplog.stats.tsv`.
 fn stats_path(oplog: &str) -> String {
-    match oplog.strip_suffix(".tsv") {
-        Some(stem) => format!("{stem}.stats.tsv"),
-        None => format!("{oplog}.stats.tsv"),
+    let stem = oplog
+        .strip_suffix(".cprlog")
+        .or_else(|| oplog.strip_suffix(".tsv"))
+        .unwrap_or(oplog);
+    format!("{stem}.stats.tsv")
+}
+
+/// The recording's self-describing metadata: seed, workload label, scale
+/// knobs, robot, and the fold of the per-trace environment fingerprints
+/// (0 when the run is not fingerprinted).
+fn log_meta(args: &Args, robot_name: &str) -> LogMeta {
+    let fingerprint = args
+        .lg
+        .fingerprints
+        .as_ref()
+        .map_or(0, |fps| fps.iter().fold(0u64, |acc, fp| acc ^ fp));
+    LogMeta {
+        seed: args.seed,
+        fingerprint,
+        robot: robot_name.to_string(),
+        workload: args.combo.label(),
+        scale: format!(
+            "queries={} connections={} batch={} mode={}",
+            args.queries,
+            args.lg.connections,
+            args.lg.batch,
+            args.lg.mode.label()
+        ),
     }
+}
+
+/// Writes the run's op-log as a sealed CPRDLOG at `args.oplog` (unless
+/// `-`) and, when `tsv=` is set, the legacy TSV export of the same ops.
+fn write_oplogs(args: &Args, robot_name: &str, ops: &[OpRecord]) -> std::io::Result<()> {
+    let meta = log_meta(args, robot_name);
+    if args.oplog != "-" {
+        let file = std::fs::File::create(&args.oplog)?;
+        let mut w = LogWriter::new(std::io::BufWriter::new(file), &meta)?;
+        for op in ops {
+            w.append(&LogRecord::from_op_record(op))?;
+        }
+        w.finish()?;
+        println!(
+            "oplog         {} ({} ops, CPRDLOG v{})",
+            args.oplog,
+            ops.len(),
+            copred_replay::LOG_VERSION
+        );
+    }
+    if let Some(tsv) = args.tsv.as_deref().filter(|t| *t != "-") {
+        std::fs::write(tsv, write_oplog(&meta.to_oplog_meta(), ops))?;
+        println!("tsv           {tsv} ({} ops)", ops.len());
+    }
+    Ok(())
 }

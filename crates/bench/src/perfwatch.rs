@@ -322,15 +322,24 @@ fn swexec_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
     ));
 }
 
-/// Service suite: a loopback replay against a fresh in-process server per
-/// repetition; p50/p95/p99 come from the server's own `LatencyHistogram`
-/// (the metric the `/metrics` page exports).
+/// The committed canonical quick service workload: an MPNet-2D coord run
+/// recorded by `copred_loadgen` (connections=1, so the op order is total
+/// and replay is bit-deterministic), sanitized with `copred_replay
+/// sanitize`. Regenerate with the commands in `workloads/README.md`.
+const SERVICE_QUICK_LOG: &[u8] = include_bytes!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../workloads/service_quick.cprlog"
+));
+
+/// Service suite: the committed `workloads/service_quick.cprlog` op-log
+/// replayed (sequential mode) against a fresh loopback server per
+/// repetition, so the perf gate measures the service on a byte-stable
+/// workload instead of one regenerated from planners each run.
+/// p50/p95/p99 come from the server's own `LatencyHistogram` (the metric
+/// the `/metrics` page exports).
 fn service_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
-    let combo = Combo {
-        algo: Algo::Mpnet,
-        robot: RobotKind::Planar2d,
-    };
-    let traces = planner_traces(&combo, &cfg.planner_scale(), cfg.seed);
+    let log = copred_replay::read_log(SERVICE_QUICK_LOG).expect("committed service log parses");
+    assert!(log.complete, "committed service log must be sealed");
     let mut p50 = Vec::new();
     let mut p95 = Vec::new();
     let mut p99 = Vec::new();
@@ -338,21 +347,20 @@ fn service_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
     let mut cdqs_issued = 0u64;
     let mut checks = 0u64;
     for rep in 0..cfg.reps.max(1) {
-        let mut server = Server::start(ServerConfig {
+        let mut backend = copred_replay::LoopbackBackend::start(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             ..ServerConfig::default()
         })
         .expect("start loopback server");
-        let lg = LoadgenConfig {
-            addr: server.local_addr().to_string(),
-            connections: 2,
-            mode: SchedMode::Coord,
-            seed: cfg.seed,
-            pacing: Pacing::Closed,
-            batch: 8,
-            ..LoadgenConfig::default()
+        // Comparison off: bit-identity is the replay-gate's job; the perf
+        // gate only times the run (counters still land in the baseline,
+        // so a semantic change is caught as a deterministic diff there).
+        let opts = copred_replay::ReplayOptions {
+            mode: copred_replay::ReplayMode::Sequential,
+            compare: false,
         };
-        let r = run_loadgen(&lg, &traces).expect("loopback replay");
+        let r = copred_replay::run_replay(&log, &mut backend, &opts).expect("loopback replay");
+        let server = backend.server().expect("owned server");
         let hist = &server.metrics().check_latency;
         p50.push(hist.quantile(0.5).unwrap_or(0) as f64);
         p95.push(hist.quantile(0.95).unwrap_or(0) as f64);
@@ -362,7 +370,6 @@ fn service_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
             cdqs_issued = r.cdqs_issued;
             checks = r.checks;
         }
-        server.shutdown();
     }
     out.push(BenchRecord::deterministic(
         "service",

@@ -14,6 +14,7 @@ fn conformance_smoke() {
         service_traces: 4,
         fault_cases: 16,
         store_cases: 1,
+        replay_cases: 1,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
     assert!(report.total_iterations() >= 45);

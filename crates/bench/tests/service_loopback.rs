@@ -84,11 +84,18 @@ fn mpnet_baxter_loopback_demo() {
         "STATS: coord issued {issued_a} of {total_a}, naive issued {issued_naive}"
     );
 
-    // The op-log: one line per wire op, written to disk and parsed back.
+    // The op-log: one line per wire op, written to disk and parsed back
+    // along with its self-describing metadata.
+    let meta = copred_service::OplogMeta {
+        seed: 42,
+        workload: "MPNet-Baxter".to_string(),
+        scale: format!("traces={}", traces.len()),
+    };
     let path = std::env::temp_dir().join("copred_loadgen_demo_oplog.tsv");
-    std::fs::write(&path, write_oplog(&coord_a.ops)).expect("write op-log");
-    let back =
+    std::fs::write(&path, write_oplog(&meta, &coord_a.ops)).expect("write op-log");
+    let (back_meta, back) =
         parse_oplog(&std::fs::read_to_string(&path).expect("read op-log")).expect("parse op-log");
+    assert_eq!(back_meta, meta);
     assert_eq!(back, coord_a.ops);
     let n_checks = back.iter().filter(|op| op.verb == "check_motion").count();
     assert!(

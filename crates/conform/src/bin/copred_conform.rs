@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! copred_conform [--seed N] [--iters N] [--service-traces N]
-//!                [--fault-cases N] [--store-cases N]
+//!                [--fault-cases N] [--store-cases N] [--replay-cases N]
 //!                [--skip-service] [--skip-fault] [--skip-store]
+//!                [--skip-replay]
 //! ```
 //!
 //! Runs the seeded differential harness (schedule semantics, service
@@ -18,8 +19,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: copred_conform [--seed N] [--iters N] [--service-traces N] \
-         [--fault-cases N] [--store-cases N] [--skip-service] [--skip-fault] \
-         [--skip-store]"
+         [--fault-cases N] [--store-cases N] [--replay-cases N] \
+         [--skip-service] [--skip-fault] [--skip-store] [--skip-replay]"
     );
     std::process::exit(2);
 }
@@ -45,9 +46,11 @@ fn main() -> ExitCode {
             "--service-traces" => cfg.service_traces = parse_u64(&mut args, "--service-traces"),
             "--fault-cases" => cfg.fault_cases = parse_u64(&mut args, "--fault-cases"),
             "--store-cases" => cfg.store_cases = parse_u64(&mut args, "--store-cases"),
+            "--replay-cases" => cfg.replay_cases = parse_u64(&mut args, "--replay-cases"),
             "--skip-service" => cfg.service_traces = 0,
             "--skip-fault" => cfg.fault_cases = 0,
             "--skip-store" => cfg.store_cases = 0,
+            "--skip-replay" => cfg.replay_cases = 0,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -57,8 +60,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases",
-        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases
+        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases, {} replay cases",
+        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases, cfg.replay_cases
     );
     let report = run_all(&cfg);
     println!("{}", report.summary());

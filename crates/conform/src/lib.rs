@@ -23,8 +23,14 @@
 //!    close/reopen session must bit-match one that kept its table), crash
 //!    recovery from the WAL alone, and torn-tail robustness, in-process
 //!    and over loopback TCP.
+//! 5. **Record → replay** ([`replay_check`]) — a live loadgen run is
+//!    recorded into a CPRDLOG (`copred-replay`), round-tripped through
+//!    bytes, and replayed against the in-process registry and a fresh
+//!    loopback server: every response must be bit-identical to the
+//!    recording, the replayed per-session metrics ledger must equal the
+//!    recorded one, and double replay must be deterministic.
 //!
-//! The `copred_conform` binary wires all three into CI; every run is a
+//! The `copred_conform` binary wires all five into CI; every run is a
 //! pure function of `--seed`, so a red build is reproducible locally with
 //! the same flags.
 
@@ -34,11 +40,13 @@
 pub mod fault;
 pub mod generate;
 pub mod reference;
+pub mod replay_check;
 pub mod service_diff;
 pub mod store_check;
 
 pub use generate::{ScenarioGen, ScheduleCase};
 pub use reference::{brute_force_verdict, check_schedule_case, RecordingPredictor};
+pub use replay_check::{run_replay_checks, ReplayCheckOutcome};
 pub use service_diff::{replay_batch_in_process, run_cpu_diff, run_service_diff};
 pub use store_check::{run_store_checks, StoreCheckOutcome};
 
@@ -58,6 +66,8 @@ pub struct ConformConfig {
     /// Persistence traces put through warm-start/crash-recovery checks
     /// (0 skips the stage).
     pub store_cases: u64,
+    /// Record→replay bit-identity cases (0 skips the stage).
+    pub replay_cases: u64,
 }
 
 impl Default for ConformConfig {
@@ -68,6 +78,7 @@ impl Default for ConformConfig {
             service_traces: 24,
             fault_cases: 64,
             store_cases: 4,
+            replay_cases: 3,
         }
     }
 }
@@ -87,6 +98,10 @@ pub struct ConformReport {
     pub fault_cases: u64,
     /// Persistence differential cases (warm start, crash, torn tail).
     pub store_cases: u64,
+    /// Record→replay bit-identity cases.
+    pub replay_cases: u64,
+    /// Ops replayed across all record→replay backends.
+    pub replay_ops: u64,
     /// Every divergence, mismatch, or panic found.
     pub failures: Vec<String>,
 }
@@ -105,18 +120,21 @@ impl ConformReport {
             + self.cpu_diffs
             + self.fault_cases
             + self.store_cases
+            + self.replay_cases
     }
 
     /// One-line-per-stage human summary.
     pub fn summary(&self) -> String {
         format!(
-            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\ntotal iterations: {}\nfailures: {}",
+            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\nreplay cases: {} ({} ops replayed)\ntotal iterations: {}\nfailures: {}",
             self.schedule_iters,
             self.service_traces,
             self.service_checks,
             self.cpu_diffs,
             self.fault_cases,
             self.store_cases,
+            self.replay_cases,
+            self.replay_ops,
             self.total_iterations(),
             self.failures.len()
         )
@@ -180,6 +198,14 @@ pub fn run_all(cfg: &ConformConfig) -> ConformReport {
         report.failures.extend(out.failures);
     }
 
+    // Stage 5: record→replay bit-identity, ledger equality, determinism.
+    if cfg.replay_cases > 0 {
+        let out = run_replay_checks(&gen, cfg.replay_cases, cfg.seed);
+        report.replay_cases = out.cases_run;
+        report.replay_ops = out.ops_replayed;
+        report.failures.extend(out.failures);
+    }
+
     report
 }
 
@@ -195,10 +221,13 @@ mod tests {
             service_traces: 3,
             fault_cases: 8,
             store_cases: 1,
+            replay_cases: 1,
         };
         let report = run_all(&cfg);
         assert!(report.is_clean(), "{:?}", report.failures);
-        assert!(report.total_iterations() >= 10 + 3 + 8);
+        // 10 schedule + 3 service + 8 fault + 1 store + 1 replay.
+        assert!(report.total_iterations() >= 23);
+        assert!(report.replay_ops > 0, "replay stage must run ops");
         assert!(report.summary().contains("failures: 0"));
     }
 }

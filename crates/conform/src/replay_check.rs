@@ -1,0 +1,312 @@
+//! Stage 5: record → replay bit-identity.
+//!
+//! A live single-connection loadgen run against a default server is
+//! recorded into a CPRDLOG, pushed through the serialized byte format,
+//! and replayed — against the in-process registry and against a fresh
+//! loopback server. Conformance requires:
+//!
+//! * every replayed response (hence every [`CheckResult`] in it) is
+//!   byte-identical to the recording, on both backends;
+//! * the replay's per-session metrics ledger (checks, CDQs issued and
+//!   declared, collisions) equals the sums recoverable from the recorded
+//!   responses, session for session;
+//! * two replays of the same log are identical down to the response
+//!   stream (determinism).
+//!
+//! Single connection keeps the recorded op order total, so the log is a
+//! complete serialization of the live run and bit-identity is decidable.
+//!
+//! [`CheckResult`]: copred_service::CheckResult
+
+use crate::generate::ScenarioGen;
+use copred_replay::format::{read_log, write_log};
+use copred_replay::{
+    run_replay, InProcessBackend, LogMeta, LogRecord, LoopbackBackend, ReplayOptions,
+};
+use copred_service::protocol::Response;
+use copred_service::{run_loadgen, LoadgenConfig, SchedMode, Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// Outcome of the record→replay stage.
+#[derive(Debug, Default)]
+pub struct ReplayCheckOutcome {
+    /// Cases run (one recorded workload each).
+    pub cases_run: u64,
+    /// Ops replayed across all cases and backends.
+    pub ops_replayed: u64,
+    /// Human-readable divergence reports (empty = conformant).
+    pub failures: Vec<String>,
+}
+
+fn mode_for(case: u64) -> SchedMode {
+    [SchedMode::Coord, SchedMode::Naive, SchedMode::Csp][(case % 3) as usize]
+}
+
+/// Per-session sums recoverable from the recorded responses: the ledger
+/// the replay must reproduce.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct LedgerEntry {
+    checks: u64,
+    cdqs_issued: u64,
+    cdqs_total: u64,
+    collisions: u64,
+}
+
+fn recorded_ledger(records: &[LogRecord]) -> BTreeMap<u64, LedgerEntry> {
+    let mut ledger: BTreeMap<u64, LedgerEntry> = BTreeMap::new();
+    for rec in records {
+        if rec.verb != "check_motion" {
+            continue;
+        }
+        if let Ok(Response::Results(rs)) = Response::from_text(&rec.response) {
+            let e = ledger.entry(rec.session).or_default();
+            for r in rs {
+                e.checks += 1;
+                e.cdqs_issued += r.cdqs_executed;
+                e.cdqs_total += r.cdqs_total;
+                e.collisions += u64::from(r.colliding);
+            }
+        }
+    }
+    ledger
+}
+
+/// Runs `cases` record→replay checks. Each case derives deterministically
+/// from `base_seed` and the case index.
+pub fn run_replay_checks(gen: &ScenarioGen, cases: u64, base_seed: u64) -> ReplayCheckOutcome {
+    let mut outcome = ReplayCheckOutcome::default();
+    for case in 0..cases {
+        check_case(gen, case, base_seed, &mut outcome);
+        outcome.cases_run += 1;
+    }
+    outcome
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_case(gen: &ScenarioGen, case: u64, base_seed: u64, outcome: &mut ReplayCheckOutcome) {
+    let fail = |failures: &mut Vec<String>, msg: String| {
+        failures.push(format!("replay case {case}: {msg}"));
+    };
+    let seed = base_seed.wrapping_mul(31).wrapping_add(case);
+    // Trace indices offset far from stage 2's so the workloads differ.
+    let traces: Vec<_> = (0..3)
+        .map(|i| gen.query_trace(10_000 + case * 10 + i))
+        .collect();
+
+    // --- Record: a live run over TCP against a default-config server.
+    // connections=1 keeps the recorded op order total (deterministic log).
+    let server = match Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            fail(
+                &mut outcome.failures,
+                format!("recording server failed to start: {e}"),
+            );
+            return;
+        }
+    };
+    let lg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        connections: 1,
+        mode: mode_for(case),
+        seed,
+        batch: 1 + (case % 3) as usize,
+        ..LoadgenConfig::default()
+    };
+    let report = match run_loadgen(&lg, &traces) {
+        Ok(r) => r,
+        Err(e) => {
+            fail(&mut outcome.failures, format!("recording run failed: {e}"));
+            return;
+        }
+    };
+    drop(server);
+
+    // --- Serialize: the replay must work from the byte artifact, not the
+    // in-memory records.
+    let meta = LogMeta {
+        seed,
+        fingerprint: 0,
+        robot: traces[0].robot_name.clone(),
+        workload: "conform".to_string(),
+        scale: format!("traces={}", traces.len()),
+    };
+    let records: Vec<LogRecord> = report.ops.iter().map(LogRecord::from_op_record).collect();
+    let bytes = write_log(&meta, &records);
+    let log = match read_log(&bytes) {
+        Ok(l) => l,
+        Err(e) => {
+            fail(
+                &mut outcome.failures,
+                format!("own recording failed to parse: {e}"),
+            );
+            return;
+        }
+    };
+    if !log.complete || log.records.len() != report.ops.len() {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "log round-trip lost records: {} of {} (complete: {})",
+                log.records.len(),
+                report.ops.len(),
+                log.complete
+            ),
+        );
+        return;
+    }
+    let expected_ledger = recorded_ledger(&log.records);
+    let opts = ReplayOptions::default(); // sequential, compare on
+
+    // --- Replay 1: in-process, bit-identity + ledger audit.
+    let mut inproc = InProcessBackend::with_server_defaults();
+    let first = match run_replay(&log, &mut inproc, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            fail(&mut outcome.failures, format!("in-process replay: {e}"));
+            return;
+        }
+    };
+    outcome.ops_replayed += first.ops;
+    for d in &first.mismatches {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "in-process replay diverged at op {} ({} {}): recorded {:?}, replayed {:?}",
+                d.idx, d.verb, d.tag, d.expected, d.actual
+            ),
+        );
+    }
+    if first.backend_errors > 0 {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "in-process replay hit {} protocol errors the recording did not have",
+                first.backend_errors
+            ),
+        );
+    }
+    if first.checks != report.checks
+        || first.collisions != report.collisions
+        || first.cdqs_issued != report.cdqs_issued
+        || first.cdqs_total != report.cdqs_total
+    {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "replay aggregates (checks {}, collisions {}, cdqs {}/{}) != live run ({}, {}, {}/{})",
+                first.checks,
+                first.collisions,
+                first.cdqs_issued,
+                first.cdqs_total,
+                report.checks,
+                report.collisions,
+                report.cdqs_issued,
+                report.cdqs_total
+            ),
+        );
+    }
+
+    // Ledger audit: replayed sessions (in open order) against the sums
+    // recorded per session token (open order = token order per recorder).
+    let open_tokens: Vec<u64> = log
+        .records
+        .iter()
+        .filter(|r| r.verb == "open")
+        .map(|r| r.session)
+        .collect();
+    if inproc.opened().len() != open_tokens.len() {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "replay opened {} sessions, recording has {} opens",
+                inproc.opened().len(),
+                open_tokens.len()
+            ),
+        );
+    }
+    for (token, session) in open_tokens.iter().zip(inproc.opened()) {
+        let expect = expected_ledger.get(token);
+        let m = &session.metrics;
+        let got = LedgerEntry {
+            checks: m.checks.load(Ordering::Relaxed),
+            cdqs_issued: m.cdqs_issued.load(Ordering::Relaxed),
+            cdqs_total: m.cdqs_total.load(Ordering::Relaxed),
+            collisions: m.collisions.load(Ordering::Relaxed),
+        };
+        match expect {
+            Some(e) if *e == got => {}
+            _ => fail(
+                &mut outcome.failures,
+                format!("session {token}: replayed ledger {got:?} != recorded {expect:?}"),
+            ),
+        }
+    }
+
+    // --- Replay 2: determinism — a second fresh in-process pass answers
+    // identically, op for op.
+    let mut inproc2 = InProcessBackend::with_server_defaults();
+    match run_replay(&log, &mut inproc2, &opts) {
+        Ok(second) => {
+            outcome.ops_replayed += second.ops;
+            if second.responses != first.responses {
+                fail(
+                    &mut outcome.failures,
+                    "two replays of the same log diverged".to_string(),
+                );
+            }
+        }
+        Err(e) => fail(&mut outcome.failures, format!("determinism replay: {e}")),
+    }
+
+    // --- Replay 3: over the wire against a fresh loopback server.
+    let loopback_cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    };
+    match LoopbackBackend::start(loopback_cfg) {
+        Ok(mut loopback) => match run_replay(&log, &mut loopback, &opts) {
+            Ok(wire) => {
+                outcome.ops_replayed += wire.ops;
+                for d in wire.mismatches.iter().take(3) {
+                    fail(
+                        &mut outcome.failures,
+                        format!(
+                            "loopback replay diverged at op {} ({}): recorded {:?}, replayed {:?}",
+                            d.idx, d.verb, d.expected, d.actual
+                        ),
+                    );
+                }
+                if wire.responses != first.responses {
+                    fail(
+                        &mut outcome.failures,
+                        "loopback and in-process replays diverged".to_string(),
+                    );
+                }
+            }
+            Err(e) => fail(&mut outcome.failures, format!("loopback replay: {e}")),
+        },
+        Err(e) => fail(
+            &mut outcome.failures,
+            format!("loopback server failed to start: {e}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_case_is_clean() {
+        let gen = ScenarioGen::new(41);
+        let out = run_replay_checks(&gen, 1, 4100);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.cases_run, 1);
+        assert!(out.ops_replayed > 0);
+    }
+}

@@ -21,12 +21,10 @@
 //! both the wire stats and the in-process results (metric names are a
 //! conformance contract — see ROADMAP.md).
 
-use copred_collision::{run_predicted_schedule, run_schedule, Schedule};
 use copred_core::ChtParams;
 use copred_envgen::{random_scene, Density};
 use copred_kinematics::{presets, Motion, Robot};
 use copred_service::client::stat_u64;
-use copred_service::session::ChtPredictor;
 use copred_service::{
     CheckResult, SchedMode, Server, ServerConfig, ServiceClient, SessionRegistry,
 };
@@ -43,42 +41,16 @@ const CSP_STEP: usize = 5;
 
 /// Executes one batch exactly as the server's worker does, against an
 /// in-process session, returning the wire-visible results and updating the
-/// session's metrics the same way.
+/// session's metrics the same way. Delegates to the service's own
+/// [`copred_service::execute_batch`] — the single definition of batch
+/// semantics shared by the TCP worker, this harness, and the replay
+/// engine.
 pub fn replay_batch_in_process(
     session: &copred_service::SessionState,
     motions: &[MotionTrace],
     csp_step: usize,
 ) -> Vec<CheckResult> {
-    motions
-        .iter()
-        .map(|m| {
-            let infos = m.to_cdq_infos();
-            let out = match session.mode {
-                SchedMode::Coord => {
-                    let mut pred = ChtPredictor::new(session, &m.poses);
-                    run_predicted_schedule(&infos, m.poses.len(), csp_step, &mut pred)
-                }
-                SchedMode::Naive => run_schedule(&infos, m.poses.len(), Schedule::Naive),
-                SchedMode::Csp => {
-                    run_schedule(&infos, m.poses.len(), Schedule::Csp { step: csp_step })
-                }
-            };
-            let sm = &session.metrics;
-            sm.checks.fetch_add(1, Ordering::Relaxed);
-            sm.cdqs_issued
-                .fetch_add(out.cdqs_executed as u64, Ordering::Relaxed);
-            sm.cdqs_total
-                .fetch_add(out.cdqs_total as u64, Ordering::Relaxed);
-            sm.collisions
-                .fetch_add(u64::from(out.colliding), Ordering::Relaxed);
-            CheckResult {
-                colliding: out.colliding,
-                cdqs_executed: out.cdqs_executed as u64,
-                cdqs_total: out.cdqs_total as u64,
-                obstacle_tests: out.obstacle_tests as u64,
-            }
-        })
-        .collect()
+    copred_service::execute_batch(session, motions, csp_step)
 }
 
 fn mode_for(i: usize) -> SchedMode {

@@ -107,6 +107,7 @@ fn full_harness_finds_nothing_at_moderate_scale() {
         service_traces: 8,
         fault_cases: 24,
         store_cases: 2,
+        replay_cases: 2,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
     assert!(report.service_checks > 0);
@@ -114,5 +115,9 @@ fn full_harness_finds_nothing_at_moderate_scale() {
     assert!(
         report.store_cases >= 4,
         "persistence scenarios must run too"
+    );
+    assert!(
+        report.replay_cases == 2 && report.replay_ops > 0,
+        "record→replay scenarios must run too"
     );
 }

@@ -1,0 +1,220 @@
+//! A/B replay: the same log driven against two backends, with the
+//! differences rolled into a machine-readable `bench_json` report (the
+//! same schema `copred-perfwatch` tracks over time).
+
+use crate::backend::ReplayBackend;
+use crate::engine::{run_replay, ReplayError, ReplayOptions, ReplayOutcome};
+use crate::format::ReplayLog;
+use copred_obs::{BenchRecord, BenchReport, Better};
+
+/// Both passes of one A/B run, labeled by backend.
+#[derive(Debug, Clone)]
+pub struct AbOutcome {
+    /// Backend A's label.
+    pub label_a: String,
+    /// Backend A's pass.
+    pub a: ReplayOutcome,
+    /// Backend B's label.
+    pub label_b: String,
+    /// Backend B's pass.
+    pub b: ReplayOutcome,
+}
+
+impl AbOutcome {
+    /// Whether the two backends answered every op identically (after
+    /// session-id normalization).
+    pub fn responses_identical(&self) -> bool {
+        self.a.responses == self.b.responses
+    }
+
+    /// Indices of ops the two backends answered differently.
+    pub fn diverging_ops(&self) -> Vec<usize> {
+        self.a
+            .responses
+            .iter()
+            .zip(&self.b.responses)
+            .enumerate()
+            .filter(|(_, (ra, rb))| ra != rb)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Replays `log` against both backends in turn (A first), with the same
+/// options.
+///
+/// # Errors
+///
+/// The first [`ReplayError`] either pass hits; mismatches against the
+/// *recording* are not errors and land in each side's outcome.
+pub fn run_ab(
+    log: &ReplayLog,
+    a: &mut dyn ReplayBackend,
+    b: &mut dyn ReplayBackend,
+    opts: &ReplayOptions,
+) -> Result<AbOutcome, ReplayError> {
+    let label_a = a.label().to_string();
+    let label_b = b.label().to_string();
+    let out_a = run_replay(log, a, opts)?;
+    let out_b = run_replay(log, b, opts)?;
+    Ok(AbOutcome {
+        label_a,
+        a: out_a,
+        label_b,
+        b: out_b,
+    })
+}
+
+fn side_records(out: &ReplayOutcome, suite: &str) -> Vec<BenchRecord> {
+    vec![
+        BenchRecord::deterministic(suite, "ops", out.ops as f64, "ops", Better::Higher),
+        BenchRecord::deterministic(suite, "checks", out.checks as f64, "checks", Better::Higher),
+        BenchRecord::deterministic(
+            suite,
+            "collisions",
+            out.collisions as f64,
+            "checks",
+            Better::Lower,
+        ),
+        BenchRecord::deterministic(
+            suite,
+            "cdqs_issued",
+            out.cdqs_issued as f64,
+            "cdqs",
+            Better::Lower,
+        ),
+        BenchRecord::deterministic(
+            suite,
+            "mismatches",
+            out.mismatches.len() as f64,
+            "ops",
+            Better::Lower,
+        ),
+        BenchRecord::deterministic(
+            suite,
+            "backend_errors",
+            out.backend_errors as f64,
+            "ops",
+            Better::Lower,
+        ),
+        BenchRecord::deterministic(suite, "wall_ns", out.wall_ns as f64, "ns", Better::Lower),
+        BenchRecord::deterministic(
+            suite,
+            "checks_per_s",
+            out.checks_per_sec(),
+            "checks/s",
+            Better::Higher,
+        ),
+    ]
+}
+
+/// Rolls an [`AbOutcome`] into a `bench_json` report: one suite per
+/// backend plus a `replay_ab` diff suite
+/// (`responses_identical`, per-side mismatch counts, and the wall-time
+/// ratio `wall_b_over_a`).
+pub fn ab_report(log: &ReplayLog, ab: &AbOutcome, label: &str) -> BenchReport {
+    let mut report = BenchReport::new(
+        label,
+        "unknown",
+        log.meta.seed,
+        &format!("{} [{}]", log.meta.scale, log.meta.workload),
+    );
+    let suite_a = format!("replay_{}", ab.label_a);
+    let suite_b = format!("replay_{}", ab.label_b);
+    report.records.extend(side_records(&ab.a, &suite_a));
+    report.records.extend(side_records(&ab.b, &suite_b));
+    report.records.push(BenchRecord::deterministic(
+        "replay_ab",
+        "responses_identical",
+        f64::from(u8::from(ab.responses_identical())),
+        "bool",
+        Better::Higher,
+    ));
+    report.records.push(BenchRecord::deterministic(
+        "replay_ab",
+        "diverging_ops",
+        ab.diverging_ops().len() as f64,
+        "ops",
+        Better::Lower,
+    ));
+    let ratio = if ab.a.wall_ns == 0 {
+        0.0
+    } else {
+        ab.b.wall_ns as f64 / ab.a.wall_ns as f64
+    };
+    report.records.push(BenchRecord::deterministic(
+        "replay_ab",
+        "wall_b_over_a",
+        ratio,
+        "ratio",
+        Better::Lower,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InProcessBackend;
+    use crate::format::{LogMeta, LogRecord};
+    use copred_core::ChtParams;
+
+    fn open_close_log() -> ReplayLog {
+        let ops = [
+            (
+                0u64,
+                1u64,
+                "open",
+                "open planar-2d 1 naive 5\n",
+                "ok session 1 warm 0\n",
+            ),
+            (1, 1, "close", "close 1\n", "ok closed\n"),
+        ];
+        ReplayLog {
+            meta: LogMeta {
+                seed: 5,
+                fingerprint: 0,
+                robot: "planar-2d".to_string(),
+                workload: "synthetic".to_string(),
+                scale: "ops=2".to_string(),
+            },
+            records: ops
+                .iter()
+                .map(|&(idx, session, verb, req, resp)| LogRecord {
+                    idx,
+                    session,
+                    start_ns: idx * 1000,
+                    duration_ns: 0,
+                    verb: verb.to_string(),
+                    status: "ok".to_string(),
+                    tag: "t".to_string(),
+                    request: req.to_string(),
+                    response: resp.to_string(),
+                })
+                .collect(),
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn identical_backends_produce_identical_sides() {
+        let log = open_close_log();
+        let mut a = InProcessBackend::new(ChtParams::paper_2d(), 4, 5).labeled("left");
+        let mut b = InProcessBackend::new(ChtParams::paper_2d(), 4, 5).labeled("right");
+        let ab = run_ab(&log, &mut a, &mut b, &ReplayOptions::default()).expect("ab");
+        assert!(ab.responses_identical());
+        assert!(ab.diverging_ops().is_empty());
+        let report = ab_report(&log, &ab, "test_ab");
+        assert_eq!(report.seed, 5);
+        let ident = report
+            .records
+            .iter()
+            .find(|r| r.suite == "replay_ab" && r.metric == "responses_identical")
+            .expect("diff record");
+        assert_eq!(ident.value, 1.0);
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.suite == "replay_left" && r.metric == "ops" && r.value == 2.0));
+    }
+}

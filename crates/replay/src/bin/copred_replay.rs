@@ -1,0 +1,468 @@
+//! Record/replay driver for CPRDLOG op-logs.
+//!
+//! ```text
+//! copred_replay <command> [key=value ...]
+//!
+//! info        log=FILE
+//!     Print the log's metadata and record summary.
+//!
+//! run         log=FILE [backend=inproc] [mode=sequential] [speed=2.0]
+//!             [compare=1] [bench_json=PATH]
+//!     Replay the log against one backend and print the outcome.
+//!       backend = inproc | loopback | addr:HOST:PORT
+//!       mode    = sequential | timing | timing-virtual | scaled
+//!                 (scaled divides recorded gaps by speed=K)
+//!
+//! verify      log=FILE [skip_loopback=0]
+//!     The CI replay gate: the log must replay bit-identically against a
+//!     default in-process backend AND a loopback server, and two
+//!     in-process replays must answer identically (determinism). Exits
+//!     non-zero on any divergence.
+//!
+//! ab          log=FILE [a=inproc] [b=loopback] [mode=sequential]
+//!             [speed=2.0] [bench_json=PATH]
+//!     Replay one log against two backends and report the diff.
+//!
+//! export-tsv  log=FILE tsv=FILE
+//!     Convert a CPRDLOG to the legacy self-describing TSV op-log.
+//!
+//! import-tsv  tsv=FILE log=FILE [robot=NAME] [fp=HEX]
+//!     Convert a legacy TSV op-log to CPRDLOG (the TSV carries no robot
+//!     or fingerprint, so supply them).
+//!
+//! sanitize    log=FILE out=FILE [gap_ns=1000000]
+//!     Normalize timestamps for committing: start_ns becomes
+//!     idx * gap_ns and durations zero, so the log is byte-stable across
+//!     machines while timing-mode replays still have faithful gaps.
+//! ```
+
+use copred_replay::{
+    ab_report, read_log_file, run_ab, run_replay, Clock, InProcessBackend, LogMeta, LogWriter,
+    LoopbackBackend, ReplayBackend, ReplayLog, ReplayMode, ReplayOptions, ReplayOutcome,
+};
+use copred_service::{parse_oplog, write_oplog, OplogMeta, ServerConfig};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Parsed `key=value` arguments for one subcommand, validated against its
+/// flag table.
+struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `args`, rejecting keys outside `valid` with an error that
+    /// lists every flag the subcommand accepts.
+    fn parse(command: &str, args: &[String], valid: &[&str]) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        for arg in args {
+            let (key, value) = arg
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{arg}'"))?;
+            if !valid.contains(&key) {
+                return Err(format!(
+                    "unknown flag '{key}' for '{command}' (valid flags: {})",
+                    valid.join(", ")
+                ));
+            }
+            values.insert(key.to_string(), value.to_string());
+        }
+        Ok(Flags { values })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing {key}=..."))
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad number for {key}: '{v}'")),
+        }
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> bool {
+        match self.get(key) {
+            None => default,
+            Some(v) => v == "1" || v == "true",
+        }
+    }
+}
+
+fn parse_mode(flags: &Flags) -> Result<ReplayMode, String> {
+    Ok(match flags.get("mode").unwrap_or("sequential") {
+        "sequential" => ReplayMode::Sequential,
+        "timing" => ReplayMode::Timing { clock: Clock::Wall },
+        "timing-virtual" => ReplayMode::Timing {
+            clock: Clock::Virtual,
+        },
+        "scaled" => {
+            let speed = flags.get("speed").unwrap_or("2.0");
+            let factor: f64 = speed
+                .parse()
+                .map_err(|_| format!("bad speed factor '{speed}'"))?;
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(format!("speed factor must be positive, got '{speed}'"));
+            }
+            ReplayMode::Scaled { factor }
+        }
+        other => {
+            return Err(format!(
+                "unknown mode '{other}' (sequential|timing|timing-virtual|scaled)"
+            ))
+        }
+    })
+}
+
+/// Builds a backend from its spec: `inproc`, `loopback` (owned fresh
+/// server), or `addr:HOST:PORT` (external server).
+fn make_backend(spec: &str) -> Result<Box<dyn ReplayBackend>, String> {
+    match spec {
+        "inproc" => Ok(Box::new(InProcessBackend::with_server_defaults())),
+        "loopback" => {
+            let cfg = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServerConfig::default()
+            };
+            Ok(Box::new(
+                LoopbackBackend::start(cfg).map_err(|e| format!("starting loopback: {e}"))?,
+            ))
+        }
+        other => match other.strip_prefix("addr:") {
+            Some(addr) => Ok(Box::new(
+                LoopbackBackend::connect(addr)
+                    .map_err(|e| format!("connecting to {addr}: {e}"))?
+                    .labeled("remote"),
+            )),
+            None => Err(format!(
+                "unknown backend '{other}' (inproc|loopback|addr:HOST:PORT)"
+            )),
+        },
+    }
+}
+
+fn load(flags: &Flags) -> Result<ReplayLog, String> {
+    let path = flags.require("log")?;
+    let log = read_log_file(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    if !log.complete {
+        eprintln!(
+            "copred_replay: note: {path} has a torn tail; replaying the clean prefix ({} records)",
+            log.records.len()
+        );
+    }
+    Ok(log)
+}
+
+fn print_outcome(label: &str, out: &ReplayOutcome) {
+    println!("backend        {label}");
+    println!("ops            {}", out.ops);
+    println!("checks         {}", out.checks);
+    println!("collisions     {}", out.collisions);
+    println!("cdqs_issued    {}", out.cdqs_issued);
+    println!("cdqs_total     {}", out.cdqs_total);
+    println!("mismatches     {}", out.mismatches.len());
+    println!("backend_errors {}", out.backend_errors);
+    println!("wall_s         {:.3}", out.wall_ns as f64 / 1e9);
+    println!("lag_ms         {:.3}", out.lag_ns as f64 / 1e6);
+    println!("checks_per_s   {:.1}", out.checks_per_sec());
+    for d in out.mismatches.iter().take(5) {
+        eprintln!(
+            "mismatch at op {} ({} {}): expected {:?}, got {:?}",
+            d.idx, d.verb, d.tag, d.expected, d.actual
+        );
+    }
+    if out.mismatches.len() > 5 {
+        eprintln!("... and {} more mismatches", out.mismatches.len() - 5);
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("info", args, &["log"])?;
+    let log = load(&flags)?;
+    println!("format         CPRDLOG v{}", copred_replay::LOG_VERSION);
+    println!("seed           {}", log.meta.seed);
+    println!("fingerprint    {:#018x}", log.meta.fingerprint);
+    println!("robot          {}", log.meta.robot);
+    println!("workload       {}", log.meta.workload);
+    println!("scale          {}", log.meta.scale);
+    println!("records        {}", log.records.len());
+    println!("complete       {}", log.complete);
+    let mut verbs: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in &log.records {
+        *verbs.entry(r.verb.as_str()).or_default() += 1;
+    }
+    for (verb, n) in verbs {
+        println!("  {verb:<12} {n}");
+    }
+    if let (Some(first), Some(last)) = (log.records.first(), log.records.last()) {
+        println!(
+            "span_ms        {:.3}",
+            last.start_ns.saturating_sub(first.start_ns) as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        "run",
+        args,
+        &["log", "backend", "mode", "speed", "compare", "bench_json"],
+    )?;
+    let log = load(&flags)?;
+    let opts = ReplayOptions {
+        mode: parse_mode(&flags)?,
+        compare: flags.bool_or("compare", true),
+    };
+    let mut backend = make_backend(flags.get("backend").unwrap_or("inproc"))?;
+    let out = run_replay(&log, backend.as_mut(), &opts).map_err(|e| e.to_string())?;
+    println!("mode           {}", opts.mode.label());
+    print_outcome(backend.label(), &out);
+    if let Some(path) = flags.get("bench_json") {
+        let report = run_report(&log, &opts, backend.label(), &out);
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("bench_json     {path}");
+    }
+    if opts.compare && !out.is_identical() {
+        return Err(format!(
+            "{} of {} compared ops diverged from the recording",
+            out.mismatches.len(),
+            out.ops
+        ));
+    }
+    Ok(())
+}
+
+/// Single-backend `bench_json` report for `run` (the A/B path has its
+/// own richer report).
+fn run_report(
+    log: &ReplayLog,
+    opts: &ReplayOptions,
+    backend: &str,
+    out: &ReplayOutcome,
+) -> copred_obs::BenchReport {
+    use copred_obs::{BenchRecord, BenchReport, Better};
+    let mut report = BenchReport::new(
+        &format!("replay_{}_{}", backend, opts.mode.label()),
+        "unknown",
+        log.meta.seed,
+        &format!("{} [{}]", log.meta.scale, log.meta.workload),
+    );
+    let suite = "replay";
+    for (metric, value, unit, better) in [
+        ("ops", out.ops as f64, "ops", Better::Higher),
+        ("checks", out.checks as f64, "checks", Better::Higher),
+        ("cdqs_issued", out.cdqs_issued as f64, "cdqs", Better::Lower),
+        (
+            "mismatches",
+            out.mismatches.len() as f64,
+            "ops",
+            Better::Lower,
+        ),
+        ("lag_ns", out.lag_ns as f64, "ns", Better::Lower),
+    ] {
+        report.records.push(BenchRecord::deterministic(
+            suite, metric, value, unit, better,
+        ));
+    }
+    report.records.push(BenchRecord::timing(
+        suite,
+        "checks_per_s",
+        &[out.checks_per_sec()],
+        "checks/s",
+        Better::Higher,
+    ));
+    report
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("verify", args, &["log", "skip_loopback"])?;
+    let log = load(&flags)?;
+    if !log.complete {
+        return Err("refusing to verify a torn log".to_string());
+    }
+    let opts = ReplayOptions::default(); // sequential, compare on
+
+    // Pass 1: bit-identity against a default in-process backend.
+    let mut inproc = InProcessBackend::with_server_defaults();
+    let first = run_replay(&log, &mut inproc, &opts).map_err(|e| e.to_string())?;
+    if !first.is_identical() {
+        print_outcome("inproc", &first);
+        return Err(format!(
+            "in-process replay diverged from the recording ({} mismatches)",
+            first.mismatches.len()
+        ));
+    }
+    println!(
+        "inproc         identical ({} ops, {} checks)",
+        first.ops, first.checks
+    );
+
+    // Pass 2: determinism — a second fresh in-process replay must answer
+    // exactly like the first.
+    let mut inproc2 = InProcessBackend::with_server_defaults();
+    let second = run_replay(&log, &mut inproc2, &opts).map_err(|e| e.to_string())?;
+    if second.responses != first.responses {
+        return Err("two in-process replays of the same log diverged".to_string());
+    }
+    println!("determinism    identical (double replay)");
+
+    // Pass 3: bit-identity over the wire.
+    if flags.bool_or("skip_loopback", false) {
+        println!("loopback       skipped");
+    } else {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        };
+        let mut loopback = LoopbackBackend::start(cfg).map_err(|e| e.to_string())?;
+        let wire = run_replay(&log, &mut loopback, &opts).map_err(|e| e.to_string())?;
+        if !wire.is_identical() {
+            print_outcome("loopback", &wire);
+            return Err(format!(
+                "loopback replay diverged from the recording ({} mismatches)",
+                wire.mismatches.len()
+            ));
+        }
+        println!(
+            "loopback       identical ({} ops, {} checks)",
+            wire.ops, wire.checks
+        );
+    }
+    println!("verify         PASS");
+    Ok(())
+}
+
+fn cmd_ab(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        "ab",
+        args,
+        &["log", "a", "b", "mode", "speed", "bench_json"],
+    )?;
+    let log = load(&flags)?;
+    let opts = ReplayOptions {
+        mode: parse_mode(&flags)?,
+        compare: true,
+    };
+    let mut a = make_backend(flags.get("a").unwrap_or("inproc"))?;
+    let mut b = make_backend(flags.get("b").unwrap_or("loopback"))?;
+    let ab = run_ab(&log, a.as_mut(), b.as_mut(), &opts).map_err(|e| e.to_string())?;
+    println!("=== A ===");
+    print_outcome(&ab.label_a, &ab.a);
+    println!("=== B ===");
+    print_outcome(&ab.label_b, &ab.b);
+    let diverging = ab.diverging_ops();
+    println!("=== diff ===");
+    println!("responses_identical {}", ab.responses_identical());
+    println!("diverging_ops       {}", diverging.len());
+    if ab.a.wall_ns > 0 {
+        println!(
+            "wall_b_over_a       {:.3}",
+            ab.b.wall_ns as f64 / ab.a.wall_ns as f64
+        );
+    }
+    if let Some(path) = flags.get("bench_json") {
+        let report = ab_report(&log, &ab, "replay_ab");
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("bench_json          {path}");
+    }
+    Ok(())
+}
+
+fn cmd_export_tsv(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("export-tsv", args, &["log", "tsv"])?;
+    let log = load(&flags)?;
+    let tsv = flags.require("tsv")?;
+    let ops: Vec<_> = log.records.iter().map(|r| r.to_op_record()).collect();
+    let text = write_oplog(&log.meta.to_oplog_meta(), &ops);
+    std::fs::write(tsv, text).map_err(|e| format!("writing {tsv}: {e}"))?;
+    println!("exported       {} records -> {tsv}", ops.len());
+    Ok(())
+}
+
+fn cmd_import_tsv(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("import-tsv", args, &["tsv", "log", "robot", "fp"])?;
+    let tsv_path = flags.require("tsv")?;
+    let out_path = flags.require("log")?;
+    let text = std::fs::read_to_string(tsv_path).map_err(|e| format!("reading {tsv_path}: {e}"))?;
+    let (meta, ops): (OplogMeta, Vec<_>) = parse_oplog(&text).map_err(|e| e.to_string())?;
+    let fp = match flags.get("fp") {
+        None => 0,
+        Some(hex) => u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("bad fingerprint hex '{hex}'"))?,
+    };
+    let log_meta = LogMeta::from_oplog_meta(&meta, flags.get("robot").unwrap_or(""), fp);
+    let file = std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    let mut w = LogWriter::new(std::io::BufWriter::new(file), &log_meta)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    for op in &ops {
+        w.append(&copred_replay::LogRecord::from_op_record(op))
+            .map_err(|e| format!("writing {out_path}: {e}"))?;
+    }
+    let n = w.count();
+    w.finish().map_err(|e| format!("sealing {out_path}: {e}"))?;
+    println!("imported       {n} records -> {out_path}");
+    Ok(())
+}
+
+fn cmd_sanitize(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("sanitize", args, &["log", "out", "gap_ns"])?;
+    let log = load(&flags)?;
+    let out_path = flags.require("out")?;
+    let gap_ns = flags.u64_or("gap_ns", 1_000_000)?;
+    let file = std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    let mut w = LogWriter::new(std::io::BufWriter::new(file), &log.meta)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    for (i, rec) in log.records.iter().enumerate() {
+        let mut rec = rec.clone();
+        rec.idx = i as u64;
+        rec.start_ns = i as u64 * gap_ns;
+        rec.duration_ns = 0;
+        w.append(&rec)
+            .map_err(|e| format!("writing {out_path}: {e}"))?;
+    }
+    let n = w.count();
+    w.finish().map_err(|e| format!("sealing {out_path}: {e}"))?;
+    println!("sanitized      {n} records -> {out_path} (gap {gap_ns} ns)");
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: copred_replay <info|run|verify|ab|export-tsv|import-tsv|sanitize> [key=value ...]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "info" => cmd_info(rest),
+        "run" => cmd_run(rest),
+        "verify" => cmd_verify(rest),
+        "ab" => cmd_ab(rest),
+        "export-tsv" => cmd_export_tsv(rest),
+        "import-tsv" => cmd_import_tsv(rest),
+        "sanitize" => cmd_sanitize(rest),
+        other => {
+            eprintln!("copred_replay: unknown command '{other}'\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("copred_replay: {e}");
+            let _ = std::io::stderr().flush();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -24,7 +24,9 @@
 //! - [`client`] — a small blocking client used by tests and the load
 //!   generator.
 //! - [`loadgen`] + [`oplog`] — closed-/open-loop load generation over
-//!   captured [`copred_trace::QueryTrace`] workloads with a TSV op-log.
+//!   captured [`copred_trace::QueryTrace`] workloads with a
+//!   self-describing TSV op-log that records full request/response
+//!   payloads (the `copred-replay` crate's lossless TSV interchange).
 
 pub mod client;
 pub mod loadgen;
@@ -38,8 +40,14 @@ pub mod session;
 pub use client::ServiceClient;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, Pacing, StatsSnapshot};
 pub use metrics::{LatencyHistogram, Metrics, SessionMetrics};
-pub use oplog::{parse_oplog, write_oplog, write_stats_tsv, OpRecord, OplogWriter};
-pub use prom::{render_prometheus, GLOBAL_COUNTERS, SESSION_COUNTERS, STORE_COUNTERS};
+pub use oplog::{
+    parse_oplog, write_oplog, write_stats_tsv, OpRecord, OplogError, OplogMeta, OplogWriter,
+    OPLOG_MAGIC, OPLOG_VERSION,
+};
+pub use prom::{
+    render_prometheus, replay_stats, ReplayStats, GLOBAL_COUNTERS, REPLAY_COUNTERS,
+    SESSION_COUNTERS, STORE_COUNTERS,
+};
 pub use protocol::{CheckResult, Request, Response, SchedMode, ServiceError, MAX_BATCH};
 pub use server::{Server, ServerConfig};
-pub use session::{OpenOutcome, SessionRegistry, SessionState, TimedPredictor};
+pub use session::{execute_batch, OpenOutcome, SessionRegistry, SessionState, TimedPredictor};

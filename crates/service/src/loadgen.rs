@@ -14,7 +14,7 @@
 
 use crate::client::ServiceClient;
 use crate::oplog::OpRecord;
-use crate::protocol::{Request, SchedMode};
+use crate::protocol::{Request, Response, SchedMode};
 use copred_trace::QueryTrace;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -259,12 +259,21 @@ fn run_connection(
             seed,
             fp,
         };
+        let tag = format!("conn{conn}/trace{trace_idx}");
         let start = elapsed_ns(epoch);
         let (session, warm) =
             client.open_with_fp(&trace.robot_name, trace.link_count, config.mode, seed, fp)?;
         out.warm_opens += u64::from(warm);
-        out.ops
-            .push(op(session, "open", &open_req, start, elapsed_ns(epoch)));
+        let resp = Response::Session { id: session, warm }.to_text();
+        out.ops.push(op(
+            session,
+            "open",
+            &tag,
+            &open_req,
+            resp,
+            start,
+            elapsed_ns(epoch),
+        ));
 
         for batch in trace.motions.chunks(config.batch) {
             if let Pacing::Open { interval_us } = config.pacing {
@@ -278,21 +287,37 @@ fn run_connection(
             let start = elapsed_ns(epoch);
             let (results, r) = client.check_motions(session, batch, config.max_retries)?;
             retries.fetch_add(r as u64, Ordering::Relaxed);
-            out.ops
-                .push(op(session, "check_motion", &req, start, elapsed_ns(epoch)));
-            for res in results {
+            for res in &results {
                 out.checks += 1;
                 out.collisions += u64::from(res.colliding);
                 out.cdqs_issued += res.cdqs_executed;
                 out.cdqs_total += res.cdqs_total;
             }
+            let resp = Response::Results(results).to_text();
+            out.ops.push(op(
+                session,
+                "check_motion",
+                &tag,
+                &req,
+                resp,
+                start,
+                elapsed_ns(epoch),
+            ));
         }
 
         let req = Request::Close { session };
         let start = elapsed_ns(epoch);
         client.close(session)?;
-        out.ops
-            .push(op(session, "close", &req, start, elapsed_ns(epoch)));
+        let resp = Response::Closed.to_text();
+        out.ops.push(op(
+            session,
+            "close",
+            &tag,
+            &req,
+            resp,
+            start,
+            elapsed_ns(epoch),
+        ));
     }
     Ok(out)
 }
@@ -304,14 +329,26 @@ fn pace(epoch: Instant, scheduled_ns: u64) {
     }
 }
 
-fn op(session: u64, verb: &str, req: &Request, start_ns: u64, end_ns: u64) -> OpRecord {
+fn op(
+    session: u64,
+    verb: &str,
+    tag: &str,
+    req: &Request,
+    response: String,
+    start_ns: u64,
+    end_ns: u64,
+) -> OpRecord {
+    let request = req.to_text();
     OpRecord {
         idx: 0, // assigned after the global sort
         session,
         verb: verb.to_string(),
-        bytes: req.to_text().len() as u64,
+        bytes: request.len() as u64,
         start_ns,
         duration_ns: end_ns.saturating_sub(start_ns),
         status: "ok".to_string(),
+        tag: tag.to_string(),
+        request,
+        response,
     }
 }

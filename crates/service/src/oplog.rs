@@ -1,20 +1,112 @@
 //! The load generator's TSV op-log: one line per wire operation, in the
 //! style of object-store benchmark logs (idx, endpoint, verb, payload
-//! bytes, start offset, duration). The log is the raw material for
-//! latency/throughput analysis offline — EXPERIMENTS.md plots come from
-//! exactly this format.
+//! bytes, start offset, duration), preceded by a self-describing header.
+//! The log is the raw material for latency/throughput analysis offline —
+//! EXPERIMENTS.md plots come from exactly this format — and, since v2,
+//! carries the full request/response payloads so `copred-replay` can
+//! export to and import from it losslessly.
+//!
+//! Format, line by line:
+//!
+//! ```text
+//! # copred-oplog v2
+//! # meta seed 42
+//! # meta workload MPNet-2D
+//! # meta scale queries=3
+//! idx\tsession\tverb\tbytes\tstart_ns\tduration_ns\tstatus\ttag\trequest\tresponse
+//! 0\t1\topen\t24\t0\t81233\tok\tconn0/trace0\topen planar-2d 2 coord 7\n\tok session 1 warm 0\n
+//! ```
+//!
+//! The version line and the three metadata keys are mandatory on read:
+//! version-mismatched or metadata-less logs are rejected with a structured
+//! [`OplogError`] (never a panic), mirroring the strict-parse posture of
+//! `Scale::from_env`. Payload columns escape `\` `\t` `\n` `\r` so one
+//! record stays one line.
 
 use crate::loadgen::StatsSnapshot;
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 use std::io::{self, Write};
+
+/// Schema version this crate writes. Bump on any column or metadata
+/// change; readers reject other versions.
+pub const OPLOG_VERSION: u32 = 2;
+
+/// First line of every op-log.
+pub const OPLOG_MAGIC: &str = "# copred-oplog v2";
+
+/// Column order of the TSV.
+pub const OPLOG_HEADER: &str =
+    "idx\tsession\tverb\tbytes\tstart_ns\tduration_ns\tstatus\ttag\trequest\tresponse";
+
+/// Run provenance embedded in the log header: everything a replay needs
+/// to know it is driving the workload the log came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OplogMeta {
+    /// Base seed of the recorded run (per-trace seeds derive from it).
+    pub seed: u64,
+    /// Workload label, e.g. a `Combo` label like `MPNet-2D`.
+    pub workload: String,
+    /// Scale description, e.g. `queries=3 connections=1`.
+    pub scale: String,
+}
+
+/// Why an op-log was rejected on read. Structured so tools can
+/// distinguish "wrong version" from "corrupt line" without string
+/// matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OplogError {
+    /// The input had no lines at all.
+    Empty,
+    /// The first line was not [`OPLOG_MAGIC`] — either a pre-v2 log or
+    /// not an op-log. Carries the line found.
+    VersionMismatch {
+        /// The first line of the rejected input.
+        found: String,
+    },
+    /// A mandatory `# meta` key (`seed`, `workload`, `scale`) was absent.
+    MissingMeta {
+        /// The missing key.
+        key: &'static str,
+    },
+    /// A line failed to parse: wrong column count, bad number, bad
+    /// escape, or a malformed/missing column header.
+    Malformed {
+        /// 1-based line number of the offending line (0 when the problem
+        /// is the absence of a line, e.g. no column header).
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OplogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OplogError::Empty => write!(f, "empty op-log"),
+            OplogError::VersionMismatch { found } => write!(
+                f,
+                "op-log version mismatch: want {OPLOG_MAGIC:?}, found {found:?}"
+            ),
+            OplogError::MissingMeta { key } => {
+                write!(f, "op-log is missing mandatory `# meta {key}` header")
+            }
+            OplogError::Malformed { line, reason } => {
+                write!(f, "op-log line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OplogError {}
 
 /// One logged operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord {
     /// Global operation index in completion order.
     pub idx: u64,
-    /// Session token the operation targeted (0 for `open` and global
-    /// `stats`).
+    /// Session token the operation targeted (0 for `open` before the
+    /// token exists and for global `stats`). For `open`, the token the
+    /// server assigned — replays remap it.
     pub session: u64,
     /// Wire verb (`open`, `check_motion`, `reset`, `stats`, `close`).
     pub verb: String,
@@ -26,30 +118,93 @@ pub struct OpRecord {
     pub duration_ns: u64,
     /// Outcome: `ok`, `retry_after`, or `err`.
     pub status: String,
+    /// Session tag from the recorder, e.g. `conn0/trace2` — stable across
+    /// replays where the server-assigned token is not.
+    pub tag: String,
+    /// Full request payload text as sent on the wire.
+    pub request: String,
+    /// Full response payload text as received (final reply after any
+    /// `retry_after` rounds).
+    pub response: String,
 }
 
-/// Column order of the TSV.
-pub const OPLOG_HEADER: &str = "idx\tsession\tverb\tbytes\tstart_ns\tduration_ns\tstatus";
-
-/// Renders records as TSV with a header line.
-pub fn write_oplog(ops: &[OpRecord]) -> String {
-    let mut out = String::with_capacity(ops.len() * 48 + OPLOG_HEADER.len() + 1);
-    out.push_str(OPLOG_HEADER);
-    out.push('\n');
-    for op in ops {
-        let _ = writeln!(
-            out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            op.idx, op.session, op.verb, op.bytes, op.start_ns, op.duration_ns, op.status
-        );
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
     }
     out
 }
 
-/// Streaming op-log writer: emits the header row up front, appends one
-/// TSV line per record, and flushes on drop — so a run that is
-/// interrupted (or a caller that forgets the final flush) still leaves a
-/// parseable log on disk.
+fn unesc(s: &str, line: usize) -> Result<String, OplogError> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(OplogError::Malformed {
+                    line,
+                    reason: format!("bad escape sequence \\{other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn header_lines(meta: &OplogMeta) -> String {
+    format!(
+        "{OPLOG_MAGIC}\n# meta seed {}\n# meta workload {}\n# meta scale {}\n{OPLOG_HEADER}\n",
+        meta.seed,
+        esc(&meta.workload),
+        esc(&meta.scale)
+    )
+}
+
+fn record_line(op: &OpRecord) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        op.idx,
+        op.session,
+        op.verb,
+        op.bytes,
+        op.start_ns,
+        op.duration_ns,
+        op.status,
+        esc(&op.tag),
+        esc(&op.request),
+        esc(&op.response)
+    )
+}
+
+/// Renders records as TSV with the self-describing header.
+pub fn write_oplog(meta: &OplogMeta, ops: &[OpRecord]) -> String {
+    let mut out = header_lines(meta);
+    out.reserve(ops.len() * 96);
+    for op in ops {
+        let _ = writeln!(out, "{}", record_line(op));
+    }
+    out
+}
+
+/// Streaming op-log writer: emits the version/metadata/column header up
+/// front, appends one TSV line per record, and flushes on drop — so a run
+/// that is interrupted (or a caller that forgets the final flush) still
+/// leaves a parseable log on disk.
 #[derive(Debug)]
 pub struct OplogWriter<W: Write> {
     out: io::BufWriter<W>,
@@ -57,14 +212,14 @@ pub struct OplogWriter<W: Write> {
 }
 
 impl<W: Write> OplogWriter<W> {
-    /// Wraps `sink` and writes the header row.
+    /// Wraps `sink` and writes the header block for `meta`.
     ///
     /// # Errors
     ///
     /// Any write failure.
-    pub fn new(sink: W) -> io::Result<Self> {
+    pub fn new(sink: W, meta: &OplogMeta) -> io::Result<Self> {
         let mut out = io::BufWriter::new(sink);
-        writeln!(out, "{OPLOG_HEADER}")?;
+        out.write_all(header_lines(meta).as_bytes())?;
         Ok(OplogWriter { out, records: 0 })
     }
 
@@ -74,11 +229,7 @@ impl<W: Write> OplogWriter<W> {
     ///
     /// Any write failure.
     pub fn record(&mut self, op: &OpRecord) -> io::Result<()> {
-        writeln!(
-            self.out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            op.idx, op.session, op.verb, op.bytes, op.start_ns, op.duration_ns, op.status
-        )?;
+        writeln!(self.out, "{}", record_line(op))?;
         self.records += 1;
         Ok(())
     }
@@ -135,32 +286,78 @@ pub fn write_stats_tsv(snapshots: &[StatsSnapshot]) -> String {
     out
 }
 
-/// Parses a TSV op-log back into records.
+/// Parses a TSV op-log back into its metadata and records.
 ///
 /// # Errors
 ///
-/// Returns a located reason for a bad header, wrong column count, or
-/// unparseable numbers.
-pub fn parse_oplog(text: &str) -> Result<Vec<OpRecord>, String> {
-    let mut lines = text.lines();
-    let header = lines.next().ok_or("empty op-log")?;
-    if header != OPLOG_HEADER {
-        return Err(format!("bad op-log header: {header:?}"));
+/// [`OplogError::Empty`] for no input, [`OplogError::VersionMismatch`]
+/// when the first line is not [`OPLOG_MAGIC`] (pre-v2 logs land here),
+/// [`OplogError::MissingMeta`] when a mandatory `# meta` key is absent,
+/// and [`OplogError::Malformed`] for a bad column header, wrong column
+/// count, unparseable number, or bad escape. Unknown `# meta` keys and
+/// other `#` comment lines are ignored for forward compatibility.
+pub fn parse_oplog(text: &str) -> Result<(OplogMeta, Vec<OpRecord>), OplogError> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, first)) = lines.next() else {
+        return Err(OplogError::Empty);
+    };
+    if first != OPLOG_MAGIC {
+        return Err(OplogError::VersionMismatch {
+            found: first.to_string(),
+        });
     }
+    let (mut seed, mut workload, mut scale) = (None, None, None);
+    let mut header_seen = false;
     let mut ops = Vec::new();
-    for (i, line) in lines.enumerate() {
-        let ln = i + 2;
+    for (i, line) in lines {
+        let ln = i + 1;
         if line.is_empty() {
             continue;
         }
-        let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 7 {
-            return Err(format!("line {ln}: want 7 columns, got {}", cols.len()));
+        if let Some(rest) = line.strip_prefix("# meta ") {
+            let (key, raw) = rest.split_once(' ').ok_or_else(|| OplogError::Malformed {
+                line: ln,
+                reason: format!("meta line without a value: {line:?}"),
+            })?;
+            let value = unesc(raw, ln)?;
+            match key {
+                "seed" => {
+                    seed = Some(value.parse::<u64>().map_err(|_| OplogError::Malformed {
+                        line: ln,
+                        reason: format!("bad seed {value:?}"),
+                    })?);
+                }
+                "workload" => workload = Some(value),
+                "scale" => scale = Some(value),
+                _ => {} // forward compatibility: later versions may add keys
+            }
+            continue;
         }
-        let num = |j: usize, what: &str| -> Result<u64, String> {
-            cols[j]
-                .parse()
-                .map_err(|_| format!("line {ln}: bad {what} {:?}", cols[j]))
+        if line.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            if line != OPLOG_HEADER {
+                return Err(OplogError::Malformed {
+                    line: ln,
+                    reason: format!("bad column header: {line:?}"),
+                });
+            }
+            header_seen = true;
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 10 {
+            return Err(OplogError::Malformed {
+                line: ln,
+                reason: format!("want 10 columns, got {}", cols.len()),
+            });
+        }
+        let num = |j: usize, what: &str| -> Result<u64, OplogError> {
+            cols[j].parse().map_err(|_| OplogError::Malformed {
+                line: ln,
+                reason: format!("bad {what} {:?}", cols[j]),
+            })
         };
         ops.push(OpRecord {
             idx: num(0, "idx")?,
@@ -170,25 +367,50 @@ pub fn parse_oplog(text: &str) -> Result<Vec<OpRecord>, String> {
             start_ns: num(4, "start_ns")?,
             duration_ns: num(5, "duration_ns")?,
             status: cols[6].to_string(),
+            tag: unesc(cols[7], ln)?,
+            request: unesc(cols[8], ln)?,
+            response: unesc(cols[9], ln)?,
         });
     }
-    Ok(ops)
+    let meta = OplogMeta {
+        seed: seed.ok_or(OplogError::MissingMeta { key: "seed" })?,
+        workload: workload.ok_or(OplogError::MissingMeta { key: "workload" })?,
+        scale: scale.ok_or(OplogError::MissingMeta { key: "scale" })?,
+    };
+    if !header_seen {
+        return Err(OplogError::Malformed {
+            line: 0,
+            reason: "missing column header".to_string(),
+        });
+    }
+    Ok((meta, ops))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn meta() -> OplogMeta {
+        OplogMeta {
+            seed: 42,
+            workload: "MPNet-2D".to_string(),
+            scale: "queries=3 connections=1".to_string(),
+        }
+    }
+
     fn sample() -> Vec<OpRecord> {
         vec![
             OpRecord {
                 idx: 0,
-                session: 0,
+                session: 1,
                 verb: "open".into(),
                 bytes: 24,
                 start_ns: 0,
                 duration_ns: 81_233,
                 status: "ok".into(),
+                tag: "conn0/trace0".into(),
+                request: "open planar-2d 2 coord 7\n".into(),
+                response: "ok session 1 warm 0\n".into(),
             },
             OpRecord {
                 idx: 1,
@@ -198,16 +420,23 @@ mod tests {
                 start_ns: 90_000,
                 duration_ns: 1_502_118,
                 status: "retry_after".into(),
+                tag: "conn1/trace2".into(),
+                request: "check_motion 3 1\nmotion M0 2 1\n0.5\t0.25\n".into(),
+                response: "ok results 1\nresult 0 1 2 8\n".into(),
             },
         ]
     }
 
     #[test]
-    fn tsv_roundtrip() {
+    fn tsv_roundtrip_preserves_meta_and_payloads() {
         let ops = sample();
-        let text = write_oplog(&ops);
-        assert!(text.starts_with(OPLOG_HEADER));
-        assert_eq!(parse_oplog(&text).expect("parse"), ops);
+        let text = write_oplog(&meta(), &ops);
+        assert!(text.starts_with(OPLOG_MAGIC));
+        let (m, back) = parse_oplog(&text).expect("parse");
+        assert_eq!(m, meta());
+        assert_eq!(back, ops);
+        // Multi-line payloads with embedded tabs stayed one record per line.
+        assert_eq!(text.lines().count(), 5 + ops.len());
     }
 
     #[test]
@@ -215,7 +444,7 @@ mod tests {
         let ops = sample();
         let mut buf: Vec<u8> = Vec::new();
         {
-            let mut w = OplogWriter::new(&mut buf).expect("header");
+            let mut w = OplogWriter::new(&mut buf, &meta()).expect("header");
             for op in &ops {
                 w.record(op).expect("record");
             }
@@ -223,18 +452,33 @@ mod tests {
             // No explicit flush: the drop must leave a complete log.
         }
         let text = String::from_utf8(buf).expect("utf8");
-        assert_eq!(text, write_oplog(&ops));
-        assert_eq!(parse_oplog(&text).expect("parse"), ops);
+        assert_eq!(text, write_oplog(&meta(), &ops));
+        assert_eq!(parse_oplog(&text).expect("parse").1, ops);
     }
 
     #[test]
     fn empty_streaming_log_is_parseable() {
         let mut buf: Vec<u8> = Vec::new();
         {
-            let _w = OplogWriter::new(&mut buf).expect("header");
+            let _w = OplogWriter::new(&mut buf, &meta()).expect("header");
         }
         let text = String::from_utf8(buf).expect("utf8");
-        assert_eq!(parse_oplog(&text).expect("parse"), vec![]);
+        let (m, ops) = parse_oplog(&text).expect("parse");
+        assert_eq!(m, meta());
+        assert_eq!(ops, vec![]);
+    }
+
+    #[test]
+    fn escaping_roundtrips_hostile_strings() {
+        let mut m = meta();
+        m.workload = "tabs\tand\nnewlines \\ backslash\r".to_string();
+        let mut ops = sample();
+        ops[0].tag = "\\n is not a newline".to_string();
+        ops[0].request = "a\tb\nc\\d\re".to_string();
+        let text = write_oplog(&m, &ops);
+        let (back_m, back) = parse_oplog(&text).expect("parse");
+        assert_eq!(back_m, m);
+        assert_eq!(back, ops);
     }
 
     #[test]
@@ -265,12 +509,60 @@ mod tests {
     }
 
     #[test]
+    fn version_mismatch_and_missing_meta_are_structured_errors() {
+        assert_eq!(parse_oplog("").unwrap_err(), OplogError::Empty);
+        // A v1 log (column header first) is a version mismatch, not a panic.
+        let v1 =
+            "idx\tsession\tverb\tbytes\tstart_ns\tduration_ns\tstatus\n0\t0\topen\t1\t2\t3\tok\n";
+        assert!(matches!(
+            parse_oplog(v1).unwrap_err(),
+            OplogError::VersionMismatch { .. }
+        ));
+        assert!(matches!(
+            parse_oplog("# copred-oplog v3\n").unwrap_err(),
+            OplogError::VersionMismatch { .. }
+        ));
+        // Metadata-less logs are rejected with the missing key.
+        let no_meta = format!("{OPLOG_MAGIC}\n{OPLOG_HEADER}\n");
+        assert_eq!(
+            parse_oplog(&no_meta).unwrap_err(),
+            OplogError::MissingMeta { key: "seed" }
+        );
+        let partial = format!("{OPLOG_MAGIC}\n# meta seed 1\n# meta workload w\n{OPLOG_HEADER}\n");
+        assert_eq!(
+            parse_oplog(&partial).unwrap_err(),
+            OplogError::MissingMeta { key: "scale" }
+        );
+    }
+
+    #[test]
     fn malformed_logs_are_rejected() {
-        assert!(parse_oplog("").is_err());
-        assert!(parse_oplog("idx\tbad\theader\n").is_err());
-        let text = format!("{OPLOG_HEADER}\n1\t2\tcheck\n");
-        assert!(parse_oplog(&text).unwrap_err().contains("7 columns"));
-        let text = format!("{OPLOG_HEADER}\nx\t0\topen\t1\t2\t3\tok\n");
-        assert!(parse_oplog(&text).unwrap_err().contains("bad idx"));
+        let head = header_lines(&meta());
+        let text = format!("{head}1\t2\tcheck\n");
+        assert!(matches!(
+            parse_oplog(&text).unwrap_err(),
+            OplogError::Malformed { line: 6, .. }
+        ));
+        let text = format!("{head}x\t0\topen\t1\t2\t3\tok\tt\tq\tr\n");
+        let err = parse_oplog(&text).unwrap_err();
+        assert!(err.to_string().contains("bad idx"), "{err}");
+        // Bad escape in a payload column.
+        let text = format!("{head}0\t0\topen\t1\t2\t3\tok\tt\tbad\\x\tr\n");
+        assert!(matches!(
+            parse_oplog(&text).unwrap_err(),
+            OplogError::Malformed { .. }
+        ));
+        // Bad seed value.
+        let text = format!("{OPLOG_MAGIC}\n# meta seed nope\n");
+        assert!(matches!(
+            parse_oplog(&text).unwrap_err(),
+            OplogError::Malformed { .. }
+        ));
+        // Missing column header entirely.
+        let text = format!("{OPLOG_MAGIC}\n# meta seed 1\n# meta workload w\n# meta scale s\n");
+        assert!(matches!(
+            parse_oplog(&text).unwrap_err(),
+            OplogError::Malformed { line: 0, .. }
+        ));
     }
 }

@@ -106,6 +106,62 @@ pub const STORE_COUNTERS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Process-global counters for the replay subsystem (`copred-replay`
+/// drives these through [`replay_stats`]; they read 0 in a process that
+/// never replays). They live here rather than in the replay crate so the
+/// one `/metrics` renderer — and its golden-file contract — covers them.
+#[derive(Debug, Default)]
+pub struct ReplayStats {
+    /// Op-log records decoded by the replay reader.
+    pub records_read: AtomicU64,
+    /// Replay passes completed (one per log × backend run).
+    pub replays_run: AtomicU64,
+    /// Backend errors observed while replaying.
+    pub backend_errors: AtomicU64,
+    /// Cumulative nanoseconds the replay fell behind the recorded
+    /// schedule in timing mode.
+    pub timing_lag_ns: AtomicU64,
+}
+
+static REPLAY_STATS: ReplayStats = ReplayStats {
+    records_read: AtomicU64::new(0),
+    replays_run: AtomicU64::new(0),
+    backend_errors: AtomicU64::new(0),
+    timing_lag_ns: AtomicU64::new(0),
+};
+
+/// The process-wide [`ReplayStats`] instance rendered on `/metrics`.
+pub fn replay_stats() -> &'static ReplayStats {
+    &REPLAY_STATS
+}
+
+/// Every replay counter in [`ReplayStats`], as
+/// `(field, prometheus name, help)`. Same contract discipline as
+/// [`GLOBAL_COUNTERS`]: the exposition test asserts each appears exactly
+/// once in a scrape.
+pub const REPLAY_COUNTERS: &[(&str, &str, &str)] = &[
+    (
+        "records_read",
+        "copred_replay_records_read_total",
+        "Op-log records decoded by the replay reader.",
+    ),
+    (
+        "replays_run",
+        "copred_replay_replays_run_total",
+        "Replay passes completed.",
+    ),
+    (
+        "backend_errors",
+        "copred_replay_backend_errors_total",
+        "Backend errors observed while replaying.",
+    ),
+    (
+        "timing_lag_ns",
+        "copred_replay_timing_lag_ns_total",
+        "Cumulative lag behind the recorded schedule in timing mode.",
+    ),
+];
+
 /// Every per-session counter in [`crate::metrics::SessionMetrics`], as
 /// `(field, prometheus name, help)`. Samples carry `session` and `mode`
 /// labels.
@@ -180,6 +236,16 @@ fn store_counter<'a>(s: &'a StoreStats, field: &str) -> &'a AtomicU64 {
     }
 }
 
+fn replay_counter<'a>(s: &'a ReplayStats, field: &str) -> &'a AtomicU64 {
+    match field {
+        "records_read" => &s.records_read,
+        "replays_run" => &s.replays_run,
+        "backend_errors" => &s.backend_errors,
+        "timing_lag_ns" => &s.timing_lag_ns,
+        other => unreachable!("unmapped replay counter {other}"),
+    }
+}
+
 fn session_counter<'a>(s: &'a SessionState, field: &str) -> &'a AtomicU64 {
     let m = &s.metrics;
     match field {
@@ -217,6 +283,14 @@ pub fn render_prometheus(
         b.sample(
             name,
             store_counter(store, field).load(Ordering::Relaxed) as f64,
+        );
+    }
+    let replay = replay_stats();
+    for &(field, name, help) in REPLAY_COUNTERS {
+        b.family(name, "counter", help);
+        b.sample(
+            name,
+            replay_counter(replay, field).load(Ordering::Relaxed) as f64,
         );
     }
 

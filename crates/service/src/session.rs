@@ -10,8 +10,8 @@
 //! path.
 
 use crate::metrics::SessionMetrics;
-use crate::protocol::{SchedMode, ServiceError};
-use copred_collision::{CdqInfo, CdqPredictor};
+use crate::protocol::{CheckResult, SchedMode, ServiceError};
+use copred_collision::{run_predicted_schedule, run_schedule, CdqInfo, CdqPredictor, Schedule};
 use copred_core::{ChtParams, CollisionHash, CoordHash, HashInput};
 use copred_kinematics::{presets, Config, Robot};
 use copred_store::{SessionStore, StoreRegistry, StoreStats, TableImage};
@@ -265,6 +265,49 @@ impl<P: CdqPredictor> CdqPredictor for TimedPredictor<'_, P> {
         self.inner.observe(cdq, colliding);
         self.observe_sampled_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
+}
+
+/// Executes one motion-check batch against a session exactly as the
+/// server's worker pool does — the canonical batch semantics shared by the
+/// TCP worker, the conformance harness, and the replay engine. Schedules
+/// each motion per the session's [`SchedMode`], updates the session's
+/// metrics (including the confusion ledger via [`ChtPredictor`] observes),
+/// and returns the wire-visible [`CheckResult`]s in motion order.
+pub fn execute_batch(
+    session: &SessionState,
+    motions: &[copred_trace::MotionTrace],
+    csp_step: usize,
+) -> Vec<CheckResult> {
+    motions
+        .iter()
+        .map(|m| {
+            let infos = m.to_cdq_infos();
+            let out = match session.mode {
+                SchedMode::Coord => {
+                    let mut pred = ChtPredictor::new(session, &m.poses);
+                    run_predicted_schedule(&infos, m.poses.len(), csp_step, &mut pred)
+                }
+                SchedMode::Naive => run_schedule(&infos, m.poses.len(), Schedule::Naive),
+                SchedMode::Csp => {
+                    run_schedule(&infos, m.poses.len(), Schedule::Csp { step: csp_step })
+                }
+            };
+            let sm = &session.metrics;
+            sm.checks.fetch_add(1, Ordering::Relaxed);
+            sm.cdqs_issued
+                .fetch_add(out.cdqs_executed as u64, Ordering::Relaxed);
+            sm.cdqs_total
+                .fetch_add(out.cdqs_total as u64, Ordering::Relaxed);
+            sm.collisions
+                .fetch_add(u64::from(out.colliding), Ordering::Relaxed);
+            CheckResult {
+                colliding: out.colliding,
+                cdqs_executed: out.cdqs_executed as u64,
+                cdqs_total: out.cdqs_total as u64,
+                obstacle_tests: out.obstacle_tests as u64,
+            }
+        })
+        .collect()
 }
 
 struct RegistryInner {

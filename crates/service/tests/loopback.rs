@@ -173,12 +173,23 @@ fn server_stats_match_client_side_sums_and_oplog_roundtrips() {
         traces.len() * 2 + n_batches,
         "open+close+batches"
     );
-    let text = write_oplog(&report.ops);
-    let back = parse_oplog(&text).expect("parse op-log");
+    let meta = copred_service::OplogMeta {
+        seed: 1,
+        workload: "synthetic".to_string(),
+        scale: "traces=4".to_string(),
+    };
+    let text = write_oplog(&meta, &report.ops);
+    let (back_meta, back) = parse_oplog(&text).expect("parse op-log");
+    assert_eq!(back_meta, meta);
     assert_eq!(back, report.ops);
     assert!(
         back.windows(2).all(|w| w[0].start_ns <= w[1].start_ns),
         "sorted by start"
     );
     assert!(back.iter().all(|op| op.bytes > 0));
+    assert!(
+        back.iter()
+            .all(|op| !op.tag.is_empty() && !op.request.is_empty() && !op.response.is_empty()),
+        "every record carries replayable payloads"
+    );
 }

@@ -7,8 +7,8 @@ use copred_core::ChtParams;
 use copred_obs::{http_get, parse_prometheus, PromSample};
 use copred_service::protocol::SchedMode;
 use copred_service::{
-    render_prometheus, Metrics, Server, ServerConfig, SessionRegistry, GLOBAL_COUNTERS,
-    SESSION_COUNTERS, STORE_COUNTERS,
+    render_prometheus, replay_stats, Metrics, Server, ServerConfig, SessionRegistry,
+    GLOBAL_COUNTERS, REPLAY_COUNTERS, SESSION_COUNTERS, STORE_COUNTERS,
 };
 use copred_store::StoreStats;
 use std::sync::atomic::Ordering;
@@ -79,8 +79,26 @@ fn store_fixture() -> StoreStats {
     stats
 }
 
+/// Distinct values for the process-global replay counters, third
+/// arithmetic progression. Stores (not adds) so re-running a fixture in
+/// the same process stays idempotent.
+fn replay_fixture() {
+    let stats = replay_stats();
+    for (i, &(field, _, _)) in REPLAY_COUNTERS.iter().enumerate() {
+        let v = 700 + 13 * i as u64;
+        match field {
+            "records_read" => stats.records_read.store(v, Ordering::Relaxed),
+            "replays_run" => stats.replays_run.store(v, Ordering::Relaxed),
+            "backend_errors" => stats.backend_errors.store(v, Ordering::Relaxed),
+            "timing_lag_ns" => stats.timing_lag_ns.store(v, Ordering::Relaxed),
+            other => panic!("fixture does not cover replay counter {other}"),
+        }
+    }
+}
+
 fn render_fixture() -> String {
     let (metrics, registry) = fixture();
+    replay_fixture();
     render_prometheus(&metrics, &registry.sessions_snapshot(), 3, &store_fixture())
 }
 
@@ -125,6 +143,14 @@ fn every_global_counter_appears_exactly_once_with_prefix() {
         assert!(name.starts_with("copred_store_"), "{name} lacks the prefix");
         assert_eq!(count(&samples, name), 1, "{name} must appear exactly once");
         assert_eq!(value(&samples, name), (500 + 11 * i) as f64, "{name}");
+    }
+    for (i, &(_, name, _)) in REPLAY_COUNTERS.iter().enumerate() {
+        assert!(
+            name.starts_with("copred_replay_"),
+            "{name} lacks the prefix"
+        );
+        assert_eq!(count(&samples, name), 1, "{name} must appear exactly once");
+        assert_eq!(value(&samples, name), (700 + 13 * i) as f64, "{name}");
     }
     for &(_, name, _) in SESSION_COUNTERS {
         assert!(name.starts_with("copred_"), "{name} lacks the prefix");
