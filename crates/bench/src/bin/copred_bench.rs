@@ -27,6 +27,7 @@ use copred_bench::{Scale, Workloads};
 use copred_obs::{check_against_baseline, BenchReport, BenchWriter, CheckConfig};
 use std::path::{Path, PathBuf};
 
+#[derive(Debug)]
 struct Flags {
     mode: Mode,
     cfg: PerfwatchConfig,
@@ -37,13 +38,30 @@ struct Flags {
     accel_artifacts: Option<PathBuf>,
 }
 
+#[derive(Debug)]
 enum Mode {
     Run,
     Figures,
 }
 
-fn parse_flags() -> Result<Flags, String> {
-    let mut args = std::env::args().skip(1).peekable();
+/// Every flag `copred_bench` accepts; unknown flags are rejected with
+/// this list so a typo never silently falls back to defaults.
+const VALID_FLAGS: &[&str] = &[
+    "--quick",
+    "--full",
+    "--label",
+    "--seed",
+    "--reps",
+    "--out",
+    "--baseline",
+    "--check",
+    "--det-threshold",
+    "--timing-threshold",
+    "--accel-artifacts",
+];
+
+fn parse_flags(raw: impl Iterator<Item = String>) -> Result<Flags, String> {
+    let mut args = raw.peekable();
     let mode = match args.peek().map(String::as_str) {
         Some("run") => {
             args.next();
@@ -100,7 +118,12 @@ fn parse_flags() -> Result<Flags, String> {
             "--accel-artifacts" => {
                 flags.accel_artifacts = Some(PathBuf::from(value("--accel-artifacts")?));
             }
-            other => return Err(format!("unknown flag '{other}'")),
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (valid flags: {})",
+                    VALID_FLAGS.join(", ")
+                ))
+            }
         }
     }
     if let Some(l) = label {
@@ -243,7 +266,7 @@ fn write_section(dir: &Path, name: &str, body: &str) -> Result<(), String> {
 }
 
 fn main() {
-    let flags = match parse_flags() {
+    let flags = match parse_flags(std::env::args().skip(1)) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("copred_bench: {e}");
@@ -260,5 +283,46 @@ fn main() {
             eprintln!("copred_bench: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Flags, String> {
+        parse_flags(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn unknown_flag_fails_fast_and_lists_valid_flags() {
+        let err = parse(&["run", "--sede", "7"]).unwrap_err();
+        assert!(err.contains("unknown flag '--sede'"), "{err}");
+        for flag in VALID_FLAGS {
+            assert!(err.contains(flag), "error should list {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let f = parse(&["run", "--full", "--seed", "7", "--reps", "2", "--check"]).unwrap();
+        assert!(matches!(f.mode, Mode::Run));
+        assert!(!f.cfg.quick);
+        assert_eq!(f.cfg.seed, 7);
+        assert_eq!(f.cfg.reps, 2);
+        assert!(f.check);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse(&["--label"]).unwrap_err();
+        assert!(err.contains("--label needs a value"), "{err}");
+    }
+
+    #[test]
+    fn figures_subcommand_selects_mode() {
+        let f = parse(&["figures", "--out", "figs"]).unwrap();
+        assert!(matches!(f.mode, Mode::Figures));
+        assert_eq!(f.out.as_deref(), Some(Path::new("figs")));
     }
 }

@@ -20,12 +20,27 @@ use copred_service::{Server, ServerConfig};
 use std::thread;
 use std::time::Duration;
 
-fn parse_args() -> Result<ServerConfig, String> {
+/// Every key `copred_server` accepts (after GNU-style normalization);
+/// unknown keys are rejected with this list so a typo never silently
+/// falls back to a default.
+const VALID_KEYS: &[&str] = &[
+    "addr",
+    "workers",
+    "queue",
+    "session_queue",
+    "max_sessions",
+    "csp_step",
+    "retry_ms",
+    "metrics_addr",
+    "store_dir",
+];
+
+fn parse_args(raw: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7457".to_string(),
         ..ServerConfig::default()
     };
-    for arg in std::env::args().skip(1) {
+    for arg in raw {
         let (key, value) = arg
             .split_once('=')
             .ok_or_else(|| format!("expected key=value, got '{arg}'"))?;
@@ -45,14 +60,19 @@ fn parse_args() -> Result<ServerConfig, String> {
             "retry_ms" => cfg.retry_after_ms = num()?,
             "metrics_addr" => cfg.metrics_addr = Some(value.to_string()),
             "store_dir" => cfg.store_dir = Some(value.to_string()),
-            _ => return Err(format!("unknown option '{key}'")),
+            _ => {
+                return Err(format!(
+                    "unknown option '{key}' (valid keys: {})",
+                    VALID_KEYS.join(", ")
+                ))
+            }
         }
     }
     Ok(cfg)
 }
 
 fn main() {
-    let cfg = match parse_args() {
+    let cfg = match parse_args(std::env::args().skip(1)) {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("copred_server: {e}");
@@ -81,5 +101,37 @@ fn main() {
     }
     loop {
         thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<ServerConfig, String> {
+        parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn unknown_key_fails_fast_and_lists_valid_keys() {
+        let err = parse(&["wokers=4"]).unwrap_err();
+        assert!(err.contains("unknown option 'wokers'"), "{err}");
+        for key in VALID_KEYS {
+            assert!(err.contains(key), "error should list {key}: {err}");
+        }
+    }
+
+    #[test]
+    fn known_keys_parse_in_both_styles() {
+        let cfg = parse(&["workers=3", "--csp-step=7", "metrics_addr=127.0.0.1:0"]).unwrap();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.csp_step, 7);
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+    }
+
+    #[test]
+    fn bare_word_is_an_error() {
+        let err = parse(&["workers"]).unwrap_err();
+        assert!(err.contains("expected key=value"), "{err}");
     }
 }

@@ -1,0 +1,178 @@
+//! Cost breakdown for the batched CDQ path vs the scalar reference.
+//!
+//! Run with `cargo run --release -p copred-collision --example profile_batch`.
+//! Prints ns/CDQ for each stage of both paths (broad-phase cascade,
+//! SoA transpose, lane-parallel AABBs, masked SAT) plus the raw 15-axis
+//! SAT kernel with no broad phase. These are the numbers behind the
+//! scalar-vs-batched table in EXPERIMENTS.md; the workload is the same
+//! planar-robot link corpus the `swexec_batch` perfwatch suite uses.
+//! Timings on a 1-vCPU host are noisy — read trends, not digits.
+
+use copred_collision::Environment;
+use copred_geometry::{Aabb, BatchObb, Obb, Vec3, OBB_LANES};
+use copred_kinematics::{presets, Config, Motion, Robot};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let robot: Robot = presets::planar_2d().into();
+    let env = Environment::new(
+        robot.workspace(),
+        vec![
+            Aabb::new(Vec3::new(0.1, -1.0, -0.1), Vec3::new(0.5, 0.6, 0.1)),
+            Aabb::new(Vec3::new(-0.7, -0.3, -0.1), Vec3::new(-0.4, 0.0, 0.1)),
+            Aabb::new(Vec3::new(-0.2, 0.55, -0.1), Vec3::new(0.2, 0.9, 0.1)),
+            Aabb::new(Vec3::new(-1.0, -0.9, -0.1), Vec3::new(-0.5, -0.6, 0.1)),
+            Aabb::new(Vec3::new(0.6, -0.6, -0.1), Vec3::new(0.95, -0.2, 0.1)),
+        ],
+    );
+    let mut state = 42u64;
+    let mut rand01 = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut sample = |robot: &Robot| {
+        Config::new(
+            (0..robot.dofs())
+                .map(|_| (rand01() * 2.0 - 1.0) * std::f64::consts::PI)
+                .collect(),
+        )
+    };
+    let mut obbs: Vec<Obb> = Vec::new();
+    for _ in 0..60 {
+        let poses = Motion::new(sample(&robot), sample(&robot)).discretize(24);
+        for q in &poses {
+            for link in robot.fk(q).links {
+                obbs.push(link.obb);
+            }
+        }
+    }
+    println!("{} obbs, {} obstacles", obbs.len(), env.obstacle_count());
+    let passes = 200;
+
+    let t = Instant::now();
+    for _ in 0..passes {
+        for o in &obbs {
+            black_box(env.obb_collides_with_cost(black_box(o)));
+        }
+    }
+    let scalar = t.elapsed().as_secs_f64();
+    println!(
+        "scalar full     {:>8.1} ns/cdq",
+        scalar * 1e9 / (passes * obbs.len()) as f64
+    );
+
+    let t = Instant::now();
+    for _ in 0..passes {
+        for o in &obbs {
+            black_box(black_box(o).aabb());
+        }
+    }
+    let sc_aabb = t.elapsed().as_secs_f64();
+    println!(
+        "scalar aabb()   {:>8.1} ns/cdq",
+        sc_aabb * 1e9 / (passes * obbs.len()) as f64
+    );
+
+    let t = Instant::now();
+    for _ in 0..passes {
+        for chunk in obbs.chunks(OBB_LANES) {
+            black_box(BatchObb::from_obbs(black_box(chunk)));
+        }
+    }
+    let transpose = t.elapsed().as_secs_f64();
+    println!(
+        "from_obbs only  {:>8.1} ns/cdq",
+        transpose * 1e9 / (passes * obbs.len()) as f64
+    );
+
+    let batches: Vec<BatchObb> = obbs.chunks(OBB_LANES).map(BatchObb::from_obbs).collect();
+
+    let t = Instant::now();
+    for _ in 0..passes {
+        for b in &batches {
+            black_box(black_box(b).aabbs());
+        }
+    }
+    let aabbs = t.elapsed().as_secs_f64();
+    println!(
+        "aabbs() only    {:>8.1} ns/cdq",
+        aabbs * 1e9 / (passes * obbs.len()) as f64
+    );
+
+    let t = Instant::now();
+    for _ in 0..passes {
+        for b in &batches {
+            black_box(env.obb_collides_batch_with_cost(black_box(b)));
+        }
+    }
+    let query = t.elapsed().as_secs_f64();
+    println!(
+        "batch query     {:>8.1} ns/cdq (prebuilt batches)",
+        query * 1e9 / (passes * obbs.len()) as f64
+    );
+
+    let t = Instant::now();
+    for _ in 0..passes {
+        for chunk in obbs.chunks(OBB_LANES) {
+            let b = BatchObb::from_obbs(chunk);
+            black_box(env.obb_collides_batch_with_cost(black_box(&b)));
+        }
+    }
+    let full = t.elapsed().as_secs_f64();
+    println!(
+        "batch full      {:>8.1} ns/cdq (transpose + query)",
+        full * 1e9 / (passes * obbs.len()) as f64
+    );
+
+    // Raw 15-axis SAT kernel, one fixed rotated partner.
+    let partner = Obb::new(
+        Vec3::new(0.1, 0.1, 0.0),
+        copred_geometry::Mat3::rot_z(0.3) * copred_geometry::Mat3::rot_x(0.2),
+        Vec3::new(0.4, 0.3, 0.2),
+    );
+    let t = Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..passes {
+        for o in &obbs {
+            hits += usize::from(black_box(o).intersects(black_box(&partner)));
+        }
+    }
+    let sat_s = t.elapsed().as_secs_f64();
+    println!(
+        "scalar SAT      {:>8.1} ns/cdq ({} hits)",
+        sat_s * 1e9 / (passes * obbs.len()) as f64,
+        hits / passes
+    );
+    let t = Instant::now();
+    let mut bhits = 0u32;
+    for _ in 0..passes {
+        for b in &batches {
+            bhits += black_box(b)
+                .intersects_mask(black_box(&partner))
+                .count_ones();
+        }
+    }
+    let bsat_s = t.elapsed().as_secs_f64();
+    println!(
+        "batch SAT       {:>8.1} ns/cdq ({} hits, prebuilt) speedup {:.2}x",
+        bsat_s * 1e9 / (passes * obbs.len()) as f64,
+        bhits as usize / passes,
+        sat_s / bsat_s
+    );
+    let t = Instant::now();
+    for _ in 0..passes {
+        for chunk in obbs.chunks(OBB_LANES) {
+            let b = BatchObb::from_obbs(chunk);
+            black_box(b.intersects_mask(black_box(&partner)));
+        }
+    }
+    let bsat2_s = t.elapsed().as_secs_f64();
+    println!(
+        "batch SAT+xpose {:>8.1} ns/cdq speedup {:.2}x",
+        bsat2_s * 1e9 / (passes * obbs.len()) as f64,
+        sat_s / bsat2_s
+    );
+}

@@ -394,6 +394,31 @@ mod tests {
     }
 
     #[test]
+    fn raw_and_clamped_stride_zero_produce_the_same_order() {
+        // `run_schedule` passes `Csp { step }` through raw while
+        // `run_predicted_schedule` clamps with `csp_step.max(1)`. The two
+        // agree only because `csp_order` already returns the identity for
+        // any step <= 1 — pin that at the order level (not just outcome
+        // level) so a future `csp_order` change cannot silently split the
+        // two entry points. Non-bug finding recorded in EXPERIMENTS.md.
+        for counts in [vec![1usize, 2, 3], vec![4, 0, 1, 2], vec![2; 9]] {
+            let cdqs: Vec<CdqInfo> = counts
+                .iter()
+                .enumerate()
+                .flat_map(|(p, &k)| (0..k).map(move |_| synth_cdq(p)))
+                .collect();
+            let raw0 = pose_order_indices(&cdqs, counts.len(), 0);
+            let clamped = pose_order_indices(&cdqs, counts.len(), 1);
+            assert_eq!(raw0, clamped, "counts={counts:?}");
+            assert_eq!(
+                raw0,
+                (0..cdqs.len()).collect::<Vec<_>>(),
+                "stride 0 must be the identity order"
+            );
+        }
+    }
+
+    #[test]
     fn single_pose_motion_works_under_every_schedule() {
         let robot: Robot = presets::planar_2d().into();
         let env = Environment::new(
@@ -464,7 +489,9 @@ mod tests {
                 .flat_map(|(p, &k)| (0..k).map(move |_| synth_cdq(p)))
                 .collect();
             for step in [0usize, 1, 2, 3, 5, 7, 100] {
-                let mut order = pose_order_indices(&cdqs, counts.len(), step.max(1));
+                // Raw step, no clamp: `run_schedule` forwards client strides
+                // verbatim, so the raw 0 must behave (not panic, not skip).
+                let mut order = pose_order_indices(&cdqs, counts.len(), step);
                 assert_eq!(order.len(), cdqs.len(), "counts={counts:?} step={step}");
                 order.sort_unstable();
                 assert_eq!(

@@ -1,0 +1,724 @@
+//! Structure-of-arrays OBB batches: the lane-parallel collision hot path.
+//!
+//! The scalar pipeline tests one link OBB against one obstacle at a time,
+//! walking array-of-structs [`Obb`] values. At quick scale that per-CDQ SAT
+//! is the throughput ceiling (see ROADMAP). `BatchObb` transposes up to
+//! [`OBB_LANES`] boxes into per-field lane arrays so the 15-axis SAT runs
+//! the same f64 operation across all lanes at once, on stable Rust with no
+//! dependencies (`core::simd` is nightly-only): every kernel is straight-
+//! line code over whole-lane-array primitives that the backend maps onto
+//! packed vector ops (see the lane-discipline note on the primitives).
+//!
+//! Every batched kernel in this module carries a bit-exactness contract
+//! against its scalar reference in [`crate::obb`]: same operations, same
+//! evaluation order, same [`BOUNDARY_EPS`]. Lane verdicts are returned as
+//! `u8` bitmasks (bit `l` = lane `l`), which downstream gang-probe code
+//! (SWAR CHT lookups) consumes directly.
+
+use crate::aabb::Aabb;
+use crate::obb::{Obb, BOUNDARY_EPS};
+use crate::vec3::Vec3;
+
+/// Number of lanes in a [`BatchObb`].
+///
+/// Eight f64 lanes fill two AVX2 registers (or one AVX-512 register) and
+/// keep every lane mask within one byte, which is what the SWAR CHT
+/// gang-probe packs its counters into.
+pub const OBB_LANES: usize = 8;
+
+/// One whole batch-worth of lane values.
+type Lanes = [f64; OBB_LANES];
+
+/// A batch of up to [`OBB_LANES`] OBBs in structure-of-arrays layout.
+///
+/// Lanes `len..OBB_LANES` are padded with copies of the last real box so
+/// every lane computes on finite data; callers mask results with
+/// [`BatchObb::live_mask`].
+///
+/// # Bit-exactness contract
+///
+/// For every live lane `l`:
+///
+/// * `batch.intersects_mask(&b) >> l & 1 == u8::from(obbs[l].intersects(&b))`
+/// * `batch.intersects_aabb_mask(&a) >> l & 1 == u8::from(obbs[l].intersects_aabb(&a))`
+/// * `batch.aabbs()` lane `l` equals `obbs[l].aabb()` component-for-component
+///
+/// The first and third are bit-identical computations. The second
+/// specializes the SAT for an axis-aligned partner (the scalar path routes
+/// through [`Obb::from_aabb`], whose identity rotation makes each
+/// `a.rot.col(i).dot(e_j)` collapse to `rot[i][j]` exactly — the only
+/// representable difference is the sign of a zero, and every use of those
+/// values is either `|r|` or feeds an `|·|` comparison, so no verdict bit
+/// can differ).
+#[derive(Debug, Clone)]
+pub struct BatchObb {
+    /// Lane centers: `center[axis][lane]`.
+    pub center: [Lanes; 3],
+    /// Lane rotations: `rot[i][j][lane]` is component `j` of local axis `i`,
+    /// i.e. `Mat3::col(i)[j]` of the lane's rotation.
+    pub rot: [[Lanes; 3]; 3],
+    /// Lane half-extents: `half[axis][lane]`.
+    pub half: [Lanes; 3],
+    /// Number of live lanes (`1..=OBB_LANES`).
+    pub len: usize,
+}
+
+/// Lane-parallel AABBs (the broad-phase companion of [`BatchObb`]).
+#[derive(Debug, Clone)]
+pub struct BatchAabbs {
+    /// Minimum corners: `min[axis][lane]`.
+    pub min: [Lanes; 3],
+    /// Maximum corners: `max[axis][lane]`.
+    pub max: [Lanes; 3],
+}
+
+impl BatchObb {
+    /// Transposes a slice of OBBs into SoA lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `obbs` is empty or holds more than [`OBB_LANES`] boxes.
+    pub fn from_obbs(obbs: &[Obb]) -> Self {
+        assert!(
+            !obbs.is_empty() && obbs.len() <= OBB_LANES,
+            "BatchObb wants 1..={OBB_LANES} boxes, got {}",
+            obbs.len()
+        );
+        let mut batch = BatchObb {
+            center: [[0.0; OBB_LANES]; 3],
+            rot: [[[0.0; OBB_LANES]; 3]; 3],
+            half: [[0.0; OBB_LANES]; 3],
+            len: obbs.len(),
+        };
+        // Box-major fill: walk each source OBB once (one cache line and a
+        // half, contiguous) and scatter its 15 fields to lane slot `l`.
+        // Dead lanes are then padded with copies of the last real box:
+        // finite data, no NaNs, and no per-element index clamping in the
+        // main loop.
+        for (l, o) in obbs.iter().enumerate() {
+            for ax in 0..3 {
+                batch.center[ax][l] = o.center[ax];
+                batch.half[ax][l] = o.half_extents[ax];
+                let col = o.rot.col(ax);
+                batch.rot[ax][0][l] = col[0];
+                batch.rot[ax][1][l] = col[1];
+                batch.rot[ax][2][l] = col[2];
+            }
+        }
+        let last = obbs.len() - 1;
+        for l in obbs.len()..OBB_LANES {
+            for ax in 0..3 {
+                batch.center[ax][l] = batch.center[ax][last];
+                batch.half[ax][l] = batch.half[ax][last];
+                batch.rot[ax][0][l] = batch.rot[ax][0][last];
+                batch.rot[ax][1][l] = batch.rot[ax][1][last];
+                batch.rot[ax][2][l] = batch.rot[ax][2][last];
+            }
+        }
+        batch
+    }
+
+    /// Bitmask with one bit set per live lane.
+    #[inline]
+    pub fn live_mask(&self) -> u8 {
+        if self.len >= 8 {
+            0xFF
+        } else {
+            (1u8 << self.len) - 1
+        }
+    }
+
+    /// Reconstructs lane `l` as a scalar [`Obb`] (diffing and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `l >= len`.
+    pub fn get(&self, l: usize) -> Obb {
+        assert!(l < self.len, "lane {l} out of {} live lanes", self.len);
+        let col = |i: usize| Vec3::new(self.rot[i][0][l], self.rot[i][1][l], self.rot[i][2][l]);
+        Obb::new(
+            Vec3::new(self.center[0][l], self.center[1][l], self.center[2][l]),
+            crate::mat3::Mat3::from_cols(col(0), col(1), col(2)),
+            Vec3::new(self.half[0][l], self.half[1][l], self.half[2][l]),
+        )
+    }
+
+    /// Lane-parallel [`Obb::aabb`]: the smallest world AABB of every lane.
+    ///
+    /// Bit-identical to the scalar method — the `|R|·h` accumulation runs
+    /// in the same axis order.
+    #[inline]
+    pub fn aabbs(&self) -> BatchAabbs {
+        let mut out = BatchAabbs {
+            min: [[0.0; OBB_LANES]; 3],
+            max: [[0.0; OBB_LANES]; 3],
+        };
+        // World axis c, hand-unrolled (lane discipline: no outer loops).
+        let ext = |c: usize| {
+            add8(
+                add8(
+                    mul8(abs8(self.rot[0][c]), self.half[0]),
+                    mul8(abs8(self.rot[1][c]), self.half[1]),
+                ),
+                mul8(abs8(self.rot[2][c]), self.half[2]),
+            )
+        };
+        let (e0, e1, e2) = (ext(0), ext(1), ext(2));
+        out.min[0] = sub8(self.center[0], e0);
+        out.max[0] = add8(self.center[0], e0);
+        out.min[1] = sub8(self.center[1], e1);
+        out.max[1] = add8(self.center[1], e1);
+        out.min[2] = sub8(self.center[2], e2);
+        out.max[2] = add8(self.center[2], e2);
+        out
+    }
+
+    /// Lane-parallel general SAT against one scalar OBB.
+    ///
+    /// Bit `l` of the result is exactly `self.get(l).intersects(other)`:
+    /// the kernel evaluates the same 15 axes with the same flop order per
+    /// lane, it merely shares `other`'s data across lanes and trades the
+    /// scalar first-separating-axis early exit for an all-lanes-separated
+    /// early exit (which cannot change any lane's verdict — a verdict is
+    /// "some axis separates", independent of which axis is found first).
+    pub fn intersects_mask(&self, other: &Obb) -> u8 {
+        let mut alive = self.live_mask();
+        let bcol = [
+            other.rot.col(0).to_array(),
+            other.rot.col(1).to_array(),
+            other.rot.col(2).to_array(),
+        ];
+        let bc = other.center.to_array();
+        let be = other.half_extents.to_array();
+        let d = [
+            subs8(bc[0], self.center[0]),
+            subs8(bc[1], self.center[1]),
+            subs8(bc[2], self.center[2]),
+        ];
+
+        // Staged setup, mirroring the scalar cascade's cost shape: axis
+        // A_i needs only row i of `r`/`|R|` and component i of `t`, so each
+        // row is produced right before its test and the batch bails as soon
+        // as every lane has a separating A-face axis — the common outcome —
+        // without ever computing the other rows. Flop order per lane matches
+        // `sat_obb_obb` exactly (r[i][j] = a.col(i)·b.col(j)).
+        let mut r = [[[0.0f64; OBB_LANES]; 3]; 3];
+        let mut abs_r = [[[0.0f64; OBB_LANES]; 3]; 3];
+        let mut t = [[0.0f64; OBB_LANES]; 3];
+        macro_rules! a_face_axis {
+            ($i:literal) => {{
+                r[$i][0] = dot3s_8(
+                    self.rot[$i][0],
+                    bcol[0][0],
+                    self.rot[$i][1],
+                    bcol[0][1],
+                    self.rot[$i][2],
+                    bcol[0][2],
+                );
+                r[$i][1] = dot3s_8(
+                    self.rot[$i][0],
+                    bcol[1][0],
+                    self.rot[$i][1],
+                    bcol[1][1],
+                    self.rot[$i][2],
+                    bcol[1][2],
+                );
+                r[$i][2] = dot3s_8(
+                    self.rot[$i][0],
+                    bcol[2][0],
+                    self.rot[$i][1],
+                    bcol[2][1],
+                    self.rot[$i][2],
+                    bcol[2][2],
+                );
+                abs_r[$i][0] = adds8(abs8(r[$i][0]), BOUNDARY_EPS);
+                abs_r[$i][1] = adds8(abs8(r[$i][1]), BOUNDARY_EPS);
+                abs_r[$i][2] = adds8(abs8(r[$i][2]), BOUNDARY_EPS);
+                t[$i] = dot3_8(
+                    d[0],
+                    self.rot[$i][0],
+                    d[1],
+                    self.rot[$i][1],
+                    d[2],
+                    self.rot[$i][2],
+                );
+                let rb = dot3s_8(
+                    abs_r[$i][0],
+                    be[0],
+                    abs_r[$i][1],
+                    be[1],
+                    abs_r[$i][2],
+                    be[2],
+                );
+                alive &= !gt_abs_mask8(t[$i], add8(self.half[$i], rb));
+                if alive == 0 {
+                    return 0;
+                }
+            }};
+        }
+        a_face_axis!(0);
+        a_face_axis!(1);
+        a_face_axis!(2);
+        self.sat_tail(&r, &abs_r, &t, be, alive)
+    }
+
+    /// Lane-parallel SAT against an axis-aligned box.
+    ///
+    /// The hot-path specialization: with an identity partner rotation, the
+    /// nine `a.col(i)·e_j` dot products collapse to the lane rotation
+    /// entries themselves, eliminating 27 multiply-adds per lane. Verdicts
+    /// are exactly those of `self.get(l).intersects_aabb(aabb)` (see the
+    /// type-level contract for the ±0.0 argument).
+    pub fn intersects_aabb_mask(&self, aabb: &Aabb) -> u8 {
+        self.intersects_aabb_mask_among(aabb, self.live_mask())
+    }
+
+    /// [`Self::intersects_aabb_mask`] restricted to the lanes in `among`
+    /// (bits outside `among` come back 0). A broad phase that has already
+    /// ruled lanes out passes its candidate mask here so the kernel stops
+    /// as soon as every *candidate* is resolved instead of sweeping all
+    /// eight lanes through the full 15-axis cascade.
+    ///
+    /// Candidate lanes get exactly the bits [`Self::intersects_aabb_mask`]
+    /// would produce: a verdict is "some separating axis exists", which
+    /// does not depend on which other lanes are along for the ride.
+    ///
+    /// The setup is staged to mirror the scalar cascade's cost shape: the
+    /// three A-face axes each need only one row of `|R|` and one component
+    /// of `t`, so those are produced on the fly and the remaining twelve
+    /// axes' inputs are only materialized for batches that survive.
+    pub fn intersects_aabb_mask_among(&self, aabb: &Aabb, among: u8) -> u8 {
+        let mut alive = self.live_mask() & among;
+        if alive == 0 {
+            return 0;
+        }
+        let bc = aabb.center().to_array();
+        let be = aabb.half_extents().to_array();
+        let d = [
+            subs8(bc[0], self.center[0]),
+            subs8(bc[1], self.center[1]),
+            subs8(bc[2], self.center[2]),
+        ];
+
+        // Stage 1: A-face axes, computing t[i] and |R| row i as we go.
+        // Lanes are correlated (consecutive poses of the same link), so
+        // whole batches usually die on one of these first three axes —
+        // worth a mask-and-branch per axis, unlike the tail groups.
+        let mut t = [[0.0f64; OBB_LANES]; 3];
+        let mut abs_r = [[[0.0f64; OBB_LANES]; 3]; 3];
+        macro_rules! a_face_axis {
+            ($i:literal) => {{
+                t[$i] = dot3_8(
+                    d[0],
+                    self.rot[$i][0],
+                    d[1],
+                    self.rot[$i][1],
+                    d[2],
+                    self.rot[$i][2],
+                );
+                abs_r[$i][0] = adds8(abs8(self.rot[$i][0]), BOUNDARY_EPS);
+                abs_r[$i][1] = adds8(abs8(self.rot[$i][1]), BOUNDARY_EPS);
+                abs_r[$i][2] = adds8(abs8(self.rot[$i][2]), BOUNDARY_EPS);
+                let rb = dot3s_8(
+                    abs_r[$i][0],
+                    be[0],
+                    abs_r[$i][1],
+                    be[1],
+                    abs_r[$i][2],
+                    be[2],
+                );
+                alive &= !gt_abs_mask8(t[$i], add8(self.half[$i], rb));
+                if alive == 0 {
+                    return 0;
+                }
+            }};
+        }
+        a_face_axis!(0);
+        a_face_axis!(1);
+        a_face_axis!(2);
+        // Stage 2: B-face and cross axes (all inputs now materialized;
+        // the partner's rotation is the identity, so `r` is `self.rot`).
+        self.sat_tail(&self.rot, &abs_r, &t, be, alive)
+    }
+
+    /// Axis groups B0–B2 and Ai×Bj of the SAT cascade (tail shared by both
+    /// SAT entry points; `r`/`abs_r`/`t` follow the scalar `sat_obb_obb`
+    /// layout). Returns the mask of lanes in `alive` with no separating
+    /// axis.
+    fn sat_tail(
+        &self,
+        r: &[[Lanes; 3]; 3],
+        abs_r: &[[Lanes; 3]; 3],
+        t: &[Lanes; 3],
+        be: [f64; 3],
+        mut alive: u8,
+    ) -> u8 {
+        // Separation masks accumulate per axis *group* with one liveness
+        // branch per group: at 15 branches per cascade the checks used to
+        // cost more than the axis arithmetic they guarded. Grouping cannot
+        // change a verdict — a lane's verdict is "some axis separates it"
+        // regardless of where in the cascade that axis sits. Both groups
+        // are hand-unrolled per the module lane discipline.
+
+        // Axes L = B0, B1, B2.
+        let mut sep = 0u8;
+        macro_rules! b_face_axis {
+            ($j:literal) => {{
+                let ra = dot3_8(
+                    self.half[0],
+                    abs_r[0][$j],
+                    self.half[1],
+                    abs_r[1][$j],
+                    self.half[2],
+                    abs_r[2][$j],
+                );
+                let tp = dot3_8(t[0], r[0][$j], t[1], r[1][$j], t[2], r[2][$j]);
+                sep |= gt_abs_mask8(tp, adds8(ra, be[$j]));
+            }};
+        }
+        b_face_axis!(0);
+        b_face_axis!(1);
+        b_face_axis!(2);
+        alive &= !sep;
+        if alive == 0 {
+            return 0;
+        }
+        // Axes L = Ai x Bj, nine (i, j) combos with i1/i2 and j1/j2 the
+        // cyclic successors of i and j.
+        let mut sep = 0u8;
+        macro_rules! cross_axis {
+            ($i:literal, $i1:literal, $i2:literal, $j:literal, $j1:literal, $j2:literal) => {{
+                let ra = add8(
+                    mul8(self.half[$i1], abs_r[$i2][$j]),
+                    mul8(self.half[$i2], abs_r[$i1][$j]),
+                );
+                let rb = add8(
+                    muls8(abs_r[$i][$j2], be[$j1]),
+                    muls8(abs_r[$i][$j1], be[$j2]),
+                );
+                let tp = sub8(mul8(t[$i2], r[$i1][$j]), mul8(t[$i1], r[$i2][$j]));
+                sep |= gt_abs_mask8(tp, add8(ra, rb));
+            }};
+        }
+        cross_axis!(0, 1, 2, 0, 1, 2);
+        cross_axis!(0, 1, 2, 1, 2, 0);
+        cross_axis!(0, 1, 2, 2, 0, 1);
+        cross_axis!(1, 2, 0, 0, 1, 2);
+        cross_axis!(1, 2, 0, 1, 2, 0);
+        cross_axis!(1, 2, 0, 2, 0, 1);
+        cross_axis!(2, 0, 1, 0, 1, 2);
+        cross_axis!(2, 0, 1, 1, 2, 0);
+        cross_axis!(2, 0, 1, 2, 0, 1);
+        alive & !sep
+    }
+}
+
+// --- Whole-lane-array elementwise primitives --------------------------
+//
+// Lane discipline: every kernel in this module is straight-line code over
+// these whole-`Lanes` primitives — short outer dimensions (3 world axes,
+// 3x3 rotation rows, 9 cross axes) are hand-unrolled, never looped, and
+// per-lane accumulation (`acc[l] += a * b` repeated per axis) never
+// appears. The distinction matters: given a short outer loop, LLVM
+// first fully unrolls the inner 8-lane loops, then loop-vectorizes the
+// leftover trip-3 outer dimension with masked gathers/scatters across
+// the *axis* stride (~5x slower than scalar, measured with perf +
+// disassembly). With no outer loops left, the only vector shape
+// available to the SLP pass is the lane-contiguous one, and each
+// primitive compiles to two ymm (or one zmm) ops.
+
+#[inline(always)]
+fn add8(a: Lanes, b: Lanes) -> Lanes {
+    let mut o = [0.0; OBB_LANES];
+    for l in 0..OBB_LANES {
+        o[l] = a[l] + b[l];
+    }
+    o
+}
+
+#[inline(always)]
+fn sub8(a: Lanes, b: Lanes) -> Lanes {
+    let mut o = [0.0; OBB_LANES];
+    for l in 0..OBB_LANES {
+        o[l] = a[l] - b[l];
+    }
+    o
+}
+
+#[inline(always)]
+fn mul8(a: Lanes, b: Lanes) -> Lanes {
+    let mut o = [0.0; OBB_LANES];
+    for l in 0..OBB_LANES {
+        o[l] = a[l] * b[l];
+    }
+    o
+}
+
+#[inline(always)]
+fn abs8(a: Lanes) -> Lanes {
+    let mut o = [0.0; OBB_LANES];
+    for l in 0..OBB_LANES {
+        o[l] = a[l].abs();
+    }
+    o
+}
+
+/// Broadcast-multiply: `a * s` in every lane.
+#[inline(always)]
+fn muls8(a: Lanes, s: f64) -> Lanes {
+    let mut o = [0.0; OBB_LANES];
+    for l in 0..OBB_LANES {
+        o[l] = a[l] * s;
+    }
+    o
+}
+
+/// Broadcast-add: `a + s` in every lane.
+#[inline(always)]
+fn adds8(a: Lanes, s: f64) -> Lanes {
+    let mut o = [0.0; OBB_LANES];
+    for l in 0..OBB_LANES {
+        o[l] = a[l] + s;
+    }
+    o
+}
+
+/// Broadcast-subtract: `s - a` in every lane.
+#[inline(always)]
+fn subs8(s: f64, a: Lanes) -> Lanes {
+    let mut o = [0.0; OBB_LANES];
+    for l in 0..OBB_LANES {
+        o[l] = s - a[l];
+    }
+    o
+}
+
+/// Left-associated 3-term lane dot: `a0*b0 + a1*b1 + a2*b2`.
+///
+/// Matches the scalar references' `x*x' + y*y' + z*z'` flop order exactly
+/// (addition is left-associative in both).
+#[inline(always)]
+fn dot3_8(a0: Lanes, b0: Lanes, a1: Lanes, b1: Lanes, a2: Lanes, b2: Lanes) -> Lanes {
+    add8(add8(mul8(a0, b0), mul8(a1, b1)), mul8(a2, b2))
+}
+
+/// Left-associated 3-term lane dot against broadcast scalars:
+/// `a0*s0 + a1*s1 + a2*s2`.
+#[inline(always)]
+fn dot3s_8(a0: Lanes, s0: f64, a1: Lanes, s1: f64, a2: Lanes, s2: f64) -> Lanes {
+    add8(add8(muls8(a0, s0), muls8(a1, s1)), muls8(a2, s2))
+}
+
+/// Lane mask of `|t| > bound`, bit `l` set when lane `l` separates.
+///
+/// Computed as the sign bits of `bound - |t|` rather than a lane-bool
+/// compare: the sign-bit fold is the idiom the x86 backend matches to a
+/// single `movmskpd`, where a bool-array fold scalarizes (measured, and
+/// it drags neighboring arithmetic into cross-lane shuffles with it).
+/// The rewrite is verdict-exact: both operands are finite, IEEE
+/// subtraction of distinct finite values never rounds to zero (so the
+/// sign of `bound - |t|` is the sign of the exact difference), and a
+/// `-0.0` result needs `bound = -0.0`, which cannot happen — `bound` is
+/// a sum of products of absolute values, `+0.0` at its smallest.
+#[inline(always)]
+fn gt_abs_mask8(t: Lanes, bound: Lanes) -> u8 {
+    sign_mask8(sub8(bound, abs8(t)))
+}
+
+/// Sign bits of every lane, packed (bit `l` = lane `l` is negative).
+#[inline(always)]
+fn sign_mask8(v: Lanes) -> u8 {
+    let mut m = 0u8;
+    for (l, x) in v.iter().enumerate() {
+        m |= ((x.to_bits() >> 63) as u8) << l;
+    }
+    m
+}
+
+/// Packs lane bools into a bitmask (bit `l` = `ok[l]`). Kept out of the
+/// compare loops so those stay pure lane arithmetic for the vectorizer.
+#[inline]
+fn fold_mask(ok: &[bool; OBB_LANES]) -> u8 {
+    let mut m = 0u8;
+    for (l, &b) in ok.iter().enumerate() {
+        m |= u8::from(b) << l;
+    }
+    m
+}
+
+impl BatchAabbs {
+    /// Lane-parallel [`Aabb::intersects`] against one scalar AABB (closed
+    /// intervals: touching counts). Bit `l` set when lane `l` overlaps.
+    #[inline]
+    pub fn intersects_mask(&self, other: &Aabb) -> u8 {
+        let omin = other.min.to_array();
+        let omax = other.max.to_array();
+        // Branchless lane bools (`&`, not `&&`) with a single fold at the
+        // end; real `<=`/`>=` compares, so signed-zero corners match the
+        // scalar `Aabb::intersects` conjunction trivially. (Compares alone
+        // don't trigger the outer-dim vectorization pathology the SAT
+        // kernels unroll around, and one fold per call is cheap.)
+        let mut ok = [true; OBB_LANES];
+        for ax in 0..3 {
+            for (l, o) in ok.iter_mut().enumerate() {
+                *o &= (self.min[ax][l] <= omax[ax]) & (self.max[ax][l] >= omin[ax]);
+            }
+        }
+        fold_mask(&ok)
+    }
+
+    /// The union AABB of all lanes (closed hull; dead lanes duplicate a
+    /// live one, so they never widen it).
+    ///
+    /// A caller sweeping many obstacles tests this bound first: one scalar
+    /// [`Aabb::intersects`] rejects an obstacle for all eight lanes at
+    /// once, and rejection is conservative — every lane box is inside the
+    /// union, so an obstacle missing the union misses every lane, which is
+    /// exactly the all-lanes-miss outcome of [`Self::intersects_mask`].
+    /// Lane min/max are IEEE-exact, so no tolerance is involved.
+    #[inline]
+    pub fn bound(&self) -> Aabb {
+        let fold = |v: &Lanes, pick: fn(f64, f64) -> f64| {
+            let mut acc = v[0];
+            for x in &v[1..] {
+                acc = pick(acc, *x);
+            }
+            acc
+        };
+        Aabb::new(
+            Vec3::new(
+                fold(&self.min[0], f64::min),
+                fold(&self.min[1], f64::min),
+                fold(&self.min[2], f64::min),
+            ),
+            Vec3::new(
+                fold(&self.max[0], f64::max),
+                fold(&self.max[1], f64::max),
+                fold(&self.max[2], f64::max),
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat3::Mat3;
+
+    fn sample_obbs() -> Vec<Obb> {
+        let mut v = Vec::new();
+        for k in 0..11usize {
+            let f = k as f64;
+            v.push(Obb::new(
+                Vec3::new(f * 0.37 - 1.5, (f * 0.61).sin(), f * 0.23 - 1.0),
+                Mat3::rot_z(f * 0.7) * Mat3::rot_x(f * 0.31) * Mat3::rot_y(f * 1.13),
+                Vec3::new(0.1 + 0.05 * f, 0.3, 0.07 * (f + 1.0)),
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn roundtrip_preserves_lanes() {
+        let obbs = sample_obbs();
+        let batch = BatchObb::from_obbs(&obbs[..5]);
+        assert_eq!(batch.len, 5);
+        assert_eq!(batch.live_mask(), 0b11111);
+        for (l, obb) in obbs.iter().enumerate().take(5) {
+            assert_eq!(&batch.get(l), obb);
+        }
+    }
+
+    #[test]
+    fn aabbs_match_scalar_bitwise() {
+        let obbs = sample_obbs();
+        for n in 1..=OBB_LANES {
+            let batch = BatchObb::from_obbs(&obbs[..n]);
+            let bbs = batch.aabbs();
+            for (l, obb) in obbs.iter().enumerate().take(n) {
+                let scalar = obb.aabb();
+                for ax in 0..3 {
+                    assert_eq!(bbs.min[ax][l].to_bits(), scalar.min[ax].to_bits());
+                    assert_eq!(bbs.max[ax][l].to_bits(), scalar.max[ax].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_sat_matches_scalar_every_lane_count() {
+        let obbs = sample_obbs();
+        let partners = sample_obbs();
+        for n in 1..=OBB_LANES {
+            let batch = BatchObb::from_obbs(&obbs[..n]);
+            for p in &partners {
+                let mask = batch.intersects_mask(p);
+                for (l, obb) in obbs.iter().enumerate().take(n) {
+                    assert_eq!(
+                        (mask >> l) & 1 == 1,
+                        obb.intersects(p),
+                        "lane {l}/{n} vs partner at {}",
+                        p.center
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aabb_sat_matches_scalar_every_lane_count() {
+        let obbs = sample_obbs();
+        let boxes = [
+            Aabb::new(Vec3::splat(-0.5), Vec3::splat(0.5)),
+            Aabb::new(Vec3::new(0.0, -2.0, -1.0), Vec3::new(2.0, 0.0, 0.5)),
+            Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0)),
+            Aabb::new(Vec3::new(-1.5, 0.0, -1.0), Vec3::new(-1.4, 0.1, -0.9)),
+        ];
+        for n in 1..=OBB_LANES {
+            let batch = BatchObb::from_obbs(&obbs[..n]);
+            let bbs = batch.aabbs();
+            for bx in &boxes {
+                let narrow = batch.intersects_aabb_mask(bx);
+                let broad = bbs.intersects_mask(bx);
+                for (l, obb) in obbs.iter().enumerate().take(n) {
+                    assert_eq!(
+                        (narrow >> l) & 1 == 1,
+                        obb.intersects_aabb(bx),
+                        "narrow lane {l}/{n}"
+                    );
+                    assert_eq!(
+                        (broad >> l) & 1 == 1,
+                        obb.aabb().intersects(bx),
+                        "broad lane {l}/{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_touching_lanes_match_scalar() {
+        // Faces exactly touching: the epsilon policy must make batched and
+        // scalar agree lane-for-lane at the boundary.
+        let obbs: Vec<Obb> = (0..OBB_LANES)
+            .map(|l| {
+                Obb::axis_aligned(
+                    Vec3::new(1.0 + l as f64 * 1e-10, 0.0, 0.0),
+                    Vec3::splat(0.5),
+                )
+            })
+            .collect();
+        let batch = BatchObb::from_obbs(&obbs);
+        let unit = Aabb::new(Vec3::splat(-0.5), Vec3::splat(0.5));
+        let mask = batch.intersects_aabb_mask(&unit);
+        for (l, o) in obbs.iter().enumerate() {
+            assert_eq!((mask >> l) & 1 == 1, o.intersects_aabb(&unit), "lane {l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "BatchObb wants")]
+    fn empty_batch_panics() {
+        let _ = BatchObb::from_obbs(&[]);
+    }
+}

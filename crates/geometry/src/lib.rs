@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 mod aabb;
+mod batch;
 mod fixed;
 mod iso3;
 mod mat3;
@@ -38,10 +39,11 @@ mod vec3;
 mod voxel;
 
 pub use aabb::Aabb;
+pub use batch::{BatchAabbs, BatchObb, OBB_LANES};
 pub use fixed::{msbs, FixedEncoder, FIXED_BITS};
 pub use iso3::Iso3;
 pub use mat3::Mat3;
-pub use obb::{Obb, SAT_AXIS_COUNT};
+pub use obb::{Obb, BOUNDARY_EPS, SAT_AXIS_COUNT};
 pub use octree::Octree;
 pub use sphere::Sphere;
 pub use vec3::Vec3;

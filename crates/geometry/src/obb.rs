@@ -12,6 +12,36 @@ use crate::iso3::Iso3;
 use crate::mat3::Mat3;
 use crate::vec3::Vec3;
 
+/// The single boundary/conservativeness epsilon of every OBB test in this
+/// crate.
+///
+/// Policy: **touching counts as intersecting, and the test is conservative
+/// against floating-point noise by `BOUNDARY_EPS`.** Concretely:
+///
+/// * [`Obb::contains`] accepts points up to `BOUNDARY_EPS` outside a face;
+/// * the SAT test adds `BOUNDARY_EPS` to every `|R|` entry, which keeps the
+///   9 near-parallel edge-edge cross axes (whose true axis degenerates to a
+///   zero vector) from manufacturing a separating axis out of rounding
+///   error, and makes exact face touching register as intersection.
+///
+/// `1e-10` is large enough to absorb the worst-case error of the chained
+/// multiply-adds on workspace-scale (meter-range) operands and small enough
+/// to be geometrically meaningless (0.1 nm on a meter-scale robot). Both
+/// call sites **must** share this constant: the batched SoA kernels
+/// (`crate::batch`) are verified bit-identical against the scalar test, and
+/// two different epsilons here would make "which scalar reference?"
+/// ambiguous at the boundary. (`contains` historically used `1e-12` while
+/// the SAT used `1e-10`, making containment 100× stricter than
+/// intersection: two unit cubes with a 5e-11 gap "intersected", yet a point
+/// on their touching faces was "outside" both.)
+///
+/// Note the two tests apply the epsilon differently by construction:
+/// `contains` pads each half-extent additively, while the SAT pads the
+/// `|R|` entries, so its slack scales with the partner's extents (zero for
+/// a degenerate point partner). The policy unifies the *constant*, not the
+/// band shape.
+pub const BOUNDARY_EPS: f64 = 1e-10;
+
 /// An oriented box: a center, three orthonormal axes, and half-extents along
 /// those axes.
 ///
@@ -106,11 +136,15 @@ impl Obb {
     }
 
     /// Returns `true` when `p` is inside or on the box.
+    ///
+    /// Boundary handling follows [`BOUNDARY_EPS`]: a point up to
+    /// `BOUNDARY_EPS` outside a face still counts as contained, matching the
+    /// conservativeness of the SAT intersection test.
     pub fn contains(&self, p: Vec3) -> bool {
         let d = p - self.center;
         for i in 0..3 {
             let proj = d.dot(self.rot.col(i));
-            if proj.abs() > self.half_extents[i] + 1e-12 {
+            if proj.abs() > self.half_extents[i] + BOUNDARY_EPS {
                 return false;
             }
         }
@@ -143,15 +177,15 @@ impl Obb {
 pub const SAT_AXIS_COUNT: usize = 15;
 
 fn sat_obb_obb(a: &Obb, b: &Obb) -> bool {
-    // Rotation matrix expressing b in a's frame, plus its absolute value.
+    // Rotation matrix expressing b in a's frame, plus its absolute value
+    // padded by the crate-wide boundary epsilon (see [`BOUNDARY_EPS`]).
     let mut r = [[0.0f64; 3]; 3];
     let mut abs_r = [[0.0f64; 3]; 3];
-    const EPS: f64 = 1e-10;
     for (i, (row_r, row_abs)) in r.iter_mut().zip(abs_r.iter_mut()).enumerate() {
         for j in 0..3 {
             let v = a.rot.col(i).dot(b.rot.col(j));
             row_r[j] = v;
-            row_abs[j] = v.abs() + EPS;
+            row_abs[j] = v.abs() + BOUNDARY_EPS;
         }
     }
     // Translation in a's frame.
@@ -315,6 +349,66 @@ mod tests {
         let inner = Obb::new(Vec3::new(0.1, 0.0, 0.0), Mat3::rot_z(1.0), Vec3::splat(0.2));
         assert!(outer.intersects(&inner));
         assert!(inner.intersects(&outer));
+    }
+
+    #[test]
+    fn boundary_touching_faces_intersect() {
+        // Exact face contact: unit cubes at distance exactly 1.0. The SAT
+        // epsilon makes touching count as intersecting.
+        assert!(unit_at(Vec3::ZERO).intersects(&unit_at(Vec3::new(1.0, 0.0, 0.0))));
+        assert!(unit_at(Vec3::ZERO).intersects(&unit_at(Vec3::new(0.0, 1.0, 0.0))));
+        assert!(unit_at(Vec3::ZERO).intersects(&unit_at(Vec3::new(0.0, 0.0, 1.0))));
+        // Edge and corner contact too.
+        assert!(unit_at(Vec3::ZERO).intersects(&unit_at(Vec3::new(1.0, 1.0, 0.0))));
+        assert!(unit_at(Vec3::ZERO).intersects(&unit_at(Vec3::new(1.0, 1.0, 1.0))));
+    }
+
+    #[test]
+    fn contains_and_sat_share_the_boundary_constant() {
+        // The regression this PR fixes: `contains` used 1e-12 while the SAT
+        // used 1e-10, so containment was 100x stricter than intersection.
+        // With one shared BOUNDARY_EPS, a sub-epsilon face gap is treated
+        // consistently: the cubes intersect AND a point in the gap is
+        // contained.
+        let b = unit_at(Vec3::ZERO);
+        for scale in [0.25f64, 0.5, 0.999999] {
+            let p = Vec3::new(0.5 + BOUNDARY_EPS * scale, 0.0, 0.0);
+            assert!(
+                b.contains(p),
+                "point {scale}*eps outside the face must still be contained"
+            );
+            // A unit cube whose face sits at the same sub-epsilon gap.
+            let gap_cube = unit_at(Vec3::new(1.0 + BOUNDARY_EPS * scale, 0.0, 0.0));
+            assert!(b.intersects(&gap_cube), "sub-epsilon gap must intersect");
+        }
+        // Clearly past the epsilon band both say no.
+        let p = Vec3::new(0.5 + 1e-8, 0.0, 0.0);
+        assert!(!b.contains(p));
+        assert!(!b.intersects(&unit_at(Vec3::new(1.0 + 1e-8, 0.0, 0.0))));
+    }
+
+    #[test]
+    fn near_parallel_edge_axes_do_not_false_negative() {
+        // Two long thin boxes rotated by a sub-epsilon angle: the edge-edge
+        // cross axes degenerate toward the zero vector. Without the +EPS
+        // padding on |R| the normalized axis test can manufacture a phantom
+        // separating axis. The boxes clearly overlap; they must intersect.
+        let tiny = 1e-13;
+        let a = Obb::new(Vec3::ZERO, Mat3::IDENTITY, Vec3::new(2.0, 0.05, 0.05));
+        let b = Obb::new(
+            Vec3::new(0.0, 0.05, 0.0),
+            Mat3::rot_x(tiny) * Mat3::rot_z(tiny),
+            Vec3::new(2.0, 0.05, 0.05),
+        );
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        // And a genuinely separated near-parallel pair must still miss.
+        let c = Obb::new(
+            Vec3::new(0.0, 0.2, 0.0),
+            Mat3::rot_x(tiny),
+            Vec3::new(2.0, 0.05, 0.05),
+        );
+        assert!(!a.intersects(&c));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the geometry substrate.
 
-use copred_geometry::{msbs, Aabb, FixedEncoder, Iso3, Mat3, Obb, Octree, Sphere, Vec3};
+use copred_geometry::{msbs, Aabb, BatchObb, FixedEncoder, Iso3, Mat3, Obb, Octree, Sphere, Vec3};
 use proptest::prelude::*;
 
 fn vec3_in(lo: f64, hi: f64) -> impl Strategy<Value = Vec3> {
@@ -14,6 +14,22 @@ fn rotation() -> impl Strategy<Value = Mat3> {
 
 fn obb() -> impl Strategy<Value = Obb> {
     (vec3_in(-2.0, 2.0), rotation(), vec3_in(0.01, 1.0)).prop_map(|(c, r, h)| Obb::new(c, r, h))
+}
+
+/// Rotations within ~1e-9 of axis-aligned: the degenerate regime where the
+/// SAT cross-product axes are near-zero and the epsilon term dominates.
+fn near_parallel_rotation() -> impl Strategy<Value = Mat3> {
+    (-1e-9..1e-9f64, -1e-9..1e-9f64, -1e-9..1e-9f64)
+        .prop_map(|(a, b, c)| Mat3::rot_x(a) * Mat3::rot_y(b) * Mat3::rot_z(c))
+}
+
+fn near_parallel_obb() -> impl Strategy<Value = Obb> {
+    (
+        vec3_in(-1.0, 1.0),
+        near_parallel_rotation(),
+        vec3_in(0.01, 1.0),
+    )
+        .prop_map(|(c, r, h)| Obb::new(c, r, h))
 }
 
 proptest! {
@@ -132,5 +148,81 @@ proptest! {
         let iso = Iso3::new(r, t);
         let back = iso.inverse().apply(iso.apply(p));
         prop_assert!((back - p).norm() < 1e-9);
+    }
+
+    #[test]
+    fn batched_sat_matches_scalar(lanes in prop::collection::vec(obb(), 1..=8), partner in obb()) {
+        // The batched kernel must reproduce the scalar SAT verdict bit for
+        // bit in every lane, at every lane count 1..=8.
+        let batch = BatchObb::from_obbs(&lanes);
+        let mask = batch.intersects_mask(&partner);
+        for (l, a) in lanes.iter().enumerate() {
+            prop_assert_eq!(
+                (mask >> l) & 1 == 1,
+                a.intersects(&partner),
+                "lane {} of {} diverged from scalar SAT", l, lanes.len()
+            );
+        }
+        // The SoA round-trips losslessly and the broad-phase AABBs are
+        // bitwise identical to the scalar accumulation.
+        let bbs = batch.aabbs();
+        for (l, a) in lanes.iter().enumerate() {
+            prop_assert_eq!(batch.get(l), *a);
+            let scalar = a.aabb();
+            let lane_min = Vec3::new(bbs.min[0][l], bbs.min[1][l], bbs.min[2][l]);
+            let lane_max = Vec3::new(bbs.max[0][l], bbs.max[1][l], bbs.max[2][l]);
+            prop_assert_eq!(lane_min, scalar.min);
+            prop_assert_eq!(lane_max, scalar.max);
+        }
+    }
+
+    #[test]
+    fn batched_sat_matches_scalar_near_parallel(
+        lanes in prop::collection::vec(near_parallel_obb(), 1..=8),
+        partner in near_parallel_obb(),
+    ) {
+        // Degenerate near-parallel edge pairs: cross-product axes collapse
+        // toward zero and the BOUNDARY_EPS term decides. Batched and scalar
+        // must still agree exactly.
+        let batch = BatchObb::from_obbs(&lanes);
+        let mask = batch.intersects_mask(&partner);
+        for (l, a) in lanes.iter().enumerate() {
+            prop_assert_eq!((mask >> l) & 1 == 1, a.intersects(&partner));
+        }
+    }
+
+    #[test]
+    fn batched_aabb_kernel_matches_scalar(
+        lanes in prop::collection::vec(obb(), 1..=8),
+        bc in vec3_in(-2.0, 2.0),
+        bh in vec3_in(0.01, 1.0),
+    ) {
+        // The specialized OBB-vs-AABB fast path must equal the general
+        // scalar SAT against the AABB lifted to an identity-rotation OBB.
+        let aabb = Aabb::from_center_half_extents(bc, bh);
+        let partner = Obb::from_aabb(&aabb);
+        let batch = BatchObb::from_obbs(&lanes);
+        let mask = batch.intersects_aabb_mask(&aabb);
+        for (l, a) in lanes.iter().enumerate() {
+            prop_assert_eq!((mask >> l) & 1 == 1, a.intersects(&partner));
+        }
+    }
+
+    #[test]
+    fn batched_sat_boundary_touching(
+        gap_scale in -0.9..0.9f64,
+        h in vec3_in(0.1, 1.0),
+        count in 1usize..=8,
+    ) {
+        // Faces separated by less than BOUNDARY_EPS (including exact touch
+        // and sub-epsilon overlap) intersect; scalar and batched agree.
+        let gap = copred_geometry::BOUNDARY_EPS * gap_scale;
+        let a = Obb::axis_aligned(Vec3::ZERO, h);
+        let b = Obb::axis_aligned(Vec3::new(2.0 * h.x + gap, 0.0, 0.0), h);
+        let lanes = vec![a; count];
+        let batch = BatchObb::from_obbs(&lanes);
+        let mask = batch.intersects_mask(&b);
+        prop_assert!(a.intersects(&b), "sub-epsilon face gap must intersect");
+        prop_assert_eq!(mask, batch.live_mask());
     }
 }

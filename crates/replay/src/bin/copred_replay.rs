@@ -48,6 +48,7 @@ use std::process::ExitCode;
 
 /// Parsed `key=value` arguments for one subcommand, validated against its
 /// flag table.
+#[derive(Debug)]
 struct Flags {
     values: BTreeMap<String, String>,
 }
@@ -464,5 +465,46 @@ fn main() -> ExitCode {
             let _ = std::io::stderr().flush();
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(argv: &[&str]) -> Vec<String> {
+        argv.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flag_fails_fast_and_lists_valid_flags() {
+        let valid = &["log", "backend", "mode"];
+        let err =
+            Flags::parse("run", &strs(&["log=a.cprlog", "bakend=inproc"]), valid).unwrap_err();
+        assert!(err.contains("unknown flag 'bakend' for 'run'"), "{err}");
+        for flag in valid {
+            assert!(err.contains(flag), "error should list {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let flags = Flags::parse(
+            "run",
+            &strs(&["log=a.cprlog", "mode=scaled", "speed=4"]),
+            &["log", "mode", "speed"],
+        )
+        .unwrap();
+        assert_eq!(flags.get("log"), Some("a.cprlog"));
+        assert!(matches!(
+            parse_mode(&flags),
+            Ok(ReplayMode::Scaled { factor }) if factor == 4.0
+        ));
+    }
+
+    #[test]
+    fn bare_word_is_an_error() {
+        let err = Flags::parse("info", &strs(&["log"]), &["log"]).unwrap_err();
+        assert!(err.contains("expected key=value"), "{err}");
     }
 }

@@ -481,6 +481,7 @@ fn run_batch(session: &SessionState, motions: &[MotionTrace], shared: &Shared) -
             let out = match session.mode {
                 SchedMode::Coord => {
                     let mut pred = ChtPredictor::new(session, &m.poses);
+                    pred.prime(&infos);
                     if copred_obs::enabled() {
                         // Wrapping the predictor keeps the inner call
                         // sequence identical to the untimed path, so

@@ -113,6 +113,10 @@ pub struct ChtPredictor<'a> {
     enabled: bool,
     /// Latest prediction per `(pose_idx, link_idx)`, consumed at observe.
     predictions: HashMap<(usize, usize), bool>,
+    /// COORD codes precomputed by [`Self::prime`], keyed like
+    /// `predictions`. Empty until primed; `code` falls back to the scalar
+    /// hash for any CDQ not in here.
+    codes: HashMap<(usize, usize), u64>,
 }
 
 impl<'a> ChtPredictor<'a> {
@@ -123,10 +127,34 @@ impl<'a> ChtPredictor<'a> {
             poses,
             enabled: session.mode == SchedMode::Coord,
             predictions: HashMap::new(),
+            codes: HashMap::new(),
+        }
+    }
+
+    /// Precomputes the COORD code of every CDQ in `infos` with the batched
+    /// hash, so the per-CDQ predict/observe calls skip scalar re-encoding
+    /// (observe would otherwise encode the same center a second time).
+    ///
+    /// Bit-exact by construction: a COORD code depends only on the CDQ
+    /// center and the session hasher — never on table state — so computing
+    /// it up front cannot change any code, prediction, or ledger entry.
+    pub fn prime(&mut self, infos: &[CdqInfo]) {
+        if !self.enabled || infos.is_empty() {
+            return;
+        }
+        let centers: Vec<copred_geometry::Vec3> = infos.iter().map(|c| c.center).collect();
+        let mut codes = vec![0u64; centers.len()];
+        self.session.hasher.code_batch(&centers, &mut codes);
+        self.codes.reserve(infos.len());
+        for (c, &code) in infos.iter().zip(&codes) {
+            self.codes.insert((c.pose_idx, c.link_idx), code);
         }
     }
 
     fn code(&self, cdq: &CdqInfo) -> u64 {
+        if let Some(&code) = self.codes.get(&(cdq.pose_idx, cdq.link_idx)) {
+            return code;
+        }
         let input = HashInput {
             config: &self.poses[cdq.pose_idx],
             center: cdq.center,
@@ -285,6 +313,7 @@ pub fn execute_batch(
             let out = match session.mode {
                 SchedMode::Coord => {
                     let mut pred = ChtPredictor::new(session, &m.poses);
+                    pred.prime(&infos);
                     run_predicted_schedule(&infos, m.poses.len(), csp_step, &mut pred)
                 }
                 SchedMode::Naive => run_schedule(&infos, m.poses.len(), Schedule::Naive),

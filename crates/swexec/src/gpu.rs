@@ -101,10 +101,15 @@ pub fn run_gpu_model(
                 .iter()
                 .map(|c| coord_code(c.center, cht.params().bits))
                 .collect();
+            // Gang-probe the whole motion in one pass: every predict
+            // happens before any observe for this motion, so the batched
+            // lookup is bit-identical to the sequential predict loop.
+            let mut preds = vec![false; n];
+            cht.predict_batch(&codes, &mut preds);
             let mut predicted = Vec::with_capacity(n);
             let mut rest = Vec::with_capacity(n);
-            for (i, &code) in codes.iter().enumerate() {
-                if cht.predict(code) {
+            for (i, &p) in preds.iter().enumerate() {
+                if p {
                     predicted.push(i);
                 } else {
                     rest.push(i);
