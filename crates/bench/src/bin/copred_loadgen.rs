@@ -20,6 +20,8 @@
 //!                         sidecar TSV next to the op-log
 //!   bench_json=bench.json also write the run summary as a perfwatch
 //!                         BENCH-schema JSON report (see `copred_bench`)
+//!   traceids=1            attach wire trace ids to check batches
+//!                         (default on; traceids=0 turns them off)
 //!   inproc=1              start the server in this process (addr ignored)
 //!   trace=trace.json      write a Chrome trace of the run (implies inproc)
 //!   ab=1                  A/B the observability overhead: replay twice
@@ -59,6 +61,7 @@ const VALID_FLAGS: &[&str] = &[
     "tsv",
     "bench_json",
     "metrics_interval",
+    "traceids",
     "trace",
     "inproc",
     "ab",
@@ -94,7 +97,10 @@ fn parse_args() -> Result<Args, String> {
         ab: false,
         warm: false,
         store_dir: None,
-        lg: LoadgenConfig::default(),
+        lg: LoadgenConfig {
+            trace_ids: true,
+            ..LoadgenConfig::default()
+        },
     };
     for arg in std::env::args().skip(1) {
         let (key, value) = arg
@@ -151,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.lg.metrics_interval = Some(Duration::from_secs_f64(secs));
             }
+            "traceids" => args.lg.trace_ids = value == "1" || value == "true",
             "trace" => args.trace = Some(value.to_string()),
             "inproc" => args.inproc = value == "1" || value == "true",
             "ab" => args.ab = value == "1" || value == "true",
@@ -169,6 +176,11 @@ fn parse_args() -> Result<Args, String> {
     // replay needs a server whose store it controls.
     if args.trace.is_some() || args.ab || args.warm {
         args.inproc = true;
+    }
+    // Stream the sidecar stats TSV during the run (atomic tmp+rename per
+    // snapshot) so a killed run still leaves a parseable partial file.
+    if args.lg.metrics_interval.is_some() && args.oplog != "-" {
+        args.lg.stats_tsv = Some(stats_path(&args.oplog));
     }
     Ok(args)
 }
@@ -196,19 +208,18 @@ fn check_latencies(report: &LoadgenReport) -> Vec<u64> {
 
 /// Runs the workload against a fresh in-process server (or the configured
 /// remote address when `inproc` is off).
-fn run_arm(args: &Args, traces: &[QueryTrace]) -> std::io::Result<LoadgenReport> {
+fn run_arm(args: &Args, traces: &[QueryTrace], trace_ids: bool) -> std::io::Result<LoadgenReport> {
+    let mut lg = args.lg.clone();
+    lg.trace_ids = trace_ids;
     if args.inproc {
         let server = Server::start(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             ..ServerConfig::default()
         })?;
-        let lg = LoadgenConfig {
-            addr: server.local_addr().to_string(),
-            ..args.lg.clone()
-        };
+        lg.addr = server.local_addr().to_string();
         run_loadgen(&lg, traces)
     } else {
-        run_loadgen(&args.lg, traces)
+        run_loadgen(&lg, traces)
     }
 }
 
@@ -248,7 +259,7 @@ fn run_ab(args: &Args, traces: &[QueryTrace]) -> std::io::Result<()> {
     const REPS: usize = 5;
     // Discarded warmup replay: pages in the binary, traces, and rings.
     copred_obs::enable();
-    run_arm(args, traces)?;
+    run_arm(args, traces, true)?;
     copred_obs::drain_events();
 
     let mut off_ns = Vec::new();
@@ -263,7 +274,9 @@ fn run_ab(args: &Args, traces: &[QueryTrace]) -> std::io::Result<()> {
             } else {
                 copred_obs::disable();
             }
-            let report = run_arm(args, traces)?;
+            // The on arm carries wire trace ids (exemplars + flight
+            // stamps active); the off arm is the pre-tracing baseline.
+            let report = run_arm(args, traces, enabled)?;
             copred_obs::disable();
             events += copred_obs::drain_events().len();
             let target = if enabled { &mut on_ns } else { &mut off_ns };
@@ -376,7 +389,16 @@ fn main() {
     if args.trace.is_some() {
         copred_obs::enable();
     }
-    let report = match run_arm(&args, &traces) {
+    // Land a partial BENCH report before the run starts: a run killed
+    // mid-flight still leaves a parseable artifact (marked partial=1),
+    // overwritten with the full report on success.
+    if let Some(path) = &args.bench_json {
+        if let Err(e) = write_partial_bench_json(path, &args) {
+            eprintln!("copred_loadgen: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let report = match run_arm(&args, &traces, args.lg.trace_ids) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("copred_loadgen: {e}");
@@ -453,6 +475,29 @@ fn write_bench_json(path: &str, args: &Args, report: &LoadgenReport) -> std::io:
     // on disk even if a later step panics.
     let mut w = BenchWriter::new(std::path::Path::new(path), bench);
     push_run(&mut w, "", report);
+    w.finish()
+}
+
+/// Placeholder written before the run: same BENCH schema, a single
+/// `partial=1` record. Overwritten by the full report on clean exit, so
+/// its presence marks a run that died mid-flight.
+fn write_partial_bench_json(path: &str, args: &Args) -> std::io::Result<()> {
+    use copred_obs::{BenchRecord, BenchReport, BenchWriter, Better};
+    let label = format!("loadgen_{}_{}", args.combo.label(), args.lg.mode.label());
+    let bench = BenchReport::new(
+        &label,
+        &copred_bench::perfwatch::git_sha(),
+        args.seed,
+        "custom",
+    );
+    let mut w = BenchWriter::new(std::path::Path::new(path), bench);
+    w.push(BenchRecord::deterministic(
+        "loadgen",
+        "partial",
+        1.0,
+        "flag",
+        Better::Lower,
+    ));
     w.finish()
 }
 

@@ -12,6 +12,10 @@
 //!   metrics_addr=ADDR     serve Prometheus text exposition on GET /metrics
 //!   store_dir=DIR         persist CHT shards under DIR and warm-start
 //!                         sessions opened with a matching fingerprint
+//!   trace_dump=DIR        export flight-recorder + Chrome-trace dumps
+//!                         under DIR (enables span collection)
+//!   flight_threshold_ms=N auto-dump the flight recorder when a check
+//!                         batch exceeds N milliseconds (0 = off)
 //! ```
 //!
 //! Keys also parse in GNU style (`--metrics-addr=127.0.0.1:9100`).
@@ -33,6 +37,8 @@ const VALID_KEYS: &[&str] = &[
     "retry_ms",
     "metrics_addr",
     "store_dir",
+    "trace_dump",
+    "flight_threshold_ms",
 ];
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
@@ -60,6 +66,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<ServerConfig, String>
             "retry_ms" => cfg.retry_after_ms = num()?,
             "metrics_addr" => cfg.metrics_addr = Some(value.to_string()),
             "store_dir" => cfg.store_dir = Some(value.to_string()),
+            "trace_dump" => cfg.trace_dump = Some(value.to_string()),
+            "flight_threshold_ms" => cfg.flight_threshold_ms = num()?,
             _ => {
                 return Err(format!(
                     "unknown option '{key}' (valid keys: {})",
@@ -99,6 +107,9 @@ fn main() {
     if let Some(dir) = &cfg.store_dir {
         println!("persisting CHT state under {dir}");
     }
+    if let Some(dir) = &cfg.trace_dump {
+        println!("flight + trace dumps under {dir}");
+    }
     loop {
         thread::sleep(Duration::from_secs(3600));
     }
@@ -123,10 +134,19 @@ mod tests {
 
     #[test]
     fn known_keys_parse_in_both_styles() {
-        let cfg = parse(&["workers=3", "--csp-step=7", "metrics_addr=127.0.0.1:0"]).unwrap();
+        let cfg = parse(&[
+            "workers=3",
+            "--csp-step=7",
+            "metrics_addr=127.0.0.1:0",
+            "--trace-dump=/tmp/td",
+            "flight_threshold_ms=25",
+        ])
+        .unwrap();
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.csp_step, 7);
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.trace_dump.as_deref(), Some("/tmp/td"));
+        assert_eq!(cfg.flight_threshold_ms, 25);
     }
 
     #[test]

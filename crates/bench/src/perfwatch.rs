@@ -519,6 +519,7 @@ fn service_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
         let opts = copred_replay::ReplayOptions {
             mode: copred_replay::ReplayMode::Sequential,
             compare: false,
+            trace_seed: None,
         };
         let r = copred_replay::run_replay(&log, &mut backend, &opts).expect("loopback replay");
         let server = backend.server().expect("owned server");

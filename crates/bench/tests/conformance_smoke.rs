@@ -15,6 +15,7 @@ fn conformance_smoke() {
         fault_cases: 16,
         store_cases: 1,
         replay_cases: 1,
+        trace_cases: 1,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
     assert!(report.total_iterations() >= 45);

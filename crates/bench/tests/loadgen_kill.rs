@@ -1,0 +1,90 @@
+//! Early-termination contract of `copred_loadgen`: a run killed
+//! mid-flight must still leave parseable partial artifacts — the
+//! streamed sidecar-stats TSV (written atomically per snapshot) and the
+//! placeholder BENCH-schema JSON (written before the run, marked
+//! `partial=1`, overwritten only on clean exit).
+
+use copred_obs::BenchReport;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+#[test]
+fn killed_loadgen_leaves_partial_stats_and_bench_json() {
+    let dir = std::env::temp_dir().join(format!("copred-loadgen-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let oplog = dir.join("run.cprlog");
+    let bench = dir.join("run.bench.json");
+    let stats = dir.join("run.stats.tsv");
+
+    // Open-loop pacing stretches the replay to several seconds, so the
+    // kill lands mid-run; 50ms sampling gets a snapshot out quickly.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_copred_loadgen"))
+        .args([
+            "inproc=1".to_string(),
+            "connections=1".to_string(),
+            "batch=1".to_string(),
+            "queries=8".to_string(),
+            "pacing=open:200000".to_string(),
+            "metrics_interval=0.05".to_string(),
+            format!("oplog={}", oplog.display()),
+            format!("bench_json={}", bench.display()),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn copred_loadgen");
+
+    // Wait for both streamed artifacts, then kill while the run is live.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if stats.exists() && bench.exists() {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("loadgen exited before artifacts appeared: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no partial artifacts within 60s (stats: {}, bench: {})",
+            stats.exists(),
+            bench.exists()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill loadgen");
+    let _ = child.wait();
+
+    // The stats sidecar parses: a header plus complete snapshot rows,
+    // every row with the header's column count (rename is atomic, so no
+    // torn tail even though the writer died).
+    let text = std::fs::read_to_string(&stats).expect("read partial stats tsv");
+    let mut lines = text.lines();
+    let header = lines.next().expect("stats header");
+    let cols = header.split('\t').count();
+    assert!(
+        header.starts_with("elapsed_ns\t") && cols > 1,
+        "unexpected header: {header}"
+    );
+    let mut rows = 0;
+    for line in lines {
+        assert_eq!(line.split('\t').count(), cols, "torn row: {line:?}");
+        rows += 1;
+    }
+    assert!(rows >= 1, "want at least one snapshot row");
+
+    // The BENCH placeholder parses under the schema and is flagged as a
+    // run that never completed.
+    let report = BenchReport::from_json(&std::fs::read_to_string(&bench).expect("read bench json"))
+        .expect("partial bench json must parse");
+    assert!(
+        report
+            .records
+            .iter()
+            .any(|r| r.metric == "partial" && r.value == 1.0),
+        "partial marker missing: {:?}",
+        report.records
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -48,6 +48,8 @@ fn replay(traces: &[QueryTrace], mode: SchedMode) -> (copred_service::LoadgenRep
         max_retries: 256,
         metrics_interval: None,
         fingerprints: None,
+        trace_ids: true,
+        stats_tsv: None,
     };
     let report = run_loadgen(&cfg, traces).expect("loadgen run");
     let mut c = ServiceClient::connect(addr).expect("connect for stats");

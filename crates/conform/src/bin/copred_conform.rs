@@ -3,8 +3,8 @@
 //! ```text
 //! copred_conform [--seed N] [--iters N] [--service-traces N]
 //!                [--fault-cases N] [--store-cases N] [--replay-cases N]
-//!                [--skip-service] [--skip-fault] [--skip-store]
-//!                [--skip-replay]
+//!                [--trace-cases N] [--skip-service] [--skip-fault]
+//!                [--skip-store] [--skip-replay] [--skip-trace]
 //! ```
 //!
 //! Runs the seeded differential harness (schedule semantics, service
@@ -20,7 +20,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: copred_conform [--seed N] [--iters N] [--service-traces N] \
          [--fault-cases N] [--store-cases N] [--replay-cases N] \
-         [--skip-service] [--skip-fault] [--skip-store] [--skip-replay]"
+         [--trace-cases N] [--skip-service] [--skip-fault] [--skip-store] \
+         [--skip-replay] [--skip-trace]"
     );
     std::process::exit(2);
 }
@@ -47,10 +48,12 @@ fn main() -> ExitCode {
             "--fault-cases" => cfg.fault_cases = parse_u64(&mut args, "--fault-cases"),
             "--store-cases" => cfg.store_cases = parse_u64(&mut args, "--store-cases"),
             "--replay-cases" => cfg.replay_cases = parse_u64(&mut args, "--replay-cases"),
+            "--trace-cases" => cfg.trace_cases = parse_u64(&mut args, "--trace-cases"),
             "--skip-service" => cfg.service_traces = 0,
             "--skip-fault" => cfg.fault_cases = 0,
             "--skip-store" => cfg.store_cases = 0,
             "--skip-replay" => cfg.replay_cases = 0,
+            "--skip-trace" => cfg.trace_cases = 0,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -60,8 +63,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases, {} replay cases",
-        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases, cfg.replay_cases
+        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases, {} replay cases, {} trace cases",
+        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases, cfg.replay_cases, cfg.trace_cases
     );
     let report = run_all(&cfg);
     println!("{}", report.summary());

@@ -29,8 +29,13 @@
 //!    loopback server: every response must be bit-identical to the
 //!    recording, the replayed per-session metrics ledger must equal the
 //!    recorded one, and double replay must be deterministic.
+//! 6. **Tracing invisibility** ([`trace_check`]) — the same seeded
+//!    workload runs with wire trace ids off and on; the op streams must
+//!    match byte-for-byte modulo the `trace` token, the scheduler
+//!    aggregates must be identical, and injecting fresh trace ids into
+//!    an untraced CPRDLOG replay must stay mismatch-free.
 //!
-//! The `copred_conform` binary wires all five into CI; every run is a
+//! The `copred_conform` binary wires all six into CI; every run is a
 //! pure function of `--seed`, so a red build is reproducible locally with
 //! the same flags.
 
@@ -43,12 +48,14 @@ pub mod reference;
 pub mod replay_check;
 pub mod service_diff;
 pub mod store_check;
+pub mod trace_check;
 
 pub use generate::{ScenarioGen, ScheduleCase};
 pub use reference::{brute_force_verdict, check_schedule_case, RecordingPredictor};
 pub use replay_check::{run_replay_checks, ReplayCheckOutcome};
 pub use service_diff::{replay_batch_in_process, run_cpu_diff, run_service_diff};
 pub use store_check::{run_store_checks, StoreCheckOutcome};
+pub use trace_check::{run_trace_checks, TraceCheckOutcome};
 
 use copred_service::{Server, ServerConfig};
 
@@ -68,6 +75,8 @@ pub struct ConformConfig {
     pub store_cases: u64,
     /// Record→replay bit-identity cases (0 skips the stage).
     pub replay_cases: u64,
+    /// Tracing-invisibility cases (0 skips the stage).
+    pub trace_cases: u64,
 }
 
 impl Default for ConformConfig {
@@ -79,6 +88,7 @@ impl Default for ConformConfig {
             fault_cases: 64,
             store_cases: 4,
             replay_cases: 3,
+            trace_cases: 3,
         }
     }
 }
@@ -102,6 +112,10 @@ pub struct ConformReport {
     pub replay_cases: u64,
     /// Ops replayed across all record→replay backends.
     pub replay_ops: u64,
+    /// Tracing-invisibility cases.
+    pub trace_cases: u64,
+    /// Wire ops compared byte-for-byte across traced/untraced runs.
+    pub trace_ops: u64,
     /// Every divergence, mismatch, or panic found.
     pub failures: Vec<String>,
 }
@@ -121,12 +135,13 @@ impl ConformReport {
             + self.fault_cases
             + self.store_cases
             + self.replay_cases
+            + self.trace_cases
     }
 
     /// One-line-per-stage human summary.
     pub fn summary(&self) -> String {
         format!(
-            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\nreplay cases: {} ({} ops replayed)\ntotal iterations: {}\nfailures: {}",
+            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\nreplay cases: {} ({} ops replayed)\ntrace cases: {} ({} ops compared)\ntotal iterations: {}\nfailures: {}",
             self.schedule_iters,
             self.service_traces,
             self.service_checks,
@@ -135,6 +150,8 @@ impl ConformReport {
             self.store_cases,
             self.replay_cases,
             self.replay_ops,
+            self.trace_cases,
+            self.trace_ops,
             self.total_iterations(),
             self.failures.len()
         )
@@ -206,6 +223,15 @@ pub fn run_all(cfg: &ConformConfig) -> ConformReport {
         report.failures.extend(out.failures);
     }
 
+    // Stage 6: tracing invisibility — identical bytes and scheduler
+    // aggregates with wire trace ids off vs on.
+    if cfg.trace_cases > 0 {
+        let out = run_trace_checks(&gen, cfg.trace_cases, cfg.seed);
+        report.trace_cases = out.cases_run;
+        report.trace_ops = out.ops_compared;
+        report.failures.extend(out.failures);
+    }
+
     report
 }
 
@@ -222,12 +248,14 @@ mod tests {
             fault_cases: 8,
             store_cases: 1,
             replay_cases: 1,
+            trace_cases: 1,
         };
         let report = run_all(&cfg);
         assert!(report.is_clean(), "{:?}", report.failures);
-        // 10 schedule + 3 service + 8 fault + 1 store + 1 replay.
-        assert!(report.total_iterations() >= 23);
+        // 10 schedule + 3 service + 8 fault + 1 store + 1 replay + 1 trace.
+        assert!(report.total_iterations() >= 24);
         assert!(report.replay_ops > 0, "replay stage must run ops");
+        assert!(report.trace_ops > 0, "trace stage must compare ops");
         assert!(report.summary().contains("failures: 0"));
     }
 }

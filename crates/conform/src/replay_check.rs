@@ -59,7 +59,7 @@ fn recorded_ledger(records: &[LogRecord]) -> BTreeMap<u64, LedgerEntry> {
         if rec.verb != "check_motion" {
             continue;
         }
-        if let Ok(Response::Results(rs)) = Response::from_text(&rec.response) {
+        if let Ok(Response::Results { results: rs, .. }) = Response::from_text(&rec.response) {
             let e = ledger.entry(rec.session).or_default();
             for r in rs {
                 e.checks += 1;

@@ -1,0 +1,360 @@
+//! Stage 6: tracing invisibility.
+//!
+//! PR 8 threads an optional `trace <hex128>` token through the check
+//! protocol and stamps it into spans, exemplars, and the flight
+//! recorder. Observability must never perturb the system it observes:
+//! this stage proves that tracing changes *nothing* about what the
+//! service computes or says on the wire, beyond the token itself.
+//!
+//! Per case:
+//!
+//! * **Live A/B** — the same seeded workload runs twice over loopback
+//!   TCP against fresh servers, once with client trace ids off and once
+//!   on. Session ids are a deterministic counter and the connection is
+//!   single, so the two op streams must match *byte for byte* once the
+//!   `trace` tokens are stripped — same verbs, same tags, same request
+//!   and response bytes — and the scheduler-facing aggregates (checks,
+//!   collisions, CDQs issued and declared) must be identical, proving
+//!   the predictor saw the same call sequence.
+//! * **Replay injection** — the *untraced* recording is replayed
+//!   in-process with `trace_seed` set, attaching fresh trace ids to
+//!   every check. The replay must stay mismatch-free against the
+//!   recorded bytes (the comparator strips only the echo), with zero
+//!   backend errors and identical aggregates: injecting tracing into a
+//!   trace-free CPRDLOG v1 log is invisible.
+//! * **Replay echo** — the *traced* recording replays with
+//!   `trace_seed = None`; the backend must echo the recorded tokens
+//!   verbatim, so the comparison is exact even without normalization
+//!   headroom. Stripping tokens from both replays' raw responses must
+//!   yield identical streams.
+//!
+//! The CPRDLOG v1 container format is untouched either way — traced and
+//! untraced recordings serialize through the same `write_log`.
+
+use crate::generate::ScenarioGen;
+use copred_replay::format::{read_log, write_log};
+use copred_replay::{run_replay, InProcessBackend, LogMeta, LogRecord, ReplayOptions};
+use copred_service::{run_loadgen, LoadgenConfig, LoadgenReport, SchedMode, Server, ServerConfig};
+
+/// Outcome of the tracing-invisibility stage.
+#[derive(Debug, Default)]
+pub struct TraceCheckOutcome {
+    /// Cases run (one live A/B pair plus replays each).
+    pub cases_run: u64,
+    /// Wire ops compared byte-for-byte across the traced/untraced runs.
+    pub ops_compared: u64,
+    /// Human-readable divergence reports (empty = conformant).
+    pub failures: Vec<String>,
+}
+
+/// Removes every ` trace <hex128>` token from a wire string, leaving all
+/// other bytes untouched. Non-token occurrences of the word stay as-is.
+pub fn strip_trace_token(s: &str) -> String {
+    const NEEDLE: &str = " trace ";
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find(NEEDLE) {
+        let (head, tail) = rest.split_at(pos);
+        out.push_str(head);
+        let after = &tail[NEEDLE.len()..];
+        let hex_len = after.bytes().take_while(|b| b.is_ascii_hexdigit()).count();
+        let boundary = after[hex_len..].is_empty()
+            || after[hex_len..].starts_with('\n')
+            || after[hex_len..].starts_with(' ');
+        if hex_len == 32 && boundary {
+            rest = &after[hex_len..];
+        } else {
+            out.push_str(NEEDLE);
+            rest = after;
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn mode_for(case: u64) -> SchedMode {
+    [SchedMode::Coord, SchedMode::Naive, SchedMode::Csp][(case % 3) as usize]
+}
+
+fn live_run(
+    gen: &ScenarioGen,
+    case: u64,
+    seed: u64,
+    trace_ids: bool,
+) -> Result<LoadgenReport, String> {
+    // Trace indices offset far from the other stages' so workloads differ.
+    let traces: Vec<_> = (0..3)
+        .map(|i| gen.query_trace(20_000 + case * 10 + i))
+        .collect();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("server failed to start: {e}"))?;
+    let lg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        connections: 1,
+        mode: mode_for(case),
+        seed,
+        batch: 1 + (case % 3) as usize,
+        trace_ids,
+        ..LoadgenConfig::default()
+    };
+    run_loadgen(&lg, &traces).map_err(|e| format!("loadgen run failed: {e}"))
+}
+
+fn to_log(report: &LoadgenReport, seed: u64) -> Result<copred_replay::format::ReplayLog, String> {
+    let meta = LogMeta {
+        seed,
+        fingerprint: 0,
+        robot: "conform".to_string(),
+        workload: "trace-check".to_string(),
+        scale: format!("ops={}", report.ops.len()),
+    };
+    let records: Vec<LogRecord> = report.ops.iter().map(LogRecord::from_op_record).collect();
+    let log = read_log(&write_log(&meta, &records))
+        .map_err(|e| format!("own recording failed to parse: {e}"))?;
+    if !log.complete || log.records.len() != records.len() {
+        return Err("log round-trip lost records".to_string());
+    }
+    Ok(log)
+}
+
+/// Runs `cases` tracing-invisibility checks, each deriving
+/// deterministically from `base_seed` and the case index.
+pub fn run_trace_checks(gen: &ScenarioGen, cases: u64, base_seed: u64) -> TraceCheckOutcome {
+    let mut outcome = TraceCheckOutcome::default();
+    for case in 0..cases {
+        check_case(gen, case, base_seed, &mut outcome);
+        outcome.cases_run += 1;
+    }
+    outcome
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_case(gen: &ScenarioGen, case: u64, base_seed: u64, outcome: &mut TraceCheckOutcome) {
+    let fail = |failures: &mut Vec<String>, msg: String| {
+        failures.push(format!("trace case {case}: {msg}"));
+    };
+    let seed = base_seed.wrapping_mul(37).wrapping_add(case);
+
+    // --- Live A/B: identical workload, tracing off vs on.
+    let plain = match live_run(gen, case, seed, false) {
+        Ok(r) => r,
+        Err(e) => {
+            fail(&mut outcome.failures, format!("untraced run: {e}"));
+            return;
+        }
+    };
+    let traced = match live_run(gen, case, seed, true) {
+        Ok(r) => r,
+        Err(e) => {
+            fail(&mut outcome.failures, format!("traced run: {e}"));
+            return;
+        }
+    };
+
+    if plain.checks != traced.checks
+        || plain.collisions != traced.collisions
+        || plain.cdqs_issued != traced.cdqs_issued
+        || plain.cdqs_total != traced.cdqs_total
+    {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "aggregates diverged: untraced (checks {}, collisions {}, cdqs {}/{}) vs traced ({}, {}, {}/{})",
+                plain.checks,
+                plain.collisions,
+                plain.cdqs_issued,
+                plain.cdqs_total,
+                traced.checks,
+                traced.collisions,
+                traced.cdqs_issued,
+                traced.cdqs_total
+            ),
+        );
+    }
+    if plain.ops.len() != traced.ops.len() {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "op counts diverged: {} untraced vs {} traced",
+                plain.ops.len(),
+                traced.ops.len()
+            ),
+        );
+        return;
+    }
+    let mut tokens_seen = 0u64;
+    for (i, (p, t)) in plain.ops.iter().zip(&traced.ops).enumerate() {
+        outcome.ops_compared += 1;
+        if p.verb != t.verb || p.tag != t.tag || p.session != t.session {
+            fail(
+                &mut outcome.failures,
+                format!(
+                    "op {i} shape diverged: {}/{}/{} vs {}/{}/{}",
+                    p.verb, p.tag, p.session, t.verb, t.tag, t.session
+                ),
+            );
+            continue;
+        }
+        if t.verb == "check_motion" && t.request.contains(" trace ") {
+            tokens_seen += 1;
+        }
+        let t_req = strip_trace_token(&t.request);
+        let t_resp = strip_trace_token(&t.response);
+        if t_req != p.request {
+            fail(
+                &mut outcome.failures,
+                format!(
+                    "op {i} ({}) request bytes diverged beyond the trace token: {:?} vs {:?}",
+                    p.verb, p.request, t.request
+                ),
+            );
+        }
+        if t_resp != p.response {
+            fail(
+                &mut outcome.failures,
+                format!(
+                    "op {i} ({}) response bytes diverged beyond the trace token: {:?} vs {:?}",
+                    p.verb, p.response, t.response
+                ),
+            );
+        }
+    }
+    if tokens_seen == 0 {
+        fail(
+            &mut outcome.failures,
+            "traced run carried no trace tokens on check ops".to_string(),
+        );
+    }
+
+    // --- Replay injection: fresh trace ids into the untraced recording.
+    let plain_log = match to_log(&plain, seed) {
+        Ok(l) => l,
+        Err(e) => {
+            fail(&mut outcome.failures, e);
+            return;
+        }
+    };
+    let inject_opts = ReplayOptions {
+        trace_seed: Some(seed ^ 0x07AC_E1D5),
+        ..ReplayOptions::default()
+    };
+    let mut inproc = InProcessBackend::with_server_defaults();
+    let injected = match run_replay(&plain_log, &mut inproc, &inject_opts) {
+        Ok(o) => o,
+        Err(e) => {
+            fail(&mut outcome.failures, format!("injection replay: {e}"));
+            return;
+        }
+    };
+    if !injected.mismatches.is_empty() || injected.backend_errors > 0 {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "injecting trace ids into an untraced log perturbed the replay: {} mismatches, {} backend errors (first: {:?})",
+                injected.mismatches.len(),
+                injected.backend_errors,
+                injected.mismatches.first()
+            ),
+        );
+    }
+    if injected.checks != plain.checks
+        || injected.collisions != plain.collisions
+        || injected.cdqs_issued != plain.cdqs_issued
+    {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "injection replay aggregates (checks {}, collisions {}, cdqs {}) != recording ({}, {}, {})",
+                injected.checks,
+                injected.collisions,
+                injected.cdqs_issued,
+                plain.checks,
+                plain.collisions,
+                plain.cdqs_issued
+            ),
+        );
+    }
+
+    // --- Replay echo: the traced recording replays exactly as recorded.
+    let traced_log = match to_log(&traced, seed) {
+        Ok(l) => l,
+        Err(e) => {
+            fail(&mut outcome.failures, e);
+            return;
+        }
+    };
+    let mut inproc2 = InProcessBackend::with_server_defaults();
+    let echoed = match run_replay(&traced_log, &mut inproc2, &ReplayOptions::default()) {
+        Ok(o) => o,
+        Err(e) => {
+            fail(&mut outcome.failures, format!("echo replay: {e}"));
+            return;
+        }
+    };
+    if !echoed.mismatches.is_empty() || echoed.backend_errors > 0 {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "traced log failed to replay bit-identically: {} mismatches, {} backend errors",
+                echoed.mismatches.len(),
+                echoed.backend_errors
+            ),
+        );
+    }
+
+    // Both replays answered the same workload; their raw responses must
+    // agree byte-for-byte once trace tokens are stripped.
+    let strip_all =
+        |rs: &[String]| -> Vec<String> { rs.iter().map(|r| strip_trace_token(r)).collect() };
+    if strip_all(&injected.responses) != strip_all(&echoed.responses) {
+        fail(
+            &mut outcome.failures,
+            "injected and echoed replays diverged beyond trace tokens".to_string(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_only_well_formed_tokens() {
+        let tok = "0123456789abcdef0123456789abcdef";
+        assert_eq!(
+            strip_trace_token(&format!("check_motion 7 2 trace {tok}\n")),
+            "check_motion 7 2\n"
+        );
+        assert_eq!(
+            strip_trace_token(&format!("ok results 2 trace {tok}\n")),
+            "ok results 2\n"
+        );
+        // Too short, too long, or non-hex: untouched.
+        assert_eq!(strip_trace_token("a trace 0123\n"), "a trace 0123\n");
+        let long = format!("a trace {tok}0\n");
+        assert_eq!(strip_trace_token(&long), long);
+        assert_eq!(strip_trace_token("a trace zzzz\n"), "a trace zzzz\n");
+        // Multiple tokens in one string.
+        assert_eq!(
+            strip_trace_token(&format!("x trace {tok} y trace {tok}\n")),
+            "x y\n"
+        );
+        // No token at all: identity.
+        assert_eq!(
+            strip_trace_token("open baxter 7 coord 3\n"),
+            "open baxter 7 coord 3\n"
+        );
+    }
+
+    #[test]
+    fn single_case_is_clean() {
+        let gen = ScenarioGen::new(43);
+        let out = run_trace_checks(&gen, 1, 4300);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.cases_run, 1);
+        assert!(out.ops_compared > 0);
+    }
+}

@@ -108,6 +108,7 @@ fn full_harness_finds_nothing_at_moderate_scale() {
         fault_cases: 24,
         store_cases: 2,
         replay_cases: 2,
+        trace_cases: 1,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
     assert!(report.service_checks > 0);

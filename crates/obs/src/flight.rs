@@ -1,0 +1,374 @@
+//! Always-on flight recorder: a bounded per-thread ring of recent op
+//! summaries and span edges — the "black box" that survives until a
+//! panic, an admin `dump` op, or a latency-threshold trip asks for it.
+//!
+//! Unlike the span recorder ([`crate::span`]), which is globally gated
+//! and *drops* on overflow (a trace with holes is better than a trace
+//! that perturbs the workload), the flight recorder is never disabled and
+//! *overwrites* its oldest entries: the value of a black box is the most
+//! recent history, not a complete one. Each thread owns a fixed ring
+//! behind its own (uncontended) mutex; a snapshot locks each ring in turn
+//! and merges by global sequence number. Rings of exited threads are
+//! folded into a bounded retired buffer so their final entries stay
+//! visible without growing the registry forever.
+
+use crate::tracectx;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What a [`FlightEntry`] summarizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A completed protocol op (`value` = session id or batch size,
+    /// `dur_ns` = end-to-end latency).
+    Op,
+    /// A span edge mirrored from the tracing instrumentation
+    /// (`ts_ns`/`dur_ns` as in [`crate::Event`]).
+    Edge,
+}
+
+/// One flight-recorder entry. `Copy` and heap-free like [`crate::Event`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlightEntry {
+    /// Entry name (op verb or span name).
+    pub name: &'static str,
+    /// Entry kind.
+    pub kind: FlightKind,
+    /// Recording thread id (flight-recorder-local dense ids).
+    pub tid: u32,
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Nanoseconds on the recorder epoch clock.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 when not applicable).
+    pub dur_ns: u64,
+    /// Op payload: session id, batch size, or other small summary value.
+    pub value: u64,
+    /// Causal trace id from the thread's current-trace cell (0 = none).
+    pub trace: u128,
+}
+
+/// Per-thread ring capacity (entries).
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// Retired-thread buffer capacity (entries, across all exited threads).
+const RETIRED_CAPACITY: usize = 1024;
+
+struct RingInner {
+    slots: Vec<FlightEntry>,
+    /// Next write position; wraps modulo `FLIGHT_CAPACITY` once full.
+    head: usize,
+}
+
+/// One thread's flight ring. The mutex is only ever contended while a
+/// snapshot is being taken, so the always-on write path costs an
+/// uncontended lock plus a 64-byte store.
+struct FlightRing {
+    inner: Mutex<RingInner>,
+}
+
+impl FlightRing {
+    fn new() -> Self {
+        FlightRing {
+            inner: Mutex::new(RingInner {
+                slots: Vec::with_capacity(FLIGHT_CAPACITY),
+                head: 0,
+            }),
+        }
+    }
+
+    fn push(&self, entry: FlightEntry) {
+        let mut inner = self.inner.lock().expect("flight ring lock");
+        if inner.slots.len() < FLIGHT_CAPACITY {
+            inner.slots.push(entry);
+        } else {
+            let head = inner.head;
+            inner.slots[head] = entry;
+        }
+        inner.head = (inner.head + 1) % FLIGHT_CAPACITY;
+    }
+
+    /// Copies the live entries oldest-first without consuming them.
+    fn snapshot_into(&self, out: &mut Vec<FlightEntry>) {
+        let inner = self.inner.lock().expect("flight ring lock");
+        if inner.slots.len() < FLIGHT_CAPACITY {
+            out.extend_from_slice(&inner.slots);
+        } else {
+            out.extend_from_slice(&inner.slots[inner.head..]);
+            out.extend_from_slice(&inner.slots[..inner.head]);
+        }
+    }
+}
+
+struct Flight {
+    rings: Mutex<Vec<Arc<FlightRing>>>,
+    retired: Mutex<Vec<FlightEntry>>,
+    seq: AtomicU64,
+    next_tid: AtomicU32,
+}
+
+static FLIGHT: Flight = Flight {
+    rings: Mutex::new(Vec::new()),
+    retired: Mutex::new(Vec::new()),
+    seq: AtomicU64::new(0),
+    next_tid: AtomicU32::new(0),
+};
+
+struct FlightHandle {
+    ring: Arc<FlightRing>,
+    tid: u32,
+}
+
+thread_local! {
+    static FLIGHT_HANDLE: FlightHandle = {
+        let ring = Arc::new(FlightRing::new());
+        let tid = FLIGHT.next_tid.fetch_add(1, Ordering::Relaxed);
+        FLIGHT
+            .rings
+            .lock()
+            .expect("flight registry lock")
+            .push(Arc::clone(&ring));
+        FlightHandle { ring, tid }
+    };
+}
+
+fn push_entry(mut entry: FlightEntry) {
+    entry.seq = FLIGHT.seq.fetch_add(1, Ordering::Relaxed);
+    entry.trace = tracectx::current_raw();
+    FLIGHT_HANDLE.with(|h| {
+        entry.tid = h.tid;
+        h.ring.push(entry);
+    });
+}
+
+/// Notes a completed protocol op in the calling thread's flight ring.
+/// Always on — there is no enable gate to check.
+pub fn flight_op(name: &'static str, value: u64, dur_ns: u64) {
+    push_entry(FlightEntry {
+        name,
+        kind: FlightKind::Op,
+        tid: 0,
+        seq: 0,
+        ts_ns: crate::span::clock_ns(),
+        dur_ns,
+        value,
+        trace: 0,
+    });
+}
+
+/// Notes a span edge (explicit start + duration) in the calling thread's
+/// flight ring.
+pub fn flight_edge(name: &'static str, ts_ns: u64, dur_ns: u64) {
+    push_entry(FlightEntry {
+        name,
+        kind: FlightKind::Edge,
+        tid: 0,
+        seq: 0,
+        ts_ns,
+        dur_ns,
+        value: 0,
+        trace: 0,
+    });
+}
+
+/// Takes a non-destructive, sequence-ordered snapshot of every thread's
+/// flight ring plus the retired buffer. Rings of exited threads are
+/// folded into the bounded retired buffer on the way.
+pub fn flight_snapshot() -> Vec<FlightEntry> {
+    let mut out = Vec::new();
+    {
+        let mut rings = FLIGHT.rings.lock().expect("flight registry lock");
+        let mut retired_now = Vec::new();
+        rings.retain(|ring| {
+            if Arc::strong_count(ring) > 1 {
+                ring.snapshot_into(&mut out);
+                true
+            } else {
+                ring.snapshot_into(&mut retired_now);
+                false
+            }
+        });
+        let mut retired = FLIGHT.retired.lock().expect("flight retired lock");
+        retired.append(&mut retired_now);
+        if retired.len() > RETIRED_CAPACITY {
+            // Keep the newest entries: the buffer is append-ordered per
+            // fold but not globally sorted, so sort by seq before cutting.
+            retired.sort_by_key(|e| e.seq);
+            let cut = retired.len() - RETIRED_CAPACITY;
+            retired.drain(..cut);
+        }
+        out.extend_from_slice(&retired);
+    }
+    out.sort_by_key(|e| e.seq);
+    out
+}
+
+/// Renders flight entries as a JSON array (one object per entry), the
+/// `/debug/flight` payload. Trace ids render as 32-digit hex strings;
+/// entries without a trace carry an empty string.
+pub fn flight_json(entries: &[FlightEntry]) -> String {
+    let mut out = String::with_capacity(entries.len() * 96 + 16);
+    out.push('[');
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let kind = match e.kind {
+            FlightKind::Op => "op",
+            FlightKind::Edge => "edge",
+        };
+        let trace = match tracectx::TraceId::new(e.trace) {
+            Some(id) => id.to_hex(),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{{\"kind\":\"{}\",\"name\":\"{}\",\"tid\":{},\"seq\":{},\"ts_ns\":{},\"dur_ns\":{},\"value\":{},\"trace\":\"{}\"}}",
+            kind,
+            crate::chrome::json_escape(e.name),
+            e.tid,
+            e.seq,
+            e.ts_ns,
+            e.dur_ns,
+            e.value,
+            trace
+        ));
+    }
+    out.push(']');
+    out
+}
+
+static PANIC_HOOK: OnceLock<()> = OnceLock::new();
+
+/// Installs a panic hook (once per process; later calls are no-ops) that
+/// dumps the flight snapshot before delegating to the previous hook. With
+/// `dir` set the dump is written to `flight-panic-<pid>.json` in that
+/// directory; otherwise the last few entries go to stderr.
+pub fn install_flight_panic_hook(dir: Option<std::path::PathBuf>) {
+    PANIC_HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let entries = flight_snapshot();
+            let json = flight_json(&entries);
+            match &dir {
+                Some(d) => {
+                    let path = d.join(format!("flight-panic-{}.json", std::process::id()));
+                    if std::fs::write(&path, &json).is_ok() {
+                        eprintln!(
+                            "copred flight recorder: {} entries dumped to {}",
+                            entries.len(),
+                            path.display()
+                        );
+                    }
+                }
+                None => {
+                    let tail_from = entries.len().saturating_sub(16);
+                    eprintln!(
+                        "copred flight recorder ({} entries, last {} shown): {}",
+                        entries.len(),
+                        entries.len() - tail_from,
+                        flight_json(&entries[tail_from..])
+                    );
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_keeps_the_newest_entries_in_order() {
+        // Run in a dedicated thread so this test owns its ring regardless
+        // of what other tests in the process have recorded.
+        let entries = std::thread::spawn(|| {
+            let total = FLIGHT_CAPACITY + 57;
+            for i in 0..total {
+                flight_op("wrap_test", i as u64, 0);
+            }
+            let snap: Vec<FlightEntry> = flight_snapshot()
+                .into_iter()
+                .filter(|e| e.name == "wrap_test")
+                .collect();
+            (snap, total)
+        })
+        .join()
+        .unwrap();
+        let (snap, total) = entries;
+        assert_eq!(snap.len(), FLIGHT_CAPACITY, "ring holds exactly capacity");
+        // The survivors are precisely the newest `FLIGHT_CAPACITY` ops,
+        // oldest-first: values [total-cap, total).
+        let expect_first = (total - FLIGHT_CAPACITY) as u64;
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.value, expect_first + i as u64, "overwrite order at {i}");
+            assert_eq!(e.kind, FlightKind::Op);
+        }
+        for w in snap.windows(2) {
+            assert!(w[0].seq < w[1].seq, "snapshot must be seq-ordered");
+        }
+    }
+
+    #[test]
+    fn entries_capture_the_current_trace() {
+        std::thread::spawn(|| {
+            let id = tracectx::TraceId::new(0x51C4_F00D).unwrap();
+            {
+                let _t = tracectx::TraceScope::enter(Some(id));
+                flight_op("traced_op", 1, 500);
+                flight_edge("traced_edge", 10, 20);
+            }
+            flight_op("untraced_op", 2, 0);
+            let snap = flight_snapshot();
+            let op = snap.iter().find(|e| e.name == "traced_op").unwrap();
+            assert_eq!(op.trace, id.raw());
+            let edge = snap.iter().find(|e| e.name == "traced_edge").unwrap();
+            assert_eq!(edge.trace, id.raw());
+            assert_eq!(edge.kind, FlightKind::Edge);
+            let bare = snap.iter().find(|e| e.name == "untraced_op").unwrap();
+            assert_eq!(bare.trace, 0);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn exited_threads_fold_into_the_retired_buffer() {
+        std::thread::spawn(|| {
+            flight_op("retired_op", 99, 0);
+        })
+        .join()
+        .unwrap();
+        // Two snapshots: the first folds the dead ring into the retired
+        // buffer, the second must still see the entry there.
+        let first = flight_snapshot();
+        assert!(first
+            .iter()
+            .any(|e| e.name == "retired_op" && e.value == 99));
+        let second = flight_snapshot();
+        assert!(second
+            .iter()
+            .any(|e| e.name == "retired_op" && e.value == 99));
+    }
+
+    #[test]
+    fn flight_json_is_parseable_shape() {
+        let entries = vec![FlightEntry {
+            name: "check_motion",
+            kind: FlightKind::Op,
+            tid: 3,
+            seq: 41,
+            ts_ns: 1_000,
+            dur_ns: 2_000,
+            value: 7,
+            trace: 0xAB,
+        }];
+        let json = flight_json(&entries);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"kind\":\"op\""));
+        assert!(json.contains("\"name\":\"check_motion\""));
+        assert!(json.contains("\"trace\":\"000000000000000000000000000000ab\""));
+        assert_eq!(flight_json(&[]), "[]");
+    }
+}

@@ -1,9 +1,17 @@
-//! A minimal std-only HTTP/1.0 endpoint for Prometheus scrapes.
+//! A minimal std-only HTTP/1.0 endpoint for Prometheus scrapes and debug
+//! pages.
 //!
 //! One accept-loop thread; each connection gets its request line read,
 //! its headers skipped, and a single `text/plain; version=0.0.4` response
-//! rendered by the caller's closure. Connections close after one exchange
-//! (`Connection: close`), which every Prometheus scraper handles.
+//! rendered by the matching route's closure. Connections close after one
+//! exchange (`Connection: close`), which every Prometheus scraper
+//! handles.
+//!
+//! The endpoint is hardened against hostile or broken peers: the request
+//! head (request line + headers) is bounded by [`MAX_HEAD`] and an
+//! over-long request line gets a structured `400`; reads and writes carry
+//! a timeout so a stalled client cannot wedge the accept loop; unknown
+//! paths and non-GET methods get structured `404`/`405` responses.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -12,8 +20,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Renders the metrics page on each scrape.
+/// Renders a page on each request.
 pub type RenderFn = dyn Fn() -> String + Send + Sync;
+
+/// A registered path → renderer pair.
+type Routes = Vec<(String, Arc<RenderFn>)>;
 
 /// A running metrics endpoint. Dropping the handle shuts it down.
 pub struct MetricsServer {
@@ -37,6 +48,21 @@ impl MetricsServer {
     ///
     /// Any bind failure.
     pub fn start(addr: &str, render: Arc<RenderFn>) -> io::Result<MetricsServer> {
+        MetricsServer::start_with_routes(addr, vec![("/metrics".to_string(), render)])
+    }
+
+    /// Binds `addr` and serves each `(path, render)` route (exact path
+    /// match, query strings ignored). Use this to expose debug pages —
+    /// e.g. `/debug/flight` — next to `/metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    pub fn start_with_routes(addr: &str, routes: Routes) -> io::Result<MetricsServer> {
+        MetricsServer::start_inner(addr, routes, Duration::from_secs(5))
+    }
+
+    fn start_inner(addr: &str, routes: Routes, timeout: Duration) -> io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stopping = Arc::new(AtomicBool::new(false));
@@ -44,7 +70,7 @@ impl MetricsServer {
             let stopping = Arc::clone(&stopping);
             std::thread::Builder::new()
                 .name("copred-metrics-http".to_string())
-                .spawn(move || accept_loop(&listener, &render, &stopping))
+                .spawn(move || accept_loop(&listener, &routes, &stopping, timeout))
                 .expect("spawn metrics endpoint")
         };
         Ok(MetricsServer {
@@ -78,7 +104,12 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, render: &Arc<RenderFn>, stopping: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    routes: &Routes,
+    stopping: &Arc<AtomicBool>,
+    timeout: Duration,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -87,7 +118,7 @@ fn accept_loop(listener: &TcpListener, render: &Arc<RenderFn>, stopping: &Arc<At
                 }
                 // Scrapes are tiny; serve inline so a slow renderer can't
                 // pile up threads. A hung peer is bounded by the timeout.
-                let _ = serve_one(stream, render);
+                let _ = serve_one(stream, routes, timeout);
             }
             Err(_) if stopping.load(Ordering::Acquire) => return,
             Err(_) => continue,
@@ -98,41 +129,70 @@ fn accept_loop(listener: &TcpListener, render: &Arc<RenderFn>, stopping: &Arc<At
 /// Longest request head (request line + headers) accepted.
 const MAX_HEAD: usize = 8 * 1024;
 
-fn serve_one(stream: TcpStream, render: &Arc<RenderFn>) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+fn serve_one(stream: TcpStream, routes: &Routes, timeout: Duration) -> io::Result<()> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut request_line = String::new();
     reader
         .by_ref()
         .take(MAX_HEAD as u64)
         .read_line(&mut request_line)?;
+    let line_overflow = !request_line.ends_with('\n') && request_line.len() >= MAX_HEAD;
     // Drain headers until the blank line so well-behaved clients don't see
     // a reset, bounded by MAX_HEAD total.
     let mut seen = request_line.len();
-    loop {
-        let mut line = String::new();
-        let n = reader
-            .by_ref()
-            .take((MAX_HEAD - seen.min(MAX_HEAD)) as u64)
-            .read_line(&mut line)?;
-        seen += n;
-        if n == 0 || line == "\r\n" || line == "\n" || seen >= MAX_HEAD {
-            break;
+    if !line_overflow {
+        loop {
+            let mut line = String::new();
+            let n = reader
+                .by_ref()
+                .take((MAX_HEAD - seen.min(MAX_HEAD)) as u64)
+                .read_line(&mut line)?;
+            seen += n;
+            if n == 0 || line == "\r\n" || line == "\n" || seen >= MAX_HEAD {
+                break;
+            }
+        }
+    }
+    if seen >= MAX_HEAD {
+        // The peer overran the head bound; whatever it already sent is
+        // still queued, and closing with unread data resets the
+        // connection before our response arrives. Drain a bounded amount
+        // under a short timeout, then answer.
+        let _ = reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 4096];
+        let mut budget: usize = 1 << 20;
+        while budget > 0 {
+            match reader.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => budget -= n.min(budget),
+            }
         }
     }
     let mut stream = reader.into_inner();
     let mut fields = request_line.split_whitespace();
     let (method, path) = (fields.next().unwrap_or(""), fields.next().unwrap_or(""));
-    let (status, body) = if method != "GET" {
+    let path = path.split('?').next().unwrap_or("");
+    let mut allow = "";
+    let (status, body) = if line_overflow {
+        (
+            "400 Bad Request",
+            format!("request head exceeds {MAX_HEAD} bytes\n"),
+        )
+    } else if method != "GET" {
+        allow = "Allow: GET\r\n";
         ("405 Method Not Allowed", "method not allowed\n".to_string())
-    } else if path == "/metrics" || path.starts_with("/metrics?") {
+    } else if let Some((_, render)) = routes.iter().find(|(p, _)| p == path) {
         ("200 OK", render())
     } else {
-        ("404 Not Found", "try /metrics\n".to_string())
+        let known: Vec<&str> = routes.iter().map(|(p, _)| p.as_str()).collect();
+        ("404 Not Found", format!("try {}\n", known.join(" or ")))
     };
     let head = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\n{allow}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -191,6 +251,36 @@ mod tests {
     }
 
     #[test]
+    fn extra_routes_are_served_and_listed_in_404() {
+        let s = MetricsServer::start_with_routes(
+            "127.0.0.1:0",
+            vec![
+                (
+                    "/metrics".to_string(),
+                    Arc::new(|| "copred_up 1\n".to_string()) as Arc<RenderFn>,
+                ),
+                (
+                    "/debug/flight".to_string(),
+                    Arc::new(|| "[]".to_string()) as Arc<RenderFn>,
+                ),
+            ],
+        )
+        .expect("bind");
+        assert_eq!(
+            http_get(s.local_addr(), "/metrics").unwrap(),
+            "copred_up 1\n"
+        );
+        assert_eq!(http_get(s.local_addr(), "/debug/flight").unwrap(), "[]");
+        assert_eq!(http_get(s.local_addr(), "/debug/flight?x=1").unwrap(), "[]");
+        let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+        write!(stream, "GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 404"), "{resp}");
+        assert!(resp.contains("/metrics or /debug/flight"), "{resp}");
+    }
+
+    #[test]
     fn other_paths_are_404() {
         let s = server();
         let err = http_get(s.local_addr(), "/").expect_err("404");
@@ -198,13 +288,77 @@ mod tests {
     }
 
     #[test]
-    fn non_get_is_405() {
+    fn non_get_is_405_with_allow_header() {
         let s = server();
         let mut stream = TcpStream::connect(s.local_addr()).unwrap();
         write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
         let mut resp = String::new();
         stream.read_to_string(&mut resp).unwrap();
         assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+        assert!(resp.contains("Allow: GET"), "{resp}");
+    }
+
+    #[test]
+    fn oversized_request_line_is_400() {
+        let s = server();
+        let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+        // Exactly MAX_HEAD bytes with no newline: the endpoint reads the
+        // whole head, sees an unterminated request line at the bound, and
+        // answers with a structured 400.
+        let mut long = b"GET /".to_vec();
+        long.resize(MAX_HEAD, b'a');
+        stream.write_all(&long).unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 400"), "{resp}");
+        assert!(resp.contains("request head exceeds"), "{resp}");
+        // And the endpoint keeps serving.
+        assert_eq!(
+            http_get(s.local_addr(), "/metrics").unwrap(),
+            "copred_up 1\n"
+        );
+    }
+
+    #[test]
+    fn oversized_headers_are_bounded() {
+        let s = server();
+        let mut stream = TcpStream::connect(s.local_addr()).unwrap();
+        let mut req = String::from("GET /metrics HTTP/1.0\r\n");
+        for i in 0..2000 {
+            req.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(64)));
+        }
+        req.push_str("\r\n");
+        // The endpoint stops reading at MAX_HEAD and still answers.
+        stream.write_all(req.as_bytes()).ok();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 200"), "{resp}");
+    }
+
+    #[test]
+    fn stalled_client_cannot_wedge_the_accept_loop() {
+        // Short read timeout so the test doesn't sit for the default 5s.
+        let s = MetricsServer::start_inner(
+            "127.0.0.1:0",
+            vec![(
+                "/metrics".to_string(),
+                Arc::new(|| "copred_up 1\n".to_string()) as Arc<RenderFn>,
+            )],
+            Duration::from_millis(200),
+        )
+        .expect("bind");
+        // Connect and send nothing: the accept loop blocks on this peer
+        // for at most the read timeout, then serves the next scrape.
+        let stalled = TcpStream::connect(s.local_addr()).unwrap();
+        let start = std::time::Instant::now();
+        let body = http_get(s.local_addr(), "/metrics").expect("served after stall");
+        assert_eq!(body, "copred_up 1\n");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "stalled peer held the loop {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
     }
 
     #[test]

@@ -24,9 +24,11 @@
 
 mod bench;
 mod chrome;
+mod flight;
 mod http;
 mod prom;
 mod span;
+mod tracectx;
 mod vclock;
 
 pub use bench::{
@@ -34,10 +36,15 @@ pub use bench::{
     Regression, BENCH_SCHEMA_VERSION,
 };
 pub use chrome::{chrome_trace_json, events_jsonl};
+pub use flight::{
+    flight_edge, flight_json, flight_op, flight_snapshot, install_flight_panic_hook, FlightEntry,
+    FlightKind, FLIGHT_CAPACITY,
+};
 pub use http::{http_get, MetricsServer, RenderFn};
 pub use prom::{parse_prometheus, PromBuf, PromSample};
 pub use span::{
     counter, disable, drain_events, dropped_events, enable, enabled, instant, span, span_at,
     timestamp_ns, Collector, Event, EventKind, SpanGuard,
 };
+pub use tracectx::{current_trace, set_current_trace, TraceId, TraceScope};
 pub use vclock::{TrackId, VEvent, VEventKind, VirtualTrace};

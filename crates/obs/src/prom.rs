@@ -44,6 +44,35 @@ impl PromBuf {
         let _ = writeln!(self.out, "}} {}", fmt_value(value));
     }
 
+    /// Emits a labeled sample with an OpenMetrics-style exemplar suffix:
+    /// `name{labels} value # {ex_labels} ex_value`. Classic Prometheus
+    /// scrapers that split on the first `#`-free token pair still read
+    /// the sample; OpenMetrics-aware ones pick up the exemplar.
+    pub fn sample_labeled_exemplar(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        ex_labels: &[(&str, &str)],
+        ex_value: f64,
+    ) {
+        let _ = write!(self.out, "{name}{{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+        }
+        let _ = write!(self.out, "}} {} # {{", fmt_value(value));
+        for (i, (k, v)) in ex_labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+        }
+        let _ = writeln!(self.out, "}} {}", fmt_value(ex_value));
+    }
+
     /// The rendered page.
     pub fn finish(self) -> String {
         self.out
@@ -79,6 +108,9 @@ pub struct PromSample {
     pub labels: Vec<(String, String)>,
     /// Sample value (`NaN` parses to a NaN).
     pub value: f64,
+    /// Attached OpenMetrics exemplar (label pairs + value), if the line
+    /// carried a `# {...} v` suffix.
+    pub exemplar: Option<(Vec<(String, String)>, f64)>,
 }
 
 impl PromSample {
@@ -112,6 +144,18 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
 }
 
 fn parse_sample(line: &str) -> Result<PromSample, String> {
+    // Split off an OpenMetrics exemplar suffix (` # {labels} value`)
+    // first: the value parse below grabs the last space-separated token,
+    // which would otherwise be the exemplar's value. A ` # ` inside a
+    // label value is disambiguated by requiring the suffix to actually
+    // parse as an exemplar.
+    let (line, exemplar) = match line.rsplit_once(" # ") {
+        Some((main, suffix)) => match parse_exemplar(suffix) {
+            Some(ex) => (main, Some(ex)),
+            None => (line, None),
+        },
+        None => (line, None),
+    };
     let (head, value) = line
         .rsplit_once(' ')
         .ok_or_else(|| format!("no value separator in {line:?}"))?;
@@ -141,7 +185,24 @@ fn parse_sample(line: &str) -> Result<PromSample, String> {
         name,
         labels,
         value,
+        exemplar,
     })
+}
+
+/// Parses an exemplar suffix body: `{k="v",...} value`. Returns `None`
+/// when the text is not a well-formed exemplar (caller falls back to
+/// treating the whole line as a plain sample).
+fn parse_exemplar(suffix: &str) -> Option<(Vec<(String, String)>, f64)> {
+    let (labels, value) = suffix.rsplit_once(' ')?;
+    let body = labels.strip_prefix('{')?.strip_suffix('}')?;
+    let labels = parse_labels(body).ok()?;
+    let value: f64 = match value {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().ok()?,
+    };
+    Some((labels, value))
 }
 
 fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
@@ -245,6 +306,43 @@ mod tests {
         ] {
             assert!(parse_prometheus(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn exemplar_renders_and_round_trips() {
+        let mut b = PromBuf::new();
+        b.sample_labeled_exemplar(
+            "copred_check_latency_ns",
+            &[("quantile", "0.99")],
+            1_000_000.0,
+            &[("trace_id", "00000000000000000000000000c0ffee")],
+            1_250_000.0,
+        );
+        let page = b.finish();
+        assert!(
+            page.contains("} 1000000 # {trace_id=\"00000000000000000000000000c0ffee\"} 1250000"),
+            "{page}"
+        );
+        let s = parse_prometheus(&page).expect("parse");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].value, 1_000_000.0);
+        assert_eq!(s[0].label("quantile"), Some("0.99"));
+        let (ex_labels, ex_value) = s[0].exemplar.as_ref().expect("exemplar");
+        assert_eq!(ex_labels[0].0, "trace_id");
+        assert_eq!(ex_labels[0].1, "00000000000000000000000000c0ffee");
+        assert_eq!(*ex_value, 1_250_000.0);
+    }
+
+    #[test]
+    fn plain_samples_have_no_exemplar_and_hash_in_label_survives() {
+        let s = parse_prometheus("m{k=\"v\"} 1\n").expect("parse");
+        assert!(s[0].exemplar.is_none());
+        // A ` # ` inside a label value is not mistaken for an exemplar.
+        let mut b = PromBuf::new();
+        b.sample_labeled("m", &[("k", "a # b")], 2.0);
+        let s = parse_prometheus(&b.finish()).expect("parse");
+        assert_eq!(s[0].label("k"), Some("a # b"));
+        assert!(s[0].exemplar.is_none());
     }
 
     #[test]

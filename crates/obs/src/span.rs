@@ -49,6 +49,9 @@ pub struct Event {
     pub dur_ns: u64,
     /// Counter value (0 for spans and instants).
     pub value: u64,
+    /// Causal trace id stamped from the thread's current-trace cell at
+    /// record time (0 = no trace). See [`crate::tracectx`].
+    pub trace: u128,
 }
 
 /// Default per-thread ring capacity (events). Must be a power of two.
@@ -174,6 +177,14 @@ fn now_ns() -> u64 {
     u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Crate-internal clock on the recorder epoch, for subsystems (the flight
+/// recorder) that must timestamp even while span recording is disabled.
+/// The first call pins the epoch.
+#[inline]
+pub(crate) fn clock_ns() -> u64 {
+    now_ns()
+}
+
 /// Turns recording on. The first call pins the trace epoch.
 pub fn enable() {
     let _ = epoch();
@@ -195,6 +206,9 @@ pub fn enabled() -> bool {
 #[inline]
 fn record(mut ev: Event) {
     ev.seq = RECORDER.seq.fetch_add(1, Ordering::Relaxed);
+    if ev.trace == 0 {
+        ev.trace = crate::tracectx::current_raw();
+    }
     HANDLE.with(|h| {
         ev.tid = h.tid;
         h.ring.push(ev);
@@ -514,6 +528,27 @@ mod tests {
         .unwrap();
         assert!(dropped_events() >= before + 100);
         let _ = drain_events();
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_current_trace() {
+        let _s = serial();
+        enable();
+        let _ = drain_events();
+        let id = crate::tracectx::TraceId::new(0xABCD_EF01).unwrap();
+        {
+            let _t = crate::tracectx::TraceScope::enter(Some(id));
+            instant("test", "trace_stamped");
+            let _g = span("test", "trace_stamped_span");
+        }
+        instant("test", "trace_unstamped");
+        let evs = drain_events();
+        let stamped = evs.iter().find(|e| e.name == "trace_stamped").unwrap();
+        assert_eq!(stamped.trace, id.raw());
+        let span_ev = evs.iter().find(|e| e.name == "trace_stamped_span").unwrap();
+        assert_eq!(span_ev.trace, id.raw());
+        let bare = evs.iter().find(|e| e.name == "trace_unstamped").unwrap();
+        assert_eq!(bare.trace, 0);
     }
 
     #[test]

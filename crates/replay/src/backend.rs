@@ -112,17 +112,32 @@ impl ReplayBackend for InProcessBackend {
                 }
                 Err(e) => Response::Error(e),
             },
-            Request::CheckMotion { session, motions } => match self.registry.get(*session) {
-                Ok(s) => Response::Results(execute_batch(&s, motions, self.csp_step)),
+            Request::CheckMotion {
+                session,
+                motions,
+                trace,
+            } => match self.registry.get(*session) {
+                // Echo the trace token exactly like the server does; it
+                // never influences the check itself.
+                Ok(s) => Response::Results {
+                    results: execute_batch(&s, motions, self.csp_step),
+                    trace: *trace,
+                },
                 Err(e) => Response::Error(e),
             },
-            Request::CheckPose { session, motion } => match self.registry.get(*session) {
-                Ok(s) => Response::Results(execute_batch(
-                    &s,
-                    std::slice::from_ref(motion),
-                    self.csp_step,
-                )),
+            Request::CheckPose {
+                session,
+                motion,
+                trace,
+            } => match self.registry.get(*session) {
+                Ok(s) => Response::Results {
+                    results: execute_batch(&s, std::slice::from_ref(motion), self.csp_step),
+                    trace: *trace,
+                },
                 Err(e) => Response::Error(e),
+            },
+            Request::Dump => Response::DumpDone {
+                entries: copred_obs::flight_snapshot().len() as u64,
             },
             Request::ResetCht { session } => match self.registry.get(*session) {
                 Ok(s) => {

@@ -7,11 +7,13 @@
 //!     Print the log's metadata and record summary.
 //!
 //! run         log=FILE [backend=inproc] [mode=sequential] [speed=2.0]
-//!             [compare=1] [bench_json=PATH]
+//!             [compare=1] [bench_json=PATH] [trace_seed=SEED]
 //!     Replay the log against one backend and print the outcome.
 //!       backend = inproc | loopback | addr:HOST:PORT
 //!       mode    = sequential | timing | timing-virtual | scaled
 //!                 (scaled divides recorded gaps by speed=K)
+//!       trace_seed attaches fresh causal trace ids (derived from the
+//!       seed and record index) to every replayed check
 //!
 //! verify      log=FILE [skip_loopback=0]
 //!     The CI replay gate: the log must replay bit-identically against a
@@ -216,12 +218,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(
         "run",
         args,
-        &["log", "backend", "mode", "speed", "compare", "bench_json"],
+        &[
+            "log",
+            "backend",
+            "mode",
+            "speed",
+            "compare",
+            "bench_json",
+            "trace_seed",
+        ],
     )?;
     let log = load(&flags)?;
+    let trace_seed = match flags.get("trace_seed") {
+        None => None,
+        Some(_) => Some(flags.u64_or("trace_seed", 0)?),
+    };
     let opts = ReplayOptions {
         mode: parse_mode(&flags)?,
         compare: flags.bool_or("compare", true),
+        trace_seed,
     };
     let mut backend = make_backend(flags.get("backend").unwrap_or("inproc"))?;
     let out = run_replay(&log, backend.as_mut(), &opts).map_err(|e| e.to_string())?;
@@ -352,6 +367,7 @@ fn cmd_ab(args: &[String]) -> Result<(), String> {
     let opts = ReplayOptions {
         mode: parse_mode(&flags)?,
         compare: true,
+        trace_seed: None,
     };
     let mut a = make_backend(flags.get("a").unwrap_or("inproc"))?;
     let mut b = make_backend(flags.get("b").unwrap_or("loopback"))?;

@@ -10,6 +10,7 @@
 
 use crate::backend::ReplayBackend;
 use crate::format::ReplayLog;
+use copred_obs::TraceId;
 use copred_service::protocol::{Request, Response};
 use copred_service::replay_stats;
 use std::collections::HashMap;
@@ -65,6 +66,11 @@ pub struct ReplayOptions {
     /// recorded response; differences land in
     /// [`ReplayOutcome::mismatches`].
     pub compare: bool,
+    /// When set, every replayed check carries a *fresh* causal trace id
+    /// derived from this seed and the record index — whatever the
+    /// recording carried is replaced, so a replay is traceable as its own
+    /// run. `None` keeps the recorded tokens verbatim.
+    pub trace_seed: Option<u64>,
 }
 
 impl Default for ReplayOptions {
@@ -72,6 +78,7 @@ impl Default for ReplayOptions {
         ReplayOptions {
             mode: ReplayMode::Sequential,
             compare: true,
+            trace_seed: None,
         }
     }
 }
@@ -191,17 +198,29 @@ impl ReplayOutcome {
 /// Normalizes a response payload for comparison: session tokens are
 /// server-assigned, so `ok session <id> …` masks the id (`warm` is kept —
 /// a replay warm-starting differently from the recording is a real
-/// difference). Everything else compares byte-for-byte.
+/// difference), and the `trace` echo on results is stripped (the replay
+/// deliberately attaches fresh ids, so echoes differ run to run without
+/// the payload differing). Everything else compares byte-for-byte.
 pub fn normalize_response(text: &str) -> String {
-    if let Ok(Response::Session { id: _, warm }) = Response::from_text(text) {
-        return format!("ok session _ warm {}\n", u8::from(warm));
+    match Response::from_text(text) {
+        Ok(Response::Session { id: _, warm }) => {
+            format!("ok session _ warm {}\n", u8::from(warm))
+        }
+        Ok(Response::Results {
+            results,
+            trace: Some(_),
+        }) => Response::Results {
+            results,
+            trace: None,
+        }
+        .to_text(),
+        _ => text.to_string(),
     }
-    text.to_string()
 }
 
 fn rewrite_session(req: &mut Request, live: u64) {
     match req {
-        Request::Open { .. } => {}
+        Request::Open { .. } | Request::Dump => {}
         Request::CheckMotion { session, .. }
         | Request::CheckPose { session, .. }
         | Request::ResetCht { session }
@@ -211,6 +230,14 @@ fn rewrite_session(req: &mut Request, live: u64) {
                 *session = Some(live);
             }
         }
+    }
+}
+
+/// Replaces the request's trace token (if the verb carries one) with a
+/// fresh id derived from the replay's trace seed and the record index.
+fn rewrite_trace(req: &mut Request, seed: u64, idx: u64) {
+    if let Request::CheckMotion { trace, .. } | Request::CheckPose { trace, .. } = req {
+        *trace = Some(TraceId::derive(seed, idx));
     }
 }
 
@@ -267,7 +294,10 @@ pub fn run_replay(
             what: "request",
             reason,
         })?;
-        if !matches!(req, Request::Open { .. } | Request::Stats { session: None }) {
+        if !matches!(
+            req,
+            Request::Open { .. } | Request::Stats { session: None } | Request::Dump
+        ) {
             let live = *sessions
                 .get(&rec.session)
                 .ok_or(ReplayError::UnknownSession {
@@ -275,6 +305,9 @@ pub fn run_replay(
                     session: rec.session,
                 })?;
             rewrite_session(&mut req, live);
+        }
+        if let Some(seed) = opts.trace_seed {
+            rewrite_trace(&mut req, seed, rec.idx);
         }
 
         let resp = backend.call(&req).map_err(|reason| ReplayError::Backend {
@@ -287,7 +320,7 @@ pub fn run_replay(
             Response::Session { id, warm: _ } => {
                 sessions.insert(rec.session, *id);
             }
-            Response::Results(rs) => {
+            Response::Results { results: rs, .. } => {
                 for r in rs {
                     out.checks += 1;
                     out.collisions += u64::from(r.colliding);
@@ -301,7 +334,7 @@ pub fn run_replay(
             Response::Error(_) => {
                 out.backend_errors += 1;
             }
-            Response::ResetDone | Response::Stats(_) => {}
+            Response::ResetDone | Response::Stats(_) | Response::DumpDone { .. } => {}
         }
 
         let actual = normalize_response(&resp.to_text());
@@ -451,6 +484,7 @@ mod tests {
             let opts = ReplayOptions {
                 mode: ReplayMode::Scaled { factor },
                 compare: true,
+                trace_seed: None,
             };
             let out = run_replay(&log, &mut backend, &opts).expect("replay");
             assert!(out.is_identical(), "factor {factor}");
@@ -476,6 +510,7 @@ mod tests {
                 clock: Clock::Virtual,
             },
             compare: true,
+            trace_seed: None,
         };
         let out = run_replay(&log, &mut backend, &opts).expect("replay");
         assert!(out.is_identical());

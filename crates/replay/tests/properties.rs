@@ -197,6 +197,7 @@ fn recorded_log(seed: u64) -> ReplayLog {
                 Request::CheckMotion {
                     session: token,
                     motions,
+                    trace: None,
                 },
             ));
         }
@@ -231,6 +232,7 @@ fn recorded_log(seed: u64) -> ReplayLog {
     let opts = ReplayOptions {
         mode: ReplayMode::Sequential,
         compare: false,
+        trace_seed: None,
     };
     let harvest = run_replay(&log, &mut backend, &opts).expect("harvest replay");
     assert_eq!(harvest.backend_errors, 0, "harvest must succeed cleanly");
@@ -312,6 +314,7 @@ proptest! {
         let opts = ReplayOptions {
             mode: ReplayMode::Scaled { factor },
             compare: true,
+            trace_seed: None,
         };
         let scaled = run_replay(&log, &mut b, &opts).expect("scaled");
         // Order preserved ⇒ the same answers in the same positions, and
@@ -329,6 +332,7 @@ proptest! {
         let opts = ReplayOptions {
             mode: ReplayMode::Timing { clock: Clock::Virtual },
             compare: true,
+            trace_seed: None,
         };
         let b = run_replay(&log, &mut vt, &opts).expect("virtual");
         prop_assert!(b.is_identical());
@@ -348,7 +352,7 @@ fn responses_survive_the_wire_format() {
         .find(|r| r.verb == "check_motion")
         .expect("a check op");
     match Response::from_text(&check.response) {
-        Ok(Response::Results(rs)) => {
+        Ok(Response::Results { results: rs, .. }) => {
             assert_eq!(rs.len(), 2);
             assert!(rs.iter().all(|r| r.cdqs_total > 0));
         }

@@ -2,6 +2,7 @@
 //! generator, the integration tests, and the `copred_loadgen` binary.
 
 use crate::protocol::{CheckResult, Request, Response, SchedMode};
+use copred_obs::TraceId;
 use copred_trace::frame::{read_text_frame, write_text_frame};
 use copred_trace::MotionTrace;
 use std::io::{self, BufReader, BufWriter};
@@ -107,7 +108,27 @@ impl ServiceClient {
         session: u64,
         motions: Vec<MotionTrace>,
     ) -> io::Result<Response> {
-        self.call(&Request::CheckMotion { session, motions })
+        self.check_motions_once_traced(session, motions, None)
+    }
+
+    /// Sends a check batch once with an optional causal trace id attached,
+    /// returning the raw response so callers can see backpressure (and the
+    /// trace echo).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::call`].
+    pub fn check_motions_once_traced(
+        &mut self,
+        session: u64,
+        motions: Vec<MotionTrace>,
+        trace: Option<TraceId>,
+    ) -> io::Result<Response> {
+        self.call(&Request::CheckMotion {
+            session,
+            motions,
+            trace,
+        })
     }
 
     /// Sends a check batch, sleeping and retrying on `retry_after` up to
@@ -124,10 +145,37 @@ impl ServiceClient {
         motions: &[MotionTrace],
         max_retries: usize,
     ) -> io::Result<(Vec<CheckResult>, usize)> {
+        self.check_motions_traced(session, motions, max_retries, None)
+    }
+
+    /// [`Self::check_motions`] with an optional causal trace id. The
+    /// server must echo the exact token (absent stays absent); a mismatch
+    /// is reported as [`io::ErrorKind::InvalidData`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, server errors, retry exhaustion, or a bad trace echo.
+    pub fn check_motions_traced(
+        &mut self,
+        session: u64,
+        motions: &[MotionTrace],
+        max_retries: usize,
+        trace: Option<TraceId>,
+    ) -> io::Result<(Vec<CheckResult>, usize)> {
         let mut retries = 0;
         loop {
-            match self.check_motions_once(session, motions.to_vec())? {
-                Response::Results(rs) => return Ok((rs, retries)),
+            match self.check_motions_once_traced(session, motions.to_vec(), trace)? {
+                Response::Results {
+                    results: rs,
+                    trace: echo,
+                } => {
+                    if echo != trace {
+                        return Err(proto_err(format!(
+                            "trace echo mismatch: sent {trace:?}, got {echo:?}"
+                        )));
+                    }
+                    return Ok((rs, retries));
+                }
                 Response::Error(crate::protocol::ServiceError::RetryAfter { ms, .. }) => {
                     if retries >= max_retries {
                         return Err(io::Error::new(
@@ -167,6 +215,20 @@ impl ServiceClient {
             Response::Stats(kv) => Ok(kv),
             Response::Error(e) => Err(io::Error::other(e.to_string())),
             other => Err(proto_err(format!("unexpected reply to stats: {other:?}"))),
+        }
+    }
+
+    /// Dumps the server's flight recorder (admin verb) and returns the
+    /// number of entries captured.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or server errors.
+    pub fn dump_flight(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Dump)? {
+            Response::DumpDone { entries } => Ok(entries),
+            Response::Error(e) => Err(io::Error::other(e.to_string())),
+            other => Err(proto_err(format!("unexpected reply to dump: {other:?}"))),
         }
     }
 

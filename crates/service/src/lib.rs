@@ -46,7 +46,7 @@ pub use oplog::{
 };
 pub use prom::{
     render_prometheus, replay_stats, ReplayStats, GLOBAL_COUNTERS, REPLAY_COUNTERS,
-    SESSION_COUNTERS, STORE_COUNTERS,
+    SESSION_COUNTERS, STORE_COUNTERS, TRACE_COUNTERS,
 };
 pub use protocol::{CheckResult, Request, Response, SchedMode, ServiceError, MAX_BATCH};
 pub use server::{Server, ServerConfig};

@@ -15,6 +15,7 @@
 use crate::client::ServiceClient;
 use crate::oplog::OpRecord;
 use crate::protocol::{Request, Response, SchedMode};
+use copred_obs::TraceId;
 use copred_trace::QueryTrace;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -70,6 +71,14 @@ pub struct LoadgenConfig {
     /// When set, each `open` carries `fingerprints[trace_idx]` so a
     /// store-enabled server can warm-start matching sessions.
     pub fingerprints: Option<Vec<u64>>,
+    /// Attach a deterministic causal trace id (derived from the session
+    /// seed and batch index) to every check batch, and verify the server's
+    /// echo.
+    pub trace_ids: bool,
+    /// When set, the stats sampler rewrites this sidecar TSV (atomically,
+    /// temp + rename) after every snapshot, so a killed run still leaves
+    /// its partial stats on disk. Requires [`Self::metrics_interval`].
+    pub stats_tsv: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -84,6 +93,8 @@ impl Default for LoadgenConfig {
             max_retries: 64,
             metrics_interval: None,
             fingerprints: None,
+            trace_ids: false,
+            stats_tsv: None,
         }
     }
 }
@@ -217,6 +228,13 @@ fn sample_stats(
             elapsed_ns: elapsed_ns(epoch),
             stats,
         });
+        if let Some(path) = &config.stats_tsv {
+            // Rewrite the whole (small) sidecar after every sample: a
+            // killed run keeps its latest complete copy, never a torn one.
+            let tmp = format!("{path}.tmp");
+            std::fs::write(&tmp, crate::oplog::write_stats_tsv(&snapshots))?;
+            std::fs::rename(&tmp, path)?;
+        }
         if stopping {
             return Ok(snapshots);
         }
@@ -275,17 +293,24 @@ fn run_connection(
             elapsed_ns(epoch),
         ));
 
-        for batch in trace.motions.chunks(config.batch) {
+        for (batch_idx, batch) in trace.motions.chunks(config.batch).enumerate() {
             if let Pacing::Open { interval_us } = config.pacing {
                 pace(epoch, issued * interval_us * 1_000);
             }
             issued += 1;
+            // Deterministic per-batch trace id: the per-trace seed is
+            // already unique, so (seed, batch index) never collides.
+            let trace_id = config
+                .trace_ids
+                .then(|| TraceId::derive(seed, batch_idx as u64));
             let req = Request::CheckMotion {
                 session,
                 motions: batch.to_vec(),
+                trace: trace_id,
             };
             let start = elapsed_ns(epoch);
-            let (results, r) = client.check_motions(session, batch, config.max_retries)?;
+            let (results, r) =
+                client.check_motions_traced(session, batch, config.max_retries, trace_id)?;
             retries.fetch_add(r as u64, Ordering::Relaxed);
             for res in &results {
                 out.checks += 1;
@@ -293,7 +318,12 @@ fn run_connection(
                 out.cdqs_issued += res.cdqs_executed;
                 out.cdqs_total += res.cdqs_total;
             }
-            let resp = Response::Results(results).to_text();
+            // Recorded as the wire response really was: with the echo.
+            let resp = Response::Results {
+                results,
+                trace: trace_id,
+            }
+            .to_text();
             out.ops.push(op(
                 session,
                 "check_motion",

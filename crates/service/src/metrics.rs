@@ -11,6 +11,83 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// octave for the 62 octaves whose values are ≥ 4.
 const HIST_BUCKETS: usize = 4 + 62 * 4;
 
+/// A traced sample displaces a bucket's exemplar once the stored one is
+/// this many traced records old, even if it was slower — tail-sampling
+/// must stay *recent* so the trace id still resolves in the flight
+/// recorder and span buffers.
+const EXEMPLAR_STALE_AFTER: u64 = 1024;
+
+/// One bucket's exemplar slot: the trace id and value of the worst recent
+/// traced sample that landed in the bucket. Writes go through a seqlock
+/// (odd `version` = write in progress) so concurrent workers never
+/// publish a torn (value, trace) pair; both sides are wait-free — a
+/// contended writer simply skips (exemplars are best-effort), a reader
+/// retries a bounded number of times.
+#[derive(Debug, Default)]
+struct ExemplarSlot {
+    /// 0 = never written; odd = write in progress.
+    version: AtomicU64,
+    /// Sample value in nanoseconds.
+    value: AtomicU64,
+    /// Trace id, split across two words.
+    trace_hi: AtomicU64,
+    trace_lo: AtomicU64,
+    /// Traced-record sequence number at the time of the write.
+    stamp: AtomicU64,
+}
+
+impl ExemplarSlot {
+    /// Best-effort write; loses gracefully under contention.
+    fn offer(&self, ns: u64, trace: u128, stamp: u64) -> bool {
+        let v = self.version.load(Ordering::Relaxed);
+        if v & 1 == 1 {
+            return false;
+        }
+        if v != 0 {
+            let cur_val = self.value.load(Ordering::Relaxed);
+            let cur_stamp = self.stamp.load(Ordering::Relaxed);
+            let stale = stamp.saturating_sub(cur_stamp) > EXEMPLAR_STALE_AFTER;
+            if ns < cur_val && !stale {
+                return false;
+            }
+        }
+        if self
+            .version
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.value.store(ns, Ordering::Relaxed);
+        self.trace_hi.store((trace >> 64) as u64, Ordering::Relaxed);
+        self.trace_lo.store(trace as u64, Ordering::Relaxed);
+        self.stamp.store(stamp, Ordering::Relaxed);
+        self.version.store(v + 2, Ordering::Release);
+        true
+    }
+
+    /// Coherent read, or `None` when empty or under sustained contention.
+    fn read(&self) -> Option<(u64, u128)> {
+        for _ in 0..8 {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 == 0 {
+                return None;
+            }
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let ns = self.value.load(Ordering::Relaxed);
+            let hi = self.trace_hi.load(Ordering::Relaxed);
+            let lo = self.trace_lo.load(Ordering::Relaxed);
+            if self.version.load(Ordering::Acquire) == v1 {
+                return Some((ns, ((hi as u128) << 64) | lo as u128));
+            }
+        }
+        None
+    }
+}
+
 /// Streaming log-linear latency histogram (HDR-style): values 0–3 ns get
 /// exact buckets, every larger octave `[2^k, 2^(k+1))` is split into 4
 /// linear sub-buckets. Quantiles are read as the inclusive upper bound of
@@ -23,6 +100,12 @@ pub struct LatencyHistogram {
     buckets: [AtomicU64; HIST_BUCKETS],
     /// Sum of all recorded samples (for Prometheus `_sum`).
     sum: AtomicU64,
+    /// Per-bucket tail-sampling exemplars (worst recent traced sample).
+    exemplars: [ExemplarSlot; HIST_BUCKETS],
+    /// Traced samples seen (recency stamps for exemplar replacement).
+    traced_seq: AtomicU64,
+    /// Successful exemplar slot writes.
+    exemplar_writes: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -37,6 +120,9 @@ impl LatencyHistogram {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| ExemplarSlot::default()),
+            traced_seq: AtomicU64::new(0),
+            exemplar_writes: AtomicU64::new(0),
         }
     }
 
@@ -69,6 +155,43 @@ impl LatencyHistogram {
         self.sum.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Records one sample carrying a causal trace id, offering it as the
+    /// bucket's exemplar. `trace` 0 degrades to a plain [`record`](Self::record).
+    pub fn record_traced(&self, ns: u64, trace: u128) {
+        self.record(ns);
+        if trace == 0 {
+            return;
+        }
+        let stamp = self.traced_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.exemplars[Self::bucket_of(ns)].offer(ns, trace, stamp) {
+            self.exemplar_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Successful exemplar slot updates (for `copred_trace_exemplars_total`).
+    pub fn exemplar_count(&self) -> u64 {
+        self.exemplar_writes.load(Ordering::Relaxed)
+    }
+
+    /// The exemplar attached to the `q`-quantile: the traced sample from
+    /// the quantile's bucket, falling back to the nearest bucket above
+    /// (deeper in the tail), then the nearest below. Returns the sample's
+    /// value (ns) and trace id.
+    pub fn quantile_exemplar(&self, q: f64) -> Option<(u64, u128)> {
+        let i = self.quantile_bucket(q)?;
+        for j in i..HIST_BUCKETS {
+            if let Some(found) = self.exemplars[j].read() {
+                return Some(found);
+            }
+        }
+        for j in (0..i).rev() {
+            if let Some(found) = self.exemplars[j].read() {
+                return Some(found);
+            }
+        }
+        None
+    }
+
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
@@ -79,9 +202,9 @@ impl LatencyHistogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    /// Inclusive upper bound (ns) of the bucket holding the `q`-quantile
-    /// sample, or `None` when empty. `q` is clamped into `[0, 1]`.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
+    /// Index of the bucket holding the `q`-quantile sample, or `None`
+    /// when empty. `q` is clamped into `[0, 1]`.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
         let snapshot: Vec<u64> = self
             .buckets
             .iter()
@@ -98,10 +221,16 @@ impl LatencyHistogram {
         for (i, &n) in snapshot.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(Self::bucket_bound(i));
+                return Some(i);
             }
         }
-        Some(u64::MAX)
+        Some(HIST_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound (ns) of the bucket holding the `q`-quantile
+    /// sample, or `None` when empty. `q` is clamped into `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_bucket(q).map(Self::bucket_bound)
     }
 }
 
@@ -197,6 +326,12 @@ pub struct Metrics {
     /// Sum of the CHT occupancy of evicted shards — learned state thrown
     /// away (or, with the store enabled, persisted) by LRU pressure.
     pub evicted_learned: AtomicU64,
+    /// Check requests that carried a `trace` token.
+    pub traced_requests: AtomicU64,
+    /// Flight-recorder dumps served on demand (`dump` op, `/debug/flight`).
+    pub flight_dumps: AtomicU64,
+    /// Flight-recorder dumps fired by the latency threshold.
+    pub flight_auto_dumps: AtomicU64,
     /// End-to-end check-batch service latency (enqueue → reply built).
     pub check_latency: LatencyHistogram,
 }
@@ -343,6 +478,90 @@ mod tests {
                 "bound {b} for sample {v} breaks the ≤5/4× contract"
             );
         }
+    }
+
+    #[test]
+    fn exemplars_track_worst_recent_sample_per_bucket() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_exemplar(0.99), None);
+        // Untraced samples never set exemplars.
+        h.record(1_000_000);
+        assert_eq!(h.quantile_exemplar(0.99), None);
+        // A traced sample lands; the quantile exemplar resolves to it.
+        h.record_traced(1_000_000, 0xAA);
+        assert_eq!(h.quantile_exemplar(0.99), Some((1_000_000, 0xAA)));
+        assert_eq!(h.exemplar_count(), 1);
+        // A slower sample in the same bucket displaces it; a faster one
+        // does not (until staleness).
+        h.record_traced(1_100_000, 0xBB);
+        assert_eq!(h.quantile_exemplar(0.99), Some((1_100_000, 0xBB)));
+        h.record_traced(1_050_000, 0xCC);
+        assert_eq!(h.quantile_exemplar(0.99), Some((1_100_000, 0xBB)));
+        // Zero trace degrades to a plain record.
+        h.record_traced(2_000_000, 0);
+        assert_eq!(h.quantile_exemplar(1.0), Some((1_100_000, 0xBB)));
+    }
+
+    #[test]
+    fn stale_exemplars_yield_to_recent_samples() {
+        let h = LatencyHistogram::new();
+        h.record_traced(1_000_000, 0xAA);
+        // Age the slot past the staleness horizon with traced samples in
+        // a different bucket, then offer a *faster* sample to the first.
+        for _ in 0..(EXEMPLAR_STALE_AFTER + 1) {
+            h.record_traced(10, 0xDD);
+        }
+        h.record_traced(950_000, 0xEE);
+        // 950_000 and 1_000_000 share log-linear bucket? bucket_of puts
+        // them both in the same octave sub-bucket — the stale 0xAA must
+        // have been displaced by the recent 0xEE.
+        assert_eq!(
+            LatencyHistogram::bucket_of(950_000),
+            LatencyHistogram::bucket_of(1_000_000)
+        );
+        let (ns, trace) = h.quantile_exemplar(1.0).unwrap();
+        assert_eq!((ns, trace), (950_000, 0xEE));
+    }
+
+    #[test]
+    fn exemplar_pairs_stay_coherent_under_concurrent_writers() {
+        // Each writer records traced samples whose trace id is a pure
+        // function of the value; a torn (value, trace) publication would
+        // break that invariant for readers.
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let derive = |ns: u64| ((ns as u128) << 64) | 0x5EED;
+        let mut writers = Vec::new();
+        for t in 0..4u64 {
+            let h = std::sync::Arc::clone(&h);
+            writers.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    // All values land in one bucket family around 1 ms so
+                    // the writers genuinely contend per slot.
+                    let ns = 1_000_000 + ((t * 5_000 + i) % 190_000);
+                    h.record_traced(ns, derive(ns));
+                }
+            }));
+        }
+        let reader = {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                for _ in 0..20_000 {
+                    if let Some((ns, trace)) = h.quantile_exemplar(0.99) {
+                        assert_eq!(trace, derive(ns), "torn exemplar: ns {ns} trace {trace:x}");
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!(reader.join().unwrap() > 0, "reader observed exemplars");
+        let (ns, trace) = h.quantile_exemplar(0.99).expect("final exemplar");
+        assert_eq!(trace, derive(ns));
+        assert!(h.exemplar_count() > 0);
     }
 
     #[test]

@@ -69,6 +69,33 @@ pub const GLOBAL_COUNTERS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Every tracing / flight-recorder counter, as
+/// `(field, prometheus name, help)`. Same contract discipline as
+/// [`GLOBAL_COUNTERS`]; `copred_trace_exemplars_total` is derived from the
+/// latency histogram's exemplar writes rather than a dedicated atomic.
+pub const TRACE_COUNTERS: &[(&str, &str, &str)] = &[
+    (
+        "traced_requests",
+        "copred_trace_requests_total",
+        "Check requests that carried a trace token.",
+    ),
+    (
+        "trace_exemplars",
+        "copred_trace_exemplars_total",
+        "Latency exemplar slots written from traced samples.",
+    ),
+    (
+        "flight_dumps",
+        "copred_flight_dumps_total",
+        "Flight-recorder dumps served on demand.",
+    ),
+    (
+        "flight_auto_dumps",
+        "copred_flight_auto_dumps_total",
+        "Flight-recorder dumps fired by the latency threshold.",
+    ),
+];
+
 /// Every persistence counter in [`copred_store::StoreStats`], as
 /// `(field, prometheus name, help)`. The field order mirrors
 /// `StoreStats::stat_lines` and is part of the conformance contract even
@@ -224,6 +251,16 @@ fn global_counter<'a>(m: &'a Metrics, field: &str) -> &'a AtomicU64 {
     }
 }
 
+fn trace_counter(m: &Metrics, field: &str) -> u64 {
+    match field {
+        "traced_requests" => m.traced_requests.load(Ordering::Relaxed),
+        "trace_exemplars" => m.check_latency.exemplar_count(),
+        "flight_dumps" => m.flight_dumps.load(Ordering::Relaxed),
+        "flight_auto_dumps" => m.flight_auto_dumps.load(Ordering::Relaxed),
+        other => unreachable!("unmapped trace counter {other}"),
+    }
+}
+
 fn store_counter<'a>(s: &'a StoreStats, field: &str) -> &'a AtomicU64 {
     match field {
         "snapshots_written" => &s.snapshots_written,
@@ -278,6 +315,10 @@ pub fn render_prometheus(
             global_counter(metrics, field).load(Ordering::Relaxed) as f64,
         );
     }
+    for &(field, name, help) in TRACE_COUNTERS {
+        b.family(name, "counter", help);
+        b.sample(name, trace_counter(metrics, field) as f64);
+    }
     for &(field, name, help) in STORE_COUNTERS {
         b.family(name, "counter", help);
         b.sample(
@@ -324,7 +365,21 @@ pub fn render_prometheus(
     );
     for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
         let v = h.quantile(q).map_or(f64::NAN, |n| n as f64);
-        b.sample_labeled("copred_check_latency_ns", &[("quantile", label)], v);
+        // OpenMetrics exemplar: the worst recent traced sample in the
+        // quantile's bucket, keyed by its trace id.
+        match h.quantile_exemplar(q) {
+            Some((ns, trace)) => {
+                let hex = format!("{trace:032x}");
+                b.sample_labeled_exemplar(
+                    "copred_check_latency_ns",
+                    &[("quantile", label)],
+                    v,
+                    &[("trace_id", hex.as_str())],
+                    ns as f64,
+                );
+            }
+            None => b.sample_labeled("copred_check_latency_ns", &[("quantile", label)], v),
+        }
     }
     b.sample("copred_check_latency_ns_sum", h.sum_ns() as f64);
     b.sample("copred_check_latency_ns_count", h.count() as f64);

@@ -15,11 +15,20 @@
 //! check_pose <session> \n one block        ok results 1 \n result …
 //! reset <session>                          ok reset
 //! stats [<session>]                        ok stats <n> \n <key> <value> …
+//! dump                                     ok dump <entries>
 //! close <session>                          ok closed
 //! (any)                                    err retry_after <ms> <message>
 //! (any)                                    err <code> <message>
 //! ```
+//!
+//! Check verbs additionally accept an optional trailing `trace <hex128>`
+//! token carrying a causal trace id ([`copred_obs::TraceId`]); the
+//! server echoes it on the matching `ok results` line. Requests without
+//! the token — and their responses — serialize byte-identically to the
+//! pre-trace wire format, so old clients and recorded logs parse
+//! unchanged.
 
+use copred_obs::TraceId;
 use copred_trace::MotionTrace;
 use std::fmt;
 
@@ -79,6 +88,9 @@ pub enum Request {
         session: u64,
         /// The motions, in issue order.
         motions: Vec<MotionTrace>,
+        /// Optional causal trace id, echoed in the response. Never
+        /// affects scheduling or results.
+        trace: Option<TraceId>,
     },
     /// A single pose check (a one-pose motion block).
     CheckPose {
@@ -86,6 +98,8 @@ pub enum Request {
         session: u64,
         /// One-pose motion block.
         motion: MotionTrace,
+        /// Optional causal trace id, echoed in the response.
+        trace: Option<TraceId>,
     },
     /// Clears the session's CHT — the paper's dynamic-obstacle remap.
     ResetCht {
@@ -97,6 +111,8 @@ pub enum Request {
         /// `None` for server-wide stats.
         session: Option<u64>,
     },
+    /// Dumps the server's flight recorder (admin/debug verb).
+    Dump,
     /// Ends the session and releases its shard.
     Close {
         /// Session token.
@@ -161,11 +177,22 @@ pub enum Response {
         warm: bool,
     },
     /// Batch results, one per motion in request order.
-    Results(Vec<CheckResult>),
+    Results {
+        /// One result per motion, in request order.
+        results: Vec<CheckResult>,
+        /// Echo of the request's `trace` token (`None` when the request
+        /// carried none, keeping the legacy wire form byte-identical).
+        trace: Option<TraceId>,
+    },
     /// CHT cleared.
     ResetDone,
     /// Metrics snapshot as ordered key/value pairs.
     Stats(Vec<(String, String)>),
+    /// Flight recorder dumped; carries the number of entries captured.
+    DumpDone {
+        /// Flight entries in the dump.
+        entries: u64,
+    },
     /// Session closed.
     Closed,
     /// Request failed.
@@ -195,21 +222,36 @@ impl Request {
                 ),
                 None => format!("open {robot} {link_count} {} {seed}\n", mode.label()),
             },
-            Request::CheckMotion { session, motions } => {
-                let mut out = format!("check_motion {session} {}\n", motions.len());
+            Request::CheckMotion {
+                session,
+                motions,
+                trace,
+            } => {
+                let mut out = match trace {
+                    Some(t) => format!("check_motion {session} {} trace {t}\n", motions.len()),
+                    None => format!("check_motion {session} {}\n", motions.len()),
+                };
                 for m in motions {
                     m.write_text(&mut out);
                 }
                 out
             }
-            Request::CheckPose { session, motion } => {
-                let mut out = format!("check_pose {session}\n");
+            Request::CheckPose {
+                session,
+                motion,
+                trace,
+            } => {
+                let mut out = match trace {
+                    Some(t) => format!("check_pose {session} trace {t}\n"),
+                    None => format!("check_pose {session}\n"),
+                };
                 motion.write_text(&mut out);
                 out
             }
             Request::ResetCht { session } => format!("reset {session}\n"),
             Request::Stats { session: None } => "stats\n".to_string(),
             Request::Stats { session: Some(id) } => format!("stats {id}\n"),
+            Request::Dump => "dump\n".to_string(),
             Request::Close { session } => format!("close {session}\n"),
         }
     }
@@ -254,6 +296,7 @@ impl Request {
             "check_motion" => {
                 let session = parse_u64(f.next(), "session")?;
                 let n = parse_u64(f.next(), "motion count")? as usize;
+                let trace = parse_trace_token(&mut f, "motion count")?;
                 if n == 0 {
                     return Err("empty motion batch".into());
                 }
@@ -271,10 +314,15 @@ impl Request {
                 if lines.next().is_some() {
                     return Err("trailing content after motion batch".into());
                 }
-                Ok(Request::CheckMotion { session, motions })
+                Ok(Request::CheckMotion {
+                    session,
+                    motions,
+                    trace,
+                })
             }
             "check_pose" => {
                 let session = parse_u64(f.next(), "session")?;
+                let trace = parse_trace_token(&mut f, "session")?;
                 let (ln, header) = lines.next().ok_or("missing pose block")?;
                 let motion = copred_trace::parse_motion_block(ln, header, &mut lines)
                     .map_err(|e| e.to_string())?;
@@ -284,7 +332,11 @@ impl Request {
                 if lines.next().is_some() {
                     return Err("trailing content after pose block".into());
                 }
-                Ok(Request::CheckPose { session, motion })
+                Ok(Request::CheckPose {
+                    session,
+                    motion,
+                    trace,
+                })
             }
             "reset" => Ok(Request::ResetCht {
                 session: parse_u64(f.next(), "session")?,
@@ -296,11 +348,38 @@ impl Request {
                     Ok(Request::Stats { session: Some(id) })
                 }
             },
+            "dump" => {
+                if let Some(extra) = f.next() {
+                    return Err(format!("unexpected token '{extra}' after dump"));
+                }
+                Ok(Request::Dump)
+            }
             "close" => Ok(Request::Close {
                 session: parse_u64(f.next(), "session")?,
             }),
             other => Err(format!("unknown verb '{other}'")),
         }
+    }
+}
+
+/// Parses the optional trailing `trace <hex128>` token (then end of
+/// line). `after` names the preceding field for error messages.
+fn parse_trace_token<'a>(
+    f: &mut impl Iterator<Item = &'a str>,
+    after: &str,
+) -> Result<Option<TraceId>, String> {
+    match f.next() {
+        None => Ok(None),
+        Some("trace") => {
+            let hex = f.next().ok_or("missing trace value")?;
+            let id = TraceId::from_hex(hex)
+                .ok_or_else(|| "bad trace (want 32 hex digits, nonzero)".to_string())?;
+            match f.next() {
+                None => Ok(Some(id)),
+                Some(extra) => Err(format!("unexpected token '{extra}' after trace")),
+            }
+        }
+        Some(other) => Err(format!("unexpected token '{other}' after {after}")),
     }
 }
 
@@ -314,9 +393,12 @@ impl Response {
             Response::Session { id, warm } => {
                 format!("ok session {id} warm {}\n", u8::from(*warm))
             }
-            Response::Results(rs) => {
-                let mut out = format!("ok results {}\n", rs.len());
-                for r in rs {
+            Response::Results { results, trace } => {
+                let mut out = match trace {
+                    Some(t) => format!("ok results {} trace {t}\n", results.len()),
+                    None => format!("ok results {}\n", results.len()),
+                };
+                for r in results {
                     out.push_str(&format!(
                         "result {} {} {} {}\n",
                         u8::from(r.colliding),
@@ -335,6 +417,7 @@ impl Response {
                 }
                 out
             }
+            Response::DumpDone { entries } => format!("ok dump {entries}\n"),
             Response::Closed => "ok closed\n".to_string(),
             Response::Error(ServiceError::RetryAfter { ms, message }) => {
                 format!("err retry_after {ms} {message}\n")
@@ -371,6 +454,7 @@ impl Response {
                 }
                 Some("results") => {
                     let n = parse_u64(f.next(), "result count")? as usize;
+                    let trace = parse_trace_token(&mut f, "result count")?;
                     if n > MAX_BATCH {
                         return Err("result count exceeds MAX_BATCH".into());
                     }
@@ -389,9 +473,12 @@ impl Response {
                             obstacle_tests: parse_u64(g.next(), "obstacle tests")?,
                         });
                     }
-                    Ok(Response::Results(rs))
+                    Ok(Response::Results { results: rs, trace })
                 }
                 Some("reset") => Ok(Response::ResetDone),
+                Some("dump") => Ok(Response::DumpDone {
+                    entries: parse_u64(f.next(), "dump entry count")?,
+                }),
                 Some("stats") => {
                     let n = parse_u64(f.next(), "stat count")? as usize;
                     if n > 4096 {
@@ -480,6 +567,12 @@ mod tests {
             Request::CheckMotion {
                 session: 7,
                 motions: vec![motion(), motion()],
+                trace: None,
+            },
+            Request::CheckMotion {
+                session: 7,
+                motions: vec![motion()],
+                trace: TraceId::new(0xFACE_0FF0_1234),
             },
             Request::CheckPose {
                 session: 7,
@@ -488,10 +581,21 @@ mod tests {
                     ..motion()
                 }
                 .tap_single_pose(),
+                trace: None,
+            },
+            Request::CheckPose {
+                session: 7,
+                motion: MotionTrace {
+                    poses: vec![Config::new(vec![0.0, 0.0])],
+                    ..motion()
+                }
+                .tap_single_pose(),
+                trace: TraceId::new(u128::MAX),
             },
             Request::ResetCht { session: 7 },
             Request::Stats { session: None },
             Request::Stats { session: Some(9) },
+            Request::Dump,
             Request::Close { session: 7 },
         ];
         for r in reqs {
@@ -517,13 +621,26 @@ mod tests {
         let resps = vec![
             Response::Session { id: 3, warm: false },
             Response::Session { id: 4, warm: true },
-            Response::Results(vec![CheckResult {
-                colliding: true,
-                cdqs_executed: 4,
-                cdqs_total: 17,
-                obstacle_tests: 12,
-            }]),
+            Response::Results {
+                results: vec![CheckResult {
+                    colliding: true,
+                    cdqs_executed: 4,
+                    cdqs_total: 17,
+                    obstacle_tests: 12,
+                }],
+                trace: None,
+            },
+            Response::Results {
+                results: vec![CheckResult {
+                    colliding: false,
+                    cdqs_executed: 1,
+                    cdqs_total: 2,
+                    obstacle_tests: 3,
+                }],
+                trace: TraceId::new(0xC0FFEE),
+            },
             Response::ResetDone,
+            Response::DumpDone { entries: 37 },
             Response::Stats(vec![
                 ("cdqs_issued".into(), "120".into()),
                 ("precision".into(), "0.9375".into()),
@@ -562,8 +679,63 @@ mod tests {
             "close nope",
             "warp 9",
             "check_motion 1 1\nmotion S1 1 1\npose 0.0\ncdq 9 0 0 0 0 1 1\n",
+            "dump 3",
+            "check_motion 1 1 trace\nmotion S1 1 1\npose 0.0\ncdq 0 0 0 0 0 1 1\n",
+            "check_motion 1 1 trace zz\nmotion S1 1 1\npose 0.0\ncdq 0 0 0 0 0 1 1\n",
+            "check_motion 1 1 trace 00000000000000000000000000000000\nmotion S1 1 1\npose 0.0\ncdq 0 0 0 0 0 1 1\n",
+            "check_motion 1 1 trace ff junk\nmotion S1 1 1\npose 0.0\ncdq 0 0 0 0 0 1 1\n",
+            "check_pose 1 spur\nmotion S1 1 1\npose 0.0\ncdq 0 0 0 0 0 1 1\n",
         ] {
             assert!(Request::from_text(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn absent_trace_token_keeps_legacy_wire_bytes() {
+        // Property over seeded batches: a traceless request/response pair
+        // must serialize to exactly the pre-trace wire form — no token,
+        // no reordered fields — and a traced pair round-trips its id.
+        let mut seed = 0x7AC3u64;
+        for _ in 0..200 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let session = seed % 512;
+            let req = Request::CheckMotion {
+                session,
+                motions: vec![motion()],
+                trace: None,
+            };
+            let text = req.to_text();
+            let head = text.lines().next().unwrap();
+            assert_eq!(head, format!("check_motion {session} 1"), "legacy head");
+            assert_eq!(Request::from_text(&text).unwrap(), req);
+
+            let id = TraceId::derive(seed, 1);
+            let traced = Request::CheckMotion {
+                session,
+                motions: vec![motion()],
+                trace: Some(id),
+            };
+            let ttext = traced.to_text();
+            let thead = ttext.lines().next().unwrap();
+            assert_eq!(thead, format!("check_motion {session} 1 trace {id}"));
+            assert_eq!(Request::from_text(&ttext).unwrap(), traced);
+
+            let resp = Response::Results {
+                results: vec![],
+                trace: None,
+            };
+            assert_eq!(resp.to_text(), "ok results 0\n", "legacy results line");
+            let traced_resp = Response::Results {
+                results: vec![],
+                trace: Some(id),
+            };
+            assert_eq!(traced_resp.to_text(), format!("ok results 0 trace {id}\n"));
+            assert_eq!(
+                Response::from_text(&traced_resp.to_text()).unwrap(),
+                traced_resp
+            );
         }
     }
 
@@ -587,6 +759,7 @@ mod tests {
         let req = Request::CheckMotion {
             session: 1,
             motions: vec![m.clone()],
+            trace: None,
         };
         let text = req.to_text();
         assert!(

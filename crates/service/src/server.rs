@@ -15,12 +15,13 @@ use crate::protocol::{CheckResult, Request, Response, SchedMode, ServiceError};
 use crate::session::{ChtPredictor, SessionRegistry, SessionState, TimedPredictor};
 use copred_collision::{run_predicted_schedule, run_schedule, Schedule};
 use copred_core::ChtParams;
+use copred_obs::{TraceId, TraceScope};
 use copred_trace::frame::{read_text_frame, write_text_frame};
 use copred_trace::MotionTrace;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -56,6 +57,16 @@ pub struct ServerConfig {
     /// and warm-start sessions whose `open` carries a matching environment
     /// fingerprint. `None` disables persistence.
     pub store_dir: Option<String>,
+    /// When set, enable span recording, retain recent spans in memory, and
+    /// write flight + Chrome-trace dumps (`flight-<n>.json`,
+    /// `trace-<n>.json`) into this directory on every `dump` op or
+    /// auto-dump. `None` keeps dumps in-memory only (`/debug/flight`
+    /// still works).
+    pub trace_dump: Option<String>,
+    /// Latency threshold (milliseconds) above which a check batch trips an
+    /// automatic flight dump, rate-limited to one per second. 0 disables
+    /// auto-dumps.
+    pub flight_threshold_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +83,8 @@ impl Default for ServerConfig {
             worker_delay_ms: 0,
             metrics_addr: None,
             store_dir: None,
+            trace_dump: None,
+            flight_threshold_ms: 0,
         }
     }
 }
@@ -82,6 +95,9 @@ struct Job {
     motions: Vec<MotionTrace>,
     reply: SyncSender<Vec<CheckResult>>,
     enqueued: Instant,
+    /// Causal trace id carried by the request (restored as the worker's
+    /// current trace while the batch runs).
+    trace: Option<TraceId>,
 }
 
 /// Bounded MPMC queue: `Mutex<VecDeque>` + `Condvar`, rejecting (never
@@ -141,12 +157,90 @@ impl JobQueue {
     }
 }
 
+/// Spans retained for dump export when `trace_dump` is set (events; the
+/// oldest are trimmed first).
+const SPAN_RETENTION: usize = 1 << 16;
+
 /// State shared by the accept loop, connection handlers, and workers.
 struct Shared {
     registry: SessionRegistry,
     metrics: Metrics,
     queue: JobQueue,
     config: ServerConfig,
+    /// Recent span events, retained by the drain thread when `trace_dump`
+    /// is set; `None` otherwise.
+    spans: Option<Mutex<VecDeque<copred_obs::Event>>>,
+    /// Monotonic dump file counter (`flight-<n>.json` / `trace-<n>.json`).
+    dump_seq: AtomicU64,
+    /// Milliseconds since `started` of the last auto-dump plus one
+    /// (0 = never), for the one-per-second rate limit.
+    last_auto_dump_ms: AtomicU64,
+    /// Process-start instant anchoring `last_auto_dump_ms`.
+    started: Instant,
+}
+
+/// Rate-limited automatic flight dump: at most one per second, triggered
+/// by a check batch exceeding the latency threshold.
+fn maybe_auto_dump(shared: &Shared) {
+    let now_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX - 1) + 1;
+    let last = shared.last_auto_dump_ms.load(Ordering::Relaxed);
+    if last != 0 && now_ms.saturating_sub(last) < 1000 {
+        return;
+    }
+    if shared
+        .last_auto_dump_ms
+        .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+    {
+        dump_flight(shared, true);
+    }
+}
+
+/// Pulls freshly recorded spans into the bounded retention buffer. Called
+/// by the retention thread and before every dump export.
+fn retain_spans(shared: &Shared) {
+    let Some(spans) = &shared.spans else {
+        return;
+    };
+    let batch = copred_obs::drain_events();
+    if batch.is_empty() {
+        return;
+    }
+    let mut buf = spans.lock().expect("span retention lock");
+    buf.extend(batch);
+    while buf.len() > SPAN_RETENTION {
+        buf.pop_front();
+    }
+}
+
+/// Dumps the flight recorder (and, with `trace_dump` set, the retained
+/// spans as a Chrome trace) and returns the number of flight entries.
+fn dump_flight(shared: &Shared, auto: bool) -> u64 {
+    let entries = copred_obs::flight_snapshot();
+    if auto {
+        shared
+            .metrics
+            .flight_auto_dumps
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.metrics.flight_dumps.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(dir) = shared.config.trace_dump.as_deref() {
+        retain_spans(shared);
+        let n = shared.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let _ = std::fs::create_dir_all(dir);
+        let flight_path = std::path::Path::new(dir).join(format!("flight-{n}.json"));
+        let _ = std::fs::write(flight_path, copred_obs::flight_json(&entries));
+        if let Some(spans) = &shared.spans {
+            let events: Vec<copred_obs::Event> = {
+                let buf = spans.lock().expect("span retention lock");
+                buf.iter().copied().collect()
+            };
+            let trace_path = std::path::Path::new(dir).join(format!("trace-{n}.json"));
+            let _ = std::fs::write(trace_path, copred_obs::chrome_trace_json(&events));
+        }
+    }
+    entries.len() as u64
 }
 
 /// Renders the `/metrics` page from the shared state.
@@ -167,6 +261,7 @@ pub struct Server {
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     metrics_server: Option<copred_obs::MetricsServer>,
+    retain_handle: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -190,6 +285,11 @@ impl Server {
             Some(dir) => Some(Arc::new(copred_store::StoreRegistry::open(dir)?)),
             None => None,
         };
+        if config.trace_dump.is_some() {
+            // Dump export needs spans to retain; the flight recorder
+            // itself is always on.
+            copred_obs::enable();
+        }
         let shared = Arc::new(Shared {
             registry: SessionRegistry::new_with_store(
                 config.cht_params,
@@ -198,6 +298,13 @@ impl Server {
             ),
             metrics: Metrics::new(),
             queue: JobQueue::new(config.queue_capacity),
+            spans: config
+                .trace_dump
+                .as_ref()
+                .map(|_| Mutex::new(VecDeque::with_capacity(1024))),
+            dump_seq: AtomicU64::new(0),
+            last_auto_dump_ms: AtomicU64::new(0),
+            started: Instant::now(),
             config,
         });
         let stopping = Arc::new(AtomicBool::new(false));
@@ -207,12 +314,48 @@ impl Server {
         let metrics_server = match shared.config.metrics_addr.clone() {
             Some(addr) => {
                 let render_shared_state = Arc::clone(&shared);
-                Some(copred_obs::MetricsServer::start(
+                let flight_shared = Arc::clone(&shared);
+                Some(copred_obs::MetricsServer::start_with_routes(
                     &addr,
-                    Arc::new(move || render_shared(&render_shared_state)),
+                    vec![
+                        (
+                            "/metrics".to_string(),
+                            Arc::new(move || render_shared(&render_shared_state)),
+                        ),
+                        (
+                            "/debug/flight".to_string(),
+                            Arc::new(move || {
+                                flight_shared
+                                    .metrics
+                                    .flight_dumps
+                                    .fetch_add(1, Ordering::Relaxed);
+                                copred_obs::flight_json(&copred_obs::flight_snapshot())
+                            }),
+                        ),
+                    ],
                 )?)
             }
             None => None,
+        };
+
+        // With trace_dump set, a low-rate drain keeps the span rings from
+        // overflowing between dumps.
+        let retain_handle = if shared.spans.is_some() {
+            let shared = Arc::clone(&shared);
+            let stopping = Arc::clone(&stopping);
+            Some(
+                thread::Builder::new()
+                    .name("copred-span-retain".to_string())
+                    .spawn(move || {
+                        while !stopping.load(Ordering::Acquire) {
+                            thread::sleep(Duration::from_millis(50));
+                            retain_spans(&shared);
+                        }
+                    })
+                    .expect("spawn span retention"),
+            )
+        } else {
+            None
         };
 
         let worker_handles = (0..shared.config.workers)
@@ -241,6 +384,7 @@ impl Server {
             accept_handle: Some(accept_handle),
             worker_handles,
             metrics_server,
+            retain_handle,
         })
     }
 
@@ -282,6 +426,9 @@ impl Server {
         }
         if let Some(mut m) = self.metrics_server.take() {
             m.shutdown();
+        }
+        if let Some(h) = self.retain_handle.take() {
+            let _ = h.join();
         }
     }
 }
@@ -328,9 +475,27 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
-        let decode_span = copred_obs::span("service", "decode");
+        // The decode span is timed before the trace id is known (it is
+        // parsed out of the payload), so it is emitted explicitly after
+        // the trace scope is entered — that way it, too, carries the id.
+        let decode_start = copred_obs::timestamp_ns();
+        let decode_t0 = Instant::now();
         let parsed = Request::from_text(&payload);
-        drop(decode_span);
+        let decode_ns = u64::try_from(decode_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let trace = match &parsed {
+            Ok(Request::CheckMotion { trace, .. }) | Ok(Request::CheckPose { trace, .. }) => *trace,
+            _ => None,
+        };
+        let _trace_scope = TraceScope::enter(trace);
+        if trace.is_some() {
+            shared
+                .metrics
+                .traced_requests
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if copred_obs::enabled() {
+            copred_obs::span_at("service", "decode", decode_start, decode_ns);
+        }
         let response = match parsed {
             Ok(req) => {
                 shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
@@ -381,8 +546,21 @@ fn dispatch(req: Request, shared: &Shared) -> Response {
             }
             Err(e) => Response::Error(e),
         },
-        Request::CheckMotion { session, motions } => enqueue_checks(session, motions, shared),
-        Request::CheckPose { session, motion } => enqueue_checks(session, vec![motion], shared),
+        Request::CheckMotion {
+            session,
+            motions,
+            trace,
+        } => enqueue_checks(session, motions, trace, shared),
+        Request::CheckPose {
+            session,
+            motion,
+            trace,
+        } => enqueue_checks(session, vec![motion], trace, shared),
+        Request::Dump => {
+            let entries = dump_flight(shared, false);
+            copred_obs::flight_op("dump", entries, 0);
+            Response::DumpDone { entries }
+        }
         Request::ResetCht { session } => match shared.registry.get(session) {
             Ok(s) => {
                 s.shard.reset();
@@ -416,7 +594,12 @@ fn dispatch(req: Request, shared: &Shared) -> Response {
 
 /// Applies both backpressure bounds, enqueues, and blocks this connection
 /// thread (only) until the worker replies.
-fn enqueue_checks(session_id: u64, motions: Vec<MotionTrace>, shared: &Shared) -> Response {
+fn enqueue_checks(
+    session_id: u64,
+    motions: Vec<MotionTrace>,
+    trace: Option<TraceId>,
+    shared: &Shared,
+) -> Response {
     let session = match shared.registry.get(session_id) {
         Ok(s) => s,
         Err(e) => return Response::Error(e),
@@ -441,13 +624,16 @@ fn enqueue_checks(session_id: u64, motions: Vec<MotionTrace>, shared: &Shared) -
         motions,
         reply: reply_tx,
         enqueued: Instant::now(),
+        trace,
     };
     if shared.queue.try_push(job).is_err() {
         session.pending.fetch_sub(1, Ordering::AcqRel);
         return retry("server queue full");
     }
     match reply_rx.recv() {
-        Ok(results) => Response::Results(results),
+        // The echo mirrors the request token exactly: absent stays absent,
+        // so untraced responses keep the legacy wire bytes.
+        Ok(results) => Response::Results { results, trace },
         // Worker pool shut down mid-request.
         Err(_) => Response::Error(ServiceError::Busy("server shutting down".into())),
     }
@@ -461,10 +647,21 @@ fn worker_loop(shared: &Shared) {
         if shared.config.worker_delay_ms > 0 {
             thread::sleep(Duration::from_millis(shared.config.worker_delay_ms));
         }
+        // The worker adopts the request's trace for the batch: every span
+        // and flight entry below carries it.
+        let _trace_scope = TraceScope::enter(job.trace);
         let results = run_batch(&job.session, &job.motions, shared);
         job.session.pending.fetch_sub(1, Ordering::AcqRel);
         let ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        shared.metrics.check_latency.record(ns);
+        shared
+            .metrics
+            .check_latency
+            .record_traced(ns, job.trace.map_or(0, |t| t.raw()));
+        copred_obs::flight_op("check", job.motions.len() as u64, ns);
+        let threshold = shared.config.flight_threshold_ms;
+        if threshold > 0 && ns > threshold.saturating_mul(1_000_000) {
+            maybe_auto_dump(shared);
+        }
         // The connection may have vanished; the work still counted.
         let _ = job.reply.send(results);
     }

@@ -67,7 +67,7 @@ fn overflow_returns_retry_after_and_connection_survives() {
                         .check_motions_once(session, vec![motion(3)])
                         .expect("io ok")
                     {
-                        Response::Results(rs) => {
+                        Response::Results { results: rs, .. } => {
                             assert_eq!(rs.len(), 1);
                             completed.fetch_add(1, Ordering::Relaxed);
                         }
@@ -138,7 +138,7 @@ fn global_queue_overflow_names_the_server_bound() {
                         .check_motions_once(session, vec![motion(2)])
                         .expect("io ok")
                     {
-                        Response::Results(_) => {}
+                        Response::Results { .. } => {}
                         Response::Error(ServiceError::RetryAfter { message, .. }) => {
                             if message.contains("server queue") {
                                 saw_server_full.fetch_add(1, Ordering::Relaxed);

@@ -75,6 +75,8 @@ fn loadgen_config(addr: std::net::SocketAddr, mode: SchedMode) -> LoadgenConfig 
         max_retries: 256,
         metrics_interval: None,
         fingerprints: None,
+        trace_ids: true,
+        stats_tsv: None,
     }
 }
 

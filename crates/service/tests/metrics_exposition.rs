@@ -8,7 +8,7 @@ use copred_obs::{http_get, parse_prometheus, PromSample};
 use copred_service::protocol::SchedMode;
 use copred_service::{
     render_prometheus, replay_stats, Metrics, Server, ServerConfig, SessionRegistry,
-    GLOBAL_COUNTERS, REPLAY_COUNTERS, SESSION_COUNTERS, STORE_COUNTERS,
+    GLOBAL_COUNTERS, REPLAY_COUNTERS, SESSION_COUNTERS, STORE_COUNTERS, TRACE_COUNTERS,
 };
 use copred_store::StoreStats;
 use std::sync::atomic::Ordering;
@@ -35,11 +35,27 @@ fn fixture() -> (Metrics, SessionRegistry) {
             other => panic!("fixture does not cover global counter {other}"),
         }
     }
+    // Trace/flight counters: fourth progression (trace_exemplars is
+    // derived from the histogram's traced samples below, not stored).
+    for (i, &(field, _, _)) in TRACE_COUNTERS.iter().enumerate() {
+        let v = 300 + 17 * i as u64;
+        match field {
+            "traced_requests" => metrics.traced_requests.store(v, Ordering::Relaxed),
+            "trace_exemplars" => {}
+            "flight_dumps" => metrics.flight_dumps.store(v, Ordering::Relaxed),
+            "flight_auto_dumps" => metrics.flight_auto_dumps.store(v, Ordering::Relaxed),
+            other => panic!("fixture does not cover trace counter {other}"),
+        }
+    }
     for _ in 0..90 {
         metrics.check_latency.record(1_000);
     }
-    for _ in 0..10 {
-        metrics.check_latency.record(1_000_000);
+    // The slow tail is traced: exemplars render on the latency summary
+    // with the *last* (worst-recent) trace id winning each bucket.
+    for i in 0..10u64 {
+        metrics
+            .check_latency
+            .record_traced(1_000_000, (0xFEED_u128 << 64) | u128::from(i + 1));
     }
 
     let registry = SessionRegistry::new(ChtParams::paper_2d(), 4);
@@ -152,6 +168,19 @@ fn every_global_counter_appears_exactly_once_with_prefix() {
         assert_eq!(count(&samples, name), 1, "{name} must appear exactly once");
         assert_eq!(value(&samples, name), (700 + 13 * i) as f64, "{name}");
     }
+    for (i, &(field, name, _)) in TRACE_COUNTERS.iter().enumerate() {
+        assert!(
+            name.starts_with("copred_trace_") || name.starts_with("copred_flight_"),
+            "{name} outside the trace/flight namespace"
+        );
+        assert_eq!(count(&samples, name), 1, "{name} must appear exactly once");
+        let expect = if field == "trace_exemplars" {
+            10.0 // ten traced records, every offer displaced its bucket slot
+        } else {
+            (300 + 17 * i) as f64
+        };
+        assert_eq!(value(&samples, name), expect, "{name}");
+    }
     for &(_, name, _) in SESSION_COUNTERS {
         assert!(name.starts_with("copred_"), "{name} lacks the prefix");
         assert_eq!(count(&samples, name), 1, "{name}: one session in fixture");
@@ -170,6 +199,33 @@ fn every_global_counter_appears_exactly_once_with_prefix() {
     assert_eq!(value(&samples, "copred_check_latency_ns_sum"), 10_090_000.0);
     assert_eq!(value(&samples, "copred_worker_queue_depth"), 3.0);
     assert_eq!(value(&samples, "copred_sessions_open"), 1.0);
+}
+
+#[test]
+fn latency_quantiles_carry_trace_exemplars() {
+    let page = render_fixture();
+    let samples = parse_prometheus(&page).expect("parse");
+    // The worst recent traced sample was the last offer into the slow
+    // bucket: trace (0xFEED << 64) | 10 at 1_000_000 ns. Every quantile
+    // resolves to it — the tail bucket directly, the fast bucket via the
+    // scan-up fallback.
+    let want_hex = format!("{:032x}", (0xFEED_u128 << 64) | 10);
+    for q in ["0.5", "0.95", "0.99"] {
+        let sample = samples
+            .iter()
+            .find(|s| s.name == "copred_check_latency_ns" && s.label("quantile") == Some(q))
+            .unwrap_or_else(|| panic!("missing quantile {q}"));
+        let (labels, ns) = sample.exemplar.as_ref().expect("exemplar attached");
+        assert_eq!(*ns, 1_000_000.0, "exemplar value at q={q}");
+        assert_eq!(
+            labels
+                .iter()
+                .find(|(k, _)| k == "trace_id")
+                .map(|(_, v)| v.as_str()),
+            Some(want_hex.as_str()),
+            "exemplar trace id at q={q}"
+        );
+    }
 }
 
 #[test]
