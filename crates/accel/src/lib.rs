@@ -38,7 +38,7 @@ pub use dadup::{
 pub use energy::{
     mpaccel_overheads, AreaModel, EnergyBreakdown, EnergyModel, OverheadReport, SramModel,
 };
-pub use observe::{accel_prom_page, AccelObserver, OccupancyHist, StallBreakdown};
+pub use observe::{accel_prom_page, stall_profile, AccelObserver, OccupancyHist, StallBreakdown};
 pub use perf::{perf_report, PerfReport};
 pub use sphere::{SphereRunResult, SphereSim};
 pub use system::{AccelConfig, AccelEvents, AccelRunResult, AccelSim, MotionSimResult};

@@ -25,8 +25,14 @@
 //!   inproc=1              start the server in this process (addr ignored)
 //!   trace=trace.json      write a Chrome trace of the run (implies inproc)
 //!   ab=1                  A/B the observability overhead: replay twice
-//!                         (obs off, obs on) and report p50/p95/p99 deltas
-//!                         (implies inproc)
+//!                         (obs + profiler sampler off, both on) and
+//!                         report p50/p95/p99 deltas (implies inproc)
+//!   ab_budget=5           with ab=1: exit 1 when the median per-rep
+//!                         p99 overhead exceeds this percentage in all
+//!                         of up to 3 rounds (the CI gate)
+//!   profile=out.folded    write the server's sampled stage profile as
+//!                         flamegraph-compatible folded stacks after the
+//!                         run (implies inproc)
 //!   warm=1                replay the workload twice against one
 //!                         store-enabled server — cold then warm — and
 //!                         report both runs (implies inproc; both land in
@@ -65,8 +71,10 @@ const VALID_FLAGS: &[&str] = &[
     "trace",
     "inproc",
     "ab",
+    "ab_budget",
     "warm",
     "store_dir",
+    "profile",
 ];
 
 struct Args {
@@ -79,8 +87,10 @@ struct Args {
     trace: Option<String>,
     inproc: bool,
     ab: bool,
+    ab_budget: Option<f64>,
     warm: bool,
     store_dir: Option<String>,
+    profile: Option<String>,
     lg: LoadgenConfig,
 }
 
@@ -95,8 +105,10 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         inproc: false,
         ab: false,
+        ab_budget: None,
         warm: false,
         store_dir: None,
+        profile: None,
         lg: LoadgenConfig {
             trace_ids: true,
             ..LoadgenConfig::default()
@@ -161,8 +173,20 @@ fn parse_args() -> Result<Args, String> {
             "trace" => args.trace = Some(value.to_string()),
             "inproc" => args.inproc = value == "1" || value == "true",
             "ab" => args.ab = value == "1" || value == "true",
+            "ab_budget" => {
+                let pct: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad ab_budget '{value}'"))?;
+                if !pct.is_finite() || pct <= 0.0 {
+                    return Err(format!(
+                        "ab_budget must be a positive percentage, got '{value}'"
+                    ));
+                }
+                args.ab_budget = Some(pct);
+            }
             "warm" => args.warm = value == "1" || value == "true",
             "store_dir" => args.store_dir = Some(value.to_string()),
+            "profile" => args.profile = Some(value.to_string()),
             _ => {
                 return Err(format!(
                     "unknown option '{key}' (valid flags: {})",
@@ -172,10 +196,14 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     // Worker-side spans only reach this process's recorder when the server
-    // runs in-process, the A/B needs a fresh server per arm, and the warm
-    // replay needs a server whose store it controls.
-    if args.trace.is_some() || args.ab || args.warm {
+    // runs in-process, the A/B needs a fresh server per arm, the warm
+    // replay needs a server whose store it controls, and the profile
+    // export reads the in-process server's sampler.
+    if args.trace.is_some() || args.ab || args.warm || args.profile.is_some() {
         args.inproc = true;
+    }
+    if args.ab_budget.is_some() && !args.ab {
+        return Err("ab_budget requires ab=1".to_string());
     }
     // Stream the sidecar stats TSV during the run (atomic tmp+rename per
     // snapshot) so a killed run still leaves a parseable partial file.
@@ -207,19 +235,28 @@ fn check_latencies(report: &LoadgenReport) -> Vec<u64> {
 }
 
 /// Runs the workload against a fresh in-process server (or the configured
-/// remote address when `inproc` is off).
-fn run_arm(args: &Args, traces: &[QueryTrace], trace_ids: bool) -> std::io::Result<LoadgenReport> {
+/// remote address when `inproc` is off). Returns the run report plus the
+/// server's sampled stage profile (empty against a remote server, whose
+/// sampler this process cannot read).
+fn run_arm(
+    args: &Args,
+    traces: &[QueryTrace],
+    trace_ids: bool,
+    sampler_on: bool,
+) -> std::io::Result<(LoadgenReport, copred_obs::Profile)> {
     let mut lg = args.lg.clone();
     lg.trace_ids = trace_ids;
     if args.inproc {
         let server = Server::start(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            profile_sampler: sampler_on,
             ..ServerConfig::default()
         })?;
         lg.addr = server.local_addr().to_string();
-        run_loadgen(&lg, traces)
+        let report = run_loadgen(&lg, traces)?;
+        Ok((report, server.profile()))
     } else {
-        run_loadgen(&lg, traces)
+        Ok((run_loadgen(&lg, traces)?, copred_obs::Profile::default()))
     }
 }
 
@@ -253,19 +290,18 @@ fn run_warm(args: &Args, traces: &[QueryTrace]) -> std::io::Result<(LoadgenRepor
 
 /// Replays the workload repeatedly with observability off and on —
 /// alternating arm order to cancel warmup/drift, fresh in-process server
-/// per replay — and reports the latency overhead of leaving tracing
-/// enabled. The PR's budget is < 5% on p99.
-fn run_ab(args: &Args, traces: &[QueryTrace]) -> std::io::Result<()> {
+/// One full alternating A/B round: `REPS` off/on replay pairs. Prints
+/// the pooled-quantile table and returns the median of the per-rep p99
+/// overhead percentages.
+fn ab_round(args: &Args, traces: &[QueryTrace]) -> std::io::Result<f64> {
     const REPS: usize = 5;
-    // Discarded warmup replay: pages in the binary, traces, and rings.
-    copred_obs::enable();
-    run_arm(args, traces, true)?;
-    copred_obs::drain_events();
-
     let mut off_ns = Vec::new();
     let mut on_ns = Vec::new();
+    let mut rep_p99_pcts = Vec::new();
     let mut events = 0usize;
+    let mut samples = 0u64;
     for rep in 0..REPS {
+        let mut rep_p99 = [0u64; 2];
         // a/b on even reps, b/a on odd: drift hits both arms equally.
         for pass in 0..2 {
             let enabled = (rep + pass) % 2 == 1;
@@ -275,12 +311,19 @@ fn run_ab(args: &Args, traces: &[QueryTrace]) -> std::io::Result<()> {
                 copred_obs::disable();
             }
             // The on arm carries wire trace ids (exemplars + flight
-            // stamps active); the off arm is the pre-tracing baseline.
-            let report = run_arm(args, traces, enabled)?;
+            // stamps active) plus the stage sampler; the off arm is the
+            // pre-observability baseline.
+            let (report, profile) = run_arm(args, traces, enabled, enabled)?;
             copred_obs::disable();
             events += copred_obs::drain_events().len();
+            let lat = check_latencies(&report);
+            rep_p99[usize::from(enabled)] = quantile_ns(&lat, 0.99);
             let target = if enabled { &mut on_ns } else { &mut off_ns };
-            target.extend(check_latencies(&report));
+            target.extend(lat);
+            samples += profile.samples();
+        }
+        if rep_p99[0] > 0 {
+            rep_p99_pcts.push(100.0 * (rep_p99[1] as f64 - rep_p99[0] as f64) / rep_p99[0] as f64);
         }
     }
     off_ns.sort_unstable();
@@ -303,7 +346,51 @@ fn run_ab(args: &Args, traces: &[QueryTrace]) -> std::io::Result<()> {
         "events        {events} recorded, {} dropped",
         copred_obs::dropped_events()
     );
-    Ok(())
+    println!("samples       {samples} (profiler, on-arm)");
+    // Pooled tail quantiles are hostage to whichever arm happened to run
+    // during a noisy stretch of a shared machine; the budget statistic is
+    // the *median* of the per-rep p99 overheads instead, so one bad
+    // period corrupts one rep and the median shrugs it off.
+    rep_p99_pcts.sort_by(f64::total_cmp);
+    Ok(rep_p99_pcts
+        .get(rep_p99_pcts.len() / 2)
+        .copied()
+        .unwrap_or(0.0))
+}
+
+/// Replays the workload repeatedly with observability off and on —
+/// alternating arm order to cancel warmup/drift, fresh in-process server
+/// per replay — and reports the latency overhead of leaving tracing and
+/// the profile sampler enabled. The PR's budget is < 5% on p99; pass
+/// `ab_budget=` to enforce it (exit 1). Contention noise is strictly
+/// one-sided (a busy host can only inflate an arm, never deflate it), so
+/// the budget check allows up to three rounds and passes on the first
+/// in-budget median: a real regression fails every round, a noisy burst
+/// fails one.
+fn run_ab(args: &Args, traces: &[QueryTrace]) -> std::io::Result<()> {
+    // Discarded warmup replay: pages in the binary, traces, and rings.
+    copred_obs::enable();
+    run_arm(args, traces, true, true)?;
+    copred_obs::drain_events();
+
+    let Some(budget) = args.ab_budget else {
+        let median = ab_round(args, traces)?;
+        println!("p99_median    {median:+.2}% per-rep");
+        return Ok(());
+    };
+    const ROUNDS: usize = 3;
+    for round in 1..=ROUNDS {
+        let median = ab_round(args, traces)?;
+        if median <= budget {
+            println!("budget        median per-rep p99 {median:+.2}% within {budget:.2}% (round {round}/{ROUNDS})");
+            return Ok(());
+        }
+        eprintln!(
+            "copred_loadgen: round {round}/{ROUNDS}: median per-rep p99 overhead {median:+.2}% exceeds budget {budget:.2}%"
+        );
+    }
+    eprintln!("copred_loadgen: overhead budget exceeded in all {ROUNDS} rounds");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -398,17 +485,31 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let report = match run_arm(&args, &traces, args.lg.trace_ids) {
+    let (report, profile) = match run_arm(&args, &traces, args.lg.trace_ids, true) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("copred_loadgen: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(path) = &args.profile {
+        if let Err(e) = std::fs::write(path, profile.folded()) {
+            eprintln!("copred_loadgen: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "profile       {path} ({} samples, {} threads)",
+            profile.samples(),
+            profile.threads()
+        );
+    }
     if let Some(path) = &args.trace {
         copred_obs::disable();
         let events = copred_obs::drain_events();
-        if let Err(e) = std::fs::write(path, copred_obs::chrome_trace_json(&events)) {
+        // The trace carries the run's sampled stage profile alongside its
+        // events, mirroring the server's trace_dump export.
+        let json = copred_obs::chrome_trace_json_with_profile(&events, &profile);
+        if let Err(e) = std::fs::write(path, json) {
             eprintln!("copred_loadgen: writing {path}: {e}");
             std::process::exit(1);
         }

@@ -12,8 +12,8 @@
 use crate::replay::{replay_coord, replay_schedule};
 use crate::workloads::{planner_traces, planner_traces_with_scenes, Algo, Combo, RobotKind, Scale};
 use copred_accel::{
-    accel_prom_page, perf_report, AccelConfig, AccelObserver, AccelRunResult, AccelSim, AreaModel,
-    EnergyModel,
+    accel_prom_page, perf_report, stall_profile, AccelConfig, AccelObserver, AccelRunResult,
+    AccelSim, AreaModel, EnergyModel,
 };
 use copred_collision::{Environment, Schedule};
 use copred_core::{ChtParams, CoordHash};
@@ -170,6 +170,7 @@ pub fn run_suites(cfg: &PerfwatchConfig) -> BenchReport {
     service_suite(cfg, &mut report.records);
     store_suite(cfg, &mut report.records);
     accel_suite(cfg, &mut report.records);
+    profile_suite(cfg, &mut report.records);
     report
 }
 
@@ -764,6 +765,104 @@ fn accel_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
     ));
 }
 
+/// Profile suite: `copred-profile` coverage both ways. The virtual-clock
+/// records fold the accel simulator's per-cycle stall attribution through
+/// [`copred_accel::stall_profile`] — fully deterministic under the fixed
+/// seed, so the quick baseline pins the bucket→stage mapping and the
+/// simulated utilization split. The wall-clock records replay the
+/// committed service workload against an in-process server with its
+/// sampler running and report what the sampler saw; they are timing kind
+/// because sample counts move with the host. (Higher-is-better on the
+/// sampler records keeps a fast machine's sparse profile from tripping
+/// the gate — only losing the records entirely regresses.)
+fn profile_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
+    // Virtual clock: one seeded COPU run, stall cycles → stage paths.
+    let (robot, _env, motions) = sim_workload(cfg.sim_motions(), cfg.seed.wrapping_add(2));
+    let mut sim = AccelSim::new(
+        AccelConfig::copu(4, ChtParams::paper_2d()),
+        CoordHash::paper_default(&robot),
+    );
+    let mut obs = AccelObserver::new();
+    let _ = sim.run_query_observed(&motions, &mut obs);
+    let vclock = stall_profile(&obs.stalls);
+    let snap = vclock.snapshot();
+    let busy = snap
+        .stage_fractions
+        .iter()
+        .find(|(s, _)| *s == "execute")
+        .map_or(0.0, |&(_, f)| f);
+    out.push(BenchRecord::deterministic(
+        "profile",
+        "accel_vclock_cycles",
+        vclock.samples() as f64,
+        "cycles",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "profile",
+        "accel_vclock_busy_frac",
+        busy,
+        "fraction",
+        Better::Higher,
+    ));
+    out.push(BenchRecord::deterministic(
+        "profile",
+        "accel_vclock_queue_wait_frac",
+        snap.queue_wait_fraction,
+        "fraction",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "profile",
+        "accel_vclock_paths",
+        vclock.folded().lines().count() as f64,
+        "paths",
+        Better::Higher,
+    ));
+
+    // Wall clock: the sampled profile of the committed service workload,
+    // read back through the server's own wiring (`Server::profile`).
+    let log = copred_replay::read_log(SERVICE_QUICK_LOG).expect("committed service log parses");
+    let mut samples_per_rep = Vec::new();
+    let mut busy_per_rep = Vec::new();
+    for _ in 0..cfg.reps.max(1) {
+        let mut backend = copred_replay::LoopbackBackend::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        })
+        .expect("start loopback server");
+        let opts = copred_replay::ReplayOptions {
+            mode: copred_replay::ReplayMode::Sequential,
+            compare: false,
+            trace_seed: None,
+        };
+        let _ = copred_replay::run_replay(&log, &mut backend, &opts).expect("loopback replay");
+        let profile = backend.server().expect("owned server").profile();
+        samples_per_rep.push(profile.samples() as f64);
+        let non_idle: f64 = profile
+            .snapshot()
+            .stage_fractions
+            .iter()
+            .map(|(_, f)| f)
+            .sum();
+        busy_per_rep.push(non_idle);
+    }
+    out.push(BenchRecord::timing(
+        "profile",
+        "service_sampler_samples",
+        &samples_per_rep,
+        "samples",
+        Better::Higher,
+    ));
+    out.push(BenchRecord::timing(
+        "profile",
+        "service_sampler_busy_frac",
+        &busy_per_rep,
+        "fraction",
+        Better::Higher,
+    ));
+}
+
 /// The accel deep-observability artifacts for one seeded COPU run: the
 /// `copred_accel_*` Prometheus page, the per-component energy table, the
 /// stall-attribution table, and the simulated-time Chrome trace JSON.
@@ -840,6 +939,7 @@ mod tests {
             "service",
             "store",
             "accel",
+            "profile",
         ] {
             assert!(
                 report.records.iter().any(|r| r.suite == suite),
@@ -895,6 +995,55 @@ mod tests {
                 ra.value,
                 rb.value
             );
+        }
+    }
+
+    #[test]
+    fn sampled_service_profile_fractions_are_normalized() {
+        // Acceptance criterion: on a replay of the committed service
+        // workload with a sampler running, per-thread stage fractions sum
+        // to ≤ 1.0 (idle is in the denominator) and every sampled frame
+        // is a known stage label. A dedicated fast sampler (rather than
+        // the server's ~1ms one) keeps this deterministic-ish on fast
+        // hosts; a few retries absorb the rest.
+        let log = copred_replay::read_log(SERVICE_QUICK_LOG).expect("log parses");
+        let opts = copred_replay::ReplayOptions {
+            mode: copred_replay::ReplayMode::Sequential,
+            compare: false,
+            trace_seed: None,
+        };
+        let mut profile = copred_obs::Profile::default();
+        for _ in 0..10 {
+            let sampler = copred_obs::Sampler::start(std::time::Duration::from_micros(50));
+            let mut backend = copred_replay::LoopbackBackend::start(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServerConfig::default()
+            })
+            .expect("start loopback server");
+            copred_replay::run_replay(&log, &mut backend, &opts).expect("replay");
+            drop(backend);
+            profile = sampler.stop();
+            if profile.samples() > 0 && !profile.folded().is_empty() {
+                break;
+            }
+        }
+        assert!(profile.samples() > 0, "sampler never ticked");
+        assert!(
+            !profile.folded().is_empty(),
+            "no non-idle stage paths sampled during a whole service replay"
+        );
+        for (tid, _total, rows) in profile.thread_fractions() {
+            let sum: f64 = rows.iter().map(|(_, f)| f).sum();
+            assert!(sum <= 1.0 + 1e-9, "thread {tid} fractions sum to {sum}");
+        }
+        for line in profile.folded().lines() {
+            let path = line.rsplit_once(' ').expect("folded line shape").0;
+            for frame in path.split(';') {
+                assert!(
+                    copred_obs::Stage::ALL.iter().any(|s| s.label() == frame),
+                    "unknown frame {frame:?}"
+                );
+            }
         }
     }
 

@@ -16,7 +16,8 @@ fn conformance_smoke() {
         store_cases: 1,
         replay_cases: 1,
         trace_cases: 1,
+        profile_cases: 1,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
-    assert!(report.total_iterations() >= 45);
+    assert!(report.total_iterations() >= 46);
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! copred_conform [--seed N] [--iters N] [--service-traces N]
 //!                [--fault-cases N] [--store-cases N] [--replay-cases N]
-//!                [--trace-cases N] [--skip-service] [--skip-fault]
-//!                [--skip-store] [--skip-replay] [--skip-trace]
+//!                [--trace-cases N] [--profile-cases N] [--skip-service]
+//!                [--skip-fault] [--skip-store] [--skip-replay]
+//!                [--skip-trace] [--skip-profile]
 //! ```
 //!
 //! Runs the seeded differential harness (schedule semantics, service
@@ -20,8 +21,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: copred_conform [--seed N] [--iters N] [--service-traces N] \
          [--fault-cases N] [--store-cases N] [--replay-cases N] \
-         [--trace-cases N] [--skip-service] [--skip-fault] [--skip-store] \
-         [--skip-replay] [--skip-trace]"
+         [--trace-cases N] [--profile-cases N] [--skip-service] \
+         [--skip-fault] [--skip-store] [--skip-replay] [--skip-trace] \
+         [--skip-profile]"
     );
     std::process::exit(2);
 }
@@ -49,11 +51,13 @@ fn main() -> ExitCode {
             "--store-cases" => cfg.store_cases = parse_u64(&mut args, "--store-cases"),
             "--replay-cases" => cfg.replay_cases = parse_u64(&mut args, "--replay-cases"),
             "--trace-cases" => cfg.trace_cases = parse_u64(&mut args, "--trace-cases"),
+            "--profile-cases" => cfg.profile_cases = parse_u64(&mut args, "--profile-cases"),
             "--skip-service" => cfg.service_traces = 0,
             "--skip-fault" => cfg.fault_cases = 0,
             "--skip-store" => cfg.store_cases = 0,
             "--skip-replay" => cfg.replay_cases = 0,
             "--skip-trace" => cfg.trace_cases = 0,
+            "--skip-profile" => cfg.profile_cases = 0,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -63,8 +67,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases, {} replay cases, {} trace cases",
-        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases, cfg.replay_cases, cfg.trace_cases
+        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases, {} replay cases, {} trace cases, {} profile cases",
+        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases, cfg.replay_cases, cfg.trace_cases, cfg.profile_cases
     );
     let report = run_all(&cfg);
     println!("{}", report.summary());

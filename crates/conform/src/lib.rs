@@ -34,8 +34,15 @@
 //!    match byte-for-byte modulo the `trace` token, the scheduler
 //!    aggregates must be identical, and injecting fresh trace ids into
 //!    an untraced CPRDLOG replay must stay mismatch-free.
+//! 7. **Profiling invisibility** ([`profile_check`]) — the same seeded
+//!    workload runs with the continuous stage sampler off and on; the op
+//!    streams must match byte-for-byte (the sampler touches no wire
+//!    bytes), the scheduler aggregates must be identical, the sampled
+//!    arm's profile must satisfy its shape invariants (per-thread
+//!    fractions ≤ 1.0, known stage labels only), and the unsampled
+//!    server must report an empty profile.
 //!
-//! The `copred_conform` binary wires all six into CI; every run is a
+//! The `copred_conform` binary wires all seven into CI; every run is a
 //! pure function of `--seed`, so a red build is reproducible locally with
 //! the same flags.
 
@@ -44,6 +51,7 @@
 
 pub mod fault;
 pub mod generate;
+pub mod profile_check;
 pub mod reference;
 pub mod replay_check;
 pub mod service_diff;
@@ -51,6 +59,7 @@ pub mod store_check;
 pub mod trace_check;
 
 pub use generate::{ScenarioGen, ScheduleCase};
+pub use profile_check::{run_profile_checks, ProfileCheckOutcome};
 pub use reference::{brute_force_verdict, check_schedule_case, RecordingPredictor};
 pub use replay_check::{run_replay_checks, ReplayCheckOutcome};
 pub use service_diff::{replay_batch_in_process, run_cpu_diff, run_service_diff};
@@ -77,6 +86,8 @@ pub struct ConformConfig {
     pub replay_cases: u64,
     /// Tracing-invisibility cases (0 skips the stage).
     pub trace_cases: u64,
+    /// Profiling-invisibility cases (0 skips the stage).
+    pub profile_cases: u64,
 }
 
 impl Default for ConformConfig {
@@ -89,6 +100,7 @@ impl Default for ConformConfig {
             store_cases: 4,
             replay_cases: 3,
             trace_cases: 3,
+            profile_cases: 3,
         }
     }
 }
@@ -116,6 +128,10 @@ pub struct ConformReport {
     pub trace_cases: u64,
     /// Wire ops compared byte-for-byte across traced/untraced runs.
     pub trace_ops: u64,
+    /// Profiling-invisibility cases.
+    pub profile_cases: u64,
+    /// Wire ops compared byte-for-byte across sampled/unsampled runs.
+    pub profile_ops: u64,
     /// Every divergence, mismatch, or panic found.
     pub failures: Vec<String>,
 }
@@ -136,12 +152,13 @@ impl ConformReport {
             + self.store_cases
             + self.replay_cases
             + self.trace_cases
+            + self.profile_cases
     }
 
     /// One-line-per-stage human summary.
     pub fn summary(&self) -> String {
         format!(
-            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\nreplay cases: {} ({} ops replayed)\ntrace cases: {} ({} ops compared)\ntotal iterations: {}\nfailures: {}",
+            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\nreplay cases: {} ({} ops replayed)\ntrace cases: {} ({} ops compared)\nprofile cases: {} ({} ops compared)\ntotal iterations: {}\nfailures: {}",
             self.schedule_iters,
             self.service_traces,
             self.service_checks,
@@ -152,6 +169,8 @@ impl ConformReport {
             self.replay_ops,
             self.trace_cases,
             self.trace_ops,
+            self.profile_cases,
+            self.profile_ops,
             self.total_iterations(),
             self.failures.len()
         )
@@ -232,6 +251,15 @@ pub fn run_all(cfg: &ConformConfig) -> ConformReport {
         report.failures.extend(out.failures);
     }
 
+    // Stage 7: profiling invisibility — identical bytes and scheduler
+    // aggregates with the continuous stage sampler off vs on.
+    if cfg.profile_cases > 0 {
+        let out = run_profile_checks(&gen, cfg.profile_cases, cfg.seed);
+        report.profile_cases = out.cases_run;
+        report.profile_ops = out.ops_compared;
+        report.failures.extend(out.failures);
+    }
+
     report
 }
 
@@ -249,13 +277,16 @@ mod tests {
             store_cases: 1,
             replay_cases: 1,
             trace_cases: 1,
+            profile_cases: 1,
         };
         let report = run_all(&cfg);
         assert!(report.is_clean(), "{:?}", report.failures);
-        // 10 schedule + 3 service + 8 fault + 1 store + 1 replay + 1 trace.
-        assert!(report.total_iterations() >= 24);
+        // 10 schedule + 3 service + 8 fault + 1 store + 1 replay + 1
+        // trace + 1 profile.
+        assert!(report.total_iterations() >= 25);
         assert!(report.replay_ops > 0, "replay stage must run ops");
         assert!(report.trace_ops > 0, "trace stage must compare ops");
+        assert!(report.profile_ops > 0, "profile stage must compare ops");
         assert!(report.summary().contains("failures: 0"));
     }
 }

@@ -1,0 +1,219 @@
+//! Stage 7: profiling invisibility.
+//!
+//! The continuous profiler samples worker stage stacks from a dedicated
+//! thread; the worker path only publishes frames through seqlocked
+//! atomics. That design claims the sampler is *semantically invisible*:
+//! turning it on must not change a single byte the service computes or
+//! says on the wire, and must not perturb the scheduler's call sequence.
+//! This stage proves it differentially.
+//!
+//! Per case:
+//!
+//! * **Live A/B** — the same seeded workload runs twice over loopback
+//!   TCP against fresh servers, once with `profile_sampler` off and once
+//!   on. Session ids are a deterministic counter and the connection is
+//!   single, so the two op streams must match *byte for byte* — no
+//!   token stripping, the sampler adds nothing to the protocol — and
+//!   the scheduler-facing aggregates (checks, collisions, CDQs issued
+//!   and declared) must be identical, proving the predictor saw the
+//!   same call sequence either way.
+//! * **Profile sanity** — the sampled arm's profile must be internally
+//!   consistent: per-thread stage fractions sum to at most 1.0 (idle is
+//!   in the denominator) and every folded frame carries a known stage
+//!   label. Sample *counts* are wall-clock dependent and deliberately
+//!   not asserted — a fast host may finish a case between ticks.
+//! * **Off means off** — the unsampled arm's server must report an
+//!   empty profile: zero samples, zero threads.
+
+use crate::generate::ScenarioGen;
+use copred_service::{run_loadgen, LoadgenConfig, LoadgenReport, SchedMode, Server, ServerConfig};
+
+/// Outcome of the profiling-invisibility stage.
+#[derive(Debug, Default)]
+pub struct ProfileCheckOutcome {
+    /// Cases run (one sampler-off/sampler-on pair each).
+    pub cases_run: u64,
+    /// Wire ops compared byte-for-byte across the two arms.
+    pub ops_compared: u64,
+    /// Human-readable divergence reports (empty = conformant).
+    pub failures: Vec<String>,
+}
+
+fn mode_for(case: u64) -> SchedMode {
+    [SchedMode::Coord, SchedMode::Naive, SchedMode::Csp][(case % 3) as usize]
+}
+
+fn live_run(
+    gen: &ScenarioGen,
+    case: u64,
+    seed: u64,
+    sampler_on: bool,
+) -> Result<(LoadgenReport, copred_obs::Profile), String> {
+    // Trace indices offset far from the other stages' so workloads differ.
+    let traces: Vec<_> = (0..3)
+        .map(|i| gen.query_trace(30_000 + case * 10 + i))
+        .collect();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        profile_sampler: sampler_on,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("server failed to start: {e}"))?;
+    let lg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        connections: 1,
+        mode: mode_for(case),
+        seed,
+        batch: 1 + (case % 3) as usize,
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&lg, &traces).map_err(|e| format!("loadgen run failed: {e}"))?;
+    Ok((report, server.profile()))
+}
+
+/// Runs `cases` profiling-invisibility checks, each deriving
+/// deterministically from `base_seed` and the case index.
+pub fn run_profile_checks(gen: &ScenarioGen, cases: u64, base_seed: u64) -> ProfileCheckOutcome {
+    let mut outcome = ProfileCheckOutcome::default();
+    for case in 0..cases {
+        check_case(gen, case, base_seed, &mut outcome);
+        outcome.cases_run += 1;
+    }
+    outcome
+}
+
+fn check_case(gen: &ScenarioGen, case: u64, base_seed: u64, outcome: &mut ProfileCheckOutcome) {
+    let fail = |failures: &mut Vec<String>, msg: String| {
+        failures.push(format!("profile case {case}: {msg}"));
+    };
+    let seed = base_seed.wrapping_mul(53).wrapping_add(case);
+
+    // --- Live A/B: identical workload, sampler off vs on.
+    let (plain, off_profile) = match live_run(gen, case, seed, false) {
+        Ok(r) => r,
+        Err(e) => {
+            fail(&mut outcome.failures, format!("unsampled run: {e}"));
+            return;
+        }
+    };
+    let (sampled, on_profile) = match live_run(gen, case, seed, true) {
+        Ok(r) => r,
+        Err(e) => {
+            fail(&mut outcome.failures, format!("sampled run: {e}"));
+            return;
+        }
+    };
+
+    if plain.checks != sampled.checks
+        || plain.collisions != sampled.collisions
+        || plain.cdqs_issued != sampled.cdqs_issued
+        || plain.cdqs_total != sampled.cdqs_total
+    {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "aggregates diverged: unsampled (checks {}, collisions {}, cdqs {}/{}) vs sampled ({}, {}, {}/{})",
+                plain.checks,
+                plain.collisions,
+                plain.cdqs_issued,
+                plain.cdqs_total,
+                sampled.checks,
+                sampled.collisions,
+                sampled.cdqs_issued,
+                sampled.cdqs_total
+            ),
+        );
+    }
+    if plain.ops.len() != sampled.ops.len() {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "op counts diverged: {} unsampled vs {} sampled",
+                plain.ops.len(),
+                sampled.ops.len()
+            ),
+        );
+        return;
+    }
+    for (i, (p, s)) in plain.ops.iter().zip(&sampled.ops).enumerate() {
+        outcome.ops_compared += 1;
+        if p.verb != s.verb || p.tag != s.tag || p.session != s.session {
+            fail(
+                &mut outcome.failures,
+                format!(
+                    "op {i} shape diverged: {}/{}/{} vs {}/{}/{}",
+                    p.verb, p.tag, p.session, s.verb, s.tag, s.session
+                ),
+            );
+            continue;
+        }
+        if p.request != s.request {
+            fail(
+                &mut outcome.failures,
+                format!(
+                    "op {i} ({}) request bytes diverged under sampling: {:?} vs {:?}",
+                    p.verb, p.request, s.request
+                ),
+            );
+        }
+        if p.response != s.response {
+            fail(
+                &mut outcome.failures,
+                format!(
+                    "op {i} ({}) response bytes diverged under sampling: {:?} vs {:?}",
+                    p.verb, p.response, s.response
+                ),
+            );
+        }
+    }
+
+    // --- Off means off: the unsampled server reports an empty profile.
+    if off_profile.samples() != 0 || off_profile.threads() != 0 {
+        fail(
+            &mut outcome.failures,
+            format!(
+                "sampler-off server still profiled: {} samples on {} threads",
+                off_profile.samples(),
+                off_profile.threads()
+            ),
+        );
+    }
+
+    // --- Profile sanity on the sampled arm (counts are wall-dependent
+    // and not asserted; shape invariants always hold).
+    let stage_labels: Vec<&str> = copred_obs::Stage::ALL.iter().map(|s| s.label()).collect();
+    for (tid, _weight, fractions) in on_profile.thread_fractions() {
+        let total: f64 = fractions.iter().map(|(_, f)| f).sum();
+        if total > 1.0 + 1e-9 {
+            fail(
+                &mut outcome.failures,
+                format!("thread {tid} stage fractions sum to {total} > 1.0"),
+            );
+        }
+    }
+    for line in on_profile.folded().lines() {
+        let path = line.split(' ').next().unwrap_or("");
+        for frame in path.split(';') {
+            if !stage_labels.contains(&frame) {
+                fail(
+                    &mut outcome.failures,
+                    format!("folded output carries unknown stage label {frame:?} in {line:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_case_is_clean() {
+        let gen = ScenarioGen::new(47);
+        let out = run_profile_checks(&gen, 1, 4700);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.cases_run, 1);
+        assert!(out.ops_compared > 0);
+    }
+}

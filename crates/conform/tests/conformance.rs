@@ -109,6 +109,7 @@ fn full_harness_finds_nothing_at_moderate_scale() {
         store_cases: 2,
         replay_cases: 2,
         trace_cases: 1,
+        profile_cases: 1,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
     assert!(report.service_checks > 0);
@@ -120,5 +121,9 @@ fn full_harness_finds_nothing_at_moderate_scale() {
     assert!(
         report.replay_cases == 2 && report.replay_ops > 0,
         "record→replay scenarios must run too"
+    );
+    assert!(
+        report.profile_cases == 1 && report.profile_ops > 0,
+        "profiling-invisibility scenarios must run too"
     );
 }

@@ -96,6 +96,27 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     out
 }
 
+/// Renders events as a Chrome trace with a `copredProfile` self-profile
+/// section: the sampler's folded stacks and stats ride along as an extra
+/// top-level key, which `chrome://tracing`/Perfetto ignore but tooling
+/// can extract. The `traceEvents` array is byte-identical to
+/// [`chrome_trace_json`]'s.
+pub fn chrome_trace_json_with_profile(events: &[Event], profile: &crate::Profile) -> String {
+    let plain = chrome_trace_json(events);
+    let body = plain
+        .strip_suffix("}\n")
+        .expect("chrome_trace_json ends the object");
+    let snap = profile.snapshot();
+    format!(
+        "{body},\"copredProfile\":{{\"samples\":{},\"threads\":{},\"drops\":{},\"skews\":{},\"folded\":\"{}\"}}}}\n",
+        snap.samples,
+        snap.threads,
+        snap.drops,
+        snap.skews,
+        json_escape(&profile.folded())
+    )
+}
+
 /// Renders events as JSONL: one raw event object per line, with the full
 /// recorder fields (seq, exact nanoseconds) that the Chrome form rounds.
 pub fn events_jsonl(events: &[Event]) -> String {
@@ -215,6 +236,25 @@ mod tests {
     fn empty_trace_is_valid() {
         assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[\n]}\n");
         assert_eq!(events_jsonl(&[]), "");
+    }
+
+    #[test]
+    fn self_profile_section_rides_along_without_touching_events() {
+        use crate::{Profile, Stage};
+        let mut profile = Profile::default();
+        profile.add_path(0, &[Stage::Execute, Stage::Predict], 3);
+        profile.drops = 1;
+        let with = chrome_trace_json_with_profile(&sample(), &profile);
+        let plain = chrome_trace_json(&sample());
+        // The traceEvents array is byte-identical; the profile section is
+        // a sibling top-level key viewers ignore.
+        let events_part = plain.strip_suffix("}\n").unwrap();
+        assert!(with.starts_with(events_part), "{with}");
+        assert!(with.contains("\"copredProfile\":{"), "{with}");
+        assert!(with.contains("\"samples\":3"), "{with}");
+        assert!(with.contains("\"drops\":1"), "{with}");
+        assert!(with.contains("execute;predict 3\\n"), "{with}");
+        assert_eq!(with.matches('{').count(), with.matches('}').count());
     }
 
     #[test]

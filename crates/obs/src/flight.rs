@@ -12,8 +12,9 @@
 //! folded into a bounded retired buffer so their final entries stay
 //! visible without growing the registry forever.
 
+use crate::threadreg::ThreadRegistry;
 use crate::tracectx;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// What a [`FlightEntry`] summarizes.
@@ -100,19 +101,19 @@ impl FlightRing {
     }
 }
 
+/// Global flight-recorder state. Per-thread rings live in
+/// [`FLIGHT_REG`], the shared thread registry.
 struct Flight {
-    rings: Mutex<Vec<Arc<FlightRing>>>,
     retired: Mutex<Vec<FlightEntry>>,
     seq: AtomicU64,
-    next_tid: AtomicU32,
 }
 
 static FLIGHT: Flight = Flight {
-    rings: Mutex::new(Vec::new()),
     retired: Mutex::new(Vec::new()),
     seq: AtomicU64::new(0),
-    next_tid: AtomicU32::new(0),
 };
+
+static FLIGHT_REG: ThreadRegistry<FlightRing> = ThreadRegistry::new();
 
 struct FlightHandle {
     ring: Arc<FlightRing>,
@@ -122,12 +123,8 @@ struct FlightHandle {
 thread_local! {
     static FLIGHT_HANDLE: FlightHandle = {
         let ring = Arc::new(FlightRing::new());
-        let tid = FLIGHT.next_tid.fetch_add(1, Ordering::Relaxed);
-        FLIGHT
-            .rings
-            .lock()
-            .expect("flight registry lock")
-            .push(Arc::clone(&ring));
+        let tid = FLIGHT_REG.alloc_tid();
+        FLIGHT_REG.insert(Arc::clone(&ring));
         FlightHandle { ring, tid }
     };
 }
@@ -177,15 +174,12 @@ pub fn flight_edge(name: &'static str, ts_ns: u64, dur_ns: u64) {
 pub fn flight_snapshot() -> Vec<FlightEntry> {
     let mut out = Vec::new();
     {
-        let mut rings = FLIGHT.rings.lock().expect("flight registry lock");
         let mut retired_now = Vec::new();
-        rings.retain(|ring| {
-            if Arc::strong_count(ring) > 1 {
+        FLIGHT_REG.sweep(|ring, live| {
+            if live {
                 ring.snapshot_into(&mut out);
-                true
             } else {
                 ring.snapshot_into(&mut retired_now);
-                false
             }
         });
         let mut retired = FLIGHT.retired.lock().expect("flight retired lock");

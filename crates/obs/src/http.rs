@@ -53,7 +53,9 @@ impl MetricsServer {
 
     /// Binds `addr` and serves each `(path, render)` route (exact path
     /// match, query strings ignored). Use this to expose debug pages —
-    /// e.g. `/debug/flight` — next to `/metrics`.
+    /// e.g. `/debug/flight` — next to `/metrics`. Unless the caller
+    /// registers `/` itself, a plain-text discovery index listing every
+    /// route is served there.
     ///
     /// # Errors
     ///
@@ -62,7 +64,16 @@ impl MetricsServer {
         MetricsServer::start_inner(addr, routes, Duration::from_secs(5))
     }
 
-    fn start_inner(addr: &str, routes: Routes, timeout: Duration) -> io::Result<MetricsServer> {
+    fn start_inner(addr: &str, mut routes: Routes, timeout: Duration) -> io::Result<MetricsServer> {
+        if !routes.iter().any(|(p, _)| p == "/") {
+            let mut paths: Vec<String> = routes.iter().map(|(p, _)| p.clone()).collect();
+            paths.sort();
+            let index = format!("copred debug endpoints:\n{}\n", paths.join("\n"));
+            routes.push((
+                "/".to_string(),
+                Arc::new(move || index.clone()) as Arc<RenderFn>,
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stopping = Arc::new(AtomicBool::new(false));
@@ -283,8 +294,43 @@ mod tests {
     #[test]
     fn other_paths_are_404() {
         let s = server();
-        let err = http_get(s.local_addr(), "/").expect_err("404");
+        let err = http_get(s.local_addr(), "/nope").expect_err("404");
         assert!(err.to_string().contains("404"), "{err}");
+    }
+
+    #[test]
+    fn root_serves_a_discovery_index() {
+        let s = MetricsServer::start_with_routes(
+            "127.0.0.1:0",
+            vec![
+                (
+                    "/metrics".to_string(),
+                    Arc::new(|| "copred_up 1\n".to_string()) as Arc<RenderFn>,
+                ),
+                (
+                    "/debug/flight".to_string(),
+                    Arc::new(|| "[]".to_string()) as Arc<RenderFn>,
+                ),
+            ],
+        )
+        .expect("bind");
+        let body = http_get(s.local_addr(), "/").expect("index");
+        assert!(body.starts_with("copred debug endpoints:\n"), "{body}");
+        assert!(body.contains("/metrics"), "{body}");
+        assert!(body.contains("/debug/flight"), "{body}");
+    }
+
+    #[test]
+    fn caller_registered_root_wins_over_the_index() {
+        let s = MetricsServer::start_with_routes(
+            "127.0.0.1:0",
+            vec![(
+                "/".to_string(),
+                Arc::new(|| "custom root\n".to_string()) as Arc<RenderFn>,
+            )],
+        )
+        .expect("bind");
+        assert_eq!(http_get(s.local_addr(), "/").unwrap(), "custom root\n");
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   text-exposition (0.0.4) rendering, a parser for round-trip and
 //!   scrape-based conformance tests, and a plain `std::net` HTTP endpoint
 //!   serving `GET /metrics`.
+//! * [`stage`]/[`Sampler`]/[`Profile`] — `copred-profile`, the always-on
+//!   continuous profiler: threads publish a fixed-depth stage stack into
+//!   per-thread seqlock cells; a dedicated sampler (or a deterministic
+//!   virtual-clock driver) accumulates wall-time-by-stage-path profiles
+//!   exported as folded stacks, `/debug/profile` text, and
+//!   `copred_profile_*` metrics.
 //!
 //! The crate deliberately knows nothing about collision prediction: the
 //! service, software executor, and accelerator simulator each decide what
@@ -26,8 +32,10 @@ mod bench;
 mod chrome;
 mod flight;
 mod http;
+mod profile;
 mod prom;
 mod span;
+mod threadreg;
 mod tracectx;
 mod vclock;
 
@@ -35,12 +43,16 @@ pub use bench::{
     check_against_baseline, BenchRecord, BenchReport, BenchWriter, Better, CheckConfig, MetricKind,
     Regression, BENCH_SCHEMA_VERSION,
 };
-pub use chrome::{chrome_trace_json, events_jsonl};
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_profile, events_jsonl};
 pub use flight::{
     flight_edge, flight_json, flight_op, flight_snapshot, install_flight_panic_hook, FlightEntry,
     FlightKind, FLIGHT_CAPACITY,
 };
 pub use http::{http_get, MetricsServer, RenderFn};
+pub use profile::{
+    sample_once, stage, PathKey, Profile, ProfileSnapshot, Sampler, Stage, StageCell, StageGuard,
+    ThreadFractions, DEFAULT_SAMPLE_INTERVAL, MAX_STAGE_DEPTH,
+};
 pub use prom::{parse_prometheus, PromBuf, PromSample};
 pub use span::{
     counter, disable, drain_events, dropped_events, enable, enabled, instant, span, span_at,

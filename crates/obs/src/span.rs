@@ -11,9 +11,10 @@
 //! [`span`] and friends cost one relaxed load and a branch, so the
 //! instrumentation can stay compiled into release hot paths.
 
+use crate::threadreg::ThreadRegistry;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -59,8 +60,8 @@ const RING_CAPACITY: usize = 1 << 14;
 
 /// A single-producer single-consumer ring. The producer is the owning
 /// thread (reached only through its thread-local handle); the consumer is
-/// whoever holds the registry lock in [`drain_events`], which serializes
-/// consumers.
+/// whoever holds the [`ThreadRegistry`] lock in [`drain_events`], which
+/// serializes consumers.
 struct Ring {
     /// `MaybeUninit` so construction never touches the slots: the OS maps
     /// the (1 MiB-scale) buffer lazily and pages fault in only as events
@@ -129,13 +130,12 @@ impl Ring {
     }
 }
 
-/// Global recorder state.
+/// Global recorder state. Per-thread rings live in [`SPAN_REG`], the
+/// shared thread registry.
 struct Recorder {
     enabled: AtomicBool,
     epoch: OnceLock<Instant>,
-    rings: Mutex<Vec<Arc<Ring>>>,
     seq: AtomicU64,
-    next_tid: AtomicU32,
     /// Drop counts carried over from rings of exited threads that were
     /// pruned from the registry.
     retired_dropped: AtomicU64,
@@ -144,11 +144,11 @@ struct Recorder {
 static RECORDER: Recorder = Recorder {
     enabled: AtomicBool::new(false),
     epoch: OnceLock::new(),
-    rings: Mutex::new(Vec::new()),
     seq: AtomicU64::new(0),
-    next_tid: AtomicU32::new(0),
     retired_dropped: AtomicU64::new(0),
 };
+
+static SPAN_REG: ThreadRegistry<Ring> = ThreadRegistry::new();
 
 struct ThreadHandle {
     ring: Arc<Ring>,
@@ -158,12 +158,8 @@ struct ThreadHandle {
 thread_local! {
     static HANDLE: ThreadHandle = {
         let ring = Arc::new(Ring::new(RING_CAPACITY));
-        let tid = RECORDER.next_tid.fetch_add(1, Ordering::Relaxed);
-        RECORDER
-            .rings
-            .lock()
-            .expect("ring registry lock")
-            .push(Arc::clone(&ring));
+        let tid = SPAN_REG.alloc_tid();
+        SPAN_REG.insert(Arc::clone(&ring));
         ThreadHandle { ring, tid }
     };
 }
@@ -329,24 +325,18 @@ pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
     }
 }
 
-/// Drains every thread's ring into one sequence-ordered vector.
+/// Drains every thread's ring into one sequence-ordered vector. Rings of
+/// exited threads are drained one last time, their drop counts folded
+/// into a retired total, and then pruned by the registry sweep.
 pub fn drain_events() -> Vec<Event> {
-    let mut rings = RECORDER.rings.lock().expect("ring registry lock");
     let mut out = Vec::new();
-    for ring in rings.iter() {
+    SPAN_REG.sweep(|ring, live| {
         ring.drain_into(&mut out);
-    }
-    // A strong count of 1 means the owning thread exited (its thread-local
-    // handle dropped) — the now-empty ring can never fill again, so free
-    // it instead of letting short-lived threads grow the registry forever.
-    rings.retain(|ring| {
-        if Arc::strong_count(ring) > 1 {
-            return true;
+        if !live {
+            RECORDER
+                .retired_dropped
+                .fetch_add(ring.dropped.load(Ordering::Relaxed), Ordering::Relaxed);
         }
-        RECORDER
-            .retired_dropped
-            .fetch_add(ring.dropped.load(Ordering::Relaxed), Ordering::Relaxed);
-        false
     });
     out.sort_by_key(|e| e.seq);
     out
@@ -354,11 +344,8 @@ pub fn drain_events() -> Vec<Event> {
 
 /// Total events dropped to full rings since process start.
 pub fn dropped_events() -> u64 {
-    let rings = RECORDER.rings.lock().expect("ring registry lock");
-    let live: u64 = rings
-        .iter()
-        .map(|r| r.dropped.load(Ordering::Relaxed))
-        .sum();
+    let mut live = 0u64;
+    SPAN_REG.for_each(|r| live += r.dropped.load(Ordering::Relaxed));
     live + RECORDER.retired_dropped.load(Ordering::Relaxed)
 }
 

@@ -257,6 +257,9 @@ pub fn run_replay(
     backend: &mut dyn ReplayBackend,
     opts: &ReplayOptions,
 ) -> Result<ReplayOutcome, ReplayError> {
+    // The whole pass is replay work on this thread; backend stages
+    // (schedule/execute/predict) nest under this frame in profiles.
+    let _replay_stage = copred_obs::stage(copred_obs::Stage::Replay);
     let epoch = Instant::now();
     let first_ns = log.records.first().map_or(0, |r| r.start_ns);
     let mut sessions: HashMap<u64, u64> = HashMap::new();

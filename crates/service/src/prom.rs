@@ -298,14 +298,61 @@ fn session_counter<'a>(s: &'a SessionState, field: &str) -> &'a AtomicU64 {
     }
 }
 
+/// Renders the `copred_profile_*` section from a profiler snapshot. The
+/// shape is load-independent: every stage label in [`copred_obs::Stage::ALL`]
+/// order appears even when the sampler has no data (all zeros), which is
+/// what lets the golden-file test pin the series. Names and label values
+/// are a stability contract (ROADMAP.md).
+fn render_profile(b: &mut copred_obs::PromBuf, p: &copred_obs::ProfileSnapshot) {
+    b.family(
+        "copred_profile_samples_total",
+        "counter",
+        "Stage-stack samples accumulated by the continuous profiler (idle included).",
+    );
+    b.sample("copred_profile_samples_total", p.samples as f64);
+    b.family(
+        "copred_profile_drops_total",
+        "counter",
+        "Sampler reads abandoned as torn (seqlock retries exhausted).",
+    );
+    b.sample("copred_profile_drops_total", p.drops as f64);
+    b.family(
+        "copred_profile_skews_total",
+        "counter",
+        "Sampler ticks delivered at least a full interval late.",
+    );
+    b.sample("copred_profile_skews_total", p.skews as f64);
+    b.family(
+        "copred_profile_threads",
+        "gauge",
+        "Threads that contributed at least one profile sample.",
+    );
+    b.sample("copred_profile_threads", p.threads as f64);
+    b.family(
+        "copred_profile_stage_fraction",
+        "gauge",
+        "Fraction of sampled time whose innermost frame is each stage (busy fraction).",
+    );
+    for &(stage, frac) in &p.stage_fractions {
+        b.sample_labeled("copred_profile_stage_fraction", &[("stage", stage)], frac);
+    }
+    b.family(
+        "copred_profile_queue_wait_fraction",
+        "gauge",
+        "Fraction of sampled time spent blocked waiting on queues.",
+    );
+    b.sample("copred_profile_queue_wait_fraction", p.queue_wait_fraction);
+}
+
 /// Renders the full `/metrics` page: global counters, the check-latency
-/// summary, queue/session gauges, and per-session prediction-quality and
-/// CHT-health series.
+/// summary, queue/session gauges, continuous-profiling series, and
+/// per-session prediction-quality and CHT-health series.
 pub fn render_prometheus(
     metrics: &Metrics,
     sessions: &[Arc<SessionState>],
     queue_depth: usize,
     store: &StoreStats,
+    profile: &copred_obs::ProfileSnapshot,
 ) -> String {
     let mut b = copred_obs::PromBuf::new();
     for &(field, name, help) in GLOBAL_COUNTERS {
@@ -356,6 +403,7 @@ pub fn render_prometheus(
         "copred_obs_dropped_events_total",
         copred_obs::dropped_events() as f64,
     );
+    render_profile(&mut b, profile);
 
     let h = &metrics.check_latency;
     b.family(

@@ -15,7 +15,7 @@ use crate::protocol::{CheckResult, Request, Response, SchedMode, ServiceError};
 use crate::session::{ChtPredictor, SessionRegistry, SessionState, TimedPredictor};
 use copred_collision::{run_predicted_schedule, run_schedule, Schedule};
 use copred_core::ChtParams;
-use copred_obs::{TraceId, TraceScope};
+use copred_obs::{stage, Stage, TraceId, TraceScope};
 use copred_trace::frame::{read_text_frame, write_text_frame};
 use copred_trace::MotionTrace;
 use std::collections::VecDeque;
@@ -67,6 +67,11 @@ pub struct ServerConfig {
     /// automatic flight dump, rate-limited to one per second. 0 disables
     /// auto-dumps.
     pub flight_threshold_ms: u64,
+    /// Run the continuous-profiling sampler thread (`copred-profiler`).
+    /// Stage frames are published by workers either way — this only
+    /// controls whether anything reads them. The `ab=1` loadgen harness
+    /// turns it off on the baseline arm to measure sampler overhead.
+    pub profile_sampler: bool,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +90,7 @@ impl Default for ServerConfig {
             store_dir: None,
             trace_dump: None,
             flight_threshold_ms: 0,
+            profile_sampler: true,
         }
     }
 }
@@ -177,6 +183,20 @@ struct Shared {
     last_auto_dump_ms: AtomicU64,
     /// Process-start instant anchoring `last_auto_dump_ms`.
     started: Instant,
+    /// The continuous-profiling sampler (`None` with `profile_sampler`
+    /// off — the A/B baseline arm). Joined when the last `Shared`
+    /// reference drops.
+    sampler: Option<copred_obs::Sampler>,
+}
+
+/// The profile accumulated so far: a live copy from the sampler, or the
+/// empty profile when the sampler is disabled (every export then renders
+/// its zero/empty shape).
+fn current_profile(shared: &Shared) -> copred_obs::Profile {
+    shared
+        .sampler
+        .as_ref()
+        .map_or_else(copred_obs::Profile::default, |s| s.snapshot())
 }
 
 /// Rate-limited automatic flight dump: at most one per second, triggered
@@ -214,7 +234,9 @@ fn retain_spans(shared: &Shared) {
 }
 
 /// Dumps the flight recorder (and, with `trace_dump` set, the retained
-/// spans as a Chrome trace) and returns the number of flight entries.
+/// spans as a Chrome trace with a self-profile section plus the folded
+/// stacks as `profile-<n>.folded`) and returns the number of flight
+/// entries.
 fn dump_flight(shared: &Shared, auto: bool) -> u64 {
     let entries = copred_obs::flight_snapshot();
     if auto {
@@ -231,14 +253,20 @@ fn dump_flight(shared: &Shared, auto: bool) -> u64 {
         let _ = std::fs::create_dir_all(dir);
         let flight_path = std::path::Path::new(dir).join(format!("flight-{n}.json"));
         let _ = std::fs::write(flight_path, copred_obs::flight_json(&entries));
+        let profile = current_profile(shared);
         if let Some(spans) = &shared.spans {
             let events: Vec<copred_obs::Event> = {
                 let buf = spans.lock().expect("span retention lock");
                 buf.iter().copied().collect()
             };
             let trace_path = std::path::Path::new(dir).join(format!("trace-{n}.json"));
-            let _ = std::fs::write(trace_path, copred_obs::chrome_trace_json(&events));
+            let _ = std::fs::write(
+                trace_path,
+                copred_obs::chrome_trace_json_with_profile(&events, &profile),
+            );
         }
+        let folded_path = std::path::Path::new(dir).join(format!("profile-{n}.folded"));
+        let _ = std::fs::write(folded_path, profile.folded());
     }
     entries.len() as u64
 }
@@ -250,6 +278,7 @@ fn render_shared(shared: &Shared) -> String {
         &shared.registry.sessions_snapshot(),
         shared.queue.len(),
         &shared.registry.store_stats(),
+        &current_profile(shared).snapshot(),
     )
 }
 
@@ -305,6 +334,9 @@ impl Server {
             dump_seq: AtomicU64::new(0),
             last_auto_dump_ms: AtomicU64::new(0),
             started: Instant::now(),
+            sampler: config
+                .profile_sampler
+                .then(|| copred_obs::Sampler::start(copred_obs::DEFAULT_SAMPLE_INTERVAL)),
             config,
         });
         let stopping = Arc::new(AtomicBool::new(false));
@@ -315,6 +347,7 @@ impl Server {
             Some(addr) => {
                 let render_shared_state = Arc::clone(&shared);
                 let flight_shared = Arc::clone(&shared);
+                let profile_shared = Arc::clone(&shared);
                 Some(copred_obs::MetricsServer::start_with_routes(
                     &addr,
                     vec![
@@ -331,6 +364,10 @@ impl Server {
                                     .fetch_add(1, Ordering::Relaxed);
                                 copred_obs::flight_json(&copred_obs::flight_snapshot())
                             }),
+                        ),
+                        (
+                            "/debug/profile".to_string(),
+                            Arc::new(move || current_profile(&profile_shared).render_text()),
                         ),
                     ],
                 )?)
@@ -409,6 +446,13 @@ impl Server {
         render_shared(&self.shared)
     }
 
+    /// A copy of the continuous profile accumulated so far (empty when
+    /// `profile_sampler` is off). The same data backs `/debug/profile`,
+    /// the `copred_profile_*` series, and `profile-<n>.folded` dumps.
+    pub fn profile(&self) -> copred_obs::Profile {
+        current_profile(&self.shared)
+    }
+
     /// Stops accepting, drains the workers, and joins them. Connection
     /// handler threads exit when their peers disconnect.
     pub fn shutdown(&mut self) {
@@ -480,7 +524,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         // the trace scope is entered — that way it, too, carries the id.
         let decode_start = copred_obs::timestamp_ns();
         let decode_t0 = Instant::now();
-        let parsed = Request::from_text(&payload);
+        let parsed = {
+            let _decode = stage(Stage::Decode);
+            Request::from_text(&payload)
+        };
         let decode_ns = u64::try_from(decode_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let trace = match &parsed {
             Ok(Request::CheckMotion { trace, .. }) | Ok(Request::CheckPose { trace, .. }) => *trace,
@@ -507,7 +554,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
         };
         let encode_span = copred_obs::span("service", "encode");
+        let encode_stage = stage(Stage::Encode);
         let wrote = write_text_frame(&mut writer, &response.to_text());
+        drop(encode_stage);
         drop(encode_span);
         if wrote.is_err() {
             return;
@@ -640,7 +689,16 @@ fn enqueue_checks(
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
+    loop {
+        // Blocking on the queue is published as a queue_wait frame so the
+        // profiler can separate waiting-for-work from doing it.
+        let job = {
+            let _wait = stage(Stage::QueueWait);
+            match shared.queue.pop() {
+                Some(job) => job,
+                None => return,
+            }
+        };
         if copred_obs::enabled() {
             copred_obs::counter("service", "queue_depth", shared.queue.len() as u64);
         }
@@ -672,13 +730,22 @@ fn run_batch(session: &SessionState, motions: &[MotionTrace], shared: &Shared) -
         .iter()
         .map(|m| {
             let schedule_span = copred_obs::span("service", "schedule");
+            let schedule_stage = stage(Stage::Schedule);
             let infos = m.to_cdq_infos();
+            drop(schedule_stage);
             drop(schedule_span);
             let execute_span = copred_obs::span("service", "execute");
+            let execute_stage = stage(Stage::Execute);
             let out = match session.mode {
                 SchedMode::Coord => {
                     let mut pred = ChtPredictor::new(session, &m.poses);
-                    pred.prime(&infos);
+                    {
+                        // Priming is the bulk of the predictor's CHT-read
+                        // work: publish it as execute→predict so stage
+                        // fractions separate prediction from execution.
+                        let _predict_stage = stage(Stage::Predict);
+                        pred.prime(&infos);
+                    }
                     if copred_obs::enabled() {
                         // Wrapping the predictor keeps the inner call
                         // sequence identical to the untimed path, so
@@ -717,6 +784,7 @@ fn run_batch(session: &SessionState, motions: &[MotionTrace], shared: &Shared) -
                     },
                 ),
             };
+            drop(execute_stage);
             drop(execute_span);
             let sm = &session.metrics;
             sm.checks.fetch_add(1, Ordering::Relaxed);

@@ -112,10 +112,30 @@ fn replay_fixture() {
     }
 }
 
+/// A deterministic profiler snapshot: a known stage mix (900 predict /
+/// 200 queue-wait / 100 idle out of 1200 samples) so the rendered
+/// fractions are exact decimals the golden file can pin.
+fn profile_fixture() -> copred_obs::ProfileSnapshot {
+    use copred_obs::Stage;
+    let mut p = copred_obs::Profile::default();
+    p.add_path(0, &[Stage::Execute, Stage::Predict], 900);
+    p.add_path(0, &[Stage::QueueWait], 200);
+    p.add_path(1, &[], 100); // idle
+    p.drops = 3;
+    p.skews = 1;
+    p.snapshot()
+}
+
 fn render_fixture() -> String {
     let (metrics, registry) = fixture();
     replay_fixture();
-    render_prometheus(&metrics, &registry.sessions_snapshot(), 3, &store_fixture())
+    render_prometheus(
+        &metrics,
+        &registry.sessions_snapshot(),
+        3,
+        &store_fixture(),
+        &profile_fixture(),
+    )
 }
 
 fn count(samples: &[PromSample], name: &str) -> usize {
@@ -199,6 +219,44 @@ fn every_global_counter_appears_exactly_once_with_prefix() {
     assert_eq!(value(&samples, "copred_check_latency_ns_sum"), 10_090_000.0);
     assert_eq!(value(&samples, "copred_worker_queue_depth"), 3.0);
     assert_eq!(value(&samples, "copred_sessions_open"), 1.0);
+}
+
+#[test]
+fn profile_series_pin_stage_labels_and_fractions() {
+    let page = render_fixture();
+    let samples = parse_prometheus(&page).expect("parse");
+    assert_eq!(value(&samples, "copred_profile_samples_total"), 1200.0);
+    assert_eq!(value(&samples, "copred_profile_drops_total"), 3.0);
+    assert_eq!(value(&samples, "copred_profile_skews_total"), 1.0);
+    assert_eq!(value(&samples, "copred_profile_threads"), 2.0);
+    // One stage_fraction series per stage, in Stage::ALL order — the
+    // label set is a stability contract even when fractions are 0.
+    let fracs: Vec<&PromSample> = samples
+        .iter()
+        .filter(|s| s.name == "copred_profile_stage_fraction")
+        .collect();
+    assert_eq!(fracs.len(), copred_obs::Stage::ALL.len());
+    for (sample, stage) in fracs.iter().zip(copred_obs::Stage::ALL) {
+        assert_eq!(sample.label("stage"), Some(stage.label()));
+    }
+    let by = |stage: &str| {
+        fracs
+            .iter()
+            .find(|s| s.label("stage") == Some(stage))
+            .unwrap_or_else(|| panic!("missing stage {stage}"))
+            .value
+    };
+    // 900 predict-leaf + 200 queue-wait-leaf of 1200 total (idle in the
+    // denominator): fractions are exact and sum to ≤ 1.0.
+    assert_eq!(by("predict"), 0.75);
+    assert!((by("queue_wait") - 200.0 / 1200.0).abs() < 1e-12);
+    assert_eq!(by("decode"), 0.0);
+    let total: f64 = fracs.iter().map(|s| s.value).sum();
+    assert!(total <= 1.0 + 1e-9, "stage fractions sum {total}");
+    assert_eq!(
+        value(&samples, "copred_profile_queue_wait_fraction"),
+        200.0 / 1200.0
+    );
 }
 
 #[test]

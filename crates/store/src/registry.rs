@@ -92,6 +92,7 @@ impl StoreRegistry {
     /// Returns `None` when nothing usable is stored — corruption and
     /// parameter mismatches degrade to a cold start, never an error.
     pub fn load(&self, fp: u64, params: &ChtParams) -> Option<TableImage> {
+        let _store_stage = copred_obs::stage(copred_obs::Stage::Store);
         let dir = self.table_dir(fp);
         let snap = dir.join("snapshot.bin");
         let mut snapshot_loaded = false;
@@ -217,6 +218,7 @@ impl SessionStore {
     /// called on session close and eviction. Returns `Ok(false)` on a
     /// detached handle (nothing written).
     pub fn persist(&self, image: &TableImage) -> Result<bool, StoreError> {
+        let _store_stage = copred_obs::stage(copred_obs::Stage::Store);
         let mut guard = self.wal.lock().expect("wal poisoned");
         let Some(wal) = guard.as_mut() else {
             return Ok(false);

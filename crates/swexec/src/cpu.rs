@@ -83,6 +83,9 @@ pub fn run_cpu(
             let next = &next;
             let thread_seed = cfg.seed ^ ((t as u64 + 1) * 0x9E37_79B9);
             scope.spawn(move || {
+                // The whole worker lifetime is swexec work; predict and
+                // execute frames nest under it below.
+                let _swexec_stage = copred_obs::stage(copred_obs::Stage::SwExec);
                 // Cheap per-thread xorshift stream for the U policy.
                 let mut state = thread_seed | 1;
                 let mut rand01 = move || {
@@ -102,6 +105,7 @@ pub fn run_cpu(
                     if cfg.with_prediction {
                         // Algorithm 1: predicted CDQs first, queue the rest.
                         let predict_span = copred_obs::span("swexec", "predict");
+                        let predict_stage = copred_obs::stage(copred_obs::Stage::Predict);
                         let mut queue: Vec<(usize, copred_geometry::Vec3, copred_geometry::Obb)> =
                             Vec::new();
                         'outer: for (pi, q) in poses.iter().enumerate() {
@@ -125,9 +129,11 @@ pub fn run_cpu(
                                 }
                             }
                         }
+                        drop(predict_stage);
                         drop(predict_span);
                         if !hit {
                             let _execute_span = copred_obs::span("swexec", "execute");
+                            let _execute_stage = copred_obs::stage(copred_obs::Stage::Execute);
                             for (pi, center, obb) in queue {
                                 executed += 1;
                                 let c = env.obb_collides(&obb);
@@ -145,6 +151,7 @@ pub fn run_cpu(
                     } else {
                         // Naive sequential checking with early exit.
                         let _execute_span = copred_obs::span("swexec", "execute");
+                        let _execute_stage = copred_obs::stage(copred_obs::Stage::Execute);
                         'outer2: for q in poses {
                             let pose = robot.fk(q);
                             for link in &pose.links {
@@ -229,6 +236,9 @@ pub fn run_cpu_batched(
             let next = &next;
             let thread_seed = cfg.seed ^ ((t as u64 + 1) * 0x9E37_79B9);
             scope.spawn(move || {
+                // Batched replayer workers publish the same swexec frame
+                // as the scalar path so profiles compare like-for-like.
+                let _swexec_stage = copred_obs::stage(copred_obs::Stage::SwExec);
                 // Same per-thread xorshift stream as the scalar path.
                 let mut state = thread_seed | 1;
                 let mut rand01 = move || {
