@@ -95,6 +95,12 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
+    parse_args_from(std::env::args().skip(1))
+}
+
+/// The testable core of [`parse_args`]: parses an explicit argument
+/// list, rejecting unknown keys with the full [`VALID_FLAGS`] list.
+fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         combo: Combo::paper_six()[0], // MPNet-Baxter
         queries: 8,
@@ -114,7 +120,7 @@ fn parse_args() -> Result<Args, String> {
             ..LoadgenConfig::default()
         },
     };
-    for arg in std::env::args().skip(1) {
+    for arg in argv {
         let (key, value) = arg
             .split_once('=')
             .ok_or_else(|| format!("expected key=value, got '{arg}'"))?;
@@ -758,4 +764,46 @@ fn write_oplogs(args: &Args, robot_name: &str, ops: &[OpRecord]) -> std::io::Res
         println!("tsv           {tsv} ({} ops)", ops.len());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(argv: &[&str]) -> Vec<String> {
+        argv.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parse_err(argv: &[&str]) -> String {
+        match parse_args_from(strs(argv)) {
+            Err(e) => e,
+            Ok(_) => panic!("{argv:?} must be rejected"),
+        }
+    }
+
+    #[test]
+    fn unknown_flag_fails_fast_and_lists_valid_flags() {
+        let err = parse_err(&["seed=7", "conections=4"]);
+        assert!(err.contains("unknown option 'conections'"), "{err}");
+        for flag in VALID_FLAGS {
+            assert!(err.contains(flag), "error should list {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn bare_word_is_an_error() {
+        let err = parse_err(&["inproc"]);
+        assert!(err.contains("expected key=value"), "{err}");
+    }
+
+    #[test]
+    fn known_flags_parse_and_imply_inproc() {
+        let args = parse_args_from(strs(&["seed=9", "warm=1", "queries=3"]))
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.queries, 3);
+        assert!(args.warm && args.inproc, "warm=1 implies inproc");
+        let err = parse_err(&["ab_budget=5"]);
+        assert!(err.contains("ab_budget requires ab=1"), "{err}");
+    }
 }

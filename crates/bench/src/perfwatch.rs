@@ -168,6 +168,7 @@ pub fn run_suites(cfg: &PerfwatchConfig) -> BenchReport {
     swexec_suite(cfg, &mut report.records);
     swexec_batch_suite(cfg, &mut report.records);
     service_suite(cfg, &mut report.records);
+    fleet_suite(cfg, &mut report.records);
     store_suite(cfg, &mut report.records);
     accel_suite(cfg, &mut report.records);
     profile_suite(cfg, &mut report.records);
@@ -578,6 +579,66 @@ fn service_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
     ));
 }
 
+/// Fleet suite: the committed quick service workload replayed through a
+/// 2-backend fleet (rendezvous routing, router-owned session ids) and a
+/// single in-process node. Deterministic records pin the fleet's
+/// aggregates and its response-for-response equality with the single
+/// node; the timing record watches routed throughput, whose overhead vs
+/// `service/loopback_checks_per_s` is the cost of the extra hop.
+fn fleet_suite(cfg: &PerfwatchConfig, out: &mut Vec<BenchRecord>) {
+    let log = copred_replay::read_log(SERVICE_QUICK_LOG).expect("committed service log parses");
+    let opts = copred_replay::ReplayOptions {
+        mode: copred_replay::ReplayMode::Sequential,
+        compare: false,
+        trace_seed: None,
+    };
+    let mut single = copred_replay::InProcessBackend::with_server_defaults();
+    let single_run =
+        copred_replay::run_replay(&log, &mut single, &opts).expect("single-node replay");
+    let mut throughput = Vec::new();
+    let mut cdqs_issued = 0u64;
+    let mut checks = 0u64;
+    let mut matches_single = true;
+    for rep in 0..cfg.reps.max(1) {
+        let mut fleet = copred_fleet::FleetBackend::start(2).expect("start fleet");
+        let r = copred_replay::run_replay(&log, &mut fleet, &opts).expect("fleet replay");
+        throughput.push(r.checks_per_sec());
+        if rep == 0 {
+            cdqs_issued = r.cdqs_issued;
+            checks = r.checks;
+            matches_single = r.responses == single_run.responses;
+        }
+    }
+    out.push(BenchRecord::deterministic(
+        "fleet",
+        "fleet_cdqs_issued",
+        cdqs_issued as f64,
+        "cdqs",
+        Better::Lower,
+    ));
+    out.push(BenchRecord::deterministic(
+        "fleet",
+        "fleet_checks",
+        checks as f64,
+        "checks",
+        Better::Higher,
+    ));
+    out.push(BenchRecord::deterministic(
+        "fleet",
+        "fleet_matches_single",
+        f64::from(matches_single),
+        "bool",
+        Better::Higher,
+    ));
+    out.push(BenchRecord::timing(
+        "fleet",
+        "fleet_checks_per_s",
+        &throughput,
+        "checks_per_s",
+        Better::Higher,
+    ));
+}
+
 /// Store suite: the persistence payoff — one fingerprinted planner
 /// workload replayed twice against a store-enabled loopback server. The
 /// first (cold) pass learns and persists each session's CHT on close; the
@@ -937,6 +998,7 @@ mod tests {
             "swexec",
             "swexec_batch",
             "service",
+            "fleet",
             "store",
             "accel",
             "profile",
@@ -963,6 +1025,13 @@ mod tests {
             .expect("swexec_batch suite emits batch_matches_scalar")
             .value;
         assert_eq!(matches, 1.0, "batched replay diverged from scalar");
+        // The sharded fleet must answer the committed workload exactly
+        // like one node.
+        let fleet_matches = report
+            .record("fleet", "fleet_matches_single")
+            .expect("fleet suite emits fleet_matches_single")
+            .value;
+        assert_eq!(fleet_matches, 1.0, "fleet replay diverged from single node");
         // Metric names are unique within a suite.
         let mut keys: Vec<(String, String)> = report
             .records

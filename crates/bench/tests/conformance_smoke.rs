@@ -17,7 +17,8 @@ fn conformance_smoke() {
         replay_cases: 1,
         trace_cases: 1,
         profile_cases: 1,
+        fleet_cases: 1,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
-    assert!(report.total_iterations() >= 46);
+    assert!(report.total_iterations() >= 47);
 }

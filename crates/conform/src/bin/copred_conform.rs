@@ -3,72 +3,103 @@
 //! ```text
 //! copred_conform [--seed N] [--iters N] [--service-traces N]
 //!                [--fault-cases N] [--store-cases N] [--replay-cases N]
-//!                [--trace-cases N] [--profile-cases N] [--skip-service]
-//!                [--skip-fault] [--skip-store] [--skip-replay]
-//!                [--skip-trace] [--skip-profile]
+//!                [--trace-cases N] [--profile-cases N] [--fleet-cases N]
+//!                [--skip-service] [--skip-fault] [--skip-store]
+//!                [--skip-replay] [--skip-trace] [--skip-profile]
+//!                [--skip-fleet]
 //! ```
 //!
 //! Runs the seeded differential harness (schedule semantics, service
-//! replay, fault injection) and exits nonzero on any divergence,
+//! replay, fault injection, persistence, record→replay, tracing and
+//! profiling invisibility, fleet) and exits nonzero on any divergence,
 //! accounting mismatch, or panic. Defaults run well over 200 differential
 //! iterations; every case is a pure function of `--seed`, so a red CI run
-//! reproduces locally with the same flags.
+//! reproduces locally with the same flags. Unknown flags fail fast with
+//! the full flag list — a typo never silently skips a stage.
 
 use copred_conform::{run_all, ConformConfig};
 use std::process::ExitCode;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: copred_conform [--seed N] [--iters N] [--service-traces N] \
-         [--fault-cases N] [--store-cases N] [--replay-cases N] \
-         [--trace-cases N] [--profile-cases N] [--skip-service] \
-         [--skip-fault] [--skip-store] [--skip-replay] [--skip-trace] \
-         [--skip-profile]"
-    );
-    std::process::exit(2);
-}
+/// Every flag `copred_conform` accepts; unknown flags are rejected with
+/// this list so a typo never silently no-ops.
+const VALID_FLAGS: &[&str] = &[
+    "--seed",
+    "--iters",
+    "--service-traces",
+    "--fault-cases",
+    "--store-cases",
+    "--replay-cases",
+    "--trace-cases",
+    "--profile-cases",
+    "--fleet-cases",
+    "--skip-service",
+    "--skip-fault",
+    "--skip-store",
+    "--skip-replay",
+    "--skip-trace",
+    "--skip-profile",
+    "--skip-fleet",
+    "--help",
+];
 
-fn parse_u64(args: &mut std::env::Args, flag: &str) -> u64 {
-    match args.next().map(|v| v.parse()) {
-        Some(Ok(v)) => v,
-        _ => {
-            eprintln!("{flag} needs an unsigned integer argument");
-            usage();
-        }
-    }
-}
-
-fn main() -> ExitCode {
+/// Parses the argument list (without argv[0]) into a config. `Ok(None)`
+/// means `--help` was asked for.
+fn parse_config(args: &[String]) -> Result<Option<ConformConfig>, String> {
     let mut cfg = ConformConfig::default();
-    let mut args = std::env::args();
-    let _argv0 = args.next();
-    while let Some(arg) = args.next() {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => Ok(v),
+                _ => Err(format!("{flag} needs an unsigned integer argument")),
+            }
+        };
         match arg.as_str() {
-            "--seed" => cfg.seed = parse_u64(&mut args, "--seed"),
-            "--iters" => cfg.schedule_iters = parse_u64(&mut args, "--iters"),
-            "--service-traces" => cfg.service_traces = parse_u64(&mut args, "--service-traces"),
-            "--fault-cases" => cfg.fault_cases = parse_u64(&mut args, "--fault-cases"),
-            "--store-cases" => cfg.store_cases = parse_u64(&mut args, "--store-cases"),
-            "--replay-cases" => cfg.replay_cases = parse_u64(&mut args, "--replay-cases"),
-            "--trace-cases" => cfg.trace_cases = parse_u64(&mut args, "--trace-cases"),
-            "--profile-cases" => cfg.profile_cases = parse_u64(&mut args, "--profile-cases"),
+            "--seed" => cfg.seed = num("--seed")?,
+            "--iters" => cfg.schedule_iters = num("--iters")?,
+            "--service-traces" => cfg.service_traces = num("--service-traces")?,
+            "--fault-cases" => cfg.fault_cases = num("--fault-cases")?,
+            "--store-cases" => cfg.store_cases = num("--store-cases")?,
+            "--replay-cases" => cfg.replay_cases = num("--replay-cases")?,
+            "--trace-cases" => cfg.trace_cases = num("--trace-cases")?,
+            "--profile-cases" => cfg.profile_cases = num("--profile-cases")?,
+            "--fleet-cases" => cfg.fleet_cases = num("--fleet-cases")?,
             "--skip-service" => cfg.service_traces = 0,
             "--skip-fault" => cfg.fault_cases = 0,
             "--skip-store" => cfg.store_cases = 0,
             "--skip-replay" => cfg.replay_cases = 0,
             "--skip-trace" => cfg.trace_cases = 0,
             "--skip-profile" => cfg.profile_cases = 0,
-            "--help" | "-h" => usage(),
+            "--skip-fleet" => cfg.fleet_cases = 0,
+            "--help" | "-h" => return Ok(None),
             other => {
-                eprintln!("unknown flag: {other}");
-                usage();
+                return Err(format!(
+                    "unknown flag '{other}' (valid flags: {})",
+                    VALID_FLAGS.join(", ")
+                ))
             }
         }
     }
+    Ok(Some(cfg))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_config(&args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            eprintln!("usage: copred_conform [{}]", VALID_FLAGS.join("] ["));
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("copred_conform: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     println!(
-        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases, {} replay cases, {} trace cases, {} profile cases",
-        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases, cfg.replay_cases, cfg.trace_cases, cfg.profile_cases
+        "copred_conform: seed {} | {} schedule cases, {} service traces, {} fault cases, {} store cases, {} replay cases, {} trace cases, {} profile cases, {} fleet cases",
+        cfg.seed, cfg.schedule_iters, cfg.service_traces, cfg.fault_cases, cfg.store_cases, cfg.replay_cases, cfg.trace_cases, cfg.profile_cases, cfg.fleet_cases
     );
     let report = run_all(&cfg);
     println!("{}", report.summary());
@@ -81,5 +112,47 @@ fn main() -> ExitCode {
         }
         eprintln!("conformance: {} failure(s)", report.failures.len());
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(argv: &[&str]) -> Vec<String> {
+        argv.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flag_fails_fast_and_lists_valid_flags() {
+        let err = parse_config(&strs(&["--seed", "7", "--flete-cases", "1"])).unwrap_err();
+        assert!(err.contains("unknown flag '--flete-cases'"), "{err}");
+        for flag in VALID_FLAGS {
+            assert!(err.contains(flag), "error should list {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn numeric_flags_and_skips_apply() {
+        let cfg = parse_config(&strs(&[
+            "--seed",
+            "9",
+            "--fleet-cases",
+            "5",
+            "--skip-store",
+        ]))
+        .unwrap()
+        .expect("not help");
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.fleet_cases, 5);
+        assert_eq!(cfg.store_cases, 0);
+        let skipped = parse_config(&strs(&["--skip-fleet"])).unwrap().unwrap();
+        assert_eq!(skipped.fleet_cases, 0);
+    }
+
+    #[test]
+    fn missing_numeric_argument_is_an_error() {
+        let err = parse_config(&strs(&["--fleet-cases"])).unwrap_err();
+        assert!(err.contains("--fleet-cases needs"), "{err}");
     }
 }

@@ -41,8 +41,14 @@
 //!    arm's profile must satisfy its shape invariants (per-thread
 //!    fractions ≤ 1.0, known stage labels only), and the unsampled
 //!    server must report an empty profile.
+//! 8. **Fleet** ([`fleet_check`]) — a recorded workload replays
+//!    bit-identically through a 2-backend fleet and a single node; a
+//!    session migrated mid-stream by a backend kill answers
+//!    byte-for-byte like an unmigrated one with an equal metrics
+//!    ledger; and torn/version-skewed/corrupt snapshot pushes degrade
+//!    to cold start — never a panic, never a session leak.
 //!
-//! The `copred_conform` binary wires all seven into CI; every run is a
+//! The `copred_conform` binary wires all eight into CI; every run is a
 //! pure function of `--seed`, so a red build is reproducible locally with
 //! the same flags.
 
@@ -50,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fault;
+pub mod fleet_check;
 pub mod generate;
 pub mod profile_check;
 pub mod reference;
@@ -58,6 +65,7 @@ pub mod service_diff;
 pub mod store_check;
 pub mod trace_check;
 
+pub use fleet_check::{run_fleet_checks, FleetCheckOutcome};
 pub use generate::{ScenarioGen, ScheduleCase};
 pub use profile_check::{run_profile_checks, ProfileCheckOutcome};
 pub use reference::{brute_force_verdict, check_schedule_case, RecordingPredictor};
@@ -88,6 +96,8 @@ pub struct ConformConfig {
     pub trace_cases: u64,
     /// Profiling-invisibility cases (0 skips the stage).
     pub profile_cases: u64,
+    /// Fleet replay/migration/replication cases (0 skips the stage).
+    pub fleet_cases: u64,
 }
 
 impl Default for ConformConfig {
@@ -101,6 +111,7 @@ impl Default for ConformConfig {
             replay_cases: 3,
             trace_cases: 3,
             profile_cases: 3,
+            fleet_cases: 2,
         }
     }
 }
@@ -132,6 +143,10 @@ pub struct ConformReport {
     pub profile_cases: u64,
     /// Wire ops compared byte-for-byte across sampled/unsampled runs.
     pub profile_ops: u64,
+    /// Fleet replay/migration/replication cases.
+    pub fleet_cases: u64,
+    /// Ops replayed across fleet and single-node arms.
+    pub fleet_ops: u64,
     /// Every divergence, mismatch, or panic found.
     pub failures: Vec<String>,
 }
@@ -153,12 +168,13 @@ impl ConformReport {
             + self.replay_cases
             + self.trace_cases
             + self.profile_cases
+            + self.fleet_cases
     }
 
     /// One-line-per-stage human summary.
     pub fn summary(&self) -> String {
         format!(
-            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\nreplay cases: {} ({} ops replayed)\ntrace cases: {} ({} ops compared)\nprofile cases: {} ({} ops compared)\ntotal iterations: {}\nfailures: {}",
+            "schedule cases: {}\nservice traces: {} ({} checks diffed)\ncpu diffs: {}\nfault cases: {}\nstore cases: {}\nreplay cases: {} ({} ops replayed)\ntrace cases: {} ({} ops compared)\nprofile cases: {} ({} ops compared)\nfleet cases: {} ({} ops replayed)\ntotal iterations: {}\nfailures: {}",
             self.schedule_iters,
             self.service_traces,
             self.service_checks,
@@ -171,6 +187,8 @@ impl ConformReport {
             self.trace_ops,
             self.profile_cases,
             self.profile_ops,
+            self.fleet_cases,
+            self.fleet_ops,
             self.total_iterations(),
             self.failures.len()
         )
@@ -260,6 +278,15 @@ pub fn run_all(cfg: &ConformConfig) -> ConformReport {
         report.failures.extend(out.failures);
     }
 
+    // Stage 8: fleet — sharded replay identity, mid-stream migration
+    // identity, and hostile replication degrading to cold start.
+    if cfg.fleet_cases > 0 {
+        let out = run_fleet_checks(&gen, cfg.fleet_cases, cfg.seed);
+        report.fleet_cases = out.cases_run;
+        report.fleet_ops = out.ops_replayed;
+        report.failures.extend(out.failures);
+    }
+
     report
 }
 
@@ -278,15 +305,17 @@ mod tests {
             replay_cases: 1,
             trace_cases: 1,
             profile_cases: 1,
+            fleet_cases: 1,
         };
         let report = run_all(&cfg);
         assert!(report.is_clean(), "{:?}", report.failures);
         // 10 schedule + 3 service + 8 fault + 1 store + 1 replay + 1
-        // trace + 1 profile.
-        assert!(report.total_iterations() >= 25);
+        // trace + 1 profile + 1 fleet.
+        assert!(report.total_iterations() >= 26);
         assert!(report.replay_ops > 0, "replay stage must run ops");
         assert!(report.trace_ops > 0, "trace stage must compare ops");
         assert!(report.profile_ops > 0, "profile stage must compare ops");
+        assert!(report.fleet_ops > 0, "fleet stage must replay ops");
         assert!(report.summary().contains("failures: 0"));
     }
 }

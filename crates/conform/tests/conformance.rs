@@ -110,6 +110,7 @@ fn full_harness_finds_nothing_at_moderate_scale() {
         replay_cases: 2,
         trace_cases: 1,
         profile_cases: 1,
+        fleet_cases: 1,
     });
     assert!(report.is_clean(), "{:?}", report.failures);
     assert!(report.service_checks > 0);
@@ -125,5 +126,9 @@ fn full_harness_finds_nothing_at_moderate_scale() {
     assert!(
         report.profile_cases == 1 && report.profile_ops > 0,
         "profiling-invisibility scenarios must run too"
+    );
+    assert!(
+        report.fleet_cases == 1 && report.fleet_ops > 0,
+        "fleet scenarios must run too"
     );
 }

@@ -1,0 +1,328 @@
+//! Fleet front and fleet replay driver.
+//!
+//! ```text
+//! copred_fleet <command> [key=value ...]
+//!
+//! route   addrs=HOST:PORT,HOST:PORT[,...] [listen=127.0.0.1:0]
+//!     Front an existing set of copred_server backends: listen for the
+//!     usual length-prefixed wire protocol, rendezvous-route sessions by
+//!     store fingerprint, replicate warm state on close, and fail
+//!     sessions over when a backend dies.
+//!
+//! up      [backends=3] [listen=127.0.0.1:0]
+//!     Spawn a local fleet (store-enabled servers on ephemeral ports and
+//!     temp stores) and front it; the one-command quickstart.
+//!
+//! verify  log=FILE [backends=2]
+//!     The CI fleet gate: the CPRDLOG must replay bit-identically
+//!     through a fresh fleet. Exits non-zero on any divergence.
+//!
+//! ab      log=FILE [backends=2] [bench_json=PATH]
+//!     Replay one log against a single in-process node and a fleet,
+//!     and report the diff.
+//! ```
+
+use copred_fleet::{FleetBackend, Router};
+use copred_replay::{
+    ab_report, read_log_file, run_ab, run_replay, InProcessBackend, ReplayLog, ReplayOptions,
+    ReplayOutcome,
+};
+use copred_service::protocol::{Request, Response, ServiceError};
+use copred_trace::frame::{read_text_frame, write_text_frame};
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+/// Parsed `key=value` arguments for one subcommand, validated against its
+/// flag table.
+#[derive(Debug)]
+struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `args`, rejecting keys outside `valid` with an error that
+    /// lists every flag the subcommand accepts.
+    fn parse(command: &str, args: &[String], valid: &[&str]) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        for arg in args {
+            let (key, value) = arg
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{arg}'"))?;
+            if !valid.contains(&key) {
+                return Err(format!(
+                    "unknown flag '{key}' for '{command}' (valid flags: {})",
+                    valid.join(", ")
+                ));
+            }
+            values.insert(key.to_string(), value.to_string());
+        }
+        Ok(Flags { values })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing {key}=..."))
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad number for {key}: '{v}'")),
+        }
+    }
+}
+
+fn load(flags: &Flags) -> Result<ReplayLog, String> {
+    let path = flags.require("log")?;
+    let log = read_log_file(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    if !log.complete {
+        return Err(format!(
+            "{path} has a torn tail; refusing a fleet gate on it"
+        ));
+    }
+    Ok(log)
+}
+
+/// Serves the wire protocol on `listener`, answering every frame through
+/// the shared router. Parse failures answer `err bad_request` on the
+/// offending connection and keep serving, exactly like `copred_server`;
+/// router-fatal failures (all backends dead, retries exhausted) answer
+/// `err busy` rather than dropping the stream.
+fn serve(listener: TcpListener, router: Arc<Mutex<Router>>) -> ! {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || handle_conn(stream, &router));
+    }
+}
+
+fn handle_conn(stream: TcpStream, router: &Mutex<Router>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        let payload = match read_text_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean disconnect
+            Err(_) => {
+                let resp = Response::Error(ServiceError::BadRequest("bad frame".into()));
+                let _ = write_text_frame(&mut writer, &resp.to_text());
+                return;
+            }
+        };
+        let response = match Request::from_text(&payload) {
+            Err(reason) => Response::Error(ServiceError::BadRequest(reason)),
+            Ok(req) => match router.lock().expect("router lock").call(&req) {
+                Ok(resp) => resp,
+                Err(reason) => Response::Error(ServiceError::Busy(format!("fleet: {reason}"))),
+            },
+        };
+        if write_text_frame(&mut writer, &response.to_text()).is_err() {
+            return;
+        }
+    }
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("route", args, &["addrs", "listen"])?;
+    let addrs: Vec<String> = flags
+        .require("addrs")?
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    if addrs.is_empty() {
+        return Err("addrs needs at least one HOST:PORT".to_string());
+    }
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:0");
+    let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    println!(
+        "copred_fleet: routing {} backends on {}",
+        addrs.len(),
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    let _ = std::io::stdout().flush();
+    serve(listener, Arc::new(Mutex::new(Router::new(&addrs))))
+}
+
+fn cmd_up(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("up", args, &["backends", "listen"])?;
+    let n = flags.usize_or("backends", 3)?;
+    if n == 0 {
+        return Err("backends must be at least 1".to_string());
+    }
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:0");
+    let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    // The FleetBackend owns the servers and their temp stores; it must
+    // outlive serve(), which never returns, so hold it here and share
+    // only the router. The servers are unreachable through the backend
+    // from this point on — every frame goes through the router.
+    let fleet = FleetBackend::start(n).map_err(|e| format!("starting fleet: {e}"))?;
+    println!(
+        "copred_fleet: {} local backends up, fronting on {}",
+        fleet.len(),
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    let _ = std::io::stdout().flush();
+    let (router, _keepalive) = fleet.into_router();
+    serve(listener, Arc::new(Mutex::new(router)))
+}
+
+fn print_outcome(label: &str, out: &ReplayOutcome) {
+    println!("backend        {label}");
+    println!("ops            {}", out.ops);
+    println!("checks         {}", out.checks);
+    println!("collisions     {}", out.collisions);
+    println!("cdqs_issued    {}", out.cdqs_issued);
+    println!("mismatches     {}", out.mismatches.len());
+    println!("backend_errors {}", out.backend_errors);
+    println!("wall_s         {:.3}", out.wall_ns as f64 / 1e9);
+    for d in out.mismatches.iter().take(5) {
+        eprintln!(
+            "mismatch at op {} ({} {}): expected {:?}, got {:?}",
+            d.idx, d.verb, d.tag, d.expected, d.actual
+        );
+    }
+    if out.mismatches.len() > 5 {
+        eprintln!("... and {} more mismatches", out.mismatches.len() - 5);
+    }
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("verify", args, &["log", "backends"])?;
+    let log = load(&flags)?;
+    let n = flags.usize_or("backends", 2)?;
+    let opts = ReplayOptions::default(); // sequential, compare on
+
+    // Pass 1: bit-identity of a fleet replay against the recording.
+    let mut fleet = FleetBackend::start(n).map_err(|e| format!("starting fleet: {e}"))?;
+    let first = run_replay(&log, &mut fleet, &opts).map_err(|e| e.to_string())?;
+    if !first.is_identical() {
+        print_outcome("fleet", &first);
+        return Err(format!(
+            "fleet replay diverged from the recording ({} mismatches)",
+            first.mismatches.len()
+        ));
+    }
+    println!(
+        "fleet({n})       identical ({} ops, {} checks)",
+        first.ops, first.checks
+    );
+
+    // Pass 2: determinism — a second fresh fleet must answer exactly
+    // like the first (routing must not leak into responses).
+    let mut fleet2 = FleetBackend::start(n).map_err(|e| format!("starting fleet: {e}"))?;
+    let second = run_replay(&log, &mut fleet2, &opts).map_err(|e| e.to_string())?;
+    if second.responses != first.responses {
+        return Err("two fleet replays of the same log diverged".to_string());
+    }
+    println!("determinism    identical (double replay)");
+    println!("verify         PASS");
+    Ok(())
+}
+
+fn cmd_ab(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse("ab", args, &["log", "backends", "bench_json"])?;
+    let log = load(&flags)?;
+    let n = flags.usize_or("backends", 2)?;
+    let opts = ReplayOptions::default();
+    let mut single = InProcessBackend::with_server_defaults().labeled("single");
+    let mut fleet = FleetBackend::start(n)
+        .map_err(|e| format!("starting fleet: {e}"))?
+        .labeled("fleet");
+    let ab = run_ab(&log, &mut single, &mut fleet, &opts).map_err(|e| e.to_string())?;
+    println!("=== single ===");
+    print_outcome(&ab.label_a, &ab.a);
+    println!("=== fleet({n}) ===");
+    print_outcome(&ab.label_b, &ab.b);
+    println!("=== diff ===");
+    println!("responses_identical {}", ab.responses_identical());
+    println!("diverging_ops       {}", ab.diverging_ops().len());
+    if let Some(path) = flags.get("bench_json") {
+        let report = ab_report(&log, &ab, "fleet_ab");
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("bench_json          {path}");
+    }
+    if !ab.responses_identical() {
+        return Err(format!(
+            "fleet diverged from single node on {} ops",
+            ab.diverging_ops().len()
+        ));
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: copred_fleet <route|up|verify|ab> [key=value ...]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "route" => cmd_route(rest),
+        "up" => cmd_up(rest),
+        "verify" => cmd_verify(rest),
+        "ab" => cmd_ab(rest),
+        other => {
+            eprintln!("copred_fleet: unknown command '{other}'\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("copred_fleet: {e}");
+            let _ = std::io::stderr().flush();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(argv: &[&str]) -> Vec<String> {
+        argv.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flag_fails_fast_and_lists_valid_flags() {
+        let valid = &["log", "backends"];
+        let err = Flags::parse("verify", &strs(&["log=a.cprlog", "backend=2"]), valid).unwrap_err();
+        assert!(err.contains("unknown flag 'backend' for 'verify'"), "{err}");
+        for flag in valid {
+            assert!(err.contains(flag), "error should list {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn bare_word_is_an_error() {
+        let err = Flags::parse("ab", &strs(&["log"]), &["log"]).unwrap_err();
+        assert!(err.contains("expected key=value"), "{err}");
+    }
+
+    #[test]
+    fn numeric_flags_validate() {
+        let flags = Flags::parse("up", &strs(&["backends=4"]), &["backends", "listen"]).unwrap();
+        assert_eq!(flags.usize_or("backends", 3).unwrap(), 4);
+        assert_eq!(flags.usize_or("listen_missing_ok", 3).unwrap(), 3);
+        let bad = Flags::parse("up", &strs(&["backends=lots"]), &["backends"]).unwrap();
+        assert!(bad.usize_or("backends", 3).is_err());
+    }
+}

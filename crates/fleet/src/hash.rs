@@ -1,0 +1,99 @@
+//! Rendezvous (highest-random-weight) hashing.
+//!
+//! Every (key, node) pair gets a deterministic pseudo-random score; a key
+//! lives on the reachable node with the highest score. No ring, no
+//! virtual nodes, no rebalancing state: membership *is* the routing
+//! table. When a node joins, a key moves only if the new node now holds
+//! its maximum — about 1/N of keys, all of them moving to the joiner —
+//! and when a node dies, its keys redistribute over the survivors while
+//! everything else stays put. That last property is what makes failover
+//! cheap: only the dead node's sessions re-home.
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous weight of `key` on `node`. Pure and stable: the same
+/// pair scores the same forever, on every host.
+pub fn score(key: u64, node: u64) -> u64 {
+    mix(key ^ mix(node))
+}
+
+/// The highest-scoring node for `key` among `nodes` (indices into the
+/// membership list). `None` when `nodes` is empty. Ties break toward the
+/// lower index, deterministically.
+pub fn pick(key: u64, nodes: impl IntoIterator<Item = usize>) -> Option<usize> {
+    nodes
+        .into_iter()
+        .map(|n| (score(key, n as u64), std::cmp::Reverse(n)))
+        .max()
+        .map(|(_, std::cmp::Reverse(n))| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_is_deterministic_and_total() {
+        for key in 0..64u64 {
+            let a = pick(key, 0..4).expect("nonempty");
+            let b = pick(key, 0..4).expect("nonempty");
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        assert_eq!(pick(7, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn every_node_owns_some_keys() {
+        let n = 5;
+        let mut owned = vec![0u32; n];
+        for key in 0..2000u64 {
+            owned[pick(mix(key), 0..n).expect("nonempty")] += 1;
+        }
+        for (node, &count) in owned.iter().enumerate() {
+            // A fair hash gives each node ~400 of 2000; a badly skewed
+            // mix would starve one entirely.
+            assert!(count > 100, "node {node} owns only {count} of 2000 keys");
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_about_one_in_n_keys_and_only_to_the_joiner() {
+        let keys: Vec<u64> = (0..4000u64).map(mix).collect();
+        let mut moved = 0u32;
+        for &key in &keys {
+            let before = pick(key, 0..4).expect("nonempty");
+            let after = pick(key, 0..5).expect("nonempty");
+            if before != after {
+                // The defining rendezvous property: growth never shuffles
+                // keys between existing nodes.
+                assert_eq!(after, 4, "key {key:#x} moved to a survivor");
+                moved += 1;
+            }
+        }
+        let frac = f64::from(moved) / keys.len() as f64;
+        assert!(
+            (0.13..0.28).contains(&frac),
+            "expected ~1/5 of keys to move, got {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn removing_a_node_rehomes_only_its_keys() {
+        for key in (0..500u64).map(mix) {
+            let before = pick(key, 0..4).expect("nonempty");
+            let after = pick(key, (0..4).filter(|&n| n != 2)).expect("nonempty");
+            if before != 2 {
+                assert_eq!(before, after, "key {key:#x} moved without cause");
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `copred-fleet`: multi-node session sharding with warm-state
+//! replication.
+//!
+//! One `copred_server` holds every leased CHT shard in one process; this
+//! crate scales the same wire contract across N of them. Three pieces:
+//!
+//! - [`hash`] — rendezvous (highest-random-weight) hashing. Sessions are
+//!   placed by their store fingerprint, so adding a node moves only
+//!   ~1/N of the keyspace and every displaced key moves *to* the new
+//!   node, never between survivors.
+//! - [`router`] — a protocol-transparent front for N backends. It
+//!   forwards frames verbatim (rewriting only the session token it
+//!   owns), absorbs per-backend `retry_after` backpressure, pulls a
+//!   warm-state replica (`snap_session`) after every successful check
+//!   batch on fingerprinted sessions, and on backend death re-opens the
+//!   session on the rendezvous survivor after pushing that replica —
+//!   the survivor warm-starts with the exact cells and scheduler state,
+//!   so the stream continues bit-identically. On close the replica is
+//!   gossiped to every peer (`snap_offer`/`snap_push`), making any of
+//!   them a warm home for the fingerprint's next session.
+//! - [`backend`] — [`backend::FleetBackend`], a
+//!   [`copred_replay::ReplayBackend`] over an owned in-process fleet
+//!   (N store-enabled servers + a router), so `copred_replay ab` can
+//!   hold a fleet bit-for-bit against a single node and the conformance
+//!   harness can kill a backend mid-stream and audit the continuation.
+//!
+//! Replication is a pure state join: the receiver folds an incoming
+//! snapshot with [`copred_store::TableImage::merge_max`] (per-cell
+//! saturating max — commutative, associative, idempotent), so duplicate
+//! and out-of-order pushes converge. Torn, version-skewed, or corrupt
+//! pushes are rejected at the wire with structured errors and the
+//! receiver stays cold-startable; see the `snapshot_transfer` tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod hash;
+pub mod router;
+
+pub use backend::FleetBackend;
+pub use hash::{pick, score};
+pub use router::{Router, SessionLedger};

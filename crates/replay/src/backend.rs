@@ -152,6 +152,26 @@ impl ReplayBackend for InProcessBackend {
             // The recorder never logs stats ops (their values are
             // non-deterministic), but answer the shape anyway.
             Request::Stats { .. } => Response::Stats(Vec::new()),
+            // Fleet replication verbs, answered with single-node
+            // semantics: live-session images export fine, but there is
+            // no store to get from, offer against, or push into.
+            Request::SnapSession { session } => match self.registry.get(*session) {
+                Ok(s) => Response::Snap {
+                    fp: s.store_fp().unwrap_or(0),
+                    payload: copred_store::snapshot::encode(&s.table_image()),
+                },
+                Err(e) => Response::Error(e),
+            },
+            Request::SnapGet { .. } => Response::Error(ServiceError::BadRequest(
+                "snap_get needs a store-enabled server".into(),
+            )),
+            Request::SnapOffer { fp, .. } => Response::SnapWant {
+                fp: *fp,
+                want: false,
+            },
+            Request::SnapPush { .. } => Response::Error(ServiceError::BadRequest(
+                "snap_push needs a store-enabled server".into(),
+            )),
             Request::Close { session } => match self.registry.close(*session) {
                 Ok(()) => Response::Closed,
                 Err(e) => Response::Error(e),

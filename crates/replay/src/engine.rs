@@ -220,11 +220,16 @@ pub fn normalize_response(text: &str) -> String {
 
 fn rewrite_session(req: &mut Request, live: u64) {
     match req {
-        Request::Open { .. } | Request::Dump => {}
+        Request::Open { .. }
+        | Request::Dump
+        | Request::SnapGet { .. }
+        | Request::SnapOffer { .. }
+        | Request::SnapPush { .. } => {}
         Request::CheckMotion { session, .. }
         | Request::CheckPose { session, .. }
         | Request::ResetCht { session }
-        | Request::Close { session } => *session = live,
+        | Request::Close { session }
+        | Request::SnapSession { session } => *session = live,
         Request::Stats { session } => {
             if session.is_some() {
                 *session = Some(live);
@@ -299,7 +304,12 @@ pub fn run_replay(
         })?;
         if !matches!(
             req,
-            Request::Open { .. } | Request::Stats { session: None } | Request::Dump
+            Request::Open { .. }
+                | Request::Stats { session: None }
+                | Request::Dump
+                | Request::SnapGet { .. }
+                | Request::SnapOffer { .. }
+                | Request::SnapPush { .. }
         ) {
             let live = *sessions
                 .get(&rec.session)
@@ -337,7 +347,13 @@ pub fn run_replay(
             Response::Error(_) => {
                 out.backend_errors += 1;
             }
-            Response::ResetDone | Response::Stats(_) | Response::DumpDone { .. } => {}
+            Response::ResetDone
+            | Response::Stats(_)
+            | Response::DumpDone { .. }
+            | Response::Snap { .. }
+            | Response::SnapNone { .. }
+            | Response::SnapWant { .. }
+            | Response::SnapApplied { .. } => {}
         }
 
         let actual = normalize_response(&resp.to_text());

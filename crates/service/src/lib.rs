@@ -45,8 +45,8 @@ pub use oplog::{
     OPLOG_MAGIC, OPLOG_VERSION,
 };
 pub use prom::{
-    render_prometheus, replay_stats, ReplayStats, GLOBAL_COUNTERS, REPLAY_COUNTERS,
-    SESSION_COUNTERS, STORE_COUNTERS, TRACE_COUNTERS,
+    fleet_stats, render_prometheus, replay_stats, FleetStats, ReplayStats, FLEET_COUNTERS,
+    GLOBAL_COUNTERS, REPLAY_COUNTERS, SESSION_COUNTERS, STORE_COUNTERS, TRACE_COUNTERS,
 };
 pub use protocol::{CheckResult, Request, Response, SchedMode, ServiceError, MAX_BATCH};
 pub use server::{Server, ServerConfig};

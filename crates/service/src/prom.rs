@@ -189,6 +189,79 @@ pub const REPLAY_COUNTERS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Process-global counters for the fleet subsystem (`copred-fleet`'s
+/// router and the server's snapshot-replication receiver drive these
+/// through [`fleet_stats`]; they read 0 in a process that never joins a
+/// fleet). They live here, like [`ReplayStats`], so the one `/metrics`
+/// renderer — and its golden-file contract — covers them.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    /// Sessions routed to a backend by fingerprint hashing.
+    pub sessions_routed: AtomicU64,
+    /// Snapshots shipped to peers (gossip pushes + failover replicas).
+    pub snapshots_shipped: AtomicU64,
+    /// Pushed snapshots accepted and merged into the local store.
+    pub snapshots_received: AtomicU64,
+    /// Pushed snapshots rejected (transfer CRC, version skew, corrupt or
+    /// mismatched image, leased fingerprint, store disabled).
+    pub snapshots_rejected: AtomicU64,
+    /// Sessions re-opened on a surviving backend after their owner died.
+    pub failovers: AtomicU64,
+    /// Backend I/O or protocol errors observed by the router.
+    pub backend_errors: AtomicU64,
+}
+
+static FLEET_STATS: FleetStats = FleetStats {
+    sessions_routed: AtomicU64::new(0),
+    snapshots_shipped: AtomicU64::new(0),
+    snapshots_received: AtomicU64::new(0),
+    snapshots_rejected: AtomicU64::new(0),
+    failovers: AtomicU64::new(0),
+    backend_errors: AtomicU64::new(0),
+};
+
+/// The process-wide [`FleetStats`] instance rendered on `/metrics`.
+pub fn fleet_stats() -> &'static FleetStats {
+    &FLEET_STATS
+}
+
+/// Every fleet counter in [`FleetStats`], as
+/// `(field, prometheus name, help)`. Same contract discipline as
+/// [`GLOBAL_COUNTERS`]: the exposition test asserts each appears exactly
+/// once in a scrape.
+pub const FLEET_COUNTERS: &[(&str, &str, &str)] = &[
+    (
+        "sessions_routed",
+        "copred_fleet_sessions_routed_total",
+        "Sessions routed to a backend by fingerprint hashing.",
+    ),
+    (
+        "snapshots_shipped",
+        "copred_fleet_snapshots_shipped_total",
+        "Snapshots shipped to peers (gossip pushes and failover replicas).",
+    ),
+    (
+        "snapshots_received",
+        "copred_fleet_snapshots_received_total",
+        "Pushed snapshots accepted and merged into the local store.",
+    ),
+    (
+        "snapshots_rejected",
+        "copred_fleet_snapshots_rejected_total",
+        "Pushed snapshots rejected (CRC, version skew, corruption, lease, or no store).",
+    ),
+    (
+        "failovers",
+        "copred_fleet_failovers_total",
+        "Sessions re-opened on a surviving backend after their owner died.",
+    ),
+    (
+        "backend_errors",
+        "copred_fleet_backend_errors_total",
+        "Backend I/O or protocol errors observed by the router.",
+    ),
+];
+
 /// Every per-session counter in [`crate::metrics::SessionMetrics`], as
 /// `(field, prometheus name, help)`. Samples carry `session` and `mode`
 /// labels.
@@ -280,6 +353,18 @@ fn replay_counter<'a>(s: &'a ReplayStats, field: &str) -> &'a AtomicU64 {
         "backend_errors" => &s.backend_errors,
         "timing_lag_ns" => &s.timing_lag_ns,
         other => unreachable!("unmapped replay counter {other}"),
+    }
+}
+
+fn fleet_counter<'a>(s: &'a FleetStats, field: &str) -> &'a AtomicU64 {
+    match field {
+        "sessions_routed" => &s.sessions_routed,
+        "snapshots_shipped" => &s.snapshots_shipped,
+        "snapshots_received" => &s.snapshots_received,
+        "snapshots_rejected" => &s.snapshots_rejected,
+        "failovers" => &s.failovers,
+        "backend_errors" => &s.backend_errors,
+        other => unreachable!("unmapped fleet counter {other}"),
     }
 }
 
@@ -379,6 +464,14 @@ pub fn render_prometheus(
         b.sample(
             name,
             replay_counter(replay, field).load(Ordering::Relaxed) as f64,
+        );
+    }
+    let fleet = fleet_stats();
+    for &(field, name, help) in FLEET_COUNTERS {
+        b.family(name, "counter", help);
+        b.sample(
+            name,
+            fleet_counter(fleet, field).load(Ordering::Relaxed) as f64,
         );
     }
 

@@ -17,9 +17,24 @@
 //! stats [<session>]                        ok stats <n> \n <key> <value> …
 //! dump                                     ok dump <entries>
 //! close <session>                          ok closed
+//! snap_get <fp-hex>                        ok snap <fp-hex> <len> \n <hex payload>
+//!                                          ok snap_none <fp-hex>
+//! snap_session <session>                   ok snap <fp-hex> <len> \n <hex payload>
+//! snap_offer <fp-hex> <ver> <crc-hex> <len>  ok snap_want <fp-hex> <0|1>
+//! snap_push <fp-hex> <ver> <crc-hex> <len>   ok snap_applied <fp-hex> merged <0|1>
+//!           \n <hex payload>
 //! (any)                                    err retry_after <ms> <message>
 //! (any)                                    err <code> <message>
 //! ```
+//!
+//! The `snap_*` verbs are the fleet replication ops: a snapshot payload is
+//! a complete CPRDSNAP byte string ([`copred_store::snapshot`]), hex-coded
+//! onto the wire. `snap_push` carries the transfer length and CRC
+//! explicitly so a torn or corrupted transfer is rejected *before* the
+//! snapshot decoder runs; the CPRDSNAP header's own version and CRC are
+//! then validated by the decoder. Servers without a store answer every
+//! `snap_*` op with a structured error — old clients never send them, so
+//! the pre-fleet wire surface is untouched.
 //!
 //! Check verbs additionally accept an optional trailing `trace <hex128>`
 //! token carrying a causal trace id ([`copred_obs::TraceId`]); the
@@ -118,6 +133,46 @@ pub enum Request {
         /// Session token.
         session: u64,
     },
+    /// Fetches the *stored* snapshot for a fingerprint (snapshot + WAL
+    /// suffix, exactly what a warm open would load), as CPRDSNAP bytes.
+    SnapGet {
+        /// Environment fingerprint.
+        fp: u64,
+    },
+    /// Fetches a *live* session's table image as CPRDSNAP bytes — what the
+    /// fleet router replicates mid-stream so a backend death loses no
+    /// committed state.
+    SnapSession {
+        /// Session token.
+        session: u64,
+    },
+    /// Asks whether the receiver wants a snapshot before it is shipped
+    /// (gossip round 1): declined when the receiver already stores
+    /// byte-identical state for the fingerprint.
+    SnapOffer {
+        /// Environment fingerprint.
+        fp: u64,
+        /// CPRDSNAP format version of the offered bytes.
+        version: u32,
+        /// CRC-32/IEEE over the full offered byte string.
+        crc: u32,
+        /// Offered byte count.
+        len: u64,
+    },
+    /// Ships a snapshot (gossip round 2). The receiver validates the
+    /// transfer CRC and version, decodes, and max-merges into its store.
+    SnapPush {
+        /// Environment fingerprint.
+        fp: u64,
+        /// CPRDSNAP format version of the pushed bytes.
+        version: u32,
+        /// CRC-32/IEEE over `payload` as transferred. Serialized as given —
+        /// a mismatch with the payload is the receiver's rejection to make,
+        /// not the codec's.
+        crc: u32,
+        /// The complete CPRDSNAP byte string.
+        payload: Vec<u8>,
+    },
 }
 
 /// One motion check's outcome on the wire.
@@ -195,8 +250,84 @@ pub enum Response {
     },
     /// Session closed.
     Closed,
+    /// A snapshot payload (answer to `snap_get` / `snap_session`).
+    Snap {
+        /// Environment fingerprint the payload persists under (0 when the
+        /// source session opened without one).
+        fp: u64,
+        /// The complete CPRDSNAP byte string.
+        payload: Vec<u8>,
+    },
+    /// No stored snapshot for the fingerprint (answer to `snap_get`).
+    SnapNone {
+        /// Environment fingerprint.
+        fp: u64,
+    },
+    /// Whether the receiver wants an offered snapshot.
+    SnapWant {
+        /// Environment fingerprint.
+        fp: u64,
+        /// `true` to request the push.
+        want: bool,
+    },
+    /// A pushed snapshot was accepted and persisted.
+    SnapApplied {
+        /// Environment fingerprint.
+        fp: u64,
+        /// Whether existing stored state was max-merged in (`false` =
+        /// installed fresh).
+        merged: bool,
+    },
     /// Request failed.
     Error(ServiceError),
+}
+
+/// Hex-codes a byte string for the wire (lowercase, two digits per byte).
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes a wire hex line produced by [`to_hex`].
+fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd hex payload length".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(s.get(i..i + 2).ok_or("non-ascii hex payload")?, 16)
+                .map_err(|_| "bad hex payload".to_string())
+        })
+        .collect()
+}
+
+fn parse_hex_u64(tok: Option<&str>, what: &str) -> Result<u64, String> {
+    let tok = tok.ok_or_else(|| format!("missing {what}"))?;
+    u64::from_str_radix(tok, 16).map_err(|_| format!("bad {what} (want hex)"))
+}
+
+/// Parses the `<hex payload>` line of a snap op: exactly one line whose
+/// decoded length matches the declared `len`, then end of payload.
+fn parse_hex_payload<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    declared_len: u64,
+) -> Result<Vec<u8>, String> {
+    let line = lines.next().ok_or("missing snapshot payload")?;
+    let payload = from_hex(line)?;
+    if payload.len() as u64 != declared_len {
+        return Err(format!(
+            "snapshot payload is {} bytes, declared {declared_len}",
+            payload.len()
+        ));
+    }
+    if lines.next().is_some() {
+        return Err("trailing content after snapshot payload".into());
+    }
+    Ok(payload)
 }
 
 fn parse_u64(tok: Option<&str>, what: &str) -> Result<u64, String> {
@@ -253,6 +384,24 @@ impl Request {
             Request::Stats { session: Some(id) } => format!("stats {id}\n"),
             Request::Dump => "dump\n".to_string(),
             Request::Close { session } => format!("close {session}\n"),
+            Request::SnapGet { fp } => format!("snap_get {fp:x}\n"),
+            Request::SnapSession { session } => format!("snap_session {session}\n"),
+            Request::SnapOffer {
+                fp,
+                version,
+                crc,
+                len,
+            } => format!("snap_offer {fp:x} {version} {crc:x} {len}\n"),
+            Request::SnapPush {
+                fp,
+                version,
+                crc,
+                payload,
+            } => format!(
+                "snap_push {fp:x} {version} {crc:x} {}\n{}\n",
+                payload.len(),
+                to_hex(payload)
+            ),
         }
     }
 
@@ -357,8 +506,55 @@ impl Request {
             "close" => Ok(Request::Close {
                 session: parse_u64(f.next(), "session")?,
             }),
+            "snap_get" => {
+                let fp = parse_hex_u64(f.next(), "fp")?;
+                reject_extra(&mut f, "fp")?;
+                Ok(Request::SnapGet { fp })
+            }
+            "snap_session" => {
+                let session = parse_u64(f.next(), "session")?;
+                reject_extra(&mut f, "session")?;
+                Ok(Request::SnapSession { session })
+            }
+            "snap_offer" => {
+                let fp = parse_hex_u64(f.next(), "fp")?;
+                let version = parse_u64(f.next(), "snapshot version")? as u32;
+                let crc = parse_hex_u64(f.next(), "transfer crc")? as u32;
+                let len = parse_u64(f.next(), "payload length")?;
+                reject_extra(&mut f, "payload length")?;
+                Ok(Request::SnapOffer {
+                    fp,
+                    version,
+                    crc,
+                    len,
+                })
+            }
+            "snap_push" => {
+                let fp = parse_hex_u64(f.next(), "fp")?;
+                let version = parse_u64(f.next(), "snapshot version")? as u32;
+                let crc = parse_hex_u64(f.next(), "transfer crc")? as u32;
+                let len = parse_u64(f.next(), "payload length")?;
+                reject_extra(&mut f, "payload length")?;
+                let mut rest = lines.map(|(_, l)| l);
+                let payload = parse_hex_payload(&mut rest, len)?;
+                Ok(Request::SnapPush {
+                    fp,
+                    version,
+                    crc,
+                    payload,
+                })
+            }
             other => Err(format!("unknown verb '{other}'")),
         }
+    }
+}
+
+/// Rejects any further token on the line; `after` names the last expected
+/// field for the error message.
+fn reject_extra<'a>(f: &mut impl Iterator<Item = &'a str>, after: &str) -> Result<(), String> {
+    match f.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected token '{extra}' after {after}")),
     }
 }
 
@@ -419,6 +615,16 @@ impl Response {
             }
             Response::DumpDone { entries } => format!("ok dump {entries}\n"),
             Response::Closed => "ok closed\n".to_string(),
+            Response::Snap { fp, payload } => {
+                format!("ok snap {fp:x} {}\n{}\n", payload.len(), to_hex(payload))
+            }
+            Response::SnapNone { fp } => format!("ok snap_none {fp:x}\n"),
+            Response::SnapWant { fp, want } => {
+                format!("ok snap_want {fp:x} {}\n", u8::from(*want))
+            }
+            Response::SnapApplied { fp, merged } => {
+                format!("ok snap_applied {fp:x} merged {}\n", u8::from(*merged))
+            }
             Response::Error(ServiceError::RetryAfter { ms, message }) => {
                 format!("err retry_after {ms} {message}\n")
             }
@@ -493,6 +699,33 @@ impl Response {
                     Ok(Response::Stats(kv))
                 }
                 Some("closed") => Ok(Response::Closed),
+                Some("snap") => {
+                    let fp = parse_hex_u64(f.next(), "fp")?;
+                    let len = parse_u64(f.next(), "payload length")?;
+                    reject_extra(&mut f, "payload length")?;
+                    let payload = parse_hex_payload(&mut lines, len)?;
+                    Ok(Response::Snap { fp, payload })
+                }
+                Some("snap_none") => {
+                    let fp = parse_hex_u64(f.next(), "fp")?;
+                    reject_extra(&mut f, "fp")?;
+                    Ok(Response::SnapNone { fp })
+                }
+                Some("snap_want") => {
+                    let fp = parse_hex_u64(f.next(), "fp")?;
+                    let want = parse_u64(f.next(), "want flag")? != 0;
+                    reject_extra(&mut f, "want flag")?;
+                    Ok(Response::SnapWant { fp, want })
+                }
+                Some("snap_applied") => {
+                    let fp = parse_hex_u64(f.next(), "fp")?;
+                    if f.next() != Some("merged") {
+                        return Err("expected 'merged' after fp".into());
+                    }
+                    let merged = parse_u64(f.next(), "merged flag")? != 0;
+                    reject_extra(&mut f, "merged flag")?;
+                    Ok(Response::SnapApplied { fp, merged })
+                }
                 _ => Err("unknown ok form".into()),
             },
             Some("err") => match f.next() {
@@ -597,6 +830,26 @@ mod tests {
             Request::Stats { session: Some(9) },
             Request::Dump,
             Request::Close { session: 7 },
+            Request::SnapGet { fp: 0xFACE_0042 },
+            Request::SnapSession { session: 7 },
+            Request::SnapOffer {
+                fp: 0xFACE_0042,
+                version: 1,
+                crc: 0xDEAD_BEEF,
+                len: 52,
+            },
+            Request::SnapPush {
+                fp: 0xFACE_0042,
+                version: 1,
+                crc: 0x1234_5678,
+                payload: vec![0x00, 0x7f, 0xff, 0x10],
+            },
+            Request::SnapPush {
+                fp: 1,
+                version: 9,
+                crc: 0,
+                payload: vec![],
+            },
         ];
         for r in reqs {
             let text = r.to_text();
@@ -646,6 +899,28 @@ mod tests {
                 ("precision".into(), "0.9375".into()),
             ]),
             Response::Closed,
+            Response::Snap {
+                fp: 0xFACE_0042,
+                payload: vec![0xCA, 0xFE, 0x00, 0x01],
+            },
+            Response::Snap {
+                fp: 2,
+                payload: vec![],
+            },
+            Response::SnapNone { fp: 0xFACE_0042 },
+            Response::SnapWant {
+                fp: 0xFACE_0042,
+                want: true,
+            },
+            Response::SnapWant { fp: 3, want: false },
+            Response::SnapApplied {
+                fp: 0xFACE_0042,
+                merged: true,
+            },
+            Response::SnapApplied {
+                fp: 4,
+                merged: false,
+            },
             Response::Error(ServiceError::RetryAfter {
                 ms: 12,
                 message: "session queue full".into(),
@@ -685,9 +960,37 @@ mod tests {
             "check_motion 1 1 trace 00000000000000000000000000000000\nmotion S1 1 1\npose 0.0\ncdq 0 0 0 0 0 1 1\n",
             "check_motion 1 1 trace ff junk\nmotion S1 1 1\npose 0.0\ncdq 0 0 0 0 0 1 1\n",
             "check_pose 1 spur\nmotion S1 1 1\npose 0.0\ncdq 0 0 0 0 0 1 1\n",
+            "snap_get",
+            "snap_get zz",
+            "snap_get 1f 9",
+            "snap_session",
+            "snap_session nope",
+            "snap_offer 1f",
+            "snap_offer 1f 1 zz 4",
+            "snap_offer 1f 1 aa 4 junk",
+            "snap_push 1f 1 aa 4\n",
+            "snap_push 1f 1 aa 4\nca\n",
+            "snap_push 1f 1 aa 4\ncafe00\n",
+            "snap_push 1f 1 aa 2\ncafe\nextra\n",
+            "snap_push 1f 1 aa 2\ncafg\n",
+            "snap_push 1f 1 aa 3\ncafe0\n",
         ] {
             assert!(Request::from_text(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn snap_push_wire_crc_is_carried_not_recomputed() {
+        // The codec ships the declared transfer CRC verbatim: a push whose
+        // CRC does not match its payload must round-trip intact so the
+        // *receiver* can reject it as a structured transfer error.
+        let req = Request::SnapPush {
+            fp: 0xAB,
+            version: 1,
+            crc: 0xBAD0_CAFE, // deliberately not crc32(payload)
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(Request::from_text(&req.to_text()).unwrap(), req);
     }
 
     #[test]

@@ -638,6 +638,97 @@ fn dispatch(req: Request, shared: &Shared) -> Response {
             }
             Err(e) => Response::Error(e),
         },
+        Request::SnapGet { fp } => match shared.registry.store() {
+            Some(store) => match store.load(fp, &shared.config.cht_params) {
+                Some(image) => Response::Snap {
+                    fp,
+                    payload: copred_store::snapshot::encode(&image),
+                },
+                None => Response::SnapNone { fp },
+            },
+            None => Response::Error(ServiceError::BadRequest(
+                "snap_get needs a store-enabled server".into(),
+            )),
+        },
+        Request::SnapSession { session } => match shared.registry.get(session) {
+            Ok(s) => Response::Snap {
+                fp: s.store_fp().unwrap_or(0),
+                payload: copred_store::snapshot::encode(&s.table_image()),
+            },
+            Err(e) => Response::Error(e),
+        },
+        Request::SnapOffer {
+            fp,
+            version,
+            crc,
+            len: _,
+        } => match shared.registry.store() {
+            Some(store) => {
+                // Want the push unless the stored state already encodes to
+                // the offered bytes (same CRC ⇒ same bytes ⇒ merge would be
+                // a no-op). Version skew is declined here, not errored: an
+                // offer is a question, not a transfer.
+                let have = store
+                    .load(fp, &shared.config.cht_params)
+                    .map(|image| copred_store::crc::crc32(&copred_store::snapshot::encode(&image)));
+                let want = version == copred_store::SNAPSHOT_VERSION && have != Some(crc);
+                Response::SnapWant { fp, want }
+            }
+            None => Response::SnapWant { fp, want: false },
+        },
+        Request::SnapPush {
+            fp,
+            version,
+            crc,
+            payload,
+        } => receive_snap_push(shared, fp, version, crc, &payload),
+    }
+}
+
+/// The receiving half of fleet snapshot replication: validates the
+/// transfer (version, CRC over the bytes as received), decodes the
+/// CPRDSNAP image (which re-validates its own header and payload CRC),
+/// checks it targets this server's table geometry, and max-merges it into
+/// the store. Every failure is a structured error response — a hostile or
+/// torn transfer must leave the store exactly as it was, cold-startable,
+/// with the server still serving.
+fn receive_snap_push(shared: &Shared, fp: u64, version: u32, crc: u32, payload: &[u8]) -> Response {
+    let fleet = crate::prom::fleet_stats();
+    let reject = |message: String| {
+        fleet.snapshots_rejected.fetch_add(1, Ordering::Relaxed);
+        Response::Error(ServiceError::BadRequest(message))
+    };
+    let Some(store) = shared.registry.store() else {
+        return reject("snap_push needs a store-enabled server".into());
+    };
+    if version != copred_store::SNAPSHOT_VERSION {
+        return reject(format!(
+            "snapshot version {version} not supported (want {})",
+            copred_store::SNAPSHOT_VERSION
+        ));
+    }
+    if copred_store::crc::crc32(payload) != crc {
+        return reject("snapshot transfer CRC mismatch".into());
+    }
+    let image = match copred_store::snapshot::decode(payload) {
+        Ok(image) => image,
+        Err(e) => return reject(format!("snapshot rejected: {e}")),
+    };
+    if image.params != shared.config.cht_params {
+        return reject("snapshot parameters do not match this server's table".into());
+    }
+    match store.merge_image(fp, &image) {
+        Ok(merged) => {
+            fleet.snapshots_received.fetch_add(1, Ordering::Relaxed);
+            Response::SnapApplied { fp, merged }
+        }
+        Err(copred_store::StoreError::Leased(_)) => {
+            fleet.snapshots_rejected.fetch_add(1, Ordering::Relaxed);
+            Response::Error(ServiceError::Busy(format!(
+                "fingerprint {fp:x} is leased by a live session"
+            )))
+        }
+        Err(e) => reject(format!("snapshot merge failed: {e}")),
     }
 }
 

@@ -84,6 +84,12 @@ impl SessionState {
         }
     }
 
+    /// The environment fingerprint the session persists under, when it
+    /// opened with one against a store-enabled registry.
+    pub fn store_fp(&self) -> Option<u64> {
+        self.store.as_ref().map(SessionStore::fp)
+    }
+
     /// Persists the session's table through its store handle (no-op
     /// without one, or on a detached same-fingerprint handle). Returns
     /// whether a snapshot was written. Persistence is best-effort: an I/O
@@ -419,6 +425,13 @@ impl SessionRegistry {
     /// Whether a persistence backend is attached.
     pub fn store_enabled(&self) -> bool {
         self.store.is_some()
+    }
+
+    /// The attached persistence backend, when there is one — the fleet
+    /// replication ops read stored snapshots and merge pushed ones through
+    /// this.
+    pub fn store(&self) -> Option<&Arc<StoreRegistry>> {
+        self.store.as_ref()
     }
 
     /// Capacity of the shard pool.

@@ -7,8 +7,9 @@ use copred_core::ChtParams;
 use copred_obs::{http_get, parse_prometheus, PromSample};
 use copred_service::protocol::SchedMode;
 use copred_service::{
-    render_prometheus, replay_stats, Metrics, Server, ServerConfig, SessionRegistry,
-    GLOBAL_COUNTERS, REPLAY_COUNTERS, SESSION_COUNTERS, STORE_COUNTERS, TRACE_COUNTERS,
+    fleet_stats, render_prometheus, replay_stats, Metrics, Server, ServerConfig, SessionRegistry,
+    FLEET_COUNTERS, GLOBAL_COUNTERS, REPLAY_COUNTERS, SESSION_COUNTERS, STORE_COUNTERS,
+    TRACE_COUNTERS,
 };
 use copred_store::StoreStats;
 use std::sync::atomic::Ordering;
@@ -112,6 +113,24 @@ fn replay_fixture() {
     }
 }
 
+/// Distinct values for the process-global fleet counters, fifth
+/// arithmetic progression (router/replication plane).
+fn fleet_fixture() {
+    let stats = fleet_stats();
+    for (i, &(field, _, _)) in FLEET_COUNTERS.iter().enumerate() {
+        let v = 900 + 19 * i as u64;
+        match field {
+            "sessions_routed" => stats.sessions_routed.store(v, Ordering::Relaxed),
+            "snapshots_shipped" => stats.snapshots_shipped.store(v, Ordering::Relaxed),
+            "snapshots_received" => stats.snapshots_received.store(v, Ordering::Relaxed),
+            "snapshots_rejected" => stats.snapshots_rejected.store(v, Ordering::Relaxed),
+            "failovers" => stats.failovers.store(v, Ordering::Relaxed),
+            "backend_errors" => stats.backend_errors.store(v, Ordering::Relaxed),
+            other => panic!("fixture does not cover fleet counter {other}"),
+        }
+    }
+}
+
 /// A deterministic profiler snapshot: a known stage mix (900 predict /
 /// 200 queue-wait / 100 idle out of 1200 samples) so the rendered
 /// fractions are exact decimals the golden file can pin.
@@ -129,6 +148,7 @@ fn profile_fixture() -> copred_obs::ProfileSnapshot {
 fn render_fixture() -> String {
     let (metrics, registry) = fixture();
     replay_fixture();
+    fleet_fixture();
     render_prometheus(
         &metrics,
         &registry.sessions_snapshot(),
@@ -187,6 +207,11 @@ fn every_global_counter_appears_exactly_once_with_prefix() {
         );
         assert_eq!(count(&samples, name), 1, "{name} must appear exactly once");
         assert_eq!(value(&samples, name), (700 + 13 * i) as f64, "{name}");
+    }
+    for (i, &(_, name, _)) in FLEET_COUNTERS.iter().enumerate() {
+        assert!(name.starts_with("copred_fleet_"), "{name} lacks the prefix");
+        assert_eq!(count(&samples, name), 1, "{name} must appear exactly once");
+        assert_eq!(value(&samples, name), (900 + 19 * i) as f64, "{name}");
     }
     for (i, &(field, name, _)) in TRACE_COUNTERS.iter().enumerate() {
         assert!(

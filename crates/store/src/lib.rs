@@ -49,6 +49,11 @@ pub enum StoreError {
     /// The decoded image exists but does not match the requested table
     /// parameters — treated as a cold miss by the registry.
     Mismatch(String),
+    /// The fingerprint is leased by a live session that owns its write
+    /// side; a replication merge under it would interleave two writers.
+    /// The pusher retries after the lease is released (or drops the push —
+    /// replication is best-effort).
+    Leased(u64),
 }
 
 impl fmt::Display for StoreError {
@@ -57,6 +62,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "io: {e}"),
             StoreError::Corrupt(m) => write!(f, "corrupt: {m}"),
             StoreError::Mismatch(m) => write!(f, "mismatch: {m}"),
+            StoreError::Leased(fp) => write!(f, "fingerprint {fp:016x} is leased"),
         }
     }
 }

@@ -123,6 +123,54 @@ impl StoreRegistry {
         }
     }
 
+    /// Merges a replicated table image into the stored state for `fp` —
+    /// the receiving half of fleet warm-state replication. The stored
+    /// snapshot plus WAL suffix (exactly what a warm open would load) is
+    /// max-merged into `incoming` and written back as a fresh snapshot,
+    /// after which the folded WAL segments are cleared. Stored state with
+    /// *different* parameters is stale by the same rule [`load`](Self::load)
+    /// uses and is replaced outright; corrupt stored state likewise.
+    ///
+    /// Returns `true` when usable stored state was merged in, `false` when
+    /// the incoming image was installed fresh.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Leased`] when a live session owns `fp`'s write side
+    /// (merging under it would interleave two writers — the pusher treats
+    /// this as a soft rejection), or any I/O error from the snapshot/WAL
+    /// writes. Either way the stored state stays cold-startable.
+    pub fn merge_image(&self, fp: u64, incoming: &TableImage) -> Result<bool, StoreError> {
+        let _store_stage = copred_obs::stage(copred_obs::Stage::Store);
+        // Take the lease for the duration of the merge so a concurrent
+        // open cannot start a WAL this merge would then clear.
+        if !self.active.lock().expect("active set poisoned").insert(fp) {
+            return Err(StoreError::Leased(fp));
+        }
+        let result = self.merge_image_locked(fp, incoming);
+        self.active.lock().expect("active set poisoned").remove(&fp);
+        result
+    }
+
+    fn merge_image_locked(&self, fp: u64, incoming: &TableImage) -> Result<bool, StoreError> {
+        let mut merged = incoming.clone();
+        let had_state = match self.load(fp, &incoming.params) {
+            Some(existing) => {
+                merged.merge_max(&existing)?;
+                true
+            }
+            None => false,
+        };
+        let dir = self.table_dir(fp);
+        std::fs::create_dir_all(&dir)?;
+        write_snapshot(&dir.join("snapshot.bin"), &merged)?;
+        self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        // The WAL suffix (if any) is folded into the snapshot now; clear it
+        // so a later open does not replay it on top a second time.
+        Wal::open(&dir, self.segment_limit)?.reset()?;
+        Ok(had_state)
+    }
+
     /// Opens the store for a session planning under fingerprint `fp`.
     ///
     /// Returns the warm-start image (if any) and a [`SessionStore`] handle.
@@ -366,6 +414,77 @@ mod tests {
         drop(first);
         let third = registry.open_session(fp, &params()).unwrap();
         assert!(third.store.is_owner());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merge_image_folds_stored_state_and_clears_wal() {
+        let root = tmp_root("merge");
+        let registry = StoreRegistry::open(&root).unwrap();
+        let fp = 0x11AD;
+        // Seed stored state via a session that crashes (WAL only).
+        let opened = registry.open_session(fp, &params()).unwrap();
+        for i in 0..8u64 {
+            opened
+                .store
+                .log_observe(i, true, || unreachable!("no compaction"))
+                .unwrap();
+        }
+        drop(opened); // no persist: state lives in the WAL suffix
+        let mut incoming = TableImage::empty(params());
+        incoming.u_state = 41;
+        incoming.cells[3] = (9, 2);
+        assert!(registry.merge_image(fp, &incoming).unwrap());
+        let loaded = registry.load(fp, &params()).unwrap();
+        assert_eq!(loaded.cells[3], (9, 2), "incoming cell present");
+        assert_eq!(loaded.cells[5], (1, 0), "WAL suffix folded in");
+        assert_eq!(loaded.u_state, 41, "incoming lineage's RNG word wins");
+        // Duplicate push converges: merging the same image changes nothing.
+        registry.merge_image(fp, &incoming).unwrap();
+        assert_eq!(registry.load(fp, &params()).unwrap(), loaded);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merge_image_installs_fresh_on_cold_or_mismatched_store() {
+        let root = tmp_root("merge-cold");
+        let registry = StoreRegistry::open(&root).unwrap();
+        let fp = 0x22BE;
+        let mut incoming = TableImage::empty(params());
+        incoming.cells[0] = (2, 1);
+        assert!(
+            !registry.merge_image(fp, &incoming).unwrap(),
+            "nothing stored: fresh install"
+        );
+        assert_eq!(registry.load(fp, &params()).unwrap().cells[0], (2, 1));
+        // Stored state under different parameters is stale (same rule as
+        // load): the incoming image replaces it rather than erroring.
+        let other = ChtParams {
+            counter_bits: 2,
+            ..params()
+        };
+        let mut reshaped = TableImage::empty(other);
+        reshaped.cells[7] = (3, 0);
+        assert!(!registry.merge_image(fp, &reshaped).unwrap());
+        assert_eq!(registry.load(fp, &other).unwrap().cells[7], (3, 0));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merge_image_rejects_leased_fingerprint() {
+        let root = tmp_root("merge-leased");
+        let registry = StoreRegistry::open(&root).unwrap();
+        let fp = 0x33CF;
+        let opened = registry.open_session(fp, &params()).unwrap();
+        assert!(opened.store.is_owner());
+        let incoming = TableImage::empty(params());
+        assert!(matches!(
+            registry.merge_image(fp, &incoming),
+            Err(StoreError::Leased(f)) if f == fp
+        ));
+        // The lease returns with the owner; the merge then succeeds.
+        drop(opened);
+        assert!(registry.merge_image(fp, &incoming).is_ok());
         std::fs::remove_dir_all(&root).unwrap();
     }
 

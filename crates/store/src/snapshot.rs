@@ -118,6 +118,40 @@ impl TableImage {
             cell.1 = cell.1.saturating_add(1).min(max);
         }
     }
+
+    /// Folds another image of the same geometry into this one by per-cell
+    /// component-wise maximum — the replication merge rule. Counters only
+    /// grow under `apply_record`, so max is a join: merging is commutative,
+    /// associative, and idempotent, which is what makes duplicate and
+    /// out-of-order snapshot pushes between peers converge instead of
+    /// double-counting. A zero `u_state` on this image (unknown) adopts the
+    /// other's; a nonzero one is kept — the pushing side is the live
+    /// lineage, so its RNG word wins.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Mismatch`] when the two images' parameters differ
+    /// (their cells address different tables; merging would be
+    /// meaningless).
+    pub fn merge_max(&mut self, other: &TableImage) -> Result<(), StoreError> {
+        if self.params != other.params {
+            return Err(StoreError::Mismatch(format!(
+                "merge of {}-bit/{}-wide image with {}-bit/{}-wide image",
+                self.params.bits,
+                self.params.counter_bits,
+                other.params.bits,
+                other.params.counter_bits
+            )));
+        }
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            mine.0 = mine.0.max(theirs.0);
+            mine.1 = mine.1.max(theirs.1);
+        }
+        if self.u_state == 0 {
+            self.u_state = other.u_state;
+        }
+        Ok(())
+    }
 }
 
 struct BitWriter {
@@ -399,6 +433,48 @@ mod tests {
         assert_eq!(one.occupancy(), 0);
         one.apply_record(9, true);
         assert_eq!(one.cells[9], (1, 0));
+    }
+
+    #[test]
+    fn merge_max_is_a_join() {
+        let p = params(4, 1.0, 0.125);
+        let a = filled(p, 11);
+        let b = filled(p, 23);
+        let mut ab = a.clone();
+        ab.merge_max(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge_max(&a).unwrap();
+        // Commutative on cells (u_state is last-writer-wins, so compare
+        // cells only across orders) and idempotent.
+        assert_eq!(ab.cells, ba.cells);
+        let snap = ab.clone();
+        ab.merge_max(&b).unwrap();
+        assert_eq!(ab, snap, "duplicate merge must be a no-op");
+        for (i, &(c, n)) in ab.cells.iter().enumerate() {
+            assert_eq!(c, a.cells[i].0.max(b.cells[i].0));
+            assert_eq!(n, a.cells[i].1.max(b.cells[i].1));
+        }
+    }
+
+    #[test]
+    fn merge_max_u_state_prefers_live_lineage() {
+        let p = params(2, 1.0, 1.0);
+        let mut unknown = TableImage::empty(p);
+        let mut known = TableImage::empty(p);
+        known.u_state = 77;
+        unknown.merge_max(&known).unwrap();
+        assert_eq!(unknown.u_state, 77, "unknown RNG word adopts the peer's");
+        let mut live = TableImage::empty(p);
+        live.u_state = 5;
+        live.merge_max(&known).unwrap();
+        assert_eq!(live.u_state, 5, "live RNG word is kept");
+    }
+
+    #[test]
+    fn merge_max_rejects_mismatched_params() {
+        let mut a = TableImage::empty(params(2, 1.0, 1.0));
+        let b = TableImage::empty(params(4, 1.0, 1.0));
+        assert!(matches!(a.merge_max(&b), Err(StoreError::Mismatch(_))));
     }
 
     #[test]
